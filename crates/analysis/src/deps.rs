@@ -1,0 +1,954 @@
+//! Dependency propagation (§3.2): per-function use-define analysis.
+//!
+//! For every function we compute, in one walk over its statement tree:
+//!
+//! * **flows** — a one-step influence map `var → UseSet`: everything that
+//!   flows into any assignment of the variable, including *control
+//!   dependence* (an assignment under `if (c)` also depends on `c`'s
+//!   variables) — the flow-insensitive use-define chains of the paper;
+//! * **snippet seeds** — for every candidate snippet, the variables its
+//!   *control expressions* read directly: loop bounds, branch conditions,
+//!   and workload-determining call arguments (substituted through callee
+//!   summaries, §3.3);
+//! * **loop-assigned sets** — for every loop, the variables written
+//!   anywhere in its body (plus its own induction variable and the globals
+//!   written by callees), which is what "changes over iterations" means;
+//! * the function's **summary** — boundary workload/return dependencies in
+//!   terms of parameters, globals, rank and unknown, used by callers.
+//!
+//! A snippet `S` is then a v-sensor of an enclosing loop `L` iff the
+//! closure of its seed intersects neither `L`'s assigned set nor any
+//! disqualifying symbol — the judgment itself lives in [`crate::identify`].
+//!
+//! ## Soundness notes
+//!
+//! The analysis is name-based and flow-insensitive, which is conservative:
+//! a variable assigned *anywhere* in a loop is treated as varying across
+//! all its iterations. Induction variables of `for` loops contained in a
+//! snippet are *reinitialization-safe* (their entry values cannot influence
+//! the snippet) and are excluded from its dependency set — but only when
+//! the name is unambiguous (used solely as an induction variable of loops
+//! inside the snippet); ambiguous names stay in, erring toward "not
+//! fixed", which can only suppress sensors, never fabricate them.
+
+use crate::externs::ExternModels;
+use crate::snippets::{SnippetId, SnippetType};
+use crate::symbols::{Symbol, UseSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use vsensor_lang::{Block, CallSite, Expr, Function, LValue, LoopId, Program, Stmt};
+
+/// Boundary summary of a function, consumed by its callers.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// What the function's total workload depends on, in boundary terms
+    /// (params / globals / rank / unknown only — no local names).
+    pub workload: UseSet,
+    /// What the function's return value depends on, in boundary terms.
+    pub returns: UseSet,
+    /// Globals written by the function or its callees.
+    pub globals_written: BTreeSet<String>,
+    /// Function (transitively) performs network operations.
+    pub contains_net: bool,
+    /// Function (transitively) performs I/O operations.
+    pub contains_io: bool,
+    /// Function is recursive or otherwise unanalyzable.
+    pub opaque: bool,
+}
+
+impl Summary {
+    /// Conservative summary for recursive / unknown functions: workload and
+    /// return depend on everything and cannot be trusted.
+    pub fn opaque(param_count: usize, all_globals: &[String]) -> Self {
+        let mut workload = UseSet::new();
+        let mut returns = UseSet::new();
+        for i in 0..param_count {
+            workload.add_symbol(Symbol::Param(i));
+            returns.add_symbol(Symbol::Param(i));
+        }
+        workload.add_symbol(Symbol::Unknown);
+        returns.add_symbol(Symbol::Unknown);
+        Summary {
+            workload,
+            returns,
+            globals_written: all_globals.iter().cloned().collect(),
+            contains_net: false,
+            contains_io: false,
+            opaque: true,
+        }
+    }
+}
+
+/// Everything the walk learns about one function.
+#[derive(Clone, Debug, Default)]
+pub struct FuncAnalysis {
+    /// One-step influence map.
+    pub flows: HashMap<String, UseSet>,
+    /// Locally-bound names: params, declarations, induction variables.
+    pub locals: HashSet<String>,
+    /// `name → loops that bind it as induction variable`.
+    pub induction_of: HashMap<String, Vec<LoopId>>,
+    /// Names with at least one plain (non-induction) definition.
+    pub plain_defs: HashSet<String>,
+    /// Per-loop: names assigned anywhere within (incl. its own induction
+    /// variable and globals written by callees).
+    pub loop_assigned: HashMap<LoopId, BTreeSet<String>>,
+    /// Per-loop: its enclosing loops within this function, innermost first.
+    pub loop_ancestors: HashMap<LoopId, Vec<LoopId>>,
+    /// Per-snippet: direct control-dependency seed (pre-closure).
+    pub snippet_seeds: HashMap<SnippetId, UseSet>,
+    /// Per-snippet: component type (Comp / Net / IO).
+    pub snippet_types: HashMap<SnippetId, SnippetType>,
+    /// Whole-body seed (the function treated as one snippet).
+    pub body_seed: UseSet,
+    /// Return-value seed.
+    pub return_seed: UseSet,
+    /// Global names directly written.
+    pub direct_global_writes: BTreeSet<String>,
+    /// Direct extern types seen.
+    pub direct_net: bool,
+    /// Direct I/O externs seen.
+    pub direct_io: bool,
+    /// Per call-site: one-step dependency set of each argument (for the
+    /// globally-fixed-argument fixpoint in [`crate::identify`]).
+    pub call_args: HashMap<vsensor_lang::CallId, Vec<UseSet>>,
+    /// Per call-site: callee name.
+    pub call_callee: HashMap<vsensor_lang::CallId, String>,
+    /// Per call-site: enclosing loops within this function, innermost
+    /// first.
+    pub call_enclosing: HashMap<vsensor_lang::CallId, Vec<LoopId>>,
+}
+
+/// Context shared across the walk of one function.
+struct Walker<'a> {
+    program: &'a Program,
+    externs: &'a ExternModels,
+    summaries: &'a HashMap<String, Summary>,
+    comm_dest_matters: bool,
+    globals: HashSet<String>,
+    out: FuncAnalysis,
+    /// Stack of open loop IDs (for assigned-set attribution).
+    loop_stack: Vec<LoopId>,
+    /// Stack of open snippet accumulators: (snippet, seed, type flags).
+    open: Vec<OpenSnippet>,
+    /// Control-dependence context (union of enclosing conds within fn).
+    ctx: UseSet,
+}
+
+struct OpenSnippet {
+    id: SnippetId,
+    seed: UseSet,
+    net: bool,
+    io: bool,
+}
+
+/// Analyze one function given the summaries of (already-analyzed) callees.
+/// Returns the per-function tables and the function's own summary.
+pub fn analyze_function(
+    program: &Program,
+    func: &Function,
+    externs: &ExternModels,
+    summaries: &HashMap<String, Summary>,
+    comm_dest_matters: bool,
+) -> (FuncAnalysis, Summary) {
+    let mut w = Walker {
+        program,
+        externs,
+        summaries,
+        comm_dest_matters,
+        globals: program.globals.iter().map(|g| g.name.clone()).collect(),
+        out: FuncAnalysis::default(),
+        loop_stack: Vec::new(),
+        open: Vec::new(),
+        ctx: UseSet::new(),
+    };
+    for (name, _) in &func.params {
+        w.out.locals.insert(name.clone());
+    }
+    w.walk_block(&func.body);
+    let out = w.out;
+
+    // Build the boundary summary: resolve the whole-body seed and the
+    // return seed down to base symbols.
+    let param_index: HashMap<&str, usize> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+    let globals: HashSet<String> = program.globals.iter().map(|g| g.name.clone()).collect();
+
+    let boundary = |seed: &UseSet, out: &FuncAnalysis| -> UseSet {
+        let closed = closure(seed, out, &param_index, &globals, &ExcludeInduction::All);
+        // Keep only base symbols at the boundary: local names have no
+        // meaning to callers.
+        UseSet {
+            names: BTreeSet::new(),
+            symbols: closed.symbols,
+        }
+    };
+
+    let mut globals_written = out.direct_global_writes.clone();
+    let mut contains_net = out.direct_net;
+    let mut contains_io = out.direct_io;
+    for callee in out.call_callee.values() {
+        if let Some(s) = summaries.get(callee) {
+            globals_written.extend(s.globals_written.iter().cloned());
+            contains_net |= s.contains_net;
+            contains_io |= s.contains_io;
+        }
+    }
+
+    let summary = Summary {
+        workload: boundary(&out.body_seed, &out),
+        returns: boundary(&out.return_seed, &out),
+        globals_written,
+        contains_net,
+        contains_io,
+        opaque: false,
+    };
+    (out, summary)
+}
+
+/// Which induction variables the closure may treat as reinit-safe.
+pub enum ExcludeInduction<'e> {
+    /// Exclude induction vars of every loop (whole-body summaries).
+    All,
+    /// Exclude induction vars of the given loops (loops inside a snippet).
+    Within(&'e HashSet<LoopId>),
+    /// Exclude nothing (call snippets, argument judgments).
+    None,
+}
+
+impl ExcludeInduction<'_> {
+    fn covers(&self, loops: &[LoopId]) -> bool {
+        match self {
+            ExcludeInduction::All => true,
+            ExcludeInduction::Within(set) => loops.iter().all(|l| set.contains(l)),
+            ExcludeInduction::None => false,
+        }
+    }
+}
+
+/// Transitively close a seed over the function's flow map.
+///
+/// A name is *excluded* (reinitialization-safe) iff it is bound as an
+/// induction variable only by loops the exclusion covers and has no plain
+/// definition — see the module-level soundness notes.
+pub fn closure(
+    seed: &UseSet,
+    fa: &FuncAnalysis,
+    param_index: &HashMap<&str, usize>,
+    globals: &HashSet<String>,
+    exclude: &ExcludeInduction<'_>,
+) -> UseSet {
+    let mut result = UseSet::new();
+    result.symbols = seed.symbols.clone();
+    let mut work: Vec<String> = seed.names.iter().cloned().collect();
+    let mut visited: HashSet<String> = HashSet::new();
+    while let Some(name) = work.pop() {
+        if !visited.insert(name.clone()) {
+            continue;
+        }
+        if let Some(loops) = fa.induction_of.get(&name) {
+            if !fa.plain_defs.contains(&name) && exclude.covers(loops) {
+                continue; // reinit-safe induction variable
+            }
+        }
+        result.names.insert(name.clone());
+        if let Some(&i) = param_index.get(name.as_str()) {
+            result.symbols.insert(Symbol::Param(i));
+        }
+        if globals.contains(&name) && !fa.locals.contains(&name) {
+            result.symbols.insert(Symbol::Global(name.clone()));
+        }
+        if let Some(step) = fa.flows.get(&name) {
+            result.symbols.extend(step.symbols.iter().cloned());
+            work.extend(step.names.iter().cloned());
+        }
+    }
+    result
+}
+
+impl Walker<'_> {
+    fn walk_block(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.walk_stmt(stmt);
+        }
+    }
+
+    /// Record a control-dependency contribution: it feeds the whole-body
+    /// seed and every open snippet accumulator.
+    fn contribute(&mut self, dep: &UseSet) {
+        self.out.body_seed.absorb(dep);
+        for open in &mut self.open {
+            open.seed.absorb(dep);
+        }
+    }
+
+    /// Record component-type flags on every open snippet.
+    fn mark_type(&mut self, net: bool, io: bool) {
+        self.out.direct_net |= net;
+        self.out.direct_io |= io;
+        for open in &mut self.open {
+            open.net |= net;
+            open.io |= io;
+        }
+    }
+
+    /// Record an assignment to `name` with dependency `dep` (control
+    /// context added here).
+    fn record_assign(&mut self, name: &str, dep: UseSet) {
+        let mut dep = dep;
+        dep.absorb(&self.ctx.clone());
+        self.out
+            .flows
+            .entry(name.to_string())
+            .or_default()
+            .absorb(&dep);
+        self.out.plain_defs.insert(name.to_string());
+        for l in &self.loop_stack {
+            self.out
+                .loop_assigned
+                .get_mut(l)
+                .expect("open loop has a set")
+                .insert(name.to_string());
+        }
+        if self.globals.contains(name) && !self.out.locals.contains(name) {
+            self.out.direct_global_writes.insert(name.to_string());
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Decl { name, init, .. } => {
+                self.out.locals.insert(name.clone());
+                let dep = init
+                    .as_ref()
+                    .map(|e| self.expr_dep(e))
+                    .unwrap_or_default();
+                self.record_assign(name, dep);
+            }
+            Stmt::ArrayDecl { name, len, .. } => {
+                self.out.locals.insert(name.clone());
+                let dep = self.expr_dep(len);
+                self.record_assign(name, dep);
+            }
+            Stmt::Assign { target, value, .. } => {
+                let mut dep = self.expr_dep(value);
+                if let LValue::Index { index, .. } = target {
+                    dep.absorb(&self.expr_dep(index));
+                }
+                self.record_assign(target.base(), dep);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                let cdep = self.expr_dep(cond);
+                self.contribute(&cdep);
+                let saved = self.ctx.clone();
+                self.ctx.absorb(&cdep);
+                self.walk_block(then_blk);
+                self.walk_block(else_blk);
+                self.ctx = saved;
+            }
+            Stmt::Loop {
+                id,
+                var,
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                // The loop's control contribution: trip count determined by
+                // init/cond/step.
+                let mut cdep = self.expr_dep(init);
+                cdep.absorb(&self.expr_dep(cond));
+                cdep.absorb(&self.expr_dep(step));
+
+                self.out
+                    .loop_ancestors
+                    .insert(*id, self.loop_stack.iter().rev().copied().collect());
+                self.out.loop_assigned.insert(*id, BTreeSet::new());
+
+                // Open the loop snippet: its own control expressions count
+                // toward its seed too (the induction var will be excluded
+                // at closure time).
+                self.open.push(OpenSnippet {
+                    id: SnippetId::Loop(*id),
+                    seed: UseSet::new(),
+                    net: false,
+                    io: false,
+                });
+                self.contribute(&cdep);
+
+                // Induction bookkeeping. The induction variable is
+                // "assigned" in this loop and every enclosing one.
+                self.out.locals.insert(var.clone());
+                self.out
+                    .induction_of
+                    .entry(var.clone())
+                    .or_default()
+                    .push(*id);
+                self.out
+                    .flows
+                    .entry(var.clone())
+                    .or_default()
+                    .absorb(&cdep);
+                self.loop_stack.push(*id);
+                for l in &self.loop_stack {
+                    self.out
+                        .loop_assigned
+                        .get_mut(l)
+                        .expect("open loop set")
+                        .insert(var.clone());
+                }
+
+                let saved = self.ctx.clone();
+                self.ctx.absorb(&cdep);
+                self.walk_block(body);
+                self.ctx = saved;
+
+                self.loop_stack.pop();
+                let open = self.open.pop().expect("loop snippet open");
+                let ty = if open.net {
+                    SnippetType::Network
+                } else if open.io {
+                    SnippetType::Io
+                } else {
+                    SnippetType::Computation
+                };
+                self.mark_type(open.net, open.io);
+                self.out.snippet_seeds.insert(open.id, open.seed);
+                self.out.snippet_types.insert(open.id, ty);
+            }
+            Stmt::Call(c) => {
+                self.handle_call(c, true);
+            }
+            Stmt::Return { value, .. } => {
+                let mut dep = value
+                    .as_ref()
+                    .map(|e| self.expr_dep(e))
+                    .unwrap_or_default();
+                dep.absorb(&self.ctx.clone());
+                self.out.return_seed.absorb(&dep);
+            }
+            // Break/continue alter how often later statements run, not how
+            // much work one execution of any snippet does; the governing
+            // branch condition already contributed when its `if` was
+            // walked, so the early exit itself adds nothing.
+            Stmt::Break { .. } | Stmt::Continue { .. } => {}
+            Stmt::Tick(_) | Stmt::Tock(_) => {}
+        }
+    }
+
+    /// Process a call site. `as_snippet` is true in statement position
+    /// (only those are v-sensor candidates); nested calls still contribute
+    /// workload to enclosing snippets.
+    fn handle_call(&mut self, c: &CallSite, as_snippet: bool) {
+        // Argument expressions may themselves contain calls.
+        let arg_deps: Vec<UseSet> = c.args.iter().map(|a| self.expr_dep(a)).collect();
+        self.out.call_args.insert(c.id, arg_deps.clone());
+        self.out.call_callee.insert(c.id, c.callee.clone());
+        self.out
+            .call_enclosing
+            .insert(c.id, self.loop_stack.iter().rev().copied().collect());
+
+        let (workload, net, io, writes) = self.call_workload(c, &arg_deps);
+
+        if as_snippet {
+            // The call is itself a snippet: record its seed and type. Note
+            // that the enclosing control context is *not* part of the seed:
+            // conditions around a snippet gate whether it executes, not how
+            // much work one execution does.
+            let seed = workload.clone();
+            let ty = if net {
+                SnippetType::Network
+            } else if io {
+                SnippetType::Io
+            } else {
+                SnippetType::Computation
+            };
+            self.out.snippet_seeds.insert(SnippetId::Call(c.id), seed);
+            self.out.snippet_types.insert(SnippetId::Call(c.id), ty);
+        }
+
+        self.contribute(&workload);
+        self.mark_type(net, io);
+
+        // Callee global writes count as assignments in all open loops.
+        for g in &writes {
+            for l in &self.loop_stack {
+                self.out
+                    .loop_assigned
+                    .get_mut(l)
+                    .expect("open loop set")
+                    .insert(g.clone());
+            }
+        }
+    }
+
+    /// Workload dependency of a call: substitute the callee's summary over
+    /// the argument dependency sets. Returns (deps, is_net, is_io,
+    /// globals_written).
+    fn call_workload(
+        &self,
+        c: &CallSite,
+        arg_deps: &[UseSet],
+    ) -> (UseSet, bool, bool, Vec<String>) {
+        let mut out = UseSet::new();
+        if let Some(summary) = self.summaries.get(&c.callee) {
+            for sym in &summary.workload.symbols {
+                match sym {
+                    Symbol::Param(i) => {
+                        if let Some(d) = arg_deps.get(*i) {
+                            out.absorb(d);
+                        }
+                    }
+                    other => {
+                        out.add_symbol(other.clone());
+                    }
+                }
+            }
+            return (
+                out,
+                summary.contains_net,
+                summary.contains_io,
+                summary.globals_written.iter().cloned().collect(),
+            );
+        }
+        if self.program.function(&c.callee).is_some() {
+            // A user function without a summary yet: recursive (pruned from
+            // the topo order) — conservative.
+            out.add_symbol(Symbol::Unknown);
+            return (out, false, false, self.all_global_names());
+        }
+        match self.externs.get(&c.callee) {
+            Some(b) => {
+                if b.never_fixed {
+                    out.add_symbol(Symbol::Unknown);
+                }
+                for &i in &b.workload_args {
+                    if let Some(d) = arg_deps.get(i) {
+                        out.absorb(d);
+                    }
+                }
+                if self.comm_dest_matters {
+                    for &i in &b.dest_args {
+                        if let Some(d) = arg_deps.get(i) {
+                            out.absorb(d);
+                        }
+                    }
+                }
+                (
+                    out,
+                    b.ty == SnippetType::Network,
+                    b.ty == SnippetType::Io,
+                    Vec::new(),
+                )
+            }
+            None => {
+                // Undescribed extern: never-fixed (§3.5).
+                out.add_symbol(Symbol::Unknown);
+                (out, false, false, Vec::new())
+            }
+        }
+    }
+
+    fn all_global_names(&self) -> Vec<String> {
+        self.program
+            .globals
+            .iter()
+            .map(|g| g.name.clone())
+            .collect()
+    }
+
+    /// Dependency set of an expression: variable names plus, for nested
+    /// calls, the substituted *return* dependencies of the callee.
+    fn expr_dep(&mut self, e: &Expr) -> UseSet {
+        let mut out = UseSet::new();
+        self.expr_dep_into(e, &mut out);
+        out
+    }
+
+    fn expr_dep_into(&mut self, e: &Expr, out: &mut UseSet) {
+        match e {
+            Expr::Int(_) | Expr::Float(_) => {}
+            Expr::Var(n) => {
+                out.add_name(n.clone());
+            }
+            Expr::Index { name, index } => {
+                out.add_name(name.clone());
+                self.expr_dep_into(index, out);
+            }
+            Expr::Unary { operand, .. } => self.expr_dep_into(operand, out),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr_dep_into(lhs, out);
+                self.expr_dep_into(rhs, out);
+            }
+            Expr::Call(c) => {
+                // The call also registers as workload/snippet bookkeeping.
+                self.handle_call(c, false);
+                let arg_deps: Vec<UseSet> = c.args.iter().map(|a| self.expr_dep(a)).collect();
+                out.absorb(&self.return_dep(c, &arg_deps));
+            }
+        }
+    }
+
+    /// Return-value dependency of a call.
+    fn return_dep(&self, c: &CallSite, arg_deps: &[UseSet]) -> UseSet {
+        let mut out = UseSet::new();
+        if let Some(summary) = self.summaries.get(&c.callee) {
+            for sym in &summary.returns.symbols {
+                match sym {
+                    Symbol::Param(i) => {
+                        if let Some(d) = arg_deps.get(*i) {
+                            out.absorb(d);
+                        }
+                    }
+                    other => {
+                        out.add_symbol(other.clone());
+                    }
+                }
+            }
+            return out;
+        }
+        if self.program.function(&c.callee).is_some() {
+            out.add_symbol(Symbol::Unknown);
+            return out;
+        }
+        match self.externs.get(&c.callee) {
+            Some(b) => {
+                if b.returns_rank {
+                    out.add_symbol(Symbol::Rank);
+                }
+                if b.returns_unknown {
+                    out.add_symbol(Symbol::Unknown);
+                } else if !b.returns_rank {
+                    // Deterministic function of its arguments.
+                    for d in arg_deps {
+                        out.absorb(d);
+                    }
+                }
+            }
+            None => {
+                out.add_symbol(Symbol::Unknown);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsensor_lang::compile;
+
+    fn analyze_one(src: &str, fname: &str) -> (Program, FuncAnalysis, Summary) {
+        let p = compile(src).unwrap();
+        let externs = ExternModels::with_defaults();
+        let summaries = HashMap::new();
+        let f = p.function(fname).unwrap().clone();
+        let (fa, s) = analyze_function(&p, &f, &externs, &summaries, false);
+        (p, fa, s)
+    }
+
+    #[test]
+    fn flows_capture_direct_and_control_deps() {
+        let (_, fa, _) = analyze_one(
+            r#"
+            fn main() {
+                int a = 1;
+                int b = a + 2;
+                int c = 0;
+                if (b > 0) { c = 5; }
+            }
+            "#,
+            "main",
+        );
+        assert!(fa.flows["b"].names.contains("a"));
+        // Control dependence: c assigned under `b > 0`.
+        assert!(fa.flows["c"].names.contains("b"));
+    }
+
+    #[test]
+    fn loop_assigned_includes_nested_and_induction() {
+        let (_, fa, _) = analyze_one(
+            r#"
+            fn main() {
+                int t = 0;
+                for (n = 0; n < 10; n = n + 1) {
+                    t = t + 1;
+                    for (k = 0; k < 5; k = k + 1) { t = t + 2; }
+                }
+            }
+            "#,
+            "main",
+        );
+        let outer = fa.loop_assigned[&LoopId(0)].clone();
+        assert!(outer.contains("t"));
+        assert!(outer.contains("n"), "own induction var counts");
+        assert!(outer.contains("k"), "nested induction var counts");
+    }
+
+    #[test]
+    fn snippet_seed_of_fixed_loop_is_empty_after_closure() {
+        let (p, fa, _) = analyze_one(
+            r#"
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < 10; k = k + 1) { compute(3); }
+                }
+            }
+            "#,
+            "main",
+        );
+        // Inner loop is LoopId(1). Its seed mentions k (cond/step), which
+        // the closure excludes as reinit-safe.
+        let seed = &fa.snippet_seeds[&SnippetId::Loop(LoopId(1))];
+        let params = HashMap::new();
+        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let within: HashSet<LoopId> = [LoopId(1)].into();
+        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::Within(&within));
+        assert!(closed.names.is_empty(), "closed = {closed:?}");
+        assert!(closed.symbols.is_empty());
+    }
+
+    #[test]
+    fn varying_bound_stays_in_closure() {
+        let (p, fa, _) = analyze_one(
+            r#"
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < n; k = k + 1) { compute(3); }
+                }
+            }
+            "#,
+            "main",
+        );
+        let seed = &fa.snippet_seeds[&SnippetId::Loop(LoopId(1))];
+        let params = HashMap::new();
+        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let within: HashSet<LoopId> = [LoopId(1)].into();
+        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::Within(&within));
+        assert!(closed.names.contains("n"));
+    }
+
+    #[test]
+    fn rank_taints_through_assignment() {
+        let (p, fa, _) = analyze_one(
+            r#"
+            fn main() {
+                int r = mpi_comm_rank();
+                int cnt = 0;
+                for (n = 0; n < 10; n = n + 1) {
+                    for (k = 0; k < 10; k = k + 1) {
+                        if (r % 2 == 1) { cnt = cnt + 1; }
+                    }
+                }
+            }
+            "#,
+            "main",
+        );
+        let seed = &fa.snippet_seeds[&SnippetId::Loop(LoopId(1))];
+        let params = HashMap::new();
+        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let within: HashSet<LoopId> = [LoopId(1)].into();
+        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::Within(&within));
+        assert!(closed.has_rank(), "closed = {closed:?}");
+    }
+
+    #[test]
+    fn summary_workload_in_boundary_terms() {
+        // Figure 4's foo: workload depends on param x and global GLBV only.
+        let (_, _, s) = analyze_one(
+            r#"
+            global int GLBV = 40;
+            fn foo(int x, int y) -> int {
+                int value = 0;
+                for (i = 0; i < x; i = i + 1) {
+                    value = value + y;
+                    for (j = 0; j < 10; j = j + 1) { value = value - 1; }
+                }
+                if (x > GLBV) { value = value - x * y; }
+                return value;
+            }
+            "#,
+            "foo",
+        );
+        assert!(s.workload.symbols.contains(&Symbol::Param(0)), "{s:?}");
+        assert!(
+            !s.workload.symbols.contains(&Symbol::Param(1)),
+            "y does not affect workload: {s:?}"
+        );
+        assert!(s
+            .workload
+            .symbols
+            .contains(&Symbol::Global("GLBV".into())));
+        assert!(s.names_empty_at_boundary());
+    }
+
+    impl Summary {
+        fn names_empty_at_boundary(&self) -> bool {
+            self.workload.names.is_empty() && self.returns.names.is_empty()
+        }
+    }
+
+    #[test]
+    fn extern_workload_args_substituted() {
+        let (p, fa, _) = analyze_one(
+            r#"
+            fn main() {
+                int sz = 4096;
+                for (n = 0; n < 10; n = n + 1) {
+                    mpi_send(1, sz, 0);
+                }
+            }
+            "#,
+            "main",
+        );
+        // The send call's seed depends on sz (workload arg), not on the
+        // destination (static rule off by default).
+        let call_id = *fa
+            .snippet_seeds
+            .keys()
+            .find_map(|id| match id {
+                SnippetId::Call(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        let seed = &fa.snippet_seeds[&SnippetId::Call(call_id)];
+        assert!(seed.names.contains("sz"));
+        let params = HashMap::new();
+        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::None);
+        assert!(closed.symbols.is_empty(), "sz is a constant: {closed:?}");
+    }
+
+    #[test]
+    fn comm_dest_static_rule_adds_dest_args() {
+        let p = compile(
+            r#"
+            fn main() {
+                for (n = 0; n < 10; n = n + 1) {
+                    mpi_send(n % 4, 64, 0);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let externs = ExternModels::with_defaults();
+        let summaries = HashMap::new();
+        let f = p.function("main").unwrap().clone();
+        // Without the rule, destination n%4 is ignored.
+        let (fa_off, _) = analyze_function(&p, &f, &externs, &summaries, false);
+        let call = *fa_off
+            .snippet_seeds
+            .keys()
+            .find_map(|id| match id {
+                SnippetId::Call(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert!(!fa_off.snippet_seeds[&SnippetId::Call(call)]
+            .names
+            .contains("n"));
+        // With the rule, it is part of the workload.
+        let (fa_on, _) = analyze_function(&p, &f, &externs, &summaries, true);
+        assert!(fa_on.snippet_seeds[&SnippetId::Call(call)]
+            .names
+            .contains("n"));
+    }
+
+    #[test]
+    fn unknown_extern_is_never_fixed() {
+        let (_, fa, _) = analyze_one(
+            r#"
+            fn main() {
+                for (n = 0; n < 10; n = n + 1) { mystery(5); }
+            }
+            "#,
+            "main",
+        );
+        let call = *fa
+            .snippet_seeds
+            .keys()
+            .find_map(|id| match id {
+                SnippetId::Call(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert!(fa.snippet_seeds[&SnippetId::Call(call)].has_unknown());
+    }
+
+    #[test]
+    fn snippet_types_classified() {
+        let (_, fa, s) = analyze_one(
+            r#"
+            fn main() {
+                for (n = 0; n < 10; n = n + 1) {
+                    for (k = 0; k < 4; k = k + 1) { compute(8); }
+                    mpi_alltoall(1024);
+                    io_write(512);
+                }
+            }
+            "#,
+            "main",
+        );
+        assert_eq!(
+            fa.snippet_types[&SnippetId::Loop(LoopId(1))],
+            SnippetType::Computation
+        );
+        // The outer loop contains network ops → Network (priority).
+        assert_eq!(
+            fa.snippet_types[&SnippetId::Loop(LoopId(0))],
+            SnippetType::Network
+        );
+        assert!(s.contains_net);
+        assert!(s.contains_io);
+    }
+
+    #[test]
+    fn while_loop_with_persistent_var_is_not_reinit_safe() {
+        let (p, fa, _) = analyze_one(
+            r#"
+            fn main() {
+                int x = 0;
+                for (n = 0; n < 10; n = n + 1) {
+                    while (x < 10) { x = x + 1; }
+                }
+            }
+            "#,
+            "main",
+        );
+        // The while loop (LoopId 1) uses x, which is assigned inside the
+        // outer loop — so x must remain in its closure.
+        let seed = &fa.snippet_seeds[&SnippetId::Loop(LoopId(1))];
+        let params = HashMap::new();
+        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let within: HashSet<LoopId> = [LoopId(1)].into();
+        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::Within(&within));
+        assert!(closed.names.contains("x"));
+        // And x is in the outer loop's assigned set → correctly not fixed.
+        assert!(fa.loop_assigned[&LoopId(0)].contains("x"));
+    }
+
+    #[test]
+    fn global_write_recorded() {
+        let (_, fa, s) = analyze_one(
+            r#"
+            global int G = 0;
+            fn main() {
+                for (n = 0; n < 3; n = n + 1) { G = G + 1; }
+            }
+            "#,
+            "main",
+        );
+        assert!(fa.direct_global_writes.contains("G"));
+        assert!(s.globals_written.contains("G"));
+        assert!(fa.loop_assigned[&LoopId(0)].contains("G"));
+    }
+}

@@ -1,0 +1,695 @@
+//! v-sensor identification (§3.2-§3.5).
+//!
+//! Drives the per-function dependency analysis bottom-up over the call
+//! graph, then judges every candidate snippet:
+//!
+//! * **intra-procedural** (§3.2): a snippet is a v-sensor of an enclosing
+//!   loop iff its workload-dependency closure touches nothing assigned
+//!   within that loop;
+//! * **inter-procedural** (§3.3): a snippet whose workload depends on
+//!   function parameters is globally fixed only if every call site passes a
+//!   loop-invariant argument — computed as a pessimizing fixpoint over the
+//!   call graph;
+//! * **multi-process** (§3.4): rank-derived influences (from
+//!   `mpi_comm_rank`-like sources) make a snippet unusable for
+//!   inter-process comparison;
+//! * **conservative global rule**: a global variable written anywhere in
+//!   the program disqualifies snippets whose workload reads it.
+
+use crate::callgraph::CallGraph;
+use crate::deps::{self, ExcludeInduction, FuncAnalysis, Summary};
+use crate::snippets::{self, Snippet, SnippetId, SnippetType};
+use crate::symbols::UseSet;
+use crate::AnalysisConfig;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use vsensor_lang::{LoopId, Program};
+
+/// Verdict for one candidate snippet.
+#[derive(Clone, Debug)]
+pub struct SnippetVerdict {
+    /// The snippet itself.
+    pub snippet: Snippet,
+    /// Component type.
+    pub ty: SnippetType,
+    /// Resolved workload-dependency set.
+    pub deps: UseSet,
+    /// Number of consecutive enclosing loops (innermost outward, within the
+    /// function) the snippet is fixed with respect to — its intra-function
+    /// *scope* (§4).
+    pub scope_len: usize,
+    /// Fixed w.r.t. every enclosing loop in its function.
+    pub function_scope_fixed: bool,
+    /// Fixed across the whole program: a *global v-sensor*, eligible for
+    /// instrumentation.
+    pub globally_fixed: bool,
+    /// Workload identical on every process (no rank dependence) — usable
+    /// for inter-process detection.
+    pub fixed_across_processes: bool,
+}
+
+impl SnippetVerdict {
+    /// A snippet counts as an identified v-sensor if it repeats (is inside
+    /// a loop) and is fixed w.r.t. at least its innermost enclosing loop.
+    pub fn is_vsensor(&self) -> bool {
+        self.snippet.in_loop() && self.scope_len >= 1
+    }
+}
+
+/// Output of identification.
+#[derive(Clone, Debug)]
+pub struct Identified {
+    /// Verdict per candidate snippet, in enumeration order.
+    pub verdicts: Vec<SnippetVerdict>,
+    /// Per-function analyses (indexed like `program.functions`).
+    pub func_analyses: Vec<FuncAnalysis>,
+    /// Per-function summaries.
+    pub summaries: HashMap<String, Summary>,
+    /// The processed call graph.
+    pub callgraph: CallGraph,
+    /// Globals written anywhere (the conservative §3.3 rule).
+    pub volatile_globals: BTreeSet<String>,
+    /// Per function: parameters proven iteration-invariant at every call
+    /// site, transitively.
+    pub fixed_params: Vec<BTreeSet<usize>>,
+    /// Per function: parameters that may carry rank-derived values.
+    pub rank_params: Vec<BTreeSet<usize>>,
+}
+
+impl Identified {
+    /// Find the verdict for a snippet ID.
+    pub fn verdict(&self, id: SnippetId) -> Option<&SnippetVerdict> {
+        self.verdicts.iter().find(|v| v.snippet.id == id)
+    }
+}
+
+/// Run identification over a whole program.
+pub fn identify(program: &Program, config: &AnalysisConfig) -> Identified {
+    let callgraph = CallGraph::build(program);
+    let all_global_names: Vec<String> =
+        program.globals.iter().map(|g| g.name.clone()).collect();
+
+    // 1. Bottom-up per-function analysis. Recursive functions get opaque
+    // summaries and empty analyses.
+    let mut summaries: HashMap<String, Summary> = HashMap::new();
+    for &fi in &callgraph.recursive {
+        let f = &program.functions[fi];
+        summaries.insert(
+            f.name.clone(),
+            Summary::opaque(f.params.len(), &all_global_names),
+        );
+    }
+    let mut func_analyses: Vec<FuncAnalysis> =
+        vec![FuncAnalysis::default(); program.functions.len()];
+    for &fi in &callgraph.topo_order {
+        let f = &program.functions[fi];
+        let (fa, summary) = deps::analyze_function(
+            program,
+            f,
+            &config.externs,
+            &summaries,
+            config.comm_dest_matters,
+        );
+        func_analyses[fi] = fa;
+        summaries.insert(f.name.clone(), summary);
+    }
+
+    // 2. Volatile globals: any global assigned anywhere.
+    let mut volatile_globals = BTreeSet::new();
+    for fa in &func_analyses {
+        volatile_globals.extend(fa.direct_global_writes.iter().cloned());
+    }
+    for &fi in &callgraph.recursive {
+        // Opaque functions may write anything.
+        let _ = fi;
+        if !callgraph.recursive.is_empty() {
+            volatile_globals.extend(all_global_names.iter().cloned());
+            break;
+        }
+    }
+
+    // 3. Fixpoints over parameters.
+    let (fixed_params, rank_params) =
+        param_fixpoints(program, &callgraph, &func_analyses, &volatile_globals);
+
+    // 4. Judge every snippet.
+    let globals_set: HashSet<String> = all_global_names.iter().cloned().collect();
+    let snippets = snippets::enumerate(program);
+    let mut verdicts = Vec::with_capacity(snippets.len());
+    for sn in snippets {
+        let fa = &func_analyses[sn.func];
+        let func = &program.functions[sn.func];
+        let param_index: HashMap<&str, usize> = func
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.as_str(), i))
+            .collect();
+
+        let seed = fa.snippet_seeds.get(&sn.id).cloned().unwrap_or_default();
+        let ty = fa
+            .snippet_types
+            .get(&sn.id)
+            .copied()
+            .unwrap_or(SnippetType::Computation);
+
+        // Loops contained within this snippet (for induction exclusion).
+        let within: HashSet<LoopId> = match sn.id {
+            SnippetId::Loop(l) => {
+                let mut s: HashSet<LoopId> = fa
+                    .loop_ancestors
+                    .iter()
+                    .filter(|(_, anc)| anc.contains(&l))
+                    .map(|(id, _)| *id)
+                    .collect();
+                s.insert(l);
+                s
+            }
+            SnippetId::Call(_) => HashSet::new(),
+        };
+        let deps_closed = deps::closure(
+            &seed,
+            fa,
+            &param_index,
+            &globals_set,
+            &ExcludeInduction::Within(&within),
+        );
+
+        // Intra-procedural scope: walk enclosing loops innermost-out.
+        let mut scope_len = 0;
+        if !deps_closed.has_unknown() {
+            for l in &sn.enclosing {
+                let assigned = fa.loop_assigned.get(l).cloned().unwrap_or_default();
+                if deps_closed.intersects_names(&assigned) {
+                    break;
+                }
+                scope_len += 1;
+            }
+        }
+        let function_scope_fixed = scope_len == sn.enclosing.len() && !deps_closed.has_unknown();
+
+        // Global judgment.
+        let mut globally_fixed = function_scope_fixed;
+        let mut rank_dependent = deps_closed.has_rank();
+        if globally_fixed {
+            for g in deps_closed.globals() {
+                if volatile_globals.contains(g) {
+                    globally_fixed = false;
+                }
+            }
+            for p in deps_closed.params() {
+                if !fixed_params[sn.func].contains(&p) {
+                    globally_fixed = false;
+                }
+                if rank_params[sn.func].contains(&p) {
+                    rank_dependent = true;
+                }
+            }
+            // Snippets inside recursive functions have no reliable
+            // iteration context.
+            if callgraph.recursive.contains(&sn.func) {
+                globally_fixed = false;
+            }
+        }
+
+        verdicts.push(SnippetVerdict {
+            ty,
+            deps: deps_closed,
+            scope_len,
+            function_scope_fixed,
+            globally_fixed,
+            fixed_across_processes: globally_fixed && !rank_dependent,
+            snippet: sn,
+        });
+    }
+
+    Identified {
+        verdicts,
+        func_analyses,
+        summaries,
+        callgraph,
+        volatile_globals,
+        fixed_params,
+        rank_params,
+    }
+}
+
+/// Compute the two parameter fixpoints: globally-fixed (iteration-invariant
+/// at every call site) and rank-tainted (may carry rank-derived values).
+fn param_fixpoints(
+    program: &Program,
+    callgraph: &CallGraph,
+    func_analyses: &[FuncAnalysis],
+    volatile_globals: &BTreeSet<String>,
+) -> (Vec<BTreeSet<usize>>, Vec<BTreeSet<usize>>) {
+    let n = program.functions.len();
+    let fn_index: HashMap<&str, usize> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    let globals_set: HashSet<String> =
+        program.globals.iter().map(|g| g.name.clone()).collect();
+
+    // Optimistic start: all params fixed, none rank-tainted.
+    let mut fixed: Vec<BTreeSet<usize>> = program
+        .functions
+        .iter()
+        .map(|f| (0..f.params.len()).collect())
+        .collect();
+    let mut ranky: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+
+    // Recursive functions: nothing can be trusted.
+    for &fi in &callgraph.recursive {
+        fixed[fi].clear();
+        ranky[fi] = (0..program.functions[fi].params.len()).collect();
+    }
+
+    loop {
+        let mut changed = false;
+        for (caller_idx, fa) in func_analyses.iter().enumerate() {
+            let caller = &program.functions[caller_idx];
+            let param_index: HashMap<&str, usize> = caller
+                .params
+                .iter()
+                .enumerate()
+                .map(|(i, (n, _))| (n.as_str(), i))
+                .collect();
+            for (call_id, callee_name) in &fa.call_callee {
+                let Some(&callee_idx) = fn_index.get(callee_name.as_str()) else {
+                    continue; // extern
+                };
+                let arg_deps = &fa.call_args[call_id];
+                let enclosing = &fa.call_enclosing[call_id];
+                for (pi, arg) in arg_deps.iter().enumerate() {
+                    let closed = deps::closure(
+                        arg,
+                        fa,
+                        &param_index,
+                        &globals_set,
+                        &ExcludeInduction::None,
+                    );
+                    // Fixedness: the argument must be invariant at every
+                    // loop enclosing the call site, contain no unknown,
+                    // no volatile global, and only fixed caller params.
+                    let mut arg_fixed = !closed.has_unknown();
+                    if arg_fixed {
+                        for l in enclosing {
+                            let assigned =
+                                fa.loop_assigned.get(l).cloned().unwrap_or_default();
+                            if closed.intersects_names(&assigned) {
+                                arg_fixed = false;
+                                break;
+                            }
+                        }
+                    }
+                    if arg_fixed {
+                        for g in closed.globals() {
+                            if volatile_globals.contains(g) {
+                                arg_fixed = false;
+                            }
+                        }
+                        for p in closed.params() {
+                            if !fixed[caller_idx].contains(&p) {
+                                arg_fixed = false;
+                            }
+                        }
+                    }
+                    // A caller that is itself recursive is untrusted.
+                    if callgraph.recursive.contains(&caller_idx) {
+                        arg_fixed = false;
+                    }
+                    if !arg_fixed && fixed[callee_idx].remove(&pi) {
+                        changed = true;
+                    }
+
+                    // Rank taint.
+                    let mut arg_rank = closed.has_rank();
+                    for p in closed.params() {
+                        if ranky[caller_idx].contains(&p) {
+                            arg_rank = true;
+                        }
+                    }
+                    if arg_rank && ranky[callee_idx].insert(pi) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (fixed, ranky)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalysisConfig;
+    use vsensor_lang::compile;
+
+    fn run(src: &str) -> (Program, Identified) {
+        let p = compile(src).unwrap();
+        let id = identify(&p, &AnalysisConfig::default());
+        (p, id)
+    }
+
+    /// The paper's Figure 4 program, the canonical example: Call-1
+    /// (`foo(n,k)`) is a v-sensor of Loop-2 but not Loop-1; Call-2
+    /// (`foo(k,n)`) is a v-sensor of neither; Loop-3 (count loop) is a
+    /// v-sensor of Loop-1; Loop-5 is a v-sensor of Loop-4 and globally.
+    const FIGURE4: &str = r#"
+        global int GLBV = 40;
+        fn foo(int x, int y) -> int {
+            int value = 0;
+            for (i = 0; i < x; i = i + 1) {
+                value = value + y;
+                for (j = 0; j < 10; j = j + 1) { value = value - 1; }
+            }
+            if (x > GLBV) { value = value - x * y; }
+            return value;
+        }
+        fn main() {
+            int count = 0;
+            for (n = 0; n < 100; n = n + 1) {
+                for (k = 0; k < 10; k = k + 1) {
+                    foo(n, k);
+                    foo(k, n);
+                }
+                for (k2 = 0; k2 < 10; k2 = k2 + 1) { count = count + 1; }
+                mpi_barrier();
+            }
+        }
+    "#;
+
+    fn call_verdicts<'i>(
+        p: &Program,
+        id: &'i Identified,
+        callee: &str,
+    ) -> Vec<&'i SnippetVerdict> {
+        let _ = p;
+        id.verdicts
+            .iter()
+            .filter(|v| v.snippet.callee == callee)
+            .collect()
+    }
+
+    #[test]
+    fn figure4_call1_is_vsensor_of_inner_loop_only() {
+        let (p, id) = run(FIGURE4);
+        let foos = call_verdicts(&p, &id, "foo");
+        assert_eq!(foos.len(), 2);
+        // Call-1: foo(n, k) — x=n is fixed within the k loop, varies in n.
+        let c1 = foos[0];
+        assert_eq!(c1.scope_len, 1, "fixed w.r.t. k loop only: {c1:?}");
+        assert!(c1.is_vsensor());
+        assert!(!c1.function_scope_fixed);
+        assert!(!c1.globally_fixed);
+        // Call-2: foo(k, n) — x=k varies in the innermost loop already.
+        let c2 = foos[1];
+        assert_eq!(c2.scope_len, 0, "{c2:?}");
+        assert!(!c2.is_vsensor());
+    }
+
+    #[test]
+    fn figure4_count_loop_is_global_vsensor() {
+        let (_, id) = run(FIGURE4);
+        // The count loop: `for (k2 = 0; k2 < 10; ...)` — constant trip.
+        let v = id
+            .verdicts
+            .iter()
+            .find(|v| {
+                matches!(v.snippet.id, SnippetId::Loop(_))
+                    && v.snippet.func == 1
+                    && v.snippet.depth == 1
+                    && v.ty == SnippetType::Computation
+                    && v.scope_len >= 1
+            })
+            .expect("count loop verdict");
+        assert!(v.globally_fixed, "{v:?}");
+        assert!(v.fixed_across_processes);
+    }
+
+    #[test]
+    fn figure4_inner_foo_loop5_fixed_in_foo() {
+        let (p, id) = run(FIGURE4);
+        // Loop-5 analogue: the `j` loop inside foo (trip 10, constant).
+        let foo_idx = p.function_index("foo").unwrap();
+        let j_loop = id
+            .verdicts
+            .iter()
+            .find(|v| {
+                v.snippet.func == foo_idx
+                    && matches!(v.snippet.id, SnippetId::Loop(_))
+                    && v.snippet.depth == 1
+            })
+            .unwrap();
+        assert!(j_loop.function_scope_fixed, "{j_loop:?}");
+        assert!(j_loop.globally_fixed, "constant workload everywhere");
+        // Loop-4 analogue: the `i` loop — trip depends on param x, which
+        // varies at call sites.
+        let i_loop = id
+            .verdicts
+            .iter()
+            .find(|v| {
+                v.snippet.func == foo_idx
+                    && matches!(v.snippet.id, SnippetId::Loop(_))
+                    && v.snippet.depth == 0
+            })
+            .unwrap();
+        assert!(!i_loop.globally_fixed, "{i_loop:?}");
+    }
+
+    #[test]
+    fn figure9_rank_dependence_detected() {
+        let (_, id) = run(r#"
+            fn main() {
+                int rank = mpi_comm_rank();
+                int count = 0;
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < 10; k = k + 1) {
+                        if (rank % 2 == 1) { count = count + 1; }
+                    }
+                    for (k2 = 0; k2 < 10; k2 = k2 + 1) { count = count + 1; }
+                }
+            }
+        "#);
+        let loops: Vec<_> = id
+            .verdicts
+            .iter()
+            .filter(|v| matches!(v.snippet.id, SnippetId::Loop(_)) && v.snippet.depth == 1)
+            .collect();
+        assert_eq!(loops.len(), 2);
+        // Loop-1 (rank-dependent): fixed over iterations but not across
+        // processes.
+        assert!(loops[0].globally_fixed, "{:?}", loops[0]);
+        assert!(!loops[0].fixed_across_processes);
+        // Loop-2: fixed everywhere.
+        assert!(loops[1].globally_fixed);
+        assert!(loops[1].fixed_across_processes);
+    }
+
+    #[test]
+    fn volatile_global_disqualifies() {
+        let (_, id) = run(r#"
+            global int LIMIT = 10;
+            fn main() {
+                int count = 0;
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < LIMIT; k = k + 1) { count = count + 1; }
+                    LIMIT = LIMIT + 1;
+                }
+            }
+        "#);
+        assert!(id.volatile_globals.contains("LIMIT"));
+        let inner = id
+            .verdicts
+            .iter()
+            .find(|v| matches!(v.snippet.id, SnippetId::Loop(_)) && v.snippet.depth == 1)
+            .unwrap();
+        // Not even intra-fixed: LIMIT is assigned inside the outer loop.
+        assert_eq!(inner.scope_len, 0);
+        assert!(!inner.globally_fixed);
+    }
+
+    #[test]
+    fn stable_global_is_fine() {
+        let (_, id) = run(r#"
+            global int LIMIT = 10;
+            fn main() {
+                int count = 0;
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < LIMIT; k = k + 1) { count = count + 1; }
+                }
+            }
+        "#);
+        assert!(id.volatile_globals.is_empty());
+        let inner = id
+            .verdicts
+            .iter()
+            .find(|v| matches!(v.snippet.id, SnippetId::Loop(_)) && v.snippet.depth == 1)
+            .unwrap();
+        assert!(inner.globally_fixed, "{inner:?}");
+    }
+
+    #[test]
+    fn constant_arg_call_is_globally_fixed() {
+        let (p, id) = run(r#"
+            fn work(int n) {
+                for (i = 0; i < n; i = i + 1) { compute(4); }
+            }
+            fn main() {
+                for (t = 0; t < 50; t = t + 1) { work(64); }
+            }
+        "#);
+        let work_idx = p.function_index("work").unwrap();
+        assert!(id.fixed_params[work_idx].contains(&0));
+        let call = id
+            .verdicts
+            .iter()
+            .find(|v| v.snippet.callee == "work")
+            .unwrap();
+        assert!(call.globally_fixed, "{call:?}");
+    }
+
+    #[test]
+    fn varying_arg_breaks_param_fixedness() {
+        let (p, id) = run(r#"
+            fn work(int n) {
+                for (i = 0; i < n; i = i + 1) { compute(4); }
+            }
+            fn main() {
+                for (t = 0; t < 50; t = t + 1) { work(t); }
+            }
+        "#);
+        let work_idx = p.function_index("work").unwrap();
+        assert!(!id.fixed_params[work_idx].contains(&0));
+        let call = id
+            .verdicts
+            .iter()
+            .find(|v| v.snippet.callee == "work")
+            .unwrap();
+        assert!(!call.globally_fixed);
+        assert_eq!(call.scope_len, 0, "varies with t directly");
+    }
+
+    #[test]
+    fn mixed_call_sites_one_varying_kills_param() {
+        let (p, id) = run(r#"
+            fn work(int n) {
+                for (i = 0; i < n; i = i + 1) { compute(4); }
+            }
+            fn main() {
+                for (t = 0; t < 50; t = t + 1) { work(64); }
+                for (t = 0; t < 50; t = t + 1) { work(t); }
+            }
+        "#);
+        let work_idx = p.function_index("work").unwrap();
+        // One bad call site poisons the parameter for all sites (the
+        // paper's condition quantifies over all invocations).
+        assert!(!id.fixed_params[work_idx].contains(&0));
+        // The loop *inside* work with constant trip would still be fine,
+        // but the `i` loop is not.
+        let i_loop = id
+            .verdicts
+            .iter()
+            .find(|v| v.snippet.func == work_idx)
+            .unwrap();
+        assert!(!i_loop.globally_fixed);
+    }
+
+    #[test]
+    fn rank_taint_propagates_through_params() {
+        let (p, id) = run(r#"
+            fn work(int n) {
+                for (i = 0; i < 10; i = i + 1) { compute(n); }
+            }
+            fn main() {
+                int r = mpi_comm_rank();
+                for (t = 0; t < 50; t = t + 1) { work(r); }
+            }
+        "#);
+        let work_idx = p.function_index("work").unwrap();
+        assert!(id.rank_params[work_idx].contains(&0));
+        let call = id
+            .verdicts
+            .iter()
+            .find(|v| v.snippet.callee == "work")
+            .unwrap();
+        // Fixed over iterations (r is loop-invariant) but rank-dependent.
+        assert!(call.globally_fixed, "{call:?}");
+        assert!(!call.fixed_across_processes);
+    }
+
+    #[test]
+    fn recursion_disables_global_fixedness() {
+        let (p, id) = run(r#"
+            fn rec(int n) -> int {
+                for (i = 0; i < 10; i = i + 1) { compute(8); }
+                if (n < 1) { return 0; }
+                return rec(n - 1);
+            }
+            fn main() {
+                for (t = 0; t < 5; t = t + 1) { rec(3); }
+            }
+        "#);
+        let rec_idx = p.function_index("rec").unwrap();
+        assert!(id.callgraph.recursive.contains(&rec_idx));
+        for v in id.verdicts.iter().filter(|v| v.snippet.func == rec_idx) {
+            assert!(!v.globally_fixed, "{v:?}");
+        }
+        // The call to rec from main is never-fixed (opaque).
+        let call = id
+            .verdicts
+            .iter()
+            .find(|v| v.snippet.callee == "rec")
+            .unwrap();
+        assert!(call.deps.has_unknown());
+        assert!(!call.is_vsensor());
+    }
+
+    #[test]
+    fn barrier_is_a_network_vsensor() {
+        let (_, id) = run(r#"
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) { mpi_barrier(); }
+            }
+        "#);
+        let call = id
+            .verdicts
+            .iter()
+            .find(|v| v.snippet.callee == "mpi_barrier")
+            .unwrap();
+        assert!(call.globally_fixed);
+        assert_eq!(call.ty, SnippetType::Network);
+    }
+
+    #[test]
+    fn message_size_must_be_invariant() {
+        let (_, id) = run(r#"
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) {
+                    mpi_send(1, 4096, 0);
+                    mpi_send(1, n * 8, 1);
+                }
+            }
+        "#);
+        let sends: Vec<_> = id
+            .verdicts
+            .iter()
+            .filter(|v| v.snippet.callee == "mpi_send")
+            .collect();
+        assert!(sends[0].globally_fixed, "constant size: {:?}", sends[0]);
+        assert!(!sends[1].globally_fixed, "varying size");
+    }
+
+    #[test]
+    fn top_level_snippet_is_not_a_vsensor() {
+        let (_, id) = run("fn main() { compute(10); }");
+        assert!(!id.verdicts[0].is_vsensor(), "not inside a loop");
+        // It is still trivially globally fixed (constant workload), which
+        // selection ignores because it never repeats.
+        assert!(id.verdicts[0].globally_fixed);
+    }
+}

@@ -1,0 +1,425 @@
+//! Instrumentation selection (§4).
+//!
+//! Rules, in the paper's order:
+//!
+//! * **Scope** — only *global* v-sensors (fixed through the whole program)
+//!   are instrumented, so their history stays valid for the entire run.
+//! * **Granularity** — a `max_depth` bound on loop-nesting depth keeps
+//!   probes out of the very innermost (microsecond-scale) loops; runtime
+//!   throttling handles whatever slips through.
+//! * **Nested sensors** — the probes themselves are not fixed-workload
+//!   code, so instrumenting an inner sensor would destroy any enclosing
+//!   one. We prefer the outermost sensor and skip everything inside it,
+//!   including the bodies of functions called from inside a selected
+//!   sensor.
+
+use crate::identify::Identified;
+use crate::snippets::SnippetId;
+use std::collections::HashSet;
+use vsensor_lang::{Block, Program, Stmt};
+
+/// Tunable selection rules.
+#[derive(Clone, Debug)]
+pub struct SelectionRules {
+    /// Maximum loop-nesting depth (within a function) at which a sensor may
+    /// be instrumented; the paper's `max-depth` knob. Depth 0 is an
+    /// outermost loop.
+    pub max_depth: usize,
+    /// If set, only sensors with process-invariant workload are selected
+    /// (pure inter-process mode). Off by default: rank-dependent sensors
+    /// still support intra-process history comparison.
+    pub require_process_invariant: bool,
+    /// Skip snippets whose statically-estimated per-execution work (in
+    /// abstract units ≈ ns) falls below this. 0 disables the filter —
+    /// the §4 granularity estimate; runtime throttling remains the
+    /// authoritative mechanism either way.
+    pub min_estimated_work: u64,
+}
+
+impl Default for SelectionRules {
+    fn default() -> Self {
+        SelectionRules {
+            max_depth: 3,
+            require_process_invariant: false,
+            min_estimated_work: 0,
+        }
+    }
+}
+
+/// The chosen snippets, in deterministic program order.
+#[derive(Clone, Debug, Default)]
+pub struct Selection {
+    /// Snippets to wrap with Tick/Tock.
+    pub chosen: Vec<SnippetId>,
+}
+
+/// Select v-sensors for instrumentation.
+pub fn select(program: &Program, identified: &Identified, rules: &SelectionRules) -> Selection {
+    let estimates = if rules.min_estimated_work > 0 {
+        Some(crate::estimate::estimate(program, &identified.callgraph))
+    } else {
+        None
+    };
+    let big_enough = |id: SnippetId| match &estimates {
+        None => true,
+        Some(est) => est.snippet(id).unwrap_or(u64::MAX) >= rules.min_estimated_work,
+    };
+    // Eligibility on everything except "repeats": whether a snippet
+    // executes repeatedly depends on the *call context* (a top-level loop
+    // in a helper called from main's time loop repeats inter-procedurally)
+    // and is decided during the walk.
+    let eligible: HashSet<SnippetId> = identified
+        .verdicts
+        .iter()
+        .filter(|v| {
+            v.globally_fixed
+                && v.snippet.depth < rules.max_depth
+                && (!rules.require_process_invariant || v.fixed_across_processes)
+                && big_enough(v.snippet.id)
+        })
+        .map(|v| v.snippet.id)
+        .collect();
+
+    let Some(main_idx) = program.function_index("main") else {
+        return Selection::default();
+    };
+
+    let mut sel = Selector {
+        program,
+        identified,
+        eligible,
+        chosen: Vec::new(),
+        visited: HashSet::new(),
+        covered: HashSet::new(),
+    };
+    sel.visit_function(main_idx, false);
+
+    // Drop anything that ended up inside a covered function (reachable only
+    // through a selected call sensor on some path — instrumenting it would
+    // break that outer sensor).
+    let covered = sel.covered;
+    let chosen = sel
+        .chosen
+        .into_iter()
+        .filter(|id| {
+            let v = identified.verdict(*id).expect("chosen snippet has verdict");
+            !covered.contains(&v.snippet.func)
+        })
+        .collect();
+    Selection { chosen }
+}
+
+struct Selector<'a> {
+    program: &'a Program,
+    identified: &'a Identified,
+    eligible: HashSet<SnippetId>,
+    chosen: Vec<SnippetId>,
+    visited: HashSet<usize>,
+    /// Functions reachable from inside a selected sensor: must stay
+    /// probe-free.
+    covered: HashSet<usize>,
+}
+
+impl Selector<'_> {
+    /// Visit a function's body. `in_loop_ctx` is true when every call path
+    /// that brought the walk here passes through a loop, so top-level
+    /// snippets of this function still execute repeatedly.
+    fn visit_function(&mut self, func: usize, in_loop_ctx: bool) {
+        if !self.visited.insert(func) {
+            return;
+        }
+        let body = self.program.functions[func].body.clone();
+        self.visit_block(&body, in_loop_ctx);
+    }
+
+    fn visit_block(&mut self, block: &Block, in_loop_ctx: bool) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Loop { id, body, .. } => {
+                    let sid = SnippetId::Loop(*id);
+                    if in_loop_ctx && self.eligible.contains(&sid) {
+                        self.chosen.push(sid);
+                        // Everything inside is covered: mark callee
+                        // functions reachable from the subtree.
+                        self.cover_block(body);
+                    } else {
+                        // Inside a loop, everything repeats.
+                        self.visit_block(body, true);
+                    }
+                }
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    self.visit_block(then_blk, in_loop_ctx);
+                    self.visit_block(else_blk, in_loop_ctx);
+                }
+                Stmt::Call(c) => {
+                    let sid = SnippetId::Call(c.id);
+                    if in_loop_ctx && self.eligible.contains(&sid) {
+                        self.chosen.push(sid);
+                        if let Some(fi) = self.program.function_index(&c.callee) {
+                            self.cover_function(fi);
+                        }
+                    } else if let Some(fi) = self.program.function_index(&c.callee) {
+                        self.visit_function(fi, in_loop_ctx);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Mark every user function called from this subtree (transitively) as
+    /// covered.
+    fn cover_block(&mut self, block: &Block) {
+        let mut callees = Vec::new();
+        vsensor_lang::visit_calls(block, &mut |c| {
+            if let Some(fi) = self.program.function_index(&c.callee) {
+                callees.push(fi);
+            }
+        });
+        for fi in callees {
+            self.cover_function(fi);
+        }
+    }
+
+    fn cover_function(&mut self, func: usize) {
+        for fi in self.identified.callgraph.reachable_from(func) {
+            self.covered.insert(fi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{identify, AnalysisConfig};
+    use vsensor_lang::compile;
+
+    fn run_select(src: &str, rules: &SelectionRules) -> (vsensor_lang::Program, Selection) {
+        let p = compile(src).unwrap();
+        let id = identify::identify(&p, &AnalysisConfig::default());
+        let sel = select(&p, &id, rules);
+        (p, sel)
+    }
+
+    #[test]
+    fn outermost_of_nested_wins() {
+        // Both loops are global v-sensors; only the outer is chosen.
+        let (_, sel) = run_select(
+            r#"
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) {
+                    for (a = 0; a < 10; a = a + 1) {
+                        for (b = 0; b < 10; b = b + 1) { compute(4); }
+                    }
+                }
+            }
+            "#,
+            &SelectionRules::default(),
+        );
+        // The `a` loop (depth 1) is fixed and chosen; nothing inside it.
+        assert_eq!(sel.chosen.len(), 1);
+        assert!(matches!(sel.chosen[0], SnippetId::Loop(l) if l.0 == 1));
+    }
+
+    #[test]
+    fn max_depth_limits_selection() {
+        let src = r#"
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < n; k = k + 1) {
+                        for (j = 0; j < 8; j = j + 1) { compute(4); }
+                    }
+                }
+            }
+        "#;
+        // The j loop (depth 2) is the only global sensor (k loop varies).
+        let (_, deep) = run_select(src, &SelectionRules::default());
+        assert_eq!(deep.chosen.len(), 1);
+        // With max_depth 2, depth-2 snippets are barred.
+        let (_, shallow) = run_select(
+            src,
+            &SelectionRules {
+                max_depth: 2,
+                ..Default::default()
+            },
+        );
+        assert!(shallow.chosen.is_empty());
+    }
+
+    #[test]
+    fn selected_call_covers_callee_functions() {
+        let (_, sel) = run_select(
+            r#"
+            fn kernel() {
+                for (j = 0; j < 16; j = j + 1) { compute(2); }
+            }
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) { kernel(); }
+            }
+            "#,
+            &SelectionRules::default(),
+        );
+        // The call is selected; the loop inside kernel is not.
+        assert_eq!(sel.chosen.len(), 1);
+        assert!(matches!(sel.chosen[0], SnippetId::Call(_)));
+    }
+
+    #[test]
+    fn non_fixed_outer_descends_to_fixed_inner() {
+        let (_, sel) = run_select(
+            r#"
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < n; k = k + 1) { compute(1); }
+                    for (j = 0; j < 8; j = j + 1) { compute(2); }
+                }
+            }
+            "#,
+            &SelectionRules::default(),
+        );
+        // Outer loop not fixed (contains varying-trip k loop), so selection
+        // descends: inside the k loop the constant-workload `compute(1)`
+        // call is itself a global v-sensor, and the j loop is one too.
+        assert_eq!(sel.chosen.len(), 2, "{sel:?}");
+        assert!(matches!(sel.chosen[0], SnippetId::Call(_)));
+        assert!(matches!(sel.chosen[1], SnippetId::Loop(l) if l.0 == 2));
+    }
+
+    #[test]
+    fn callee_reached_from_unselected_path_is_instrumented() {
+        let (p, sel) = run_select(
+            r#"
+            fn kernel(int n) {
+                for (i = 0; i < n; i = i + 1) { compute(1); }
+                for (j = 0; j < 16; j = j + 1) { compute(2); }
+            }
+            fn main() {
+                for (t = 0; t < 100; t = t + 1) {
+                    kernel(t); // call not fixed (arg varies) -> descend
+                }
+            }
+            "#,
+            &SelectionRules::default(),
+        );
+        // kernel(t) is not a sensor (workload varies with t), so selection
+        // descends into kernel: the constant compute(1) inside the i loop
+        // and the j loop are both global sensors living in kernel.
+        let kernel_idx = p.function_index("kernel").unwrap();
+        assert_eq!(sel.chosen.len(), 2, "{sel:?}");
+        let id = identify::identify(&p, &AnalysisConfig::default());
+        for chosen in &sel.chosen {
+            assert_eq!(id.verdict(*chosen).unwrap().snippet.func, kernel_idx);
+        }
+    }
+
+    #[test]
+    fn process_invariance_filter() {
+        let src = r#"
+            fn main() {
+                int r = mpi_comm_rank();
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < 10; k = k + 1) {
+                        if (r % 2 == 1) { compute(64); }
+                    }
+                    for (j = 0; j < 10; j = j + 1) { compute(64); }
+                }
+            }
+        "#;
+        let (_, all) = run_select(src, &SelectionRules::default());
+        // The rank-gated k loop and the j loop.
+        assert_eq!(all.chosen.len(), 2, "{all:?}");
+        assert!(matches!(all.chosen[0], SnippetId::Loop(_)));
+        let (_, only_inv) = run_select(
+            src,
+            &SelectionRules {
+                require_process_invariant: true,
+                ..Default::default()
+            },
+        );
+        // The k loop is rank-dependent, so selection descends into it and
+        // picks the process-invariant `compute(64)` call instead.
+        assert_eq!(only_inv.chosen.len(), 2, "{only_inv:?}");
+        assert!(matches!(only_inv.chosen[0], SnippetId::Call(_)));
+    }
+
+    #[test]
+    fn top_level_loop_in_callee_repeats_through_the_call_chain() {
+        // kernel's j loop has no enclosing loop *in its function*, but
+        // kernel is only reached from main's time loop — the snippet
+        // repeats inter-procedurally and must be instrumented.
+        let (p, sel) = run_select(
+            r#"
+            fn kernel(int n) {
+                for (i = 0; i < n; i = i + 1) { compute(10); }
+                for (j = 0; j < 16; j = j + 1) { compute(2000); }
+            }
+            fn main() {
+                for (t = 0; t < 500; t = t + 1) { kernel(t); }
+            }
+            "#,
+            &SelectionRules::default(),
+        );
+        let id = identify::identify(&p, &AnalysisConfig::default());
+        let kernel_idx = p.function_index("kernel").unwrap();
+        assert!(
+            sel.chosen.iter().any(|&sid| {
+                let v = id.verdict(sid).unwrap();
+                v.snippet.func == kernel_idx && matches!(sid, SnippetId::Loop(_))
+            }),
+            "{sel:?}"
+        );
+    }
+
+    #[test]
+    fn run_once_loop_is_not_chosen_but_its_body_is() {
+        // `once` is called a single time: its j loop executes once and is
+        // not a sensor — but the call *inside* the loop repeats 16 times
+        // and is.
+        let (_, sel) = run_select(
+            r#"
+            fn once() {
+                for (j = 0; j < 16; j = j + 1) { compute(2000); }
+            }
+            fn main() { once(); }
+            "#,
+            &SelectionRules::default(),
+        );
+        assert_eq!(sel.chosen.len(), 1, "{sel:?}");
+        assert!(matches!(sel.chosen[0], SnippetId::Call(_)));
+    }
+
+    #[test]
+    fn min_estimated_work_filters_tiny_sensors() {
+        let src = r#"
+            fn main() {
+                for (n = 0; n < 100; n = n + 1) {
+                    for (a = 0; a < 4; a = a + 1) { compute(10); }    // ~tiny
+                    for (b = 0; b < 64; b = b + 1) { compute(5000); } // big
+                }
+            }
+        "#;
+        let (_, all) = run_select(src, &SelectionRules::default());
+        assert_eq!(all.chosen.len(), 2);
+        let (_, filtered) = run_select(
+            src,
+            &SelectionRules {
+                min_estimated_work: 10_000,
+                ..Default::default()
+            },
+        );
+        assert_eq!(filtered.chosen.len(), 1, "{filtered:?}");
+        // The surviving sensor is the big loop (LoopId 2).
+        assert!(matches!(filtered.chosen[0], SnippetId::Loop(l) if l.0 == 2));
+    }
+
+    #[test]
+    fn no_main_no_selection() {
+        let (_, sel) = run_select(
+            "fn helper() { for (i = 0; i < 5; i = i + 1) { compute(1); } }",
+            &SelectionRules::default(),
+        );
+        assert!(sel.chosen.is_empty());
+    }
+}

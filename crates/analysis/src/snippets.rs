@@ -1,0 +1,225 @@
+//! Snippet enumeration.
+//!
+//! Per §3.1, only loops and function calls are v-sensor candidates. This
+//! module walks every function and records each candidate with its lexical
+//! context: the chain of enclosing loops (innermost first), its nesting
+//! depth, and which function it lives in.
+
+use std::fmt;
+use vsensor_lang::{Block, CallId, LoopId, Program, Span, Stmt};
+
+/// Identity of a snippet: a loop or a statement-position call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SnippetId {
+    /// A loop snippet.
+    Loop(LoopId),
+    /// A call snippet.
+    Call(CallId),
+}
+
+impl fmt::Display for SnippetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnippetId::Loop(l) => write!(f, "{l}"),
+            SnippetId::Call(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Structural kind of a snippet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnippetKind {
+    /// A `for`/`while` loop.
+    Loop,
+    /// A call site in statement position.
+    Call,
+}
+
+/// Component a snippet stresses — determines which performance matrix its
+/// sensor feeds (§3.1, §5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SnippetType {
+    /// CPU/memory work.
+    Computation,
+    /// MPI communication.
+    Network,
+    /// File I/O.
+    Io,
+}
+
+impl fmt::Display for SnippetType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnippetType::Computation => write!(f, "Comp"),
+            SnippetType::Network => write!(f, "Net"),
+            SnippetType::Io => write!(f, "IO"),
+        }
+    }
+}
+
+/// One enumerated candidate snippet.
+#[derive(Clone, Debug)]
+pub struct Snippet {
+    /// Identity.
+    pub id: SnippetId,
+    /// Loop or call.
+    pub kind: SnippetKind,
+    /// Index of the containing function in `program.functions`.
+    pub func: usize,
+    /// Enclosing loops *within the function*, innermost first.
+    pub enclosing: Vec<LoopId>,
+    /// Loop-nesting depth within the function (paper §4: outermost loop is
+    /// depth 0; a call at top level is also depth 0).
+    pub depth: usize,
+    /// Source location.
+    pub span: Span,
+    /// Callee name for call snippets (empty for loops).
+    pub callee: String,
+}
+
+impl Snippet {
+    /// Whether this snippet sits inside at least one loop (a snippet must
+    /// execute repeatedly to be a sensor).
+    pub fn in_loop(&self) -> bool {
+        !self.enclosing.is_empty()
+    }
+}
+
+/// Enumerate every candidate snippet of the program, function by function,
+/// in lexical order.
+pub fn enumerate(program: &Program) -> Vec<Snippet> {
+    let mut out = Vec::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        let mut stack = Vec::new();
+        walk(&f.body, fi, &mut stack, &mut out);
+    }
+    out
+}
+
+fn walk(block: &Block, func: usize, stack: &mut Vec<LoopId>, out: &mut Vec<Snippet>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Loop { id, body, span, .. } => {
+                out.push(Snippet {
+                    id: SnippetId::Loop(*id),
+                    kind: SnippetKind::Loop,
+                    func,
+                    enclosing: stack.iter().rev().copied().collect(),
+                    depth: stack.len(),
+                    span: *span,
+                    callee: String::new(),
+                });
+                stack.push(*id);
+                walk(body, func, stack, out);
+                stack.pop();
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                walk(then_blk, func, stack, out);
+                walk(else_blk, func, stack, out);
+            }
+            Stmt::Call(c) => {
+                out.push(Snippet {
+                    id: SnippetId::Call(c.id),
+                    kind: SnippetKind::Call,
+                    func,
+                    enclosing: stack.iter().rev().copied().collect(),
+                    depth: stack.len(),
+                    span: c.span,
+                    callee: c.callee.clone(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsensor_lang::compile;
+
+    #[test]
+    fn enumerates_loops_and_calls_only() {
+        let p = compile(
+            r#"
+            fn main() {
+                int count = 0;
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < 10; k = k + 1) {
+                        compute(8);
+                    }
+                    count = count + 1; // not a candidate
+                    mpi_barrier();
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let sn = enumerate(&p);
+        // Outer loop, inner loop, compute call, barrier call.
+        assert_eq!(sn.len(), 4);
+        assert_eq!(
+            sn.iter().filter(|s| s.kind == SnippetKind::Loop).count(),
+            2
+        );
+        assert_eq!(
+            sn.iter().filter(|s| s.kind == SnippetKind::Call).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn enclosing_chain_is_innermost_first() {
+        let p = compile(
+            r#"
+            fn main() {
+                for (a = 0; a < 1; a = a + 1) {
+                    for (b = 0; b < 1; b = b + 1) {
+                        compute(1);
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let sn = enumerate(&p);
+        let call = sn.iter().find(|s| s.kind == SnippetKind::Call).unwrap();
+        assert_eq!(call.depth, 2);
+        assert_eq!(call.enclosing.len(), 2);
+        // Innermost (b, LoopId 1) first, then (a, LoopId 0).
+        assert_eq!(call.enclosing[0].0, 1);
+        assert_eq!(call.enclosing[1].0, 0);
+    }
+
+    #[test]
+    fn calls_inside_branches_are_found() {
+        let p = compile(
+            r#"
+            fn main() {
+                int x = 1;
+                for (i = 0; i < 3; i = i + 1) {
+                    if (x > 0) { compute(1); } else { compute(2); }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let sn = enumerate(&p);
+        assert_eq!(
+            sn.iter().filter(|s| s.kind == SnippetKind::Call).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn top_level_call_has_no_enclosing_loops() {
+        let p = compile("fn main() { compute(5); }").unwrap();
+        let sn = enumerate(&p);
+        assert_eq!(sn.len(), 1);
+        assert!(!sn[0].in_loop());
+        assert_eq!(sn[0].depth, 0);
+        assert_eq!(sn[0].callee, "compute");
+    }
+}

@@ -1,0 +1,155 @@
+//! Base symbols of the dependency analysis.
+//!
+//! The use-define closure resolves every variable that influences a
+//! snippet's workload down to a set of *base symbols*: things whose
+//! variability can be judged directly. Local variable names are kept
+//! alongside (see [`UseSet`]) because the intra-procedural judgment
+//! intersects them with the set of variables assigned inside a loop.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A base influence on a snippet's quantity of work.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol {
+    /// The `i`-th parameter of the snippet's enclosing function.
+    Param(usize),
+    /// A global variable.
+    Global(String),
+    /// Process identity (MPI rank / hostname) — §3.4.
+    Rank,
+    /// An un-analyzable influence: unknown extern call, data received from
+    /// communication, recursion. Presence makes a snippet never-fixed.
+    Unknown,
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::Param(i) => write!(f, "param#{i}"),
+            Symbol::Global(g) => write!(f, "global:{g}"),
+            Symbol::Rank => write!(f, "rank"),
+            Symbol::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// The workload-dependency set of a snippet: local variable names whose
+/// values at snippet entry influence the workload, plus resolved base
+/// symbols.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UseSet {
+    /// Influencing local/parameter/global *names* (used for the
+    /// assigned-within-loop intersection).
+    pub names: BTreeSet<String>,
+    /// Resolved base symbols (used for inter-procedural and global-scope
+    /// judgments).
+    pub symbols: BTreeSet<Symbol>,
+}
+
+impl UseSet {
+    /// Empty set: a snippet with constant workload.
+    pub fn new() -> Self {
+        UseSet::default()
+    }
+
+    /// Union-in another set; returns whether anything changed (for
+    /// fixpoints).
+    pub fn absorb(&mut self, other: &UseSet) -> bool {
+        let before = (self.names.len(), self.symbols.len());
+        self.names.extend(other.names.iter().cloned());
+        self.symbols.extend(other.symbols.iter().cloned());
+        before != (self.names.len(), self.symbols.len())
+    }
+
+    /// Add a single name.
+    pub fn add_name(&mut self, name: impl Into<String>) -> bool {
+        self.names.insert(name.into())
+    }
+
+    /// Add a single symbol.
+    pub fn add_symbol(&mut self, sym: Symbol) -> bool {
+        self.symbols.insert(sym)
+    }
+
+    /// Whether the set contains [`Symbol::Unknown`].
+    pub fn has_unknown(&self) -> bool {
+        self.symbols.contains(&Symbol::Unknown)
+    }
+
+    /// Whether the set contains [`Symbol::Rank`].
+    pub fn has_rank(&self) -> bool {
+        self.symbols.contains(&Symbol::Rank)
+    }
+
+    /// Iterate parameter indices present.
+    pub fn params(&self) -> impl Iterator<Item = usize> + '_ {
+        self.symbols.iter().filter_map(|s| match s {
+            Symbol::Param(i) => Some(*i),
+            _ => None,
+        })
+    }
+
+    /// Iterate global names present.
+    pub fn globals(&self) -> impl Iterator<Item = &str> {
+        self.symbols.iter().filter_map(|s| match s {
+            Symbol::Global(g) => Some(g.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Whether any name in `self` is also in `assigned`.
+    pub fn intersects_names(&self, assigned: &BTreeSet<String>) -> bool {
+        if self.names.len() <= assigned.len() {
+            self.names.iter().any(|n| assigned.contains(n))
+        } else {
+            assigned.iter().any(|n| self.names.contains(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_reports_change() {
+        let mut a = UseSet::new();
+        let mut b = UseSet::new();
+        b.add_name("x");
+        b.add_symbol(Symbol::Rank);
+        assert!(a.absorb(&b));
+        assert!(!a.absorb(&b), "second absorb is a no-op");
+        assert!(a.has_rank());
+    }
+
+    #[test]
+    fn queries_filter_symbols() {
+        let mut u = UseSet::new();
+        u.add_symbol(Symbol::Param(2));
+        u.add_symbol(Symbol::Param(0));
+        u.add_symbol(Symbol::Global("G".into()));
+        assert_eq!(u.params().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(u.globals().collect::<Vec<_>>(), vec!["G"]);
+        assert!(!u.has_unknown());
+    }
+
+    #[test]
+    fn name_intersection() {
+        let mut u = UseSet::new();
+        u.add_name("a");
+        u.add_name("b");
+        let assigned: BTreeSet<String> = ["b".to_string()].into();
+        assert!(u.intersects_names(&assigned));
+        let other: BTreeSet<String> = ["z".to_string()].into();
+        assert!(!u.intersects_names(&other));
+    }
+
+    #[test]
+    fn symbol_display() {
+        assert_eq!(Symbol::Param(1).to_string(), "param#1");
+        assert_eq!(Symbol::Global("N".into()).to_string(), "global:N");
+        assert_eq!(Symbol::Rank.to_string(), "rank");
+        assert_eq!(Symbol::Unknown.to_string(), "unknown");
+    }
+}

@@ -1,0 +1,93 @@
+//! BTIO analogue — extension beyond the paper's eight programs.
+//!
+//! NPB ships a BT-IO variant that periodically checkpoints the solution
+//! array to the parallel filesystem. The paper's Table 1 instruments no IO
+//! sensors (none of its eight programs do fixed-size IO), but vSensor's
+//! design explicitly covers the IO component (§3.1, §5.2). This app closes
+//! that gap in our test matrix: fixed-size collective writes every few
+//! steps become IO sensors, and filesystem degradation shows up in the IO
+//! performance matrix.
+
+use crate::{AppSpec, Params};
+
+/// Generate the BTIO program.
+pub fn generate(p: Params) -> AppSpec {
+    let iters = p.iters;
+    let scale = p.scale as u64;
+    let solve = 10 * scale;
+    let rhs = 12 * scale;
+    let chunk = 256 * scale;
+
+    let source = format!(
+        r#"
+// BTIO analogue: BT-style sweeps + periodic fixed-size checkpoints.
+fn compute_rhs() {{
+    for (face = 0; face < 6; face = face + 1) {{
+        compute({rhs});
+        mem_access({rhs});
+    }}
+}}
+
+fn sweep() {{
+    for (dir = 0; dir < 3; dir = dir + 1) {{
+        for (cell = 0; cell < 4; cell = cell + 1) {{
+            compute({solve});
+        }}
+    }}
+}}
+
+fn checkpoint() {{
+    // Every rank appends its fixed-size slab of the solution.
+    io_write({chunk});
+}}
+
+fn verify_read() {{
+    io_read({chunk});
+}}
+
+fn main() {{
+    for (step = 0; step < {iters}; step = step + 1) {{
+        compute_rhs();
+        sweep();
+        if (step % 5 == 4) {{
+            checkpoint();
+        }}
+        mpi_barrier();
+    }}
+    verify_read();
+}}
+"#
+    );
+    AppSpec {
+        name: "BTIO",
+        source,
+        expect_net_sensors: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsensor_analysis::{analyze, AnalysisConfig, SnippetType};
+
+    #[test]
+    fn btio_has_io_sensors() {
+        let app = generate(Params::test());
+        let a = analyze(&app.compile(), &AnalysisConfig::default());
+        let (comp, net, io) = a.instrumented.type_counts();
+        assert!(comp >= 2, "{}", a.report);
+        assert!(net >= 1, "barrier: {}", a.report);
+        assert!(io >= 1, "checkpoint must be an IO sensor: {}", a.report);
+    }
+
+    #[test]
+    fn btio_checkpoint_sensor_is_process_invariant() {
+        let app = generate(Params::test());
+        let a = analyze(&app.compile(), &AnalysisConfig::default());
+        for s in &a.instrumented.sensors {
+            if s.ty == SnippetType::Io {
+                assert!(s.process_invariant, "fixed-size slab per rank");
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! CG analogue: conjugate-gradient iterations.
+//!
+//! Every CG iteration performs the same sparse matrix-vector product, the
+//! same vector updates, and two dot-product reductions — textbook
+//! fixed-workload behaviour, which is why the paper uses cg.D.128 for the
+//! noise-injection study and finds the bad node with CG. Instrumentation in
+//! Table 1 is 7 Comp + 5 Net.
+
+use crate::{AppSpec, Params};
+
+/// Generate the CG program.
+pub fn generate(p: Params) -> AppSpec {
+    let iters = p.iters;
+    let scale = p.scale as u64;
+    // Per-iteration kernel sizes (work units).
+    let spmv_mem = 40 * scale;
+    let spmv_cpu = 12 * scale;
+    let axpy = 6 * scale;
+    let dot = 4 * scale;
+    let halo_bytes = 16 * scale;
+
+    let source = format!(
+        r#"
+// CG analogue: fixed SpMV + reductions per iteration.
+fn spmv() {{
+    // Sparse matrix-vector product: memory bound.
+    mem_access({spmv_mem});
+    compute({spmv_cpu});
+}}
+
+fn axpy_updates() {{
+    for (k = 0; k < 4; k = k + 1) {{
+        compute({axpy});
+        mem_access({axpy});
+    }}
+}}
+
+fn dot_product() -> int {{
+    compute({dot});
+    mem_access({dot});
+    int partial = 1;
+    return mpi_allreduce_val(8, partial);
+}}
+
+fn halo_exchange() {{
+    int rank = mpi_comm_rank();
+    int size = mpi_comm_size();
+    int next = (rank + 1) % size;
+    int prev = (rank + size - 1) % size;
+    mpi_sendrecv(next, {halo_bytes}, prev, 11);
+}}
+
+fn main() {{
+    int rho = 0;
+    for (it = 0; it < {iters}; it = it + 1) {{
+        halo_exchange();
+        spmv();
+        rho = dot_product();
+        axpy_updates();
+        rho = dot_product();
+        mpi_barrier();
+    }}
+}}
+"#
+    );
+    AppSpec {
+        name: "CG",
+        source,
+        expect_net_sensors: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsensor_analysis::{analyze, AnalysisConfig};
+
+    #[test]
+    fn cg_has_comp_and_net_sensors() {
+        let app = generate(Params::test());
+        let program = app.compile();
+        let a = analyze(&program, &AnalysisConfig::default());
+        let (comp, net, io) = a.instrumented.type_counts();
+        assert!(comp >= 2, "report: {}", a.report);
+        assert!(net >= 2, "report: {}", a.report);
+        assert_eq!(io, 0);
+    }
+
+    #[test]
+    fn cg_sensors_are_process_invariant() {
+        let app = generate(Params::test());
+        let program = app.compile();
+        let a = analyze(&program, &AnalysisConfig::default());
+        // The halo exchange uses rank only to pick neighbours — the
+        // workload (bytes) is invariant, so all sensors allow
+        // inter-process comparison.
+        assert!(a
+            .instrumented
+            .sensors
+            .iter()
+            .all(|s| s.process_invariant));
+    }
+}

@@ -1,0 +1,86 @@
+//! FT analogue: 3-D FFT with all-to-all transposes.
+//!
+//! FT's iteration does local FFT passes along each dimension and a global
+//! `mpi_alltoall` transpose — a single collective that touches every rank,
+//! which is why the paper's network case study (Figure 22, 3.37× slowdown
+//! during interconnect degradation) uses FT. Table 1: 17 Comp + 3 Net.
+
+use crate::{AppSpec, Params};
+
+/// Generate the FT program.
+pub fn generate(p: Params) -> AppSpec {
+    let iters = p.iters;
+    let scale = p.scale as u64;
+    let fft_pass = 30 * scale;
+    let evolve = 10 * scale;
+    let transpose_bytes = 64 * scale;
+    let checksum_bytes = 16;
+
+    let source = format!(
+        r#"
+// FT analogue: local FFT passes + alltoall transposes.
+fn fft_x() {{
+    compute({fft_pass});
+    mem_access({fft_pass});
+}}
+
+fn fft_y() {{
+    compute({fft_pass});
+    mem_access({fft_pass});
+}}
+
+fn fft_z() {{
+    compute({fft_pass});
+    mem_access({fft_pass});
+}}
+
+fn evolve() {{
+    for (k = 0; k < 3; k = k + 1) {{
+        compute({evolve});
+    }}
+}}
+
+fn transpose() {{
+    mpi_alltoall({transpose_bytes});
+}}
+
+fn checksum() -> int {{
+    compute(512);
+    return mpi_allreduce({checksum_bytes});
+}}
+
+fn main() {{
+    int sum = 0;
+    for (it = 0; it < {iters}; it = it + 1) {{
+        evolve();
+        fft_x();
+        fft_y();
+        transpose();
+        fft_z();
+        transpose();
+        sum = checksum();
+    }}
+}}
+"#
+    );
+    AppSpec {
+        name: "FT",
+        source,
+        expect_net_sensors: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsensor_analysis::{analyze, AnalysisConfig};
+
+    #[test]
+    fn ft_has_network_sensors_for_the_transpose() {
+        let app = generate(Params::test());
+        let a = analyze(&app.compile(), &AnalysisConfig::default());
+        let (comp, net, _) = a.instrumented.type_counts();
+        assert!(net >= 2, "transposes + checksum: {}", a.report);
+        assert!(comp >= 3, "fft passes: {}", a.report);
+    }
+}

@@ -1,0 +1,122 @@
+//! LU analogue: SSOR wavefront pipeline.
+//!
+//! LU pipelines lower/upper triangular sweeps across ranks; the pipeline
+//! messages shrink toward the wavefront edges (size varies per step), so —
+//! like BT — its Table 1 instrumentation is pure Comp (83 Comp), while the
+//! inner jacobian/rhs kernels are fixed per iteration.
+
+use crate::{AppSpec, Params};
+
+/// Generate the LU program.
+pub fn generate(p: Params) -> AppSpec {
+    let iters = p.iters;
+    let scale = p.scale as u64;
+    let jac = 14 * scale;
+    let rhs = 10 * scale;
+    let pipe_base = 4 * scale;
+
+    let source = format!(
+        r#"
+// LU analogue: SSOR sweeps with wavefront-varying pipeline messages.
+fn jacld() {{
+    for (k = 0; k < 5; k = k + 1) {{
+        compute({jac});
+        mem_access({jac});
+    }}
+}}
+
+fn jacu() {{
+    for (k = 0; k < 5; k = k + 1) {{
+        compute({jac});
+        mem_access({jac});
+    }}
+}}
+
+fn compute_rhs() {{
+    for (face = 0; face < 4; face = face + 1) {{
+        compute({rhs});
+        mem_access({rhs});
+    }}
+}}
+
+fn pipeline_recv(int step) {{
+    int rank = mpi_comm_rank();
+    if (rank > 0) {{
+        // Wavefront width changes with the step: not fixed.
+        int bytes = {pipe_base} * (step % 4 + 1);
+        mpi_send_val(rank - 1, bytes, 31, step);
+    }}
+}}
+
+fn pipeline_send(int step) {{
+    int rank = mpi_comm_rank();
+    int size = mpi_comm_size();
+    if (rank < size - 1) {{
+        // Expected size follows the wavefront width: not fixed.
+        int got = mpi_recv(rank + 1, {pipe_base} * (step % 4 + 1), 31);
+    }}
+}}
+
+fn blts() {{
+    for (k = 0; k < 4; k = k + 1) {{ compute({jac}); }}
+}}
+
+fn buts() {{
+    for (k = 0; k < 4; k = k + 1) {{ compute({jac}); }}
+}}
+
+fn main() {{
+    for (it = 0; it < {iters}; it = it + 1) {{
+        compute_rhs();
+        for (step = 0; step < 4; step = step + 1) {{
+            jacld();
+            blts();
+            pipeline_recv(step);
+        }}
+        for (step = 0; step < 4; step = step + 1) {{
+            jacu();
+            buts();
+            pipeline_send(step);
+        }}
+        // LU is pipelined: no global barrier per sweep, so (like the
+        // paper's Table 1) its instrumentation stays all-Comp.
+    }}
+}}
+"#
+    );
+    AppSpec {
+        name: "LU",
+        source,
+        expect_net_sensors: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsensor_analysis::{analyze, AnalysisConfig};
+
+    #[test]
+    fn lu_compiles_and_has_comp_sensors() {
+        let app = generate(Params::test());
+        let a = analyze(&app.compile(), &AnalysisConfig::default());
+        let (comp, _net, io) = a.instrumented.type_counts();
+        assert!(comp >= 4, "{}", a.report);
+        assert_eq!(io, 0);
+    }
+
+    #[test]
+    fn lu_varying_pipeline_messages_are_not_sensors() {
+        let app = generate(Params::test());
+        let a = analyze(&app.compile(), &AnalysisConfig::default());
+        // The varying-size send must not be instrumented.
+        for s in &a.instrumented.sensors {
+            assert_ne!(
+                s.ty,
+                vsensor_analysis::SnippetType::Network,
+                "unexpected net sensor at {}",
+                s.span
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! RAxML analogue: phylogenetic likelihood evaluation.
+//!
+//! RAxML evaluates site likelihoods over many small, uniform kernels called
+//! from many places — the paper identifies the largest sensor population
+//! here (277 Comp + 24 Net in Table 1). We generate a family of distinct
+//! per-partition kernel functions plus periodic broadcast/reduce rounds to
+//! reproduce that many-small-sensors shape.
+
+use crate::{AppSpec, Params};
+use std::fmt::Write;
+
+/// Number of generated partition kernels.
+const PARTITIONS: usize = 12;
+
+/// Generate the RAxML program.
+pub fn generate(p: Params) -> AppSpec {
+    let iters = p.iters;
+    let scale = p.scale as u64;
+    let site = 3 * scale;
+    let bcast_bytes = 8 * scale;
+
+    let mut kernels = String::new();
+    let mut calls = String::new();
+    for part in 0..PARTITIONS {
+        // Each partition has a slightly different (but fixed) site count.
+        let sites = site + (part as u64) * scale / 4;
+        let _ = write!(
+            kernels,
+            r#"
+fn partition_{part}_likelihood() {{
+    for (s = 0; s < 4; s = s + 1) {{
+        compute({sites});
+        mem_access({sites});
+    }}
+}}
+
+fn partition_{part}_derivative() {{
+    compute({sites});
+}}
+"#
+        );
+        let _ = write!(
+            calls,
+            "        partition_{part}_likelihood();\n        partition_{part}_derivative();\n"
+        );
+    }
+
+    let source = format!(
+        r#"
+// RAxML analogue: many small fixed kernels + periodic tree broadcasts.
+{kernels}
+fn branch_length_opt() {{
+    for (k = 0; k < 3; k = k + 1) {{
+        compute({site});
+    }}
+}}
+
+fn tree_broadcast() {{
+    mpi_bcast(0, {bcast_bytes});
+}}
+
+fn score_reduce() {{
+    mpi_allreduce(8);
+}}
+
+fn gather_statistics() {{
+    mpi_allgather(64);
+}}
+
+fn main() {{
+    for (gen = 0; gen < {iters}; gen = gen + 1) {{
+{calls}        branch_length_opt();
+        tree_broadcast();
+        score_reduce();
+        gather_statistics();
+    }}
+}}
+"#
+    );
+    AppSpec {
+        name: "RAXML",
+        source,
+        expect_net_sensors: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsensor_analysis::{analyze, AnalysisConfig};
+
+    #[test]
+    fn raxml_has_the_largest_sensor_population() {
+        let app = generate(Params::test());
+        let a = analyze(&app.compile(), &AnalysisConfig::default());
+        let (comp, net, _) = a.instrumented.type_counts();
+        assert!(comp >= PARTITIONS, "{}", a.report);
+        assert!(net >= 2, "{}", a.report);
+    }
+
+    #[test]
+    fn raxml_outnumbers_cg_in_sensors() {
+        let raxml = analyze(
+            &generate(Params::test()).compile(),
+            &AnalysisConfig::default(),
+        );
+        let cg = analyze(
+            &crate::cg::generate(Params::test()).compile(),
+            &AnalysisConfig::default(),
+        );
+        assert!(
+            raxml.report.instrumented_total() > cg.report.instrumented_total(),
+            "raxml {} vs cg {}",
+            raxml.report,
+            cg.report
+        );
+    }
+}

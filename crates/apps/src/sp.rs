@@ -1,0 +1,94 @@
+//! SP analogue: scalar-pentadiagonal ADI sweeps.
+//!
+//! SP is structurally like BT but with scalar solves and *fixed-size*
+//! face exchanges, so its Table 1 instrumentation includes network sensors
+//! (61 Comp + 6 Net) and a mid-range coverage (45 %).
+
+use crate::{AppSpec, Params};
+use std::fmt::Write;
+
+/// Generate the SP program.
+pub fn generate(p: Params) -> AppSpec {
+    let iters = p.iters;
+    let scale = p.scale as u64;
+    let rhs = 12 * scale;
+    let solve = 6 * scale;
+    let face_bytes = 24 * scale;
+
+    let mut kernels = String::new();
+    for dir in ["x", "y", "z"] {
+        let _ = write!(
+            kernels,
+            r#"
+fn {dir}_solve() {{
+    for (line = 0; line < 4; line = line + 1) {{
+        compute({solve});
+        mem_access({solve});
+    }}
+}}
+
+fn {dir}_exchange() {{
+    int rank = mpi_comm_rank();
+    int size = mpi_comm_size();
+    int next = (rank + 1) % size;
+    int prev = (rank + size - 1) % size;
+    mpi_sendrecv(next, {face_bytes}, prev, 41);
+}}
+"#
+        );
+    }
+
+    let source = format!(
+        r#"
+// SP analogue: ADI sweeps with fixed-size face exchanges.
+fn compute_rhs() {{
+    for (face = 0; face < 6; face = face + 1) {{
+        compute({rhs});
+        mem_access({rhs});
+    }}
+}}
+
+fn txinvr() {{
+    for (k = 0; k < 3; k = k + 1) {{ compute({solve}); }}
+}}
+{kernels}
+fn add_update() {{
+    for (k = 0; k < 5; k = k + 1) {{ compute({solve}); }}
+}}
+
+fn main() {{
+    for (it = 0; it < {iters}; it = it + 1) {{
+        compute_rhs();
+        txinvr();
+        x_exchange();
+        x_solve();
+        y_exchange();
+        y_solve();
+        z_exchange();
+        z_solve();
+        add_update();
+    }}
+}}
+"#
+    );
+    AppSpec {
+        name: "SP",
+        source,
+        expect_net_sensors: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsensor_analysis::{analyze, AnalysisConfig};
+
+    #[test]
+    fn sp_has_fixed_net_sensors() {
+        let app = generate(Params::test());
+        let a = analyze(&app.compile(), &AnalysisConfig::default());
+        let (comp, net, _) = a.instrumented.type_counts();
+        assert!(comp >= 4, "{}", a.report);
+        assert!(net >= 3, "three face exchanges: {}", a.report);
+    }
+}

@@ -1,0 +1,96 @@
+//! Analytic performance-model baseline.
+//!
+//! Performance models (Petrini et al.'s ASCI-Q analysis is the paper's
+//! example) predict a run's expected time; comparing against the measured
+//! time quantifies *overall* variance. The paper's critique, which this
+//! implementation makes concrete: the model outputs one scalar per run —
+//! it cannot say which ranks, which time intervals, or which component
+//! degraded — and it must be recalibrated per application.
+
+use cluster_sim::time::Duration;
+
+/// A simple calibrated model: `T(run) ≈ calibration_time`, i.e. the
+/// expected duration learned from a reference (quiet) execution at the
+/// same scale. Richer analytic forms (log-P style terms) can be layered on
+/// via [`AnalyticModel::with_terms`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyticModel {
+    /// Expected execution time at the calibrated configuration.
+    pub expected: Duration,
+    /// Optional per-process-count scaling terms `(alpha, beta)`:
+    /// `T(p) = expected * (alpha + beta * log2(p) / log2(p0))`.
+    terms: Option<(f64, f64, usize)>,
+}
+
+impl AnalyticModel {
+    /// Calibrate from a reference run time.
+    pub fn calibrate(expected: Duration) -> Self {
+        AnalyticModel {
+            expected,
+            terms: None,
+        }
+    }
+
+    /// Add scaling terms calibrated at `p0` processes.
+    pub fn with_terms(mut self, alpha: f64, beta: f64, p0: usize) -> Self {
+        self.terms = Some((alpha, beta, p0.max(2)));
+        self
+    }
+
+    /// Predicted time at `procs` processes.
+    pub fn predict(&self, procs: usize) -> Duration {
+        match self.terms {
+            None => self.expected,
+            Some((alpha, beta, p0)) => {
+                let scale =
+                    alpha + beta * (procs.max(2) as f64).log2() / (p0 as f64).log2();
+                self.expected.mul_f64(scale.max(0.0))
+            }
+        }
+    }
+
+    /// Variance estimate for a measured run: `measured / predicted`. A
+    /// value of 1.0 is nominal; 1.5 means 50 % slower than modelled. This
+    /// single number is all a model-based detector can report.
+    pub fn variance_estimate(&self, measured: Duration, procs: usize) -> f64 {
+        let predicted = self.predict(procs).as_nanos();
+        if predicted == 0 {
+            return 1.0;
+        }
+        measured.as_nanos() as f64 / predicted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_model_predicts_calibration() {
+        let m = AnalyticModel::calibrate(Duration::from_secs(23));
+        assert_eq!(m.predict(128), Duration::from_secs(23));
+        assert_eq!(m.predict(16_384), Duration::from_secs(23));
+    }
+
+    #[test]
+    fn variance_estimate_is_a_ratio() {
+        let m = AnalyticModel::calibrate(Duration::from_secs(23));
+        let v = m.variance_estimate(Duration::from_secs(78), 1024);
+        assert!((v - 78.0 / 23.0).abs() < 1e-9, "FT's 3.37x shows up: {v}");
+    }
+
+    #[test]
+    fn scaling_terms_grow_with_procs() {
+        let m = AnalyticModel::calibrate(Duration::from_secs(10)).with_terms(0.5, 0.5, 128);
+        assert!(m.predict(1024) > m.predict(128));
+        // At the calibration point the model reproduces the reference.
+        let at_p0 = m.predict(128);
+        assert_eq!(at_p0, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn zero_prediction_is_safe() {
+        let m = AnalyticModel::calibrate(Duration::ZERO);
+        assert_eq!(m.variance_estimate(Duration::from_secs(1), 4), 1.0);
+    }
+}

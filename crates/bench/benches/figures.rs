@@ -1,0 +1,98 @@
+//! Criterion benches — one kernel per figure of the evaluation, all at
+//! smoke scale (the `repro` binary regenerates the artifacts at paper
+//! scale; these time the machinery).
+
+use cluster_sim::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use vsensor_bench::*;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig1_variance");
+    g.sample_size(10);
+    g.bench_function("4_submissions", |b| {
+        b.iter(|| fig01_variance::run(Effort::Smoke, 4))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig12_smoothing");
+    g.sample_size(10);
+    g.bench_function("50ms", |b| {
+        b.iter(|| fig12_smoothing::run(Duration::from_millis(50)))
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig13_dynrules");
+    g.sample_size(10);
+    g.bench_function("1200_iters", |b| b.iter(|| fig13_dynrules::run(1200)));
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig14_matrix");
+    g.sample_size(10);
+    g.bench_function("smoke", |b| b.iter(|| fig14_matrix::run(Effort::Smoke)));
+    g.finish();
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig16_distribution");
+    g.sample_size(10);
+    g.bench_function("smoke", |b| b.iter(|| fig16_distribution::run(Effort::Smoke)));
+    g.finish();
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig18_injection");
+    g.sample_size(10);
+    g.bench_function("smoke", |b| b.iter(|| fig18_injection::run(Effort::Smoke)));
+    g.finish();
+}
+
+fn bench_fig21(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig21_badnode");
+    g.sample_size(10);
+    g.bench_function("smoke", |b| b.iter(|| fig21_badnode::run(Effort::Smoke)));
+    g.finish();
+}
+
+fn bench_fig22(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/fig22_network");
+    g.sample_size(10);
+    g.bench_function("smoke", |b| b.iter(|| fig22_network::run(Effort::Smoke)));
+    g.finish();
+}
+
+fn bench_datavolume(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/datavolume");
+    g.sample_size(10);
+    g.bench_function("smoke", |b| b.iter(|| datavolume::run(Effort::Smoke)));
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/ablations");
+    g.sample_size(10);
+    g.bench_function("slice_sweep", |b| {
+        b.iter(|| ablations::slice_sweep(Effort::Smoke, &[100, 1000]))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig16,
+    bench_fig18,
+    bench_fig21,
+    bench_fig22,
+    bench_datavolume,
+    bench_ablations
+);
+criterion_main!(benches);

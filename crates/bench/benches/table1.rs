@@ -1,0 +1,64 @@
+//! Criterion bench for Table 1's pipeline: per-program compile + static
+//! analysis throughput, and one full end-to-end row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsensor::Pipeline;
+use vsensor_analysis::{analyze, AnalysisConfig};
+use vsensor_apps::{all_apps, cg, Params};
+use vsensor_bench::table1_validation;
+
+fn bench_static_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/static");
+    group.sample_size(20);
+    for app in all_apps(Params::test()) {
+        let program = app.compile();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(app.name),
+            &program,
+            |b, program| {
+                b.iter(|| analyze(std::hint::black_box(program), &AnalysisConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/compile");
+    group.sample_size(20);
+    for app in all_apps(Params::test()) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(app.name),
+            &app.source,
+            |b, src| b.iter(|| vsensor_lang::compile(std::hint::black_box(src)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/full_row");
+    group.sample_size(10);
+    let app = cg::generate(Params::test());
+    group.bench_function("CG", |b| {
+        b.iter(|| table1_validation::row(std::hint::black_box(&app), 8))
+    });
+    group.finish();
+}
+
+fn bench_instrumented_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/map_to_source");
+    group.sample_size(20);
+    let prepared = Pipeline::new().prepare(cg::generate(Params::test()).compile());
+    group.bench_function("CG", |b| b.iter(|| prepared.instrumented_source()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_static_analysis,
+    bench_full_row,
+    bench_instrumented_source
+);
+criterion_main!(benches);

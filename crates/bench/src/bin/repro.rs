@@ -1,0 +1,216 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--smoke] [--out DIR] [experiment...]
+//! repro --list
+//! ```
+//!
+//! With no experiment names, runs everything. `--smoke` uses the reduced
+//! scale (what the unit tests run); the default is the full reproduction
+//! scale (use a release build). `--out DIR` additionally writes plottable
+//! artifacts — SVG/PPM heatmaps and CSV series — into `DIR`.
+
+use cluster_sim::time::Duration;
+use std::path::PathBuf;
+use vsensor_bench::*;
+use vsensor_runtime::record::SensorKind;
+use vsensor_viz::{render_ppm, render_svg, HeatmapOptions};
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1", "Figure 1: run-to-run variance of FT on fixed nodes"),
+    ("table1", "Table 1: per-program validation and overhead"),
+    ("fig12", "Figure 12: smoothing out background noise"),
+    ("fig13", "Figure 13: cache-miss dynamic rule"),
+    ("fig14", "Figure 14: normal-run performance matrix"),
+    ("fig16", "Figures 15-17: sense duration/interval distributions"),
+    ("fig18", "Figures 18-20: noise injection, mpiP vs vSensor"),
+    ("fig21", "Figure 21: CG bad-node case study"),
+    ("fig22", "Figure 22: FT network-degradation case study"),
+    ("datavolume", "S6.4: trace volume vs vSensor data volume"),
+    ("fwq", "S1: FWQ benchmark intrusiveness vs vSensor overhead"),
+    ("ablations", "Design-choice ablation sweeps"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (name, desc) in EXPERIMENTS {
+            println!("{name:<12} {desc}");
+        }
+        return;
+    }
+    let effort = if args.iter().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else {
+        Effort::Paper
+    };
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+    let out_args: Vec<String> = out_dir
+        .iter()
+        .map(|d| d.display().to_string())
+        .collect();
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| !out_args.contains(a))
+        .map(String::as_str)
+        .collect();
+    let run_all = selected.is_empty();
+    let want = |name: &str| run_all || selected.contains(&name);
+
+    let mut unknown: Vec<&str> = selected
+        .iter()
+        .copied()
+        .filter(|s| !EXPERIMENTS.iter().any(|(n, _)| n == s))
+        .collect();
+    if !unknown.is_empty() {
+        unknown.sort_unstable();
+        eprintln!("unknown experiment(s): {} — try --list", unknown.join(", "));
+        std::process::exit(2);
+    }
+
+    println!(
+        "vSensor reproduction harness — effort: {:?}\n",
+        effort
+    );
+
+    if want("fig1") {
+        section("fig1");
+        println!("{}", fig01_variance::run(effort, 40).render());
+    }
+    if want("table1") {
+        section("table1");
+        let t = table1_validation::run(effort);
+        println!("{}", t.render());
+        write_artifact(&out_dir, "table1.csv", &t.to_csv());
+    }
+    if want("fig12") {
+        section("fig12");
+        let total = match effort {
+            Effort::Smoke => Duration::from_millis(50),
+            Effort::Paper => Duration::from_millis(200),
+        };
+        let r = fig12_smoothing::run(total);
+        println!("{}", r.render());
+        write_artifact(&out_dir, "fig12.csv", &r.to_csv());
+    }
+    if want("fig13") {
+        section("fig13");
+        let iters = match effort {
+            Effort::Smoke => 1200,
+            Effort::Paper => 6000,
+        };
+        println!("{}", fig13_dynrules::run(iters).render());
+    }
+    if want("fig14") {
+        section("fig14");
+        let r = fig14_matrix::run(effort);
+        println!("{}", r.render());
+        write_matrix(
+            &out_dir,
+            "fig14",
+            r.run.server.matrix(SensorKind::Computation),
+            "Figure 14: computation matrix, normal run",
+            0.5,
+        );
+    }
+    if want("fig16") {
+        section("fig16");
+        let r = fig16_distribution::run(effort);
+        println!("{}", r.render_summary());
+        println!("{}", r.render_durations());
+        println!("{}", r.render_intervals());
+    }
+    if want("fig18") {
+        section("fig18");
+        let r = fig18_injection::run(effort);
+        println!("{}", r.render());
+        write_matrix(
+            &out_dir,
+            "fig20",
+            r.injected_run.server.matrix(SensorKind::Computation),
+            "Figure 20: computation matrix, noise-injected run",
+            0.5,
+        );
+    }
+    if want("fig21") {
+        section("fig21");
+        let r = fig21_badnode::run(effort);
+        println!("{}", r.render());
+        write_matrix(
+            &out_dir,
+            "fig21",
+            r.with_bad_node.server.matrix(SensorKind::Computation),
+            "Figure 21: computation matrix, bad node",
+            0.7,
+        );
+    }
+    if want("fig22") {
+        section("fig22");
+        let r = fig22_network::run(effort);
+        println!("{}", r.render());
+        write_matrix(
+            &out_dir,
+            "fig22",
+            r.degraded.server.matrix(SensorKind::Network),
+            "Figure 22: network matrix, degraded interconnect",
+            0.5,
+        );
+    }
+    if want("datavolume") {
+        section("datavolume");
+        println!("{}", datavolume::run(effort).render());
+    }
+    if want("fwq") {
+        section("fwq");
+        println!("{}", fwq_intrusiveness::run(effort).render());
+    }
+    if want("ablations") {
+        section("ablations");
+        println!("{}", ablations::render_all(effort));
+    }
+}
+
+fn write_artifact(out_dir: &Option<PathBuf>, name: &str, content: &str) {
+    if let Some(dir) = out_dir {
+        let path = dir.join(name);
+        std::fs::write(&path, content).expect("write artifact");
+        println!("[wrote {}]", path.display());
+    }
+}
+
+fn write_matrix(
+    out_dir: &Option<PathBuf>,
+    stem: &str,
+    matrix: &vsensor_runtime::PerformanceMatrix,
+    title: &str,
+    white_at: f64,
+) {
+    let opts = HeatmapOptions {
+        max_cols: 400,
+        max_rows: 256,
+        white_at,
+    };
+    write_artifact(out_dir, &format!("{stem}.svg"), &render_svg(matrix, title, &opts));
+    write_artifact(out_dir, &format!("{stem}.ppm"), &render_ppm(matrix, &opts));
+}
+
+fn section(name: &str) {
+    let desc = EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, d)| *d)
+        .unwrap_or("");
+    println!("{}", "=".repeat(72));
+    println!("== {name}: {desc}");
+    println!("{}", "=".repeat(72));
+}

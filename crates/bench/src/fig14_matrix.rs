@@ -1,0 +1,85 @@
+//! Figure 14: the performance matrix of a normal run.
+//!
+//! CG with 128 processes on a healthy (but realistically noisy) cluster:
+//! the computation matrix shows scattered light dots from OS noise, but no
+//! structured white regions — "the whole program has a good performance in
+//! total."
+
+use std::fmt::Write;
+use std::sync::Arc;
+use vsensor::{scenarios, Pipeline};
+use vsensor_apps::{cg, Params};
+use vsensor_interp::{InstrumentedRun, RunConfig};
+use vsensor_runtime::record::SensorKind;
+use vsensor_viz::{render_ansi, HeatmapOptions};
+
+use crate::Effort;
+
+/// Result: the full run plus a rendered computation matrix.
+pub struct Fig14Result {
+    /// The instrumented run.
+    pub run: InstrumentedRun,
+    /// Ranks used.
+    pub ranks: usize,
+}
+
+/// Run the normal-run matrix experiment.
+pub fn run(effort: Effort) -> Fig14Result {
+    let ranks = effort.ranks(128);
+    let params = match effort {
+        Effort::Smoke => Params::test(),
+        Effort::Paper => Params::bench().with_iters(1200),
+    };
+    let prepared = Pipeline::new().prepare(cg::generate(params).compile());
+    let cluster = Arc::new(scenarios::healthy(ranks).build());
+    let run = prepared.run(cluster, &RunConfig::default());
+    Fig14Result { run, ranks }
+}
+
+impl Fig14Result {
+    /// Render the computation performance matrix and summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let m = self.run.server.matrix(SensorKind::Computation);
+        out.push_str(&render_ansi(
+            m,
+            &format!(
+                "Figure 14: computation performance matrix, normal CG run ({} ranks, {:.1}s)",
+                self.ranks,
+                self.run.run_time.as_secs_f64()
+            ),
+            &HeatmapOptions::default(),
+        ));
+        let _ = writeln!(
+            out,
+            "mean comp performance {:.3}, cells below 0.5: {:.2}%, events: {}",
+            m.mean(),
+            m.fraction_below(0.5) * 100.0,
+            self.run.report.events.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_run_is_mostly_blue() {
+        let r = run(Effort::Smoke);
+        let m = r.run.server.matrix(SensorKind::Computation);
+        assert!(m.mean() > 0.85, "mean {:.3}", m.mean());
+        assert!(
+            m.fraction_below(0.5) < 0.05,
+            "white fraction {:.3}",
+            m.fraction_below(0.5)
+        );
+        // No structured variance events on a healthy cluster.
+        assert!(
+            r.run.report.events.is_empty(),
+            "{:?}",
+            r.run.report.events
+        );
+    }
+}

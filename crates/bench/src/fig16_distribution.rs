@@ -1,0 +1,142 @@
+//! Figures 15-17: the distribution of v-sensors.
+//!
+//! For every program: the sense-duration histogram (Figure 16), the
+//! interval histogram (Figure 17), and the coverage/frequency columns of
+//! Table 1 fall out of the merged per-rank distribution statistics.
+
+use std::fmt::Write;
+use std::sync::Arc;
+use vsensor::{scenarios, Pipeline};
+use vsensor_apps::all_apps;
+use vsensor_interp::RunConfig;
+use vsensor_runtime::distribution::BUCKET_LABELS;
+use vsensor_runtime::DistributionStats;
+use vsensor_viz::render_log_histogram;
+
+use crate::Effort;
+
+/// Per-program distribution data.
+pub struct ProgramDistribution {
+    /// Program name.
+    pub name: &'static str,
+    /// Merged distribution stats across ranks.
+    pub distribution: DistributionStats,
+    /// Sense-time coverage.
+    pub coverage: f64,
+    /// Sense frequency in MHz per process.
+    pub frequency_mhz: f64,
+}
+
+/// All programs' distributions.
+pub struct Fig16Result {
+    /// One entry per program, in Table 1 order.
+    pub programs: Vec<ProgramDistribution>,
+}
+
+/// Run every app and collect distribution statistics.
+pub fn run(effort: Effort) -> Fig16Result {
+    let ranks = effort.ranks(64);
+    let programs = all_apps(effort.params())
+        .iter()
+        .map(|app| {
+            let prepared = Pipeline::new().prepare(app.compile());
+            let cluster = Arc::new(scenarios::healthy(ranks).build());
+            let run = prepared.run(cluster, &RunConfig::default());
+            ProgramDistribution {
+                name: app.name,
+                distribution: run.report.distribution.clone(),
+                coverage: run.report.coverage(),
+                frequency_mhz: run.report.frequency_hz() / 1e6,
+            }
+        })
+        .collect();
+    Fig16Result { programs }
+}
+
+impl Fig16Result {
+    /// Render Figure 16 (durations).
+    pub fn render_durations(&self) -> String {
+        let rows: Vec<(String, Vec<u64>)> = self
+            .programs
+            .iter()
+            .map(|p| (p.name.to_string(), p.distribution.durations.to_vec()))
+            .collect();
+        render_log_histogram("Figure 16: the duration of senses", &BUCKET_LABELS, &rows, 40)
+    }
+
+    /// Render Figure 17 (intervals).
+    pub fn render_intervals(&self) -> String {
+        let rows: Vec<(String, Vec<u64>)> = self
+            .programs
+            .iter()
+            .map(|p| (p.name.to_string(), p.distribution.intervals.to_vec()))
+            .collect();
+        render_log_histogram(
+            "Figure 17: the interval between senses",
+            &BUCKET_LABELS,
+            &rows,
+            40,
+        )
+    }
+
+    /// Render the coverage/frequency summary (Figure 15's quantities).
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Sense coverage and frequency per program:");
+        for p in &self.programs {
+            let _ = writeln!(
+                out,
+                "{:<8} coverage {:>7.2}%  frequency {:>8.3} MHz  senses {}",
+                p.name,
+                p.coverage * 100.0,
+                p.frequency_mhz,
+                p.distribution.sense_count
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_shapes_match_the_paper() {
+        let r = run(Effort::Smoke);
+        assert_eq!(r.programs.len(), 8);
+        for p in &r.programs {
+            // Most senses are fine-grained: the <100us bucket dominates
+            // (Figure 16's observation that none exceed 1s).
+            assert_eq!(p.distribution.durations[3], 0, "{}: >1s senses", p.name);
+            assert!(
+                p.distribution.sense_count > 0,
+                "{}: no senses at all",
+                p.name
+            );
+        }
+        // AMG has the lowest coverage of all programs (§6.3).
+        let amg = r.programs.iter().find(|p| p.name == "AMG").unwrap();
+        for p in r.programs.iter().filter(|p| p.name != "AMG") {
+            assert!(
+                amg.coverage <= p.coverage + 1e-9,
+                "AMG {:.4} vs {} {:.4}",
+                amg.coverage,
+                p.name,
+                p.coverage
+            );
+        }
+    }
+
+    #[test]
+    fn renders_contain_programs_and_buckets() {
+        let r = run(Effort::Smoke);
+        let d = r.render_durations();
+        assert!(d.contains("BT"));
+        assert!(d.contains("<100us"));
+        let i = r.render_intervals();
+        assert!(i.contains("Figure 17"));
+        let s = r.render_summary();
+        assert!(s.contains("coverage"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Figures 18-20: noise injection — mpiP profile vs vSensor matrix.
+//!
+//! The paper runs cg.D.128, injects a CPU/memory "noiser" twice (ranks
+//! 24-47 around 34 s and ranks 72-96 around 66 s, 10 s each), and
+//! compares what an mpiP-style profile shows (MPI time grows, computation
+//! barely moves — misleading) against the vSensor computation matrix
+//! (two crisp white blocks at the right ranks and times).
+
+use std::fmt::Write;
+use std::sync::Arc;
+use vsensor::{scenarios, Pipeline, Prepared};
+use vsensor_apps::{cg, Params};
+use vsensor_baselines::MpipProfile;
+use vsensor_interp::{InstrumentedRun, RunConfig};
+use vsensor_runtime::record::SensorKind;
+use vsensor_viz::{render_ansi, HeatmapOptions};
+
+use crate::Effort;
+
+/// The combined normal/injected comparison.
+pub struct Fig18Result {
+    /// mpiP profile of the normal run (Figure 18).
+    pub normal_profile: MpipProfile,
+    /// mpiP profile of the injected run (Figure 19).
+    pub injected_profile: MpipProfile,
+    /// vSensor run under injection (Figure 20).
+    pub injected_run: InstrumentedRun,
+    /// Ranks used.
+    pub ranks: usize,
+    /// Injection windows in (first_rank, last_rank, from_s, to_s).
+    pub injections: Vec<(usize, usize, u64, u64)>,
+}
+
+fn prepare(effort: Effort) -> (Prepared, usize, RunConfig) {
+    let ranks = effort.ranks(128);
+    // Both efforts run 2500 CG iterations; the work scale (hence virtual
+    // run length) and the matrix resolution shrink together for smoke so
+    // the matrix keeps ~50 columns either way.
+    let (params, resolution_ms) = match effort {
+        Effort::Smoke => (Params::bench().with_iters(2500), 20),
+        Effort::Paper => (Params::full().with_iters(2500), 200),
+    };
+    let mut config = RunConfig::default();
+    config.runtime.matrix_resolution =
+        cluster_sim::Duration::from_millis(resolution_ms);
+    (
+        Pipeline::new().prepare(cg::generate(params).compile()),
+        ranks,
+        config,
+    )
+}
+
+/// Run both campaigns.
+pub fn run(effort: Effort) -> Fig18Result {
+    let (prepared, ranks, config) = prepare(effort);
+    let ranks_per_node = (ranks / 6).max(2);
+
+    // Normal run on the healthy cluster.
+    let normal = prepared.run(
+        Arc::new(
+            scenarios::healthy(ranks)
+                .with_ranks_per_node(ranks_per_node)
+                .build(),
+        ),
+        &config,
+    );
+    let normal_profile =
+        MpipProfile::from_stats(&normal.ranks.iter().map(|r| r.stats).collect::<Vec<_>>());
+
+    // Injected run: two 10%-of-runtime noiser windows on rank blocks,
+    // placed at the paper's proportions of the run (34% and 66% of ~100s).
+    let t = normal.run_time;
+    let at = |pct: u64| cluster_sim::VirtualTime::ZERO + t.mul_f64(pct as f64 / 100.0);
+    let block1 = ranks * 24 / 128..ranks * 48 / 128;
+    let block2 = ranks * 72 / 128..ranks * 97 / 128;
+    let node_range = |b: &std::ops::Range<usize>| {
+        (b.start / ranks_per_node..=(b.end - 1) / ranks_per_node).collect::<Vec<_>>()
+    };
+    let mut cluster = scenarios::healthy(ranks).with_ranks_per_node(ranks_per_node);
+    cluster = cluster.with_injection(cluster_sim::SlowdownWindow::on_nodes(
+        at(34),
+        at(44),
+        3.0,
+        node_range(&block1),
+    ));
+    cluster = cluster.with_injection(cluster_sim::SlowdownWindow::on_nodes(
+        at(66),
+        at(76),
+        3.0,
+        node_range(&block2),
+    ));
+    let injected_run = prepared.run(Arc::new(cluster.build()), &config);
+    let injected_profile = MpipProfile::from_stats(
+        &injected_run
+            .ranks
+            .iter()
+            .map(|r| r.stats)
+            .collect::<Vec<_>>(),
+    );
+
+    Fig18Result {
+        normal_profile,
+        injected_profile,
+        injected_run,
+        ranks,
+        injections: vec![
+            (block1.start, block1.end - 1, 34, 44),
+            (block2.start, block2.end - 1, 66, 76),
+        ],
+    }
+}
+
+impl Fig18Result {
+    /// Render all three artifacts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.normal_profile.render(
+            "Figure 18: mpiP profile, normal run",
+            8,
+        ));
+        out.push('\n');
+        out.push_str(&self.injected_profile.render(
+            "Figure 19: mpiP profile, noise-injected run",
+            8,
+        ));
+        let _ = writeln!(
+            out,
+            "mpiP view: mean MPI time {:.2}s -> {:.2}s (+{:.0}%), mean comp {:.2}s -> {:.2}s — \
+             the profile shifts blame to MPI and cannot localize the noise",
+            self.normal_profile.mean_mpi().as_secs_f64(),
+            self.injected_profile.mean_mpi().as_secs_f64(),
+            (self.injected_profile.mean_mpi().as_secs_f64()
+                / self.normal_profile.mean_mpi().as_secs_f64().max(1e-9)
+                - 1.0)
+                * 100.0,
+            self.normal_profile.mean_compute().as_secs_f64(),
+            self.injected_profile.mean_compute().as_secs_f64(),
+        );
+        out.push('\n');
+        out.push_str(&render_ansi(
+            self.injected_run.server.matrix(SensorKind::Computation),
+            "Figure 20: vSensor computation matrix, noise-injected run",
+            &HeatmapOptions::default(),
+        ));
+        let _ = writeln!(out, "detected events:");
+        for e in &self.injected_run.report.events {
+            let _ = writeln!(out, "  {e}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vsensor_localizes_what_mpip_cannot() {
+        let r = run(Effort::Smoke);
+        // The profiler sees *something* (times grow) but has no location.
+        assert!(
+            r.injected_profile.mean_mpi() + r.injected_profile.mean_compute()
+                > r.normal_profile.mean_mpi() + r.normal_profile.mean_compute(),
+            "injection slows the run"
+        );
+        // vSensor reports computation events covering the injected blocks.
+        let comp_events: Vec<_> = r
+            .injected_run
+            .report
+            .events
+            .iter()
+            .filter(|e| e.kind == SensorKind::Computation)
+            .collect();
+        assert!(!comp_events.is_empty(), "no events: {:?}", r.injected_run.report.events);
+        // Every injected block overlaps at least one event's rank range.
+        for (first, last, _, _) in &r.injections {
+            assert!(
+                comp_events
+                    .iter()
+                    .any(|e| e.first_rank <= *last && *first <= e.last_rank),
+                "block {first}-{last} not localized: {comp_events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_mpi_time_grows_more_than_compute() {
+        // The paper's counter-intuitive mpiP observation: noise inflates
+        // *MPI* time (waiting on delayed peers) more than compute time.
+        let r = run(Effort::Smoke);
+        let mpi_growth = r.injected_profile.mean_mpi().as_secs_f64()
+            / r.normal_profile.mean_mpi().as_secs_f64().max(1e-12);
+        let comp_growth = r.injected_profile.mean_compute().as_secs_f64()
+            / r.normal_profile.mean_compute().as_secs_f64().max(1e-12);
+        assert!(
+            mpi_growth > comp_growth,
+            "mpi x{mpi_growth:.3} vs comp x{comp_growth:.3}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! FWQ intrusiveness — quantifying §1's critique of external benchmarks.
+//!
+//! The paper argues that fixed-work-quanta probes detect variance but are
+//! *intrusive*: they contend with the application for the resources they
+//! measure, adding exactly the kind of perturbation one is trying to find.
+//! vSensor's probes live inside the application and cost <4 %.
+//!
+//! This experiment runs CG three ways — clean, with a co-running FWQ probe
+//! (its duty-cycle interference injected honestly), and instrumented with
+//! vSensor — and compares the slowdown each detection approach imposes.
+
+use std::fmt::Write;
+use std::sync::Arc;
+use vsensor::{scenarios, Pipeline};
+use vsensor_apps::cg;
+use vsensor_baselines::FwqProbe;
+use cluster_sim::node::Work;
+use cluster_sim::time::{Duration, VirtualTime};
+
+use crate::Effort;
+
+/// The three-way comparison.
+pub struct FwqResult {
+    /// Clean (uninstrumented, no probe) run time.
+    pub clean: Duration,
+    /// Run time with the FWQ probe co-running on every node.
+    pub with_fwq: Duration,
+    /// Run time with vSensor instrumentation.
+    pub with_vsensor: Duration,
+    /// The probe's duty cycle.
+    pub fwq_duty: f64,
+    /// Whether the FWQ probe itself detected the cluster as noisy (it
+    /// should NOT on a healthy system — yet its own presence perturbs the
+    /// app far more than vSensor does).
+    pub fwq_detections: usize,
+}
+
+/// Run the comparison on a quiet cluster (so every slowdown is caused by
+/// the detection machinery itself).
+pub fn run(effort: Effort) -> FwqResult {
+    let ranks = effort.ranks(32);
+    let prepared = Pipeline::new().prepare(cg::generate(effort.params()).compile());
+
+    // Clean baseline.
+    let clean_rt = {
+        let r = prepared.run_plain(Arc::new(scenarios::quiet(ranks).build()));
+        r.iter().map(|x| x.end).max().unwrap().since(VirtualTime::ZERO)
+    };
+
+    // FWQ probe: a 50 us quantum every 500 us on every node (a light
+    // probe by benchmarking standards — 10% duty).
+    let probe = FwqProbe {
+        node: 0,
+        quantum: Work::cpu(50_000),
+        period: Duration::from_micros(500),
+    };
+    let horizon = VirtualTime::ZERO + clean_rt.mul_f64(3.0);
+    let mut cfg = scenarios::quiet(ranks);
+    let node_count = cfg.ranks.div_ceil(cfg.ranks_per_node);
+    for node in 0..node_count {
+        let mut w = FwqProbe { node, ..probe.clone() }.interference(VirtualTime::ZERO, horizon);
+        w.nodes = vec![node];
+        cfg = cfg.with_injection(w);
+    }
+    let with_fwq = {
+        let r = prepared.run_plain(Arc::new(cfg.build()));
+        r.iter().map(|x| x.end).max().unwrap().since(VirtualTime::ZERO)
+    };
+
+    // The probe's own measurements on the quiet cluster (no variance to
+    // find — everything it costs is pure overhead).
+    let quiet = scenarios::quiet(ranks).build();
+    let samples = probe.sample(&quiet, VirtualTime::ZERO, VirtualTime::ZERO + clean_rt);
+    let fwq_detections = FwqProbe::detect(&samples, 1.5).len();
+
+    // vSensor instrumentation.
+    let with_vsensor = {
+        let run = prepared.run(
+            Arc::new(scenarios::quiet(ranks).build()),
+            &Default::default(),
+        );
+        run.run_time
+    };
+
+    FwqResult {
+        clean: clean_rt,
+        with_fwq,
+        with_vsensor,
+        fwq_duty: probe.duty_cycle(),
+        fwq_detections,
+    }
+}
+
+impl FwqResult {
+    /// Relative slowdown imposed by the FWQ probe.
+    pub fn fwq_overhead(&self) -> f64 {
+        self.with_fwq.as_secs_f64() / self.clean.as_secs_f64().max(1e-12) - 1.0
+    }
+
+    /// Relative slowdown imposed by vSensor.
+    pub fn vsensor_overhead(&self) -> f64 {
+        self.with_vsensor.as_secs_f64() / self.clean.as_secs_f64().max(1e-12) - 1.0
+    }
+
+    /// Render the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "FWQ intrusiveness vs vSensor overhead (quiet cluster, CG):");
+        let _ = writeln!(out, "  clean run:          {:.3}s", self.clean.as_secs_f64());
+        let _ = writeln!(
+            out,
+            "  with FWQ probe:     {:.3}s  (+{:.1}% — the probe steals {:.0}% of a core)",
+            self.with_fwq.as_secs_f64(),
+            self.fwq_overhead() * 100.0,
+            self.fwq_duty * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  with vSensor:       {:.3}s  (+{:.2}%)",
+            self.with_vsensor.as_secs_f64(),
+            self.vsensor_overhead() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  FWQ false detections on the quiet system: {}",
+            self.fwq_detections
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fwq_perturbs_far_more_than_vsensor() {
+        let r = run(Effort::Smoke);
+        assert!(
+            r.fwq_overhead() > 0.05,
+            "a 10%-duty probe must visibly slow the app: {:.4}",
+            r.fwq_overhead()
+        );
+        assert!(
+            r.vsensor_overhead() < 0.04,
+            "vSensor stays under the paper's 4%: {:.4}",
+            r.vsensor_overhead()
+        );
+        assert!(
+            r.fwq_overhead() > r.vsensor_overhead() * 3.0,
+            "fwq {:.4} vs vsensor {:.4}",
+            r.fwq_overhead(),
+            r.vsensor_overhead()
+        );
+        assert_eq!(r.fwq_detections, 0, "quiet system, no variance to find");
+        assert!(r.render().contains("FWQ intrusiveness"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Virtual time.
+//!
+//! Everything in the simulator runs on a virtual nanosecond timeline: rank
+//! clocks, message arrivals, noise windows, sensor timestamps. Using
+//! integers keeps arithmetic exact and results bit-reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the virtual timeline, in nanoseconds since program start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl VirtualTime {
+    /// Time zero.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Nanoseconds since start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since start, as a float (for display/plots).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        VirtualTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    pub fn from_secs(s: u64) -> Self {
+        VirtualTime(s * 1_000_000_000)
+    }
+
+    /// Duration since `earlier`; saturates to zero if `earlier` is later.
+    pub fn since(self, earlier: VirtualTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (truncated).
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Construct from nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (rounds to nanoseconds).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s * 1e9).round().max(0.0) as u64)
+    }
+
+    /// Scale by a float factor (rounds to nanoseconds).
+    pub fn mul_f64(self, factor: f64) -> Self {
+        Duration((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+impl Add<Duration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: Duration) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for VirtualTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = Duration;
+    fn sub(self, rhs: VirtualTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 10_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 10_000_000 {
+            write!(f, "{:.1}us", ns as f64 / 1e3)
+        } else if ns < 10_000_000_000 {
+            write!(f, "{:.1}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.2}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let t = VirtualTime::from_millis(5) + Duration::from_micros(3);
+        assert_eq!(t.as_nanos(), 5_003_000);
+        assert_eq!((t - VirtualTime::from_millis(5)).as_nanos(), 3_000);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = VirtualTime::from_secs(1);
+        let b = VirtualTime::from_secs(2);
+        assert_eq!(a.since(b), Duration::ZERO);
+        assert_eq!(b.since(a), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_clamps() {
+        assert_eq!(Duration::from_nanos(10).mul_f64(1.26).as_nanos(), 13);
+        assert_eq!(Duration::from_nanos(10).mul_f64(-1.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn display_picks_readable_units() {
+        assert_eq!(Duration::from_nanos(123).to_string(), "123ns");
+        assert_eq!(Duration::from_micros(120).to_string(), "120.0us");
+        assert_eq!(Duration::from_millis(15).to_string(), "15.0ms");
+        assert_eq!(Duration::from_secs(80).to_string(), "80.00s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [1u64, 2, 3].into_iter().map(Duration::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 6);
+    }
+}

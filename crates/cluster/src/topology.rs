@@ -1,0 +1,94 @@
+//! Rank-to-node placement.
+//!
+//! MPI ranks are packed onto nodes in blocks (rank 0..cores-1 on node 0,
+//! and so on), matching how schedulers place dense jobs. The bad-node case
+//! study relies on this: all slow processes in Figure 21 sit on one node.
+
+/// Placement of `ranks` MPI processes onto nodes with `ranks_per_node`
+/// slots each.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    ranks: usize,
+    ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Create a block placement. `ranks_per_node` must be positive.
+    pub fn block(ranks: usize, ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+        Topology {
+            ranks,
+            ranks_per_node,
+        }
+    }
+
+    /// Number of ranks placed.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Ranks per node.
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// Number of nodes used (ceiling division).
+    pub fn node_count(&self) -> usize {
+        self.ranks.div_ceil(self.ranks_per_node)
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        assert!(rank < self.ranks, "rank {rank} out of range {}", self.ranks);
+        rank / self.ranks_per_node
+    }
+
+    /// All ranks hosted on `node`, as a range.
+    pub fn ranks_on(&self, node: usize) -> std::ops::Range<usize> {
+        let start = node * self.ranks_per_node;
+        let end = ((node + 1) * self.ranks_per_node).min(self.ranks);
+        start..end
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_basics() {
+        let t = Topology::block(256, 24);
+        assert_eq!(t.node_count(), 11);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(23), 0);
+        assert_eq!(t.node_of(24), 1);
+        assert_eq!(t.node_of(255), 10);
+    }
+
+    #[test]
+    fn ranks_on_handles_partial_last_node() {
+        let t = Topology::block(50, 24);
+        assert_eq!(t.ranks_on(0), 0..24);
+        assert_eq!(t.ranks_on(1), 24..48);
+        assert_eq!(t.ranks_on(2), 48..50);
+    }
+
+    #[test]
+    fn same_node_is_symmetric() {
+        let t = Topology::block(48, 24);
+        assert!(t.same_node(0, 23));
+        assert!(!t.same_node(23, 24));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rank_panics() {
+        let t = Topology::block(8, 4);
+        let _ = t.node_of(8);
+    }
+}

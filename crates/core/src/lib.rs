@@ -1,0 +1,46 @@
+//! vSensor — the complete tool chain (Figure 2).
+//!
+//! This crate ties the static and dynamic modules into the workflow the
+//! paper describes: compile MiniHPC source, identify v-sensors, map them to
+//! source, instrument, run on a simulated cluster, analyze on-line, and
+//! report/visualize.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vsensor::{Pipeline, scenarios};
+//!
+//! let prepared = Pipeline::new()
+//!     .compile(
+//!         r#"
+//!         fn main() {
+//!             for (it = 0; it < 50; it = it + 1) {
+//!                 for (k = 0; k < 8; k = k + 1) { compute(2000); }
+//!                 mpi_barrier();
+//!             }
+//!         }
+//!         "#,
+//!     )
+//!     .unwrap();
+//! assert!(prepared.sensor_count() > 0);
+//!
+//! let cluster = Arc::new(scenarios::quiet(4).build());
+//! let run = prepared.run(cluster, &Default::default());
+//! assert!(run.report.events.is_empty(), "quiet cluster, no variance");
+//! ```
+
+pub mod pipeline;
+pub mod scenarios;
+
+pub use pipeline::{Pipeline, Prepared};
+
+// Re-export the component crates under one roof, the way a downstream
+// user would consume them.
+pub use cluster_sim;
+pub use simmpi;
+pub use vsensor_analysis as analysis;
+pub use vsensor_apps as apps;
+pub use vsensor_baselines as baselines;
+pub use vsensor_interp as interp;
+pub use vsensor_lang as lang;
+pub use vsensor_runtime as runtime;
+pub use vsensor_viz as viz;

@@ -1,0 +1,110 @@
+//! Canned cluster scenarios for the paper's experiments.
+//!
+//! Each scenario returns a [`ClusterConfig`] modelling one of the
+//! situations the evaluation encounters on Tianhe-2; the `repro` harness
+//! and the examples build on these.
+
+use cluster_sim::time::VirtualTime;
+use cluster_sim::{ClusterConfig, NetworkConfig, NodeSpec, SlowdownWindow};
+
+/// Perfectly quiet cluster: no noise, exact PMU. Baseline for overhead
+/// measurements and unit tests.
+pub fn quiet(ranks: usize) -> ClusterConfig {
+    ClusterConfig::quiet(ranks)
+}
+
+/// Default healthy cluster with realistic background OS noise (1 kHz tick,
+/// ±2 % jitter) — the "normal run" of Figure 14.
+pub fn healthy(ranks: usize) -> ClusterConfig {
+    ClusterConfig::healthy(ranks)
+}
+
+/// The §6.5 / Figure 21 scenario: one node's memory subsystem at 55 % of
+/// nominal performance — the bad node found with CG-256.
+pub fn bad_node(ranks: usize, node: usize, mem_perf: f64) -> ClusterConfig {
+    ClusterConfig::healthy(ranks).with_node(node, NodeSpec::slow_memory(mem_perf))
+}
+
+/// The §6.5 / Figure 22 scenario: interconnect degradation during
+/// `[from, to)` seconds slowing network transfers by `factor` — FT-1024's
+/// 3.37× slowdown came from such a window (16 s - 67 s).
+pub fn network_degradation(ranks: usize, from_s: u64, to_s: u64, factor: f64) -> ClusterConfig {
+    let network = NetworkConfig::default().with_degradation(
+        VirtualTime::from_secs(from_s),
+        VirtualTime::from_secs(to_s),
+        factor,
+    );
+    ClusterConfig::healthy(ranks).with_network(network)
+}
+
+/// The §6.4 / Figures 19-20 scenario: a "noiser" program co-runs on the
+/// nodes hosting the given rank blocks, stealing CPU during the windows.
+/// The paper injects twice for 10 s each: ranks 24-47 at 34 s and ranks
+/// 72-96 at 66 s.
+pub fn noise_injection(
+    ranks: usize,
+    ranks_per_node: usize,
+    injections: &[(std::ops::Range<usize>, u64, u64, f64)],
+) -> ClusterConfig {
+    let mut config = ClusterConfig::healthy(ranks).with_ranks_per_node(ranks_per_node);
+    for (rank_range, from_s, to_s, factor) in injections {
+        let first_node = rank_range.start / ranks_per_node;
+        let last_node = (rank_range.end.saturating_sub(1)) / ranks_per_node;
+        let nodes: Vec<usize> = (first_node..=last_node).collect();
+        config = config.with_injection(SlowdownWindow::on_nodes(
+            VirtualTime::from_secs(*from_s),
+            VirtualTime::from_secs(*to_s),
+            *factor,
+            nodes,
+        ));
+    }
+    config
+}
+
+/// The paper's standard injection for cg.D.128 (Figures 19-20): noise on
+/// ranks 24-47 at 34 s and ranks 72-96 at 66 s, 10 s each.
+pub fn paper_noise_injection(total_virtual_secs: u64) -> ClusterConfig {
+    // Scale the injection instants to the requested run length, keeping
+    // the paper's proportions (34/100 and 66/100 of a 100 s run).
+    let s = |frac_num: u64| total_virtual_secs * frac_num / 100;
+    noise_injection(
+        128,
+        24,
+        &[
+            (24..48, s(34), s(44), 3.0),
+            (72..97, s(66), s(76), 3.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::node::Work;
+
+    #[test]
+    fn bad_node_slows_only_its_ranks() {
+        let c = bad_node(48, 1, 0.55).build();
+        let good = c.compute_elapsed(0, VirtualTime::ZERO, Work::mem(100_000), 0.0, 1);
+        let bad = c.compute_elapsed(24, VirtualTime::ZERO, Work::mem(100_000), 0.0, 1);
+        assert!(bad.as_nanos() as f64 > good.as_nanos() as f64 * 1.5);
+    }
+
+    #[test]
+    fn degradation_scales_network_costs_inside_window() {
+        let c = network_degradation(64, 16, 67, 8.0).build();
+        let before = c.p2p_cost(0, 30, 1 << 20, VirtualTime::from_secs(5));
+        let during = c.p2p_cost(0, 30, 1 << 20, VirtualTime::from_secs(30));
+        assert_eq!(during.as_nanos(), before.as_nanos() * 8);
+    }
+
+    #[test]
+    fn injections_map_rank_ranges_to_nodes() {
+        let c = paper_noise_injection(100).build();
+        let w = Work::cpu(1_000_000);
+        // Rank 30 (node 1) is hit at 38s; rank 0 (node 0) is not.
+        let hit = c.compute_elapsed(30, VirtualTime::from_secs(38), w, 0.0, 1);
+        let clean = c.compute_elapsed(0, VirtualTime::from_secs(38), w, 0.0, 1);
+        assert!(hit.as_nanos() as f64 > clean.as_nanos() as f64 * 2.0);
+    }
+}

@@ -1,0 +1,825 @@
+//! The interpreter core.
+//!
+//! One [`Machine`] runs the program for one rank. It owns the variable
+//! environments and a pending-work accumulator: cheap IR operations add a
+//! few work units each, bulk builtins add many, and the accumulator is
+//! converted into virtual time through [`simmpi::Proc::compute`] at
+//! synchronization points (MPI calls, probes, or when a chunk threshold is
+//! reached — so noise windows slice long computations accurately).
+
+use crate::builtins;
+use crate::validate::ValidationStats;
+use crate::values::{Env, Value};
+use cluster_sim::node::Work;
+use cluster_sim::time::VirtualTime;
+use simmpi::Proc;
+use std::fmt;
+use std::sync::Arc;
+use vsensor_lang::{
+    BinOp, Block, CallSite, Expr, Function, GlobalInit, LValue, Program, SensorId, Stmt, UnOp,
+};
+use vsensor_runtime::dynrules::SenseMetrics;
+use vsensor_runtime::{AnalysisServer, SensorRuntime};
+
+/// Work-unit costs of IR operations (1 unit ≈ 1 ns on a healthy node).
+mod cost {
+    /// Per evaluated expression node.
+    pub const EXPR_NODE: u64 = 1;
+    /// Per executed statement.
+    pub const STMT: u64 = 2;
+    /// Per loop iteration (condition + branch).
+    pub const LOOP_ITER: u64 = 2;
+    /// Per function call (frame setup).
+    pub const CALL: u64 = 8;
+    /// Memory component per array element access.
+    pub const ARRAY_MEM: u64 = 2;
+    /// Flush the pending-work accumulator when it exceeds this.
+    pub const CHUNK: u64 = 1 << 16;
+}
+
+/// A runtime error with a message (locations come from the enclosing call
+/// chain in panics; the interpreter is deterministic so errors reproduce).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ExecError {
+    /// Construct an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        ExecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Control flow out of a statement.
+enum Flow {
+    Normal,
+    Return(Value),
+    Break,
+    Continue,
+}
+
+/// The per-rank interpreter.
+pub struct Machine<'w> {
+    program: Arc<Program>,
+    proc: &'w mut Proc,
+    globals: Env,
+    pending: Work,
+    miss_rate: f64,
+    /// Sensor machinery; absent for plain (uninstrumented) runs.
+    sensors: Option<SensorHarness>,
+    /// Work counter since machine start (drives PMU sampling keys and
+    /// per-sense instruction counts).
+    work_total: u64,
+    /// Open senses: (sensor, work counter at tick).
+    open_senses: Vec<(SensorId, u64)>,
+    validation: ValidationStats,
+    rand_state: u64,
+    call_depth: usize,
+}
+
+/// Sensor runtime plus the shared server.
+pub struct SensorHarness {
+    /// Per-rank dynamic module.
+    pub runtime: SensorRuntime,
+    /// Shared analysis server.
+    pub server: Arc<AnalysisServer>,
+}
+
+impl<'w> Machine<'w> {
+    /// Create a machine for one rank. Pass `sensors` for instrumented runs.
+    pub fn new(
+        program: Arc<Program>,
+        proc: &'w mut Proc,
+        sensors: Option<SensorHarness>,
+    ) -> Self {
+        let mut globals = Env::new();
+        for g in &program.globals {
+            let v = match g.init {
+                GlobalInit::Int(v) => Value::Int(v),
+                GlobalInit::Float(v) => Value::Float(v),
+            };
+            globals.declare(&g.name, v);
+        }
+        let rand_seed = 0x7ea5_0000 ^ proc.rank() as u64;
+        Machine {
+            program,
+            proc,
+            globals,
+            pending: Work::default(),
+            miss_rate: 0.0,
+            sensors,
+            work_total: 0,
+            open_senses: Vec::new(),
+            validation: ValidationStats::default(),
+            rand_state: rand_seed,
+            call_depth: 0,
+        }
+    }
+
+    /// Execute `main`; returns the finalized sensor state.
+    pub fn run(mut self) -> Result<MachineResult, ExecError> {
+        let main = self
+            .program
+            .clone()
+            .function_index("main")
+            .ok_or_else(|| ExecError::new("program has no `main`"))?;
+        let func = self.program.functions[main].clone();
+        self.call_function(&func, Vec::new())?;
+        self.sync_clock();
+        let end = self.proc.now();
+        let mut batch_tail = Vec::new();
+        let mut distribution = Default::default();
+        let mut local_variances = 0;
+        if let Some(h) = &mut self.sensors {
+            batch_tail = h.runtime.finish(end);
+            distribution = h.runtime.distribution().clone();
+            local_variances = h.runtime.local_variances();
+        }
+        if let Some(h) = &self.sensors {
+            if !batch_tail.is_empty() {
+                h.server.submit(self.proc.rank(), batch_tail);
+            }
+        }
+        Ok(MachineResult {
+            end,
+            stats: self.proc.stats(),
+            distribution,
+            validation: self.validation,
+            local_variances,
+        })
+    }
+
+    // ----- accessors used by builtins -----
+
+    /// Rank of this machine.
+    pub fn rank(&self) -> usize {
+        self.proc.rank()
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.proc.size()
+    }
+
+    /// Hosting node.
+    pub fn node_id(&self) -> usize {
+        self.proc.node_id()
+    }
+
+    /// The underlying MPI process handle. Callers must [`Self::sync_clock`]
+    /// first so communication sees an up-to-date clock.
+    pub fn proc(&mut self) -> &mut Proc {
+        self.proc
+    }
+
+    /// Set the current cache-miss rate (the `cache_phase` builtin).
+    pub fn set_miss_rate(&mut self, rate: f64) {
+        // Flush work accumulated under the old rate first.
+        self.sync_clock();
+        self.miss_rate = rate;
+    }
+
+    /// Deterministic per-rank pseudo-random value (the `rand` builtin).
+    pub fn next_rand(&mut self) -> i64 {
+        // xorshift64*
+        let mut x = self.rand_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rand_state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 1) as i64
+    }
+
+    /// Add bulk work (the `compute`/`mem_access` builtins).
+    pub fn charge_bulk(&mut self, work: Work) {
+        self.pending = self.pending.plus(work);
+        self.work_total += work.total();
+        if self.pending.total() >= cost::CHUNK {
+            self.sync_clock();
+        }
+    }
+
+    fn charge(&mut self, cpu: u64) {
+        self.pending.cpu += cpu;
+        self.work_total += cpu;
+        if self.pending.total() >= cost::CHUNK {
+            self.sync_clock();
+        }
+    }
+
+    fn charge_mem(&mut self, mem: u64) {
+        self.pending.mem += mem;
+        self.work_total += mem;
+    }
+
+    /// Convert all pending work into virtual time.
+    pub fn sync_clock(&mut self) {
+        if self.pending.total() > 0 {
+            let w = std::mem::take(&mut self.pending);
+            self.proc.compute(w, self.miss_rate);
+        }
+    }
+
+    // ----- probes -----
+
+    fn on_tick(&mut self, sensor: SensorId) {
+        self.sync_clock();
+        let now = self.proc.now();
+        if let Some(h) = &mut self.sensors {
+            let outcome = h.runtime.tick(sensor, now);
+            self.proc.advance(outcome.cost);
+        }
+        self.open_senses.push((sensor, self.work_total));
+    }
+
+    fn on_tock(&mut self, sensor: SensorId) {
+        self.sync_clock();
+        let now = self.proc.now();
+        // Pop the matching open sense (probes are balanced by the
+        // instrumentation pass, but tolerate mismatches defensively).
+        let opened = match self.open_senses.pop() {
+            Some((s, w)) if s == sensor => Some(w),
+            Some(other) => {
+                self.open_senses.push(other);
+                None
+            }
+            None => None,
+        };
+        if let Some(work_at_tick) = opened {
+            let true_work = self.work_total - work_at_tick;
+            let measured = self
+                .proc
+                .cluster()
+                .pmu()
+                .measure_instructions(true_work, self.work_total ^ now.as_nanos());
+            self.validation.observe(sensor, measured);
+        }
+        let metrics = SenseMetrics {
+            cache_miss_rate: self.miss_rate,
+        };
+        let rank = self.proc.rank();
+        if let Some(h) = &mut self.sensors {
+            let outcome = h.runtime.tock(sensor, now, metrics);
+            self.proc.advance(outcome.cost);
+            if h.runtime.flush_due(now) {
+                let batch = h.runtime.take_batch(now);
+                h.server.submit(rank, batch);
+            }
+        }
+    }
+
+    // ----- execution -----
+
+    fn call_function(&mut self, func: &Function, args: Vec<Value>) -> Result<Value, ExecError> {
+        if self.call_depth > 256 {
+            return Err(ExecError::new("call depth exceeded (runaway recursion)"));
+        }
+        self.call_depth += 1;
+        self.charge(cost::CALL);
+        let mut env = Env::new();
+        for ((name, _), value) in func.params.iter().zip(args) {
+            env.declare(name, value);
+        }
+        let flow = self.exec_block(&func.body, &mut env)?;
+        self.call_depth -= 1;
+        Ok(match flow {
+            Flow::Return(v) => v,
+            Flow::Normal => Value::Int(0),
+            Flow::Break | Flow::Continue => {
+                return Err(ExecError::new("`break`/`continue` outside of a loop"))
+            }
+        })
+    }
+
+    fn exec_block(&mut self, block: &Block, env: &mut Env) -> Result<Flow, ExecError> {
+        for stmt in &block.stmts {
+            match self.exec_stmt(stmt, env)? {
+                Flow::Normal => {}
+                ret => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, env: &mut Env) -> Result<Flow, ExecError> {
+        self.charge(cost::STMT);
+        match stmt {
+            Stmt::Decl { name, ty, init, .. } => {
+                let v = match init {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::Int(0),
+                };
+                let v = coerce_scalar(v, *ty);
+                env.declare(name, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::ArrayDecl { name, ty, len, .. } => {
+                let n = self
+                    .eval(len, env)?
+                    .as_int()
+                    .ok_or_else(|| ExecError::new("array length must be integer"))?;
+                if n < 0 {
+                    return Err(ExecError::new(format!("negative array length {n}")));
+                }
+                let v = match ty {
+                    vsensor_lang::ast::Type::Int => Value::IntArray(vec![0; n as usize]),
+                    vsensor_lang::ast::Type::Float => Value::FloatArray(vec![0.0; n as usize]),
+                };
+                self.charge_mem(n as u64 / 8);
+                env.declare(name, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, value, .. } => {
+                let v = self.eval(value, env)?;
+                match target {
+                    LValue::Var(name) => {
+                        if !env.set(name, v.clone()) && !self.globals.set(name, v) {
+                            return Err(ExecError::new(format!("assignment to unbound `{name}`")));
+                        }
+                    }
+                    LValue::Index { name, index } => {
+                        let i = self
+                            .eval(index, env)?
+                            .as_int()
+                            .ok_or_else(|| ExecError::new("array index must be integer"))?;
+                        self.charge_mem(cost::ARRAY_MEM);
+                        let slot = env
+                            .get_mut(name)
+                            .or_else(|| self.globals.get_mut(name))
+                            .ok_or_else(|| ExecError::new(format!("unknown array `{name}`")))?;
+                        store_element(slot, i, v)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                let c = self.eval(cond, env)?;
+                env.push();
+                let flow = if c.truthy() {
+                    self.exec_block(then_blk, env)
+                } else {
+                    self.exec_block(else_blk, env)
+                };
+                env.pop();
+                flow
+            }
+            Stmt::Loop {
+                var,
+                init,
+                cond,
+                step,
+                body,
+                kind,
+                ..
+            } => {
+                env.push();
+                if *kind == vsensor_lang::LoopKind::For {
+                    let v = self.eval(init, env)?;
+                    env.declare(var, v);
+                }
+                loop {
+                    self.charge(cost::LOOP_ITER);
+                    if !self.eval(cond, env)?.truthy() {
+                        break;
+                    }
+                    env.push();
+                    let flow = self.exec_block(body, env)?;
+                    env.pop();
+                    match flow {
+                        Flow::Return(v) => {
+                            env.pop();
+                            return Ok(Flow::Return(v));
+                        }
+                        Flow::Break => break,
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if *kind == vsensor_lang::LoopKind::For {
+                        let v = self.eval(step, env)?;
+                        env.set(var, v);
+                    }
+                }
+                env.pop();
+                Ok(Flow::Normal)
+            }
+            Stmt::Call(c) => {
+                self.eval_call(c, env)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::Int(0),
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break { .. } => Ok(Flow::Break),
+            Stmt::Continue { .. } => Ok(Flow::Continue),
+            Stmt::Tick(s) => {
+                self.on_tick(*s);
+                Ok(Flow::Normal)
+            }
+            Stmt::Tock(s) => {
+                self.on_tock(*s);
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval_call(&mut self, c: &CallSite, env: &mut Env) -> Result<Value, ExecError> {
+        let mut args = Vec::with_capacity(c.args.len());
+        for a in &c.args {
+            args.push(self.eval(a, env)?);
+        }
+        if let Some(fi) = self.program.function_index(&c.callee) {
+            let func = self.program.functions[fi].clone();
+            return self.call_function(&func, args);
+        }
+        match builtins::call_builtin(self, &c.callee, &args) {
+            Some(r) => r,
+            None => Err(ExecError::new(format!(
+                "call to unknown function `{}` at {}",
+                c.callee, c.span
+            ))),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Env) -> Result<Value, ExecError> {
+        self.charge(cost::EXPR_NODE);
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Var(name) => env
+                .get(name)
+                .or_else(|| self.globals.get(name))
+                .cloned()
+                .ok_or_else(|| ExecError::new(format!("unbound variable `{name}`"))),
+            Expr::Index { name, index } => {
+                let i = self
+                    .eval(index, env)?
+                    .as_int()
+                    .ok_or_else(|| ExecError::new("array index must be integer"))?;
+                self.charge_mem(cost::ARRAY_MEM);
+                let arr = env
+                    .get(name)
+                    .or_else(|| self.globals.get(name))
+                    .ok_or_else(|| ExecError::new(format!("unknown array `{name}`")))?;
+                load_element(arr, i)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(operand, env)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(x) => Ok(Value::Int(-x)),
+                        Value::Float(x) => Ok(Value::Float(-x)),
+                        _ => Err(ExecError::new("cannot negate array")),
+                    },
+                    UnOp::Not => Ok(Value::Int(!v.truthy() as i64)),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Short-circuit logicals.
+                match op {
+                    BinOp::And => {
+                        let l = self.eval(lhs, env)?;
+                        if !l.truthy() {
+                            return Ok(Value::Int(0));
+                        }
+                        let r = self.eval(rhs, env)?;
+                        return Ok(Value::Int(r.truthy() as i64));
+                    }
+                    BinOp::Or => {
+                        let l = self.eval(lhs, env)?;
+                        if l.truthy() {
+                            return Ok(Value::Int(1));
+                        }
+                        let r = self.eval(rhs, env)?;
+                        return Ok(Value::Int(r.truthy() as i64));
+                    }
+                    _ => {}
+                }
+                let l = self.eval(lhs, env)?;
+                let r = self.eval(rhs, env)?;
+                binop(*op, l, r)
+            }
+            Expr::Call(c) => self.eval_call(c, env),
+        }
+    }
+}
+
+/// Result of running one rank.
+#[derive(Clone, Debug)]
+pub struct MachineResult {
+    /// Final virtual time.
+    pub end: VirtualTime,
+    /// MPI/compute/IO accounting.
+    pub stats: simmpi::ProcStats,
+    /// Sense-distribution statistics (empty for plain runs).
+    pub distribution: vsensor_runtime::DistributionStats,
+    /// PMU validation data.
+    pub validation: ValidationStats,
+    /// Locally-flagged variance records.
+    pub local_variances: u64,
+}
+
+fn coerce_scalar(v: Value, ty: vsensor_lang::ast::Type) -> Value {
+    match (ty, &v) {
+        (vsensor_lang::ast::Type::Int, Value::Float(f)) => Value::Int(*f as i64),
+        (vsensor_lang::ast::Type::Float, Value::Int(i)) => Value::Float(*i as f64),
+        _ => v,
+    }
+}
+
+fn load_element(arr: &Value, i: i64) -> Result<Value, ExecError> {
+    let check = |len: usize| -> Result<usize, ExecError> {
+        if i < 0 || i as usize >= len {
+            Err(ExecError::new(format!(
+                "array index {i} out of bounds (len {len})"
+            )))
+        } else {
+            Ok(i as usize)
+        }
+    };
+    match arr {
+        Value::IntArray(a) => Ok(Value::Int(a[check(a.len())?])),
+        Value::FloatArray(a) => Ok(Value::Float(a[check(a.len())?])),
+        _ => Err(ExecError::new("indexing a scalar")),
+    }
+}
+
+fn store_element(slot: &mut Value, i: i64, v: Value) -> Result<(), ExecError> {
+    match slot {
+        Value::IntArray(a) => {
+            let len = a.len();
+            if i < 0 || i as usize >= len {
+                return Err(ExecError::new(format!(
+                    "array index {i} out of bounds (len {len})"
+                )));
+            }
+            a[i as usize] = v
+                .as_int()
+                .ok_or_else(|| ExecError::new("storing non-scalar into int array"))?;
+            Ok(())
+        }
+        Value::FloatArray(a) => {
+            let len = a.len();
+            if i < 0 || i as usize >= len {
+                return Err(ExecError::new(format!(
+                    "array index {i} out of bounds (len {len})"
+                )));
+            }
+            a[i as usize] = v
+                .as_float()
+                .ok_or_else(|| ExecError::new("storing non-scalar into float array"))?;
+            Ok(())
+        }
+        _ => Err(ExecError::new("indexing a scalar")),
+    }
+}
+
+fn binop(op: BinOp, l: Value, r: Value) -> Result<Value, ExecError> {
+    use BinOp::*;
+    // Promote to float if either side is float.
+    if matches!(l, Value::Float(_)) || matches!(r, Value::Float(_)) {
+        let (a, b) = (
+            l.as_float().ok_or_else(|| ExecError::new("array in arithmetic"))?,
+            r.as_float().ok_or_else(|| ExecError::new("array in arithmetic"))?,
+        );
+        return Ok(match op {
+            Add => Value::Float(a + b),
+            Sub => Value::Float(a - b),
+            Mul => Value::Float(a * b),
+            Div => Value::Float(a / b),
+            Rem => Value::Float(a % b),
+            Lt => Value::Int((a < b) as i64),
+            Le => Value::Int((a <= b) as i64),
+            Gt => Value::Int((a > b) as i64),
+            Ge => Value::Int((a >= b) as i64),
+            Eq => Value::Int((a == b) as i64),
+            Ne => Value::Int((a != b) as i64),
+            And | Or => unreachable!("short-circuited"),
+        });
+    }
+    let (a, b) = (
+        l.as_int().ok_or_else(|| ExecError::new("array in arithmetic"))?,
+        r.as_int().ok_or_else(|| ExecError::new("array in arithmetic"))?,
+    );
+    Ok(match op {
+        Add => Value::Int(a.wrapping_add(b)),
+        Sub => Value::Int(a.wrapping_sub(b)),
+        Mul => Value::Int(a.wrapping_mul(b)),
+        Div => {
+            if b == 0 {
+                return Err(ExecError::new("integer division by zero"));
+            }
+            Value::Int(a.wrapping_div(b))
+        }
+        Rem => {
+            if b == 0 {
+                return Err(ExecError::new("integer remainder by zero"));
+            }
+            Value::Int(a.wrapping_rem(b))
+        }
+        Lt => Value::Int((a < b) as i64),
+        Le => Value::Int((a <= b) as i64),
+        Gt => Value::Int((a > b) as i64),
+        Ge => Value::Int((a >= b) as i64),
+        Eq => Value::Int((a == b) as i64),
+        Ne => Value::Int((a != b) as i64),
+        And | Or => unreachable!("short-circuited"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::ClusterConfig;
+    use simmpi::World;
+
+    /// Run an uninstrumented program on `ranks` quiet ranks, returning the
+    /// per-rank results.
+    fn run_src(src: &str, ranks: usize) -> Vec<MachineResult> {
+        let program = Arc::new(vsensor_lang::compile(src).unwrap());
+        let cluster = Arc::new(ClusterConfig::quiet(ranks).build());
+        let world = World::new(cluster);
+        world.run(|proc| {
+            Machine::new(program.clone(), proc, None)
+                .run()
+                .expect("program runs")
+        })
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        // Compute a known value through loops/branches/calls and signal it
+        // via an allreduce so the test can observe it.
+        let src = r#"
+            fn tri(int n) -> int {
+                int s = 0;
+                for (i = 1; i <= n; i = i + 1) { s = s + i; }
+                return s;
+            }
+            fn main() {
+                int x = tri(10);           // 55
+                if (x == 55) { x = x + 1; } else { x = 0; }
+                mpi_allreduce_val(8, x);   // 56 * ranks
+            }
+        "#;
+        let results = run_src(src, 2);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].end > VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn compute_advances_virtual_time_exactly() {
+        let results = run_src("fn main() { compute(1000000); }", 1);
+        // 1e6 cpu units ≈ 1 ms; small constant overhead for statements.
+        let ns = results[0].end.as_nanos();
+        assert!((1_000_000..1_010_000).contains(&ns), "got {ns}");
+    }
+
+    #[test]
+    fn ranks_communicate_values() {
+        let src = r#"
+            fn main() {
+                int rank = mpi_comm_rank();
+                int size = mpi_comm_size();
+                if (rank == 0) {
+                    int peer = 1;
+                    mpi_send_val(peer, 64, 7, 42);
+                } else {
+                    int got = mpi_recv(0, 64, 7);
+                    if (got != 42) { explode(); } // unknown fn -> error
+                }
+            }
+        "#;
+        let results = run_src(src, 2);
+        assert_eq!(results.len(), 2, "no rank exploded");
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let program = Arc::new(
+            vsensor_lang::compile("fn main() { int x = 0; int y = 5 / x; }").unwrap(),
+        );
+        let cluster = Arc::new(ClusterConfig::quiet(1).build());
+        let world = World::new(cluster);
+        let errs = world.run(|proc| {
+            Machine::new(program.clone(), proc, None).run().unwrap_err()
+        });
+        assert!(errs[0].message.contains("division by zero"));
+    }
+
+    #[test]
+    fn array_out_of_bounds_is_reported() {
+        let program = Arc::new(
+            vsensor_lang::compile("fn main() { int a[4]; a[9] = 1; }").unwrap(),
+        );
+        let cluster = Arc::new(ClusterConfig::quiet(1).build());
+        let errs = World::new(cluster).run(|proc| {
+            Machine::new(program.clone(), proc, None).run().unwrap_err()
+        });
+        assert!(errs[0].message.contains("out of bounds"));
+    }
+
+    #[test]
+    fn arrays_store_and_load() {
+        let src = r#"
+            fn main() {
+                float a[16];
+                for (i = 0; i < 16; i = i + 1) { a[i] = i * 1.5; }
+                float s = 0.0;
+                for (i = 0; i < 16; i = i + 1) { s = s + a[i]; }
+                // s == 180.0; encode success as a barrier vs explode.
+                if (s > 179.9 && s < 180.1) { mpi_barrier(); } else { explode(); }
+            }
+        "#;
+        run_src(src, 1);
+    }
+
+    #[test]
+    fn while_loops_terminate() {
+        let src = r#"
+            fn main() {
+                int x = 1;
+                while (x < 1000) { x = x * 2; }
+                if (x != 1024) { explode(); }
+            }
+        "#;
+        run_src(src, 1);
+    }
+
+    #[test]
+    fn recursion_guard_fires() {
+        let program = Arc::new(
+            vsensor_lang::compile(
+                "fn f(int n) -> int { return f(n + 1); } fn main() { f(0); }",
+            )
+            .unwrap(),
+        );
+        let cluster = Arc::new(ClusterConfig::quiet(1).build());
+        let errs = World::new(cluster).run(|proc| {
+            Machine::new(program.clone(), proc, None).run().unwrap_err()
+        });
+        assert!(errs[0].message.contains("call depth"));
+    }
+
+    #[test]
+    fn stats_separate_compute_and_mpi() {
+        let src = r#"
+            fn main() {
+                compute(500000);
+                mpi_barrier();
+            }
+        "#;
+        let results = run_src(src, 4);
+        for r in &results {
+            assert!(r.stats.compute_time.as_nanos() >= 500_000);
+            assert!(r.stats.collectives == 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let src = r#"
+            fn main() {
+                for (i = 0; i < 50; i = i + 1) {
+                    compute(1000);
+                    mpi_allreduce(64);
+                }
+            }
+        "#;
+        let a: Vec<u64> = run_src(src, 4).iter().map(|r| r.end.as_nanos()).collect();
+        let b: Vec<u64> = run_src(src, 4).iter().map(|r| r.end.as_nanos()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_variables_are_per_process() {
+        let src = r#"
+            global int COUNTER = 0;
+            fn bump() { COUNTER = COUNTER + 1; }
+            fn main() {
+                for (i = 0; i < 10; i = i + 1) { bump(); }
+                if (COUNTER != 10) { explode(); }
+            }
+        "#;
+        run_src(src, 2);
+    }
+}

@@ -1,0 +1,314 @@
+//! High-level run drivers.
+//!
+//! [`run_plain`] executes an uninstrumented program (the overhead
+//! baseline); [`run_instrumented`] executes an instrumented one with the
+//! full dynamic module attached — per-rank sensor runtimes, a shared
+//! analysis server, and a final [`VarianceReport`].
+
+use crate::machine::{Machine, MachineResult, SensorHarness};
+use crate::validate::{self, ValidationStats};
+use cluster_sim::time::{Duration, VirtualTime};
+use cluster_sim::Cluster;
+use std::sync::Arc;
+use vsensor_lang::Program;
+use vsensor_runtime::dynrules::DynamicRule;
+use vsensor_runtime::record::SensorInfo;
+use vsensor_runtime::server::ServerResult;
+use vsensor_runtime::{
+    AnalysisServer, DistributionStats, RuntimeConfig, SensorRuntime, VarianceReport,
+};
+
+/// Configuration for an instrumented run.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Dynamic-module knobs.
+    pub runtime: RuntimeConfig,
+    /// Active dynamic rule (defaults to constant-expected).
+    pub rule: Arc<dyn DynamicRule>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            runtime: RuntimeConfig::default(),
+            rule: Arc::new(vsensor_runtime::dynrules::ConstantExpected),
+        }
+    }
+}
+
+/// Per-rank outcome (re-exported view over the machine result).
+#[derive(Clone, Debug)]
+pub struct RankResult {
+    /// Final virtual time of the rank.
+    pub end: VirtualTime,
+    /// Compute/MPI/IO accounting.
+    pub stats: simmpi::ProcStats,
+    /// Sense distribution (instrumented runs only).
+    pub distribution: DistributionStats,
+    /// PMU validation data (instrumented runs only).
+    pub validation: ValidationStats,
+    /// Locally-flagged variance records.
+    pub local_variances: u64,
+}
+
+impl From<MachineResult> for RankResult {
+    fn from(m: MachineResult) -> Self {
+        RankResult {
+            end: m.end,
+            stats: m.stats,
+            distribution: m.distribution,
+            validation: m.validation,
+            local_variances: m.local_variances,
+        }
+    }
+}
+
+/// Run an uninstrumented program; returns per-rank results. Panics on
+/// program runtime errors (deterministic, so they reproduce).
+pub fn run_plain(program: &Program, cluster: Arc<Cluster>) -> Vec<RankResult> {
+    let program = Arc::new(program.clone());
+    let world = simmpi::World::new(cluster);
+    world
+        .run(|proc| {
+            Machine::new(program.clone(), proc, None)
+                .run()
+                .unwrap_or_else(|e| panic!("{e}"))
+        })
+        .into_iter()
+        .map(RankResult::from)
+        .collect()
+}
+
+/// Everything an instrumented run produces.
+pub struct InstrumentedRun {
+    /// Per-rank results.
+    pub ranks: Vec<RankResult>,
+    /// Server-side analysis: matrices, events, data volume.
+    pub server: ServerResult,
+    /// The rendered end-of-run report.
+    pub report: VarianceReport,
+    /// Wall (virtual) time of the run: max over ranks.
+    pub run_time: Duration,
+    /// `Pm − 1`: the Table 1 workload max error.
+    pub workload_max_error: f64,
+}
+
+/// Run an instrumented program with the dynamic module attached.
+///
+/// `sensors` is the sensor table produced by the static module (converted
+/// to [`SensorInfo`]); its length must cover every `SensorId` in the
+/// program.
+pub fn run_instrumented(
+    program: &Program,
+    sensors: Vec<SensorInfo>,
+    cluster: Arc<Cluster>,
+    config: &RunConfig,
+) -> InstrumentedRun {
+    let program = Arc::new(program.clone());
+    let ranks = cluster.ranks();
+    let server = Arc::new(AnalysisServer::new(
+        ranks,
+        sensors.clone(),
+        config.runtime.clone(),
+    ));
+    let world = simmpi::World::new(cluster);
+    let sensor_count = sensors.len();
+    let rank_results: Vec<RankResult> = world
+        .run(|proc| {
+            let harness = SensorHarness {
+                runtime: SensorRuntime::with_rule(
+                    sensor_count,
+                    config.runtime.clone(),
+                    config.rule.clone(),
+                ),
+                server: server.clone(),
+            };
+            Machine::new(program.clone(), proc, Some(harness))
+                .run()
+                .unwrap_or_else(|e| panic!("{e}"))
+        })
+        .into_iter()
+        .map(RankResult::from)
+        .collect();
+
+    let run_time = rank_results
+        .iter()
+        .map(|r| r.end)
+        .max()
+        .unwrap_or(VirtualTime::ZERO)
+        .since(VirtualTime::ZERO);
+
+    let server_result = server.finalize(VirtualTime::ZERO + run_time);
+
+    let mut distribution = DistributionStats::new();
+    for r in &rank_results {
+        distribution.merge(&r.distribution);
+    }
+    let all_validation: Vec<ValidationStats> =
+        rank_results.iter().map(|r| r.validation.clone()).collect();
+    let workload_max_error = validate::pm(&all_validation) - 1.0;
+
+    let component_means = vsensor_runtime::record::SensorKind::ALL
+        .into_iter()
+        .map(|k| (k, server_result.matrix(k).mean()))
+        .collect();
+
+    let report = VarianceReport {
+        events: server_result.events.clone(),
+        distribution,
+        run_time,
+        ranks,
+        server_bytes: server_result.bytes_received,
+        bin_width: config.runtime.matrix_resolution,
+        component_means,
+        worst_sensors: server_result
+            .sensor_summary
+            .iter()
+            .map(|s| (s.location.clone(), s.kind, s.mean_perf))
+            .collect(),
+    };
+
+    InstrumentedRun {
+        ranks: rank_results,
+        server: server_result,
+        report,
+        run_time,
+        workload_max_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::{ClusterConfig, NodeSpec};
+    use vsensor_analysis::{analyze, AnalysisConfig};
+    use vsensor_runtime::record::SensorKind;
+
+    /// Compile + analyze + instrument a source, returning program and
+    /// sensor table.
+    fn prepare(src: &str) -> (Program, Vec<SensorInfo>) {
+        let p = vsensor_lang::compile(src).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let sensors = a
+            .instrumented
+            .sensors
+            .iter()
+            .map(|s| SensorInfo {
+                sensor: s.sensor,
+                kind: match s.ty {
+                    vsensor_analysis::SnippetType::Computation => SensorKind::Computation,
+                    vsensor_analysis::SnippetType::Network => SensorKind::Network,
+                    vsensor_analysis::SnippetType::Io => SensorKind::Io,
+                },
+                process_invariant: s.process_invariant,
+                location: format!("{}:{}", s.func, s.span),
+            })
+            .collect();
+        (a.instrumented.program, sensors)
+    }
+
+    const STENCIL: &str = r#"
+        fn main() {
+            for (t = 0; t < 300; t = t + 1) {
+                for (k = 0; k < 8; k = k + 1) { compute(2000); }
+                mpi_allreduce(512);
+            }
+        }
+    "#;
+
+    #[test]
+    fn instrumented_run_produces_records_and_report() {
+        let (program, sensors) = prepare(STENCIL);
+        assert!(!sensors.is_empty());
+        let cluster = Arc::new(ClusterConfig::quiet(4).build());
+        let run = run_instrumented(&program, sensors, cluster, &RunConfig::default());
+        assert!(run.server.records > 0);
+        assert!(run.report.distribution.sense_count > 0);
+        // A quiet cluster shows no variance.
+        assert!(run.report.events.is_empty(), "{:?}", run.report.events);
+        // PMU is exact on quiet clusters.
+        assert!(run.workload_max_error.abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_is_small() {
+        let (instrumented, sensors) = prepare(STENCIL);
+        let plain = vsensor_lang::compile(STENCIL).unwrap();
+        let cluster = Arc::new(ClusterConfig::quiet(4).build());
+        let base = run_plain(&plain, cluster.clone());
+        let inst = run_instrumented(&instrumented, sensors, cluster, &RunConfig::default());
+        let t0 = base.iter().map(|r| r.end.as_nanos()).max().unwrap() as f64;
+        let t1 = inst.ranks.iter().map(|r| r.end.as_nanos()).max().unwrap() as f64;
+        let overhead = (t1 - t0) / t0;
+        assert!(overhead >= 0.0, "instrumentation cannot speed things up");
+        assert!(overhead < 0.04, "overhead {overhead} must stay under 4%");
+    }
+
+    #[test]
+    fn bad_node_is_detected() {
+        let src = r#"
+            fn main() {
+                for (t = 0; t < 2000; t = t + 1) {
+                    for (k = 0; k < 4; k = k + 1) { mem_access(25000); }
+                    mpi_barrier();
+                }
+            }
+        "#;
+        let (program, sensors) = prepare(src);
+        // 8 ranks, 2 per node; node 2 (ranks 4-5) has slow memory.
+        let cluster = Arc::new(
+            ClusterConfig::quiet(8)
+                .with_ranks_per_node(2)
+                .with_node(2, NodeSpec::slow_memory(0.55))
+                .build(),
+        );
+        // A 55%-memory node normalizes to ~0.55 on memory-bound sensors —
+        // visible in the matrix but above the default 0.5 threshold, so
+        // raise sensitivity the way a user chasing the white line would.
+        let mut config = RunConfig::default();
+        config.runtime.variance_threshold = 0.7;
+        let run = run_instrumented(&program, sensors, cluster, &config);
+        let comp_events: Vec<_> = run
+            .report
+            .events
+            .iter()
+            .filter(|e| e.kind == SensorKind::Computation)
+            .collect();
+        assert!(!comp_events.is_empty(), "slow node must be detected");
+        let e = comp_events[0];
+        assert_eq!((e.first_rank, e.last_rank), (4, 5), "{e:?}");
+        let total_bins = (run.run_time.as_nanos()
+            / RuntimeConfig::default().matrix_resolution.as_nanos()) as usize;
+        assert!(e.is_persistent(total_bins.max(1)), "{e:?}");
+    }
+
+    #[test]
+    fn validation_error_reflects_pmu_jitter() {
+        let (program, sensors) = prepare(STENCIL);
+        let mut cfg = ClusterConfig::quiet(2);
+        cfg.pmu = cluster_sim::PmuConfig {
+            jitter: 0.03,
+            seed: 11,
+        };
+        let cluster = Arc::new(cfg.build());
+        let run = run_instrumented(&program, sensors, cluster, &RunConfig::default());
+        assert!(run.workload_max_error > 0.0);
+        assert!(
+            run.workload_max_error < 0.05,
+            "error {} should stay near the PMU jitter",
+            run.workload_max_error
+        );
+    }
+
+    #[test]
+    fn plain_run_matches_repeatedly() {
+        let plain = vsensor_lang::compile(STENCIL).unwrap();
+        let cluster = Arc::new(ClusterConfig::quiet(4).build());
+        let a = run_plain(&plain, cluster.clone());
+        let b = run_plain(&plain, cluster);
+        assert_eq!(
+            a.iter().map(|r| r.end).collect::<Vec<_>>(),
+            b.iter().map(|r| r.end).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Runtime values and variable environments.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A MiniHPC runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Integer array.
+    IntArray(Vec<i64>),
+    /// Float array.
+    FloatArray(Vec<f64>),
+}
+
+impl Value {
+    /// Interpret as an integer; floats truncate.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a float.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Truthiness: nonzero scalars are true.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::IntArray(a) => write!(f, "int[{}]", a.len()),
+            Value::FloatArray(a) => write!(f, "float[{}]", a.len()),
+        }
+    }
+}
+
+/// Lexically-scoped variable environment for one function activation.
+///
+/// Scopes are pushed for blocks that introduce bindings (loop bodies bind
+/// the induction variable); lookups walk inner-to-outer, then fall back to
+/// the per-process globals map owned by the machine.
+#[derive(Debug, Default)]
+pub struct Env {
+    scopes: Vec<HashMap<String, Value>>,
+}
+
+impl Env {
+    /// Environment with a single (function-body) scope.
+    pub fn new() -> Self {
+        Env {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    /// Enter a nested scope.
+    pub fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Leave the innermost scope.
+    pub fn pop(&mut self) {
+        self.scopes.pop().expect("scope underflow");
+    }
+
+    /// Declare (or shadow) a variable in the innermost scope.
+    pub fn declare(&mut self, name: &str, value: Value) {
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), value);
+    }
+
+    /// Read a variable, innermost scope first.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    /// Write an existing variable (innermost binding wins). Returns false
+    /// if the name is unbound here (the caller then tries globals).
+    pub fn set(&mut self, name: &str, value: Value) -> bool {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = value;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Mutable access to a bound value (for array stores).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Value> {
+        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.9).as_int(), Some(2));
+        assert_eq!(Value::IntArray(vec![1]).as_int(), None);
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Float(0.0).truthy());
+    }
+
+    #[test]
+    fn scoping_shadows_and_restores() {
+        let mut env = Env::new();
+        env.declare("x", Value::Int(1));
+        env.push();
+        env.declare("x", Value::Int(2));
+        assert_eq!(env.get("x"), Some(&Value::Int(2)));
+        env.pop();
+        assert_eq!(env.get("x"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn set_updates_innermost_binding() {
+        let mut env = Env::new();
+        env.declare("x", Value::Int(1));
+        env.push();
+        assert!(env.set("x", Value::Int(9)));
+        env.pop();
+        assert_eq!(env.get("x"), Some(&Value::Int(9)));
+        assert!(!env.set("missing", Value::Int(0)));
+    }
+}

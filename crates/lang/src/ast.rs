@@ -1,0 +1,258 @@
+//! Abstract syntax tree for MiniHPC.
+//!
+//! The AST mirrors the surface syntax one-to-one; the interesting structure
+//! (stable loop/call IDs, name resolution) is added by [`crate::lower`].
+
+use crate::span::Span;
+
+/// A parsed compilation unit: globals plus functions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Unit {
+    /// `global <ty> NAME = <literal>;` items, in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// `fn` items, in declaration order.
+    pub functions: Vec<FnDecl>,
+}
+
+/// Scalar types of the language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+/// A global variable declaration with a constant initializer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Constant initializer.
+    pub init: Literal,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Literal constants allowed as global initializers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Literal {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+}
+
+/// A function declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters, in order.
+    pub params: Vec<ParamDecl>,
+    /// Return type; `None` means the function returns nothing.
+    pub ret: Option<Type>,
+    /// Function body.
+    pub body: Vec<StmtNode>,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+/// A single function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StmtNode {
+    /// The statement itself.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// `int x = e;` / `float x;` — scalar declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<ExprNode>,
+    },
+    /// `int a[e];` / `float a[e];` — array declaration (zero-initialized).
+    ArrayDecl {
+        /// Array name.
+        name: String,
+        /// Element type.
+        ty: Type,
+        /// Length expression.
+        len: ExprNode,
+    },
+    /// `x = e;` or `a[i] = e;`
+    Assign {
+        /// Assignment target.
+        target: AssignTarget,
+        /// Value.
+        value: ExprNode,
+    },
+    /// `if (c) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: ExprNode,
+        /// Then branch.
+        then_blk: Vec<StmtNode>,
+        /// Optional else branch.
+        else_blk: Option<Vec<StmtNode>>,
+    },
+    /// `for (v = init; cond; v = step) { .. }` — C-style counted loop.
+    For {
+        /// Induction variable name (declared by the loop, scoped to it).
+        var: String,
+        /// Initializer expression.
+        init: ExprNode,
+        /// Continuation condition.
+        cond: ExprNode,
+        /// Step expression assigned to `var` each iteration.
+        step: ExprNode,
+        /// Loop body.
+        body: Vec<StmtNode>,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// Continuation condition.
+        cond: ExprNode,
+        /// Loop body.
+        body: Vec<StmtNode>,
+    },
+    /// A bare call statement `f(a, b);`.
+    Call(CallNode),
+    /// `return;` / `return e;`
+    Return(Option<ExprNode>),
+    /// `break;` — leave the innermost loop.
+    Break,
+    /// `continue;` — skip to the next iteration of the innermost loop.
+    Continue,
+}
+
+/// The left-hand side of an assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AssignTarget {
+    /// Scalar variable.
+    Var(String),
+    /// Array element `name[index]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: ExprNode,
+    },
+}
+
+/// An expression with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExprNode {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// Array element read `name[index]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Box<ExprNode>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: AstUnOp,
+        /// Operand.
+        operand: Box<ExprNode>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        lhs: Box<ExprNode>,
+        /// Right operand.
+        rhs: Box<ExprNode>,
+    },
+    /// Function call used as a value.
+    Call(CallNode),
+}
+
+/// A call site in the AST.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CallNode {
+    /// Callee name (user function or builtin/extern).
+    pub callee: String,
+    /// Argument expressions.
+    pub args: Vec<ExprNode>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Unary operators (AST level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstUnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e`.
+    Not,
+}
+
+/// Binary operators (AST level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}

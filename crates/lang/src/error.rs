@@ -1,0 +1,82 @@
+//! Errors produced by the MiniHPC front-end.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Convenience result alias for front-end operations.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+/// An error from any front-end stage (lexing, parsing, lowering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LangError {
+    /// Which stage produced the error.
+    pub stage: Stage,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the source it happened.
+    pub span: Span,
+}
+
+/// Front-end stage identifiers, used in diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Syntax analysis.
+    Parse,
+    /// AST-to-IR lowering (name resolution, arity checks).
+    Lower,
+}
+
+impl LangError {
+    /// Construct a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            stage: Stage::Lex,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Construct a parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            stage: Stage::Parse,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Construct a lowering error.
+    pub fn lower(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            stage: Stage::Lower,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Lower => "lower",
+        };
+        write!(f, "{} error at {}: {}", stage, self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_location() {
+        let e = LangError::parse("expected `)`", Span::new(3, 4, 2, 1));
+        assert_eq!(e.to_string(), "parse error at 2:1: expected `)`");
+    }
+}

@@ -1,0 +1,331 @@
+//! AST-to-IR lowering.
+//!
+//! Lowering assigns program-unique [`LoopId`]s and [`CallId`]s in source
+//! order (so they are stable across compilations of the same source, which
+//! the runtime relies on to match sensors with history) and performs light
+//! validation: duplicate names, unknown callees being neither user functions
+//! nor known/unknown externs is permitted (externs are handled by the
+//! analysis's extern models), but arity of *user* function calls is checked.
+
+use crate::ast::{self, AssignTarget, ExprKind, Literal, StmtKind, Unit};
+use crate::error::{LangError, Result};
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// Lower a parsed [`Unit`] into an IR [`Program`].
+pub fn lower(unit: &Unit) -> Result<Program> {
+    let mut ctx = Lowerer {
+        next_loop: 0,
+        next_call: 0,
+        fn_arity: unit
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), f.params.len()))
+            .collect(),
+    };
+
+    let mut globals = Vec::with_capacity(unit.globals.len());
+    let mut seen = HashMap::new();
+    for g in &unit.globals {
+        if seen.insert(g.name.clone(), ()).is_some() {
+            return Err(LangError::lower(
+                format!("duplicate global `{}`", g.name),
+                g.span,
+            ));
+        }
+        globals.push(Global {
+            name: g.name.clone(),
+            ty: g.ty,
+            init: match g.init {
+                Literal::Int(v) => GlobalInit::Int(v),
+                Literal::Float(v) => GlobalInit::Float(v),
+            },
+            span: g.span,
+        });
+    }
+
+    let mut functions = Vec::with_capacity(unit.functions.len());
+    let mut fn_seen = HashMap::new();
+    for f in &unit.functions {
+        if fn_seen.insert(f.name.clone(), ()).is_some() {
+            return Err(LangError::lower(
+                format!("duplicate function `{}`", f.name),
+                f.span,
+            ));
+        }
+        let body = ctx.block(&f.body)?;
+        functions.push(Function {
+            name: f.name.clone(),
+            params: f.params.iter().map(|p| (p.name.clone(), p.ty)).collect(),
+            ret: f.ret,
+            body,
+            span: f.span,
+        });
+    }
+
+    Ok(Program {
+        globals,
+        functions,
+        loop_count: ctx.next_loop,
+        call_count: ctx.next_call,
+    })
+}
+
+struct Lowerer {
+    next_loop: u32,
+    next_call: u32,
+    fn_arity: HashMap<String, usize>,
+}
+
+impl Lowerer {
+    fn fresh_loop(&mut self) -> LoopId {
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        id
+    }
+
+    fn fresh_call(&mut self) -> CallId {
+        let id = CallId(self.next_call);
+        self.next_call += 1;
+        id
+    }
+
+    fn block(&mut self, stmts: &[ast::StmtNode]) -> Result<Block> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            out.push(self.stmt(s)?);
+        }
+        Ok(Block { stmts: out })
+    }
+
+    fn stmt(&mut self, s: &ast::StmtNode) -> Result<Stmt> {
+        Ok(match &s.kind {
+            StmtKind::Decl { name, ty, init } => Stmt::Decl {
+                name: name.clone(),
+                ty: *ty,
+                init: init.as_ref().map(|e| self.expr(e)).transpose()?,
+                span: s.span,
+            },
+            StmtKind::ArrayDecl { name, ty, len } => Stmt::ArrayDecl {
+                name: name.clone(),
+                ty: *ty,
+                len: self.expr(len)?,
+                span: s.span,
+            },
+            StmtKind::Assign { target, value } => Stmt::Assign {
+                target: match target {
+                    AssignTarget::Var(n) => LValue::Var(n.clone()),
+                    AssignTarget::Index { name, index } => LValue::Index {
+                        name: name.clone(),
+                        index: self.expr(index)?,
+                    },
+                },
+                value: self.expr(value)?,
+                span: s.span,
+            },
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => Stmt::If {
+                cond: self.expr(cond)?,
+                then_blk: self.block(then_blk)?,
+                else_blk: else_blk
+                    .as_ref()
+                    .map(|b| self.block(b))
+                    .transpose()?
+                    .unwrap_or_default(),
+                span: s.span,
+            },
+            StmtKind::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // IDs are assigned pre-order: the loop before its body, so
+                // outer loops get smaller IDs than the loops they contain.
+                let id = self.fresh_loop();
+                Stmt::Loop {
+                    id,
+                    kind: LoopKind::For,
+                    var: var.clone(),
+                    init: self.expr(init)?,
+                    cond: self.expr(cond)?,
+                    step: self.expr(step)?,
+                    body: self.block(body)?,
+                    span: s.span,
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let id = self.fresh_loop();
+                Stmt::Loop {
+                    id,
+                    kind: LoopKind::While,
+                    var: format!("$while{}", id.0),
+                    init: Expr::Int(0),
+                    cond: self.expr(cond)?,
+                    step: Expr::Int(0),
+                    body: self.block(body)?,
+                    span: s.span,
+                }
+            }
+            StmtKind::Call(c) => Stmt::Call(self.call(c)?),
+            StmtKind::Return(value) => Stmt::Return {
+                value: value.as_ref().map(|e| self.expr(e)).transpose()?,
+                span: s.span,
+            },
+            StmtKind::Break => Stmt::Break { span: s.span },
+            StmtKind::Continue => Stmt::Continue { span: s.span },
+        })
+    }
+
+    fn call(&mut self, c: &ast::CallNode) -> Result<CallSite> {
+        if let Some(&arity) = self.fn_arity.get(&c.callee) {
+            if arity != c.args.len() {
+                return Err(LangError::lower(
+                    format!(
+                        "`{}` expects {} argument(s), got {}",
+                        c.callee,
+                        arity,
+                        c.args.len()
+                    ),
+                    c.span,
+                ));
+            }
+        }
+        let id = self.fresh_call();
+        let args = c
+            .args
+            .iter()
+            .map(|a| self.expr(a))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(CallSite {
+            id,
+            callee: c.callee.clone(),
+            args,
+            span: c.span,
+        })
+    }
+
+    fn expr(&mut self, e: &ast::ExprNode) -> Result<Expr> {
+        Ok(match &e.kind {
+            ExprKind::Int(v) => Expr::Int(*v),
+            ExprKind::Float(v) => Expr::Float(*v),
+            ExprKind::Var(n) => Expr::Var(n.clone()),
+            ExprKind::Index { name, index } => Expr::Index {
+                name: name.clone(),
+                index: Box::new(self.expr(index)?),
+            },
+            ExprKind::Unary { op, operand } => Expr::Unary {
+                op: match op {
+                    ast::AstUnOp::Neg => UnOp::Neg,
+                    ast::AstUnOp::Not => UnOp::Not,
+                },
+                operand: Box::new(self.expr(operand)?),
+            },
+            ExprKind::Binary { op, lhs, rhs } => Expr::Binary {
+                op: lower_binop(*op),
+                lhs: Box::new(self.expr(lhs)?),
+                rhs: Box::new(self.expr(rhs)?),
+            },
+            ExprKind::Call(c) => Expr::Call(Box::new(self.call(c)?)),
+        })
+    }
+}
+
+fn lower_binop(op: ast::AstBinOp) -> BinOp {
+    use ast::AstBinOp as A;
+    match op {
+        A::Add => BinOp::Add,
+        A::Sub => BinOp::Sub,
+        A::Mul => BinOp::Mul,
+        A::Div => BinOp::Div,
+        A::Rem => BinOp::Rem,
+        A::Lt => BinOp::Lt,
+        A::Le => BinOp::Le,
+        A::Gt => BinOp::Gt,
+        A::Ge => BinOp::Ge,
+        A::Eq => BinOp::Eq,
+        A::Ne => BinOp::Ne,
+        A::And => BinOp::And,
+        A::Or => BinOp::Or,
+    }
+}
+
+/// Used by [`Stmt::Loop`] lowering for synthetic while-loop variables; kept
+/// public so the printer can recognize and hide them.
+pub fn is_synthetic_var(name: &str) -> bool {
+    name.starts_with('$')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn loop_ids_assigned_preorder() {
+        let p = compile(
+            r#"
+            fn main() {
+                for (a = 0; a < 1; a = a + 1) {
+                    for (b = 0; b < 1; b = b + 1) {}
+                }
+                for (c = 0; c < 1; c = c + 1) {}
+            }
+            "#,
+        )
+        .unwrap();
+        let body = &p.functions[0].body;
+        let Stmt::Loop { id: outer, body: inner_body, .. } = &body.stmts[0] else {
+            panic!()
+        };
+        let Stmt::Loop { id: inner, .. } = &inner_body.stmts[0] else {
+            panic!()
+        };
+        let Stmt::Loop { id: second, .. } = &body.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(outer.0, 0);
+        assert_eq!(inner.0, 1);
+        assert_eq!(second.0, 2);
+        assert_eq!(p.loop_count, 3);
+    }
+
+    #[test]
+    fn user_call_arity_checked() {
+        let err = compile("fn f(int x) {} fn main() { f(1, 2); }").unwrap_err();
+        assert!(err.message.contains("expects 1 argument"));
+    }
+
+    #[test]
+    fn extern_calls_not_arity_checked() {
+        // `compute` is an extern builtin — the front-end doesn't know it,
+        // the analysis's extern models describe it.
+        compile("fn main() { compute(10); }").unwrap();
+    }
+
+    #[test]
+    fn duplicate_global_rejected() {
+        let err = compile("global int A = 1; global int A = 2;").unwrap_err();
+        assert!(err.message.contains("duplicate global"));
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let err = compile("fn f() {} fn f() {}").unwrap_err();
+        assert!(err.message.contains("duplicate function"));
+    }
+
+    #[test]
+    fn while_gets_synthetic_var() {
+        let p = compile("fn main() { int x = 0; while (x < 3) { x = x + 1; } }").unwrap();
+        let Stmt::Loop { kind, var, .. } = &p.functions[0].body.stmts[1] else {
+            panic!()
+        };
+        assert_eq!(*kind, LoopKind::While);
+        assert!(is_synthetic_var(var));
+    }
+}

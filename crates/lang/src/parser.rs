@@ -1,0 +1,707 @@
+//! Recursive-descent parser for MiniHPC.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! unit      := (global | function)*
+//! global    := "global" type IDENT "=" literal ";"
+//! function  := "fn" IDENT "(" params? ")" ("->" type)? block
+//! params    := type IDENT ("," type IDENT)*
+//! block     := "{" stmt* "}"
+//! stmt      := decl | arraydecl | assign | if | for | while | call ";"
+//!            | return ";"
+//! decl      := type IDENT ("=" expr)? ";"
+//! arraydecl := type IDENT "[" expr "]" ";"
+//! assign    := lvalue "=" expr ";"
+//! for       := "for" "(" IDENT "=" expr ";" expr ";" IDENT "=" expr ")" block
+//! while     := "while" "(" expr ")" block
+//! if        := "if" "(" expr ")" block ("else" (block | if))?
+//! expr      := or ; with C-like precedence below
+//! ```
+
+use crate::ast::*;
+use crate::error::{LangError, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse a token stream (from [`crate::lexer::lex`]) into a [`Unit`].
+///
+/// `source` is only used for diagnostics.
+pub fn parse(tokens: Vec<Token>, source: &str) -> Result<Unit> {
+    let _ = source;
+    Parser { tokens, pos: 0 }.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        self.tokens
+            .get(self.pos + 1)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn peek3(&self) -> &TokenKind {
+        self.tokens
+            .get(self.pos + 2)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(LangError::parse(
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek_span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(LangError::parse(
+                format!("expected identifier, found {}", other.describe()),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type> {
+        match self.peek() {
+            TokenKind::KwInt => {
+                self.bump();
+                Ok(Type::Int)
+            }
+            TokenKind::KwFloat => {
+                self.bump();
+                Ok(Type::Float)
+            }
+            other => Err(LangError::parse(
+                format!("expected type, found {}", other.describe()),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit> {
+        let mut globals = Vec::new();
+        let mut functions = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Global => globals.push(self.global()?),
+                TokenKind::Fn => functions.push(self.function()?),
+                other => {
+                    return Err(LangError::parse(
+                        format!("expected `global` or `fn` item, found {}", other.describe()),
+                        self.peek_span(),
+                    ))
+                }
+            }
+        }
+        Ok(Unit { globals, functions })
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl> {
+        let start = self.peek_span();
+        self.expect(TokenKind::Global)?;
+        let ty = self.ty()?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let init = self.literal()?;
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            span: start.join(end),
+        })
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Literal::Int(if neg { -v } else { v }))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Literal::Float(if neg { -v } else { v }))
+            }
+            other => Err(LangError::parse(
+                format!("expected literal, found {}", other.describe()),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn function(&mut self) -> Result<FnDecl> {
+        let start = self.peek_span();
+        self.expect(TokenKind::Fn)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let pspan = self.peek_span();
+                let ty = self.ty()?;
+                let (pname, pend) = self.expect_ident()?;
+                params.push(ParamDecl {
+                    name: pname,
+                    ty,
+                    span: pspan.join(pend),
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let hdr_end = self.expect(TokenKind::RParen)?.span;
+        let ret = if self.eat(&TokenKind::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            ret,
+            body,
+            span: start.join(hdr_end),
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<StmtNode>> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(LangError::parse("unexpected end of input in block", self.peek_span()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<StmtNode> {
+        let start = self.peek_span();
+        match self.peek() {
+            TokenKind::KwInt | TokenKind::KwFloat => self.decl(start),
+            TokenKind::If => self.if_stmt(start),
+            TokenKind::For => self.for_stmt(start),
+            TokenKind::While => self.while_stmt(start),
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StmtNode {
+                    kind: StmtKind::Return(value),
+                    span: start.join(end),
+                })
+            }
+            TokenKind::Break => {
+                self.bump();
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StmtNode {
+                    kind: StmtKind::Break,
+                    span: start.join(end),
+                })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(StmtNode {
+                    kind: StmtKind::Continue,
+                    span: start.join(end),
+                })
+            }
+            TokenKind::Ident(_) => {
+                // Disambiguate: `f(...)` call, `x = ...` assign, `a[i] = ...`
+                match (self.peek2(), self.peek3()) {
+                    (TokenKind::LParen, _) => {
+                        let call = self.call()?;
+                        let end = self.expect(TokenKind::Semi)?.span;
+                        Ok(StmtNode {
+                            kind: StmtKind::Call(call),
+                            span: start.join(end),
+                        })
+                    }
+                    _ => self.assign(start),
+                }
+            }
+            other => Err(LangError::parse(
+                format!("expected statement, found {}", other.describe()),
+                start,
+            )),
+        }
+    }
+
+    fn decl(&mut self, start: Span) -> Result<StmtNode> {
+        let ty = self.ty()?;
+        let (name, _) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let len = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            let end = self.expect(TokenKind::Semi)?.span;
+            return Ok(StmtNode {
+                kind: StmtKind::ArrayDecl { name, ty, len },
+                span: start.join(end),
+            });
+        }
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(StmtNode {
+            kind: StmtKind::Decl { name, ty, init },
+            span: start.join(end),
+        })
+    }
+
+    fn assign(&mut self, start: Span) -> Result<StmtNode> {
+        let (name, _) = self.expect_ident()?;
+        let target = if self.eat(&TokenKind::LBracket) {
+            let index = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            AssignTarget::Index { name, index }
+        } else {
+            AssignTarget::Var(name)
+        };
+        self.expect(TokenKind::Assign)?;
+        let value = self.expr()?;
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(StmtNode {
+            kind: StmtKind::Assign { target, value },
+            span: start.join(end),
+        })
+    }
+
+    fn if_stmt(&mut self, start: Span) -> Result<StmtNode> {
+        self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat(&TokenKind::Else) {
+            if self.peek() == &TokenKind::If {
+                let s = self.peek_span();
+                Some(vec![self.if_stmt(s)?])
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(StmtNode {
+            kind: StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            span: start,
+        })
+    }
+
+    fn for_stmt(&mut self, start: Span) -> Result<StmtNode> {
+        self.expect(TokenKind::For)?;
+        self.expect(TokenKind::LParen)?;
+        let (var, var_span) = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let init = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        let (step_var, step_span) = self.expect_ident()?;
+        if step_var != var {
+            return Err(LangError::parse(
+                format!("for-loop step must assign the induction variable `{var}`, found `{step_var}`"),
+                step_span,
+            ));
+        }
+        self.expect(TokenKind::Assign)?;
+        let step = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        let _ = var_span;
+        Ok(StmtNode {
+            kind: StmtKind::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            },
+            span: start,
+        })
+    }
+
+    fn while_stmt(&mut self, start: Span) -> Result<StmtNode> {
+        self.expect(TokenKind::While)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(StmtNode {
+            kind: StmtKind::While { cond, body },
+            span: start,
+        })
+    }
+
+    fn call(&mut self) -> Result<CallNode> {
+        let (callee, start) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let end = self.expect(TokenKind::RParen)?.span;
+        Ok(CallNode {
+            callee,
+            args,
+            span: start.join(end),
+        })
+    }
+
+    // ----- expressions, precedence climbing -----
+
+    fn expr(&mut self) -> Result<ExprNode> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<ExprNode> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = bin(AstBinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprNode> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = bin(AstBinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprNode> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Lt => AstBinOp::Lt,
+            TokenKind::Le => AstBinOp::Le,
+            TokenKind::Gt => AstBinOp::Gt,
+            TokenKind::Ge => AstBinOp::Ge,
+            TokenKind::EqEq => AstBinOp::Eq,
+            TokenKind::Ne => AstBinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<ExprNode> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => AstBinOp::Add,
+                TokenKind::Minus => AstBinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<ExprNode> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => AstBinOp::Mul,
+                TokenKind::Slash => AstBinOp::Div,
+                TokenKind::Percent => AstBinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprNode> {
+        let span = self.peek_span();
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.unary_expr()?;
+            return Ok(ExprNode {
+                span: span.join(operand.span),
+                kind: ExprKind::Unary {
+                    op: AstUnOp::Neg,
+                    operand: Box::new(operand),
+                },
+            });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let operand = self.unary_expr()?;
+            return Ok(ExprNode {
+                span: span.join(operand.span),
+                kind: ExprKind::Unary {
+                    op: AstUnOp::Not,
+                    operand: Box::new(operand),
+                },
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<ExprNode> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(ExprNode {
+                    kind: ExprKind::Int(v),
+                    span,
+                })
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(ExprNode {
+                    kind: ExprKind::Float(v),
+                    span,
+                })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) => {
+                if self.peek2() == &TokenKind::LParen {
+                    let call = self.call()?;
+                    let cspan = call.span;
+                    return Ok(ExprNode {
+                        kind: ExprKind::Call(call),
+                        span: cspan,
+                    });
+                }
+                let (name, _) = self.expect_ident()?;
+                if self.eat(&TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    let end = self.expect(TokenKind::RBracket)?.span;
+                    return Ok(ExprNode {
+                        kind: ExprKind::Index {
+                            name,
+                            index: Box::new(index),
+                        },
+                        span: span.join(end),
+                    });
+                }
+                Ok(ExprNode {
+                    kind: ExprKind::Var(name),
+                    span,
+                })
+            }
+            other => Err(LangError::parse(
+                format!("expected expression, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+}
+
+fn bin(op: AstBinOp, lhs: ExprNode, rhs: ExprNode) -> ExprNode {
+    ExprNode {
+        span: lhs.span.join(rhs.span),
+        kind: ExprKind::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Unit> {
+        parse(lex(src).unwrap(), src)
+    }
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let u = parse_src("global int GLBV = 40; global float F = -2.5; fn main() {}").unwrap();
+        assert_eq!(u.globals.len(), 2);
+        assert_eq!(u.globals[0].init, Literal::Int(40));
+        assert_eq!(u.globals[1].init, Literal::Float(-2.5));
+        assert_eq!(u.functions[0].name, "main");
+    }
+
+    #[test]
+    fn parses_figure4_shape() {
+        // The running example of the paper (Figure 4), in MiniHPC syntax.
+        let src = r#"
+            global int GLBV = 40;
+            fn foo(int x, int y) -> int {
+                int value = 0;
+                for (i = 0; i < x; i = i + 1) {
+                    value = value + y;
+                    for (j = 0; j < 10; j = j + 1) { value = value - 1; }
+                }
+                if (x > GLBV) { value = value - x * y; }
+                return value;
+            }
+            fn main() {
+                int count = 0;
+                for (n = 0; n < 100; n = n + 1) {
+                    for (k = 0; k < 10; k = k + 1) {
+                        foo(n, k);
+                        foo(k, n);
+                    }
+                    for (k = 0; k < 10; k = k + 1) { count = count + 1; }
+                    mpi_barrier();
+                }
+            }
+        "#;
+        let u = parse_src(src).unwrap();
+        assert_eq!(u.functions.len(), 2);
+        assert_eq!(u.functions[0].params.len(), 2);
+        assert_eq!(u.functions[0].ret, Some(Type::Int));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let u = parse_src("fn main() { int x = 1 + 2 * 3; }").unwrap();
+        let StmtKind::Decl { init: Some(e), .. } = &u.functions[0].body[0].kind else {
+            panic!("expected decl");
+        };
+        let ExprKind::Binary { op: AstBinOp::Add, rhs, .. } = &e.kind else {
+            panic!("expected add at top: {e:?}");
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: AstBinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        // `a < b < c` is rejected: after `a < b` the parser sees `<` and
+        // can't continue the statement.
+        assert!(parse_src("fn main() { int x = 1 < 2 < 3; }").is_err());
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let u = parse_src(
+            "fn main() { int x = 0; if (x < 1) { x = 1; } else if (x < 2) { x = 2; } else { x = 3; } }",
+        )
+        .unwrap();
+        let StmtKind::If { else_blk: Some(e), .. } = &u.functions[0].body[1].kind else {
+            panic!("expected if");
+        };
+        assert!(matches!(e[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn for_step_must_target_induction_var() {
+        let err =
+            parse_src("fn main() { for (i = 0; i < 3; j = j + 1) {} }").unwrap_err();
+        assert!(err.message.contains("induction variable"));
+    }
+
+    #[test]
+    fn array_decl_and_index() {
+        let u = parse_src("fn main() { float a[100]; a[3] = 1.5; float y = a[3] + a[4]; }")
+            .unwrap();
+        assert!(matches!(u.functions[0].body[0].kind, StmtKind::ArrayDecl { .. }));
+        assert!(matches!(
+            u.functions[0].body[1].kind,
+            StmtKind::Assign { target: AssignTarget::Index { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn call_statement_and_call_expr() {
+        let u = parse_src("fn main() { compute(10); int r = mpi_comm_rank(); }").unwrap();
+        assert!(matches!(u.functions[0].body[0].kind, StmtKind::Call(_)));
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse_src("fn main() { int x = 1 }").is_err());
+    }
+
+    #[test]
+    fn unclosed_block_is_error() {
+        let err = parse_src("fn main() { int x = 1;").unwrap_err();
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn return_with_and_without_value() {
+        let u = parse_src("fn f() -> int { return 3; } fn g() { return; }").unwrap();
+        assert!(matches!(u.functions[0].body[0].kind, StmtKind::Return(Some(_))));
+        assert!(matches!(u.functions[1].body[0].kind, StmtKind::Return(None)));
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let u = parse_src("fn main() { int x = - - 3; int y = !(x < 1); }").unwrap();
+        assert_eq!(u.functions[0].body.len(), 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! IR-to-source printer.
+//!
+//! Implements the paper's "map to source" + "instrument" output (Figure 2,
+//! steps 3-4): an instrumented [`Program`] can be rendered back to MiniHPC
+//! source, with `vs_tick(S)` / `vs_tock(S)` probe calls visible where the
+//! instrumentation pass placed them. The printed text re-parses to an
+//! equivalent program (modulo probes), which is checked by round-trip tests.
+
+use crate::ast::Type;
+use crate::ir::*;
+use crate::lower::is_synthetic_var;
+use std::fmt::Write;
+
+/// Render a whole program as MiniHPC source text.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        let init = match g.init {
+            GlobalInit::Int(v) => v.to_string(),
+            GlobalInit::Float(v) => fmt_float(v),
+        };
+        let _ = writeln!(out, "global {} {} = {};", type_name(g.ty), g.name, init);
+    }
+    if !p.globals.is_empty() {
+        out.push('\n');
+    }
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(f, &mut out);
+    }
+    out
+}
+
+/// Render a single function.
+pub fn print_function(f: &Function, out: &mut String) {
+    let params = f
+        .params
+        .iter()
+        .map(|(n, t)| format!("{} {}", type_name(*t), n))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = match f.ret {
+        Some(t) => format!(" -> {}", type_name(t)),
+        None => String::new(),
+    };
+    let _ = writeln!(out, "fn {}({}){} {{", f.name, params, ret);
+    print_block(&f.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(b: &Block, level: usize, out: &mut String) {
+    for s in &b.stmts {
+        print_stmt(s, level, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::Decl { name, ty, init, .. } => {
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{} {} = {};", type_name(*ty), name, print_expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "{} {};", type_name(*ty), name);
+                }
+            };
+        }
+        Stmt::ArrayDecl { name, ty, len, .. } => {
+            let _ = writeln!(out, "{} {}[{}];", type_name(*ty), name, print_expr(len));
+        }
+        Stmt::Assign { target, value, .. } => {
+            let lhs = match target {
+                LValue::Var(n) => n.clone(),
+                LValue::Index { name, index } => format!("{}[{}]", name, print_expr(index)),
+            };
+            let _ = writeln!(out, "{} = {};", lhs, print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_block(then_blk, level + 1, out);
+            if else_blk.stmts.is_empty() {
+                indent(level, out);
+                out.push_str("}\n");
+            } else {
+                indent(level, out);
+                out.push_str("} else {\n");
+                print_block(else_blk, level + 1, out);
+                indent(level, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Loop {
+            id,
+            kind,
+            var,
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            match kind {
+                LoopKind::For => {
+                    let _ = writeln!(
+                        out,
+                        "for ({var} = {}; {}; {var} = {}) {{ // {id}",
+                        print_expr(init),
+                        print_expr(cond),
+                        print_expr(step),
+                    );
+                }
+                LoopKind::While => {
+                    debug_assert!(is_synthetic_var(var));
+                    let _ = writeln!(out, "while ({}) {{ // {id}", print_expr(cond));
+                }
+            }
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Call(c) => {
+            let _ = writeln!(out, "{}; // {}", print_call(c), c.id);
+        }
+        Stmt::Return { value, .. } => {
+            match value {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", print_expr(e));
+                }
+                None => out.push_str("return;\n"),
+            };
+        }
+        Stmt::Break { .. } => out.push_str("break;\n"),
+        Stmt::Continue { .. } => out.push_str("continue;\n"),
+        Stmt::Tick(id) => {
+            let _ = writeln!(out, "vs_tick({});", id.0);
+        }
+        Stmt::Tock(id) => {
+            let _ = writeln!(out, "vs_tock({});", id.0);
+        }
+    }
+}
+
+fn print_call(c: &CallSite) -> String {
+    let args = c
+        .args
+        .iter()
+        .map(print_expr)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{}({})", c.callee, args)
+}
+
+/// Render an expression (fully parenthesized where precedence demands it).
+pub fn print_expr(e: &Expr) -> String {
+    prec_expr(e, 0)
+}
+
+/// Precedence tiers: 1=or, 2=and, 3=cmp, 4=add, 5=mul, 6=unary, 7=atom.
+fn binop_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+    }
+}
+
+fn binop_sym(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn prec_expr(e: &Expr, min_prec: u8) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => fmt_float(*v),
+        Expr::Var(n) => n.clone(),
+        Expr::Index { name, index } => format!("{}[{}]", name, prec_expr(index, 0)),
+        Expr::Unary { op, operand } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            let s = format!("{}{}", sym, prec_expr(operand, 6));
+            if min_prec > 6 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let p = binop_prec(*op);
+            // Left-associative: the right operand needs strictly higher
+            // precedence; comparisons are non-associative, so both sides
+            // need higher precedence.
+            let lp = if p == 3 { p + 1 } else { p };
+            let s = format!(
+                "{} {} {}",
+                prec_expr(lhs, lp),
+                binop_sym(*op),
+                prec_expr(rhs, p + 1)
+            );
+            if p < min_prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Call(c) => print_call(c),
+    }
+}
+
+fn type_name(t: Type) -> &'static str {
+    match t {
+        Type::Int => "int",
+        Type::Float => "float",
+    }
+}
+
+fn fmt_float(v: f64) -> String {
+    if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    /// Strip the `// L0` style ID comments and probe lines so a printed
+    /// program can be compared structurally after a round trip.
+    fn reparse(printed: &str) -> Program {
+        compile(printed).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = r#"
+            global int GLBV = 40;
+            global float PI = 3.25;
+            fn foo(int x, int y) -> int {
+                int value = 0;
+                for (i = 0; i < x; i = i + 1) {
+                    value = value + y;
+                    for (j = 0; j < 10; j = j + 1) { value = value - 1; }
+                }
+                if (x > GLBV) { value = value - x * y; } else { value = 0; }
+                return value;
+            }
+            fn main() {
+                float a[64];
+                a[0] = 1.5;
+                int c = 0;
+                while (c < 3) { c = c + 1; }
+                foo(1, 2);
+            }
+        "#;
+        let p1 = compile(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = reparse(&printed);
+        // Same counts and same function shapes.
+        assert_eq!(p1.loop_count, p2.loop_count);
+        assert_eq!(p1.call_count, p2.call_count);
+        assert_eq!(p1.globals.len(), p2.globals.len());
+        // And printing again is a fixed point (structural equality modulo
+        // spans, which necessarily shift).
+        assert_eq!(printed, print_program(&p2));
+    }
+
+    #[test]
+    fn parenthesization_respects_precedence() {
+        let src = "fn main() { int x = (1 + 2) * 3; int y = 1 + 2 * 3; }";
+        let p = compile(src).unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("(1 + 2) * 3"));
+        assert!(printed.contains("1 + 2 * 3;"));
+        // Round trip must preserve evaluation structure: printing the
+        // reparsed program reproduces the same text.
+        let p2 = reparse(&printed);
+        assert_eq!(printed, print_program(&p2));
+    }
+
+    #[test]
+    fn probes_are_printed() {
+        let mut p = compile("fn main() { compute(1); }").unwrap();
+        p.functions[0]
+            .body
+            .stmts
+            .insert(0, Stmt::Tick(SensorId(3)));
+        p.functions[0].body.stmts.push(Stmt::Tock(SensorId(3)));
+        let printed = print_program(&p);
+        assert!(printed.contains("vs_tick(3);"));
+        assert!(printed.contains("vs_tock(3);"));
+    }
+
+    #[test]
+    fn nested_unary_round_trips() {
+        let src = "fn main() { int x = 1; int y = -(x + 1); int z = !(x < 2); }";
+        let p = compile(src).unwrap();
+        let printed = print_program(&p);
+        let p2 = reparse(&printed);
+        assert_eq!(printed, print_program(&p2));
+    }
+
+    #[test]
+    fn comparison_operands_parenthesized() {
+        // (a < b) == c needs explicit parens since cmp is non-associative.
+        use Expr::*;
+        let e = Binary {
+            op: BinOp::Eq,
+            lhs: Box::new(Binary {
+                op: BinOp::Lt,
+                lhs: Box::new(Var("a".into())),
+                rhs: Box::new(Var("b".into())),
+            }),
+            rhs: Box::new(Var("c".into())),
+        };
+        assert_eq!(print_expr(&e), "(a < b) == c");
+    }
+}

@@ -1,0 +1,100 @@
+//! Runtime configuration knobs.
+
+use cluster_sim::time::Duration;
+
+/// Tunables of the dynamic module. Defaults follow the paper where it
+/// states them (1000 µs smoothing slice, 200 ms matrix resolution, 0.5
+/// white threshold in the matrix figures).
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Smoothing time-slice width (§5.1; 1000 µs default).
+    pub slice: Duration,
+    /// Senses shorter than this get their sensor throttled off (§5.3's
+    /// "turn off the analysis for v-sensors that are too short").
+    pub min_sense_duration: Duration,
+    /// How many senses to observe before making a throttling decision.
+    pub throttle_probation: u32,
+    /// Normalized performance below this is reported as variance (the
+    /// matrix figures paint < 0.5 white).
+    pub variance_threshold: f64,
+    /// Virtual cost charged per Tick or Tock probe call.
+    pub probe_overhead: Duration,
+    /// Extra virtual cost when a probe finalizes a slice and runs the
+    /// on-line analysis.
+    pub analysis_overhead: Duration,
+    /// Virtual cost of a probe hitting a throttled (disabled) sensor.
+    pub disabled_overhead: Duration,
+    /// Ranks flush their record buffers to the analysis server at this
+    /// period (§5.4's batching).
+    pub batch_interval: Duration,
+    /// Time resolution of the performance matrix (Figure 14 uses 200 ms).
+    pub matrix_resolution: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            slice: Duration::from_micros(1000),
+            min_sense_duration: Duration::from_nanos(400),
+            throttle_probation: 64,
+            variance_threshold: 0.5,
+            probe_overhead: Duration::from_nanos(60),
+            analysis_overhead: Duration::from_nanos(250),
+            disabled_overhead: Duration::from_nanos(10),
+            batch_interval: Duration::from_millis(100),
+            matrix_resolution: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A configuration with probes that cost nothing — for unit tests that
+    /// check arithmetic exactly.
+    pub fn free_probes() -> Self {
+        RuntimeConfig {
+            probe_overhead: Duration::ZERO,
+            analysis_overhead: Duration::ZERO,
+            disabled_overhead: Duration::ZERO,
+            ..Default::default()
+        }
+    }
+
+    /// Slice index containing a virtual instant.
+    pub fn slice_index(&self, t: cluster_sim::time::VirtualTime) -> u64 {
+        t.as_nanos() / self.slice.as_nanos().max(1)
+    }
+
+    /// Matrix column index containing a virtual instant.
+    pub fn matrix_bin(&self, t: cluster_sim::time::VirtualTime) -> u64 {
+        t.as_nanos() / self.matrix_resolution.as_nanos().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::time::VirtualTime;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.slice.as_micros(), 1000);
+        assert_eq!(c.matrix_resolution.as_nanos(), 200_000_000);
+        assert!((c.variance_threshold - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_indexing() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.slice_index(VirtualTime::from_micros(999)), 0);
+        assert_eq!(c.slice_index(VirtualTime::from_micros(1000)), 1);
+        assert_eq!(c.slice_index(VirtualTime::from_micros(2500)), 2);
+    }
+
+    #[test]
+    fn matrix_binning() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.matrix_bin(VirtualTime::from_millis(199)), 0);
+        assert_eq!(c.matrix_bin(VirtualTime::from_millis(200)), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Sense-distribution statistics (§6.3, Figures 15-17).
+//!
+//! Tracks, per process, the *duration* of every sense, the *interval*
+//! between consecutive senses, the total sense-time (→ coverage) and the
+//! sense count (→ frequency). Durations and intervals are kept as log-scale
+//! histograms with the paper's bucket boundaries, so memory stays constant
+//! no matter how many senses occur.
+
+use cluster_sim::time::{Duration, VirtualTime};
+
+/// Histogram buckets used by Figures 16 and 17.
+pub const BUCKET_LABELS: [&str; 4] = ["<100us", "100us~10ms", "10ms~1s", ">1s"];
+
+fn bucket_of(d: Duration) -> usize {
+    let ns = d.as_nanos();
+    if ns < 100_000 {
+        0
+    } else if ns < 10_000_000 {
+        1
+    } else if ns < 1_000_000_000 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Accumulated distribution statistics for one process (mergeable across
+/// processes).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DistributionStats {
+    /// Histogram of sense durations.
+    pub durations: [u64; 4],
+    /// Histogram of intervals between consecutive senses.
+    pub intervals: [u64; 4],
+    /// Total sense-time (sum of durations).
+    pub sense_time: Duration,
+    /// Number of senses.
+    pub sense_count: u64,
+    /// End of the last sense (for interval computation).
+    last_end: Option<VirtualTime>,
+}
+
+impl DistributionStats {
+    /// New empty stats.
+    pub fn new() -> Self {
+        DistributionStats::default()
+    }
+
+    /// Record one sense `[start, start + duration)`.
+    pub fn record(&mut self, start: VirtualTime, duration: Duration) {
+        self.durations[bucket_of(duration)] += 1;
+        if let Some(prev) = self.last_end {
+            let gap = start.since(prev);
+            self.intervals[bucket_of(gap)] += 1;
+        }
+        self.last_end = Some(start + duration);
+        self.sense_time += duration;
+        self.sense_count += 1;
+    }
+
+    /// Coverage: sense-time over total run time (§6.3's definition).
+    pub fn coverage(&self, total: Duration) -> f64 {
+        if total.as_nanos() == 0 {
+            0.0
+        } else {
+            self.sense_time.as_nanos() as f64 / total.as_nanos() as f64
+        }
+    }
+
+    /// Average sense frequency in Hz.
+    pub fn frequency_hz(&self, total: Duration) -> f64 {
+        let secs = total.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sense_count as f64 / secs
+        }
+    }
+
+    /// Merge another process's stats into this one (histograms and totals
+    /// add; interval chains are per-process so `last_end` is dropped).
+    pub fn merge(&mut self, other: &DistributionStats) {
+        for i in 0..4 {
+            self.durations[i] += other.durations[i];
+            self.intervals[i] += other.intervals[i];
+        }
+        self.sense_time += other.sense_time;
+        self.sense_count += other.sense_count;
+        self.last_end = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_match_figure_boundaries() {
+        assert_eq!(bucket_of(Duration::from_micros(99)), 0);
+        assert_eq!(bucket_of(Duration::from_micros(100)), 1);
+        assert_eq!(bucket_of(Duration::from_millis(9)), 1);
+        assert_eq!(bucket_of(Duration::from_millis(10)), 2);
+        assert_eq!(bucket_of(Duration::from_millis(999)), 2);
+        assert_eq!(bucket_of(Duration::from_secs(1)), 3);
+    }
+
+    #[test]
+    fn intervals_measured_between_senses() {
+        let mut s = DistributionStats::new();
+        s.record(VirtualTime::from_micros(0), Duration::from_micros(10));
+        // Next sense starts 50 us after the previous one *ended*.
+        s.record(VirtualTime::from_micros(60), Duration::from_micros(10));
+        assert_eq!(s.intervals[0], 1);
+        assert_eq!(s.sense_count, 2);
+        assert_eq!(s.sense_time.as_micros(), 20);
+    }
+
+    #[test]
+    fn coverage_and_frequency() {
+        let mut s = DistributionStats::new();
+        for i in 0..100u64 {
+            s.record(
+                VirtualTime::from_micros(i * 100),
+                Duration::from_micros(10),
+            );
+        }
+        let total = Duration::from_micros(100 * 100);
+        assert!((s.coverage(total) - 0.1).abs() < 1e-9);
+        // 100 senses in 10 ms → 10 kHz.
+        assert!((s.frequency_hz(total) - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_adds_histograms() {
+        let mut a = DistributionStats::new();
+        a.record(VirtualTime::ZERO, Duration::from_micros(1));
+        let mut b = DistributionStats::new();
+        b.record(VirtualTime::ZERO, Duration::from_secs(2));
+        a.merge(&b);
+        assert_eq!(a.durations[0], 1);
+        assert_eq!(a.durations[3], 1);
+        assert_eq!(a.sense_count, 2);
+    }
+
+    #[test]
+    fn empty_totals_are_zero() {
+        let s = DistributionStats::new();
+        assert_eq!(s.coverage(Duration::ZERO), 0.0);
+        assert_eq!(s.frequency_hz(Duration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! vSensor dynamic module — on-line variance detection (§5).
+//!
+//! The instrumented program calls [`SensorRuntime::tick`]/[`tock`] around
+//! every v-sensor execution. From there the pipeline follows the paper:
+//!
+//! 1. **Data smoothing** (§5.1): raw senses are aggregated into fixed time
+//!    slices (1000 µs by default) so high-frequency OS noise averages out —
+//!    [`smoothing`].
+//! 2. **Performance normalization** (§5.2): each record is compared against
+//!    the fastest record of its sensor (and dynamic-rule group); the
+//!    fastest is 1.00, a 2× slower record scores 0.50 — [`history`].
+//! 3. **Comparing with history** (§5.3): only a scalar *standard time* per
+//!    sensor/group is stored; too-short sensors are throttled off at
+//!    runtime — [`tick`].
+//! 4. **Dynamic rules** (Figure 13): records may be bucketed by a runtime
+//!    metric (cache-miss rate) before comparison — [`dynrules`].
+//! 5. **Multi-process analysis** (§5.4): ranks batch their slice records to
+//!    a dedicated analysis server, which builds per-component performance
+//!    matrices (time × rank) and flags variance regions — [`server`],
+//!    [`matrix`], [`detect`].
+//!
+//! [`tock`]: SensorRuntime::tock
+
+pub mod config;
+pub mod detect;
+pub mod distribution;
+pub mod dynrules;
+pub mod history;
+pub mod matrix;
+pub mod record;
+pub mod report;
+pub mod server;
+pub mod smoothing;
+pub mod tick;
+
+pub use config::RuntimeConfig;
+pub use detect::VarianceEvent;
+pub use distribution::DistributionStats;
+pub use dynrules::DynamicRule;
+pub use matrix::PerformanceMatrix;
+pub use record::{SensorInfo, SensorKind, SliceRecord};
+pub use report::VarianceReport;
+pub use server::AnalysisServer;
+pub use tick::SensorRuntime;

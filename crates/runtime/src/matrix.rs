@@ -1,0 +1,181 @@
+//! The performance matrix (§5.5, Figure 14).
+//!
+//! A time × rank grid of normalized performance per component type. Deep
+//! blue (1.0) is the best observed performance; values toward 0.5 and
+//! below render white in the paper's figures and mark variance. Cells with
+//! no senses hold `NaN` and are rendered as gaps.
+
+use cluster_sim::time::Duration;
+
+/// A dense time × rank grid of normalized performance values.
+#[derive(Clone, Debug)]
+pub struct PerformanceMatrix {
+    ranks: usize,
+    bins: usize,
+    resolution: Duration,
+    /// Row-major `[rank][bin]`: sum of normalized perf and count, so cells
+    /// average incrementally.
+    sums: Vec<f64>,
+    counts: Vec<u32>,
+}
+
+impl PerformanceMatrix {
+    /// Create an empty matrix.
+    pub fn new(ranks: usize, bins: usize, resolution: Duration) -> Self {
+        PerformanceMatrix {
+            ranks,
+            bins,
+            resolution,
+            sums: vec![0.0; ranks * bins],
+            counts: vec![0; ranks * bins],
+        }
+    }
+
+    /// Number of ranks (rows).
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Number of time bins (columns).
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Time width of one bin.
+    pub fn resolution(&self) -> Duration {
+        self.resolution
+    }
+
+    /// Accumulate one observation into a cell. Out-of-range bins are
+    /// ignored (records can trickle in slightly past the nominal end).
+    pub fn add(&mut self, rank: usize, bin: u64, perf: f64) {
+        let bin = bin as usize;
+        if rank >= self.ranks || bin >= self.bins {
+            return;
+        }
+        let i = rank * self.bins + bin;
+        self.sums[i] += perf;
+        self.counts[i] += 1;
+    }
+
+    /// Average normalized performance of a cell; `None` if no data.
+    pub fn cell(&self, rank: usize, bin: usize) -> Option<f64> {
+        let i = rank * self.bins + bin;
+        if self.counts[i] == 0 {
+            None
+        } else {
+            Some(self.sums[i] / self.counts[i] as f64)
+        }
+    }
+
+    /// Mean performance over all populated cells (1.0 = perfectly stable).
+    pub fn mean(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for i in 0..self.sums.len() {
+            if self.counts[i] > 0 {
+                total += self.sums[i] / self.counts[i] as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Fraction of populated cells below `threshold`.
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        let mut below = 0usize;
+        let mut n = 0usize;
+        for i in 0..self.sums.len() {
+            if self.counts[i] > 0 {
+                n += 1;
+                if self.sums[i] / self.counts[i] as f64 <= threshold {
+                    below += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            below as f64 / n as f64
+        }
+    }
+
+    /// Fraction of cells that hold at least one observation.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().filter(|&&c| c > 0).count() as f64 / self.counts.len() as f64
+    }
+
+    /// Export as CSV: `rank,bin,time_s,perf` rows for populated cells.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("rank,bin,time_s,perf\n");
+        let bin_s = self.resolution.as_secs_f64();
+        for rank in 0..self.ranks {
+            for bin in 0..self.bins {
+                if let Some(p) = self.cell(rank, bin) {
+                    let _ = writeln!(out, "{rank},{bin},{:.4},{p:.4}", bin as f64 * bin_s);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_average_observations() {
+        let mut m = PerformanceMatrix::new(4, 10, Duration::from_millis(200));
+        m.add(1, 3, 0.8);
+        m.add(1, 3, 0.4);
+        assert!((m.cell(1, 3).unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(m.cell(0, 0), None);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let mut m = PerformanceMatrix::new(2, 2, Duration::from_millis(200));
+        m.add(5, 0, 1.0);
+        m.add(0, 99, 1.0);
+        assert_eq!(m.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fraction_below_flags_bad_cells() {
+        let mut m = PerformanceMatrix::new(2, 2, Duration::from_millis(200));
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 0.9);
+        m.add(1, 0, 0.3);
+        m.add(1, 1, 0.4);
+        assert!((m.fraction_below(0.5) - 0.5).abs() < 1e-12);
+        assert!((m.mean() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_lists_populated_cells_only() {
+        let mut m = PerformanceMatrix::new(2, 3, Duration::from_millis(200));
+        m.add(0, 0, 1.0);
+        m.add(1, 2, 0.5);
+        let csv = m.to_csv();
+        assert!(csv.starts_with("rank,bin,time_s,perf\n"));
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        assert!(csv.contains("1,2,0.4000,0.5000"));
+    }
+
+    #[test]
+    fn empty_matrix_defaults() {
+        let m = PerformanceMatrix::new(3, 3, Duration::from_millis(200));
+        assert_eq!(m.mean(), 1.0);
+        assert_eq!(m.fraction_below(0.5), 0.0);
+        assert_eq!(m.fill_ratio(), 0.0);
+    }
+}

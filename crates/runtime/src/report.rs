@@ -1,0 +1,197 @@
+//! The final variance report (§5.5).
+//!
+//! Bundles detected events, distribution statistics and data-volume
+//! accounting into a renderable summary — "the corresponding time,
+//! processes and component in a coarse-grain fashion", leaving the repair
+//! decision to the user.
+
+use crate::detect::VarianceEvent;
+use crate::distribution::DistributionStats;
+use crate::record::SensorKind;
+use cluster_sim::time::Duration;
+use std::fmt::Write;
+
+/// The complete end-of-run report.
+#[derive(Clone, Debug)]
+pub struct VarianceReport {
+    /// Detected events (time-sorted).
+    pub events: Vec<VarianceEvent>,
+    /// Merged distribution stats across all ranks.
+    pub distribution: DistributionStats,
+    /// Total run time (max over ranks).
+    pub run_time: Duration,
+    /// Ranks in the run.
+    pub ranks: usize,
+    /// Bytes the analysis server received.
+    pub server_bytes: u64,
+    /// Matrix bin width (for translating bins to seconds).
+    pub bin_width: Duration,
+    /// Mean normalized performance per component.
+    pub component_means: Vec<(SensorKind, f64)>,
+    /// Per-sensor aggregates (worst mean performance first); the "which
+    /// source location degraded" view.
+    pub worst_sensors: Vec<(String, SensorKind, f64)>,
+}
+
+impl VarianceReport {
+    /// Sense-time coverage across the whole job (Table 1 column).
+    pub fn coverage(&self) -> f64 {
+        // Sense time is summed across ranks; total is run_time × ranks.
+        let total = Duration::from_nanos(self.run_time.as_nanos() * self.ranks as u64);
+        self.distribution.coverage(total)
+    }
+
+    /// Mean sense frequency per process in Hz (Table 1 column).
+    pub fn frequency_hz(&self) -> f64 {
+        if self.ranks == 0 {
+            return 0.0;
+        }
+        self.distribution.frequency_hz(self.run_time) / self.ranks as f64
+    }
+
+    /// Server ingest rate in bytes per (virtual) second.
+    pub fn data_rate(&self) -> f64 {
+        let secs = self.run_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.server_bytes as f64 / secs
+        }
+    }
+
+    /// Whether any event affects the given component.
+    pub fn has_variance(&self, kind: SensorKind) -> bool {
+        self.events.iter().any(|e| e.kind == kind)
+    }
+
+    /// Render the human-readable report text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "vSensor report: {} ranks, {:.2}s run, {} senses, coverage {:.2}%, {:.3} MHz/process",
+            self.ranks,
+            self.run_time.as_secs_f64(),
+            self.distribution.sense_count,
+            self.coverage() * 100.0,
+            self.frequency_hz() / 1e6,
+        );
+        let _ = writeln!(
+            out,
+            "analysis server: {:.2} MB received ({:.1} KB/s)",
+            self.server_bytes as f64 / 1e6,
+            self.data_rate() / 1e3,
+        );
+        for (kind, mean) in &self.component_means {
+            let _ = writeln!(out, "  {} mean performance: {:.3}", kind.label(), mean);
+        }
+        let degraded: Vec<_> = self
+            .worst_sensors
+            .iter()
+            .filter(|(_, _, p)| *p < 0.9)
+            .take(5)
+            .collect();
+        if !degraded.is_empty() {
+            let _ = writeln!(out, "most degraded sensors:");
+            for (loc, kind, perf) in degraded {
+                let _ = writeln!(out, "  {perf:.3} [{:>4}] {loc}", kind.label());
+            }
+        }
+        if self.events.is_empty() {
+            let _ = writeln!(out, "no performance variance detected");
+        } else {
+            let _ = writeln!(out, "{} variance event(s):", self.events.len());
+            for e in &self.events {
+                let t0 = e.start_bin as f64 * self.bin_width.as_secs_f64();
+                let t1 = e.end_bin as f64 * self.bin_width.as_secs_f64();
+                let _ = writeln!(
+                    out,
+                    "  {} component degraded to {:.2} on ranks {}..={} during {:.1}s-{:.1}s{}",
+                    e.kind.label(),
+                    e.mean_perf,
+                    e.first_rank,
+                    e.last_rank,
+                    t0,
+                    t1,
+                    if e.is_persistent(
+                        (self.run_time.as_nanos() / self.bin_width.as_nanos().max(1)) as usize
+                    ) {
+                        " [persistent: suspect bad node]"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::time::VirtualTime;
+
+    fn sample_report() -> VarianceReport {
+        let mut dist = DistributionStats::new();
+        for i in 0..1000u64 {
+            dist.record(
+                VirtualTime::from_micros(i * 100),
+                Duration::from_micros(10),
+            );
+        }
+        VarianceReport {
+            events: vec![VarianceEvent {
+                kind: SensorKind::Network,
+                first_rank: 0,
+                last_rank: 1023,
+                start_bin: 80,
+                end_bin: 335,
+                mean_perf: 0.3,
+                cells: 100_000,
+            }],
+            distribution: dist,
+            run_time: Duration::from_secs(70),
+            ranks: 1024,
+            server_bytes: 8_800_000,
+            bin_width: Duration::from_millis(200),
+            component_means: vec![
+                (SensorKind::Computation, 0.97),
+                (SensorKind::Network, 0.61),
+            ],
+            worst_sensors: vec![
+                ("ft.mh:42 (C7)".into(), SensorKind::Network, 0.31),
+                ("ft.mh:17 (L2)".into(), SensorKind::Computation, 0.96),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_mentions_key_facts() {
+        let r = sample_report().render();
+        assert!(r.contains("1024 ranks"));
+        assert!(r.contains("Net component degraded"));
+        assert!(r.contains("16.0s-67.0s"));
+        assert!(r.contains("8.80 MB"));
+        // Degraded sensors listed; healthy ones (>= 0.9) omitted.
+        assert!(r.contains("most degraded sensors"));
+        assert!(r.contains("ft.mh:42"));
+        assert!(!r.contains("ft.mh:17"));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let mut rep = sample_report();
+        rep.events.clear();
+        assert!(rep.render().contains("no performance variance detected"));
+        assert!(!rep.has_variance(SensorKind::Network));
+    }
+
+    #[test]
+    fn rates_are_computed() {
+        let r = sample_report();
+        assert!(r.data_rate() > 0.0);
+        assert!(r.has_variance(SensorKind::Network));
+        assert!(!r.has_variance(SensorKind::Io));
+    }
+}

@@ -1,0 +1,422 @@
+//! The analysis server (§5.4).
+//!
+//! vSensor dedicates one process to inter-process analysis: every rank
+//! periodically ships its buffered slice records in batches; the server
+//! normalizes them against *global* standards (the fastest record of each
+//! sensor/group across all ranks, for process-invariant sensors) and
+//! accumulates per-component performance matrices. It also counts the bytes
+//! it receives — the paper's data-volume comparison against tracing tools
+//! (8.8 MB vs 501.5 MB for the cg.D.128 run) falls out of this counter.
+
+use crate::config::RuntimeConfig;
+use crate::detect::{detect_events, VarianceEvent};
+use crate::dynrules::Bucket;
+use crate::history::normalized;
+use crate::matrix::PerformanceMatrix;
+use crate::record::{SensorInfo, SensorKind, SliceRecord};
+use cluster_sim::time::Duration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use vsensor_lang::SensorId;
+
+/// Byte overhead charged per batch message (header / envelope).
+const BATCH_HEADER_BYTES: u64 = 64;
+
+/// The shared analysis server. Ranks call [`AnalysisServer::submit`]
+/// concurrently; call [`AnalysisServer::finalize`] after the run to get
+/// matrices and detected events.
+pub struct AnalysisServer {
+    inner: Mutex<ServerInner>,
+    config: RuntimeConfig,
+    sensors: Vec<SensorInfo>,
+    ranks: usize,
+}
+
+struct ServerInner {
+    /// All received records with their source rank (kept so matrices can
+    /// be normalized against final global standards).
+    records: Vec<(usize, SliceRecord)>,
+    /// Global standards per (sensor, bucket) for process-invariant
+    /// sensors; per (sensor, bucket, rank) otherwise.
+    global_std: HashMap<(SensorId, Bucket), Duration>,
+    local_std: HashMap<(SensorId, Bucket, usize), Duration>,
+    bytes_received: u64,
+    batches: u64,
+}
+
+impl AnalysisServer {
+    /// Create a server for `ranks` ranks and the given sensor table.
+    pub fn new(ranks: usize, sensors: Vec<SensorInfo>, config: RuntimeConfig) -> Self {
+        AnalysisServer {
+            inner: Mutex::new(ServerInner {
+                records: Vec::new(),
+                global_std: HashMap::new(),
+                local_std: HashMap::new(),
+                bytes_received: 0,
+                batches: 0,
+            }),
+            config,
+            sensors,
+            ranks,
+        }
+    }
+
+    /// Receive one batch from a rank.
+    pub fn submit(&self, rank: usize, batch: Vec<SliceRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.bytes_received +=
+            BATCH_HEADER_BYTES + batch.len() as u64 * SliceRecord::WIRE_BYTES;
+        inner.batches += 1;
+        for rec in batch {
+            let info = &self.sensors[rec.sensor.0 as usize];
+            if info.process_invariant {
+                let e = inner
+                    .global_std
+                    .entry((rec.sensor, rec.bucket))
+                    .or_insert(rec.avg);
+                if rec.avg < *e {
+                    *e = rec.avg;
+                }
+            } else {
+                let e = inner
+                    .local_std
+                    .entry((rec.sensor, rec.bucket, rank))
+                    .or_insert(rec.avg);
+                if rec.avg < *e {
+                    *e = rec.avg;
+                }
+            }
+            inner.records.push((rank, rec));
+        }
+    }
+
+    /// Total bytes received so far (batching overhead included).
+    pub fn bytes_received(&self) -> u64 {
+        self.inner.lock().bytes_received
+    }
+
+    /// Number of batches received.
+    pub fn batches(&self) -> u64 {
+        self.inner.lock().batches
+    }
+
+    /// Number of records received.
+    pub fn record_count(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// Interim snapshot: identical to [`Self::finalize`] but named for the
+    /// on-line use case — §2's workflow updates the report *periodically
+    /// while the program runs*, so users notice variance without waiting
+    /// for completion. The server is shared (`Arc`) and lock-protected, so
+    /// a monitor thread may call this concurrently with rank submissions.
+    pub fn snapshot(&self, up_to: cluster_sim::time::VirtualTime) -> ServerResult {
+        self.finalize(up_to)
+    }
+
+    /// Finish the run: build per-component matrices over `[0, run_end)` and
+    /// detect variance events.
+    pub fn finalize(&self, run_end: cluster_sim::time::VirtualTime) -> ServerResult {
+        let inner = self.inner.lock();
+        let bins = (self
+            .config
+            .matrix_bin(run_end)
+            .saturating_add(1)) as usize;
+        let mut matrices: HashMap<SensorKind, PerformanceMatrix> = SensorKind::ALL
+            .into_iter()
+            .map(|k| {
+                (
+                    k,
+                    PerformanceMatrix::new(self.ranks, bins, self.config.matrix_resolution),
+                )
+            })
+            .collect();
+
+        let slice_per_bin =
+            (self.config.matrix_resolution.as_nanos() / self.config.slice.as_nanos().max(1)).max(1);
+        for (rank, rec) in &inner.records {
+            let info = &self.sensors[rec.sensor.0 as usize];
+            let std = if info.process_invariant {
+                inner.global_std.get(&(rec.sensor, rec.bucket)).copied()
+            } else {
+                inner
+                    .local_std
+                    .get(&(rec.sensor, rec.bucket, *rank))
+                    .copied()
+            };
+            let Some(std) = std else { continue };
+            let perf = normalized(std, rec.avg);
+            let bin = rec.slice / slice_per_bin;
+            matrices
+                .get_mut(&info.kind)
+                .expect("all kinds present")
+                .add(*rank, bin, perf);
+        }
+
+        let mut events = Vec::new();
+        for kind in SensorKind::ALL {
+            let m = &matrices[&kind];
+            events.extend(detect_events(m, kind, self.config.variance_threshold));
+        }
+        events.sort_by(|a, b| {
+            (a.start_bin, a.first_rank, a.kind).cmp(&(b.start_bin, b.first_rank, b.kind))
+        });
+
+        // Per-sensor summary: mean normalized performance over all records
+        // (for "which source location degraded" reporting).
+        let mut per_sensor_acc: HashMap<SensorId, (f64, u64)> = HashMap::new();
+        for (rank, rec) in &inner.records {
+            let info = &self.sensors[rec.sensor.0 as usize];
+            let std = if info.process_invariant {
+                inner.global_std.get(&(rec.sensor, rec.bucket)).copied()
+            } else {
+                inner
+                    .local_std
+                    .get(&(rec.sensor, rec.bucket, *rank))
+                    .copied()
+            };
+            let Some(std) = std else { continue };
+            let e = per_sensor_acc.entry(rec.sensor).or_insert((0.0, 0));
+            e.0 += normalized(std, rec.avg);
+            e.1 += 1;
+        }
+        let mut sensor_summary: Vec<SensorSummary> = per_sensor_acc
+            .into_iter()
+            .map(|(sensor, (sum, n))| SensorSummary {
+                sensor,
+                location: self.sensors[sensor.0 as usize].location.clone(),
+                kind: self.sensors[sensor.0 as usize].kind,
+                mean_perf: sum / n as f64,
+                records: n,
+            })
+            .collect();
+        sensor_summary.sort_by(|a, b| {
+            a.mean_perf
+                .partial_cmp(&b.mean_perf)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        ServerResult {
+            matrices,
+            events,
+            sensor_summary,
+            bytes_received: inner.bytes_received,
+            batches: inner.batches,
+            records: inner.records.len(),
+        }
+    }
+}
+
+/// Per-sensor aggregate for "which source location degraded" reporting.
+#[derive(Clone, Debug)]
+pub struct SensorSummary {
+    /// The sensor.
+    pub sensor: SensorId,
+    /// Its source location.
+    pub location: String,
+    /// Its component.
+    pub kind: SensorKind,
+    /// Mean normalized performance over all its records.
+    pub mean_perf: f64,
+    /// Records received for it.
+    pub records: u64,
+}
+
+/// Final analysis output.
+pub struct ServerResult {
+    /// One matrix per component type.
+    pub matrices: HashMap<SensorKind, PerformanceMatrix>,
+    /// Detected variance events, sorted by time.
+    pub events: Vec<VarianceEvent>,
+    /// Per-sensor aggregates, worst mean performance first.
+    pub sensor_summary: Vec<SensorSummary>,
+    /// Total data received.
+    pub bytes_received: u64,
+    /// Batches received.
+    pub batches: u64,
+    /// Records received.
+    pub records: usize,
+}
+
+impl ServerResult {
+    /// Matrix for one component type.
+    pub fn matrix(&self, kind: SensorKind) -> &PerformanceMatrix {
+        &self.matrices[&kind]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::time::VirtualTime;
+
+    fn sensor_info(id: u32, kind: SensorKind, invariant: bool) -> SensorInfo {
+        SensorInfo {
+            sensor: SensorId(id),
+            kind,
+            process_invariant: invariant,
+            location: format!("test:{id}"),
+        }
+    }
+
+    fn rec(sensor: u32, slice: u64, avg_us: u64) -> SliceRecord {
+        SliceRecord {
+            sensor: SensorId(sensor),
+            slice,
+            avg: Duration::from_micros(avg_us),
+            count: 10,
+            bucket: Bucket(0),
+        }
+    }
+
+    fn default_server(ranks: usize) -> AnalysisServer {
+        AnalysisServer::new(
+            ranks,
+            vec![sensor_info(0, SensorKind::Computation, true)],
+            RuntimeConfig::free_probes(),
+        )
+    }
+
+    #[test]
+    fn counts_bytes_and_batches() {
+        let s = default_server(2);
+        s.submit(0, vec![rec(0, 0, 10), rec(0, 1, 10)]);
+        s.submit(1, vec![rec(0, 0, 10)]);
+        s.submit(1, vec![]); // empty batches are free
+        assert_eq!(s.batches(), 2);
+        assert_eq!(s.record_count(), 3);
+        assert_eq!(
+            s.bytes_received(),
+            2 * BATCH_HEADER_BYTES + 3 * SliceRecord::WIRE_BYTES
+        );
+    }
+
+    #[test]
+    fn cross_rank_normalization_flags_slow_rank() {
+        // Rank 1 is consistently 2x slower on an invariant sensor: with a
+        // *global* standard its normalized perf is 0.5 even though it is
+        // self-consistent.
+        let s = default_server(2);
+        for slice in 0..1000 {
+            s.submit(0, vec![rec(0, slice, 10)]);
+            s.submit(1, vec![rec(0, slice, 20)]);
+        }
+        let result = s.finalize(VirtualTime::from_secs(1));
+        let m = result.matrix(SensorKind::Computation);
+        assert!(m.cell(0, 0).unwrap() > 0.95);
+        assert!(m.cell(1, 0).unwrap() < 0.55);
+        assert!(
+            !result.events.is_empty(),
+            "slow rank must surface as an event"
+        );
+        assert_eq!(result.events[0].first_rank, 1);
+    }
+
+    #[test]
+    fn rank_dependent_sensor_uses_local_standard() {
+        let s = AnalysisServer::new(
+            2,
+            vec![sensor_info(0, SensorKind::Computation, false)],
+            RuntimeConfig::free_probes(),
+        );
+        for slice in 0..1000 {
+            s.submit(0, vec![rec(0, slice, 10)]);
+            s.submit(1, vec![rec(0, slice, 20)]); // legitimately more work
+        }
+        let result = s.finalize(VirtualTime::from_secs(1));
+        let m = result.matrix(SensorKind::Computation);
+        // Both ranks normalize to ~1.0 against their own standards.
+        assert!(m.cell(1, 0).unwrap() > 0.95);
+        assert!(result.events.is_empty(), "{:?}", result.events);
+    }
+
+    #[test]
+    fn temporal_degradation_appears_in_the_right_bins() {
+        let s = default_server(1);
+        // 10 s run, 200 ms bins; sensor slows 3x during [4 s, 6 s).
+        for slice in 0..10_000u64 {
+            let t_us = slice * 1000;
+            let avg = if (4_000_000..6_000_000).contains(&t_us) {
+                30
+            } else {
+                10
+            };
+            s.submit(0, vec![rec(0, slice, avg)]);
+        }
+        let result = s.finalize(VirtualTime::from_secs(10));
+        let m = result.matrix(SensorKind::Computation);
+        assert!(m.cell(0, 10).unwrap() > 0.9, "before: fine");
+        assert!(m.cell(0, 25).unwrap() < 0.4, "during: degraded");
+        assert!(m.cell(0, 45).unwrap() > 0.9, "after: fine");
+        let ev = &result.events[0];
+        // Bins 20..30 correspond to seconds 4-6.
+        assert!(ev.start_bin >= 19 && ev.start_bin <= 21, "{ev:?}");
+        assert!(ev.end_bin >= 29 && ev.end_bin <= 31, "{ev:?}");
+    }
+
+    #[test]
+    fn snapshots_refine_as_data_arrives() {
+        // The on-line workflow: interim snapshots show variance as soon as
+        // the degraded slices arrive, before the run ends.
+        let s = default_server(1);
+        for slice in 0..200 {
+            s.submit(0, vec![rec(0, slice, 10)]);
+        }
+        let early = s.snapshot(VirtualTime::from_millis(200));
+        assert!(early.events.is_empty(), "healthy so far");
+        for slice in 200..600 {
+            s.submit(0, vec![rec(0, slice, 40)]); // 4x slowdown begins
+        }
+        let mid = s.snapshot(VirtualTime::from_millis(600));
+        assert!(!mid.events.is_empty(), "variance visible mid-run");
+        // Snapshots do not consume state: finalize still sees everything.
+        let fin = s.finalize(VirtualTime::from_millis(600));
+        assert_eq!(fin.records, 600);
+    }
+
+    #[test]
+    fn sensor_summary_orders_worst_first() {
+        let s = AnalysisServer::new(
+            1,
+            vec![
+                sensor_info(0, SensorKind::Computation, true),
+                sensor_info(1, SensorKind::Network, true),
+            ],
+            RuntimeConfig::free_probes(),
+        );
+        for slice in 0..100 {
+            // Sensor 0: steady. Sensor 1: degrades over time.
+            s.submit(0, vec![rec(0, slice, 10)]);
+            s.submit(0, vec![rec(1, slice, 10 + slice / 10)]);
+        }
+        let result = s.finalize(VirtualTime::from_millis(100));
+        assert_eq!(result.sensor_summary.len(), 2);
+        assert_eq!(result.sensor_summary[0].sensor, SensorId(1), "worst first");
+        assert!(result.sensor_summary[0].mean_perf < result.sensor_summary[1].mean_perf);
+        assert!(result.sensor_summary[1].mean_perf > 0.99);
+        assert_eq!(result.sensor_summary[0].records, 100);
+    }
+
+    #[test]
+    fn matrices_split_by_component() {
+        let s = AnalysisServer::new(
+            1,
+            vec![
+                sensor_info(0, SensorKind::Computation, true),
+                sensor_info(1, SensorKind::Network, true),
+            ],
+            RuntimeConfig::free_probes(),
+        );
+        s.submit(0, vec![rec(0, 0, 10), rec(1, 0, 50)]);
+        let result = s.finalize(VirtualTime::from_millis(10));
+        assert!(result
+            .matrix(SensorKind::Computation)
+            .cell(0, 0)
+            .is_some());
+        assert!(result.matrix(SensorKind::Network).cell(0, 0).is_some());
+        assert!(result.matrix(SensorKind::Io).cell(0, 0).is_none());
+    }
+}

@@ -1,0 +1,369 @@
+//! The per-process sensor runtime: Tick/Tock handling (§4, §5.3).
+//!
+//! One [`SensorRuntime`] lives inside each rank. `tick(sensor)` notes the
+//! start of a sense; `tock(sensor)` closes it, feeds the smoothing
+//! aggregator, updates the local history, and buffers finished slice
+//! records for the next batch flush to the analysis server. Both probes
+//! report their own virtual cost so the caller can charge it to the rank's
+//! clock — the probes are *not* fixed-workload code, which is exactly why
+//! nested sensors are never instrumented (§4).
+//!
+//! §5.3's runtime throttling is implemented here: a sensor whose senses are
+//! consistently shorter than `min_sense_duration` after a probation period
+//! is disabled, and its probes degrade to a near-free check.
+
+use crate::config::RuntimeConfig;
+use crate::distribution::DistributionStats;
+use crate::dynrules::{DynamicRule, SenseMetrics};
+use crate::history::History;
+use crate::record::SliceRecord;
+use crate::smoothing::SliceAggregator;
+use cluster_sim::time::{Duration, VirtualTime};
+use std::sync::Arc;
+use vsensor_lang::SensorId;
+
+/// Per-sensor dynamic state.
+#[derive(Clone, Debug)]
+struct SensorState {
+    aggregator: SliceAggregator,
+    open_since: Option<VirtualTime>,
+    senses: u32,
+    short_senses: u32,
+    disabled: bool,
+}
+
+/// The per-rank dynamic module.
+pub struct SensorRuntime {
+    config: RuntimeConfig,
+    rule: Arc<dyn DynamicRule>,
+    states: Vec<SensorState>,
+    history: History,
+    distribution: DistributionStats,
+    outbox: Vec<SliceRecord>,
+    last_flush: VirtualTime,
+    /// Count of locally-detected variance records (normalized perf below
+    /// threshold), for quick per-rank summaries.
+    local_variances: u64,
+}
+
+/// What a probe call costs and whether a flush is due.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Virtual time the probe consumed; charge it to the rank clock.
+    pub cost: Duration,
+}
+
+impl SensorRuntime {
+    /// Create a runtime for `sensor_count` sensors with the default
+    /// (constant-expected) dynamic rule.
+    pub fn new(sensor_count: usize, config: RuntimeConfig) -> Self {
+        Self::with_rule(
+            sensor_count,
+            config,
+            Arc::new(crate::dynrules::ConstantExpected),
+        )
+    }
+
+    /// Create a runtime with a custom dynamic rule.
+    pub fn with_rule(
+        sensor_count: usize,
+        config: RuntimeConfig,
+        rule: Arc<dyn DynamicRule>,
+    ) -> Self {
+        SensorRuntime {
+            config,
+            rule,
+            states: (0..sensor_count)
+                .map(|i| SensorState {
+                    aggregator: SliceAggregator::new(SensorId(i as u32)),
+                    open_since: None,
+                    senses: 0,
+                    short_senses: 0,
+                    disabled: false,
+                })
+                .collect(),
+            history: History::new(),
+            distribution: DistributionStats::new(),
+            outbox: Vec::new(),
+            last_flush: VirtualTime::ZERO,
+            local_variances: 0,
+        }
+    }
+
+    /// Start a sense.
+    pub fn tick(&mut self, sensor: SensorId, now: VirtualTime) -> ProbeOutcome {
+        let st = &mut self.states[sensor.0 as usize];
+        if st.disabled {
+            return ProbeOutcome {
+                cost: self.config.disabled_overhead,
+            };
+        }
+        st.open_since = Some(now);
+        ProbeOutcome {
+            cost: self.config.probe_overhead,
+        }
+    }
+
+    /// End a sense. `metrics` carries the dynamic-rule inputs observed
+    /// during the sense (e.g. PMU cache-miss rate).
+    pub fn tock(
+        &mut self,
+        sensor: SensorId,
+        now: VirtualTime,
+        metrics: SenseMetrics,
+    ) -> ProbeOutcome {
+        let st = &mut self.states[sensor.0 as usize];
+        if st.disabled {
+            return ProbeOutcome {
+                cost: self.config.disabled_overhead,
+            };
+        }
+        let Some(start) = st.open_since.take() else {
+            // Unmatched tock — tolerated (e.g. sensor disabled between the
+            // probes), costs only the check.
+            return ProbeOutcome {
+                cost: self.config.disabled_overhead,
+            };
+        };
+        let duration = now.since(start);
+
+        // Throttling (§5.3): during probation, count short senses; if the
+        // sensor is dominated by them, turn it off.
+        st.senses += 1;
+        if duration < self.config.min_sense_duration {
+            st.short_senses += 1;
+        }
+        if st.senses == self.config.throttle_probation
+            && st.short_senses * 2 > st.senses
+        {
+            st.disabled = true;
+        }
+
+        self.distribution.record(start, duration);
+
+        let bucket = self.rule.bucket(&metrics);
+        let finished = st.aggregator.add(&self.config, start, duration, bucket);
+        let mut cost = self.config.probe_overhead;
+        if let Some(rec) = finished {
+            // On-line analysis runs once per closed slice.
+            cost += self.config.analysis_overhead;
+            let perf = self.history.observe(&rec);
+            if perf < self.config.variance_threshold {
+                self.local_variances += 1;
+            }
+            self.outbox.push(rec);
+        }
+        ProbeOutcome { cost }
+    }
+
+    /// Whether a batch flush to the server is due (§5.4 batching).
+    pub fn flush_due(&self, now: VirtualTime) -> bool {
+        now.since(self.last_flush) >= self.config.batch_interval && !self.outbox.is_empty()
+    }
+
+    /// Take the buffered records for transmission.
+    pub fn take_batch(&mut self, now: VirtualTime) -> Vec<SliceRecord> {
+        self.last_flush = now;
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Finalize at end of run: flush every aggregator and return the final
+    /// batch.
+    pub fn finish(&mut self, _now: VirtualTime) -> Vec<SliceRecord> {
+        for st in &mut self.states {
+            if let Some(rec) = st.aggregator.finish() {
+                let perf = self.history.observe(&rec);
+                if perf < self.config.variance_threshold {
+                    self.local_variances += 1;
+                }
+                self.outbox.push(rec);
+            }
+        }
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Sense-distribution statistics collected so far.
+    pub fn distribution(&self) -> &DistributionStats {
+        &self.distribution
+    }
+
+    /// Local history (standards per sensor/group).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Locally-flagged variance record count.
+    pub fn local_variances(&self) -> u64 {
+        self.local_variances
+    }
+
+    /// Whether a sensor has been throttled off.
+    pub fn is_disabled(&self, sensor: SensorId) -> bool {
+        self.states[sensor.0 as usize].disabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free() -> RuntimeConfig {
+        RuntimeConfig::free_probes()
+    }
+
+    fn run_senses(
+        rt: &mut SensorRuntime,
+        sensor: SensorId,
+        n: u64,
+        dur_ns: u64,
+        gap_ns: u64,
+    ) -> VirtualTime {
+        let mut t = VirtualTime::ZERO;
+        for _ in 0..n {
+            rt.tick(sensor, t);
+            t += Duration::from_nanos(dur_ns);
+            rt.tock(sensor, t, SenseMetrics::default());
+            t += Duration::from_nanos(gap_ns);
+        }
+        t
+    }
+
+    #[test]
+    fn records_flow_to_outbox() {
+        let mut rt = SensorRuntime::new(1, free());
+        // 10 us senses, 90 us gaps → 10 per 1000 us slice.
+        let end = run_senses(&mut rt, SensorId(0), 100, 10_000, 90_000);
+        let batch = rt.take_batch(end);
+        let tail = rt.finish(end);
+        let total: u32 = batch.iter().chain(&tail).map(|r| r.count).sum();
+        assert_eq!(total, 100, "every sense aggregated exactly once");
+        assert!(batch.len() >= 9, "about one record per slice: {}", batch.len());
+    }
+
+    #[test]
+    fn probe_costs_are_charged() {
+        let mut rt = SensorRuntime::new(1, RuntimeConfig::default());
+        let c1 = rt.tick(SensorId(0), VirtualTime::ZERO);
+        assert_eq!(c1.cost, RuntimeConfig::default().probe_overhead);
+        let c2 = rt.tock(
+            SensorId(0),
+            VirtualTime::from_micros(50),
+            SenseMetrics::default(),
+        );
+        assert!(c2.cost >= RuntimeConfig::default().probe_overhead);
+    }
+
+    #[test]
+    fn short_sensor_gets_throttled() {
+        let mut cfg = free();
+        cfg.min_sense_duration = Duration::from_nanos(1000);
+        cfg.throttle_probation = 8;
+        let mut rt = SensorRuntime::new(1, cfg);
+        // All senses are 100 ns — far below the 1 us minimum.
+        run_senses(&mut rt, SensorId(0), 10, 100, 100);
+        assert!(rt.is_disabled(SensorId(0)));
+        // Disabled probes cost only the cheap check.
+        let out = rt.tick(SensorId(0), VirtualTime::from_secs(1));
+        assert_eq!(out.cost, Duration::ZERO); // free_probes config
+    }
+
+    #[test]
+    fn long_sensor_stays_enabled() {
+        let mut cfg = free();
+        cfg.min_sense_duration = Duration::from_nanos(1000);
+        cfg.throttle_probation = 8;
+        let mut rt = SensorRuntime::new(1, cfg);
+        run_senses(&mut rt, SensorId(0), 100, 50_000, 1000);
+        assert!(!rt.is_disabled(SensorId(0)));
+    }
+
+    #[test]
+    fn variance_counted_when_slowdown_appears() {
+        let mut rt = SensorRuntime::new(1, free());
+        // Fast phase: 10 us senses.
+        let t1 = run_senses(&mut rt, SensorId(0), 200, 10_000, 0);
+        // Slow phase: same sensor suddenly takes 30 us (3x).
+        let mut t = t1 + Duration::from_micros(10);
+        for _ in 0..200 {
+            rt.tick(SensorId(0), t);
+            t += Duration::from_micros(30);
+            rt.tock(SensorId(0), t, SenseMetrics::default());
+        }
+        rt.finish(t);
+        assert!(rt.local_variances() > 0, "slowdown must be flagged");
+    }
+
+    #[test]
+    fn dynamic_rule_splits_groups() {
+        use crate::dynrules::CacheMissBuckets;
+        let mut rt = SensorRuntime::with_rule(
+            1,
+            free(),
+            Arc::new(CacheMissBuckets::high_low(0.5)),
+        );
+        let mut t = VirtualTime::ZERO;
+        // Alternate slices of low-miss (fast) and high-miss (slow) senses.
+        for phase in 0..10 {
+            let (dur, miss) = if phase % 2 == 0 {
+                (10_000u64, 0.05)
+            } else {
+                (30_000u64, 0.80)
+            };
+            for _ in 0..100 {
+                rt.tick(SensorId(0), t);
+                t += Duration::from_nanos(dur);
+                rt.tock(
+                    SensorId(0),
+                    t,
+                    SenseMetrics {
+                        cache_miss_rate: miss,
+                    },
+                );
+            }
+        }
+        rt.finish(t);
+        // With the rule, the slow-but-high-miss records live in their own
+        // group: no false variance.
+        assert_eq!(rt.local_variances(), 0, "figure 13 case 2");
+        assert_eq!(rt.history().stored_scalars(), 2);
+    }
+
+    #[test]
+    fn without_rule_high_miss_is_false_positive() {
+        // Figure 13 case 1: same workload, no grouping → the high-miss
+        // slices look like variance.
+        let mut rt = SensorRuntime::new(1, free());
+        let mut t = VirtualTime::ZERO;
+        for phase in 0..10 {
+            let dur = if phase % 2 == 0 { 10_000u64 } else { 30_000 };
+            for _ in 0..100 {
+                rt.tick(SensorId(0), t);
+                t += Duration::from_nanos(dur);
+                rt.tock(SensorId(0), t, SenseMetrics::default());
+            }
+        }
+        rt.finish(t);
+        assert!(rt.local_variances() > 0);
+    }
+
+    #[test]
+    fn flush_due_honours_interval() {
+        let mut cfg = free();
+        cfg.batch_interval = Duration::from_millis(10);
+        let mut rt = SensorRuntime::new(1, cfg);
+        // 300 senses x 100 us = 30 ms of virtual time, past the interval.
+        let end = run_senses(&mut rt, SensorId(0), 300, 10_000, 90_000);
+        assert!(rt.flush_due(end));
+        let batch = rt.take_batch(end);
+        assert!(!batch.is_empty());
+        assert!(!rt.flush_due(end), "just flushed");
+    }
+
+    #[test]
+    fn unmatched_tock_is_tolerated() {
+        let mut rt = SensorRuntime::new(1, free());
+        let out = rt.tock(SensorId(0), VirtualTime::from_micros(5), SenseMetrics::default());
+        assert_eq!(out.cost, Duration::ZERO);
+        assert_eq!(rt.distribution().sense_count, 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Collective operations.
+//!
+//! A single generation-counted rendezvous synchronizes all ranks of the
+//! world communicator. Each rank enters with its virtual clock (and an
+//! optional scalar contribution); the last arriver computes the common exit
+//! time `max(entries) + cost(op, procs, bytes)` and the reduced value, then
+//! bumps the generation to release everyone. MPI requires all ranks to call
+//! collectives in the same order, which is what makes one slot per
+//! communicator sufficient; the slot asserts that the op/byte arguments of
+//! all ranks agree, catching mismatched-collective bugs in test programs.
+
+use cluster_sim::network::CollectiveOp;
+use cluster_sim::time::VirtualTime;
+use cluster_sim::Cluster;
+use parking_lot::{Condvar, Mutex};
+
+use crate::p2p::DEADLOCK_TIMEOUT;
+
+/// Reduction operators for `reduce`/`allreduce`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum of contributions.
+    Sum,
+    /// Minimum contribution.
+    Min,
+    /// Maximum contribution.
+    Max,
+}
+
+impl ReduceOp {
+    fn identity(self) -> i64 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Min => i64::MAX,
+            ReduceOp::Max => i64::MIN,
+        }
+    }
+
+    fn fold(self, a: i64, b: i64) -> i64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// What one rank passes into a collective.
+#[derive(Clone, Copy, Debug)]
+pub struct CollectiveEntry {
+    /// The operation; must agree across ranks.
+    pub op: CollectiveOp,
+    /// Per-rank byte count; must agree across ranks.
+    pub bytes: u64,
+    /// Caller's virtual clock on entry.
+    pub at: VirtualTime,
+    /// Scalar contribution (reductions and bcast payloads).
+    pub value: i64,
+    /// Reduction operator (ignored for non-reductions).
+    pub rop: ReduceOp,
+    /// Whether this rank's `value` is the broadcast payload (root).
+    pub is_root: bool,
+}
+
+/// The shared rendezvous state.
+#[derive(Debug)]
+pub struct CollectiveSlot {
+    state: Mutex<SlotState>,
+    cond: Condvar,
+    procs: usize,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    generation: u64,
+    arrived: usize,
+    op: Option<CollectiveOp>,
+    bytes: u64,
+    max_entry: VirtualTime,
+    acc: i64,
+    rop: ReduceOp,
+    bcast_val: i64,
+    // Results of the previous generation, read by released waiters.
+    done_exit: VirtualTime,
+    done_value: i64,
+}
+
+/// A completed collective: common exit time plus the combined value
+/// (reduction result, or the root's payload for bcast).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollectiveResult {
+    /// Virtual instant every rank leaves the collective.
+    pub exit: VirtualTime,
+    /// Combined scalar value.
+    pub value: i64,
+}
+
+impl CollectiveSlot {
+    /// Create a slot for `procs` ranks.
+    pub fn new(procs: usize) -> Self {
+        CollectiveSlot {
+            state: Mutex::new(SlotState {
+                generation: 0,
+                arrived: 0,
+                op: None,
+                bytes: 0,
+                max_entry: VirtualTime::ZERO,
+                acc: 0,
+                rop: ReduceOp::Sum,
+                bcast_val: 0,
+                done_exit: VirtualTime::ZERO,
+                done_value: 0,
+            }),
+            cond: Condvar::new(),
+            procs,
+        }
+    }
+
+    /// Enter the collective; blocks (in real time) until every rank has
+    /// entered, then returns the common result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks disagree on the operation or byte count, or when a
+    /// real-time deadlock timeout expires (some rank never arrived).
+    pub fn enter(&self, cluster: &Cluster, entry: CollectiveEntry) -> CollectiveResult {
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+
+        if st.arrived == 0 {
+            st.op = Some(entry.op);
+            st.bytes = entry.bytes;
+            st.rop = entry.rop;
+            st.acc = entry.rop.identity();
+            st.max_entry = VirtualTime::ZERO;
+        } else {
+            assert_eq!(
+                st.op,
+                Some(entry.op),
+                "collective mismatch: ranks disagree on the operation"
+            );
+            assert_eq!(
+                st.bytes, entry.bytes,
+                "collective mismatch: ranks disagree on byte count"
+            );
+        }
+        st.arrived += 1;
+        st.max_entry = st.max_entry.max(entry.at);
+        let rop = st.rop;
+        st.acc = rop.fold(st.acc, entry.value);
+        if entry.is_root {
+            st.bcast_val = entry.value;
+        }
+
+        if st.arrived == self.procs {
+            // Last arriver: compute the result and release the generation.
+            let cost =
+                cluster.collective_cost(entry.op, self.procs, st.bytes, st.max_entry);
+            st.done_exit = st.max_entry + cost;
+            st.done_value = match entry.op {
+                CollectiveOp::Bcast => st.bcast_val,
+                _ => st.acc,
+            };
+            st.arrived = 0;
+            st.generation += 1;
+            self.cond.notify_all();
+            return CollectiveResult {
+                exit: st.done_exit,
+                value: st.done_value,
+            };
+        }
+
+        while st.generation == my_gen {
+            if self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out() {
+                panic!(
+                    "simmpi deadlock: collective {:?} waited {:?} with {}/{} ranks arrived",
+                    entry.op, DEADLOCK_TIMEOUT, st.arrived, self.procs
+                );
+            }
+        }
+        CollectiveResult {
+            exit: st.done_exit,
+            value: st.done_value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::ClusterConfig;
+    use std::sync::Arc;
+
+    fn entry(op: CollectiveOp, at_ns: u64, value: i64) -> CollectiveEntry {
+        CollectiveEntry {
+            op,
+            bytes: 0,
+            at: VirtualTime(at_ns),
+            value,
+            rop: ReduceOp::Sum,
+            is_root: false,
+        }
+    }
+
+    fn run_collective(
+        procs: usize,
+        entries: Vec<CollectiveEntry>,
+    ) -> Vec<CollectiveResult> {
+        let cluster = Arc::new(ClusterConfig::quiet(procs).build());
+        let slot = Arc::new(CollectiveSlot::new(procs));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = entries
+                .into_iter()
+                .map(|e| {
+                    let slot = slot.clone();
+                    let cluster = cluster.clone();
+                    s.spawn(move || slot.enter(&cluster, e))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn barrier_synchronizes_to_max_plus_cost() {
+        let rs = run_collective(
+            4,
+            (0..4)
+                .map(|i| entry(CollectiveOp::Barrier, (i as u64 + 1) * 1000, 0))
+                .collect(),
+        );
+        assert!(rs.iter().all(|r| r.exit == rs[0].exit));
+        assert!(rs[0].exit > VirtualTime(4000), "exit after last entry");
+    }
+
+    #[test]
+    fn allreduce_sums_contributions() {
+        let rs = run_collective(
+            3,
+            vec![
+                entry(CollectiveOp::Allreduce, 0, 5),
+                entry(CollectiveOp::Allreduce, 0, 7),
+                entry(CollectiveOp::Allreduce, 0, 8),
+            ],
+        );
+        assert!(rs.iter().all(|r| r.value == 20));
+    }
+
+    #[test]
+    fn reduce_min_max() {
+        for (rop, expect) in [(ReduceOp::Min, 2), (ReduceOp::Max, 9)] {
+            let entries = [2i64, 9, 4]
+                .iter()
+                .map(|&v| CollectiveEntry {
+                    op: CollectiveOp::Allreduce,
+                    bytes: 0,
+                    at: VirtualTime::ZERO,
+                    value: v,
+                    rop,
+                    is_root: false,
+                })
+                .collect();
+            let rs = run_collective(3, entries);
+            assert!(rs.iter().all(|r| r.value == expect));
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_value() {
+        let mut entries: Vec<CollectiveEntry> = (0..4)
+            .map(|_| entry(CollectiveOp::Bcast, 0, -1))
+            .collect();
+        entries[2].value = 42;
+        entries[2].is_root = true;
+        let rs = run_collective(4, entries);
+        assert!(rs.iter().all(|r| r.value == 42));
+    }
+
+    #[test]
+    fn slot_is_reusable_across_generations() {
+        let procs = 3;
+        let cluster = Arc::new(ClusterConfig::quiet(procs).build());
+        let slot = Arc::new(CollectiveSlot::new(procs));
+        let results: Vec<Vec<i64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..procs)
+                .map(|r| {
+                    let slot = slot.clone();
+                    let cluster = cluster.clone();
+                    s.spawn(move || {
+                        (0..10)
+                            .map(|round| {
+                                slot.enter(&cluster, entry(CollectiveOp::Allreduce, 0, (r + round) as i64))
+                                    .value
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for round in 0..10 {
+            let expect: i64 = (0..procs as i64).map(|r| r + round as i64).sum();
+            for r in &results {
+                assert_eq!(r[round], expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Point-to-point messaging.
+//!
+//! A [`Mailbox`] per rank holds in-flight messages. Sends are *eager*: the
+//! sender deposits the message stamped with its virtual clock and moves on
+//! (plus a fixed software overhead). A receive blocks — in real time — until
+//! a matching message exists, then completes at virtual time
+//! `max(post_time, arrival_time)`, where arrival is the send time plus the
+//! network cost at the send instant.
+
+use cluster_sim::time::VirtualTime;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration as StdDuration;
+
+/// Wildcard source for [`crate::Proc::recv`].
+pub const ANY_SOURCE: usize = usize::MAX;
+/// Wildcard tag for [`crate::Proc::recv`].
+pub const ANY_TAG: i64 = i64::MIN;
+
+/// How long a receive may block in *real* time before the simulation
+/// declares a deadlock. Virtual time never times out.
+pub(crate) const DEADLOCK_TIMEOUT: StdDuration = StdDuration::from_secs(30);
+
+/// An in-flight message.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag.
+    pub tag: i64,
+    /// Message size in bytes (drives network cost).
+    pub bytes: u64,
+    /// Virtual instant the message left the sender.
+    pub sent_at: VirtualTime,
+    /// Virtual instant the message reaches the receiver's NIC.
+    pub arrives_at: VirtualTime,
+    /// Optional scalar payload (MiniHPC messages carry one value).
+    pub value: i64,
+}
+
+/// What a completed receive reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvInfo {
+    /// Actual source rank.
+    pub src: usize,
+    /// Actual tag.
+    pub tag: i64,
+    /// Message size.
+    pub bytes: u64,
+    /// Scalar payload.
+    pub value: i64,
+    /// Virtual completion time of the receive.
+    pub completed_at: VirtualTime,
+}
+
+/// A rank's incoming-message queue.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    inner: Mutex<VecDeque<Message>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    /// Deposit a message and wake any waiting receiver.
+    pub fn push(&self, msg: Message) {
+        self.inner.lock().push_back(msg);
+        self.cond.notify_all();
+    }
+
+    /// Block until a message matching `(src, tag)` is available and remove
+    /// it. Wildcards [`ANY_SOURCE`] / [`ANY_TAG`] match anything; among
+    /// multiple matches the one with the earliest `(arrives_at, src)` wins,
+    /// which keeps wildcard receives as deterministic as eager delivery
+    /// allows.
+    ///
+    /// # Panics
+    ///
+    /// Panics after a 30-second real-time deadlock timeout with no match — in a
+    /// correct program this means a peer is never going to send.
+    pub fn take_matching(&self, src: usize, tag: i64) -> Message {
+        let mut q = self.inner.lock();
+        loop {
+            let best = q
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| {
+                    (src == ANY_SOURCE || m.src == src) && (tag == ANY_TAG || m.tag == tag)
+                })
+                .min_by_key(|(_, m)| (m.arrives_at, m.src))
+                .map(|(i, _)| i);
+            if let Some(i) = best {
+                return q.remove(i).expect("index valid under lock");
+            }
+            if self
+                .cond
+                .wait_for(&mut q, DEADLOCK_TIMEOUT)
+                .timed_out()
+            {
+                panic!(
+                    "simmpi deadlock: recv(src={}, tag={}) waited {:?} with no matching send \
+                     ({} unrelated message(s) queued)",
+                    if src == ANY_SOURCE { "ANY".to_string() } else { src.to_string() },
+                    if tag == ANY_TAG { "ANY".to_string() } else { tag.to_string() },
+                    DEADLOCK_TIMEOUT,
+                    q.len(),
+                );
+            }
+        }
+    }
+
+    /// Number of queued messages (diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, tag: i64, arrives_ns: u64) -> Message {
+        Message {
+            src,
+            tag,
+            bytes: 8,
+            sent_at: VirtualTime::ZERO,
+            arrives_at: VirtualTime(arrives_ns),
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn exact_match_takes_only_matching() {
+        let mb = Mailbox::default();
+        mb.push(msg(1, 7, 100));
+        mb.push(msg(2, 7, 50));
+        let m = mb.take_matching(1, 7);
+        assert_eq!(m.src, 1);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn any_source_takes_earliest_arrival() {
+        let mb = Mailbox::default();
+        mb.push(msg(1, 7, 100));
+        mb.push(msg(2, 7, 50));
+        let m = mb.take_matching(ANY_SOURCE, 7);
+        assert_eq!(m.src, 2);
+    }
+
+    #[test]
+    fn any_tag_matches_any() {
+        let mb = Mailbox::default();
+        mb.push(msg(3, 42, 10));
+        let m = mb.take_matching(3, ANY_TAG);
+        assert_eq!(m.tag, 42);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_push() {
+        let mb = std::sync::Arc::new(Mailbox::default());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || mb2.take_matching(0, 1));
+        std::thread::sleep(StdDuration::from_millis(20));
+        mb.push(msg(0, 1, 5));
+        let m = h.join().unwrap();
+        assert_eq!(m.src, 0);
+    }
+
+    #[test]
+    fn ties_broken_by_source() {
+        let mb = Mailbox::default();
+        mb.push(msg(5, 1, 50));
+        mb.push(msg(2, 1, 50));
+        assert_eq!(mb.take_matching(ANY_SOURCE, 1).src, 2);
+    }
+}

@@ -1,0 +1,418 @@
+//! The per-rank process handle.
+//!
+//! A [`Proc`] is what a rank's program code holds: it owns the rank's
+//! virtual clock, forwards compute/communication requests to the shared
+//! cluster model, and tallies [`crate::ProcStats`]. All MPI entry points
+//! charge a small fixed software overhead, like real MPI library calls.
+
+use crate::collectives::{CollectiveEntry, CollectiveResult, CollectiveSlot, ReduceOp};
+use crate::comm::{Comm, CommRegistry};
+use crate::p2p::{Mailbox, Message, RecvInfo};
+use crate::stats::ProcStats;
+use cluster_sim::network::CollectiveOp;
+use cluster_sim::node::Work;
+use cluster_sim::time::{Duration, VirtualTime};
+use cluster_sim::Cluster;
+use std::sync::Arc;
+
+/// Fixed software overhead charged on entry to every MPI call.
+pub const MPI_CALL_OVERHEAD: Duration = Duration(120);
+
+/// Shared immutable state between all ranks of a world.
+pub(crate) struct WorldShared {
+    pub cluster: Arc<Cluster>,
+    pub mailboxes: Vec<Mailbox>,
+    pub collective: CollectiveSlot,
+    pub comms: CommRegistry,
+}
+
+/// One rank's execution context.
+pub struct Proc {
+    rank: usize,
+    size: usize,
+    clock: VirtualTime,
+    stats: ProcStats,
+    sample_counter: u64,
+    shared: Arc<WorldShared>,
+}
+
+impl Proc {
+    pub(crate) fn new(rank: usize, size: usize, shared: Arc<WorldShared>) -> Self {
+        Proc {
+            rank,
+            size,
+            clock: VirtualTime::ZERO,
+            stats: ProcStats::default(),
+            sample_counter: 0,
+            shared,
+        }
+    }
+
+    /// This rank's ID in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> VirtualTime {
+        self.clock
+    }
+
+    /// The cluster model this rank runs on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.shared.cluster
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> ProcStats {
+        self.stats
+    }
+
+    /// Hostname-style identifier of the node hosting this rank (the
+    /// `gethostname` analogue the rank-dependence analysis cares about).
+    pub fn node_id(&self) -> usize {
+        self.shared.cluster.topology().node_of(self.rank)
+    }
+
+    fn next_key(&mut self) -> u64 {
+        self.sample_counter += 1;
+        self.sample_counter
+    }
+
+    /// Perform `work` with the given cache-miss rate; advances the clock by
+    /// the noise-adjusted elapsed time and returns it.
+    pub fn compute(&mut self, work: Work, miss_rate: f64) -> Duration {
+        let key = self.next_key();
+        let d = self
+            .shared
+            .cluster
+            .compute_elapsed(self.rank, self.clock, work, miss_rate, key);
+        self.clock += d;
+        self.stats.compute_time += d;
+        self.stats.compute_segments += 1;
+        d
+    }
+
+    /// Advance the clock without doing modelled work (pure sleep). Used by
+    /// instrumentation to charge probe overhead.
+    pub fn advance(&mut self, d: Duration) {
+        self.clock += d;
+    }
+
+    /// Charge `d` against the compute account without noise modelling.
+    pub fn charge_compute(&mut self, d: Duration) {
+        self.clock += d;
+        self.stats.compute_time += d;
+    }
+
+    /// Blocking send of `bytes` with `tag` and scalar `value` to `dest`.
+    pub fn send(&mut self, dest: usize, bytes: u64, tag: i64, value: i64) {
+        assert!(dest < self.size, "send to rank {dest} out of range");
+        let start = self.clock;
+        self.clock += MPI_CALL_OVERHEAD;
+        let cost = self
+            .shared
+            .cluster
+            .p2p_cost(self.rank, dest, bytes, self.clock);
+        let msg = Message {
+            src: self.rank,
+            tag,
+            bytes,
+            sent_at: self.clock,
+            arrives_at: self.clock + cost,
+            value,
+        };
+        self.shared.mailboxes[dest].push(msg);
+        // Eager send: sender proceeds after the injection overhead; the
+        // transfer itself overlaps with whatever the sender does next.
+        self.stats.mpi_time += self.clock - start;
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes;
+    }
+
+    /// Blocking receive matching `(src, tag)`; wildcards in
+    /// [`crate::p2p::ANY_SOURCE`] / [`crate::p2p::ANY_TAG`]. Completes at
+    /// `max(post time, arrival time)`.
+    pub fn recv(&mut self, src: usize, tag: i64) -> RecvInfo {
+        let start = self.clock;
+        self.clock += MPI_CALL_OVERHEAD;
+        let msg = self.shared.mailboxes[self.rank].take_matching(src, tag);
+        self.clock = self.clock.max(msg.arrives_at);
+        self.stats.mpi_time += self.clock - start;
+        self.stats.msgs_received += 1;
+        RecvInfo {
+            src: msg.src,
+            tag: msg.tag,
+            bytes: msg.bytes,
+            value: msg.value,
+            completed_at: self.clock,
+        }
+    }
+
+    /// Nonblocking send: identical timing to [`Self::send`] (eager
+    /// injection), returning a handle for MPI-style code shape.
+    pub fn isend(&mut self, dest: usize, bytes: u64, tag: i64, value: i64) -> crate::nonblocking::SendRequest {
+        self.send(dest, bytes, tag, value);
+        crate::nonblocking::SendRequest {
+            injected_at: self.clock,
+        }
+    }
+
+    /// Complete a nonblocking send (free under the eager protocol).
+    pub fn wait_send(&mut self, req: crate::nonblocking::SendRequest) {
+        let _ = req;
+    }
+
+    /// Post a nonblocking receive. Complete it with [`Self::wait`]; work
+    /// done between post and wait overlaps the transfer.
+    pub fn irecv(&mut self, src: usize, tag: i64) -> crate::nonblocking::RecvRequest {
+        self.clock += MPI_CALL_OVERHEAD;
+        self.stats.mpi_time += MPI_CALL_OVERHEAD;
+        crate::nonblocking::RecvRequest {
+            src,
+            tag,
+            posted_at: self.clock,
+        }
+    }
+
+    /// Complete a posted receive: blocks (in real time) until the matching
+    /// message exists, completes at `max(now, arrival)` in virtual time.
+    pub fn wait(&mut self, req: crate::nonblocking::RecvRequest) -> RecvInfo {
+        let start = self.clock;
+        self.clock += MPI_CALL_OVERHEAD;
+        let msg = self.shared.mailboxes[self.rank].take_matching(req.src, req.tag);
+        self.clock = self.clock.max(msg.arrives_at);
+        self.stats.mpi_time += self.clock - start;
+        self.stats.msgs_received += 1;
+        RecvInfo {
+            src: msg.src,
+            tag: msg.tag,
+            bytes: msg.bytes,
+            value: msg.value,
+            completed_at: self.clock,
+        }
+    }
+
+    /// Complete several receives, in order.
+    pub fn waitall(&mut self, reqs: Vec<crate::nonblocking::RecvRequest>) -> Vec<RecvInfo> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Combined send+recv (exchange pattern used by stencil codes).
+    pub fn sendrecv(
+        &mut self,
+        dest: usize,
+        send_bytes: u64,
+        src: usize,
+        tag: i64,
+        value: i64,
+    ) -> RecvInfo {
+        self.send(dest, send_bytes, tag, value);
+        self.recv(src, tag)
+    }
+
+    fn collective(&mut self, entry: CollectiveEntry) -> CollectiveResult {
+        let start = self.clock;
+        let res = self.shared.collective.enter(&self.shared.cluster, entry);
+        self.clock = res.exit;
+        self.stats.mpi_time += self.clock - start;
+        self.stats.collectives += 1;
+        res
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&mut self) {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.collective(CollectiveEntry {
+            op: CollectiveOp::Barrier,
+            bytes: 0,
+            at,
+            value: 0,
+            rop: ReduceOp::Sum,
+            is_root: false,
+        });
+    }
+
+    /// Broadcast `value` (and `bytes` of modelled payload) from `root`.
+    pub fn bcast(&mut self, root: usize, bytes: u64, value: i64) -> i64 {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.collective(CollectiveEntry {
+            op: CollectiveOp::Bcast,
+            bytes,
+            at,
+            value,
+            rop: ReduceOp::Sum,
+            is_root: self.rank == root,
+        })
+        .value
+    }
+
+    /// All-reduce `value` with `op` over all ranks.
+    pub fn allreduce(&mut self, bytes: u64, value: i64, op: ReduceOp) -> i64 {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.collective(CollectiveEntry {
+            op: CollectiveOp::Allreduce,
+            bytes,
+            at,
+            value,
+            rop: op,
+            is_root: false,
+        })
+        .value
+    }
+
+    /// Reduce to `root`; every rank gets the value back (the simulator does
+    /// not model the asymmetry of who holds the result).
+    pub fn reduce(&mut self, root: usize, bytes: u64, value: i64, op: ReduceOp) -> i64 {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.collective(CollectiveEntry {
+            op: CollectiveOp::Reduce,
+            bytes,
+            at,
+            value,
+            rop: op,
+            is_root: self.rank == root,
+        })
+        .value
+    }
+
+    /// All-gather with `bytes` contributed per rank.
+    pub fn allgather(&mut self, bytes: u64) {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.collective(CollectiveEntry {
+            op: CollectiveOp::Allgather,
+            bytes,
+            at,
+            value: 0,
+            rop: ReduceOp::Sum,
+            is_root: false,
+        });
+    }
+
+    /// Personalized all-to-all exchange with `bytes` per rank pair.
+    pub fn alltoall(&mut self, bytes: u64) {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.collective(CollectiveEntry {
+            op: CollectiveOp::Alltoall,
+            bytes,
+            at,
+            value: 0,
+            rop: ReduceOp::Sum,
+            is_root: false,
+        });
+    }
+
+    /// Collective communicator split (`MPI_Comm_split`): ranks with the
+    /// same `color` form a sub-communicator. A collective over the world.
+    pub fn split(&mut self, color: i64) -> Comm {
+        let start = self.clock;
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        let (comm, exit) =
+            self.shared
+                .comms
+                .split(&self.shared.cluster, self.rank, color, at);
+        self.clock = self.clock.max(exit);
+        self.stats.mpi_time += self.clock - start;
+        self.stats.collectives += 1;
+        comm
+    }
+
+    fn sub_collective(&mut self, comm: &Comm, entry: CollectiveEntry) -> CollectiveResult {
+        let start = self.clock;
+        let slot = self.shared.comms.slot(comm);
+        let res = slot.enter(&self.shared.cluster, entry);
+        self.clock = res.exit;
+        self.stats.mpi_time += self.clock - start;
+        self.stats.collectives += 1;
+        res
+    }
+
+    /// Barrier over a sub-communicator.
+    pub fn comm_barrier(&mut self, comm: &Comm) {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.sub_collective(
+            comm,
+            CollectiveEntry {
+                op: CollectiveOp::Barrier,
+                bytes: 0,
+                at,
+                value: 0,
+                rop: ReduceOp::Sum,
+                is_root: false,
+            },
+        );
+    }
+
+    /// All-reduce over a sub-communicator.
+    pub fn comm_allreduce(&mut self, comm: &Comm, bytes: u64, value: i64, op: ReduceOp) -> i64 {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.sub_collective(
+            comm,
+            CollectiveEntry {
+                op: CollectiveOp::Allreduce,
+                bytes,
+                at,
+                value,
+                rop: op,
+                is_root: false,
+            },
+        )
+        .value
+    }
+
+    /// Broadcast over a sub-communicator from the member with local index
+    /// `root`.
+    pub fn comm_bcast(&mut self, comm: &Comm, root: usize, bytes: u64, value: i64) -> i64 {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        let is_root = comm.rank() == root;
+        self.sub_collective(
+            comm,
+            CollectiveEntry {
+                op: CollectiveOp::Bcast,
+                bytes,
+                at,
+                value,
+                rop: ReduceOp::Sum,
+                is_root,
+            },
+        )
+        .value
+    }
+
+    /// Personalized all-to-all within a sub-communicator.
+    pub fn comm_alltoall(&mut self, comm: &Comm, bytes: u64) {
+        let at = self.clock + MPI_CALL_OVERHEAD;
+        self.sub_collective(
+            comm,
+            CollectiveEntry {
+                op: CollectiveOp::Alltoall,
+                bytes,
+                at,
+                value: 0,
+                rop: ReduceOp::Sum,
+                is_root: false,
+            },
+        );
+    }
+
+    /// Read `bytes` from the parallel filesystem.
+    pub fn io_read(&mut self, bytes: u64) {
+        let d = self.shared.cluster.io_cost(bytes, self.clock);
+        self.clock += d;
+        self.stats.io_time += d;
+        self.stats.io_calls += 1;
+    }
+
+    /// Write `bytes` to the parallel filesystem.
+    pub fn io_write(&mut self, bytes: u64) {
+        let d = self.shared.cluster.io_cost(bytes, self.clock);
+        self.clock += d;
+        self.stats.io_time += d;
+        self.stats.io_calls += 1;
+    }
+}

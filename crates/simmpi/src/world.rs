@@ -1,0 +1,250 @@
+//! World launcher: spawn one thread per rank and collect results.
+
+use crate::collectives::CollectiveSlot;
+use crate::p2p::Mailbox;
+use crate::proc::{Proc, WorldShared};
+use cluster_sim::Cluster;
+use std::sync::Arc;
+
+/// An MPI world: the cluster plus rank bookkeeping. Create once per run.
+pub struct World {
+    cluster: Arc<Cluster>,
+}
+
+impl World {
+    /// A world sized by the cluster's rank count.
+    pub fn new(cluster: Arc<Cluster>) -> Self {
+        World { cluster }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.cluster.ranks()
+    }
+
+    /// Run `f` on every rank concurrently; returns the per-rank results in
+    /// rank order. Panics in any rank propagate (with that rank's ID in the
+    /// message).
+    ///
+    /// The closure runs on real threads, but all timing it observes through
+    /// [`Proc`] is virtual, so results are independent of host scheduling
+    /// (for deterministic matching — see crate docs).
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Proc) -> R + Sync,
+        R: Send,
+    {
+        let size = self.size();
+        let shared = Arc::new(WorldShared {
+            cluster: self.cluster.clone(),
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            collective: CollectiveSlot::new(size),
+            comms: crate::comm::CommRegistry::new(size),
+        });
+        let f = &f;
+        // Rank programs (interpreters) can recurse deeply; debug builds use
+        // sizeable frames, so give each rank thread a generous stack.
+        const RANK_STACK: usize = 16 << 20;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let shared = shared.clone();
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .stack_size(RANK_STACK)
+                        .spawn_scoped(s, move || {
+                            let mut proc = Proc::new(rank, size, shared);
+                            f(&mut proc)
+                        })
+                        .expect("spawn rank thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| e.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!("rank {rank} panicked: {msg}");
+                    }
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p2p::{ANY_SOURCE, ANY_TAG};
+    use crate::ReduceOp;
+    use cluster_sim::node::Work;
+    use cluster_sim::time::VirtualTime;
+    use cluster_sim::{ClusterConfig, NodeSpec};
+
+    fn quiet_world(ranks: usize) -> World {
+        World::new(Arc::new(ClusterConfig::quiet(ranks).build()))
+    }
+
+    #[test]
+    fn ring_pass_accumulates_latency() {
+        // Rank r sends to (r+1) % n after receiving from (r-1); rank 0
+        // seeds the ring. Virtual completion times must strictly grow.
+        let w = quiet_world(4);
+        let finals = w.run(|p| {
+            let n = p.size();
+            let next = (p.rank() + 1) % n;
+            let prev = (p.rank() + n - 1) % n;
+            if p.rank() == 0 {
+                p.send(next, 1024, 7, 100);
+                p.recv(prev, 7);
+            } else {
+                let got = p.recv(prev, 7);
+                p.send(next, 1024, 7, got.value + 1);
+            }
+            p.now()
+        });
+        // Rank 3 finished sending before rank 0's final recv completes.
+        assert!(finals[0] > finals[3]);
+        // Every rank made progress.
+        assert!(finals.iter().all(|t| *t > VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn values_flow_through_the_ring() {
+        let w = quiet_world(3);
+        let got = w.run(|p| {
+            let n = p.size();
+            let next = (p.rank() + 1) % n;
+            let prev = (p.rank() + n - 1) % n;
+            if p.rank() == 0 {
+                p.send(next, 8, 0, 5);
+                p.recv(prev, 0).value
+            } else {
+                let v = p.recv(prev, 0).value;
+                p.send(next, 8, 0, v * 2);
+                v
+            }
+        });
+        assert_eq!(got, vec![20, 5, 10]);
+    }
+
+    #[test]
+    fn barrier_equalizes_clocks() {
+        let w = quiet_world(8);
+        let finals = w.run(|p| {
+            // Unequal work before the barrier.
+            p.compute(Work::cpu(1000 * (p.rank() as u64 + 1)), 0.0);
+            p.barrier();
+            p.now()
+        });
+        assert!(finals.iter().all(|t| *t == finals[0]));
+    }
+
+    #[test]
+    fn allreduce_results_agree() {
+        let w = quiet_world(5);
+        let sums = w.run(|p| p.allreduce(8, p.rank() as i64, ReduceOp::Sum));
+        assert_eq!(sums, vec![10; 5]);
+    }
+
+    #[test]
+    fn deterministic_across_repeated_runs() {
+        let run_once = || {
+            let w = quiet_world(6);
+            w.run(|p| {
+                for _ in 0..20 {
+                    p.compute(Work::cpu(500), 0.0);
+                    p.alltoall(256);
+                }
+                p.now()
+            })
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn wildcard_recv_collects_all_senders() {
+        let w = quiet_world(4);
+        let totals = w.run(|p| {
+            if p.rank() == 0 {
+                let mut total = 0;
+                for _ in 0..3 {
+                    total += p.recv(ANY_SOURCE, ANY_TAG).value;
+                }
+                total
+            } else {
+                p.send(0, 64, p.rank() as i64, p.rank() as i64 * 10);
+                0
+            }
+        });
+        assert_eq!(totals[0], 60);
+    }
+
+    #[test]
+    fn stats_split_compute_and_mpi() {
+        let w = quiet_world(2);
+        let stats = w.run(|p| {
+            p.compute(Work::cpu(10_000), 0.0);
+            if p.rank() == 0 {
+                p.send(1, 1 << 20, 0, 0);
+            } else {
+                p.recv(0, 0);
+            }
+            p.stats()
+        });
+        assert_eq!(stats[0].compute_time.as_nanos(), 10_000);
+        assert_eq!(stats[0].msgs_sent, 1);
+        assert_eq!(stats[0].bytes_sent, 1 << 20);
+        // The receiver's MPI time includes the 1 MB transfer (~100 us).
+        assert!(stats[1].mpi_time.as_micros() >= 100);
+    }
+
+    #[test]
+    fn bad_node_shows_up_in_compute_times() {
+        let cluster = ClusterConfig::quiet(4)
+            .with_ranks_per_node(2)
+            .with_node(1, NodeSpec::slow_memory(0.5))
+            .build();
+        let w = World::new(Arc::new(cluster));
+        let times = w.run(|p| {
+            p.compute(Work::mem(100_000), 0.0);
+            p.stats().compute_time
+        });
+        assert_eq!(times[0], times[1]);
+        assert_eq!(times[2], times[3]);
+        assert_eq!(times[2].as_nanos(), times[0].as_nanos() * 2);
+    }
+
+    #[test]
+    fn recv_completes_no_earlier_than_arrival() {
+        let w = quiet_world(2);
+        let infos = w.run(|p| {
+            if p.rank() == 0 {
+                p.compute(Work::cpu(50_000), 0.0); // sender is late
+                p.send(1, 4096, 1, 0);
+                None
+            } else {
+                Some(p.recv(0, 1)) // receiver posts immediately
+            }
+        });
+        let info = infos[1].unwrap();
+        assert!(info.completed_at.as_nanos() >= 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked")]
+    fn rank_panic_is_labelled() {
+        let w = quiet_world(2);
+        w.run(|p| {
+            if p.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

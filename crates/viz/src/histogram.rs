@@ -1,0 +1,110 @@
+//! Log-scale count histograms (Figures 16-17).
+//!
+//! The paper plots sense durations and intervals as grouped bars with a
+//! log-scale count axis (10^0 .. 10^11). We render the same data as a text
+//! chart: one row per program, one column group per bucket, bar length
+//! proportional to log10(count).
+
+use std::fmt::Write;
+
+/// Render a grouped log-scale histogram.
+///
+/// `rows` is a list of (label, counts-per-bucket); `bucket_labels` names
+/// the buckets. Bars scale with log10(count); zero counts render as `-`.
+pub fn render_log_histogram(
+    title: &str,
+    bucket_labels: &[&str],
+    rows: &[(String, Vec<u64>)],
+    max_width: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max_log = rows
+        .iter()
+        .flat_map(|(_, counts)| counts.iter())
+        .map(|&c| log10_ceil(c))
+        .fold(1, u32::max);
+    let bar_unit = (max_width.max(10)) as f64 / max_log as f64;
+
+    let label_width = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once(7))
+        .max()
+        .unwrap_or(7);
+
+    for (label, counts) in rows {
+        let _ = writeln!(out, "{label:>label_width$}");
+        for (i, &c) in counts.iter().enumerate() {
+            let bucket = bucket_labels.get(i).copied().unwrap_or("?");
+            let logc = log10_ceil(c);
+            let bar: String = if c == 0 {
+                "-".to_string()
+            } else {
+                "#".repeat(((logc as f64) * bar_unit).round().max(1.0) as usize)
+            };
+            let _ = writeln!(
+                out,
+                "{:>label_width$} {bucket:>11} |{bar} {c}",
+                "",
+            );
+        }
+    }
+    let _ = writeln!(out, "(bar length ~ log10(count))");
+    out
+}
+
+fn log10_ceil(c: u64) -> u32 {
+    if c == 0 {
+        0
+    } else {
+        (c as f64).log10().floor() as u32 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log10_ceil_boundaries() {
+        assert_eq!(log10_ceil(0), 0);
+        assert_eq!(log10_ceil(1), 1);
+        assert_eq!(log10_ceil(9), 1);
+        assert_eq!(log10_ceil(10), 2);
+        assert_eq!(log10_ceil(1_000_000), 7);
+    }
+
+    #[test]
+    fn renders_rows_and_buckets() {
+        let rows = vec![
+            ("BT".to_string(), vec![1_000_000, 500, 0, 0]),
+            ("CG".to_string(), vec![120, 3, 1, 0]),
+        ];
+        let s = render_log_histogram(
+            "The duration of senses",
+            &["<100us", "100us~10ms", "10ms~1s", ">1s"],
+            &rows,
+            40,
+        );
+        assert!(s.contains("The duration of senses"));
+        assert!(s.contains("BT"));
+        assert!(s.contains("<100us"));
+        assert!(s.contains("1000000"));
+        // Zero count renders a dash bar.
+        assert!(s.contains("|- 0"));
+    }
+
+    #[test]
+    fn bigger_counts_get_longer_bars() {
+        let rows = vec![("X".to_string(), vec![10u64, 1_000_000_000])];
+        let s = render_log_histogram("t", &["a", "b"], &rows, 40);
+        let bars: Vec<usize> = s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.matches('#').count())
+            .collect();
+        assert_eq!(bars.len(), 2);
+        assert!(bars[1] > bars[0]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Visualizer (Figure 2, step 8).
+//!
+//! Renders performance matrices as heatmaps — ANSI color blocks for the
+//! terminal, PPM and SVG files for records — and the sense duration /
+//! interval histograms of Figures 16-17 as log-scale text charts. The
+//! paper's color convention is kept: deep blue is the best performance,
+//! white is half of best or worse, so variance literally shows up as white
+//! blocks.
+
+pub mod heatmap;
+pub mod histogram;
+
+pub use heatmap::{render_ansi, render_ppm, render_svg, HeatmapOptions};
+pub use histogram::render_log_histogram;

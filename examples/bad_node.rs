@@ -1,0 +1,71 @@
+//! The §6.5 bad-node case study as a runnable example.
+//!
+//! ```text
+//! cargo run --release --example bad_node
+//! ```
+//!
+//! Runs a CG analogue on 96 ranks where one node's memory subsystem runs
+//! at 55 % of nominal speed (the exact defect the paper found on
+//! Tianhe-2). vSensor's computation matrix shows a persistent white line
+//! on the node's ranks; removing the node recovers a double-digit
+//! percentage of run time.
+
+use std::sync::Arc;
+use vsensor_repro::interp::RunConfig;
+use vsensor_repro::runtime::record::SensorKind;
+use vsensor_repro::viz::{render_ansi, HeatmapOptions};
+use vsensor_repro::{scenarios, Pipeline};
+
+fn main() {
+    let ranks = 96;
+    let ranks_per_node = 8;
+    let bad_node = 5; // hosts ranks 40..48
+
+    let app = vsensor_repro::apps::cg::generate(vsensor_repro::apps::Params::bench());
+    let prepared = Pipeline::new().prepare(app.compile());
+    println!("analysis: {}", prepared.analysis.report);
+
+    // Tighten the detection threshold: a 55%-memory node normalizes to
+    // ~0.6 on memory-bound sensors.
+    let mut config = RunConfig::default();
+    config.runtime.variance_threshold = 0.7;
+
+    let bad = prepared.run(
+        Arc::new(
+            scenarios::bad_node(ranks, bad_node, 0.55)
+                .with_ranks_per_node(ranks_per_node)
+                .build(),
+        ),
+        &config,
+    );
+    println!(
+        "{}",
+        render_ansi(
+            bad.server.matrix(SensorKind::Computation),
+            "computation matrix with the bad node (white line = slow ranks)",
+            &HeatmapOptions {
+                white_at: 0.7,
+                ..Default::default()
+            },
+        )
+    );
+    for e in &bad.report.events {
+        println!("detected: {e}");
+    }
+
+    let good = prepared.run(
+        Arc::new(
+            scenarios::healthy(ranks)
+                .with_ranks_per_node(ranks_per_node)
+                .build(),
+        ),
+        &config,
+    );
+    let t_bad = bad.run_time.as_secs_f64();
+    let t_good = good.run_time.as_secs_f64();
+    println!(
+        "\nrun time with bad node: {t_bad:.2}s; after replacing it: {t_good:.2}s \
+         ({:.0}% improvement — the paper measured 21%)",
+        (t_bad - t_good) / t_bad * 100.0
+    );
+}

@@ -1,0 +1,96 @@
+//! On-line monitoring: periodic report updates while the program runs.
+//!
+//! ```text
+//! cargo run --release --example live_monitoring
+//! ```
+//!
+//! §2 of the paper: "the performance report is updated periodically, thus
+//! users can notice performance variance without waiting for a program to
+//! finish." The analysis server is shared and lock-protected, so a monitor
+//! thread can take snapshots while the ranks are still running — this
+//! example launches the run on a worker thread and polls the server,
+//! printing the first moment each variance event becomes visible.
+
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+use vsensor_repro::cluster_sim::{SlowdownWindow, VirtualTime};
+use vsensor_repro::runtime::record::{SensorInfo, SensorKind};
+use vsensor_repro::runtime::{AnalysisServer, RuntimeConfig};
+use vsensor_repro::{scenarios, Pipeline};
+
+fn main() {
+    let ranks = 32;
+    let app = vsensor_repro::apps::cg::generate(
+        vsensor_repro::apps::Params::bench().with_iters(4000),
+    );
+    let prepared = Pipeline::new().prepare(app.compile());
+
+    // Build the server ourselves so we can hold a handle while the run is
+    // in flight (the Prepared::run convenience owns it otherwise).
+    let sensors: Vec<SensorInfo> = prepared.sensors.clone();
+    let config = RuntimeConfig::default();
+    let server = Arc::new(AnalysisServer::new(ranks, sensors.clone(), config.clone()));
+
+    // A noiser window in the middle of the run.
+    let cluster = Arc::new(
+        scenarios::healthy(ranks)
+            .with_ranks_per_node(8)
+            .with_injection(SlowdownWindow::on_nodes(
+                VirtualTime::from_millis(400),
+                VirtualTime::from_millis(800),
+                4.0,
+                vec![1],
+            ))
+            .build(),
+    );
+
+    let program = Arc::new(prepared.analysis.instrumented.program.clone());
+    let monitor_server = server.clone();
+    let run_config = config.clone();
+    let worker = std::thread::spawn(move || {
+        let world = vsensor_repro::simmpi::World::new(cluster);
+        world.run(|proc| {
+            let harness = vsensor_repro::interp::machine::SensorHarness {
+                runtime: vsensor_repro::runtime::SensorRuntime::new(
+                    sensors.len(),
+                    run_config.clone(),
+                ),
+                server: server.clone(),
+            };
+            vsensor_repro::interp::Machine::new(program.clone(), proc, Some(harness))
+                .run()
+                .unwrap_or_else(|e| panic!("{e}"))
+                .end
+        })
+    });
+
+    // Poll the server while the run progresses.
+    let mut seen_events = 0usize;
+    loop {
+        std::thread::sleep(StdDuration::from_millis(50));
+        let snap = monitor_server.snapshot(VirtualTime::from_secs(3600));
+        if snap.events.len() > seen_events {
+            for e in &snap.events[seen_events..] {
+                println!(
+                    "[live] variance surfaced after {} records received: {e}",
+                    snap.records
+                );
+            }
+            seen_events = snap.events.len();
+        }
+        if worker.is_finished() {
+            break;
+        }
+    }
+    let ends = worker.join().expect("run completes");
+    let run_end = ends.into_iter().max().unwrap();
+    let fin = monitor_server.finalize(run_end);
+    println!(
+        "\nrun finished at {run_end}; final report: {} event(s), {:.2} MB received",
+        fin.events.len(),
+        fin.bytes_received as f64 / 1e6
+    );
+    for e in &fin.events {
+        println!("  {e}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Workspace umbrella crate.
+//!
+//! Hosts the cross-crate integration tests (`tests/`) and the runnable
+//! examples (`examples/`); the library surface simply re-exports the
+//! `vsensor` facade so examples and tests have one import root.
+
+pub use vsensor::*;

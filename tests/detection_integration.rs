@@ -1,0 +1,170 @@
+//! Integration tests: end-to-end variance detection across crates — app
+//! generators → static analysis → simulated cluster → dynamic module →
+//! events.
+
+use std::sync::Arc;
+use vsensor_repro::apps::{self, Params};
+use vsensor_repro::cluster_sim::{NetworkConfig, SlowdownWindow, VirtualTime};
+use vsensor_repro::interp::RunConfig;
+use vsensor_repro::runtime::record::SensorKind;
+use vsensor_repro::{scenarios, Pipeline};
+
+#[test]
+fn all_eight_apps_run_instrumented_end_to_end() {
+    for app in apps::all_apps(Params::test()) {
+        let prepared = Pipeline::new().prepare(app.compile());
+        assert!(
+            prepared.sensor_count() > 0,
+            "{}: no sensors instrumented",
+            app.name
+        );
+        let run = prepared.run(Arc::new(scenarios::quiet(4).build()), &RunConfig::default());
+        assert!(
+            run.report.distribution.sense_count > 0,
+            "{}: no senses recorded",
+            app.name
+        );
+        assert!(
+            run.report.events.is_empty(),
+            "{}: false positives on a quiet cluster: {:?}",
+            app.name,
+            run.report.events
+        );
+    }
+}
+
+#[test]
+fn healthy_noise_is_not_reported_as_variance() {
+    // The §5.1 philosophy: OS noise is a system characteristic. A healthy
+    // cluster with default background noise must not raise events.
+    let app = apps::cg::generate(Params::test());
+    let prepared = Pipeline::new().prepare(app.compile());
+    let run = prepared.run(
+        Arc::new(scenarios::healthy(8).build()),
+        &RunConfig::default(),
+    );
+    assert!(run.report.events.is_empty(), "{:?}", run.report.events);
+}
+
+#[test]
+fn network_and_compute_problems_are_attributed_to_the_right_component() {
+    let app = apps::sp::generate(Params::bench());
+    let prepared = Pipeline::new().prepare(app.compile());
+
+    // Baseline run to size windows; scale the matrix resolution to the
+    // run length so regions span multiple bins at test scale.
+    let normal = prepared.run(
+        Arc::new(scenarios::quiet(8).build()),
+        &RunConfig::default(),
+    );
+    let t = normal.run_time;
+    let mut run_config = RunConfig::default();
+    run_config.runtime.matrix_resolution =
+        vsensor_repro::cluster_sim::Duration::from_nanos((t.as_nanos() / 25).max(1_000_000));
+
+    // (a) A network problem: degradation across the middle of the run.
+    let network = NetworkConfig::default().with_degradation(
+        VirtualTime::ZERO + t.mul_f64(0.3),
+        VirtualTime::ZERO + t.mul_f64(2.0),
+        10.0,
+    );
+    let mut cfg = scenarios::quiet(8);
+    cfg.network = network;
+    let net_run = prepared.run(Arc::new(cfg.build()), &run_config);
+    assert!(
+        net_run
+            .report
+            .events
+            .iter()
+            .any(|e| e.kind == SensorKind::Network),
+        "network events expected: {:?}",
+        net_run.report.events
+    );
+
+    // (b) A compute problem: a noiser window on one node.
+    let comp_cluster = scenarios::quiet(8).with_ranks_per_node(4).with_injection(
+        SlowdownWindow::on_nodes(
+            VirtualTime::ZERO + t.mul_f64(0.3),
+            VirtualTime::ZERO + t.mul_f64(0.7),
+            4.0,
+            vec![0],
+        ),
+    );
+    let comp_run = prepared.run(Arc::new(comp_cluster.build()), &run_config);
+    let comp_events: Vec<_> = comp_run
+        .report
+        .events
+        .iter()
+        .filter(|e| e.kind == SensorKind::Computation)
+        .collect();
+    assert!(!comp_events.is_empty(), "{:?}", comp_run.report.events);
+    // The compute event localizes to node 0's ranks (0..4).
+    assert!(
+        comp_events.iter().any(|e| e.last_rank < 4),
+        "{comp_events:?}"
+    );
+}
+
+#[test]
+fn io_degradation_is_attributed_to_io_sensors() {
+    // A program with a fixed-size periodic checkpoint.
+    let src = r#"
+        fn checkpoint() { io_write(65536); }
+        fn kernel() { for (k = 0; k < 8; k = k + 1) { compute(2000); } }
+        fn main() {
+            for (it = 0; it < 600; it = it + 1) {
+                kernel();
+                checkpoint();
+            }
+        }
+    "#;
+    let prepared = Pipeline::new().compile(src).unwrap();
+    assert!(prepared
+        .sensors
+        .iter()
+        .any(|s| s.kind == SensorKind::Io));
+
+    let normal = prepared.run(Arc::new(scenarios::quiet(4).build()), &RunConfig::default());
+    let t = normal.run_time;
+    // I/O shares the interconnect in the model: a degradation window slows
+    // the writes.
+    let network = NetworkConfig::default().with_degradation(
+        VirtualTime::ZERO + t.mul_f64(0.4),
+        VirtualTime::ZERO + t.mul_f64(2.0),
+        6.0,
+    );
+    let mut cfg = scenarios::quiet(4);
+    cfg.network = network;
+    let run = prepared.run(Arc::new(cfg.build()), &RunConfig::default());
+    assert!(
+        run.report.events.iter().any(|e| e.kind == SensorKind::Io),
+        "{:?}",
+        run.report.events
+    );
+}
+
+#[test]
+fn reports_render_without_panicking_for_every_app() {
+    for app in apps::all_apps(Params::test()) {
+        let prepared = Pipeline::new().prepare(app.compile());
+        let run = prepared.run(Arc::new(scenarios::healthy(4).build()), &RunConfig::default());
+        let text = run.report.render();
+        assert!(text.contains("vSensor report"), "{}: {text}", app.name);
+    }
+}
+
+#[test]
+fn instrumented_and_plain_runs_agree_on_behaviour() {
+    // Instrumentation must not change the program's communication pattern:
+    // same number of collectives and messages, only slightly more time.
+    let app = apps::ft::generate(Params::test());
+    let prepared = Pipeline::new().prepare(app.compile());
+    let cluster = Arc::new(scenarios::quiet(4).build());
+    let plain = prepared.run_plain(cluster.clone());
+    let inst = prepared.run(cluster, &RunConfig::default());
+    for (p, i) in plain.iter().zip(&inst.ranks) {
+        assert_eq!(p.stats.collectives, i.stats.collectives);
+        assert_eq!(p.stats.msgs_sent, i.stats.msgs_sent);
+        assert!(i.end >= p.end, "probes cannot make the run faster");
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests: every worked example from the paper's §3, verified
+//! end-to-end through the public pipeline.
+
+use vsensor_repro::analysis::{identify, AnalysisConfig, SnippetId};
+use vsensor_repro::lang::compile;
+use vsensor_repro::Pipeline;
+
+/// Figure 4/8: the running example. See the per-call expectations in the
+/// paper's §3.3 walk-through.
+#[test]
+fn figure4_verdicts_match_the_paper() {
+    let src = r#"
+        global int GLBV = 40;
+        fn foo(int x, int y) -> int {
+            int value = 0;
+            for (i = 0; i < x; i = i + 1) {
+                value = value + y;
+                for (j = 0; j < 10; j = j + 1) { value = value - 1; }
+            }
+            if (x > GLBV) { value = value - x * y; }
+            return value;
+        }
+        fn main() {
+            int count = 0;
+            for (n = 0; n < 100; n = n + 1) {
+                for (k = 0; k < 10; k = k + 1) {
+                    foo(n, k);
+                    foo(k, n);
+                }
+                for (k2 = 0; k2 < 10; k2 = k2 + 1) { count = count + 1; }
+                mpi_barrier();
+            }
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let id = identify(&program, &AnalysisConfig::default());
+
+    let call_verdicts: Vec<_> = id
+        .verdicts
+        .iter()
+        .filter(|v| v.snippet.callee == "foo")
+        .collect();
+    // Call-1 foo(n, k): v-sensor of Loop-2 (the k loop) only.
+    assert_eq!(call_verdicts[0].scope_len, 1);
+    assert!(call_verdicts[0].is_vsensor());
+    // Call-2 foo(k, n): v-sensor of neither loop.
+    assert_eq!(call_verdicts[1].scope_len, 0);
+    assert!(!call_verdicts[1].is_vsensor());
+
+    // Loop-5 analogue (the j loop in foo) is a global v-sensor; Loop-4
+    // (the i loop) is not (its trip depends on x, which varies).
+    let foo_idx = program.function_index("foo").unwrap();
+    let foo_loops: Vec<_> = id
+        .verdicts
+        .iter()
+        .filter(|v| v.snippet.func == foo_idx && matches!(v.snippet.id, SnippetId::Loop(_)))
+        .collect();
+    assert!(!foo_loops[0].globally_fixed, "i loop varies with x");
+    assert!(foo_loops[1].globally_fixed, "j loop fixed everywhere");
+}
+
+/// Figure 6: the intra-procedural example — three subloops of an outer
+/// loop, of which only the n-independent one is a v-sensor.
+#[test]
+fn figure6_intra_procedural() {
+    let src = r#"
+        fn main() {
+            int count = 0;
+            for (n = 0; n < 100; n = n + 1) {
+                for (k = 0; k < 10; k = k + 1) { count = count + 1; }
+                for (k2 = 0; k2 < n; k2 = k2 + 1) { count = count + 1; }
+                for (k3 = 0; k3 < 10; k3 = k3 + 1) {
+                    if (k3 < n) { count = count + 1; }
+                }
+            }
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let id = identify(&program, &AnalysisConfig::default());
+    let loops: Vec<_> = id
+        .verdicts
+        .iter()
+        .filter(|v| matches!(v.snippet.id, SnippetId::Loop(_)) && v.snippet.depth == 1)
+        .collect();
+    assert_eq!(loops.len(), 3);
+    // Loop-1: fixed trip, fixed body → v-sensor.
+    assert!(loops[0].is_vsensor(), "{:?}", loops[0]);
+    // Loop-2: trip depends on n → not a v-sensor.
+    assert!(!loops[1].is_vsensor(), "{:?}", loops[1]);
+    // Loop-3: fixed trip but branch depends on n → not a v-sensor.
+    assert!(!loops[2].is_vsensor(), "{:?}", loops[2]);
+}
+
+/// Figure 9: rank-dependent workload is fixed over iterations but not
+/// across processes.
+#[test]
+fn figure9_rank_dependence() {
+    let src = r#"
+        fn main() {
+            int rank = mpi_comm_rank();
+            int count = 0;
+            for (n = 0; n < 100; n = n + 1) {
+                for (k = 0; k < 10; k = k + 1) { count = count + 1; }
+                for (k2 = 0; k2 < 10; k2 = k2 + 1) {
+                    if (rank % 2 == 1) { count = count + 1; }
+                }
+            }
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let id = identify(&program, &AnalysisConfig::default());
+    let loops: Vec<_> = id
+        .verdicts
+        .iter()
+        .filter(|v| matches!(v.snippet.id, SnippetId::Loop(_)) && v.snippet.depth == 1)
+        .collect();
+    assert!(loops[0].fixed_across_processes);
+    assert!(loops[1].globally_fixed, "fixed per process");
+    assert!(!loops[1].fixed_across_processes, "differs between processes");
+}
+
+/// Figure 10: recursion is pruned from the call graph and treated
+/// conservatively.
+#[test]
+fn figure10_recursion_pruned() {
+    let src = r#"
+        fn rec(int n) -> int {
+            if (n < 1) { return 0; }
+            return rec(n - 1);
+        }
+        fn leaf() { for (j = 0; j < 4; j = j + 1) { compute(64); } }
+        fn main() {
+            for (t = 0; t < 50; t = t + 1) {
+                rec(5);
+                leaf();
+            }
+        }
+    "#;
+    let program = compile(src).unwrap();
+    let id = identify(&program, &AnalysisConfig::default());
+    let rec_idx = program.function_index("rec").unwrap();
+    assert!(id.callgraph.recursive.contains(&rec_idx));
+    // The recursive call is never a v-sensor; the leaf call still is.
+    let rec_call = id.verdicts.iter().find(|v| v.snippet.callee == "rec").unwrap();
+    assert!(!rec_call.is_vsensor());
+    let leaf_call = id.verdicts.iter().find(|v| v.snippet.callee == "leaf").unwrap();
+    assert!(leaf_call.globally_fixed);
+}
+
+/// Figure 3: the instrumented program still runs and the probes wrap the
+/// v-sensor ("snippet-2") only.
+#[test]
+fn figure3_tick_tock_placement_runs() {
+    let src = r#"
+        fn main() {
+            int x = 0;
+            for (it = 0; it < 100; it = it + 1) {
+                x = x + it;                                     // snippet-1 (not a candidate)
+                for (k = 0; k < 8; k = k + 1) { compute(256); } // snippet-2 (v-sensor)
+                for (k2 = 0; k2 < it % 3 + 1; k2 = k2 + 1) {    // snippet-3 (varying)
+                    compute(128);
+                }
+            }
+        }
+    "#;
+    let prepared = Pipeline::new().compile(src).unwrap();
+    let printed = prepared.instrumented_source();
+    // Probes appear around the fixed loop...
+    let tick = printed.find("vs_tick(0);").expect("probe exists");
+    let fixed_loop = printed.find("for (k = 0").unwrap();
+    assert!(tick < fixed_loop);
+    // ...and the program executes with them.
+    let cluster = std::sync::Arc::new(vsensor_repro::scenarios::quiet(4).build());
+    let run = prepared.run(cluster, &Default::default());
+    assert!(run.report.distribution.sense_count > 0);
+}
