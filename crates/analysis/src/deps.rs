@@ -322,10 +322,7 @@ impl Walker<'_> {
         match stmt {
             Stmt::Decl { name, init, .. } => {
                 self.out.locals.insert(name.clone());
-                let dep = init
-                    .as_ref()
-                    .map(|e| self.expr_dep(e))
-                    .unwrap_or_default();
+                let dep = init.as_ref().map(|e| self.expr_dep(e)).unwrap_or_default();
                 self.record_assign(name, dep);
             }
             Stmt::ArrayDecl { name, len, .. } => {
@@ -393,11 +390,7 @@ impl Walker<'_> {
                     .entry(var.clone())
                     .or_default()
                     .push(*id);
-                self.out
-                    .flows
-                    .entry(var.clone())
-                    .or_default()
-                    .absorb(&cdep);
+                self.out.flows.entry(var.clone()).or_default().absorb(&cdep);
                 self.loop_stack.push(*id);
                 for l in &self.loop_stack {
                     self.out
@@ -429,10 +422,7 @@ impl Walker<'_> {
                 self.handle_call(c, true);
             }
             Stmt::Return { value, .. } => {
-                let mut dep = value
-                    .as_ref()
-                    .map(|e| self.expr_dep(e))
-                    .unwrap_or_default();
+                let mut dep = value.as_ref().map(|e| self.expr_dep(e)).unwrap_or_default();
                 dep.absorb(&self.ctx.clone());
                 self.out.return_seed.absorb(&dep);
             }
@@ -712,7 +702,13 @@ mod tests {
         let params = HashMap::new();
         let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
         let within: HashSet<LoopId> = [LoopId(1)].into();
-        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::Within(&within));
+        let closed = closure(
+            seed,
+            &fa,
+            &params,
+            &globals,
+            &ExcludeInduction::Within(&within),
+        );
         assert!(closed.names.is_empty(), "closed = {closed:?}");
         assert!(closed.symbols.is_empty());
     }
@@ -733,7 +729,13 @@ mod tests {
         let params = HashMap::new();
         let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
         let within: HashSet<LoopId> = [LoopId(1)].into();
-        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::Within(&within));
+        let closed = closure(
+            seed,
+            &fa,
+            &params,
+            &globals,
+            &ExcludeInduction::Within(&within),
+        );
         assert!(closed.names.contains("n"));
     }
 
@@ -757,7 +759,13 @@ mod tests {
         let params = HashMap::new();
         let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
         let within: HashSet<LoopId> = [LoopId(1)].into();
-        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::Within(&within));
+        let closed = closure(
+            seed,
+            &fa,
+            &params,
+            &globals,
+            &ExcludeInduction::Within(&within),
+        );
         assert!(closed.has_rank(), "closed = {closed:?}");
     }
 
@@ -784,10 +792,7 @@ mod tests {
             !s.workload.symbols.contains(&Symbol::Param(1)),
             "y does not affect workload: {s:?}"
         );
-        assert!(s
-            .workload
-            .symbols
-            .contains(&Symbol::Global("GLBV".into())));
+        assert!(s.workload.symbols.contains(&Symbol::Global("GLBV".into())));
         assert!(s.names_empty_at_boundary());
     }
 
@@ -930,7 +935,13 @@ mod tests {
         let params = HashMap::new();
         let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
         let within: HashSet<LoopId> = [LoopId(1)].into();
-        let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::Within(&within));
+        let closed = closure(
+            seed,
+            &fa,
+            &params,
+            &globals,
+            &ExcludeInduction::Within(&within),
+        );
         assert!(closed.names.contains("x"));
         // And x is in the outer loop's assigned set → correctly not fixed.
         assert!(fa.loop_assigned[&LoopId(0)].contains("x"));

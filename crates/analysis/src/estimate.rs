@@ -63,7 +63,9 @@ pub fn estimate(program: &Program, callgraph: &CallGraph) -> WorkEstimates {
 fn block_work(program: &Program, block: &Block, est: &mut WorkEstimates) -> u64 {
     let mut total = 0u64;
     for stmt in &block.stmts {
-        total = total.saturating_add(stmt_work(program, stmt, est)).min(WORK_CAP);
+        total = total
+            .saturating_add(stmt_work(program, stmt, est))
+            .min(WORK_CAP);
     }
     total
 }
@@ -260,11 +262,26 @@ mod tests {
                 })
                 .expect("program contains a loop")
         };
-        assert_eq!(up("fn main() { for (i = 0; i < 10; i = i + 1) {} }"), Some(10));
-        assert_eq!(up("fn main() { for (i = 0; i <= 10; i = i + 1) {} }"), Some(11));
-        assert_eq!(up("fn main() { for (i = 0; i < 10; i = i + 3) {} }"), Some(4));
-        assert_eq!(up("fn main() { for (i = 10; i > 0; i = i - 2) {} }"), Some(5));
-        assert_eq!(up("fn main() { for (i = 5; i < 5; i = i + 1) {} }"), Some(0));
+        assert_eq!(
+            up("fn main() { for (i = 0; i < 10; i = i + 1) {} }"),
+            Some(10)
+        );
+        assert_eq!(
+            up("fn main() { for (i = 0; i <= 10; i = i + 1) {} }"),
+            Some(11)
+        );
+        assert_eq!(
+            up("fn main() { for (i = 0; i < 10; i = i + 3) {} }"),
+            Some(4)
+        );
+        assert_eq!(
+            up("fn main() { for (i = 10; i > 0; i = i - 2) {} }"),
+            Some(5)
+        );
+        assert_eq!(
+            up("fn main() { for (i = 5; i < 5; i = i + 1) {} }"),
+            Some(0)
+        );
         // Non-constant bound: unknown.
         assert_eq!(
             up("fn main() { int n = 3; for (i = 0; i < n; i = i + 1) {} }"),
@@ -295,7 +312,10 @@ mod tests {
             .functions
             .iter()
             .flat_map(|_| 0..2u32)
-            .map(|l| est.snippet(SnippetId::Loop(vsensor_lang::LoopId(l))).unwrap())
+            .map(|l| {
+                est.snippet(SnippetId::Loop(vsensor_lang::LoopId(l)))
+                    .unwrap()
+            })
             .collect();
         assert!(loops[0] > 100 * 5000, "big loop: {}", loops[0]);
         assert!(loops[1] < loops[0] / 100, "small loop: {}", loops[1]);
@@ -315,7 +335,10 @@ mod tests {
         let calls: Vec<(String, u64)> = {
             let mut v = Vec::new();
             vsensor_lang::visit_calls(&p.function("main").unwrap().body, &mut |c| {
-                v.push((c.callee.clone(), est.snippet(SnippetId::Call(c.id)).unwrap()));
+                v.push((
+                    c.callee.clone(),
+                    est.snippet(SnippetId::Call(c.id)).unwrap(),
+                ));
             });
             v
         };
@@ -334,7 +357,9 @@ mod tests {
             }
             "#,
         );
-        let w = est.snippet(SnippetId::Loop(vsensor_lang::LoopId(0))).unwrap();
+        let w = est
+            .snippet(SnippetId::Loop(vsensor_lang::LoopId(0)))
+            .unwrap();
         // DEFAULT_TRIP iterations of ~100+ work each.
         assert!(w >= DEFAULT_TRIP * 100, "{w}");
     }

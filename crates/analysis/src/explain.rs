@@ -53,7 +53,10 @@ impl std::fmt::Display for Reason {
                 culprits.join(", ")
             ),
             Reason::VolatileGlobal(g) => {
-                write!(f, "workload reads global `{g}`, which is written at run time")
+                write!(
+                    f,
+                    "workload reads global `{g}`, which is written at run time"
+                )
             }
             Reason::VaryingParameter(i) => write!(
                 f,
@@ -97,11 +100,7 @@ pub fn explain(program: &Program, identified: &Identified, id: SnippetId) -> Vec
     if v.scope_len < v.snippet.enclosing.len() && !v.deps.has_unknown() {
         let breaking = v.snippet.enclosing[v.scope_len];
         let fa = &identified.func_analyses[v.snippet.func];
-        let assigned = fa
-            .loop_assigned
-            .get(&breaking)
-            .cloned()
-            .unwrap_or_default();
+        let assigned = fa.loop_assigned.get(&breaking).cloned().unwrap_or_default();
         let culprits: Vec<String> = v
             .deps
             .names
@@ -122,9 +121,7 @@ pub fn explain(program: &Program, identified: &Identified, id: SnippetId) -> Vec
                 Symbol::Global(g) if identified.volatile_globals.contains(g) => {
                     reasons.push(Reason::VolatileGlobal(g.clone()));
                 }
-                Symbol::Param(i)
-                    if !identified.fixed_params[v.snippet.func].contains(i) =>
-                {
+                Symbol::Param(i) if !identified.fixed_params[v.snippet.func].contains(i) => {
                     reasons.push(Reason::VaryingParameter(*i));
                 }
                 _ => {}

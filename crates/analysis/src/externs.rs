@@ -118,24 +118,39 @@ impl ExternModels {
         m.register("compute", ExternBehavior::compute(&[0]));
         m.register("mem_access", ExternBehavior::compute(&[0]));
         // MPI identity functions.
-        m.register(
-            "mpi_comm_rank",
-            ExternBehavior::compute(&[]).rank_source(),
-        );
+        m.register("mpi_comm_rank", ExternBehavior::compute(&[]).rank_source());
         m.register("mpi_comm_size", ExternBehavior::compute(&[]));
         m.register("gethostname", ExternBehavior::compute(&[]).rank_source());
         // MPI point-to-point: (dest/src, bytes, tag) — workload = bytes.
         m.register("mpi_send", ExternBehavior::network(&[1], &[0]));
         m.register("mpi_send_val", ExternBehavior::network(&[1], &[0]));
-        m.register("mpi_recv", ExternBehavior::network(&[1], &[0]).unknown_result());
-        m.register("mpi_sendrecv", ExternBehavior::network(&[1], &[0, 2]).unknown_result());
+        m.register(
+            "mpi_recv",
+            ExternBehavior::network(&[1], &[0]).unknown_result(),
+        );
+        m.register(
+            "mpi_sendrecv",
+            ExternBehavior::network(&[1], &[0, 2]).unknown_result(),
+        );
         // MPI collectives: workload = bytes arg.
         m.register("mpi_barrier", ExternBehavior::network(&[], &[]));
         m.register("mpi_bcast", ExternBehavior::network(&[1], &[0]));
-        m.register("mpi_bcast_val", ExternBehavior::network(&[1], &[0]).unknown_result());
-        m.register("mpi_reduce", ExternBehavior::network(&[1], &[0]).unknown_result());
-        m.register("mpi_allreduce", ExternBehavior::network(&[0], &[]).unknown_result());
-        m.register("mpi_allreduce_val", ExternBehavior::network(&[0], &[]).unknown_result());
+        m.register(
+            "mpi_bcast_val",
+            ExternBehavior::network(&[1], &[0]).unknown_result(),
+        );
+        m.register(
+            "mpi_reduce",
+            ExternBehavior::network(&[1], &[0]).unknown_result(),
+        );
+        m.register(
+            "mpi_allreduce",
+            ExternBehavior::network(&[0], &[]).unknown_result(),
+        );
+        m.register(
+            "mpi_allreduce_val",
+            ExternBehavior::network(&[0], &[]).unknown_result(),
+        );
         m.register("mpi_allgather", ExternBehavior::network(&[0], &[]));
         m.register("mpi_alltoall", ExternBehavior::network(&[0], &[]));
         // I/O: workload = byte count.

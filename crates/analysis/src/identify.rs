@@ -85,8 +85,7 @@ impl Identified {
 /// Run identification over a whole program.
 pub fn identify(program: &Program, config: &AnalysisConfig) -> Identified {
     let callgraph = CallGraph::build(program);
-    let all_global_names: Vec<String> =
-        program.globals.iter().map(|g| g.name.clone()).collect();
+    let all_global_names: Vec<String> = program.globals.iter().map(|g| g.name.clone()).collect();
 
     // 1. Bottom-up per-function analysis. Recursive functions get opaque
     // summaries and empty analyses.
@@ -248,8 +247,7 @@ fn param_fixpoints(
         .enumerate()
         .map(|(i, f)| (f.name.as_str(), i))
         .collect();
-    let globals_set: HashSet<String> =
-        program.globals.iter().map(|g| g.name.clone()).collect();
+    let globals_set: HashSet<String> = program.globals.iter().map(|g| g.name.clone()).collect();
 
     // Optimistic start: all params fixed, none rank-tainted.
     let mut fixed: Vec<BTreeSet<usize>> = program
@@ -282,21 +280,15 @@ fn param_fixpoints(
                 let arg_deps = &fa.call_args[call_id];
                 let enclosing = &fa.call_enclosing[call_id];
                 for (pi, arg) in arg_deps.iter().enumerate() {
-                    let closed = deps::closure(
-                        arg,
-                        fa,
-                        &param_index,
-                        &globals_set,
-                        &ExcludeInduction::None,
-                    );
+                    let closed =
+                        deps::closure(arg, fa, &param_index, &globals_set, &ExcludeInduction::None);
                     // Fixedness: the argument must be invariant at every
                     // loop enclosing the call site, contain no unknown,
                     // no volatile global, and only fixed caller params.
                     let mut arg_fixed = !closed.has_unknown();
                     if arg_fixed {
                         for l in enclosing {
-                            let assigned =
-                                fa.loop_assigned.get(l).cloned().unwrap_or_default();
+                            let assigned = fa.loop_assigned.get(l).cloned().unwrap_or_default();
                             if closed.intersects_names(&assigned) {
                                 arg_fixed = false;
                                 break;
@@ -383,11 +375,7 @@ mod tests {
         }
     "#;
 
-    fn call_verdicts<'i>(
-        p: &Program,
-        id: &'i Identified,
-        callee: &str,
-    ) -> Vec<&'i SnippetVerdict> {
+    fn call_verdicts<'i>(p: &Program, id: &'i Identified, callee: &str) -> Vec<&'i SnippetVerdict> {
         let _ = p;
         id.verdicts
             .iter()

@@ -79,7 +79,11 @@ pub fn summarize(
     AnalysisReport {
         loc,
         snippets: identified.verdicts.len(),
-        identified_vsensors: identified.verdicts.iter().filter(|v| v.is_vsensor()).count(),
+        identified_vsensors: identified
+            .verdicts
+            .iter()
+            .filter(|v| v.is_vsensor())
+            .count(),
         global_vsensors: identified
             .verdicts
             .iter()

@@ -160,14 +160,8 @@ mod tests {
         let sn = enumerate(&p);
         // Outer loop, inner loop, compute call, barrier call.
         assert_eq!(sn.len(), 4);
-        assert_eq!(
-            sn.iter().filter(|s| s.kind == SnippetKind::Loop).count(),
-            2
-        );
-        assert_eq!(
-            sn.iter().filter(|s| s.kind == SnippetKind::Call).count(),
-            2
-        );
+        assert_eq!(sn.iter().filter(|s| s.kind == SnippetKind::Loop).count(), 2);
+        assert_eq!(sn.iter().filter(|s| s.kind == SnippetKind::Call).count(), 2);
     }
 
     #[test]
@@ -207,10 +201,7 @@ mod tests {
         )
         .unwrap();
         let sn = enumerate(&p);
-        assert_eq!(
-            sn.iter().filter(|s| s.kind == SnippetKind::Call).count(),
-            2
-        );
+        assert_eq!(sn.iter().filter(|s| s.kind == SnippetKind::Call).count(), 2);
     }
 
     #[test]

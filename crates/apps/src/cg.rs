@@ -94,10 +94,6 @@ mod tests {
         // The halo exchange uses rank only to pick neighbours — the
         // workload (bytes) is invariant, so all sensors allow
         // inter-process comparison.
-        assert!(a
-            .instrumented
-            .sensors
-            .iter()
-            .all(|s| s.process_invariant));
+        assert!(a.instrumented.sensors.iter().all(|s| s.process_invariant));
     }
 }

@@ -100,7 +100,10 @@ mod tests {
         let app = generate(Params::test());
         let a = analyze(&app.compile(), &AnalysisConfig::default());
         for s in &a.instrumented.sensors {
-            assert_ne!(s.func, "lagrange_elements", "non-fixed snippet instrumented");
+            assert_ne!(
+                s.func, "lagrange_elements",
+                "non-fixed snippet instrumented"
+            );
         }
         let (comp, net, _) = a.instrumented.type_counts();
         assert!(comp >= 3, "{}", a.report);

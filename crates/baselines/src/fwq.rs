@@ -36,7 +36,12 @@ impl FwqProbe {
     /// Sample the node's performance over `[start, end)`.
     ///
     /// Runs a quantum every `period`, using a rank on the target node.
-    pub fn sample(&self, cluster: &Cluster, start: VirtualTime, end: VirtualTime) -> Vec<FwqSample> {
+    pub fn sample(
+        &self,
+        cluster: &Cluster,
+        start: VirtualTime,
+        end: VirtualTime,
+    ) -> Vec<FwqSample> {
         let rank = cluster
             .topology()
             .ranks_on(self.node)

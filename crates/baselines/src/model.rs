@@ -42,8 +42,7 @@ impl AnalyticModel {
         match self.terms {
             None => self.expected,
             Some((alpha, beta, p0)) => {
-                let scale =
-                    alpha + beta * (procs.max(2) as f64).log2() / (p0 as f64).log2();
+                let scale = alpha + beta * (procs.max(2) as f64).log2() / (p0 as f64).log2();
                 self.expected.mul_f64(scale.max(0.0))
             }
         }

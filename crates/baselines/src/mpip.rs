@@ -65,7 +65,11 @@ impl MpipProfile {
     pub fn render(&self, title: &str, buckets: usize) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{title}");
-        let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "ranks", "comp (s)", "mpi (s)", "io (s)");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>12} {:>12}",
+            "ranks", "comp (s)", "mpi (s)", "io (s)"
+        );
         if self.per_rank.is_empty() {
             return out;
         }

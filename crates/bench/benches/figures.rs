@@ -41,7 +41,9 @@ fn bench_fig14(c: &mut Criterion) {
 fn bench_fig16(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures/fig16_distribution");
     g.sample_size(10);
-    g.bench_function("smoke", |b| b.iter(|| fig16_distribution::run(Effort::Smoke)));
+    g.bench_function("smoke", |b| {
+        b.iter(|| fig16_distribution::run(Effort::Smoke))
+    });
     g.finish();
 }
 

@@ -36,10 +36,7 @@ pub fn slice_sweep(effort: Effort, slices_us: &[u64]) -> Vec<SliceRow> {
         .map(|&us| {
             let mut config = RunConfig::default();
             config.runtime.slice = Duration::from_micros(us);
-            let run = prepared.run(
-                Arc::new(scenarios::healthy(ranks).build()),
-                &config,
-            );
+            let run = prepared.run(Arc::new(scenarios::healthy(ranks).build()), &config);
             SliceRow {
                 slice: Duration::from_micros(us),
                 false_alarms: run.ranks.iter().map(|r| r.local_variances).sum(),
@@ -112,10 +109,7 @@ pub fn batch_sweep(effort: Effort, intervals_ms: &[u64]) -> Vec<BatchRow> {
         .map(|&ms| {
             let mut config = RunConfig::default();
             config.runtime.batch_interval = Duration::from_millis(ms);
-            let run = prepared.run(
-                Arc::new(scenarios::healthy(ranks).build()),
-                &config,
-            );
+            let run = prepared.run(Arc::new(scenarios::healthy(ranks).build()), &config);
             BatchRow {
                 interval: Duration::from_millis(ms),
                 batches: run.server.batches,
@@ -145,7 +139,11 @@ pub fn extern_ablation(effort: Effort) -> (usize, usize) {
 pub fn render_all(effort: Effort) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Ablation: smoothing slice width (healthy cluster, CG)");
-    let _ = writeln!(out, "{:>10} {:>14} {:>10}", "slice", "false alarms", "records");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>10}",
+        "slice", "false alarms", "records"
+    );
     for row in slice_sweep(effort, &[10, 100, 1000, 10_000]) {
         let _ = writeln!(
             out,

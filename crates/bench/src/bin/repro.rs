@@ -24,7 +24,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig12", "Figure 12: smoothing out background noise"),
     ("fig13", "Figure 13: cache-miss dynamic rule"),
     ("fig14", "Figure 14: normal-run performance matrix"),
-    ("fig16", "Figures 15-17: sense duration/interval distributions"),
+    (
+        "fig16",
+        "Figures 15-17: sense duration/interval distributions",
+    ),
     ("fig18", "Figures 18-20: noise injection, mpiP vs vSensor"),
     ("fig21", "Figure 21: CG bad-node case study"),
     ("fig22", "Figure 22: FT network-degradation case study"),
@@ -54,10 +57,7 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
-    let out_args: Vec<String> = out_dir
-        .iter()
-        .map(|d| d.display().to_string())
-        .collect();
+    let out_args: Vec<String> = out_dir.iter().map(|d| d.display().to_string()).collect();
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -78,10 +78,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    println!(
-        "vSensor reproduction harness — effort: {:?}\n",
-        effort
-    );
+    println!("vSensor reproduction harness — effort: {:?}\n", effort);
 
     if want("fig1") {
         section("fig1");
@@ -200,7 +197,11 @@ fn write_matrix(
         max_rows: 256,
         white_at,
     };
-    write_artifact(out_dir, &format!("{stem}.svg"), &render_svg(matrix, title, &opts));
+    write_artifact(
+        out_dir,
+        &format!("{stem}.svg"),
+        &render_svg(matrix, title, &opts),
+    );
     write_artifact(out_dir, &format!("{stem}.ppm"), &render_ppm(matrix, &opts));
 }
 

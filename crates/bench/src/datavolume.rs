@@ -92,7 +92,10 @@ mod tests {
         // Per-process rate stays far below what a full tracer would need.
         let rate = r.vsensor_bytes as f64 / r.run_secs.max(1e-9) / r.ranks as f64;
         let trace_rate = r.trace.rate_per_rank(r.run_secs);
-        assert!(rate < trace_rate / 5.0, "vsensor {rate:.0} vs trace {trace_rate:.0} B/s");
+        assert!(
+            rate < trace_rate / 5.0,
+            "vsensor {rate:.0} vs trace {trace_rate:.0} B/s"
+        );
         assert!(rate < 1_000_000.0, "rate {rate:.0} B/s per process");
         assert!(r.render().contains("ratio"));
     }

@@ -62,10 +62,7 @@ pub fn run(total: Duration) -> Fig12Result {
     for (t, d) in &raw {
         if t.as_nanos() >= slice_start + slice_ns {
             if n > 0 {
-                smoothed.push((
-                    slice_start as f64 / 1e6,
-                    sum as f64 / n as f64 / min,
-                ));
+                smoothed.push((slice_start as f64 / 1e6, sum as f64 / n as f64 / min));
             }
             slice_start = t.as_nanos() / slice_ns * slice_ns;
             sum = 0;

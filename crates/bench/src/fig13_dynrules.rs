@@ -52,8 +52,7 @@ pub fn run(iters: u32) -> Fig13Result {
         Arc::new(scenarios::quiet(ranks).build()),
         &RunConfig::default(),
     );
-    let false_alarms_without_rule: u64 =
-        run1.ranks.iter().map(|r| r.local_variances).sum();
+    let false_alarms_without_rule: u64 = run1.ranks.iter().map(|r| r.local_variances).sum();
 
     // Case 2: cache-miss dynamic rule (high/low split).
     let rule_config = RunConfig {
@@ -76,8 +75,7 @@ pub fn run(iters: u32) -> Fig13Result {
     let mut anomaly_cfg = cluster_sim::ClusterConfig::quiet(ranks);
     anomaly_cfg.injected.push(window);
     let run3 = prepared.run(Arc::new(anomaly_cfg.build()), &rule_config);
-    let alarms_with_rule_and_anomaly: u64 =
-        run3.ranks.iter().map(|r| r.local_variances).sum();
+    let alarms_with_rule_and_anomaly: u64 = run3.ranks.iter().map(|r| r.local_variances).sum();
 
     Fig13Result {
         false_alarms_without_rule,
@@ -121,10 +119,7 @@ mod tests {
             r.false_alarms_without_rule > 0,
             "case 1 must misfire on high-miss phases"
         );
-        assert_eq!(
-            r.alarms_with_rule, 0,
-            "case 2 groups phases correctly"
-        );
+        assert_eq!(r.alarms_with_rule, 0, "case 2 groups phases correctly");
         assert!(
             r.alarms_with_rule_and_anomaly > 0,
             "a genuine anomaly still fires under the rule"

@@ -76,10 +76,6 @@ mod tests {
             m.fraction_below(0.5)
         );
         // No structured variance events on a healthy cluster.
-        assert!(
-            r.run.report.events.is_empty(),
-            "{:?}",
-            r.run.report.events
-        );
+        assert!(r.run.report.events.is_empty(), "{:?}", r.run.report.events);
     }
 }

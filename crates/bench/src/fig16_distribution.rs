@@ -61,7 +61,12 @@ impl Fig16Result {
             .iter()
             .map(|p| (p.name.to_string(), p.distribution.durations.to_vec()))
             .collect();
-        render_log_histogram("Figure 16: the duration of senses", &BUCKET_LABELS, &rows, 40)
+        render_log_histogram(
+            "Figure 16: the duration of senses",
+            &BUCKET_LABELS,
+            &rows,
+            40,
+        )
     }
 
     /// Render Figure 17 (intervals).

@@ -41,8 +41,7 @@ fn prepare(effort: Effort) -> (Prepared, usize, RunConfig) {
         Effort::Paper => (Params::full().with_iters(2500), 200),
     };
     let mut config = RunConfig::default();
-    config.runtime.matrix_resolution =
-        cluster_sim::Duration::from_millis(resolution_ms);
+    config.runtime.matrix_resolution = cluster_sim::Duration::from_millis(resolution_ms);
     (
         Pipeline::new().prepare(cg::generate(params).compile()),
         ranks,
@@ -114,15 +113,17 @@ impl Fig18Result {
     /// Render all three artifacts.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.normal_profile.render(
-            "Figure 18: mpiP profile, normal run",
-            8,
-        ));
+        out.push_str(
+            &self
+                .normal_profile
+                .render("Figure 18: mpiP profile, normal run", 8),
+        );
         out.push('\n');
-        out.push_str(&self.injected_profile.render(
-            "Figure 19: mpiP profile, noise-injected run",
-            8,
-        ));
+        out.push_str(
+            &self
+                .injected_profile
+                .render("Figure 19: mpiP profile, noise-injected run", 8),
+        );
         let _ = writeln!(
             out,
             "mpiP view: mean MPI time {:.2}s -> {:.2}s (+{:.0}%), mean comp {:.2}s -> {:.2}s — \
@@ -171,7 +172,11 @@ mod tests {
             .iter()
             .filter(|e| e.kind == SensorKind::Computation)
             .collect();
-        assert!(!comp_events.is_empty(), "no events: {:?}", r.injected_run.report.events);
+        assert!(
+            !comp_events.is_empty(),
+            "no events: {:?}",
+            r.injected_run.report.events
+        );
         // Every injected block overlaps at least one event's rank range.
         for (first, last, _, _) in &r.injections {
             assert!(

@@ -47,8 +47,8 @@ pub fn run(effort: Effort) -> Fig21Result {
     let (prepared, ranks) = prepare(effort);
     let ranks_per_node = (ranks / 11).max(2);
     let bad_node = (ranks / ranks_per_node) * 2 / 5; // "near process 100" of 256
-    // The slow-memory line sits near 0.55 normalized; detect at a tighter
-    // threshold like a user chasing the white line.
+                                                     // The slow-memory line sits near 0.55 normalized; detect at a tighter
+                                                     // threshold like a user chasing the white line.
     let config = RunConfig {
         runtime: vsensor_runtime::RuntimeConfig {
             variance_threshold: 0.7,
@@ -57,8 +57,8 @@ pub fn run(effort: Effort) -> Fig21Result {
         ..Default::default()
     };
 
-    let bad_cluster = scenarios::bad_node(ranks, bad_node, 0.55)
-        .with_ranks_per_node(ranks_per_node);
+    let bad_cluster =
+        scenarios::bad_node(ranks, bad_node, 0.55).with_ranks_per_node(ranks_per_node);
     let with_bad_node = prepared.run(Arc::new(bad_cluster.build()), &config);
 
     let good_cluster = scenarios::healthy(ranks).with_ranks_per_node(ranks_per_node);

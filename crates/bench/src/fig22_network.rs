@@ -66,10 +66,12 @@ pub fn run(effort: Effort) -> Fig22Result {
         Arc::new(scenarios::healthy(ranks).with_network(network).build()),
         &RunConfig::default(),
     );
-    let window = (win_from.as_nanos() / 1_000_000_000, win_to.as_nanos() / 1_000_000_000);
+    let window = (
+        win_from.as_nanos() / 1_000_000_000,
+        win_to.as_nanos() / 1_000_000_000,
+    );
 
-    let slowdown =
-        degraded.run_time.as_secs_f64() / normal.run_time.as_secs_f64().max(1e-12);
+    let slowdown = degraded.run_time.as_secs_f64() / normal.run_time.as_secs_f64().max(1e-12);
     Fig22Result {
         normal,
         degraded,

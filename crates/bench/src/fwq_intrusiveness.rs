@@ -9,13 +9,13 @@
 //! (its duty-cycle interference injected honestly), and instrumented with
 //! vSensor — and compares the slowdown each detection approach imposes.
 
+use cluster_sim::node::Work;
+use cluster_sim::time::{Duration, VirtualTime};
 use std::fmt::Write;
 use std::sync::Arc;
 use vsensor::{scenarios, Pipeline};
 use vsensor_apps::cg;
 use vsensor_baselines::FwqProbe;
-use cluster_sim::node::Work;
-use cluster_sim::time::{Duration, VirtualTime};
 
 use crate::Effort;
 
@@ -44,7 +44,11 @@ pub fn run(effort: Effort) -> FwqResult {
     // Clean baseline.
     let clean_rt = {
         let r = prepared.run_plain(Arc::new(scenarios::quiet(ranks).build()));
-        r.iter().map(|x| x.end).max().unwrap().since(VirtualTime::ZERO)
+        r.iter()
+            .map(|x| x.end)
+            .max()
+            .unwrap()
+            .since(VirtualTime::ZERO)
     };
 
     // FWQ probe: a 50 us quantum every 500 us on every node (a light
@@ -58,13 +62,21 @@ pub fn run(effort: Effort) -> FwqResult {
     let mut cfg = scenarios::quiet(ranks);
     let node_count = cfg.ranks.div_ceil(cfg.ranks_per_node);
     for node in 0..node_count {
-        let mut w = FwqProbe { node, ..probe.clone() }.interference(VirtualTime::ZERO, horizon);
+        let mut w = FwqProbe {
+            node,
+            ..probe.clone()
+        }
+        .interference(VirtualTime::ZERO, horizon);
         w.nodes = vec![node];
         cfg = cfg.with_injection(w);
     }
     let with_fwq = {
         let r = prepared.run_plain(Arc::new(cfg.build()));
-        r.iter().map(|x| x.end).max().unwrap().since(VirtualTime::ZERO)
+        r.iter()
+            .map(|x| x.end)
+            .max()
+            .unwrap()
+            .since(VirtualTime::ZERO)
     };
 
     // The probe's own measurements on the quiet cluster (no variance to
@@ -105,8 +117,15 @@ impl FwqResult {
     /// Render the comparison.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "FWQ intrusiveness vs vSensor overhead (quiet cluster, CG):");
-        let _ = writeln!(out, "  clean run:          {:.3}s", self.clean.as_secs_f64());
+        let _ = writeln!(
+            out,
+            "FWQ intrusiveness vs vSensor overhead (quiet cluster, CG):"
+        );
+        let _ = writeln!(
+            out,
+            "  clean run:          {:.3}s",
+            self.clean.as_secs_f64()
+        );
         let _ = writeln!(
             out,
             "  with FWQ probe:     {:.3}s  (+{:.1}% — the probe steals {:.0}% of a core)",

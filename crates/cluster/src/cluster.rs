@@ -5,6 +5,7 @@
 //! methods take explicit virtual-time arguments, so a `Cluster` is immutable
 //! and can be shared across rank threads with an `Arc` without locking.
 
+use crate::fault::FaultPlan;
 use crate::network::{CollectiveOp, NetworkConfig};
 use crate::node::{NodeSpec, Work};
 use crate::noise::{NoiseConfig, NoiseModel, SlowdownWindow};
@@ -31,6 +32,8 @@ pub struct ClusterConfig {
     pub network: NetworkConfig,
     /// PMU model.
     pub pmu: PmuConfig,
+    /// Fault plan for the telemetry path (rank → analysis server).
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -45,6 +48,7 @@ impl ClusterConfig {
             injected: Vec::new(),
             network: NetworkConfig::default(),
             pmu: PmuConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -81,6 +85,12 @@ impl ClusterConfig {
         self
     }
 
+    /// Replace the telemetry fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Finalize into an immutable [`Cluster`].
     pub fn build(self) -> Cluster {
         let topology = Topology::block(self.ranks, self.ranks_per_node);
@@ -95,6 +105,7 @@ impl ClusterConfig {
             noise: NoiseModel::new(self.noise, self.injected),
             network: self.network,
             pmu: Pmu::new(self.pmu),
+            faults: self.faults,
         }
     }
 }
@@ -107,6 +118,7 @@ pub struct Cluster {
     noise: NoiseModel,
     network: NetworkConfig,
     pmu: Pmu,
+    faults: FaultPlan,
 }
 
 impl Cluster {
@@ -128,6 +140,11 @@ impl Cluster {
     /// Noise model (exposed for baselines that need raw access).
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    /// Telemetry-path fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Number of ranks.
@@ -243,7 +260,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_override_panics() {
-        let _ = ClusterConfig::quiet(4).with_node(99, NodeSpec::healthy()).build();
+        let _ = ClusterConfig::quiet(4)
+            .with_node(99, NodeSpec::healthy())
+            .build();
     }
 
     #[test]

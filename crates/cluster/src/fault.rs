@@ -1,0 +1,359 @@
+//! Fault injection for the rank → analysis-server telemetry path.
+//!
+//! The analysis server of §5.4 is one more process on a large machine, and
+//! on a large machine the path to it fails in mundane ways: messages are
+//! dropped or duplicated by a congested fabric, delayed past timeouts,
+//! corrupted in flight, and the server itself restarts or becomes
+//! unreachable for whole windows. A variance detector that falls over when
+//! its own telemetry degrades is useless exactly when it is needed most, so
+//! the simulator models these faults explicitly.
+//!
+//! A [`FaultPlan`] is the telemetry-path sibling of [`crate::noise`]: where
+//! the noise model perturbs *computation* on the virtual timeline, the
+//! fault plan perturbs *telemetry delivery*. Every decision is a pure
+//! function of `(seed, rank, seq, attempt)` hashed through the same
+//! SplitMix64 finalizer the noise model uses, so runs reproduce exactly and
+//! a retry of the same batch rolls new, independent dice.
+
+use crate::noise::mix64;
+use crate::time::{Duration, VirtualTime};
+
+/// A window of virtual time during which the analysis server is down:
+/// every send attempt fails immediately (connection refused), rather than
+/// timing out silently like a dropped message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutageWindow {
+    /// Start of the outage (inclusive).
+    pub start: VirtualTime,
+    /// End of the outage (exclusive).
+    pub end: VirtualTime,
+}
+
+impl OutageWindow {
+    fn covers(&self, t: VirtualTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A window during which selected ranks' telemetry stalls: batches sent
+/// inside the window are held (e.g. a wedged I/O thread or paused cgroup)
+/// and only reach the server when the window ends.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StallWindow {
+    /// Start of the stall (inclusive).
+    pub start: VirtualTime,
+    /// End of the stall (exclusive).
+    pub end: VirtualTime,
+    /// Ranks affected; empty means every rank.
+    pub ranks: Vec<usize>,
+}
+
+impl StallWindow {
+    fn applies(&self, rank: usize, t: VirtualTime) -> bool {
+        t >= self.start && t < self.end && (self.ranks.is_empty() || self.ranks.contains(&rank))
+    }
+}
+
+/// Per-message fault probabilities. All rates are in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a batch vanishes in flight (no delivery, no error — the
+    /// sender only learns via ack timeout).
+    pub drop_rate: f64,
+    /// Probability a delivered batch arrives twice (fabric-level retry).
+    pub duplicate_rate: f64,
+    /// Probability a delivered batch is delayed by up to [`Self::max_delay`]
+    /// — delayed batches overtake later ones, producing reordering.
+    pub delay_rate: f64,
+    /// Upper bound of the random extra delay.
+    pub max_delay: Duration,
+    /// Probability the payload is corrupted in flight; the server's CRC
+    /// check rejects such batches, so like a drop the sender sees only a
+    /// missing ack.
+    pub corrupt_rate: f64,
+    /// Seed for the deterministic per-message dice.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: Duration::from_millis(5),
+            corrupt_rate: 0.0,
+            seed: 0xFA_17,
+        }
+    }
+}
+
+/// The fate the plan assigns to one transmission attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SendFate {
+    /// The batch reaches the server `copies` times, `delay` after the send
+    /// instant. `corrupt` batches arrive with a damaged payload (the
+    /// server's CRC check will reject them and no ack is produced).
+    Delivered {
+        /// Number of copies that arrive (≥ 1; 2 for a duplicated batch).
+        copies: u32,
+        /// Extra latency beyond the nominal path cost.
+        delay: Duration,
+        /// Whether the payload was damaged in flight.
+        corrupt: bool,
+    },
+    /// The batch vanishes; the sender sees an ack timeout.
+    Dropped,
+    /// The server is down; the send fails immediately.
+    Unreachable,
+}
+
+/// Deterministic fault plan for the telemetry path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    outages: Vec<OutageWindow>,
+    stalls: Vec<StallWindow>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit per-message probabilities.
+    pub fn new(config: FaultConfig) -> Self {
+        assert!(
+            [
+                config.drop_rate,
+                config.duplicate_rate,
+                config.delay_rate,
+                config.corrupt_rate
+            ]
+            .iter()
+            .all(|r| (0.0..=1.0).contains(r)),
+            "fault rates must be within [0, 1]"
+        );
+        FaultPlan {
+            config,
+            outages: Vec::new(),
+            stalls: Vec::new(),
+        }
+    }
+
+    /// A plan that only drops batches, at `drop_rate`.
+    pub fn lossy(drop_rate: f64, seed: u64) -> Self {
+        Self::new(FaultConfig {
+            drop_rate,
+            seed,
+            ..FaultConfig::default()
+        })
+    }
+
+    /// Add a server-outage window (builder style).
+    pub fn with_outage(mut self, start: VirtualTime, end: VirtualTime) -> Self {
+        assert!(end > start, "outage window must be non-empty");
+        self.outages.push(OutageWindow { start, end });
+        self
+    }
+
+    /// Add a rank-stall window (builder style); empty `ranks` stalls all.
+    pub fn with_stall(mut self, start: VirtualTime, end: VirtualTime, ranks: Vec<usize>) -> Self {
+        assert!(end > start, "stall window must be non-empty");
+        self.stalls.push(StallWindow { start, end, ranks });
+        self
+    }
+
+    /// The per-message probabilities.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Outage windows.
+    pub fn outages(&self) -> &[OutageWindow] {
+        &self.outages
+    }
+
+    /// Whether this plan can inject anything at all. An inactive plan lets
+    /// callers skip the faulty path entirely.
+    pub fn is_active(&self) -> bool {
+        let c = &self.config;
+        c.drop_rate > 0.0
+            || c.duplicate_rate > 0.0
+            || c.delay_rate > 0.0
+            || c.corrupt_rate > 0.0
+            || !self.outages.is_empty()
+            || !self.stalls.is_empty()
+    }
+
+    /// Decide the fate of one transmission attempt. Deterministic in
+    /// `(seed, rank, seq, attempt)`: the same attempt always meets the same
+    /// fate, while a *retry* of the same batch rolls fresh dice.
+    pub fn fate(&self, rank: usize, seq: u64, attempt: u32, at: VirtualTime) -> SendFate {
+        if self.outages.iter().any(|o| o.covers(at)) {
+            return SendFate::Unreachable;
+        }
+        let roll = |purpose: u64| -> f64 {
+            let h = mix64(
+                self.config
+                    .seed
+                    .wrapping_add(purpose.wrapping_mul(0x9E3779B97F4A7C15))
+                    ^ (rank as u64) << 40
+                    ^ seq << 8
+                    ^ attempt as u64,
+            );
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        };
+        if roll(1) < self.config.drop_rate {
+            return SendFate::Dropped;
+        }
+        let corrupt = roll(2) < self.config.corrupt_rate;
+        let copies = if roll(3) < self.config.duplicate_rate {
+            2
+        } else {
+            1
+        };
+        let mut delay = Duration::ZERO;
+        if roll(4) < self.config.delay_rate {
+            let span = self.config.max_delay.as_nanos();
+            delay = Duration::from_nanos((roll(5) * span as f64) as u64);
+        }
+        // A stalled rank's batch is held until its stall window closes.
+        for s in &self.stalls {
+            if s.applies(rank, at) {
+                delay = delay.max(s.end.since(at));
+            }
+        }
+        SendFate::Delivered {
+            copies,
+            delay,
+            corrupt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_delivers_everything_cleanly() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        for seq in 0..100 {
+            assert_eq!(
+                p.fate(3, seq, 0, VirtualTime::from_secs(1)),
+                SendFate::Delivered {
+                    copies: 1,
+                    delay: Duration::ZERO,
+                    corrupt: false
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn fate_is_deterministic_per_attempt() {
+        let p = FaultPlan::lossy(0.5, 7);
+        for seq in 0..50 {
+            assert_eq!(
+                p.fate(1, seq, 0, VirtualTime::ZERO),
+                p.fate(1, seq, 0, VirtualTime::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn retries_roll_fresh_dice() {
+        // With 50% loss, a batch whose first attempt drops usually gets
+        // through within a few retries — the attempt number must perturb
+        // the hash.
+        let p = FaultPlan::lossy(0.5, 11);
+        let mut saw_flip = false;
+        for seq in 0..64u64 {
+            let a = p.fate(0, seq, 0, VirtualTime::ZERO);
+            let b = p.fate(0, seq, 1, VirtualTime::ZERO);
+            if a != b {
+                saw_flip = true;
+                break;
+            }
+        }
+        assert!(saw_flip, "attempt number must decorrelate fates");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let p = FaultPlan::lossy(0.3, 99);
+        let drops = (0..2000u64)
+            .filter(|&seq| p.fate(0, seq, 0, VirtualTime::ZERO) == SendFate::Dropped)
+            .count();
+        let rate = drops as f64 / 2000.0;
+        assert!((0.25..0.35).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn outage_makes_server_unreachable_only_inside_window() {
+        let p =
+            FaultPlan::none().with_outage(VirtualTime::from_secs(10), VirtualTime::from_secs(20));
+        assert!(p.is_active());
+        assert_eq!(
+            p.fate(0, 0, 0, VirtualTime::from_secs(15)),
+            SendFate::Unreachable
+        );
+        assert!(matches!(
+            p.fate(0, 0, 0, VirtualTime::from_secs(5)),
+            SendFate::Delivered { .. }
+        ));
+        assert!(matches!(
+            p.fate(0, 0, 0, VirtualTime::from_secs(20)),
+            SendFate::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn stall_delays_selected_ranks_until_window_end() {
+        let p = FaultPlan::none().with_stall(
+            VirtualTime::from_secs(1),
+            VirtualTime::from_secs(3),
+            vec![2],
+        );
+        match p.fate(2, 0, 0, VirtualTime::from_secs(2)) {
+            SendFate::Delivered { delay, .. } => assert_eq!(delay, Duration::from_secs(1)),
+            f => panic!("unexpected fate {f:?}"),
+        }
+        match p.fate(1, 0, 0, VirtualTime::from_secs(2)) {
+            SendFate::Delivered { delay, .. } => assert_eq!(delay, Duration::ZERO),
+            f => panic!("unexpected fate {f:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicates_and_corruption_occur_at_configured_rates() {
+        let p = FaultPlan::new(FaultConfig {
+            duplicate_rate: 0.2,
+            corrupt_rate: 0.1,
+            seed: 5,
+            ..FaultConfig::default()
+        });
+        let mut dups = 0;
+        let mut corrupts = 0;
+        for seq in 0..2000u64 {
+            if let SendFate::Delivered {
+                copies, corrupt, ..
+            } = p.fate(0, seq, 0, VirtualTime::ZERO)
+            {
+                dups += (copies == 2) as u32;
+                corrupts += corrupt as u32;
+            }
+        }
+        assert!((300..500).contains(&dups), "duplicates {dups}");
+        assert!((130..270).contains(&corrupts), "corruptions {corrupts}");
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn invalid_rate_rejected() {
+        let _ = FaultPlan::lossy(1.5, 0);
+    }
+}

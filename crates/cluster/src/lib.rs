@@ -20,6 +20,7 @@
 //! * [`cluster`] — the facade tying the pieces together.
 
 pub mod cluster;
+pub mod fault;
 pub mod network;
 pub mod node;
 pub mod noise;
@@ -28,6 +29,7 @@ pub mod time;
 pub mod topology;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use fault::{FaultConfig, FaultPlan, SendFate};
 pub use network::{CollectiveOp, NetworkConfig};
 pub use node::NodeSpec;
 pub use noise::{NoiseConfig, SlowdownWindow};

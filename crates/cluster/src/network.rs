@@ -51,7 +51,8 @@ impl NetworkConfig {
     pub fn with_degradation(mut self, start: VirtualTime, end: VirtualTime, factor: f64) -> Self {
         assert!(factor >= 1.0, "degradation factor must be >= 1");
         assert!(end > start, "window must be non-empty");
-        self.degradations.push(DegradationWindow { start, end, factor });
+        self.degradations
+            .push(DegradationWindow { start, end, factor });
         self
     }
 
@@ -73,14 +74,21 @@ impl NetworkConfig {
         } else {
             self.latency
         };
-        let transfer = Duration::from_nanos((bytes as f64 / self.bandwidth_bytes_per_ns).ceil() as u64);
+        let transfer =
+            Duration::from_nanos((bytes as f64 / self.bandwidth_bytes_per_ns).ceil() as u64);
         (lat + transfer).mul_f64(self.factor_at(t))
     }
 
     /// Time for a collective of `op` over `procs` processes, each
     /// contributing `bytes` bytes, starting at `t` (the time the last rank
     /// arrives).
-    pub fn collective_cost(&self, op: CollectiveOp, procs: usize, bytes: u64, t: VirtualTime) -> Duration {
+    pub fn collective_cost(
+        &self,
+        op: CollectiveOp,
+        procs: usize,
+        bytes: u64,
+        t: VirtualTime,
+    ) -> Duration {
         let p = procs.max(1) as f64;
         let log_p = p.log2().ceil().max(1.0);
         let lat = self.latency.as_nanos() as f64;

@@ -67,8 +67,8 @@ impl NodeSpec {
         // Each missing fraction of CPU work pays an extra memory access.
         const MISS_PENALTY: f64 = 3.0;
         let cpu_ns = work.cpu as f64 * self.cpu_factor;
-        let mem_ns = (work.mem as f64 + work.cpu as f64 * miss_rate * MISS_PENALTY)
-            * self.mem_factor;
+        let mem_ns =
+            (work.mem as f64 + work.cpu as f64 * miss_rate * MISS_PENALTY) * self.mem_factor;
         Duration::from_nanos((cpu_ns + mem_ns).round() as u64)
     }
 }

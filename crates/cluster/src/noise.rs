@@ -135,7 +135,9 @@ impl NoiseModel {
         }
         // 1. Multiplicative jitter: deterministic hash of (node, key, seed).
         let mut remaining = if self.config.jitter > 0.0 {
-            let h = mix64(self.config.seed ^ (node as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ sample_key);
+            let h = mix64(
+                self.config.seed ^ (node as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ sample_key,
+            );
             // uniform in [-jitter, +jitter]
             let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
             base.mul_f64(1.0 + self.config.jitter * (2.0 * u - 1.0))
@@ -289,8 +291,14 @@ mod tests {
             vec![5],
         )]);
         let d = Duration::from_micros(10);
-        assert_eq!(m.stretch(5, VirtualTime::from_secs(1), d, 0).as_nanos(), 20_000);
-        assert_eq!(m.stretch(4, VirtualTime::from_secs(1), d, 0).as_nanos(), 10_000);
+        assert_eq!(
+            m.stretch(5, VirtualTime::from_secs(1), d, 0).as_nanos(),
+            20_000
+        );
+        assert_eq!(
+            m.stretch(4, VirtualTime::from_secs(1), d, 0).as_nanos(),
+            10_000
+        );
     }
 
     #[test]
@@ -344,7 +352,10 @@ mod tests {
         assert_eq!(a, b, "deterministic");
         // Roughly 10% inflation, allow wide bounds for phase effects.
         let inflation = a.as_nanos() as f64 / d.as_nanos() as f64;
-        assert!(inflation > 1.05 && inflation < 1.20, "inflation {inflation}");
+        assert!(
+            inflation > 1.05 && inflation < 1.20,
+            "inflation {inflation}"
+        );
     }
 
     #[test]
@@ -380,6 +391,82 @@ mod tests {
     #[should_panic(expected = "factor must be >= 1")]
     fn speedup_window_rejected() {
         let _ = SlowdownWindow::global(VirtualTime::ZERO, VirtualTime::from_secs(1), 0.5);
+    }
+
+    #[test]
+    fn zero_length_window_rejected() {
+        // A [t, t) window would create zero-length segments in the walk.
+        let r = std::panic::catch_unwind(|| {
+            SlowdownWindow::global(VirtualTime::from_secs(1), VirtualTime::from_secs(1), 2.0)
+        });
+        assert!(r.is_err(), "empty window must be rejected");
+    }
+
+    #[test]
+    fn work_ending_exactly_at_window_start_is_untouched() {
+        // Window start is inclusive, so work whose last nanosecond lands
+        // just before it must not be stretched at all.
+        let m = quiet_model_with(vec![SlowdownWindow::global(
+            VirtualTime::from_micros(10),
+            VirtualTime::from_secs(1),
+            5.0,
+        )]);
+        let d = Duration::from_micros(10);
+        assert_eq!(m.stretch(0, VirtualTime::ZERO, d, 0), d);
+    }
+
+    #[test]
+    fn work_starting_exactly_at_window_end_is_untouched() {
+        // Window end is exclusive: starting right on it sees factor 1.
+        let m = quiet_model_with(vec![SlowdownWindow::global(
+            VirtualTime::ZERO,
+            VirtualTime::from_micros(10),
+            5.0,
+        )]);
+        let d = Duration::from_micros(10);
+        assert_eq!(m.stretch(0, VirtualTime::from_micros(10), d, 0), d);
+    }
+
+    #[test]
+    fn adjacent_windows_chain_without_gap_or_overlap() {
+        // [0,10us) at 2x then [10us,100us) at 3x. 15us of work from 0:
+        //   5us of work -> 10us wall (2x), remaining 10us -> 30us wall (3x);
+        // the handoff at exactly 10us must not leave a 1x gap or double-
+        // apply either factor.
+        let m = quiet_model_with(vec![
+            SlowdownWindow::global(VirtualTime::ZERO, VirtualTime::from_micros(10), 2.0),
+            SlowdownWindow::global(
+                VirtualTime::from_micros(10),
+                VirtualTime::from_micros(100),
+                3.0,
+            ),
+        ]);
+        let out = m.stretch(0, VirtualTime::ZERO, Duration::from_micros(15), 0);
+        assert_eq!(out.as_micros(), 10 + 30);
+    }
+
+    #[test]
+    fn tiny_remainder_at_boundary_still_terminates_with_progress() {
+        // 1 ns of work starting exactly on a boundary where the fitting
+        // work rounds to zero — the walk must make progress, not loop.
+        let m = quiet_model_with(vec![SlowdownWindow::global(
+            VirtualTime(1),
+            VirtualTime(2),
+            1000.0,
+        )]);
+        let out = m.stretch(0, VirtualTime::ZERO, Duration::from_nanos(1), 0);
+        assert!(out.as_nanos() >= 1, "{out:?}");
+    }
+
+    #[test]
+    fn node_scoped_window_stacks_with_global_only_on_members() {
+        let m = quiet_model_with(vec![
+            SlowdownWindow::global(VirtualTime::ZERO, VirtualTime::from_secs(1), 2.0),
+            SlowdownWindow::on_nodes(VirtualTime::ZERO, VirtualTime::from_secs(1), 3.0, vec![3]),
+        ]);
+        let d = Duration::from_micros(1);
+        assert_eq!(m.stretch(3, VirtualTime::ZERO, d, 0).as_nanos(), 6_000);
+        assert_eq!(m.stretch(0, VirtualTime::ZERO, d, 0).as_nanos(), 2_000);
     }
 
     #[test]

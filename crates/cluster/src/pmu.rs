@@ -60,8 +60,8 @@ impl Pmu {
         }
         let h = mix64(self.config.seed ^ sample_key);
         let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
-        // Real counters overcount more often than undercount; bias the
-        // error range to [-j/2, +j].
+                                                        // Real counters overcount more often than undercount; bias the
+                                                        // error range to [-j/2, +j].
         let rel = self.config.jitter * (1.5 * u - 0.5);
         ((count as f64) * (1.0 + rel)).round().max(0.0) as u64
     }
@@ -96,7 +96,9 @@ mod tests {
         // The paper's Ps = MAX(v_i)/MIN(v_i) validation: with a 2% PMU the
         // ratio stays under ~1.05.
         let p = Pmu::new(PmuConfig::default());
-        let samples: Vec<u64> = (0..500).map(|k| p.measure_instructions(5_000_000, k)).collect();
+        let samples: Vec<u64> = (0..500)
+            .map(|k| p.measure_instructions(5_000_000, k))
+            .collect();
         let max = *samples.iter().max().unwrap() as f64;
         let min = *samples.iter().min().unwrap() as f64;
         let ps = max / min;

@@ -36,7 +36,10 @@ fn main() {
         Some((c, r)) => (c.as_str(), r.to_vec()),
         None => usage(),
     };
-    let file = rest.iter().find(|a| !a.starts_with("--")).unwrap_or_else(|| usage());
+    let file = rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| usage());
     let source = std::fs::read_to_string(file).unwrap_or_else(|e| {
         eprintln!("vsc: cannot read {file}: {e}");
         exit(1);
@@ -79,17 +82,18 @@ fn main() {
                     s.sensor,
                     s.location,
                     s.kind.label(),
-                    if s.process_invariant { "" } else { "  (rank-dependent)" }
+                    if s.process_invariant {
+                        ""
+                    } else {
+                        "  (rank-dependent)"
+                    }
                 );
             }
             if flag("--explain") {
                 println!("\nper-candidate verdicts:");
                 print!(
                     "{}",
-                    explain::explain_all(
-                        &prepared.plain,
-                        &prepared.analysis.identified
-                    )
+                    explain::explain_all(&prepared.plain, &prepared.analysis.identified)
                 );
             }
         }
@@ -110,15 +114,11 @@ fn main() {
             };
             let mut run_config = RunConfig::default();
             if let Some(t) = opt("--threshold") {
-                run_config.runtime.variance_threshold =
-                    t.parse().unwrap_or_else(|_| usage());
+                run_config.runtime.variance_threshold = t.parse().unwrap_or_else(|_| usage());
             }
             let run = prepared.run(Arc::new(cluster.build()), &run_config);
             println!("{}", run.report.render());
-            println!(
-                "workload max error: {:.2}%",
-                run.workload_max_error * 100.0
-            );
+            println!("workload max error: {:.2}%", run.workload_max_error * 100.0);
             let kind = match opt("--matrix").as_deref() {
                 Some("net") => SensorKind::Network,
                 Some("io") => SensorKind::Io,

@@ -84,11 +84,7 @@ impl Prepared {
     }
 
     /// Run the instrumented program with the dynamic module attached.
-    pub fn run(
-        &self,
-        cluster: Arc<cluster_sim::Cluster>,
-        config: &RunConfig,
-    ) -> InstrumentedRun {
+    pub fn run(&self, cluster: Arc<cluster_sim::Cluster>, config: &RunConfig) -> InstrumentedRun {
         run_instrumented(
             &self.analysis.instrumented.program,
             self.sensors.clone(),

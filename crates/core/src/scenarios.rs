@@ -5,7 +5,7 @@
 //! and the examples build on these.
 
 use cluster_sim::time::VirtualTime;
-use cluster_sim::{ClusterConfig, NetworkConfig, NodeSpec, SlowdownWindow};
+use cluster_sim::{ClusterConfig, FaultConfig, FaultPlan, NetworkConfig, NodeSpec, SlowdownWindow};
 
 /// Perfectly quiet cluster: no noise, exact PMU. Baseline for overhead
 /// measurements and unit tests.
@@ -70,11 +70,41 @@ pub fn paper_noise_injection(total_virtual_secs: u64) -> ClusterConfig {
     noise_injection(
         128,
         24,
-        &[
-            (24..48, s(34), s(44), 3.0),
-            (72..97, s(66), s(76), 3.0),
-        ],
+        &[(24..48, s(34), s(44), 3.0), (72..97, s(66), s(76), 3.0)],
     )
+}
+
+/// A bad-node cluster whose telemetry path is also lossy: each batch send
+/// is dropped with probability `drop_rate` (retries roll fresh dice). The
+/// robustness question of the fault-transport work: does bad-node
+/// localization survive losing a slice of its evidence?
+pub fn degraded_transport(
+    ranks: usize,
+    node: usize,
+    mem_perf: f64,
+    drop_rate: f64,
+    seed: u64,
+) -> ClusterConfig {
+    bad_node(ranks, node, mem_perf).with_faults(FaultPlan::lossy(drop_rate, seed))
+}
+
+/// A bad-node cluster whose analysis server is completely unreachable
+/// during `[from, to)` seconds, on top of a light packet-loss floor —
+/// the graceful-degradation scenario: the run must terminate cleanly and
+/// report the outage in its delivery metadata.
+pub fn server_outage(
+    ranks: usize,
+    node: usize,
+    mem_perf: f64,
+    from_s: u64,
+    to_s: u64,
+) -> ClusterConfig {
+    let plan = FaultPlan::new(FaultConfig {
+        drop_rate: 0.02,
+        ..FaultConfig::default()
+    })
+    .with_outage(VirtualTime::from_secs(from_s), VirtualTime::from_secs(to_s));
+    bad_node(ranks, node, mem_perf).with_faults(plan)
 }
 
 #[cfg(test)]
@@ -96,6 +126,31 @@ mod tests {
         let before = c.p2p_cost(0, 30, 1 << 20, VirtualTime::from_secs(5));
         let during = c.p2p_cost(0, 30, 1 << 20, VirtualTime::from_secs(30));
         assert_eq!(during.as_nanos(), before.as_nanos() * 8);
+    }
+
+    #[test]
+    fn degraded_transport_carries_the_fault_plan() {
+        let c = degraded_transport(8, 1, 0.55, 0.1, 7)
+            .with_ranks_per_node(2)
+            .build();
+        assert!(c.faults().is_active());
+        assert!((c.faults().config().drop_rate - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn server_outage_window_is_unreachable() {
+        use cluster_sim::fault::SendFate;
+        let c = server_outage(8, 1, 0.55, 10, 20)
+            .with_ranks_per_node(2)
+            .build();
+        assert!(matches!(
+            c.faults().fate(0, 0, 0, VirtualTime::from_secs(15)),
+            SendFate::Unreachable
+        ));
+        assert!(!matches!(
+            c.faults().fate(0, 0, 0, VirtualTime::from_secs(25)),
+            SendFate::Unreachable
+        ));
     }
 
     #[test]

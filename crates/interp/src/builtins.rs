@@ -96,7 +96,8 @@ fn dispatch(m: &mut Machine<'_>, name: &str, args: &[Value]) -> Result<Value, Ex
             let tag = int_arg(args, 2)?;
             let value = int_arg(args, 3)?;
             m.sync_clock();
-            m.proc().send(dest as usize, bytes.max(0) as u64, tag, value);
+            m.proc()
+                .send(dest as usize, bytes.max(0) as u64, tag, value);
             Ok(Value::Int(0))
         }
         "mpi_recv" => {
@@ -156,7 +157,9 @@ fn dispatch(m: &mut Machine<'_>, name: &str, args: &[Value]) -> Result<Value, Ex
             let bytes = int_arg(args, 0)?;
             let value = int_arg(args, 1)?;
             m.sync_clock();
-            let v = m.proc().allreduce(bytes.max(0) as u64, value, ReduceOp::Sum);
+            let v = m
+                .proc()
+                .allreduce(bytes.max(0) as u64, value, ReduceOp::Sum);
             Ok(Value::Int(v))
         }
         "mpi_allgather" => {

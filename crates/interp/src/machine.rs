@@ -19,6 +19,9 @@ use vsensor_lang::{
     BinOp, Block, CallSite, Expr, Function, GlobalInit, LValue, Program, SensorId, Stmt, UnOp,
 };
 use vsensor_runtime::dynrules::SenseMetrics;
+use vsensor_runtime::transport::{
+    BatchChannel, DirectChannel, RankTransport, TransportConfig, TransportStats,
+};
 use vsensor_runtime::{AnalysisServer, SensorRuntime};
 
 /// Work-unit costs of IR operations (1 unit ≈ 1 ns on a healthy node).
@@ -89,21 +92,40 @@ pub struct Machine<'w> {
     call_depth: usize,
 }
 
-/// Sensor runtime plus the shared server.
+/// Sensor runtime plus the transport endpoint that ships its records to
+/// the shared analysis server.
 pub struct SensorHarness {
     /// Per-rank dynamic module.
     pub runtime: SensorRuntime,
-    /// Shared analysis server.
-    pub server: Arc<AnalysisServer>,
+    /// Fault-tolerant rank → server transport.
+    pub transport: RankTransport,
+}
+
+impl SensorHarness {
+    /// Harness over the lossless direct channel (the common case: no fault
+    /// injection).
+    pub fn direct(runtime: SensorRuntime, rank: usize, server: Arc<AnalysisServer>) -> Self {
+        Self::with_channel(runtime, rank, Arc::new(DirectChannel::new(server)))
+    }
+
+    /// Harness over an arbitrary channel (fault injection, tests). The
+    /// transport knobs are taken from the runtime's [`RuntimeConfig`].
+    pub fn with_channel(
+        runtime: SensorRuntime,
+        rank: usize,
+        channel: Arc<dyn BatchChannel>,
+    ) -> Self {
+        let cfg = TransportConfig::from_runtime(runtime.config());
+        SensorHarness {
+            runtime,
+            transport: RankTransport::new(rank, channel, cfg),
+        }
+    }
 }
 
 impl<'w> Machine<'w> {
     /// Create a machine for one rank. Pass `sensors` for instrumented runs.
-    pub fn new(
-        program: Arc<Program>,
-        proc: &'w mut Proc,
-        sensors: Option<SensorHarness>,
-    ) -> Self {
+    pub fn new(program: Arc<Program>, proc: &'w mut Proc, sensors: Option<SensorHarness>) -> Self {
         let mut globals = Env::new();
         for g in &program.globals {
             let v = match g.init {
@@ -138,19 +160,20 @@ impl<'w> Machine<'w> {
         let func = self.program.functions[main].clone();
         self.call_function(&func, Vec::new())?;
         self.sync_clock();
-        let end = self.proc.now();
-        let mut batch_tail = Vec::new();
+        let mut end = self.proc.now();
         let mut distribution = Default::default();
         let mut local_variances = 0;
+        let mut transport = TransportStats::default();
         if let Some(h) = &mut self.sensors {
-            batch_tail = h.runtime.finish(end);
+            let batch_tail = h.runtime.finish(end);
             distribution = h.runtime.distribution().clone();
             local_variances = h.runtime.local_variances();
-        }
-        if let Some(h) = &self.sensors {
-            if !batch_tail.is_empty() {
-                h.server.submit(self.proc.rank(), batch_tail);
-            }
+            // Final flush: drain what the retry budget allows, drop (and
+            // count) the rest — a dead server cannot hang a finishing rank.
+            let cost = h.transport.finish(batch_tail, end);
+            self.proc.advance(cost);
+            end = self.proc.now();
+            transport = h.transport.stats().clone();
         }
         Ok(MachineResult {
             end,
@@ -158,6 +181,7 @@ impl<'w> Machine<'w> {
             distribution,
             validation: self.validation,
             local_variances,
+            transport,
         })
     }
 
@@ -269,13 +293,13 @@ impl<'w> Machine<'w> {
         let metrics = SenseMetrics {
             cache_miss_rate: self.miss_rate,
         };
-        let rank = self.proc.rank();
         if let Some(h) = &mut self.sensors {
             let outcome = h.runtime.tock(sensor, now, metrics);
             self.proc.advance(outcome.cost);
             if h.runtime.flush_due(now) {
                 let batch = h.runtime.take_batch(now);
-                h.server.submit(rank, batch);
+                let cost = h.transport.enqueue(batch, now);
+                self.proc.advance(cost);
             }
         }
     }
@@ -536,6 +560,8 @@ pub struct MachineResult {
     pub validation: ValidationStats,
     /// Locally-flagged variance records.
     pub local_variances: u64,
+    /// Telemetry-transport counters (zero for plain runs).
+    pub transport: TransportStats,
 }
 
 fn coerce_scalar(v: Value, ty: vsensor_lang::ast::Type) -> Value {
@@ -598,8 +624,10 @@ fn binop(op: BinOp, l: Value, r: Value) -> Result<Value, ExecError> {
     // Promote to float if either side is float.
     if matches!(l, Value::Float(_)) || matches!(r, Value::Float(_)) {
         let (a, b) = (
-            l.as_float().ok_or_else(|| ExecError::new("array in arithmetic"))?,
-            r.as_float().ok_or_else(|| ExecError::new("array in arithmetic"))?,
+            l.as_float()
+                .ok_or_else(|| ExecError::new("array in arithmetic"))?,
+            r.as_float()
+                .ok_or_else(|| ExecError::new("array in arithmetic"))?,
         );
         return Ok(match op {
             Add => Value::Float(a + b),
@@ -617,8 +645,10 @@ fn binop(op: BinOp, l: Value, r: Value) -> Result<Value, ExecError> {
         });
     }
     let (a, b) = (
-        l.as_int().ok_or_else(|| ExecError::new("array in arithmetic"))?,
-        r.as_int().ok_or_else(|| ExecError::new("array in arithmetic"))?,
+        l.as_int()
+            .ok_or_else(|| ExecError::new("array in arithmetic"))?,
+        r.as_int()
+            .ok_or_else(|| ExecError::new("array in arithmetic"))?,
     );
     Ok(match op {
         Add => Value::Int(a.wrapping_add(b)),
@@ -715,26 +745,20 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_reported() {
-        let program = Arc::new(
-            vsensor_lang::compile("fn main() { int x = 0; int y = 5 / x; }").unwrap(),
-        );
+        let program =
+            Arc::new(vsensor_lang::compile("fn main() { int x = 0; int y = 5 / x; }").unwrap());
         let cluster = Arc::new(ClusterConfig::quiet(1).build());
         let world = World::new(cluster);
-        let errs = world.run(|proc| {
-            Machine::new(program.clone(), proc, None).run().unwrap_err()
-        });
+        let errs = world.run(|proc| Machine::new(program.clone(), proc, None).run().unwrap_err());
         assert!(errs[0].message.contains("division by zero"));
     }
 
     #[test]
     fn array_out_of_bounds_is_reported() {
-        let program = Arc::new(
-            vsensor_lang::compile("fn main() { int a[4]; a[9] = 1; }").unwrap(),
-        );
+        let program = Arc::new(vsensor_lang::compile("fn main() { int a[4]; a[9] = 1; }").unwrap());
         let cluster = Arc::new(ClusterConfig::quiet(1).build());
-        let errs = World::new(cluster).run(|proc| {
-            Machine::new(program.clone(), proc, None).run().unwrap_err()
-        });
+        let errs = World::new(cluster)
+            .run(|proc| Machine::new(program.clone(), proc, None).run().unwrap_err());
         assert!(errs[0].message.contains("out of bounds"));
     }
 
@@ -768,15 +792,12 @@ mod tests {
     #[test]
     fn recursion_guard_fires() {
         let program = Arc::new(
-            vsensor_lang::compile(
-                "fn f(int n) -> int { return f(n + 1); } fn main() { f(0); }",
-            )
-            .unwrap(),
+            vsensor_lang::compile("fn f(int n) -> int { return f(n + 1); } fn main() { f(0); }")
+                .unwrap(),
         );
         let cluster = Arc::new(ClusterConfig::quiet(1).build());
-        let errs = World::new(cluster).run(|proc| {
-            Machine::new(program.clone(), proc, None).run().unwrap_err()
-        });
+        let errs = World::new(cluster)
+            .run(|proc| Machine::new(program.clone(), proc, None).run().unwrap_err());
         assert!(errs[0].message.contains("call depth"));
     }
 

@@ -14,6 +14,7 @@ use vsensor_lang::Program;
 use vsensor_runtime::dynrules::DynamicRule;
 use vsensor_runtime::record::SensorInfo;
 use vsensor_runtime::server::ServerResult;
+use vsensor_runtime::transport::{BatchChannel, DirectChannel, FaultyChannel, TransportStats};
 use vsensor_runtime::{
     AnalysisServer, DistributionStats, RuntimeConfig, SensorRuntime, VarianceReport,
 };
@@ -49,6 +50,8 @@ pub struct RankResult {
     pub validation: ValidationStats,
     /// Locally-flagged variance records.
     pub local_variances: u64,
+    /// Telemetry-transport counters (zero for plain runs).
+    pub transport: TransportStats,
 }
 
 impl From<MachineResult> for RankResult {
@@ -59,6 +62,7 @@ impl From<MachineResult> for RankResult {
             distribution: m.distribution,
             validation: m.validation,
             local_variances: m.local_variances,
+            transport: m.transport,
         }
     }
 }
@@ -111,18 +115,20 @@ pub fn run_instrumented(
         sensors.clone(),
         config.runtime.clone(),
     ));
+    // Telemetry rides the cluster's fault plan: a healthy cluster gets the
+    // lossless direct channel, an injected plan gets the faulty one.
+    let channel: Arc<dyn BatchChannel> = if cluster.faults().is_active() {
+        Arc::new(FaultyChannel::new(server.clone(), cluster.faults().clone()))
+    } else {
+        Arc::new(DirectChannel::new(server.clone()))
+    };
     let world = simmpi::World::new(cluster);
     let sensor_count = sensors.len();
     let rank_results: Vec<RankResult> = world
         .run(|proc| {
-            let harness = SensorHarness {
-                runtime: SensorRuntime::with_rule(
-                    sensor_count,
-                    config.runtime.clone(),
-                    config.rule.clone(),
-                ),
-                server: server.clone(),
-            };
+            let runtime =
+                SensorRuntime::with_rule(sensor_count, config.runtime.clone(), config.rule.clone());
+            let harness = SensorHarness::with_channel(runtime, proc.rank(), channel.clone());
             Machine::new(program.clone(), proc, Some(harness))
                 .run()
                 .unwrap_or_else(|e| panic!("{e}"))
@@ -141,8 +147,10 @@ pub fn run_instrumented(
     let server_result = server.finalize(VirtualTime::ZERO + run_time);
 
     let mut distribution = DistributionStats::new();
+    let mut transport = TransportStats::default();
     for r in &rank_results {
         distribution.merge(&r.distribution);
+        transport.merge(&r.transport);
     }
     let all_validation: Vec<ValidationStats> =
         rank_results.iter().map(|r| r.validation.clone()).collect();
@@ -166,6 +174,8 @@ pub fn run_instrumented(
             .iter()
             .map(|s| (s.location.clone(), s.kind, s.mean_perf))
             .collect(),
+        delivery: server_result.delivery.clone(),
+        transport,
     };
 
     InstrumentedRun {
@@ -278,7 +288,8 @@ mod tests {
         let e = comp_events[0];
         assert_eq!((e.first_rank, e.last_rank), (4, 5), "{e:?}");
         let total_bins = (run.run_time.as_nanos()
-            / RuntimeConfig::default().matrix_resolution.as_nanos()) as usize;
+            / RuntimeConfig::default().matrix_resolution.as_nanos())
+            as usize;
         assert!(e.is_persistent(total_bins.max(1)), "{e:?}");
     }
 

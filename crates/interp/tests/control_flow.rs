@@ -128,10 +128,10 @@ fn break_in_loop_with_sensor_still_measures() {
         .unwrap();
     // The inner loop breaks at a constant point: still fixed-workload.
     assert!(prepared.sensor_count() >= 1);
-    let run = prepared.run(
-        Arc::new(scenarios::quiet(2).build()),
-        &Default::default(),
-    );
+    let run = prepared.run(Arc::new(scenarios::quiet(2).build()), &Default::default());
     assert!(run.report.distribution.sense_count > 0);
-    assert!(run.workload_max_error.abs() < 1e-12, "break at fixed k is fixed work");
+    assert!(
+        run.workload_max_error.abs() < 1e-12,
+        "break at fixed k is fixed work"
+    );
 }

@@ -279,7 +279,12 @@ mod tests {
         )
         .unwrap();
         let body = &p.functions[0].body;
-        let Stmt::Loop { id: outer, body: inner_body, .. } = &body.stmts[0] else {
+        let Stmt::Loop {
+            id: outer,
+            body: inner_body,
+            ..
+        } = &body.stmts[0]
+        else {
             panic!()
         };
         let Stmt::Loop { id: inner, .. } = &inner_body.stmts[0] else {

@@ -82,7 +82,11 @@ impl Parser {
             Ok(self.bump())
         } else {
             Err(LangError::parse(
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 self.peek_span(),
             ))
         }
@@ -214,7 +218,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while self.peek() != &TokenKind::RBrace {
             if self.peek() == &TokenKind::Eof {
-                return Err(LangError::parse("unexpected end of input in block", self.peek_span()));
+                return Err(LangError::parse(
+                    "unexpected end of input in block",
+                    self.peek_span(),
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -359,7 +366,9 @@ impl Parser {
         let (step_var, step_span) = self.expect_ident()?;
         if step_var != var {
             return Err(LangError::parse(
-                format!("for-loop step must assign the induction variable `{var}`, found `{step_var}`"),
+                format!(
+                    "for-loop step must assign the induction variable `{var}`, found `{step_var}`"
+                ),
                 step_span,
             ));
         }
@@ -632,10 +641,21 @@ mod tests {
         let StmtKind::Decl { init: Some(e), .. } = &u.functions[0].body[0].kind else {
             panic!("expected decl");
         };
-        let ExprKind::Binary { op: AstBinOp::Add, rhs, .. } = &e.kind else {
+        let ExprKind::Binary {
+            op: AstBinOp::Add,
+            rhs,
+            ..
+        } = &e.kind
+        else {
             panic!("expected add at top: {e:?}");
         };
-        assert!(matches!(rhs.kind, ExprKind::Binary { op: AstBinOp::Mul, .. }));
+        assert!(matches!(
+            rhs.kind,
+            ExprKind::Binary {
+                op: AstBinOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -651,7 +671,10 @@ mod tests {
             "fn main() { int x = 0; if (x < 1) { x = 1; } else if (x < 2) { x = 2; } else { x = 3; } }",
         )
         .unwrap();
-        let StmtKind::If { else_blk: Some(e), .. } = &u.functions[0].body[1].kind else {
+        let StmtKind::If {
+            else_blk: Some(e), ..
+        } = &u.functions[0].body[1].kind
+        else {
             panic!("expected if");
         };
         assert!(matches!(e[0].kind, StmtKind::If { .. }));
@@ -659,19 +682,24 @@ mod tests {
 
     #[test]
     fn for_step_must_target_induction_var() {
-        let err =
-            parse_src("fn main() { for (i = 0; i < 3; j = j + 1) {} }").unwrap_err();
+        let err = parse_src("fn main() { for (i = 0; i < 3; j = j + 1) {} }").unwrap_err();
         assert!(err.message.contains("induction variable"));
     }
 
     #[test]
     fn array_decl_and_index() {
-        let u = parse_src("fn main() { float a[100]; a[3] = 1.5; float y = a[3] + a[4]; }")
-            .unwrap();
-        assert!(matches!(u.functions[0].body[0].kind, StmtKind::ArrayDecl { .. }));
+        let u =
+            parse_src("fn main() { float a[100]; a[3] = 1.5; float y = a[3] + a[4]; }").unwrap();
+        assert!(matches!(
+            u.functions[0].body[0].kind,
+            StmtKind::ArrayDecl { .. }
+        ));
         assert!(matches!(
             u.functions[0].body[1].kind,
-            StmtKind::Assign { target: AssignTarget::Index { .. }, .. }
+            StmtKind::Assign {
+                target: AssignTarget::Index { .. },
+                ..
+            }
         ));
     }
 
@@ -695,8 +723,14 @@ mod tests {
     #[test]
     fn return_with_and_without_value() {
         let u = parse_src("fn f() -> int { return 3; } fn g() { return; }").unwrap();
-        assert!(matches!(u.functions[0].body[0].kind, StmtKind::Return(Some(_))));
-        assert!(matches!(u.functions[1].body[0].kind, StmtKind::Return(None)));
+        assert!(matches!(
+            u.functions[0].body[0].kind,
+            StmtKind::Return(Some(_))
+        ));
+        assert!(matches!(
+            u.functions[1].body[0].kind,
+            StmtKind::Return(None)
+        ));
     }
 
     #[test]

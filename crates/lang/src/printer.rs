@@ -156,12 +156,7 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
 }
 
 fn print_call(c: &CallSite) -> String {
-    let args = c
-        .args
-        .iter()
-        .map(print_expr)
-        .collect::<Vec<_>>()
-        .join(", ");
+    let args = c.args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
     format!("{}({})", c.callee, args)
 }
 
@@ -315,10 +310,7 @@ mod tests {
     #[test]
     fn probes_are_printed() {
         let mut p = compile("fn main() { compute(1); }").unwrap();
-        p.functions[0]
-            .body
-            .stmts
-            .insert(0, Stmt::Tick(SensorId(3)));
+        p.functions[0].body.stmts.insert(0, Stmt::Tick(SensorId(3)));
         p.functions[0].body.stmts.push(Stmt::Tock(SensorId(3)));
         let printed = print_program(&p);
         assert!(printed.contains("vs_tick(3);"));

@@ -29,6 +29,19 @@ pub struct RuntimeConfig {
     pub batch_interval: Duration,
     /// Time resolution of the performance matrix (Figure 14 uses 200 ms).
     pub matrix_resolution: Duration,
+    /// How long the telemetry transport waits for a batch acknowledgement
+    /// before scheduling a retry.
+    pub batch_timeout: Duration,
+    /// Maximum transmission attempts per batch (first send + retries);
+    /// exhausted batches are dropped and counted, never blocked on.
+    pub retry_budget: u32,
+    /// Unsent/unacked batches buffered per rank; overflow drops the
+    /// *oldest* batch (fresh telemetry beats stale under backpressure).
+    pub buffer_capacity: usize,
+    /// Base of the exponential retry backoff (doubled per failed attempt).
+    pub backoff_base: Duration,
+    /// Virtual cost charged to the rank's clock per transmission attempt.
+    pub send_overhead: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -43,6 +56,11 @@ impl Default for RuntimeConfig {
             disabled_overhead: Duration::from_nanos(10),
             batch_interval: Duration::from_millis(100),
             matrix_resolution: Duration::from_millis(200),
+            batch_timeout: Duration::from_millis(5),
+            retry_budget: 4,
+            buffer_capacity: 32,
+            backoff_base: Duration::from_millis(2),
+            send_overhead: Duration::from_micros(2),
         }
     }
 }
@@ -55,6 +73,7 @@ impl RuntimeConfig {
             probe_overhead: Duration::ZERO,
             analysis_overhead: Duration::ZERO,
             disabled_overhead: Duration::ZERO,
+            send_overhead: Duration::ZERO,
             ..Default::default()
         }
     }

@@ -159,11 +159,7 @@ mod tests {
     use super::*;
     use cluster_sim::time::Duration;
 
-    fn matrix_with(
-        ranks: usize,
-        bins: usize,
-        bad: &[(usize, usize)],
-    ) -> PerformanceMatrix {
+    fn matrix_with(ranks: usize, bins: usize, bad: &[(usize, usize)]) -> PerformanceMatrix {
         let mut m = PerformanceMatrix::new(ranks, bins, Duration::from_millis(200));
         for r in 0..ranks {
             for b in 0..bins {
@@ -189,9 +185,7 @@ mod tests {
     #[test]
     fn rectangular_block_detected_once() {
         // Ranks 1-2, bins 3..7 — a noise-injection block.
-        let bad: Vec<(usize, usize)> = (1..=2)
-            .flat_map(|r| (3..7).map(move |b| (r, b)))
-            .collect();
+        let bad: Vec<(usize, usize)> = (1..=2).flat_map(|r| (3..7).map(move |b| (r, b))).collect();
         let m = matrix_with(4, 10, &bad);
         let events = detect_events(&m, SensorKind::Computation, 0.5);
         assert_eq!(events.len(), 1, "{events:?}");

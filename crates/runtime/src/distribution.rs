@@ -119,10 +119,7 @@ mod tests {
     fn coverage_and_frequency() {
         let mut s = DistributionStats::new();
         for i in 0..100u64 {
-            s.record(
-                VirtualTime::from_micros(i * 100),
-                Duration::from_micros(10),
-            );
+            s.record(VirtualTime::from_micros(i * 100), Duration::from_micros(10));
         }
         let total = Duration::from_micros(100 * 100);
         assert!((s.coverage(total) - 0.1).abs() < 1e-9);

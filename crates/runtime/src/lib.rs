@@ -32,6 +32,7 @@ pub mod report;
 pub mod server;
 pub mod smoothing;
 pub mod tick;
+pub mod transport;
 
 pub use config::RuntimeConfig;
 pub use detect::VarianceEvent;
@@ -40,5 +41,9 @@ pub use dynrules::DynamicRule;
 pub use matrix::PerformanceMatrix;
 pub use record::{SensorInfo, SensorKind, SliceRecord};
 pub use report::VarianceReport;
-pub use server::AnalysisServer;
+pub use server::{AnalysisServer, DeliveryQuality, IngestResult};
 pub use tick::SensorRuntime;
+pub use transport::{
+    BatchChannel, DirectChannel, FaultyChannel, RankTransport, SendOutcome, TelemetryBatch,
+    TransportConfig, TransportStats,
+};

@@ -18,11 +18,7 @@ pub enum SensorKind {
 
 impl SensorKind {
     /// All kinds, in display order.
-    pub const ALL: [SensorKind; 3] = [
-        SensorKind::Computation,
-        SensorKind::Network,
-        SensorKind::Io,
-    ];
+    pub const ALL: [SensorKind; 3] = [SensorKind::Computation, SensorKind::Network, SensorKind::Io];
 
     /// Short label used in reports.
     pub fn label(self) -> &'static str {

@@ -8,6 +8,8 @@
 use crate::detect::VarianceEvent;
 use crate::distribution::DistributionStats;
 use crate::record::SensorKind;
+use crate::server::DeliveryQuality;
+use crate::transport::TransportStats;
 use cluster_sim::time::Duration;
 use std::fmt::Write;
 
@@ -31,6 +33,11 @@ pub struct VarianceReport {
     /// Per-sensor aggregates (worst mean performance first); the "which
     /// source location degraded" view.
     pub worst_sensors: Vec<(String, SensorKind, f64)>,
+    /// Per-rank delivery quality as observed by the server (empty when the
+    /// run predates the fault-tolerant transport or used the legacy path).
+    pub delivery: Vec<DeliveryQuality>,
+    /// Sender-side transport counters, merged across ranks.
+    pub transport: TransportStats,
 }
 
 impl VarianceReport {
@@ -64,6 +71,22 @@ impl VarianceReport {
         self.events.iter().any(|e| e.kind == kind)
     }
 
+    /// Whether any rank's telemetry was lost or damaged in transit. When
+    /// true, the report's evidence is incomplete and absence of an event is
+    /// weaker than usual.
+    pub fn delivery_degraded(&self) -> bool {
+        self.delivery.iter().any(|d| d.degraded()) || self.transport.total_dropped() > 0
+    }
+
+    /// Worst per-rank delivery ratio (1.0 when delivery was perfect or the
+    /// run had no ranks).
+    pub fn min_delivery_ratio(&self) -> f64 {
+        self.delivery
+            .iter()
+            .map(|d| d.delivery_ratio)
+            .fold(1.0, f64::min)
+    }
+
     /// Render the human-readable report text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -95,6 +118,28 @@ impl VarianceReport {
             let _ = writeln!(out, "most degraded sensors:");
             for (loc, kind, perf) in degraded {
                 let _ = writeln!(out, "  {perf:.3} [{:>4}] {loc}", kind.label());
+            }
+        }
+        if self.delivery_degraded() {
+            let lossy = self.delivery.iter().filter(|d| d.degraded()).count();
+            let _ = writeln!(
+                out,
+                "telemetry degraded: {} rank(s) lossy, worst delivery {:.1}%, \
+                 {} batch(es) dropped at senders — findings may be incomplete",
+                lossy,
+                self.min_delivery_ratio() * 100.0,
+                self.transport.total_dropped(),
+            );
+            for d in self.delivery.iter().filter(|d| d.degraded()).take(5) {
+                let _ = writeln!(
+                    out,
+                    "  rank {}: {:.1}% delivered, {} gap(s), {} corrupt, {} out-of-order",
+                    d.rank,
+                    d.delivery_ratio * 100.0,
+                    d.gaps,
+                    d.corrupt,
+                    d.out_of_order,
+                );
             }
         }
         if self.events.is_empty() {
@@ -135,10 +180,7 @@ mod tests {
     fn sample_report() -> VarianceReport {
         let mut dist = DistributionStats::new();
         for i in 0..1000u64 {
-            dist.record(
-                VirtualTime::from_micros(i * 100),
-                Duration::from_micros(10),
-            );
+            dist.record(VirtualTime::from_micros(i * 100), Duration::from_micros(10));
         }
         VarianceReport {
             events: vec![VarianceEvent {
@@ -155,14 +197,13 @@ mod tests {
             ranks: 1024,
             server_bytes: 8_800_000,
             bin_width: Duration::from_millis(200),
-            component_means: vec![
-                (SensorKind::Computation, 0.97),
-                (SensorKind::Network, 0.61),
-            ],
+            component_means: vec![(SensorKind::Computation, 0.97), (SensorKind::Network, 0.61)],
             worst_sensors: vec![
                 ("ft.mh:42 (C7)".into(), SensorKind::Network, 0.31),
                 ("ft.mh:17 (L2)".into(), SensorKind::Computation, 0.96),
             ],
+            delivery: Vec::new(),
+            transport: TransportStats::default(),
         }
     }
 
@@ -185,6 +226,29 @@ mod tests {
         rep.events.clear();
         assert!(rep.render().contains("no performance variance detected"));
         assert!(!rep.has_variance(SensorKind::Network));
+    }
+
+    #[test]
+    fn degraded_delivery_is_surfaced() {
+        let mut rep = sample_report();
+        assert!(!rep.delivery_degraded(), "perfect delivery by default");
+        rep.delivery = vec![DeliveryQuality {
+            rank: 3,
+            accepted: 90,
+            duplicates: 2,
+            corrupt: 1,
+            gaps: 10,
+            out_of_order: 4,
+            delivery_ratio: 0.9,
+            mean_latency: Duration::from_micros(20),
+        }];
+        rep.transport.dropped_exhausted = 10;
+        assert!(rep.delivery_degraded());
+        assert!((rep.min_delivery_ratio() - 0.9).abs() < 1e-12);
+        let r = rep.render();
+        assert!(r.contains("telemetry degraded"));
+        assert!(r.contains("rank 3"));
+        assert!(r.contains("10 gap(s)"));
     }
 
     #[test]

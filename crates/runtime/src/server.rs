@@ -14,9 +14,10 @@ use crate::dynrules::Bucket;
 use crate::history::normalized;
 use crate::matrix::PerformanceMatrix;
 use crate::record::{SensorInfo, SensorKind, SliceRecord};
-use cluster_sim::time::Duration;
+use crate::transport::TelemetryBatch;
+use cluster_sim::time::{Duration, VirtualTime};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use vsensor_lang::SensorId;
 
 /// Byte overhead charged per batch message (header / envelope).
@@ -42,6 +43,37 @@ struct ServerInner {
     local_std: HashMap<(SensorId, Bucket, usize), Duration>,
     bytes_received: u64,
     batches: u64,
+    /// Records rejected because they referenced an unknown `SensorId`.
+    malformed: u64,
+    /// Per-rank delivery bookkeeping for the sequence-numbered ingest path.
+    delivery: Vec<RankDelivery>,
+}
+
+/// Per-rank state for the fault-tolerant ingest path.
+#[derive(Default)]
+struct RankDelivery {
+    /// Sequence numbers accepted so far (dedup + gap detection).
+    seen: HashSet<u64>,
+    accepted: u64,
+    duplicates: u64,
+    corrupt: u64,
+    out_of_order: u64,
+    max_seq: Option<u64>,
+    /// Sum of (arrival − sent) over accepted batches, for mean latency.
+    latency_total: Duration,
+}
+
+/// What the server did with one ingested batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestResult {
+    /// Batch verified and absorbed.
+    Accepted,
+    /// `(rank, seq)` already seen — a retry or fabric duplicate; ignored.
+    Duplicate,
+    /// CRC mismatch — payload damaged in flight; rejected, no ack.
+    Corrupt,
+    /// Structurally invalid (e.g. rank out of range); rejected permanently.
+    Malformed,
 }
 
 impl AnalysisServer {
@@ -54,6 +86,10 @@ impl AnalysisServer {
                 local_std: HashMap::new(),
                 bytes_received: 0,
                 batches: 0,
+                malformed: 0,
+                delivery: std::iter::repeat_with(RankDelivery::default)
+                    .take(ranks)
+                    .collect(),
             }),
             config,
             sensors,
@@ -61,36 +97,93 @@ impl AnalysisServer {
         }
     }
 
-    /// Receive one batch from a rank.
+    /// Absorb one record into standards and the record log. Records naming
+    /// an unknown `SensorId` are rejected and counted as malformed instead
+    /// of indexing out of bounds — a corrupted or hostile batch must never
+    /// take the server down.
+    fn absorb_record(&self, inner: &mut ServerInner, rank: usize, rec: SliceRecord) {
+        let Some(info) = self.sensors.get(rec.sensor.0 as usize) else {
+            inner.malformed += 1;
+            return;
+        };
+        if info.process_invariant {
+            let e = inner
+                .global_std
+                .entry((rec.sensor, rec.bucket))
+                .or_insert(rec.avg);
+            if rec.avg < *e {
+                *e = rec.avg;
+            }
+        } else {
+            let e = inner
+                .local_std
+                .entry((rec.sensor, rec.bucket, rank))
+                .or_insert(rec.avg);
+            if rec.avg < *e {
+                *e = rec.avg;
+            }
+        }
+        inner.records.push((rank, rec));
+    }
+
+    /// Receive one batch from a rank over the legacy direct path (no
+    /// sequence numbers, no dedup — retransmitted data only tightens
+    /// standards). The fault-tolerant transport uses [`Self::ingest`].
     pub fn submit(&self, rank: usize, batch: Vec<SliceRecord>) {
         if batch.is_empty() {
             return;
         }
         let mut inner = self.inner.lock();
-        inner.bytes_received +=
-            BATCH_HEADER_BYTES + batch.len() as u64 * SliceRecord::WIRE_BYTES;
+        inner.bytes_received += BATCH_HEADER_BYTES + batch.len() as u64 * SliceRecord::WIRE_BYTES;
         inner.batches += 1;
         for rec in batch {
-            let info = &self.sensors[rec.sensor.0 as usize];
-            if info.process_invariant {
-                let e = inner
-                    .global_std
-                    .entry((rec.sensor, rec.bucket))
-                    .or_insert(rec.avg);
-                if rec.avg < *e {
-                    *e = rec.avg;
-                }
-            } else {
-                let e = inner
-                    .local_std
-                    .entry((rec.sensor, rec.bucket, rank))
-                    .or_insert(rec.avg);
-                if rec.avg < *e {
-                    *e = rec.avg;
+            self.absorb_record(&mut inner, rank, rec);
+        }
+    }
+
+    /// Receive one sequence-numbered batch from the fault-tolerant
+    /// transport. Verifies the CRC, deduplicates on `(rank, seq)` (so
+    /// retries and fabric duplicates are harmless), tolerates arbitrary
+    /// arrival order, and keeps per-rank delivery-quality bookkeeping that
+    /// [`Self::finalize`] folds into the report.
+    pub fn ingest(&self, batch: TelemetryBatch, arrival: VirtualTime) -> IngestResult {
+        let mut inner = self.inner.lock();
+        if batch.rank >= self.ranks {
+            inner.malformed += 1;
+            return IngestResult::Malformed;
+        }
+        if !batch.verify() {
+            inner.delivery[batch.rank].corrupt += 1;
+            return IngestResult::Corrupt;
+        }
+        {
+            let d = &mut inner.delivery[batch.rank];
+            if !d.seen.insert(batch.seq) {
+                d.duplicates += 1;
+                return IngestResult::Duplicate;
+            }
+            d.accepted += 1;
+            if let Some(max) = d.max_seq {
+                if batch.seq < max {
+                    d.out_of_order += 1; // a late batch overtaken in flight
                 }
             }
-            inner.records.push((rank, rec));
+            d.max_seq = Some(d.max_seq.map_or(batch.seq, |m| m.max(batch.seq)));
+            d.latency_total += arrival.since(batch.sent_at);
         }
+        inner.bytes_received +=
+            BATCH_HEADER_BYTES + batch.records.len() as u64 * SliceRecord::WIRE_BYTES;
+        inner.batches += 1;
+        let rank = batch.rank;
+        for rec in batch.records {
+            self.absorb_record(&mut inner, rank, rec);
+        }
+        IngestResult::Accepted
+    }
+
+    /// Records rejected so far for naming unknown sensors.
+    pub fn malformed_records(&self) -> u64 {
+        self.inner.lock().malformed
     }
 
     /// Total bytes received so far (batching overhead included).
@@ -121,10 +214,7 @@ impl AnalysisServer {
     /// detect variance events.
     pub fn finalize(&self, run_end: cluster_sim::time::VirtualTime) -> ServerResult {
         let inner = self.inner.lock();
-        let bins = (self
-            .config
-            .matrix_bin(run_end)
-            .saturating_add(1)) as usize;
+        let bins = (self.config.matrix_bin(run_end).saturating_add(1)) as usize;
         let mut matrices: HashMap<SensorKind, PerformanceMatrix> = SensorKind::ALL
             .into_iter()
             .map(|k| {
@@ -199,6 +289,34 @@ impl AnalysisServer {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
 
+        let delivery = inner
+            .delivery
+            .iter()
+            .enumerate()
+            .map(|(rank, d)| {
+                let expected = d.max_seq.map_or(0, |m| m + 1);
+                let gaps = expected.saturating_sub(d.seen.len() as u64);
+                DeliveryQuality {
+                    rank,
+                    accepted: d.accepted,
+                    duplicates: d.duplicates,
+                    corrupt: d.corrupt,
+                    gaps,
+                    out_of_order: d.out_of_order,
+                    delivery_ratio: if expected == 0 {
+                        1.0
+                    } else {
+                        d.accepted as f64 / expected as f64
+                    },
+                    mean_latency: d
+                        .latency_total
+                        .as_nanos()
+                        .checked_div(d.accepted)
+                        .map_or(Duration::ZERO, Duration::from_nanos),
+                }
+            })
+            .collect();
+
         ServerResult {
             matrices,
             events,
@@ -206,7 +324,41 @@ impl AnalysisServer {
             bytes_received: inner.bytes_received,
             batches: inner.batches,
             records: inner.records.len(),
+            delivery,
+            malformed_records: inner.malformed,
         }
+    }
+}
+
+/// Per-rank telemetry delivery quality, as observed by the server. With
+/// the direct (lossless) path every rank reports a ratio of 1.0 and zero
+/// anomalies; under injected faults these numbers tell the report how much
+/// of the evidence went missing.
+#[derive(Clone, Debug)]
+pub struct DeliveryQuality {
+    /// The rank.
+    pub rank: usize,
+    /// Batches accepted (first copies only).
+    pub accepted: u64,
+    /// Redundant deliveries discarded by `(rank, seq)` dedup.
+    pub duplicates: u64,
+    /// Batches rejected by the CRC check.
+    pub corrupt: u64,
+    /// Sequence numbers never seen below the highest seen — batches lost
+    /// for good (drops whose retries also failed).
+    pub gaps: u64,
+    /// Batches that arrived after a later-sequenced batch.
+    pub out_of_order: u64,
+    /// `accepted / (max_seq + 1)` — 1.0 means nothing is missing.
+    pub delivery_ratio: f64,
+    /// Mean send→arrival latency over accepted batches.
+    pub mean_latency: Duration,
+}
+
+impl DeliveryQuality {
+    /// Whether any telemetry from this rank was lost or damaged.
+    pub fn degraded(&self) -> bool {
+        self.gaps > 0 || self.corrupt > 0 || self.delivery_ratio < 1.0
     }
 }
 
@@ -239,6 +391,11 @@ pub struct ServerResult {
     pub batches: u64,
     /// Records received.
     pub records: usize,
+    /// Per-rank delivery quality (sequence-numbered ingest path only;
+    /// ranks using the legacy direct path report a perfect 1.0 ratio).
+    pub delivery: Vec<DeliveryQuality>,
+    /// Records rejected for naming unknown sensors.
+    pub malformed_records: u64,
 }
 
 impl ServerResult {
@@ -412,10 +569,7 @@ mod tests {
         );
         s.submit(0, vec![rec(0, 0, 10), rec(1, 0, 50)]);
         let result = s.finalize(VirtualTime::from_millis(10));
-        assert!(result
-            .matrix(SensorKind::Computation)
-            .cell(0, 0)
-            .is_some());
+        assert!(result.matrix(SensorKind::Computation).cell(0, 0).is_some());
         assert!(result.matrix(SensorKind::Network).cell(0, 0).is_some());
         assert!(result.matrix(SensorKind::Io).cell(0, 0).is_none());
     }

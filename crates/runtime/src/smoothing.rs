@@ -96,17 +96,37 @@ mod tests {
         let mut agg = SliceAggregator::new(SensorId(0));
         // Three 10/20/30 us senses inside slice 0.
         assert!(agg
-            .add(&c, VirtualTime::from_micros(0), Duration::from_micros(10), Bucket(0))
+            .add(
+                &c,
+                VirtualTime::from_micros(0),
+                Duration::from_micros(10),
+                Bucket(0)
+            )
             .is_none());
         assert!(agg
-            .add(&c, VirtualTime::from_micros(100), Duration::from_micros(20), Bucket(0))
+            .add(
+                &c,
+                VirtualTime::from_micros(100),
+                Duration::from_micros(20),
+                Bucket(0)
+            )
             .is_none());
         assert!(agg
-            .add(&c, VirtualTime::from_micros(200), Duration::from_micros(30), Bucket(0))
+            .add(
+                &c,
+                VirtualTime::from_micros(200),
+                Duration::from_micros(30),
+                Bucket(0)
+            )
             .is_none());
         // The next sense is in slice 1: slice 0 closes.
         let rec = agg
-            .add(&c, VirtualTime::from_micros(1500), Duration::from_micros(5), Bucket(0))
+            .add(
+                &c,
+                VirtualTime::from_micros(1500),
+                Duration::from_micros(5),
+                Bucket(0),
+            )
             .expect("slice 0 finished");
         assert_eq!(rec.slice, 0);
         assert_eq!(rec.count, 3);
@@ -117,9 +137,19 @@ mod tests {
     fn bucket_change_closes_slice() {
         let c = cfg();
         let mut agg = SliceAggregator::new(SensorId(1));
-        agg.add(&c, VirtualTime::from_micros(10), Duration::from_micros(4), Bucket(0));
+        agg.add(
+            &c,
+            VirtualTime::from_micros(10),
+            Duration::from_micros(4),
+            Bucket(0),
+        );
         let rec = agg
-            .add(&c, VirtualTime::from_micros(20), Duration::from_micros(6), Bucket(1))
+            .add(
+                &c,
+                VirtualTime::from_micros(20),
+                Duration::from_micros(6),
+                Bucket(1),
+            )
             .expect("bucket switch closes");
         assert_eq!(rec.bucket, Bucket(0));
         assert_eq!(rec.count, 1);
@@ -147,12 +177,7 @@ mod tests {
         for i in 0..5000u64 {
             // 10 us nominal work, every 8th sense takes 4x (noise spike).
             let d = if i % 8 == 0 { 40_000 } else { 10_000 };
-            if let Some(r) = agg.add(
-                &c,
-                VirtualTime(t),
-                Duration::from_nanos(d),
-                Bucket(0),
-            ) {
+            if let Some(r) = agg.add(&c, VirtualTime(t), Duration::from_nanos(d), Bucket(0)) {
                 records.push(r);
             }
             t += d;

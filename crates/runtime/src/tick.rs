@@ -90,6 +90,11 @@ impl SensorRuntime {
         }
     }
 
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
     /// Start a sense.
     pub fn tick(&mut self, sensor: SensorId, now: VirtualTime) -> ProbeOutcome {
         let st = &mut self.states[sensor.0 as usize];
@@ -133,9 +138,7 @@ impl SensorRuntime {
         if duration < self.config.min_sense_duration {
             st.short_senses += 1;
         }
-        if st.senses == self.config.throttle_probation
-            && st.short_senses * 2 > st.senses
-        {
+        if st.senses == self.config.throttle_probation && st.short_senses * 2 > st.senses {
             st.disabled = true;
         }
 
@@ -237,7 +240,11 @@ mod tests {
         let tail = rt.finish(end);
         let total: u32 = batch.iter().chain(&tail).map(|r| r.count).sum();
         assert_eq!(total, 100, "every sense aggregated exactly once");
-        assert!(batch.len() >= 9, "about one record per slice: {}", batch.len());
+        assert!(
+            batch.len() >= 9,
+            "about one record per slice: {}",
+            batch.len()
+        );
     }
 
     #[test]
@@ -296,11 +303,7 @@ mod tests {
     #[test]
     fn dynamic_rule_splits_groups() {
         use crate::dynrules::CacheMissBuckets;
-        let mut rt = SensorRuntime::with_rule(
-            1,
-            free(),
-            Arc::new(CacheMissBuckets::high_low(0.5)),
-        );
+        let mut rt = SensorRuntime::with_rule(1, free(), Arc::new(CacheMissBuckets::high_low(0.5)));
         let mut t = VirtualTime::ZERO;
         // Alternate slices of low-miss (fast) and high-miss (slow) senses.
         for phase in 0..10 {
@@ -362,7 +365,11 @@ mod tests {
     #[test]
     fn unmatched_tock_is_tolerated() {
         let mut rt = SensorRuntime::new(1, free());
-        let out = rt.tock(SensorId(0), VirtualTime::from_micros(5), SenseMetrics::default());
+        let out = rt.tock(
+            SensorId(0),
+            VirtualTime::from_micros(5),
+            SenseMetrics::default(),
+        );
         assert_eq!(out.cost, Duration::ZERO);
         assert_eq!(rt.distribution().sense_count, 0);
     }

@@ -119,8 +119,16 @@ fn interleaved_ticks_of_different_sensors_are_independent() {
         t += Duration::from_micros(10);
     }
     let recs = rt.finish(t);
-    let s0: u32 = recs.iter().filter(|r| r.sensor == SensorId(0)).map(|r| r.count).sum();
-    let s1: u32 = recs.iter().filter(|r| r.sensor == SensorId(1)).map(|r| r.count).sum();
+    let s0: u32 = recs
+        .iter()
+        .filter(|r| r.sensor == SensorId(0))
+        .map(|r| r.count)
+        .sum();
+    let s1: u32 = recs
+        .iter()
+        .filter(|r| r.sensor == SensorId(1))
+        .map(|r| r.count)
+        .sum();
     assert_eq!(s0, 200);
     assert_eq!(s1, 200);
 }

@@ -154,8 +154,7 @@ impl CollectiveSlot {
 
         if st.arrived == self.procs {
             // Last arriver: compute the result and release the generation.
-            let cost =
-                cluster.collective_cost(entry.op, self.procs, st.bytes, st.max_entry);
+            let cost = cluster.collective_cost(entry.op, self.procs, st.bytes, st.max_entry);
             st.done_exit = st.max_entry + cost;
             st.done_value = match entry.op {
                 CollectiveOp::Bcast => st.bcast_val,
@@ -202,10 +201,7 @@ mod tests {
         }
     }
 
-    fn run_collective(
-        procs: usize,
-        entries: Vec<CollectiveEntry>,
-    ) -> Vec<CollectiveResult> {
+    fn run_collective(procs: usize, entries: Vec<CollectiveEntry>) -> Vec<CollectiveResult> {
         let cluster = Arc::new(ClusterConfig::quiet(procs).build());
         let slot = Arc::new(CollectiveSlot::new(procs));
         std::thread::scope(|s| {
@@ -267,9 +263,8 @@ mod tests {
 
     #[test]
     fn bcast_delivers_root_value() {
-        let mut entries: Vec<CollectiveEntry> = (0..4)
-            .map(|_| entry(CollectiveOp::Bcast, 0, -1))
-            .collect();
+        let mut entries: Vec<CollectiveEntry> =
+            (0..4).map(|_| entry(CollectiveOp::Bcast, 0, -1)).collect();
         entries[2].value = 42;
         entries[2].is_root = true;
         let rs = run_collective(4, entries);
@@ -289,8 +284,11 @@ mod tests {
                     s.spawn(move || {
                         (0..10)
                             .map(|round| {
-                                slot.enter(&cluster, entry(CollectiveOp::Allreduce, 0, (r + round) as i64))
-                                    .value
+                                slot.enter(
+                                    &cluster,
+                                    entry(CollectiveOp::Allreduce, 0, (r + round) as i64),
+                                )
+                                .value
                             })
                             .collect()
                     })

@@ -113,12 +113,7 @@ impl CommRegistry {
         st.arrived += 1;
         st.max_entry = st.max_entry.max(at);
         if st.arrived == self.procs {
-            let cost = cluster.collective_cost(
-                CollectiveOp::Barrier,
-                self.procs,
-                0,
-                st.max_entry,
-            );
+            let cost = cluster.collective_cost(CollectiveOp::Barrier, self.procs, 0, st.max_entry);
             st.done_exit = st.max_entry + cost;
             st.done_colors = st.colors.clone();
             st.done_base_id = st.next_comm_id;

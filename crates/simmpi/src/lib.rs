@@ -41,7 +41,7 @@ pub mod world;
 pub use collectives::ReduceOp;
 pub use comm::Comm;
 pub use nonblocking::{RecvRequest, SendRequest};
-pub use p2p::{RecvInfo, ANY_SOURCE, ANY_TAG};
+pub use p2p::{RecvError, RecvInfo, ANY_SOURCE, ANY_TAG};
 pub use proc::Proc;
 pub use stats::ProcStats;
 pub use world::World;

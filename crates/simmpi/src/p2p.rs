@@ -10,6 +10,7 @@
 use cluster_sim::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::fmt;
 use std::time::Duration as StdDuration;
 
 /// Wildcard source for [`crate::Proc::recv`].
@@ -53,6 +54,46 @@ pub struct RecvInfo {
     pub completed_at: VirtualTime,
 }
 
+/// Why a receive failed to complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching send appeared within the real-time deadlock window — in
+    /// a correct program this means a peer is never going to send.
+    DeadlockTimeout {
+        /// Requested source ([`ANY_SOURCE`] allowed).
+        src: usize,
+        /// Requested tag ([`ANY_TAG`] allowed).
+        tag: i64,
+        /// Non-matching messages sitting in the queue at timeout.
+        queued: usize,
+    },
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::DeadlockTimeout { src, tag, queued } => write!(
+                f,
+                "simmpi deadlock: recv(src={}, tag={}) waited {:?} with no matching send \
+                 ({queued} unrelated message(s) queued)",
+                if *src == ANY_SOURCE {
+                    "ANY".to_string()
+                } else {
+                    src.to_string()
+                },
+                if *tag == ANY_TAG {
+                    "ANY".to_string()
+                } else {
+                    tag.to_string()
+                },
+                DEADLOCK_TIMEOUT,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
 /// A rank's incoming-message queue.
 #[derive(Debug, Default)]
 pub struct Mailbox {
@@ -75,9 +116,18 @@ impl Mailbox {
     ///
     /// # Panics
     ///
-    /// Panics after a 30-second real-time deadlock timeout with no match — in a
-    /// correct program this means a peer is never going to send.
+    /// Panics after a 30-second real-time deadlock timeout with no match;
+    /// use [`Self::try_take_matching`] to observe the timeout as a typed
+    /// [`RecvError`] instead.
     pub fn take_matching(&self, src: usize, tag: i64) -> Message {
+        self.try_take_matching(src, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::take_matching`]: returns
+    /// [`RecvError::DeadlockTimeout`] instead of panicking when the
+    /// real-time deadlock window elapses with no matching send.
+    pub fn try_take_matching(&self, src: usize, tag: i64) -> Result<Message, RecvError> {
         let mut q = self.inner.lock();
         loop {
             let best = q
@@ -89,21 +139,14 @@ impl Mailbox {
                 .min_by_key(|(_, m)| (m.arrives_at, m.src))
                 .map(|(i, _)| i);
             if let Some(i) = best {
-                return q.remove(i).expect("index valid under lock");
+                return Ok(q.remove(i).expect("index valid under lock"));
             }
-            if self
-                .cond
-                .wait_for(&mut q, DEADLOCK_TIMEOUT)
-                .timed_out()
-            {
-                panic!(
-                    "simmpi deadlock: recv(src={}, tag={}) waited {:?} with no matching send \
-                     ({} unrelated message(s) queued)",
-                    if src == ANY_SOURCE { "ANY".to_string() } else { src.to_string() },
-                    if tag == ANY_TAG { "ANY".to_string() } else { tag.to_string() },
-                    DEADLOCK_TIMEOUT,
-                    q.len(),
-                );
+            if self.cond.wait_for(&mut q, DEADLOCK_TIMEOUT).timed_out() {
+                return Err(RecvError::DeadlockTimeout {
+                    src,
+                    tag,
+                    queued: q.len(),
+                });
             }
         }
     }
@@ -171,6 +214,26 @@ mod tests {
         mb.push(msg(0, 1, 5));
         let m = h.join().unwrap();
         assert_eq!(m.src, 0);
+    }
+
+    #[test]
+    fn try_take_matching_returns_available_message() {
+        let mb = Mailbox::default();
+        mb.push(msg(1, 7, 10));
+        assert_eq!(mb.try_take_matching(1, 7).unwrap().src, 1);
+    }
+
+    #[test]
+    fn recv_error_display_names_the_wildcards() {
+        let e = RecvError::DeadlockTimeout {
+            src: ANY_SOURCE,
+            tag: 7,
+            queued: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("src=ANY"), "{s}");
+        assert!(s.contains("tag=7"), "{s}");
+        assert!(s.contains("2 unrelated"), "{s}");
     }
 
     #[test]

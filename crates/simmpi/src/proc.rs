@@ -156,7 +156,13 @@ impl Proc {
 
     /// Nonblocking send: identical timing to [`Self::send`] (eager
     /// injection), returning a handle for MPI-style code shape.
-    pub fn isend(&mut self, dest: usize, bytes: u64, tag: i64, value: i64) -> crate::nonblocking::SendRequest {
+    pub fn isend(
+        &mut self,
+        dest: usize,
+        bytes: u64,
+        tag: i64,
+        value: i64,
+    ) -> crate::nonblocking::SendRequest {
         self.send(dest, bytes, tag, value);
         crate::nonblocking::SendRequest {
             injected_at: self.clock,
@@ -312,10 +318,10 @@ impl Proc {
     pub fn split(&mut self, color: i64) -> Comm {
         let start = self.clock;
         let at = self.clock + MPI_CALL_OVERHEAD;
-        let (comm, exit) =
-            self.shared
-                .comms
-                .split(&self.shared.cluster, self.rank, color, at);
+        let (comm, exit) = self
+            .shared
+            .comms
+            .split(&self.shared.cluster, self.rank, color, at);
         self.clock = self.clock.max(exit);
         self.stats.mpi_time += self.clock - start;
         self.stats.collectives += 1;

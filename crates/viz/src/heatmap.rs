@@ -40,13 +40,7 @@ pub fn color_of(perf: f64, white_at: f64) -> (u8, u8, u8) {
 
 /// Downsampled cell value: mean of populated cells in the block, or `None`
 /// when the whole block is empty.
-fn block_value(
-    m: &PerformanceMatrix,
-    r0: usize,
-    r1: usize,
-    c0: usize,
-    c1: usize,
-) -> Option<f64> {
+fn block_value(m: &PerformanceMatrix, r0: usize, r1: usize, c0: usize, c1: usize) -> Option<f64> {
     let mut sum = 0.0;
     let mut n = 0usize;
     for r in r0..r1 {
@@ -65,10 +59,7 @@ fn block_value(
 }
 
 /// Iterate the downsampled grid as (row, col, value) with block bounds.
-fn grid(
-    m: &PerformanceMatrix,
-    opts: &HeatmapOptions,
-) -> (usize, usize, Vec<Option<f64>>) {
+fn grid(m: &PerformanceMatrix, opts: &HeatmapOptions) -> (usize, usize, Vec<Option<f64>>) {
     let rows = m.ranks().min(opts.max_rows).max(1);
     let cols = m.bins().min(opts.max_cols).max(1);
     let mut values = Vec::with_capacity(rows * cols);
@@ -139,9 +130,7 @@ pub fn render_svg(m: &PerformanceMatrix, title: &str, opts: &HeatmapOptions) -> 
     let cell = 6;
     let w = cols * cell + 40;
     let h = rows * cell + 30;
-    let mut out = format!(
-        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}">"#
-    );
+    let mut out = format!(r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}">"#);
     out.push_str(&format!(
         r#"<text x="4" y="14" font-size="12" font-family="sans-serif">{title}</text>"#
     ));

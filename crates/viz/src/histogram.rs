@@ -43,11 +43,7 @@ pub fn render_log_histogram(
             } else {
                 "#".repeat(((logc as f64) * bar_unit).round().max(1.0) as usize)
             };
-            let _ = writeln!(
-                out,
-                "{:>label_width$} {bucket:>11} |{bar} {c}",
-                "",
-            );
+            let _ = writeln!(out, "{:>label_width$} {bucket:>11} |{bar} {c}", "",);
         }
     }
     let _ = writeln!(out, "(bar length ~ log10(count))");

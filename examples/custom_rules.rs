@@ -51,8 +51,14 @@ fn main() {
         comm_dest_matters: true,
         ..Default::default()
     };
-    let loose = Pipeline::new().with_config(default_cfg).compile(PROGRAM).unwrap();
-    let strict = Pipeline::new().with_config(strict_cfg).compile(PROGRAM).unwrap();
+    let loose = Pipeline::new()
+        .with_config(default_cfg)
+        .compile(PROGRAM)
+        .unwrap();
+    let strict = Pipeline::new()
+        .with_config(strict_cfg)
+        .compile(PROGRAM)
+        .unwrap();
     println!(
         "static rule off: {} sensors ({})",
         loose.sensor_count(),

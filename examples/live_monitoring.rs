@@ -14,15 +14,14 @@
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
 use vsensor_repro::cluster_sim::{SlowdownWindow, VirtualTime};
-use vsensor_repro::runtime::record::{SensorInfo, SensorKind};
+use vsensor_repro::runtime::record::SensorInfo;
 use vsensor_repro::runtime::{AnalysisServer, RuntimeConfig};
 use vsensor_repro::{scenarios, Pipeline};
 
 fn main() {
     let ranks = 32;
-    let app = vsensor_repro::apps::cg::generate(
-        vsensor_repro::apps::Params::bench().with_iters(4000),
-    );
+    let app =
+        vsensor_repro::apps::cg::generate(vsensor_repro::apps::Params::bench().with_iters(4000));
     let prepared = Pipeline::new().prepare(app.compile());
 
     // Build the server ourselves so we can hold a handle while the run is
@@ -50,13 +49,11 @@ fn main() {
     let worker = std::thread::spawn(move || {
         let world = vsensor_repro::simmpi::World::new(cluster);
         world.run(|proc| {
-            let harness = vsensor_repro::interp::machine::SensorHarness {
-                runtime: vsensor_repro::runtime::SensorRuntime::new(
-                    sensors.len(),
-                    run_config.clone(),
-                ),
-                server: server.clone(),
-            };
+            let harness = vsensor_repro::interp::machine::SensorHarness::direct(
+                vsensor_repro::runtime::SensorRuntime::new(sensors.len(), run_config.clone()),
+                proc.rank(),
+                server.clone(),
+            );
             vsensor_repro::interp::Machine::new(program.clone(), proc, Some(harness))
                 .run()
                 .unwrap_or_else(|e| panic!("{e}"))

@@ -19,9 +19,8 @@ use vsensor_repro::{scenarios, Pipeline};
 fn main() {
     let ranks = 64;
     let ranks_per_node = 8;
-    let app = vsensor_repro::apps::cg::generate(
-        vsensor_repro::apps::Params::bench().with_iters(1500),
-    );
+    let app =
+        vsensor_repro::apps::cg::generate(vsensor_repro::apps::Params::bench().with_iters(1500));
     let prepared = Pipeline::new().prepare(app.compile());
 
     // Normal run for the baseline profile.

@@ -59,13 +59,9 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
 }
 
 fn arb_program() -> impl Strategy<Value = String> {
-    (
-        proptest::collection::vec(arb_stmt(2), 1..5),
-        2u32..20,
-    )
-        .prop_map(|(stmts, iters)| {
-            format!(
-                r#"
+    (proptest::collection::vec(arb_stmt(2), 1..5), 2u32..20).prop_map(|(stmts, iters)| {
+        format!(
+            r#"
                 fn helper1(int n) {{
                     for (h = 0; h < n; h = h + 1) {{ compute(64); }}
                 }}
@@ -81,9 +77,9 @@ fn arb_program() -> impl Strategy<Value = String> {
                     }}
                 }}
                 "#,
-                stmts.join("\n                        ")
-            )
-        })
+            stmts.join("\n                        ")
+        )
+    })
 }
 
 proptest! {
@@ -121,8 +117,7 @@ fn overhead_stays_bounded_as_ranks_scale() {
     let app = vsensor_repro::apps::cg::generate(vsensor_repro::apps::Params::test());
     let prepared = Pipeline::new().prepare(app.compile());
     for ranks in [2usize, 8, 32] {
-        let overhead =
-            prepared.measure_overhead(Arc::new(scenarios::quiet(ranks).build()));
+        let overhead = prepared.measure_overhead(Arc::new(scenarios::quiet(ranks).build()));
         assert!(
             (0.0..0.04).contains(&overhead),
             "overhead {overhead:.4} at {ranks} ranks"

@@ -53,10 +53,7 @@ fn network_and_compute_problems_are_attributed_to_the_right_component() {
 
     // Baseline run to size windows; scale the matrix resolution to the
     // run length so regions span multiple bins at test scale.
-    let normal = prepared.run(
-        Arc::new(scenarios::quiet(8).build()),
-        &RunConfig::default(),
-    );
+    let normal = prepared.run(Arc::new(scenarios::quiet(8).build()), &RunConfig::default());
     let t = normal.run_time;
     let mut run_config = RunConfig::default();
     run_config.runtime.matrix_resolution =
@@ -82,14 +79,15 @@ fn network_and_compute_problems_are_attributed_to_the_right_component() {
     );
 
     // (b) A compute problem: a noiser window on one node.
-    let comp_cluster = scenarios::quiet(8).with_ranks_per_node(4).with_injection(
-        SlowdownWindow::on_nodes(
-            VirtualTime::ZERO + t.mul_f64(0.3),
-            VirtualTime::ZERO + t.mul_f64(0.7),
-            4.0,
-            vec![0],
-        ),
-    );
+    let comp_cluster =
+        scenarios::quiet(8)
+            .with_ranks_per_node(4)
+            .with_injection(SlowdownWindow::on_nodes(
+                VirtualTime::ZERO + t.mul_f64(0.3),
+                VirtualTime::ZERO + t.mul_f64(0.7),
+                4.0,
+                vec![0],
+            ));
     let comp_run = prepared.run(Arc::new(comp_cluster.build()), &run_config);
     let comp_events: Vec<_> = comp_run
         .report
@@ -119,10 +117,7 @@ fn io_degradation_is_attributed_to_io_sensors() {
         }
     "#;
     let prepared = Pipeline::new().compile(src).unwrap();
-    assert!(prepared
-        .sensors
-        .iter()
-        .any(|s| s.kind == SensorKind::Io));
+    assert!(prepared.sensors.iter().any(|s| s.kind == SensorKind::Io));
 
     let normal = prepared.run(Arc::new(scenarios::quiet(4).build()), &RunConfig::default());
     let t = normal.run_time;
@@ -147,7 +142,10 @@ fn io_degradation_is_attributed_to_io_sensors() {
 fn reports_render_without_panicking_for_every_app() {
     for app in apps::all_apps(Params::test()) {
         let prepared = Pipeline::new().prepare(app.compile());
-        let run = prepared.run(Arc::new(scenarios::healthy(4).build()), &RunConfig::default());
+        let run = prepared.run(
+            Arc::new(scenarios::healthy(4).build()),
+            &RunConfig::default(),
+        );
         let text = run.report.render();
         assert!(text.contains("vSensor report"), "{}: {text}", app.name);
     }

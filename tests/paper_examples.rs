@@ -116,7 +116,10 @@ fn figure9_rank_dependence() {
         .collect();
     assert!(loops[0].fixed_across_processes);
     assert!(loops[1].globally_fixed, "fixed per process");
-    assert!(!loops[1].fixed_across_processes, "differs between processes");
+    assert!(
+        !loops[1].fixed_across_processes,
+        "differs between processes"
+    );
 }
 
 /// Figure 10: recursion is pruned from the call graph and treated
@@ -141,9 +144,17 @@ fn figure10_recursion_pruned() {
     let rec_idx = program.function_index("rec").unwrap();
     assert!(id.callgraph.recursive.contains(&rec_idx));
     // The recursive call is never a v-sensor; the leaf call still is.
-    let rec_call = id.verdicts.iter().find(|v| v.snippet.callee == "rec").unwrap();
+    let rec_call = id
+        .verdicts
+        .iter()
+        .find(|v| v.snippet.callee == "rec")
+        .unwrap();
     assert!(!rec_call.is_vsensor());
-    let leaf_call = id.verdicts.iter().find(|v| v.snippet.callee == "leaf").unwrap();
+    let leaf_call = id
+        .verdicts
+        .iter()
+        .find(|v| v.snippet.callee == "leaf")
+        .unwrap();
     assert!(leaf_call.globally_fixed);
 }
 

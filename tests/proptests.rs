@@ -5,6 +5,7 @@ use std::sync::Arc;
 use vsensor_repro::cluster_sim::node::Work;
 use vsensor_repro::cluster_sim::time::{Duration, VirtualTime};
 use vsensor_repro::cluster_sim::{ClusterConfig, NoiseConfig, SlowdownWindow};
+use vsensor_repro::lang::SensorId;
 use vsensor_repro::lang::{compile, printer};
 use vsensor_repro::runtime::dynrules::Bucket;
 use vsensor_repro::runtime::history::History;
@@ -12,7 +13,6 @@ use vsensor_repro::runtime::record::SliceRecord;
 use vsensor_repro::runtime::smoothing::SliceAggregator;
 use vsensor_repro::runtime::RuntimeConfig;
 use vsensor_repro::simmpi::{ReduceOp, World};
-use vsensor_repro::lang::SensorId;
 
 // ---------------------------------------------------------------------
 // Front-end: printing a lowered program re-parses to the same print
@@ -31,12 +31,8 @@ fn arb_program() -> impl Strategy<Value = String> {
             format!("for (b = 0; b < {n}; b = b + 1) {{ for (c = 0; c < 3; c = c + 1) {{ x = x + c; }} }}")
         }),
     ];
-    proptest::collection::vec(stmt, 1..8).prop_map(|stmts| {
-        format!(
-            "fn main() {{ int x = 0;\n{}\n}}",
-            stmts.join("\n")
-        )
-    })
+    proptest::collection::vec(stmt, 1..8)
+        .prop_map(|stmts| format!("fn main() {{ int x = 0;\n{}\n}}", stmts.join("\n")))
 }
 
 proptest! {

@@ -1,0 +1,32 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Nothing in the workspace currently calls crossbeam APIs, but the
+//! dependency is declared, so resolution needs a package to point at. Scoped
+//! threads — the most likely future use — are re-exported from std, which has
+//! shipped them since 1.63.
+
+/// Mirror of `crossbeam::thread` backed by `std::thread::scope`.
+pub mod thread {
+    /// Run `f` with a scope in which spawned threads are joined on exit.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_spawned_threads() {
+        let mut values = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, v) in values.iter_mut().enumerate() {
+                s.spawn(move || *v = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(values, vec![1, 2, 3, 4]);
+    }
+}

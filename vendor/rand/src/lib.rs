@@ -1,0 +1,92 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace declares `rand` but the build environment cannot reach a
+//! registry; this shim supplies a deterministic xoshiro-style generator with
+//! the few entry points simulation code is likely to call. Everything is
+//! seeded — there is no OS entropy — which suits the repo's "bit-reproducible
+//! experiments" rule.
+
+/// Core trait: a source of pseudo-random numbers.
+pub trait Rng {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        self.next_u64() % bound
+    }
+
+    /// A Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+/// SplitMix64: tiny, fast, and statistically fine for simulation jitter.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seed the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `rand::rngs` module mirror.
+pub mod rngs {
+    pub use crate::SmallRng;
+}
+
+/// `rand::prelude` mirror.
+pub mod prelude {
+    pub use crate::{Rng, SmallRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
