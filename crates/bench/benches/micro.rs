@@ -11,7 +11,7 @@ use std::sync::Arc;
 use vsensor_lang::SensorId;
 use vsensor_runtime::dynrules::{Bucket, SenseMetrics};
 use vsensor_runtime::record::{SensorInfo, SensorKind, SliceRecord};
-use vsensor_runtime::{AnalysisServer, RuntimeConfig, SensorRuntime};
+use vsensor_runtime::{AnalysisServer, RuntimeConfig, SensorRuntime, TelemetryBatch};
 
 fn bench_probe_pair(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro/probe");
@@ -58,11 +58,12 @@ fn bench_server_submit(c: &mut Criterion) {
             location: format!("bench:{i}"),
         })
         .collect();
-    g.bench_function("submit_64_records", |b| {
+    g.bench_function("ingest_64_records", |b| {
         let server = AnalysisServer::new(4, sensors.clone(), RuntimeConfig::default());
+        let session = server.session();
         let mut slice = 0u64;
         b.iter(|| {
-            let batch: Vec<SliceRecord> = (0..64)
+            let records: Vec<SliceRecord> = (0..64)
                 .map(|i| SliceRecord {
                     sensor: SensorId(i % 8),
                     slice,
@@ -71,8 +72,10 @@ fn bench_server_submit(c: &mut Criterion) {
                     bucket: Bucket(0),
                 })
                 .collect();
+            let t = VirtualTime::from_micros(slice);
+            let batch = TelemetryBatch::new(0, slice, t, records);
             slice += 1;
-            server.submit(0, batch);
+            session.ingest(batch, t).expect("accepted")
         });
     });
     g.finish();

@@ -115,7 +115,10 @@ fn main() {
         write_matrix(
             &out_dir,
             "fig14",
-            r.run.server.matrix(SensorKind::Computation),
+            r.run
+                .server
+                .matrix(SensorKind::Computation)
+                .expect("component matrix"),
             "Figure 14: computation matrix, normal run",
             0.5,
         );
@@ -134,7 +137,10 @@ fn main() {
         write_matrix(
             &out_dir,
             "fig20",
-            r.injected_run.server.matrix(SensorKind::Computation),
+            r.injected_run
+                .server
+                .matrix(SensorKind::Computation)
+                .expect("component matrix"),
             "Figure 20: computation matrix, noise-injected run",
             0.5,
         );
@@ -146,7 +152,10 @@ fn main() {
         write_matrix(
             &out_dir,
             "fig21",
-            r.with_bad_node.server.matrix(SensorKind::Computation),
+            r.with_bad_node
+                .server
+                .matrix(SensorKind::Computation)
+                .expect("component matrix"),
             "Figure 21: computation matrix, bad node",
             0.7,
         );
@@ -158,7 +167,10 @@ fn main() {
         write_matrix(
             &out_dir,
             "fig22",
-            r.degraded.server.matrix(SensorKind::Network),
+            r.degraded
+                .server
+                .matrix(SensorKind::Network)
+                .expect("component matrix"),
             "Figure 22: network matrix, degraded interconnect",
             0.5,
         );

@@ -40,7 +40,11 @@ impl Fig14Result {
     /// Render the computation performance matrix and summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let m = self.run.server.matrix(SensorKind::Computation);
+        let m = self
+            .run
+            .server
+            .matrix(SensorKind::Computation)
+            .expect("component matrix");
         out.push_str(&render_ansi(
             m,
             &format!(
@@ -68,7 +72,11 @@ mod tests {
     #[test]
     fn normal_run_is_mostly_blue() {
         let r = run(Effort::Smoke);
-        let m = r.run.server.matrix(SensorKind::Computation);
+        let m = r
+            .run
+            .server
+            .matrix(SensorKind::Computation)
+            .expect("component matrix");
         assert!(m.mean() > 0.85, "mean {:.3}", m.mean());
         assert!(
             m.fraction_below(0.5) < 0.05,

@@ -139,7 +139,10 @@ impl Fig18Result {
         );
         out.push('\n');
         out.push_str(&render_ansi(
-            self.injected_run.server.matrix(SensorKind::Computation),
+            self.injected_run
+                .server
+                .matrix(SensorKind::Computation)
+                .expect("component matrix"),
             "Figure 20: vSensor computation matrix, noise-injected run",
             &HeatmapOptions::default(),
         ));

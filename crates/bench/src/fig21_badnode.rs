@@ -83,7 +83,10 @@ impl Fig21Result {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&render_ansi(
-            self.with_bad_node.server.matrix(SensorKind::Computation),
+            self.with_bad_node
+                .server
+                .matrix(SensorKind::Computation)
+                .expect("component matrix"),
             &format!(
                 "Figure 21: CG-{} computation matrix with a bad node (ranks {}..={})",
                 self.ranks, self.bad_ranks.0, self.bad_ranks.1

@@ -86,7 +86,10 @@ impl Fig22Result {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&render_ansi(
-            self.degraded.server.matrix(SensorKind::Network),
+            self.degraded
+                .server
+                .matrix(SensorKind::Network)
+                .expect("component matrix"),
             &format!(
                 "Figure 22: FT-{} network matrix with degradation during {}s-{}s",
                 self.ranks, self.window.0, self.window.1

@@ -6,6 +6,7 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An instant on the virtual timeline, in nanoseconds since program start.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -97,6 +98,70 @@ impl Duration {
     /// Scale by a float factor (rounds to nanoseconds).
     pub fn mul_f64(self, factor: f64) -> Self {
         Duration((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+/// A work-conserving virtual clock for a server-side worker.
+///
+/// Rank clocks advance as ranks execute; a server worker instead models a
+/// queueing station: each piece of work *arriving* at virtual time `t` and
+/// costing `c` starts at `max(t, clock)` and finishes at `max(t, clock) + c`.
+/// The clock tracks the finish time, and total busy time accumulates
+/// separately so utilization can be read against wall (virtual) time.
+///
+/// Charging is lock-free (CAS loop) because ingest shards are hit from many
+/// rank threads concurrently; it is observational only — it never feeds back
+/// into rank timing, so enabling it cannot perturb a run's results.
+#[derive(Debug, Default)]
+pub struct BusyClock {
+    /// Virtual instant at which the worker drains its queue.
+    free_at: AtomicU64,
+    /// Total virtual time spent busy.
+    busy: AtomicU64,
+}
+
+impl BusyClock {
+    /// A clock that has never been busy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `cost` of work arriving at `arrival`; returns the virtual
+    /// completion time.
+    pub fn charge(&self, arrival: VirtualTime, cost: Duration) -> VirtualTime {
+        self.busy.fetch_add(cost.as_nanos(), Ordering::Relaxed);
+        let mut current = self.free_at.load(Ordering::Relaxed);
+        loop {
+            let start = current.max(arrival.as_nanos());
+            let done = start + cost.as_nanos();
+            match self.free_at.compare_exchange_weak(
+                current,
+                done.max(current),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return VirtualTime(done),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Virtual instant at which all charged work is done.
+    pub fn free_at(&self) -> VirtualTime {
+        VirtualTime(self.free_at.load(Ordering::Relaxed))
+    }
+
+    /// Total virtual time spent processing.
+    pub fn busy_time(&self) -> Duration {
+        Duration(self.busy.load(Ordering::Relaxed))
+    }
+
+    /// Busy time divided by a run length — the worker's utilization.
+    pub fn utilization(&self, run_time: Duration) -> f64 {
+        if run_time.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.busy_time().as_nanos() as f64 / run_time.as_nanos() as f64
     }
 }
 
@@ -204,5 +269,44 @@ mod tests {
     fn sum_of_durations() {
         let total: Duration = [1u64, 2, 3].into_iter().map(Duration::from_nanos).sum();
         assert_eq!(total.as_nanos(), 6);
+    }
+
+    #[test]
+    fn busy_clock_queues_back_to_back_work() {
+        let c = BusyClock::new();
+        // Work arrives at t=10 costing 5: runs 10..15.
+        let done = c.charge(VirtualTime(10), Duration(5));
+        assert_eq!(done, VirtualTime(15));
+        // Work arrives at t=12 while busy: queued, runs 15..20.
+        let done = c.charge(VirtualTime(12), Duration(5));
+        assert_eq!(done, VirtualTime(20));
+        // Work arrives after the queue drains: idle gap, runs 100..101.
+        let done = c.charge(VirtualTime(100), Duration(1));
+        assert_eq!(done, VirtualTime(101));
+        assert_eq!(c.busy_time(), Duration(11));
+        assert_eq!(c.free_at(), VirtualTime(101));
+        assert!((c.utilization(Duration(110)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_clock_is_safe_under_contention() {
+        use std::sync::Arc;
+        let c = Arc::new(BusyClock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for k in 0..1000u64 {
+                        c.charge(VirtualTime(i * 1000 + k), Duration(3));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.busy_time(), Duration(4 * 1000 * 3));
+        // The queue can never finish before the total busy time has elapsed.
+        assert!(c.free_at().as_nanos() >= 4 * 1000 * 3);
     }
 }

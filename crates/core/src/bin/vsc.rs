@@ -127,7 +127,7 @@ fn main() {
             println!(
                 "{}",
                 render_ansi(
-                    run.server.matrix(kind),
+                    run.server.matrix(kind).expect("component matrix"),
                     &format!("{} performance matrix", kind.label()),
                     &HeatmapOptions {
                         white_at: run_config.runtime.variance_threshold,

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use vsensor_analysis::{analyze, Analysis, AnalysisConfig, SnippetType};
 use vsensor_interp::{run_instrumented, run_plain, InstrumentedRun, RankResult, RunConfig};
 use vsensor_lang::Program;
-use vsensor_runtime::record::{SensorInfo, SensorKind};
+use vsensor_runtime::{SensorInfo, SensorKind};
 
 /// Pipeline builder: configure the static module, then compile sources.
 #[derive(Clone, Debug, Default)]

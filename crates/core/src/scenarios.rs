@@ -4,8 +4,9 @@
 //! situations the evaluation encounters on Tianhe-2; the `repro` harness
 //! and the examples build on these.
 
-use cluster_sim::time::VirtualTime;
+use cluster_sim::time::{Duration, VirtualTime};
 use cluster_sim::{ClusterConfig, FaultConfig, FaultPlan, NetworkConfig, NodeSpec, SlowdownWindow};
+use vsensor_runtime::RuntimeConfig;
 
 /// Perfectly quiet cluster: no noise, exact PMU. Baseline for overhead
 /// measurements and unit tests.
@@ -72,6 +73,20 @@ pub fn paper_noise_injection(total_virtual_secs: u64) -> ClusterConfig {
         24,
         &[(24..48, s(34), s(44), 3.0), (72..97, s(66), s(76), 3.0)],
     )
+}
+
+/// The live-alert scenario: the Figure 21 bad node paired with runtime
+/// knobs tuned for streaming detection — frequent detection passes and a
+/// variance threshold sitting above the bad node's `mem_perf` normalized
+/// score, so the detection stream flags the node *while the run is still
+/// in flight* instead of waiting for the end-of-run report.
+pub fn live_bad_node(ranks: usize, node: usize, mem_perf: f64) -> (ClusterConfig, RuntimeConfig) {
+    let runtime = RuntimeConfig::default()
+        .with_variance_threshold((mem_perf + 0.15).min(0.95))
+        .expect("threshold stays in (0, 1]")
+        .with_detect_interval(Duration::from_millis(100))
+        .expect("interval is positive");
+    (bad_node(ranks, node, mem_perf), runtime)
 }
 
 /// A bad-node cluster whose telemetry path is also lossy: each batch send
@@ -151,6 +166,19 @@ mod tests {
             c.faults().fate(0, 0, 0, VirtualTime::from_secs(25)),
             SendFate::Unreachable
         ));
+    }
+
+    #[test]
+    fn live_bad_node_tunes_the_runtime_for_streaming() {
+        let (cluster, runtime) = live_bad_node(48, 1, 0.55);
+        let c = cluster.build();
+        let good = c.compute_elapsed(0, VirtualTime::ZERO, Work::mem(100_000), 0.0, 1);
+        let bad = c.compute_elapsed(24, VirtualTime::ZERO, Work::mem(100_000), 0.0, 1);
+        assert!(bad.as_nanos() > good.as_nanos());
+        // Threshold must clear the node's ~0.55 score; passes must be more
+        // frequent than the default 200 ms cadence.
+        assert!(runtime.variance_threshold > 0.55);
+        assert!(runtime.detect_interval < RuntimeConfig::default().detect_interval);
     }
 
     #[test]

@@ -11,12 +11,10 @@ use cluster_sim::time::{Duration, VirtualTime};
 use cluster_sim::Cluster;
 use std::sync::Arc;
 use vsensor_lang::Program;
-use vsensor_runtime::dynrules::DynamicRule;
-use vsensor_runtime::record::SensorInfo;
-use vsensor_runtime::server::ServerResult;
-use vsensor_runtime::transport::{BatchChannel, DirectChannel, FaultyChannel, TransportStats};
 use vsensor_runtime::{
-    AnalysisServer, DistributionStats, RuntimeConfig, SensorRuntime, VarianceReport,
+    AnalysisServer, BatchChannel, DirectChannel, DistributionStats, DynamicRule, FaultyChannel,
+    RuntimeConfig, SensorInfo, SensorRuntime, ServerResult, TransportStats, VarianceAlert,
+    VarianceReport,
 };
 
 /// Configuration for an instrumented run.
@@ -91,6 +89,12 @@ pub struct InstrumentedRun {
     pub server: ServerResult,
     /// The rendered end-of-run report.
     pub report: VarianceReport,
+    /// Live alerts the detection stream emitted mid-run, in emission
+    /// order (also embedded in `report.alerts`).
+    pub alerts: Vec<VarianceAlert>,
+    /// The analysis server, still holding its accumulators — lets callers
+    /// run [`AnalysisServer::replay_result`] cross-checks after the run.
+    pub analysis: Arc<AnalysisServer>,
     /// Wall (virtual) time of the run: max over ranks.
     pub run_time: Duration,
     /// `Pm − 1`: the Table 1 workload max error.
@@ -144,7 +148,11 @@ pub fn run_instrumented(
         .unwrap_or(VirtualTime::ZERO)
         .since(VirtualTime::ZERO);
 
-    let server_result = server.finalize(VirtualTime::ZERO + run_time);
+    // Drain any live alerts the detection stream emitted mid-run, then
+    // close the ingest session to get the authoritative end-of-run result.
+    let mut alerts = server.poll_events();
+    let server_result = server.session().close(VirtualTime::ZERO + run_time);
+    alerts.extend(server.poll_events());
 
     let mut distribution = DistributionStats::new();
     let mut transport = TransportStats::default();
@@ -158,7 +166,10 @@ pub fn run_instrumented(
 
     let component_means = vsensor_runtime::record::SensorKind::ALL
         .into_iter()
-        .map(|k| (k, server_result.matrix(k).mean()))
+        .map(|k| {
+            let mean = server_result.matrix(k).map(|m| m.mean()).unwrap_or(1.0);
+            (k, mean)
+        })
         .collect();
 
     let report = VarianceReport {
@@ -176,12 +187,16 @@ pub fn run_instrumented(
             .collect(),
         delivery: server_result.delivery.clone(),
         transport,
+        alerts: alerts.clone(),
+        load: server_result.load.clone(),
     };
 
     InstrumentedRun {
         ranks: rank_results,
         server: server_result,
         report,
+        alerts,
+        analysis: server,
         run_time,
         workload_max_error,
     }

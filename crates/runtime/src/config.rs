@@ -1,10 +1,16 @@
 //! Runtime configuration knobs.
 
+use crate::error::RuntimeError;
 use cluster_sim::time::Duration;
 
 /// Tunables of the dynamic module. Defaults follow the paper where it
 /// states them (1000 µs smoothing slice, 200 ms matrix resolution, 0.5
 /// white threshold in the matrix figures).
+///
+/// Fields remain public for struct-literal construction, but prefer the
+/// `with_*` builder setters for anything range-sensitive: they validate at
+/// construction time, so a zero slice or a zero shard count fails with a
+/// [`RuntimeError::InvalidConfig`] instead of corrupting a run midway.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Smoothing time-slice width (§5.1; 1000 µs default).
@@ -42,6 +48,33 @@ pub struct RuntimeConfig {
     pub backoff_base: Duration,
     /// Virtual cost charged to the rank's clock per transmission attempt.
     pub send_overhead: Duration,
+    /// Ingest worker shards on the analysis server. Batches are routed by
+    /// `rank % shards`; results are bit-identical for any shard count (the
+    /// per-rank accumulators never cross a shard boundary).
+    pub shards: usize,
+    /// How often (in virtual arrival time) the streaming engine runs an
+    /// incremental detection pass and emits new [`VarianceAlert`]s.
+    ///
+    /// [`VarianceAlert`]: crate::engine::VarianceAlert
+    pub detect_interval: Duration,
+    /// How many matrix bins behind a rank's newest bin its hot (mutable,
+    /// hash-indexed) cells are kept before being frozen into the compact
+    /// evicted form. Larger values tolerate more telemetry reordering at
+    /// the price of more resident hot cells.
+    pub eviction_lag_bins: u64,
+    /// Virtual processing cost charged to a shard's busy clock per record
+    /// ingested (server-side load accounting; never charged to ranks).
+    pub server_record_cost: Duration,
+    /// Virtual cost charged per matrix cell visited by an incremental
+    /// detection pass (server-side load accounting).
+    pub server_detect_cell_cost: Duration,
+    /// Retain the raw record log so [`AnalysisServer::replay_result`] can
+    /// cross-check the streaming accumulators against the seed's
+    /// batch-at-end algorithm. Off by default — the record log is exactly
+    /// the unbounded memory the streaming engine exists to avoid.
+    ///
+    /// [`AnalysisServer::replay_result`]: crate::server::AnalysisServer::replay_result
+    pub keep_record_log: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -61,6 +94,12 @@ impl Default for RuntimeConfig {
             buffer_capacity: 32,
             backoff_base: Duration::from_millis(2),
             send_overhead: Duration::from_micros(2),
+            shards: 4,
+            detect_interval: Duration::from_millis(200),
+            eviction_lag_bins: 4,
+            server_record_cost: Duration::from_nanos(20),
+            server_detect_cell_cost: Duration::from_nanos(5),
+            keep_record_log: false,
         }
     }
 }
@@ -87,6 +126,128 @@ impl RuntimeConfig {
     pub fn matrix_bin(&self, t: cluster_sim::time::VirtualTime) -> u64 {
         t.as_nanos() / self.matrix_resolution.as_nanos().max(1)
     }
+
+    /// Smoothing slices per matrix bin.
+    pub fn slices_per_bin(&self) -> u64 {
+        (self.matrix_resolution.as_nanos() / self.slice.as_nanos().max(1)).max(1)
+    }
+
+    // ----- validating builder setters -----
+
+    /// Set the smoothing slice width. Must be positive.
+    pub fn with_slice(mut self, slice: Duration) -> Result<Self, RuntimeError> {
+        if slice.as_nanos() == 0 {
+            return Err(RuntimeError::invalid_config("slice", "must be > 0"));
+        }
+        self.slice = slice;
+        Ok(self)
+    }
+
+    /// Set the matrix time resolution. Must be positive.
+    pub fn with_matrix_resolution(mut self, resolution: Duration) -> Result<Self, RuntimeError> {
+        if resolution.as_nanos() == 0 {
+            return Err(RuntimeError::invalid_config(
+                "matrix_resolution",
+                "must be > 0",
+            ));
+        }
+        self.matrix_resolution = resolution;
+        Ok(self)
+    }
+
+    /// Set the variance threshold. Must lie in `(0, 1]`.
+    pub fn with_variance_threshold(mut self, threshold: f64) -> Result<Self, RuntimeError> {
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(RuntimeError::invalid_config(
+                "variance_threshold",
+                format!("{threshold} is outside (0, 1]"),
+            ));
+        }
+        self.variance_threshold = threshold;
+        Ok(self)
+    }
+
+    /// Set the ingest shard count. Must be at least 1.
+    pub fn with_shards(mut self, shards: usize) -> Result<Self, RuntimeError> {
+        if shards == 0 {
+            return Err(RuntimeError::invalid_config("shards", "must be >= 1"));
+        }
+        self.shards = shards;
+        Ok(self)
+    }
+
+    /// Set the incremental detection cadence. Must be positive.
+    pub fn with_detect_interval(mut self, interval: Duration) -> Result<Self, RuntimeError> {
+        if interval.as_nanos() == 0 {
+            return Err(RuntimeError::invalid_config(
+                "detect_interval",
+                "must be > 0",
+            ));
+        }
+        self.detect_interval = interval;
+        Ok(self)
+    }
+
+    /// Set the rank→server batching period. Must be positive.
+    pub fn with_batch_interval(mut self, interval: Duration) -> Result<Self, RuntimeError> {
+        if interval.as_nanos() == 0 {
+            return Err(RuntimeError::invalid_config(
+                "batch_interval",
+                "must be > 0",
+            ));
+        }
+        self.batch_interval = interval;
+        Ok(self)
+    }
+
+    /// Set the per-rank transport buffer capacity. Must be at least 1.
+    pub fn with_buffer_capacity(mut self, capacity: usize) -> Result<Self, RuntimeError> {
+        if capacity == 0 {
+            return Err(RuntimeError::invalid_config(
+                "buffer_capacity",
+                "must be >= 1",
+            ));
+        }
+        self.buffer_capacity = capacity;
+        Ok(self)
+    }
+
+    /// Retain the raw record log for replay cross-checks (costs memory).
+    pub fn with_record_log(mut self, keep: bool) -> Self {
+        self.keep_record_log = keep;
+        self
+    }
+
+    /// Check every range constraint at once; the analysis server runs this
+    /// on construction so a hand-built struct literal with a bad value
+    /// still fails before the run starts.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        if self.slice.as_nanos() == 0 {
+            return Err(RuntimeError::invalid_config("slice", "must be > 0"));
+        }
+        if self.matrix_resolution.as_nanos() == 0 {
+            return Err(RuntimeError::invalid_config(
+                "matrix_resolution",
+                "must be > 0",
+            ));
+        }
+        if self.shards == 0 {
+            return Err(RuntimeError::invalid_config("shards", "must be >= 1"));
+        }
+        if !(self.variance_threshold > 0.0 && self.variance_threshold <= 1.0) {
+            return Err(RuntimeError::invalid_config(
+                "variance_threshold",
+                format!("{} is outside (0, 1]", self.variance_threshold),
+            ));
+        }
+        if self.detect_interval.as_nanos() == 0 {
+            return Err(RuntimeError::invalid_config(
+                "detect_interval",
+                "must be > 0",
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +261,8 @@ mod tests {
         assert_eq!(c.slice.as_micros(), 1000);
         assert_eq!(c.matrix_resolution.as_nanos(), 200_000_000);
         assert!((c.variance_threshold - 0.5).abs() < 1e-12);
+        assert!(c.shards >= 1);
+        c.validate().expect("defaults are valid");
     }
 
     #[test]
@@ -115,5 +278,51 @@ mod tests {
         let c = RuntimeConfig::default();
         assert_eq!(c.matrix_bin(VirtualTime::from_millis(199)), 0);
         assert_eq!(c.matrix_bin(VirtualTime::from_millis(200)), 1);
+        assert_eq!(c.slices_per_bin(), 200);
+    }
+
+    #[test]
+    fn builders_accept_valid_values() {
+        let c = RuntimeConfig::default()
+            .with_slice(Duration::from_micros(500))
+            .and_then(|c| c.with_shards(8))
+            .and_then(|c| c.with_variance_threshold(0.7))
+            .and_then(|c| c.with_detect_interval(Duration::from_millis(50)))
+            .and_then(|c| c.with_matrix_resolution(Duration::from_millis(100)))
+            .and_then(|c| c.with_batch_interval(Duration::from_millis(20)))
+            .and_then(|c| c.with_buffer_capacity(64))
+            .expect("all valid");
+        assert_eq!(c.slice.as_micros(), 500);
+        assert_eq!(c.shards, 8);
+        assert_eq!(c.buffer_capacity, 64);
+    }
+
+    #[test]
+    fn builders_reject_out_of_range_values() {
+        assert!(RuntimeConfig::default().with_slice(Duration::ZERO).is_err());
+        assert!(RuntimeConfig::default().with_shards(0).is_err());
+        assert!(RuntimeConfig::default()
+            .with_variance_threshold(0.0)
+            .is_err());
+        assert!(RuntimeConfig::default()
+            .with_variance_threshold(1.5)
+            .is_err());
+        assert!(RuntimeConfig::default()
+            .with_detect_interval(Duration::ZERO)
+            .is_err());
+        assert!(RuntimeConfig::default()
+            .with_matrix_resolution(Duration::ZERO)
+            .is_err());
+        assert!(RuntimeConfig::default().with_buffer_capacity(0).is_err());
+    }
+
+    #[test]
+    fn validate_catches_hand_built_invalid_configs() {
+        let bad = RuntimeConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("shards"), "{err}");
     }
 }

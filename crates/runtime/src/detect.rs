@@ -6,6 +6,7 @@
 //! Figures 20-22: the position tells *when* and *where*, the component
 //! tells *what* degraded.
 
+use crate::error::RuntimeError;
 use crate::matrix::PerformanceMatrix;
 use crate::record::SensorKind;
 use std::fmt;
@@ -65,11 +66,21 @@ impl fmt::Display for VarianceEvent {
 /// time ranges overlap, growing rectangles greedily. Coarse by design — the
 /// paper positions vSensor as the always-on detector that tells the user
 /// where to point heavier tools.
+///
+/// A zero-rank or zero-bin matrix is a caller bug (nothing was ever
+/// measured), reported as [`RuntimeError::EmptyMatrix`] rather than a
+/// silent empty answer.
 pub fn detect_events(
     matrix: &PerformanceMatrix,
     kind: SensorKind,
     threshold: f64,
-) -> Vec<VarianceEvent> {
+) -> Result<Vec<VarianceEvent>, RuntimeError> {
+    if matrix.ranks() == 0 || matrix.bins() == 0 {
+        return Err(RuntimeError::EmptyMatrix {
+            ranks: matrix.ranks(),
+            bins: matrix.bins(),
+        });
+    }
     // 1. Per-rank runs.
     #[derive(Clone, Debug)]
     struct Run {
@@ -84,12 +95,8 @@ pub fn detect_events(
         let mut open: Option<Run> = None;
         let mut gap = 0usize;
         for bin in 0..matrix.bins() {
-            let below = matrix
-                .cell(rank, bin)
-                .map(|p| p <= threshold)
-                .unwrap_or(false);
-            if below {
-                let perf = matrix.cell(rank, bin).expect("cell populated");
+            let below_perf = matrix.cell(rank, bin).filter(|&p| p <= threshold);
+            if let Some(perf) = below_perf {
                 match &mut open {
                     Some(run) => {
                         run.end = bin + 1;
@@ -151,7 +158,7 @@ pub fn detect_events(
     // Filter out single-cell speckles: real problems persist (§5.1 set the
     // philosophy: durable variance, not noise).
     events.retain(|e| e.cells >= 2);
-    events
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -171,15 +178,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_matrix_is_an_error_not_a_panic() {
+        let m = PerformanceMatrix::new(0, 10, Duration::from_millis(200));
+        let err = detect_events(&m, SensorKind::Computation, 0.5).unwrap_err();
+        assert_eq!(err, RuntimeError::EmptyMatrix { ranks: 0, bins: 10 });
+    }
+
+    #[test]
     fn clean_matrix_has_no_events() {
         let m = matrix_with(4, 10, &[]);
-        assert!(detect_events(&m, SensorKind::Computation, 0.5).is_empty());
+        assert!(detect_events(&m, SensorKind::Computation, 0.5)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn single_speckle_is_ignored() {
         let m = matrix_with(4, 10, &[(2, 5)]);
-        assert!(detect_events(&m, SensorKind::Computation, 0.5).is_empty());
+        assert!(detect_events(&m, SensorKind::Computation, 0.5)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -187,7 +205,7 @@ mod tests {
         // Ranks 1-2, bins 3..7 — a noise-injection block.
         let bad: Vec<(usize, usize)> = (1..=2).flat_map(|r| (3..7).map(move |b| (r, b))).collect();
         let m = matrix_with(4, 10, &bad);
-        let events = detect_events(&m, SensorKind::Computation, 0.5);
+        let events = detect_events(&m, SensorKind::Computation, 0.5).unwrap();
         assert_eq!(events.len(), 1, "{events:?}");
         let e = &events[0];
         assert_eq!((e.first_rank, e.last_rank), (1, 2));
@@ -202,7 +220,7 @@ mod tests {
         // One rank slow for the whole run: the bad-node signature.
         let bad: Vec<(usize, usize)> = (0..10).map(|b| (3, b)).collect();
         let m = matrix_with(8, 10, &bad);
-        let events = detect_events(&m, SensorKind::Computation, 0.5);
+        let events = detect_events(&m, SensorKind::Computation, 0.5).unwrap();
         assert_eq!(events.len(), 1);
         assert!(events[0].is_persistent(10));
         assert_eq!(events[0].rank_count(), 1);
@@ -213,7 +231,7 @@ mod tests {
         let mut bad: Vec<(usize, usize)> = (0..2).map(|b| (0, b)).collect();
         bad.extend((7..9).map(|b| (5, b)));
         let m = matrix_with(8, 10, &bad);
-        let events = detect_events(&m, SensorKind::Computation, 0.5);
+        let events = detect_events(&m, SensorKind::Computation, 0.5).unwrap();
         assert_eq!(events.len(), 2, "{events:?}");
     }
 
@@ -222,7 +240,7 @@ mod tests {
         // Bins 2,3,5,6 bad (4 good): one event, not two.
         let bad: Vec<(usize, usize)> = [2, 3, 5, 6].iter().map(|&b| (1, b)).collect();
         let m = matrix_with(4, 10, &bad);
-        let events = detect_events(&m, SensorKind::Computation, 0.5);
+        let events = detect_events(&m, SensorKind::Computation, 0.5).unwrap();
         assert_eq!(events.len(), 1, "{events:?}");
         assert_eq!(events[0].start_bin, 2);
         assert_eq!(events[0].end_bin, 7);

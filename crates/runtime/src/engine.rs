@@ -1,0 +1,1129 @@
+//! The streaming detection engine.
+//!
+//! The seed's analysis server was effectively offline: it hoarded every
+//! record and ran normalization, matrix construction, and event detection
+//! once, in `finalize`. This module converts that core to
+//! incremental-with-eviction:
+//!
+//! * **Sharded ingest** — batches are routed by `rank % shards` to one of N
+//!   ingest workers, each behind its own lock, so ranks hammering the
+//!   server contend only within their shard.
+//! * **Incremental accumulators** — records fold into per-cell, per-group
+//!   [`GroupAcc`]s instead of a record log. The trick is algebraic: the
+//!   seed's cell sum is Σ min(std/avgᵢ, 1) where `std` is the group's
+//!   *final* fastest record. Because `std` is the minimum over the very
+//!   `avgᵢ` being normalized, the clamp never binds, so the sum decomposes
+//!   into `std · Σ(1/avgᵢ) + #zeros` — and `Σ(1/avgᵢ)` is a running sum we
+//!   can keep without the records. Standards may keep tightening while the
+//!   run is live; the decomposition re-normalizes frozen history for free.
+//! * **Bounded-memory eviction** — per rank, only the trailing
+//!   `eviction_lag_bins` matrix bins stay in the mutable "hot" form; older
+//!   bins freeze into a compact sorted vector. Late (out-of-order) records
+//!   transparently reopen and re-freeze their bin.
+//! * **A detection stream** — ingest arrivals periodically trigger an
+//!   incremental detection pass over provisional standards; events not seen
+//!   before are emitted as timestamped [`VarianceAlert`]s *during* the run,
+//!   which is the paper's actual pitch (§2: users notice variance while the
+//!   program is still running).
+//!
+//! Determinism: every accumulator is fed by exactly one rank (cells and
+//! sensor groups are rank-keyed), each rank's records arrive in program
+//! order, and close-time folds walk `BTreeMap`s rank-major — so the folded
+//! matrices and summaries are bit-identical for any shard count and any
+//! thread interleaving. Only alert *timestamps* depend on arrival
+//! interleaving, as they must.
+
+use crate::config::RuntimeConfig;
+use crate::detect::{detect_events, VarianceEvent};
+use crate::dynrules::Bucket;
+use crate::error::IngestError;
+use crate::history::normalized;
+use crate::matrix::PerformanceMatrix;
+use crate::record::{SensorInfo, SensorKind, SliceRecord};
+use crate::server::{DeliveryQuality, SensorSummary, ServerResult};
+use crate::transport::TelemetryBatch;
+use cluster_sim::time::{BusyClock, Duration, VirtualTime};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use vsensor_lang::SensorId;
+
+/// Byte overhead charged per batch message (header / envelope).
+pub(crate) const BATCH_HEADER_BYTES: u64 = 64;
+
+/// A normalization group: records sharing a standard. For
+/// process-invariant sensors the group spans all ranks; otherwise the
+/// cell's rank disambiguates.
+type GroupKey = (SensorId, Bucket);
+
+/// Running fold of one normalization group's records: enough to recover
+/// Σ normalized(std, avgᵢ) for *any* final standard, without the records.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+struct GroupAcc {
+    /// Σ 1/avgᵢ (in 1/ns) over non-zero observations.
+    inv_sum: f64,
+    /// Observations with avg == 0 (normalized defines them as perfect).
+    zeros: u64,
+    /// Total observations.
+    count: u32,
+}
+
+impl GroupAcc {
+    fn absorb(&mut self, avg: Duration) {
+        if avg.as_nanos() == 0 {
+            self.zeros += 1;
+        } else {
+            self.inv_sum += 1.0 / avg.as_nanos() as f64;
+        }
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &GroupAcc) {
+        self.inv_sum += other.inv_sum;
+        self.zeros += other.zeros;
+        self.count += other.count;
+    }
+
+    /// Recover `(Σ normalized(std, avgᵢ), count)` for the group's final
+    /// standard. `std` is the minimum over the group's own observations,
+    /// so `std/avgᵢ ≤ 1` always and the clamp in [`normalized`] never
+    /// binds; zero observations normalize to exactly 1.0.
+    fn fold(&self, std: Duration) -> (f64, u32) {
+        (
+            std.as_nanos() as f64 * self.inv_sum + self.zeros as f64,
+            self.count,
+        )
+    }
+}
+
+/// One rank's matrix row under construction: hot (mutable) trailing bins
+/// plus frozen (compact, sorted) history.
+#[derive(Default)]
+struct RankCells {
+    /// Trailing bins, mutable and hash-free for deterministic folds.
+    hot: BTreeMap<u64, BTreeMap<GroupKey, GroupAcc>>,
+    /// Evicted bins: per bin, a sorted `(group, acc)` vector.
+    frozen: BTreeMap<u64, Vec<(GroupKey, GroupAcc)>>,
+    /// Newest bin seen for this rank; drives eviction.
+    max_bin: u64,
+}
+
+impl RankCells {
+    fn absorb(&mut self, bin: u64, key: GroupKey, avg: Duration, lag: u64) {
+        self.max_bin = self.max_bin.max(bin);
+        self.hot
+            .entry(bin)
+            .or_default()
+            .entry(key)
+            .or_default()
+            .absorb(avg);
+        let threshold = self.max_bin.saturating_sub(lag);
+        while let Some((&b, _)) = self.hot.first_key_value() {
+            if b >= threshold {
+                break;
+            }
+            let (b, groups) = self.hot.pop_first().expect("checked non-empty");
+            let target = self.frozen.entry(b).or_default();
+            for (k, acc) in groups {
+                match target.binary_search_by(|(tk, _)| tk.cmp(&k)) {
+                    Ok(i) => target[i].1.merge(&acc),
+                    Err(i) => target.insert(i, (k, acc)),
+                }
+            }
+        }
+    }
+
+    /// All bins with frozen and hot contributions merged, in bin order.
+    fn merged_bins(&self) -> BTreeMap<u64, BTreeMap<GroupKey, GroupAcc>> {
+        let mut out: BTreeMap<u64, BTreeMap<GroupKey, GroupAcc>> = BTreeMap::new();
+        for (bin, groups) in &self.frozen {
+            let m = out.entry(*bin).or_default();
+            for (k, acc) in groups {
+                m.entry(*k).or_default().merge(acc);
+            }
+        }
+        for (bin, groups) in &self.hot {
+            let m = out.entry(*bin).or_default();
+            for (k, acc) in groups {
+                m.entry(*k).or_default().merge(acc);
+            }
+        }
+        out
+    }
+}
+
+/// Per-rank state for the fault-tolerant ingest path.
+#[derive(Default)]
+pub(crate) struct RankDelivery {
+    /// Sequence numbers accepted so far (dedup + gap detection).
+    seen: HashSet<u64>,
+    accepted: u64,
+    duplicates: u64,
+    corrupt: u64,
+    out_of_order: u64,
+    max_seq: Option<u64>,
+    /// Sum of (arrival − sent) over accepted batches, for mean latency.
+    latency_total: Duration,
+}
+
+/// Mutable state of one ingest shard. Every rank with
+/// `rank % shards == shard` lives here (local index `rank / shards`), so a
+/// rank's entire history is confined to one shard — the basis of the
+/// shard-count-invariance guarantee.
+struct ShardInner {
+    /// Fastest record per (sensor, bucket) for process-invariant sensors —
+    /// this shard's contribution to the global min.
+    global_std: BTreeMap<GroupKey, Duration>,
+    /// Fastest record per (sensor, bucket, rank) for rank-dependent
+    /// sensors; ranks never span shards, so no merge is needed.
+    local_std: BTreeMap<(SensorId, Bucket, usize), Duration>,
+    /// Matrix rows for this shard's ranks, indexed by `rank / shards`.
+    cells: Vec<RankCells>,
+    /// Per-(sensor, bucket, rank) folds for the sensor summary.
+    sensor_acc: BTreeMap<(SensorId, Bucket, usize), GroupAcc>,
+    /// Delivery bookkeeping for this shard's ranks, indexed like `cells`.
+    delivery: Vec<RankDelivery>,
+}
+
+struct Shard {
+    inner: Mutex<ShardInner>,
+    /// Virtual queueing clock modelling this worker's processing cost.
+    clock: BusyClock,
+    batches: AtomicU64,
+    records: AtomicU64,
+}
+
+/// Receipt for one accepted (or deduplicated) batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// Sending rank.
+    pub rank: usize,
+    /// Batch sequence number.
+    pub seq: u64,
+    /// Ingest shard that absorbed the batch.
+    pub shard: usize,
+    /// Records absorbed (0 for duplicates).
+    pub records: usize,
+    /// Wire bytes charged (0 for duplicates).
+    pub bytes: u64,
+    /// Whether this `(rank, seq)` had been seen before — the payload was
+    /// discarded, but the delivery still deserves an ack.
+    pub duplicate: bool,
+}
+
+/// One live detection: a variance event first observed mid-run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarianceAlert {
+    /// Virtual arrival time of the ingest that triggered the detection
+    /// pass — when an operator watching the stream would have seen it.
+    pub at: VirtualTime,
+    /// Which detection pass (1-based) surfaced it.
+    pub pass: u64,
+    /// The event, as understood at `at` (it may still grow).
+    pub event: VarianceEvent,
+}
+
+impl std::fmt::Display for VarianceAlert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={} pass {}: {}", self.at, self.pass, self.event)
+    }
+}
+
+/// Server-side processing load, from the shard busy clocks.
+#[derive(Clone, Debug, Default)]
+pub struct ServerLoad {
+    /// Per-shard load, indexed by shard.
+    pub shards: Vec<ShardLoad>,
+    /// Incremental detection passes run.
+    pub detect_passes: u64,
+    /// Virtual time spent in detection passes.
+    pub detect_busy: Duration,
+}
+
+/// Load of one ingest shard.
+#[derive(Clone, Debug)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Batches this shard accepted.
+    pub batches: u64,
+    /// Records this shard absorbed.
+    pub records: u64,
+    /// Virtual time spent processing.
+    pub busy: Duration,
+    /// Virtual instant the shard's queue drained.
+    pub free_at: VirtualTime,
+}
+
+impl ServerLoad {
+    /// Total busy time across shards and detection.
+    pub fn total_busy(&self) -> Duration {
+        self.shards.iter().map(|s| s.busy).sum::<Duration>() + self.detect_busy
+    }
+
+    /// Utilization of the busiest shard over a run length — the ingest
+    /// bottleneck indicator.
+    pub fn peak_shard_utilization(&self, run_time: Duration) -> f64 {
+        if run_time.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.shards
+            .iter()
+            .map(|s| s.busy.as_nanos() as f64 / run_time.as_nanos() as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+struct StreamState {
+    /// Alerts emitted but not yet polled.
+    pending: Vec<VarianceAlert>,
+    /// Every event ever alerted, for overlap dedup.
+    emitted: Vec<VarianceEvent>,
+}
+
+/// The sharded streaming engine behind [`AnalysisServer`].
+///
+/// [`AnalysisServer`]: crate::server::AnalysisServer
+pub(crate) struct Engine {
+    config: RuntimeConfig,
+    sensors: Vec<SensorInfo>,
+    ranks: usize,
+    shards: Vec<Shard>,
+    bytes: AtomicU64,
+    batches: AtomicU64,
+    records: AtomicU64,
+    malformed: AtomicU64,
+    closed: AtomicBool,
+    /// Virtual arrival time of the next scheduled detection pass (ns).
+    next_detect: AtomicU64,
+    detect_passes: AtomicU64,
+    detect_clock: BusyClock,
+    stream: Mutex<StreamState>,
+    /// Raw record log, kept only when `keep_record_log` is set, so
+    /// [`Engine::replay_result`] can cross-check the accumulators against
+    /// the seed's batch-at-end algorithm.
+    log: Option<Mutex<Vec<(usize, SliceRecord)>>>,
+}
+
+impl Engine {
+    pub(crate) fn new(ranks: usize, sensors: Vec<SensorInfo>, config: RuntimeConfig) -> Self {
+        let nshards = config.shards.max(1);
+        let per_shard = |s: usize| {
+            if ranks > s {
+                (ranks - s).div_ceil(nshards)
+            } else {
+                0
+            }
+        };
+        let shards = (0..nshards)
+            .map(|s| Shard {
+                inner: Mutex::new(ShardInner {
+                    global_std: BTreeMap::new(),
+                    local_std: BTreeMap::new(),
+                    cells: std::iter::repeat_with(RankCells::default)
+                        .take(per_shard(s))
+                        .collect(),
+                    sensor_acc: BTreeMap::new(),
+                    delivery: std::iter::repeat_with(RankDelivery::default)
+                        .take(per_shard(s))
+                        .collect(),
+                }),
+                clock: BusyClock::new(),
+                batches: AtomicU64::new(0),
+                records: AtomicU64::new(0),
+            })
+            .collect();
+        let log = config.keep_record_log.then(|| Mutex::new(Vec::new()));
+        Engine {
+            next_detect: AtomicU64::new(config.detect_interval.as_nanos()),
+            config,
+            sensors,
+            ranks,
+            shards,
+            bytes: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            detect_passes: AtomicU64::new(0),
+            detect_clock: BusyClock::new(),
+            stream: Mutex::new(StreamState {
+                pending: Vec::new(),
+                emitted: Vec::new(),
+            }),
+            log,
+        }
+    }
+
+    pub(crate) fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    pub(crate) fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bytes_received(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn batch_count(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_count(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn malformed_count(&self) -> u64 {
+        self.malformed.load(Ordering::Relaxed)
+    }
+
+    /// `(hot, frozen)` resident cell counts across all ranks — what the
+    /// eviction-bound tests measure.
+    pub(crate) fn cell_stats(&self) -> (usize, usize) {
+        let mut hot = 0;
+        let mut frozen = 0;
+        for shard in &self.shards {
+            let inner = shard.inner.lock();
+            for cells in &inner.cells {
+                hot += cells.hot.len();
+                frozen += cells.frozen.len();
+            }
+        }
+        (hot, frozen)
+    }
+
+    /// Fold one record into the shard's standards, cells, and summary
+    /// accumulators. Returns false (and counts malformed) for records
+    /// naming unknown sensors — a corrupted or hostile batch must never
+    /// take the server down.
+    fn absorb_record(&self, inner: &mut ShardInner, rank: usize, rec: SliceRecord) -> bool {
+        let Some(info) = self.sensors.get(rec.sensor.0 as usize) else {
+            self.malformed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let key = (rec.sensor, rec.bucket);
+        if info.process_invariant {
+            let e = inner.global_std.entry(key).or_insert(rec.avg);
+            if rec.avg < *e {
+                *e = rec.avg;
+            }
+        } else {
+            let e = inner
+                .local_std
+                .entry((rec.sensor, rec.bucket, rank))
+                .or_insert(rec.avg);
+            if rec.avg < *e {
+                *e = rec.avg;
+            }
+        }
+        let bin = rec.slice / self.config.slices_per_bin();
+        if rank < self.ranks {
+            let local = rank / self.shards.len();
+            inner.cells[local].absorb(bin, key, rec.avg, self.config.eviction_lag_bins);
+        }
+        inner
+            .sensor_acc
+            .entry((rec.sensor, rec.bucket, rank))
+            .or_default()
+            .absorb(rec.avg);
+        if let Some(log) = &self.log {
+            log.lock().push((rank, rec));
+        }
+        true
+    }
+
+    /// Legacy direct path: no sequence numbers, no dedup, no delivery
+    /// bookkeeping — retransmitted data only tightens standards.
+    pub(crate) fn submit(&self, rank: usize, batch: Vec<SliceRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        let shard = &self.shards[rank % self.shards.len()];
+        self.bytes.fetch_add(
+            BATCH_HEADER_BYTES + batch.len() as u64 * SliceRecord::WIRE_BYTES,
+            Ordering::Relaxed,
+        );
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        shard.batches.fetch_add(1, Ordering::Relaxed);
+        let mut absorbed = 0u64;
+        {
+            let mut inner = shard.inner.lock();
+            for rec in batch {
+                if self.absorb_record(&mut inner, rank, rec) {
+                    absorbed += 1;
+                }
+            }
+        }
+        self.records.fetch_add(absorbed, Ordering::Relaxed);
+        shard.records.fetch_add(absorbed, Ordering::Relaxed);
+    }
+
+    /// Sequence-numbered streaming ingest: verify, dedup, absorb, charge
+    /// the shard's virtual clock, and maybe trigger a detection pass.
+    pub(crate) fn ingest(
+        &self,
+        batch: TelemetryBatch,
+        arrival: VirtualTime,
+    ) -> Result<IngestReceipt, IngestError> {
+        if self.is_closed() {
+            return Err(IngestError::Closed);
+        }
+        if batch.rank >= self.ranks {
+            self.malformed.fetch_add(1, Ordering::Relaxed);
+            return Err(IngestError::Malformed {
+                rank: batch.rank,
+                ranks: self.ranks,
+            });
+        }
+        let rank = batch.rank;
+        let shard_idx = rank % self.shards.len();
+        let local = rank / self.shards.len();
+        let shard = &self.shards[shard_idx];
+        let (absorbed, bytes) = {
+            let mut inner = shard.inner.lock();
+            if !batch.verify() {
+                inner.delivery[local].corrupt += 1;
+                return Err(IngestError::Corrupt {
+                    rank,
+                    seq: batch.seq,
+                });
+            }
+            let d = &mut inner.delivery[local];
+            if !d.seen.insert(batch.seq) {
+                d.duplicates += 1;
+                return Ok(IngestReceipt {
+                    rank,
+                    seq: batch.seq,
+                    shard: shard_idx,
+                    records: 0,
+                    bytes: 0,
+                    duplicate: true,
+                });
+            }
+            d.accepted += 1;
+            if let Some(max) = d.max_seq {
+                if batch.seq < max {
+                    d.out_of_order += 1; // a late batch overtaken in flight
+                }
+            }
+            d.max_seq = Some(d.max_seq.map_or(batch.seq, |m| m.max(batch.seq)));
+            d.latency_total += arrival.since(batch.sent_at);
+            let bytes = BATCH_HEADER_BYTES + batch.records.len() as u64 * SliceRecord::WIRE_BYTES;
+            let mut absorbed = 0u64;
+            for rec in batch.records {
+                if self.absorb_record(&mut inner, rank, rec) {
+                    absorbed += 1;
+                }
+            }
+            (absorbed, bytes)
+        };
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.records.fetch_add(absorbed, Ordering::Relaxed);
+        shard.batches.fetch_add(1, Ordering::Relaxed);
+        shard.records.fetch_add(absorbed, Ordering::Relaxed);
+        shard.clock.charge(
+            arrival,
+            Duration::from_nanos(self.config.server_record_cost.as_nanos() * absorbed),
+        );
+        self.maybe_detect(arrival);
+        Ok(IngestReceipt {
+            rank,
+            seq: batch.seq,
+            shard: shard_idx,
+            records: absorbed as usize,
+            bytes,
+            duplicate: false,
+        })
+    }
+
+    /// Run a detection pass if this arrival crossed the schedule. The CAS
+    /// makes exactly one ingesting thread the winner per crossing.
+    fn maybe_detect(&self, now: VirtualTime) {
+        if self.ranks == 0 {
+            return;
+        }
+        loop {
+            let due = self.next_detect.load(Ordering::Relaxed);
+            if now.as_nanos() < due {
+                return;
+            }
+            let next = now.as_nanos() + self.config.detect_interval.as_nanos().max(1);
+            if self
+                .next_detect
+                .compare_exchange(due, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.run_detect_pass(now);
+    }
+
+    /// One incremental detection pass: fold provisional matrices against
+    /// *current* (still-tightening) standards, diff the detected events
+    /// against everything already alerted, and queue the genuinely new
+    /// ones. Holding the stream lock serializes passes that race across
+    /// consecutive schedule crossings.
+    fn run_detect_pass(&self, now: VirtualTime) {
+        let mut stream = self.stream.lock();
+        let bins = (self.config.matrix_bin(now).saturating_add(1)) as usize;
+        let matrices = {
+            let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+            let global_std = Self::merged_global_std(&guards);
+            self.fold_matrices(&guards, &global_std, bins)
+        };
+        let pass = self.detect_passes.fetch_add(1, Ordering::Relaxed) + 1;
+        let cells_visited = (self.ranks * bins * SensorKind::ALL.len()) as u64;
+        self.detect_clock.charge(
+            now,
+            Duration::from_nanos(self.config.server_detect_cell_cost.as_nanos() * cells_visited),
+        );
+        for kind in SensorKind::ALL {
+            let events = detect_events(&matrices[&kind], kind, self.config.variance_threshold)
+                .unwrap_or_default();
+            for event in events {
+                let already = stream.emitted.iter().any(|e| {
+                    e.kind == event.kind
+                        && e.first_rank <= event.last_rank
+                        && event.first_rank <= e.last_rank
+                        && e.start_bin < event.end_bin
+                        && event.start_bin < e.end_bin
+                });
+                if !already {
+                    stream.emitted.push(event.clone());
+                    stream.pending.push(VarianceAlert {
+                        at: now,
+                        pass,
+                        event,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drain alerts emitted since the last poll.
+    pub(crate) fn poll_events(&self) -> Vec<VarianceAlert> {
+        std::mem::take(&mut self.stream.lock().pending)
+    }
+
+    /// Merge the per-shard invariant standards into the global minimum.
+    /// Exact: `min` is associative and order-free on integers.
+    fn merged_global_std(
+        guards: &[parking_lot::MutexGuard<'_, ShardInner>],
+    ) -> BTreeMap<GroupKey, Duration> {
+        let mut merged: BTreeMap<GroupKey, Duration> = BTreeMap::new();
+        for g in guards {
+            for (k, v) in &g.global_std {
+                merged
+                    .entry(*k)
+                    .and_modify(|e| {
+                        if v < e {
+                            *e = *v;
+                        }
+                    })
+                    .or_insert(*v);
+            }
+        }
+        merged
+    }
+
+    /// Fold the accumulators into per-kind matrices, rank-major and
+    /// group-key-ordered, so the float sums are reproducible.
+    fn fold_matrices(
+        &self,
+        guards: &[parking_lot::MutexGuard<'_, ShardInner>],
+        global_std: &BTreeMap<GroupKey, Duration>,
+        bins: usize,
+    ) -> HashMap<SensorKind, PerformanceMatrix> {
+        let mut matrices: HashMap<SensorKind, PerformanceMatrix> = SensorKind::ALL
+            .into_iter()
+            .map(|k| {
+                (
+                    k,
+                    PerformanceMatrix::new(self.ranks, bins, self.config.matrix_resolution),
+                )
+            })
+            .collect();
+        let nshards = self.shards.len();
+        for rank in 0..self.ranks {
+            let inner = &guards[rank % nshards];
+            let cells = &inner.cells[rank / nshards];
+            for (bin, groups) in cells.merged_bins() {
+                for (key, acc) in groups {
+                    let info = &self.sensors[key.0 .0 as usize];
+                    let std = if info.process_invariant {
+                        global_std.get(&key).copied()
+                    } else {
+                        inner.local_std.get(&(key.0, key.1, rank)).copied()
+                    };
+                    let Some(std) = std else { continue };
+                    let (sum, count) = acc.fold(std);
+                    matrices
+                        .get_mut(&info.kind)
+                        .expect("all kinds present")
+                        .add_aggregate(rank, bin, sum, count);
+                }
+            }
+        }
+        matrices
+    }
+
+    /// Build the full result over `[0, run_end)` from the accumulators.
+    /// Non-destructive: callable mid-run (interim snapshot) or at close.
+    pub(crate) fn result_at(&self, run_end: VirtualTime) -> ServerResult {
+        let bins = (self.config.matrix_bin(run_end).saturating_add(1)) as usize;
+        let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+        let global_std = Self::merged_global_std(&guards);
+        let matrices = self.fold_matrices(&guards, &global_std, bins);
+
+        let mut events = Vec::new();
+        if self.ranks > 0 {
+            for kind in SensorKind::ALL {
+                events.extend(
+                    detect_events(&matrices[&kind], kind, self.config.variance_threshold)
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        events.sort_by(|a, b| {
+            (a.start_bin, a.first_rank, a.kind).cmp(&(b.start_bin, b.first_rank, b.kind))
+        });
+
+        // Per-sensor summary, folded in (sensor, bucket, rank) order; each
+        // key lives in exactly one shard, so this union is disjoint.
+        let nshards = self.shards.len();
+        let mut acc_all: BTreeMap<(SensorId, Bucket, usize), GroupAcc> = BTreeMap::new();
+        for g in &guards {
+            for (k, a) in &g.sensor_acc {
+                acc_all.insert(*k, *a);
+            }
+        }
+        let mut per_sensor: BTreeMap<SensorId, (f64, u64)> = BTreeMap::new();
+        for ((sensor, bucket, rank), acc) in acc_all {
+            let info = &self.sensors[sensor.0 as usize];
+            let std = if info.process_invariant {
+                global_std.get(&(sensor, bucket)).copied()
+            } else {
+                guards[rank % nshards]
+                    .local_std
+                    .get(&(sensor, bucket, rank))
+                    .copied()
+            };
+            let Some(std) = std else { continue };
+            let (sum, count) = acc.fold(std);
+            let e = per_sensor.entry(sensor).or_insert((0.0, 0));
+            e.0 += sum;
+            e.1 += count as u64;
+        }
+        let mut sensor_summary: Vec<SensorSummary> = per_sensor
+            .into_iter()
+            .map(|(sensor, (sum, n))| SensorSummary {
+                sensor,
+                location: self.sensors[sensor.0 as usize].location.clone(),
+                kind: self.sensors[sensor.0 as usize].kind,
+                mean_perf: sum / n as f64,
+                records: n,
+            })
+            .collect();
+        sensor_summary.sort_by(|a, b| {
+            a.mean_perf
+                .partial_cmp(&b.mean_perf)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let delivery = (0..self.ranks)
+            .map(|rank| {
+                Self::delivery_quality(rank, &guards[rank % nshards].delivery[rank / nshards])
+            })
+            .collect();
+
+        ServerResult {
+            matrices,
+            events,
+            sensor_summary,
+            bytes_received: self.bytes_received(),
+            batches: self.batch_count(),
+            records: self.record_count() as usize,
+            delivery,
+            malformed_records: self.malformed_count(),
+            load: self.load(),
+        }
+    }
+
+    fn delivery_quality(rank: usize, d: &RankDelivery) -> DeliveryQuality {
+        let expected = d.max_seq.map_or(0, |m| m + 1);
+        let gaps = expected.saturating_sub(d.seen.len() as u64);
+        DeliveryQuality {
+            rank,
+            accepted: d.accepted,
+            duplicates: d.duplicates,
+            corrupt: d.corrupt,
+            gaps,
+            out_of_order: d.out_of_order,
+            delivery_ratio: if expected == 0 {
+                1.0
+            } else {
+                d.accepted as f64 / expected as f64
+            },
+            mean_latency: d
+                .latency_total
+                .as_nanos()
+                .checked_div(d.accepted)
+                .map_or(Duration::ZERO, Duration::from_nanos),
+        }
+    }
+
+    /// Current server-side load picture.
+    pub(crate) fn load(&self) -> ServerLoad {
+        ServerLoad {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardLoad {
+                    shard: i,
+                    batches: s.batches.load(Ordering::Relaxed),
+                    records: s.records.load(Ordering::Relaxed),
+                    busy: s.clock.busy_time(),
+                    free_at: s.clock.free_at(),
+                })
+                .collect(),
+            detect_passes: self.detect_passes.load(Ordering::Relaxed),
+            detect_busy: self.detect_clock.busy_time(),
+        }
+    }
+
+    /// Recompute the result with the seed's batch-at-end algorithm from
+    /// the raw record log — the independent oracle the equivalence tests
+    /// compare the streaming accumulators against. Requires
+    /// `keep_record_log`.
+    pub(crate) fn replay_result(
+        &self,
+        run_end: VirtualTime,
+    ) -> Result<ServerResult, crate::error::RuntimeError> {
+        let log = self
+            .log
+            .as_ref()
+            .ok_or(crate::error::RuntimeError::RecordLogDisabled)?;
+        let records = log.lock().clone();
+
+        // Standards, exactly as the seed's absorb_record built them.
+        let mut global_std: HashMap<GroupKey, Duration> = HashMap::new();
+        let mut local_std: HashMap<(SensorId, Bucket, usize), Duration> = HashMap::new();
+        for (rank, rec) in &records {
+            let info = &self.sensors[rec.sensor.0 as usize];
+            if info.process_invariant {
+                let e = global_std
+                    .entry((rec.sensor, rec.bucket))
+                    .or_insert(rec.avg);
+                if rec.avg < *e {
+                    *e = rec.avg;
+                }
+            } else {
+                let e = local_std
+                    .entry((rec.sensor, rec.bucket, *rank))
+                    .or_insert(rec.avg);
+                if rec.avg < *e {
+                    *e = rec.avg;
+                }
+            }
+        }
+
+        // Matrices, per-record in log order — the seed's finalize loop.
+        let bins = (self.config.matrix_bin(run_end).saturating_add(1)) as usize;
+        let mut matrices: HashMap<SensorKind, PerformanceMatrix> = SensorKind::ALL
+            .into_iter()
+            .map(|k| {
+                (
+                    k,
+                    PerformanceMatrix::new(self.ranks, bins, self.config.matrix_resolution),
+                )
+            })
+            .collect();
+        let slice_per_bin = self.config.slices_per_bin();
+        for (rank, rec) in &records {
+            let info = &self.sensors[rec.sensor.0 as usize];
+            let std = if info.process_invariant {
+                global_std.get(&(rec.sensor, rec.bucket)).copied()
+            } else {
+                local_std.get(&(rec.sensor, rec.bucket, *rank)).copied()
+            };
+            let Some(std) = std else { continue };
+            let perf = normalized(std, rec.avg);
+            let bin = rec.slice / slice_per_bin;
+            matrices
+                .get_mut(&info.kind)
+                .expect("all kinds present")
+                .add(*rank, bin, perf);
+        }
+
+        let mut events = Vec::new();
+        if self.ranks > 0 {
+            for kind in SensorKind::ALL {
+                events.extend(
+                    detect_events(&matrices[&kind], kind, self.config.variance_threshold)
+                        .unwrap_or_default(),
+                );
+            }
+        }
+        events.sort_by(|a, b| {
+            (a.start_bin, a.first_rank, a.kind).cmp(&(b.start_bin, b.first_rank, b.kind))
+        });
+
+        let mut per_sensor_acc: HashMap<SensorId, (f64, u64)> = HashMap::new();
+        for (rank, rec) in &records {
+            let info = &self.sensors[rec.sensor.0 as usize];
+            let std = if info.process_invariant {
+                global_std.get(&(rec.sensor, rec.bucket)).copied()
+            } else {
+                local_std.get(&(rec.sensor, rec.bucket, *rank)).copied()
+            };
+            let Some(std) = std else { continue };
+            let e = per_sensor_acc.entry(rec.sensor).or_insert((0.0, 0));
+            e.0 += normalized(std, rec.avg);
+            e.1 += 1;
+        }
+        let mut sensor_summary: Vec<SensorSummary> = per_sensor_acc
+            .into_iter()
+            .map(|(sensor, (sum, n))| SensorSummary {
+                sensor,
+                location: self.sensors[sensor.0 as usize].location.clone(),
+                kind: self.sensors[sensor.0 as usize].kind,
+                mean_perf: sum / n as f64,
+                records: n,
+            })
+            .collect();
+        sensor_summary.sort_by(|a, b| {
+            a.mean_perf
+                .partial_cmp(&b.mean_perf)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+        let nshards = self.shards.len();
+        let delivery = (0..self.ranks)
+            .map(|rank| {
+                Self::delivery_quality(rank, &guards[rank % nshards].delivery[rank / nshards])
+            })
+            .collect();
+
+        Ok(ServerResult {
+            matrices,
+            events,
+            sensor_summary,
+            bytes_received: self.bytes_received(),
+            batches: self.batch_count(),
+            records: records.len(),
+            delivery,
+            malformed_records: self.malformed_count(),
+            load: self.load(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_info(id: u32, kind: SensorKind, invariant: bool) -> SensorInfo {
+        SensorInfo {
+            sensor: SensorId(id),
+            kind,
+            process_invariant: invariant,
+            location: format!("test:{id}"),
+        }
+    }
+
+    fn rec(sensor: u32, slice: u64, avg_us: u64) -> SliceRecord {
+        SliceRecord {
+            sensor: SensorId(sensor),
+            slice,
+            avg: Duration::from_micros(avg_us),
+            count: 10,
+            bucket: Bucket(0),
+        }
+    }
+
+    fn engine(ranks: usize, shards: usize) -> Engine {
+        let config = RuntimeConfig {
+            shards,
+            keep_record_log: true,
+            ..RuntimeConfig::free_probes()
+        };
+        Engine::new(
+            ranks,
+            vec![sensor_info(0, SensorKind::Computation, true)],
+            config,
+        )
+    }
+
+    #[test]
+    fn group_acc_decomposition_matches_per_record_normalization() {
+        let avgs = [13u64, 29, 13, 0, 997, 31];
+        let std = Duration::from_micros(13); // = min of the non-zero avgs
+        let mut acc = GroupAcc::default();
+        let mut reference = 0.0;
+        for &us in &avgs {
+            acc.absorb(Duration::from_micros(us));
+            reference += normalized(std, Duration::from_micros(us));
+        }
+        let (sum, count) = acc.fold(std);
+        assert_eq!(count as usize, avgs.len());
+        assert!((sum - reference).abs() < 1e-9, "{sum} vs {reference}");
+    }
+
+    #[test]
+    fn eviction_keeps_hot_window_bounded() {
+        let mut cells = RankCells::default();
+        let key = (SensorId(0), Bucket(0));
+        for bin in 0..100 {
+            cells.absorb(bin, key, Duration::from_micros(10), 4);
+        }
+        assert!(cells.hot.len() <= 5, "hot bins: {}", cells.hot.len());
+        assert_eq!(cells.hot.len() + cells.frozen.len(), 100);
+        // A late record reopens its bin and is re-frozen, not lost.
+        cells.absorb(3, key, Duration::from_micros(10), 4);
+        let merged = cells.merged_bins();
+        assert_eq!(merged[&3][&key].count, 2);
+        assert_eq!(merged.len(), 100);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_folded_results() {
+        let mut results = Vec::new();
+        for shards in [1, 3, 4] {
+            let e = engine(8, shards);
+            for rank in 0..8 {
+                for slice in 0..400u64 {
+                    let avg = if rank == 5 { 25 } else { 10 };
+                    e.submit(rank, vec![rec(0, slice, avg)]);
+                }
+            }
+            results.push(e.result_at(VirtualTime::from_millis(400)));
+        }
+        let reference = &results[0];
+        let m0 = &reference.matrices[&SensorKind::Computation];
+        for r in &results[1..] {
+            assert_eq!(r.events, reference.events);
+            let m = &r.matrices[&SensorKind::Computation];
+            for rank in 0..8 {
+                for bin in 0..m.bins() {
+                    let a = m.cell_raw(rank, bin).unwrap();
+                    let b = m0.cell_raw(rank, bin).unwrap();
+                    assert_eq!(a.0.to_bits(), b.0.to_bits(), "rank {rank} bin {bin}");
+                    assert_eq!(a.1, b.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_fold_matches_replay_oracle() {
+        let e = engine(4, 3);
+        for rank in 0..4 {
+            for slice in 0..600u64 {
+                let avg = if rank == 2 && (200..400).contains(&slice) {
+                    40
+                } else {
+                    10 + (slice % 3)
+                };
+                e.submit(rank, vec![rec(0, slice, avg)]);
+            }
+        }
+        let end = VirtualTime::from_millis(600);
+        let streamed = e.result_at(end);
+        let replayed = e.replay_result(end).unwrap();
+        assert_eq!(streamed.events, replayed.events);
+        assert_eq!(streamed.records, replayed.records);
+        let sm = &streamed.matrices[&SensorKind::Computation];
+        let rm = &replayed.matrices[&SensorKind::Computation];
+        for rank in 0..4 {
+            for bin in 0..sm.bins() {
+                let (ss, sc) = sm.cell_raw(rank, bin).unwrap();
+                let (rs, rc) = rm.cell_raw(rank, bin).unwrap();
+                assert_eq!(sc, rc);
+                assert!((ss - rs).abs() <= 1e-9 * rs.abs().max(1.0), "{ss} vs {rs}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_requires_the_record_log() {
+        let e = Engine::new(
+            1,
+            vec![sensor_info(0, SensorKind::Computation, true)],
+            RuntimeConfig::free_probes(),
+        );
+        assert!(matches!(
+            e.replay_result(VirtualTime::from_millis(1)),
+            Err(crate::error::RuntimeError::RecordLogDisabled)
+        ));
+    }
+
+    #[test]
+    fn detection_pass_emits_alert_mid_stream() {
+        let e = engine(2, 2);
+        let mut seq = [0u64, 0];
+        let mut send = |rank: usize, slice: u64, avg_us: u64, t_ms: u64, e: &Engine| {
+            let t = VirtualTime::from_millis(t_ms);
+            let batch = TelemetryBatch::new(rank, seq[rank], t, vec![rec(0, slice, avg_us)]);
+            seq[rank] += 1;
+            e.ingest(batch, t).unwrap();
+        };
+        // Rank 1 is 3x slower throughout; arrivals advance virtual time
+        // past several detect intervals (default 200 ms).
+        for slice in 0..1000u64 {
+            send(0, slice, 10, slice, &e);
+            send(1, slice, 30, slice, &e);
+        }
+        let alerts = e.poll_events();
+        assert!(!alerts.is_empty(), "slow rank must alert mid-run");
+        let a = &alerts[0];
+        assert_eq!(a.event.first_rank, 1);
+        assert!(a.at < VirtualTime::from_millis(1000), "alert before end");
+        assert!(e.poll_events().is_empty(), "poll drains");
+        let load = e.load();
+        assert!(load.detect_passes >= 1);
+        assert!(load.detect_busy.as_nanos() > 0);
+    }
+
+    #[test]
+    fn closed_engine_rejects_ingest() {
+        let e = engine(1, 1);
+        e.close();
+        let batch = TelemetryBatch::new(0, 0, VirtualTime::ZERO, vec![rec(0, 0, 10)]);
+        assert!(matches!(
+            e.ingest(batch, VirtualTime::ZERO),
+            Err(IngestError::Closed)
+        ));
+    }
+
+    #[test]
+    fn shard_clocks_charge_ingest_work() {
+        let e = engine(4, 2);
+        let t = VirtualTime::from_millis(1);
+        for rank in 0..4 {
+            let batch = TelemetryBatch::new(rank, 0, t, vec![rec(0, 0, 10), rec(0, 1, 10)]);
+            e.ingest(batch, t).unwrap();
+        }
+        let load = e.load();
+        assert_eq!(load.shards.len(), 2);
+        for s in &load.shards {
+            assert_eq!(s.batches, 2);
+            assert_eq!(s.records, 4);
+            assert!(s.busy.as_nanos() > 0);
+            assert!(s.free_at > t);
+        }
+    }
+}

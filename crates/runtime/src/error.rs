@@ -1,0 +1,140 @@
+//! Typed runtime errors.
+//!
+//! The seed panicked on degenerate inputs (empty matrices, unknown
+//! component kinds, invalid configuration values); an always-on monitor
+//! has no business taking the job down, so those paths now surface a
+//! [`RuntimeError`] instead. Both enums are `#[non_exhaustive]`: later PRs
+//! can add variants (new backends, new ingest failure modes) without a
+//! breaking release.
+
+use crate::record::SensorKind;
+use std::fmt;
+
+/// Errors produced by the dynamic module's analysis-side APIs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A matrix operation needs at least one rank and one bin.
+    EmptyMatrix {
+        /// Ranks of the offending matrix.
+        ranks: usize,
+        /// Bins of the offending matrix.
+        bins: usize,
+    },
+    /// A per-component lookup named a kind with no matrix.
+    UnknownKind(SensorKind),
+    /// A configuration value is outside its valid range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The record log was not retained (`RuntimeConfig::keep_record_log`
+    /// is off), so a replay cross-check cannot run.
+    RecordLogDisabled,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::EmptyMatrix { ranks, bins } => {
+                write!(f, "matrix is empty ({ranks} ranks x {bins} bins)")
+            }
+            RuntimeError::UnknownKind(kind) => {
+                write!(f, "no matrix for component kind {}", kind.label())
+            }
+            RuntimeError::InvalidConfig { field, message } => {
+                write!(f, "invalid config `{field}`: {message}")
+            }
+            RuntimeError::RecordLogDisabled => {
+                write!(f, "record log disabled; enable `keep_record_log` to replay")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl RuntimeError {
+    /// Shorthand for an [`RuntimeError::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, message: impl Into<String>) -> Self {
+        RuntimeError::InvalidConfig {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+/// Why the server refused one ingested batch. Retryable conditions
+/// (corruption) are distinguished from permanent ones (malformed, closed):
+/// the transport retries the former and gives up on the latter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// CRC mismatch — the payload was damaged in flight. Retrying with a
+    /// fresh copy can succeed.
+    Corrupt {
+        /// Claimed sending rank.
+        rank: usize,
+        /// Claimed sequence number.
+        seq: u64,
+    },
+    /// Structurally invalid and permanently rejected (e.g. the sending
+    /// rank is out of range for this run).
+    Malformed {
+        /// Claimed sending rank.
+        rank: usize,
+        /// Ranks the server was built for.
+        ranks: usize,
+    },
+    /// The session was closed; no further batches are accepted.
+    Closed,
+}
+
+impl IngestError {
+    /// Whether resending the same data can possibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, IngestError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Corrupt { rank, seq } => {
+                write!(f, "batch (rank {rank}, seq {seq}) failed its CRC check")
+            }
+            IngestError::Malformed { rank, ranks } => {
+                write!(f, "batch names rank {rank}, but the run has {ranks} ranks")
+            }
+            IngestError::Closed => write!(f, "the analysis session is closed"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::EmptyMatrix { ranks: 0, bins: 5 };
+        assert!(e.to_string().contains("0 ranks"));
+        assert!(RuntimeError::UnknownKind(SensorKind::Io)
+            .to_string()
+            .contains("IO"));
+        assert!(RuntimeError::invalid_config("slice", "must be positive")
+            .to_string()
+            .contains("slice"));
+    }
+
+    #[test]
+    fn retryability_matches_transport_semantics() {
+        assert!(IngestError::Corrupt { rank: 0, seq: 1 }.is_retryable());
+        assert!(!IngestError::Malformed { rank: 9, ranks: 4 }.is_retryable());
+        assert!(!IngestError::Closed.is_retryable());
+    }
+}

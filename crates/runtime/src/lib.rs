@@ -14,10 +14,15 @@
 //!    runtime — [`tick`].
 //! 4. **Dynamic rules** (Figure 13): records may be bucketed by a runtime
 //!    metric (cache-miss rate) before comparison — [`dynrules`].
-//! 5. **Multi-process analysis** (§5.4): ranks batch their slice records to
-//!    a dedicated analysis server, which builds per-component performance
-//!    matrices (time × rank) and flags variance regions — [`server`],
+//! 5. **Multi-process analysis** (§5.4): ranks stream their slice records
+//!    to a dedicated analysis server whose sharded [`engine`] folds them
+//!    incrementally into per-component performance matrices (time × rank),
+//!    flags variance regions, and emits live alerts mid-run — [`server`],
 //!    [`matrix`], [`detect`].
+//!
+//! All public types are re-exported at the crate root; downstream code
+//! should `use vsensor_runtime::{AnalysisServer, VarianceAlert, ...}`
+//! rather than spelling module paths.
 //!
 //! [`tock`]: SensorRuntime::tock
 
@@ -25,6 +30,8 @@ pub mod config;
 pub mod detect;
 pub mod distribution;
 pub mod dynrules;
+pub mod engine;
+pub mod error;
 pub mod history;
 pub mod matrix;
 pub mod record;
@@ -35,13 +42,18 @@ pub mod tick;
 pub mod transport;
 
 pub use config::RuntimeConfig;
-pub use detect::VarianceEvent;
+pub use detect::{detect_events, VarianceEvent};
 pub use distribution::DistributionStats;
-pub use dynrules::DynamicRule;
+pub use dynrules::{Bucket, DynamicRule};
+pub use engine::{IngestReceipt, ServerLoad, ShardLoad, VarianceAlert};
+pub use error::{IngestError, RuntimeError};
 pub use matrix::PerformanceMatrix;
 pub use record::{SensorInfo, SensorKind, SliceRecord};
 pub use report::VarianceReport;
-pub use server::{AnalysisServer, DeliveryQuality, IngestResult};
+pub use server::{
+    AnalysisServer, DeliveryQuality, IngestResult, IngestSession, IngestStats, SensorSummary,
+    ServerResult,
+};
 pub use tick::SensorRuntime;
 pub use transport::{
     BatchChannel, DirectChannel, FaultyChannel, RankTransport, SendOutcome, TelemetryBatch,

@@ -49,23 +49,46 @@ impl PerformanceMatrix {
     /// Accumulate one observation into a cell. Out-of-range bins are
     /// ignored (records can trickle in slightly past the nominal end).
     pub fn add(&mut self, rank: usize, bin: u64, perf: f64) {
+        self.add_aggregate(rank, bin, perf, 1);
+    }
+
+    /// Accumulate a pre-folded aggregate — `sum` over `count` observations —
+    /// into a cell in one step. The streaming engine folds whole cell
+    /// accumulators through here at close time; `add(r, b, p)` is the
+    /// `count == 1` special case. Out-of-range cells are ignored, matching
+    /// [`PerformanceMatrix::add`].
+    pub fn add_aggregate(&mut self, rank: usize, bin: u64, sum: f64, count: u32) {
         let bin = bin as usize;
-        if rank >= self.ranks || bin >= self.bins {
+        if rank >= self.ranks || bin >= self.bins || count == 0 {
             return;
         }
         let i = rank * self.bins + bin;
-        self.sums[i] += perf;
-        self.counts[i] += 1;
+        self.sums[i] += sum;
+        self.counts[i] += count;
     }
 
-    /// Average normalized performance of a cell; `None` if no data.
+    /// Average normalized performance of a cell; `None` if the cell holds
+    /// no data or lies outside the grid.
     pub fn cell(&self, rank: usize, bin: usize) -> Option<f64> {
+        if rank >= self.ranks || bin >= self.bins {
+            return None;
+        }
         let i = rank * self.bins + bin;
         if self.counts[i] == 0 {
             None
         } else {
             Some(self.sums[i] / self.counts[i] as f64)
         }
+    }
+
+    /// Raw `(sum, count)` of a cell — what equivalence tests compare, since
+    /// it avoids the division. `None` outside the grid.
+    pub fn cell_raw(&self, rank: usize, bin: usize) -> Option<(f64, u32)> {
+        if rank >= self.ranks || bin >= self.bins {
+            return None;
+        }
+        let i = rank * self.bins + bin;
+        Some((self.sums[i], self.counts[i]))
     }
 
     /// Mean performance over all populated cells (1.0 = perfectly stable).
@@ -147,6 +170,22 @@ mod tests {
         m.add(5, 0, 1.0);
         m.add(0, 99, 1.0);
         assert_eq!(m.fill_ratio(), 0.0);
+        assert_eq!(m.cell(5, 0), None);
+        assert_eq!(m.cell_raw(0, 99), None);
+    }
+
+    #[test]
+    fn aggregates_fold_like_single_observations() {
+        let mut one = PerformanceMatrix::new(2, 4, Duration::from_millis(200));
+        one.add(1, 2, 0.8);
+        one.add(1, 2, 0.4);
+        one.add(1, 2, 0.6);
+        let mut agg = PerformanceMatrix::new(2, 4, Duration::from_millis(200));
+        agg.add_aggregate(1, 2, 0.8 + 0.4 + 0.6, 3);
+        assert_eq!(one.cell_raw(1, 2), agg.cell_raw(1, 2));
+        // A zero-count aggregate is a no-op, not a populated empty cell.
+        agg.add_aggregate(0, 0, 0.0, 0);
+        assert_eq!(agg.cell(0, 0), None);
     }
 
     #[test]

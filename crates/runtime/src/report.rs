@@ -7,6 +7,7 @@
 
 use crate::detect::VarianceEvent;
 use crate::distribution::DistributionStats;
+use crate::engine::{ServerLoad, VarianceAlert};
 use crate::record::SensorKind;
 use crate::server::DeliveryQuality;
 use crate::transport::TransportStats;
@@ -38,6 +39,11 @@ pub struct VarianceReport {
     pub delivery: Vec<DeliveryQuality>,
     /// Sender-side transport counters, merged across ranks.
     pub transport: TransportStats,
+    /// Live alerts the detection stream emitted while the run was still in
+    /// flight, in emission order.
+    pub alerts: Vec<VarianceAlert>,
+    /// Server-side processing load (ingest shards, detection passes).
+    pub load: ServerLoad,
 }
 
 impl VarianceReport {
@@ -87,6 +93,13 @@ impl VarianceReport {
             .fold(1.0, f64::min)
     }
 
+    /// Virtual instant of the first live alert, if the detection stream
+    /// fired before the run ended. `run_time − first_alert_at` is the
+    /// streaming engine's detection-latency win over end-of-run analysis.
+    pub fn first_alert_at(&self) -> Option<cluster_sim::time::VirtualTime> {
+        self.alerts.iter().map(|a| a.at).min()
+    }
+
     /// Render the human-readable report text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -105,6 +118,27 @@ impl VarianceReport {
             self.server_bytes as f64 / 1e6,
             self.data_rate() / 1e3,
         );
+        if !self.load.shards.is_empty() {
+            let _ = writeln!(
+                out,
+                "streaming engine: {} shard(s), peak utilization {:.2}%, {} detection pass(es)",
+                self.load.shards.len(),
+                self.load.peak_shard_utilization(self.run_time) * 100.0,
+                self.load.detect_passes,
+            );
+        }
+        if let Some(at) = self.first_alert_at() {
+            let _ = writeln!(
+                out,
+                "first live alert at {} ({:.1}% into the run)",
+                at,
+                if self.run_time.as_nanos() == 0 {
+                    0.0
+                } else {
+                    at.as_nanos() as f64 / self.run_time.as_nanos() as f64 * 100.0
+                },
+            );
+        }
         for (kind, mean) in &self.component_means {
             let _ = writeln!(out, "  {} mean performance: {:.3}", kind.label(), mean);
         }
@@ -204,6 +238,8 @@ mod tests {
             ],
             delivery: Vec::new(),
             transport: TransportStats::default(),
+            alerts: Vec::new(),
+            load: ServerLoad::default(),
         }
     }
 
@@ -249,6 +285,38 @@ mod tests {
         assert!(r.contains("telemetry degraded"));
         assert!(r.contains("rank 3"));
         assert!(r.contains("10 gap(s)"));
+    }
+
+    #[test]
+    fn live_alerts_and_load_are_surfaced() {
+        use crate::engine::ShardLoad;
+        let mut rep = sample_report();
+        assert!(rep.first_alert_at().is_none());
+        rep.alerts = vec![VarianceAlert {
+            at: VirtualTime::from_secs(21),
+            pass: 105,
+            event: rep.events[0].clone(),
+        }];
+        rep.load = ServerLoad {
+            shards: vec![ShardLoad {
+                shard: 0,
+                batches: 1000,
+                records: 50_000,
+                busy: Duration::from_secs(7),
+                free_at: VirtualTime::from_secs(70),
+            }],
+            detect_passes: 350,
+            detect_busy: Duration::from_millis(900),
+        };
+        assert_eq!(rep.first_alert_at(), Some(VirtualTime::from_secs(21)));
+        assert!((rep.load.peak_shard_utilization(rep.run_time) - 0.1).abs() < 1e-12);
+        let r = rep.render();
+        assert!(r.contains("streaming engine: 1 shard(s)"), "{r}");
+        assert!(r.contains("350 detection pass(es)"), "{r}");
+        assert!(
+            r.contains("first live alert at 21.000000s (30.0% into the run)"),
+            "{r}"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The analysis server (§5.4).
+//! The analysis server (§5.4) and its session API.
 //!
 //! vSensor dedicates one process to inter-process analysis: every rank
 //! periodically ships its buffered slice records in batches; the server
@@ -7,63 +7,48 @@
 //! accumulates per-component performance matrices. It also counts the bytes
 //! it receives — the paper's data-volume comparison against tracing tools
 //! (8.8 MB vs 501.5 MB for the cg.D.128 run) falls out of this counter.
+//!
+//! Since the streaming rework the server is a thin façade over
+//! [`crate::engine`]: ingest is sharded by `rank % shards`, records fold
+//! into bounded-memory accumulators as they arrive, and detection runs
+//! incrementally, emitting [`VarianceAlert`]s mid-run.
+//!
+//! # Session API
+//!
+//! The old mixed surface (`submit`, `ingest`, `snapshot`, `finalize`,
+//! loose getters) is collapsed into one flow:
+//!
+//! ```text
+//! let session = server.session();
+//! session.ingest(batch, arrival)?;   // -> IngestReceipt
+//! session.poll_events();             // -> Vec<VarianceAlert>, mid-run
+//! let result = session.close(end);   // -> ServerResult, seals the server
+//! ```
+//!
+//! The old names survive as `#[deprecated]` shims that delegate to the
+//! same engine, so `finalize` and `close` cannot disagree by construction.
 
 use crate::config::RuntimeConfig;
-use crate::detect::{detect_events, VarianceEvent};
-use crate::dynrules::Bucket;
-use crate::history::normalized;
+use crate::detect::VarianceEvent;
+use crate::engine::Engine;
+pub use crate::engine::{IngestReceipt, ServerLoad, ShardLoad, VarianceAlert};
+use crate::error::{IngestError, RuntimeError};
 use crate::matrix::PerformanceMatrix;
-use crate::record::{SensorInfo, SensorKind, SliceRecord};
+use crate::record::{SensorInfo, SensorKind};
 use crate::transport::TelemetryBatch;
 use cluster_sim::time::{Duration, VirtualTime};
-use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use vsensor_lang::SensorId;
 
-/// Byte overhead charged per batch message (header / envelope).
-const BATCH_HEADER_BYTES: u64 = 64;
-
-/// The shared analysis server. Ranks call [`AnalysisServer::submit`]
-/// concurrently; call [`AnalysisServer::finalize`] after the run to get
-/// matrices and detected events.
+/// The shared analysis server. Ranks obtain an [`IngestSession`] (or reuse
+/// one — it is `Sync` and borrows the server) and stream batches in
+/// concurrently; closing the session yields the final [`ServerResult`].
 pub struct AnalysisServer {
-    inner: Mutex<ServerInner>,
-    config: RuntimeConfig,
-    sensors: Vec<SensorInfo>,
-    ranks: usize,
+    engine: Engine,
 }
 
-struct ServerInner {
-    /// All received records with their source rank (kept so matrices can
-    /// be normalized against final global standards).
-    records: Vec<(usize, SliceRecord)>,
-    /// Global standards per (sensor, bucket) for process-invariant
-    /// sensors; per (sensor, bucket, rank) otherwise.
-    global_std: HashMap<(SensorId, Bucket), Duration>,
-    local_std: HashMap<(SensorId, Bucket, usize), Duration>,
-    bytes_received: u64,
-    batches: u64,
-    /// Records rejected because they referenced an unknown `SensorId`.
-    malformed: u64,
-    /// Per-rank delivery bookkeeping for the sequence-numbered ingest path.
-    delivery: Vec<RankDelivery>,
-}
-
-/// Per-rank state for the fault-tolerant ingest path.
-#[derive(Default)]
-struct RankDelivery {
-    /// Sequence numbers accepted so far (dedup + gap detection).
-    seen: HashSet<u64>,
-    accepted: u64,
-    duplicates: u64,
-    corrupt: u64,
-    out_of_order: u64,
-    max_seq: Option<u64>,
-    /// Sum of (arrival − sent) over accepted batches, for mean latency.
-    latency_total: Duration,
-}
-
-/// What the server did with one ingested batch.
+/// What the server did with one ingested batch (legacy result; the session
+/// API reports `Result<IngestReceipt, IngestError>` instead).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IngestResult {
     /// Batch verified and absorbed.
@@ -76,257 +61,203 @@ pub enum IngestResult {
     Malformed,
 }
 
+/// Running ingest counters, observable mid-run without building a result.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Total bytes received (batching overhead included).
+    pub bytes_received: u64,
+    /// Batches accepted.
+    pub batches: u64,
+    /// Records absorbed.
+    pub records: u64,
+    /// Records rejected for naming unknown sensors, plus batches naming
+    /// out-of-range ranks.
+    pub malformed: u64,
+}
+
 impl AnalysisServer {
     /// Create a server for `ranks` ranks and the given sensor table.
+    ///
+    /// Panics on an invalid configuration; use [`AnalysisServer::try_new`]
+    /// (or build the config through its validating setters) to handle that
+    /// case gracefully.
     pub fn new(ranks: usize, sensors: Vec<SensorInfo>, config: RuntimeConfig) -> Self {
-        AnalysisServer {
-            inner: Mutex::new(ServerInner {
-                records: Vec::new(),
-                global_std: HashMap::new(),
-                local_std: HashMap::new(),
-                bytes_received: 0,
-                batches: 0,
-                malformed: 0,
-                delivery: std::iter::repeat_with(RankDelivery::default)
-                    .take(ranks)
-                    .collect(),
-            }),
-            config,
-            sensors,
-            ranks,
+        Self::try_new(ranks, sensors, config).expect("invalid RuntimeConfig")
+    }
+
+    /// Create a server, rejecting invalid configurations.
+    pub fn try_new(
+        ranks: usize,
+        sensors: Vec<SensorInfo>,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        Ok(AnalysisServer {
+            engine: Engine::new(ranks, sensors, config),
+        })
+    }
+
+    /// Open an ingest session. Sessions are cheap borrow handles; any
+    /// number may exist concurrently (each rank thread typically holds its
+    /// own), all feeding the same sharded engine.
+    pub fn session(&self) -> IngestSession<'_> {
+        IngestSession { server: self }
+    }
+
+    /// Drain detection-stream alerts emitted since the last poll. Shared
+    /// with [`IngestSession::poll_events`]; a monitor thread that holds
+    /// only the server `Arc` can watch the stream directly.
+    pub fn poll_events(&self) -> Vec<VarianceAlert> {
+        self.engine.poll_events()
+    }
+
+    /// Interim result over `[0, up_to)`: non-destructive, callable while
+    /// ranks are still streaming. §2's workflow updates the report
+    /// *periodically while the program runs* — this is that read.
+    pub fn interim(&self, up_to: VirtualTime) -> ServerResult {
+        self.engine.result_at(up_to)
+    }
+
+    /// Running ingest counters.
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            bytes_received: self.engine.bytes_received(),
+            batches: self.engine.batch_count(),
+            records: self.engine.record_count(),
+            malformed: self.engine.malformed_count(),
         }
     }
 
-    /// Absorb one record into standards and the record log. Records naming
-    /// an unknown `SensorId` are rejected and counted as malformed instead
-    /// of indexing out of bounds — a corrupted or hostile batch must never
-    /// take the server down.
-    fn absorb_record(&self, inner: &mut ServerInner, rank: usize, rec: SliceRecord) {
-        let Some(info) = self.sensors.get(rec.sensor.0 as usize) else {
-            inner.malformed += 1;
-            return;
-        };
-        if info.process_invariant {
-            let e = inner
-                .global_std
-                .entry((rec.sensor, rec.bucket))
-                .or_insert(rec.avg);
-            if rec.avg < *e {
-                *e = rec.avg;
-            }
-        } else {
-            let e = inner
-                .local_std
-                .entry((rec.sensor, rec.bucket, rank))
-                .or_insert(rec.avg);
-            if rec.avg < *e {
-                *e = rec.avg;
-            }
-        }
-        inner.records.push((rank, rec));
+    /// Server-side processing load (shard busy clocks, detection cost).
+    pub fn load(&self) -> ServerLoad {
+        self.engine.load()
     }
+
+    /// Number of ranks this server was built for.
+    pub fn ranks(&self) -> usize {
+        self.engine.ranks()
+    }
+
+    /// The configuration the server runs under.
+    pub fn config(&self) -> &RuntimeConfig {
+        self.engine.config()
+    }
+
+    /// Recompute the result with the seed's batch-at-end algorithm from
+    /// the raw record log (requires `keep_record_log`) — the independent
+    /// oracle the streaming-equivalence tests compare against.
+    pub fn replay_result(&self, run_end: VirtualTime) -> Result<ServerResult, RuntimeError> {
+        self.engine.replay_result(run_end)
+    }
+
+    /// `(hot, frozen)` resident matrix-cell counts, for eviction tests.
+    #[doc(hidden)]
+    pub fn cell_stats(&self) -> (usize, usize) {
+        self.engine.cell_stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy surface. Every method below is a thin shim over the same
+    // engine the session API uses; they exist so out-of-tree callers keep
+    // compiling. In-tree code must use the session API — CI greps for it.
+    // ------------------------------------------------------------------
 
     /// Receive one batch from a rank over the legacy direct path (no
     /// sequence numbers, no dedup — retransmitted data only tightens
-    /// standards). The fault-tolerant transport uses [`Self::ingest`].
-    pub fn submit(&self, rank: usize, batch: Vec<SliceRecord>) {
-        if batch.is_empty() {
-            return;
-        }
-        let mut inner = self.inner.lock();
-        inner.bytes_received += BATCH_HEADER_BYTES + batch.len() as u64 * SliceRecord::WIRE_BYTES;
-        inner.batches += 1;
-        for rec in batch {
-            self.absorb_record(&mut inner, rank, rec);
-        }
+    /// standards).
+    #[deprecated(since = "0.2.0", note = "use `session().ingest(...)` instead")]
+    pub fn submit(&self, rank: usize, batch: Vec<crate::record::SliceRecord>) {
+        self.engine.submit(rank, batch);
     }
 
-    /// Receive one sequence-numbered batch from the fault-tolerant
-    /// transport. Verifies the CRC, deduplicates on `(rank, seq)` (so
-    /// retries and fabric duplicates are harmless), tolerates arbitrary
-    /// arrival order, and keeps per-rank delivery-quality bookkeeping that
-    /// [`Self::finalize`] folds into the report.
+    /// Receive one sequence-numbered batch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `session().ingest(...)` which returns `Result<IngestReceipt, IngestError>`"
+    )]
     pub fn ingest(&self, batch: TelemetryBatch, arrival: VirtualTime) -> IngestResult {
-        let mut inner = self.inner.lock();
-        if batch.rank >= self.ranks {
-            inner.malformed += 1;
-            return IngestResult::Malformed;
+        match self.engine.ingest(batch, arrival) {
+            Ok(r) if r.duplicate => IngestResult::Duplicate,
+            Ok(_) => IngestResult::Accepted,
+            Err(IngestError::Corrupt { .. }) => IngestResult::Corrupt,
+            Err(_) => IngestResult::Malformed,
         }
-        if !batch.verify() {
-            inner.delivery[batch.rank].corrupt += 1;
-            return IngestResult::Corrupt;
-        }
-        {
-            let d = &mut inner.delivery[batch.rank];
-            if !d.seen.insert(batch.seq) {
-                d.duplicates += 1;
-                return IngestResult::Duplicate;
-            }
-            d.accepted += 1;
-            if let Some(max) = d.max_seq {
-                if batch.seq < max {
-                    d.out_of_order += 1; // a late batch overtaken in flight
-                }
-            }
-            d.max_seq = Some(d.max_seq.map_or(batch.seq, |m| m.max(batch.seq)));
-            d.latency_total += arrival.since(batch.sent_at);
-        }
-        inner.bytes_received +=
-            BATCH_HEADER_BYTES + batch.records.len() as u64 * SliceRecord::WIRE_BYTES;
-        inner.batches += 1;
-        let rank = batch.rank;
-        for rec in batch.records {
-            self.absorb_record(&mut inner, rank, rec);
-        }
-        IngestResult::Accepted
     }
 
-    /// Records rejected so far for naming unknown sensors.
-    pub fn malformed_records(&self) -> u64 {
-        self.inner.lock().malformed
+    /// Interim snapshot of the analysis.
+    #[deprecated(since = "0.2.0", note = "use `interim(up_to)` instead")]
+    pub fn snapshot(&self, up_to: VirtualTime) -> ServerResult {
+        self.engine.result_at(up_to)
     }
 
-    /// Total bytes received so far (batching overhead included).
+    /// Finish the run and build the result (does not seal the server).
+    #[deprecated(since = "0.2.0", note = "use `session().close(run_end)` instead")]
+    pub fn finalize(&self, run_end: VirtualTime) -> ServerResult {
+        self.engine.result_at(run_end)
+    }
+
+    /// Total bytes received so far.
+    #[deprecated(since = "0.2.0", note = "use `stats().bytes_received` instead")]
     pub fn bytes_received(&self) -> u64 {
-        self.inner.lock().bytes_received
+        self.engine.bytes_received()
     }
 
     /// Number of batches received.
+    #[deprecated(since = "0.2.0", note = "use `stats().batches` instead")]
     pub fn batches(&self) -> u64 {
-        self.inner.lock().batches
+        self.engine.batch_count()
     }
 
     /// Number of records received.
+    #[deprecated(since = "0.2.0", note = "use `stats().records` instead")]
     pub fn record_count(&self) -> usize {
-        self.inner.lock().records.len()
+        self.engine.record_count() as usize
     }
 
-    /// Interim snapshot: identical to [`Self::finalize`] but named for the
-    /// on-line use case — §2's workflow updates the report *periodically
-    /// while the program runs*, so users notice variance without waiting
-    /// for completion. The server is shared (`Arc`) and lock-protected, so
-    /// a monitor thread may call this concurrently with rank submissions.
-    pub fn snapshot(&self, up_to: cluster_sim::time::VirtualTime) -> ServerResult {
-        self.finalize(up_to)
+    /// Records rejected so far for naming unknown sensors.
+    #[deprecated(since = "0.2.0", note = "use `stats().malformed` instead")]
+    pub fn malformed_records(&self) -> u64 {
+        self.engine.malformed_count()
+    }
+}
+
+/// A live ingest session: the one front door for streaming telemetry in
+/// and results out.
+///
+/// Borrowed from an [`AnalysisServer`]; `Copy`-cheap, `Sync`, and safe to
+/// hold per rank thread. Closing any session seals the shared server —
+/// subsequent ingests fail with [`IngestError::Closed`].
+pub struct IngestSession<'a> {
+    server: &'a AnalysisServer,
+}
+
+impl IngestSession<'_> {
+    /// Stream one sequence-numbered batch into the engine at virtual
+    /// instant `arrival`.
+    ///
+    /// `Ok` means the delivery deserves an acknowledgement: either the
+    /// batch was absorbed, or it was a `(rank, seq)` duplicate of one that
+    /// already was (`receipt.duplicate`). `Err` distinguishes retryable
+    /// corruption from permanent rejection — see [`IngestError`].
+    pub fn ingest(
+        &self,
+        batch: TelemetryBatch,
+        arrival: VirtualTime,
+    ) -> Result<IngestReceipt, IngestError> {
+        self.server.engine.ingest(batch, arrival)
     }
 
-    /// Finish the run: build per-component matrices over `[0, run_end)` and
-    /// detect variance events.
-    pub fn finalize(&self, run_end: cluster_sim::time::VirtualTime) -> ServerResult {
-        let inner = self.inner.lock();
-        let bins = (self.config.matrix_bin(run_end).saturating_add(1)) as usize;
-        let mut matrices: HashMap<SensorKind, PerformanceMatrix> = SensorKind::ALL
-            .into_iter()
-            .map(|k| {
-                (
-                    k,
-                    PerformanceMatrix::new(self.ranks, bins, self.config.matrix_resolution),
-                )
-            })
-            .collect();
+    /// Drain detection-stream alerts emitted since the last poll (by any
+    /// session or the server handle — the stream is shared).
+    pub fn poll_events(&self) -> Vec<VarianceAlert> {
+        self.server.engine.poll_events()
+    }
 
-        let slice_per_bin =
-            (self.config.matrix_resolution.as_nanos() / self.config.slice.as_nanos().max(1)).max(1);
-        for (rank, rec) in &inner.records {
-            let info = &self.sensors[rec.sensor.0 as usize];
-            let std = if info.process_invariant {
-                inner.global_std.get(&(rec.sensor, rec.bucket)).copied()
-            } else {
-                inner
-                    .local_std
-                    .get(&(rec.sensor, rec.bucket, *rank))
-                    .copied()
-            };
-            let Some(std) = std else { continue };
-            let perf = normalized(std, rec.avg);
-            let bin = rec.slice / slice_per_bin;
-            matrices
-                .get_mut(&info.kind)
-                .expect("all kinds present")
-                .add(*rank, bin, perf);
-        }
-
-        let mut events = Vec::new();
-        for kind in SensorKind::ALL {
-            let m = &matrices[&kind];
-            events.extend(detect_events(m, kind, self.config.variance_threshold));
-        }
-        events.sort_by(|a, b| {
-            (a.start_bin, a.first_rank, a.kind).cmp(&(b.start_bin, b.first_rank, b.kind))
-        });
-
-        // Per-sensor summary: mean normalized performance over all records
-        // (for "which source location degraded" reporting).
-        let mut per_sensor_acc: HashMap<SensorId, (f64, u64)> = HashMap::new();
-        for (rank, rec) in &inner.records {
-            let info = &self.sensors[rec.sensor.0 as usize];
-            let std = if info.process_invariant {
-                inner.global_std.get(&(rec.sensor, rec.bucket)).copied()
-            } else {
-                inner
-                    .local_std
-                    .get(&(rec.sensor, rec.bucket, *rank))
-                    .copied()
-            };
-            let Some(std) = std else { continue };
-            let e = per_sensor_acc.entry(rec.sensor).or_insert((0.0, 0));
-            e.0 += normalized(std, rec.avg);
-            e.1 += 1;
-        }
-        let mut sensor_summary: Vec<SensorSummary> = per_sensor_acc
-            .into_iter()
-            .map(|(sensor, (sum, n))| SensorSummary {
-                sensor,
-                location: self.sensors[sensor.0 as usize].location.clone(),
-                kind: self.sensors[sensor.0 as usize].kind,
-                mean_perf: sum / n as f64,
-                records: n,
-            })
-            .collect();
-        sensor_summary.sort_by(|a, b| {
-            a.mean_perf
-                .partial_cmp(&b.mean_perf)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-
-        let delivery = inner
-            .delivery
-            .iter()
-            .enumerate()
-            .map(|(rank, d)| {
-                let expected = d.max_seq.map_or(0, |m| m + 1);
-                let gaps = expected.saturating_sub(d.seen.len() as u64);
-                DeliveryQuality {
-                    rank,
-                    accepted: d.accepted,
-                    duplicates: d.duplicates,
-                    corrupt: d.corrupt,
-                    gaps,
-                    out_of_order: d.out_of_order,
-                    delivery_ratio: if expected == 0 {
-                        1.0
-                    } else {
-                        d.accepted as f64 / expected as f64
-                    },
-                    mean_latency: d
-                        .latency_total
-                        .as_nanos()
-                        .checked_div(d.accepted)
-                        .map_or(Duration::ZERO, Duration::from_nanos),
-                }
-            })
-            .collect();
-
-        ServerResult {
-            matrices,
-            events,
-            sensor_summary,
-            bytes_received: inner.bytes_received,
-            batches: inner.batches,
-            records: inner.records.len(),
-            delivery,
-            malformed_records: inner.malformed,
-        }
+    /// Close the run: seal the server against further ingest and build the
+    /// final result over `[0, run_end)`.
+    pub fn close(self, run_end: VirtualTime) -> ServerResult {
+        self.server.engine.close();
+        self.server.engine.result_at(run_end)
     }
 }
 
@@ -396,19 +327,26 @@ pub struct ServerResult {
     pub delivery: Vec<DeliveryQuality>,
     /// Records rejected for naming unknown sensors.
     pub malformed_records: u64,
+    /// Server-side processing load (shard busy clocks, detection cost).
+    pub load: ServerLoad,
 }
 
 impl ServerResult {
-    /// Matrix for one component type.
-    pub fn matrix(&self, kind: SensorKind) -> &PerformanceMatrix {
-        &self.matrices[&kind]
+    /// Matrix for one component type. [`RuntimeError::UnknownKind`] if no
+    /// matrix exists for it — possible once kinds become extensible, and
+    /// previously a panic.
+    pub fn matrix(&self, kind: SensorKind) -> Result<&PerformanceMatrix, RuntimeError> {
+        self.matrices
+            .get(&kind)
+            .ok_or(RuntimeError::UnknownKind(kind))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cluster_sim::time::VirtualTime;
+    use crate::dynrules::Bucket;
+    use crate::record::SliceRecord;
 
     fn sensor_info(id: u32, kind: SensorKind, invariant: bool) -> SensorInfo {
         SensorInfo {
@@ -437,16 +375,26 @@ mod tests {
         )
     }
 
+    /// Stream loose records through the session API, one batch per call,
+    /// with automatic per-test sequence numbering keyed on the slice.
+    fn send(s: &AnalysisServer, rank: usize, seq: u64, records: Vec<SliceRecord>) {
+        let t = VirtualTime::from_micros(seq);
+        s.session()
+            .ingest(TelemetryBatch::new(rank, seq, t, records), t)
+            .expect("valid batch");
+    }
+
     #[test]
     fn counts_bytes_and_batches() {
+        use crate::engine::BATCH_HEADER_BYTES;
         let s = default_server(2);
-        s.submit(0, vec![rec(0, 0, 10), rec(0, 1, 10)]);
-        s.submit(1, vec![rec(0, 0, 10)]);
-        s.submit(1, vec![]); // empty batches are free
-        assert_eq!(s.batches(), 2);
-        assert_eq!(s.record_count(), 3);
+        send(&s, 0, 0, vec![rec(0, 0, 10), rec(0, 1, 10)]);
+        send(&s, 1, 0, vec![rec(0, 0, 10)]);
+        let stats = s.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.records, 3);
         assert_eq!(
-            s.bytes_received(),
+            stats.bytes_received,
             2 * BATCH_HEADER_BYTES + 3 * SliceRecord::WIRE_BYTES
         );
     }
@@ -458,11 +406,11 @@ mod tests {
         // self-consistent.
         let s = default_server(2);
         for slice in 0..1000 {
-            s.submit(0, vec![rec(0, slice, 10)]);
-            s.submit(1, vec![rec(0, slice, 20)]);
+            send(&s, 0, slice, vec![rec(0, slice, 10)]);
+            send(&s, 1, slice, vec![rec(0, slice, 20)]);
         }
-        let result = s.finalize(VirtualTime::from_secs(1));
-        let m = result.matrix(SensorKind::Computation);
+        let result = s.session().close(VirtualTime::from_secs(1));
+        let m = result.matrix(SensorKind::Computation).unwrap();
         assert!(m.cell(0, 0).unwrap() > 0.95);
         assert!(m.cell(1, 0).unwrap() < 0.55);
         assert!(
@@ -480,11 +428,11 @@ mod tests {
             RuntimeConfig::free_probes(),
         );
         for slice in 0..1000 {
-            s.submit(0, vec![rec(0, slice, 10)]);
-            s.submit(1, vec![rec(0, slice, 20)]); // legitimately more work
+            send(&s, 0, slice, vec![rec(0, slice, 10)]);
+            send(&s, 1, slice, vec![rec(0, slice, 20)]); // legitimately more work
         }
-        let result = s.finalize(VirtualTime::from_secs(1));
-        let m = result.matrix(SensorKind::Computation);
+        let result = s.session().close(VirtualTime::from_secs(1));
+        let m = result.matrix(SensorKind::Computation).unwrap();
         // Both ranks normalize to ~1.0 against their own standards.
         assert!(m.cell(1, 0).unwrap() > 0.95);
         assert!(result.events.is_empty(), "{:?}", result.events);
@@ -501,10 +449,10 @@ mod tests {
             } else {
                 10
             };
-            s.submit(0, vec![rec(0, slice, avg)]);
+            send(&s, 0, slice, vec![rec(0, slice, avg)]);
         }
-        let result = s.finalize(VirtualTime::from_secs(10));
-        let m = result.matrix(SensorKind::Computation);
+        let result = s.session().close(VirtualTime::from_secs(10));
+        let m = result.matrix(SensorKind::Computation).unwrap();
         assert!(m.cell(0, 10).unwrap() > 0.9, "before: fine");
         assert!(m.cell(0, 25).unwrap() < 0.4, "during: degraded");
         assert!(m.cell(0, 45).unwrap() > 0.9, "after: fine");
@@ -515,22 +463,22 @@ mod tests {
     }
 
     #[test]
-    fn snapshots_refine_as_data_arrives() {
-        // The on-line workflow: interim snapshots show variance as soon as
-        // the degraded slices arrive, before the run ends.
+    fn interim_results_refine_as_data_arrives() {
+        // The on-line workflow: interim reads show variance as soon as the
+        // degraded slices arrive, before the run ends.
         let s = default_server(1);
         for slice in 0..200 {
-            s.submit(0, vec![rec(0, slice, 10)]);
+            send(&s, 0, slice, vec![rec(0, slice, 10)]);
         }
-        let early = s.snapshot(VirtualTime::from_millis(200));
+        let early = s.interim(VirtualTime::from_millis(200));
         assert!(early.events.is_empty(), "healthy so far");
         for slice in 200..600 {
-            s.submit(0, vec![rec(0, slice, 40)]); // 4x slowdown begins
+            send(&s, 0, slice, vec![rec(0, slice, 40)]); // 4x slowdown begins
         }
-        let mid = s.snapshot(VirtualTime::from_millis(600));
+        let mid = s.interim(VirtualTime::from_millis(600));
         assert!(!mid.events.is_empty(), "variance visible mid-run");
-        // Snapshots do not consume state: finalize still sees everything.
-        let fin = s.finalize(VirtualTime::from_millis(600));
+        // Interim reads do not consume state: close still sees everything.
+        let fin = s.session().close(VirtualTime::from_millis(600));
         assert_eq!(fin.records, 600);
     }
 
@@ -546,10 +494,10 @@ mod tests {
         );
         for slice in 0..100 {
             // Sensor 0: steady. Sensor 1: degrades over time.
-            s.submit(0, vec![rec(0, slice, 10)]);
-            s.submit(0, vec![rec(1, slice, 10 + slice / 10)]);
+            send(&s, 0, slice * 2, vec![rec(0, slice, 10)]);
+            send(&s, 0, slice * 2 + 1, vec![rec(1, slice, 10 + slice / 10)]);
         }
-        let result = s.finalize(VirtualTime::from_millis(100));
+        let result = s.session().close(VirtualTime::from_millis(100));
         assert_eq!(result.sensor_summary.len(), 2);
         assert_eq!(result.sensor_summary[0].sensor, SensorId(1), "worst first");
         assert!(result.sensor_summary[0].mean_perf < result.sensor_summary[1].mean_perf);
@@ -567,10 +515,113 @@ mod tests {
             ],
             RuntimeConfig::free_probes(),
         );
-        s.submit(0, vec![rec(0, 0, 10), rec(1, 0, 50)]);
-        let result = s.finalize(VirtualTime::from_millis(10));
-        assert!(result.matrix(SensorKind::Computation).cell(0, 0).is_some());
-        assert!(result.matrix(SensorKind::Network).cell(0, 0).is_some());
-        assert!(result.matrix(SensorKind::Io).cell(0, 0).is_none());
+        send(&s, 0, 0, vec![rec(0, 0, 10), rec(1, 0, 50)]);
+        let result = s.session().close(VirtualTime::from_millis(10));
+        assert!(result
+            .matrix(SensorKind::Computation)
+            .unwrap()
+            .cell(0, 0)
+            .is_some());
+        assert!(result
+            .matrix(SensorKind::Network)
+            .unwrap()
+            .cell(0, 0)
+            .is_some());
+        assert!(result.matrix(SensorKind::Io).unwrap().cell(0, 0).is_none());
+    }
+
+    #[test]
+    fn closed_session_rejects_further_ingest() {
+        let s = default_server(1);
+        send(&s, 0, 0, vec![rec(0, 0, 10)]);
+        let result = s.session().close(VirtualTime::from_millis(1));
+        assert_eq!(result.records, 1);
+        let t = VirtualTime::from_millis(2);
+        let err = s
+            .session()
+            .ingest(TelemetryBatch::new(0, 1, t, vec![rec(0, 1, 10)]), t)
+            .unwrap_err();
+        assert_eq!(err, IngestError::Closed);
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn receipts_describe_the_ingest() {
+        let s = AnalysisServer::new(
+            3,
+            vec![sensor_info(0, SensorKind::Computation, true)],
+            RuntimeConfig {
+                shards: 2,
+                ..RuntimeConfig::free_probes()
+            },
+        );
+        let t = VirtualTime::from_millis(1);
+        let batch = TelemetryBatch::new(2, 0, t, vec![rec(0, 0, 10), rec(0, 1, 10)]);
+        let receipt = s.session().ingest(batch.clone(), t).unwrap();
+        assert_eq!(receipt.rank, 2);
+        assert_eq!(receipt.shard, 0, "rank 2 % 2 shards");
+        assert_eq!(receipt.records, 2);
+        assert!(!receipt.duplicate);
+        assert!(receipt.bytes > 2 * SliceRecord::WIRE_BYTES);
+        // Same (rank, seq) again: acknowledged as a duplicate, nothing
+        // double-counted.
+        let dup = s.session().ingest(batch, t).unwrap();
+        assert!(dup.duplicate);
+        assert_eq!(dup.records, 0);
+        assert_eq!(s.stats().records, 2);
+    }
+
+    #[test]
+    fn malformed_and_corrupt_ingest_are_typed_errors() {
+        let s = default_server(2);
+        let t = VirtualTime::from_millis(1);
+        let oob = TelemetryBatch::new(7, 0, t, vec![rec(0, 0, 10)]);
+        match s.session().ingest(oob, t).unwrap_err() {
+            IngestError::Malformed { rank, ranks } => {
+                assert_eq!((rank, ranks), (7, 2));
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let damaged = TelemetryBatch::new(0, 0, t, vec![rec(0, 0, 10)]).corrupted_copy();
+        let err = s.session().ingest(damaged, t).unwrap_err();
+        assert!(matches!(err, IngestError::Corrupt { rank: 0, seq: 0 }));
+        assert!(err.is_retryable());
+        assert_eq!(s.stats().malformed, 1);
+    }
+
+    #[test]
+    fn invalid_config_fails_at_construction() {
+        let bad = RuntimeConfig {
+            shards: 0,
+            ..RuntimeConfig::free_probes()
+        };
+        let err = AnalysisServer::try_new(1, Vec::new(), bad).err().unwrap();
+        assert!(matches!(err, RuntimeError::InvalidConfig { field, .. } if field == "shards"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_engine() {
+        // The legacy surface must keep working for out-of-tree callers and
+        // agree with the session API by construction.
+        let s = default_server(2);
+        s.submit(0, vec![rec(0, 0, 10), rec(0, 1, 10)]);
+        s.submit(1, vec![rec(0, 0, 20)]);
+        s.submit(1, vec![]); // empty batches are free
+        assert_eq!(s.batches(), 2);
+        assert_eq!(s.record_count(), 3);
+        assert_eq!(s.bytes_received(), s.stats().bytes_received);
+        assert_eq!(s.malformed_records(), 0);
+        let t = VirtualTime::from_millis(1);
+        let r = s.ingest(TelemetryBatch::new(0, 0, t, vec![rec(0, 2, 10)]), t);
+        assert_eq!(r, IngestResult::Accepted);
+        let r = s.ingest(TelemetryBatch::new(0, 0, t, vec![rec(0, 2, 10)]), t);
+        assert_eq!(r, IngestResult::Duplicate);
+        let r = s.ingest(TelemetryBatch::new(9, 1, t, Vec::new()), t);
+        assert_eq!(r, IngestResult::Malformed);
+        let legacy = s.finalize(VirtualTime::from_millis(10));
+        let snap = s.snapshot(VirtualTime::from_millis(10));
+        assert_eq!(legacy.records, snap.records);
+        assert_eq!(legacy.events, snap.events);
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::config::RuntimeConfig;
 use crate::record::SliceRecord;
-use crate::server::{AnalysisServer, IngestResult};
+use crate::server::AnalysisServer;
 use cluster_sim::fault::{FaultPlan, SendFate};
 use cluster_sim::time::{Duration, VirtualTime};
 use std::collections::VecDeque;
@@ -129,13 +129,14 @@ impl DirectChannel {
 
 impl BatchChannel for DirectChannel {
     fn send(&self, batch: &TelemetryBatch, now: VirtualTime, _attempt: u32) -> SendOutcome {
-        match self.server.ingest(batch.clone(), now) {
-            // Malformed is acked too: the server rejected the batch for
-            // good, so retrying is pointless.
-            IngestResult::Accepted | IngestResult::Duplicate | IngestResult::Malformed => {
-                SendOutcome::Acked
-            }
-            IngestResult::Corrupt => SendOutcome::NoAck,
+        match self.server.session().ingest(batch.clone(), now) {
+            // Accepted and duplicate deliveries both deserve an ack.
+            Ok(_) => SendOutcome::Acked,
+            // Only corruption is retryable; malformed or closed means the
+            // server rejected the batch for good, so retrying is pointless
+            // and the sender should stop.
+            Err(e) if e.is_retryable() => SendOutcome::NoAck,
+            Err(_) => SendOutcome::Acked,
         }
     }
 }
@@ -169,16 +170,18 @@ impl BatchChannel for FaultyChannel {
                 if corrupt {
                     // The damaged payload reaches the server, fails its CRC
                     // check, and produces no ack.
-                    let _ = self.server.ingest(batch.corrupted_copy(), arrival);
+                    let _ = self
+                        .server
+                        .session()
+                        .ingest(batch.corrupted_copy(), arrival);
                     return SendOutcome::NoAck;
                 }
                 let mut outcome = SendOutcome::NoAck;
                 for _ in 0..copies.max(1) {
-                    outcome = match self.server.ingest(batch.clone(), arrival) {
-                        IngestResult::Accepted
-                        | IngestResult::Duplicate
-                        | IngestResult::Malformed => SendOutcome::Acked,
-                        IngestResult::Corrupt => SendOutcome::NoAck,
+                    outcome = match self.server.session().ingest(batch.clone(), arrival) {
+                        Ok(_) => SendOutcome::Acked,
+                        Err(e) if e.is_retryable() => SendOutcome::NoAck,
+                        Err(_) => SendOutcome::Acked,
                     };
                 }
                 outcome
@@ -503,7 +506,7 @@ mod tests {
         assert_eq!(cost, TransportConfig::default().send_overhead);
         assert_eq!(t.stats().acked, 1);
         assert_eq!(t.in_flight(), 0);
-        assert_eq!(s.record_count(), 2);
+        assert_eq!(s.stats().records, 2);
     }
 
     #[test]
@@ -515,7 +518,7 @@ mod tests {
             TransportConfig::default(),
         );
         assert_eq!(t.enqueue(Vec::new(), VirtualTime::ZERO), Duration::ZERO);
-        assert_eq!(s.batches(), 0);
+        assert_eq!(s.stats().batches, 0);
     }
 
     #[test]
@@ -563,7 +566,7 @@ mod tests {
         assert_eq!(st.acked, 0);
         assert_eq!(st.dropped_exhausted, 1);
         assert_eq!(st.records_dropped, 2);
-        assert_eq!(s.record_count(), 0);
+        assert_eq!(s.stats().records, 0);
         assert_eq!(t.in_flight(), 0, "finish leaves nothing behind");
     }
 
@@ -609,7 +612,7 @@ mod tests {
         assert_eq!(st.acked, 0);
         assert_eq!(st.batches_enqueued, 21);
         assert_eq!(st.acked + st.total_dropped(), 21, "{st:?}");
-        assert_eq!(s.record_count(), 0);
+        assert_eq!(s.stats().records, 0);
         assert_eq!(t.in_flight(), 0);
     }
 
@@ -630,8 +633,8 @@ mod tests {
         }
         assert_eq!(t.stats().acked, 10);
         // Every batch arrived twice; the server kept one copy of each.
-        assert_eq!(s.record_count(), 10);
-        let result = s.finalize(VirtualTime::from_secs(1));
+        assert_eq!(s.stats().records, 10);
+        let result = s.interim(VirtualTime::from_secs(1));
         assert_eq!(result.delivery[0].duplicates, 10);
         assert_eq!(result.delivery[0].accepted, 10);
         assert_eq!(result.delivery[0].gaps, 0);
@@ -659,7 +662,7 @@ mod tests {
             t.enqueue(vec![rec(0, i)], now);
         }
         t.finish(Vec::new(), now);
-        let result = s.finalize(now + Duration::from_secs(1));
+        let result = s.interim(now + Duration::from_secs(1));
         assert!(result.delivery[0].corrupt > 0, "CRC rejections recorded");
         let st = t.stats();
         assert_eq!(st.acked + st.total_dropped(), 40, "{st:?}");

@@ -6,7 +6,7 @@ use cluster_sim::time::{Duration, VirtualTime};
 use vsensor_lang::SensorId;
 use vsensor_runtime::dynrules::{Bucket, SenseMetrics};
 use vsensor_runtime::record::{SensorInfo, SensorKind, SliceRecord};
-use vsensor_runtime::{AnalysisServer, RuntimeConfig, SensorRuntime};
+use vsensor_runtime::{AnalysisServer, RuntimeConfig, SensorRuntime, TelemetryBatch};
 
 fn info(id: u32) -> SensorInfo {
     SensorInfo {
@@ -15,6 +15,14 @@ fn info(id: u32) -> SensorInfo {
         process_invariant: true,
         location: format!("t:{id}"),
     }
+}
+
+/// Push one batch through the session API.
+fn send(s: &AnalysisServer, rank: usize, seq: u64, records: Vec<SliceRecord>) {
+    let t = VirtualTime::from_micros(seq);
+    s.session()
+        .ingest(TelemetryBatch::new(rank, seq, t, records), t)
+        .expect("well-formed batch is accepted");
 }
 
 #[test]
@@ -57,7 +65,7 @@ fn thousands_of_sensors_work() {
 #[test]
 fn server_with_no_sensors_finalizes_empty() {
     let s = AnalysisServer::new(4, Vec::new(), RuntimeConfig::default());
-    let r = s.finalize(VirtualTime::from_secs(1));
+    let r = s.session().close(VirtualTime::from_secs(1));
     assert!(r.events.is_empty());
     assert!(r.sensor_summary.is_empty());
     assert_eq!(r.records, 0);
@@ -66,7 +74,9 @@ fn server_with_no_sensors_finalizes_empty() {
 #[test]
 fn server_tolerates_far_future_slices() {
     let s = AnalysisServer::new(1, vec![info(0)], RuntimeConfig::default());
-    s.submit(
+    send(
+        &s,
+        0,
         0,
         vec![SliceRecord {
             sensor: SensorId(0),
@@ -76,8 +86,8 @@ fn server_tolerates_far_future_slices() {
             bucket: Bucket(0),
         }],
     );
-    // Finalizing with a small horizon simply drops out-of-range bins.
-    let r = s.finalize(VirtualTime::from_secs(1));
+    // Closing with a small horizon simply drops out-of-range bins.
+    let r = s.session().close(VirtualTime::from_secs(1));
     assert_eq!(r.records, 1);
     assert!(r.events.is_empty());
 }
@@ -86,8 +96,10 @@ fn server_tolerates_far_future_slices() {
 fn server_handles_many_buckets() {
     let s = AnalysisServer::new(1, vec![info(0)], RuntimeConfig::default());
     for b in 0..500u32 {
-        s.submit(
+        send(
+            &s,
             0,
+            b as u64,
             vec![SliceRecord {
                 sensor: SensorId(0),
                 slice: b as u64,
@@ -97,7 +109,7 @@ fn server_handles_many_buckets() {
             }],
         );
     }
-    let r = s.finalize(VirtualTime::from_secs(1));
+    let r = s.session().close(VirtualTime::from_secs(1));
     assert_eq!(r.records, 500);
 }
 
@@ -135,7 +147,8 @@ fn interleaved_ticks_of_different_sensors_are_independent() {
 
 #[test]
 fn duplicate_submissions_only_tighten_standards() {
-    // Replaying the same batch twice must not create variance where none
+    // Replaying the same data twice (under fresh sequence numbers, so it
+    // passes the duplicate filter) must not create variance where none
     // exists (idempotent standards, doubled counts).
     let s = AnalysisServer::new(1, vec![info(0)], RuntimeConfig::default());
     let batch: Vec<SliceRecord> = (0..50)
@@ -147,9 +160,32 @@ fn duplicate_submissions_only_tighten_standards() {
             bucket: Bucket(0),
         })
         .collect();
-    s.submit(0, batch.clone());
-    s.submit(0, batch);
-    let r = s.finalize(VirtualTime::from_millis(60));
+    send(&s, 0, 0, batch.clone());
+    send(&s, 0, 1, batch);
+    let r = s.session().close(VirtualTime::from_millis(60));
     assert!(r.events.is_empty());
     assert_eq!(r.records, 100);
+}
+
+#[test]
+fn replayed_sequence_numbers_are_dropped_as_duplicates() {
+    // The same (rank, seq) arriving twice — a transport retry — must be
+    // acknowledged but counted only once.
+    let s = AnalysisServer::new(1, vec![info(0)], RuntimeConfig::default());
+    let records = vec![SliceRecord {
+        sensor: SensorId(0),
+        slice: 0,
+        avg: Duration::from_micros(10),
+        count: 4,
+        bucket: Bucket(0),
+    }];
+    let t = VirtualTime::ZERO;
+    let batch = TelemetryBatch::new(0, 0, t, records);
+    let first = s.session().ingest(batch.clone(), t).unwrap();
+    let second = s.session().ingest(batch, t).unwrap();
+    assert!(!first.duplicate);
+    assert!(second.duplicate);
+    assert_eq!(second.records, 0);
+    let r = s.session().close(VirtualTime::from_millis(60));
+    assert_eq!(r.records, 1);
 }

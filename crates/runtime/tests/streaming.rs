@@ -1,0 +1,180 @@
+//! Integration tests for the streaming engine's public surface: session
+//! receipts, typed ingest errors, mid-stream alerts, shard load
+//! accounting, and builder-config validation — everything a telemetry
+//! producer sees, exercised through the crate root exports only.
+
+use cluster_sim::time::{Duration, VirtualTime};
+use vsensor_lang::SensorId;
+use vsensor_runtime::dynrules::Bucket;
+use vsensor_runtime::record::SliceRecord;
+use vsensor_runtime::{
+    AnalysisServer, IngestError, RuntimeConfig, SensorInfo, SensorKind, TelemetryBatch,
+};
+
+fn sensors(n: u32) -> Vec<SensorInfo> {
+    (0..n)
+        .map(|i| SensorInfo {
+            sensor: SensorId(i),
+            kind: SensorKind::Computation,
+            process_invariant: true,
+            location: format!("s:{i}"),
+        })
+        .collect()
+}
+
+fn rec(slice: u64, avg_us: u64) -> SliceRecord {
+    SliceRecord {
+        sensor: SensorId(0),
+        slice,
+        avg: Duration::from_micros(avg_us),
+        count: 4,
+        bucket: Bucket(0),
+    }
+}
+
+#[test]
+fn receipts_route_ranks_across_shards() {
+    let config = RuntimeConfig::default().with_shards(3).unwrap();
+    let s = AnalysisServer::new(8, sensors(1), config);
+    let session = s.session();
+    for rank in 0..8usize {
+        let t = VirtualTime::from_micros(rank as u64);
+        let r = session
+            .ingest(TelemetryBatch::new(rank, 0, t, vec![rec(0, 10)]), t)
+            .unwrap();
+        assert_eq!(r.shard, rank % 3, "rank {rank}");
+        assert_eq!(r.records, 1);
+        assert!(r.bytes > 0);
+        assert!(!r.duplicate);
+    }
+    let load = s.load();
+    assert_eq!(load.shards.len(), 3);
+    assert!(load.shards.iter().all(|sh| sh.batches > 0));
+    assert!(load.total_busy() > Duration::from_nanos(0));
+}
+
+#[test]
+fn typed_errors_name_the_failure() {
+    let s = AnalysisServer::new(2, sensors(1), RuntimeConfig::default());
+    let t = VirtualTime::ZERO;
+
+    let oob = s
+        .session()
+        .ingest(TelemetryBatch::new(9, 0, t, vec![rec(0, 10)]), t)
+        .unwrap_err();
+    assert!(matches!(oob, IngestError::Malformed { rank: 9, ranks: 2 }));
+    assert!(
+        !oob.is_retryable(),
+        "resending an impossible rank is futile"
+    );
+
+    let corrupt = s
+        .session()
+        .ingest(
+            TelemetryBatch::new(0, 0, t, vec![rec(0, 10)]).corrupted_copy(),
+            t,
+        )
+        .unwrap_err();
+    assert!(matches!(corrupt, IngestError::Corrupt { rank: 0, seq: 0 }));
+    assert!(corrupt.is_retryable(), "a clean retry can still succeed");
+
+    let result = s.session().close(VirtualTime::from_secs(1));
+    assert_eq!(result.records, 0);
+    let closed = s
+        .session()
+        .ingest(TelemetryBatch::new(0, 1, t, vec![rec(0, 10)]), t)
+        .unwrap_err();
+    assert!(matches!(closed, IngestError::Closed));
+    assert!(!closed.is_retryable());
+}
+
+#[test]
+fn slow_rank_raises_an_alert_before_close() {
+    // Rank 3 runs 3× slower than the other ranks from the start; with a
+    // tight detection cadence the stream must flag it while batches are
+    // still arriving.
+    let config = RuntimeConfig::default()
+        .with_detect_interval(Duration::from_millis(50))
+        .unwrap();
+    let threshold = config.variance_threshold;
+    let s = AnalysisServer::new(4, sensors(1), config);
+    let session = s.session();
+    let mut live = Vec::new();
+    for seq in 0..1200u64 {
+        for rank in 0..4usize {
+            let avg = if rank == 3 { 30 } else { 10 };
+            let t = VirtualTime::from_micros(seq * 1000);
+            session
+                .ingest(TelemetryBatch::new(rank, seq, t, vec![rec(seq, avg)]), t)
+                .unwrap();
+        }
+        live.extend(session.poll_events());
+    }
+    assert!(
+        !live.is_empty(),
+        "the detection stream must fire mid-run, not only at close"
+    );
+    let end = VirtualTime::from_micros(1200 * 1000);
+    let alert = &live[0];
+    assert!(alert.at < end, "alert at {} must precede {end}", alert.at);
+    assert_eq!(alert.event.kind, SensorKind::Computation);
+    assert!(alert.event.first_rank <= 3 && alert.event.last_rank >= 3);
+    assert!(alert.event.mean_perf <= threshold);
+
+    // Close agrees: the end-of-run result reports the same slow rank.
+    let result = session.close(end);
+    assert!(result
+        .events
+        .iter()
+        .any(|e| e.first_rank <= 3 && e.last_rank >= 3));
+    assert!(s.load().detect_passes >= 1);
+}
+
+#[test]
+fn builder_validation_rejects_bad_knobs() {
+    assert!(RuntimeConfig::default().with_shards(0).is_err());
+    assert!(RuntimeConfig::default()
+        .with_variance_threshold(0.0)
+        .is_err());
+    assert!(RuntimeConfig::default()
+        .with_variance_threshold(1.5)
+        .is_err());
+    assert!(RuntimeConfig::default()
+        .with_detect_interval(Duration::from_nanos(0))
+        .is_err());
+    assert!(RuntimeConfig::default()
+        .with_slice(Duration::from_nanos(0))
+        .is_err());
+    assert!(RuntimeConfig::default().with_buffer_capacity(0).is_err());
+
+    // A config hand-built around the setters is caught at the door.
+    let config = RuntimeConfig {
+        shards: 0,
+        ..Default::default()
+    };
+    assert!(AnalysisServer::try_new(2, sensors(1), config).is_err());
+}
+
+#[test]
+fn interim_close_and_replay_agree_on_a_healthy_stream() {
+    let config = RuntimeConfig::default().with_record_log(true);
+    let s = AnalysisServer::new(2, sensors(1), config);
+    let session = s.session();
+    for seq in 0..200u64 {
+        for rank in 0..2usize {
+            let t = VirtualTime::from_micros(seq * 1000);
+            session
+                .ingest(TelemetryBatch::new(rank, seq, t, vec![rec(seq, 10)]), t)
+                .unwrap();
+        }
+    }
+    let end = VirtualTime::from_micros(200 * 1000);
+    let interim = s.interim(end);
+    let replay = s.replay_result(end).expect("record log enabled");
+    let closed = s.session().close(end);
+    assert!(closed.events.is_empty());
+    assert_eq!(interim.events, closed.events);
+    assert_eq!(replay.events, closed.events);
+    assert_eq!(interim.records, closed.records);
+    assert_eq!(replay.records, closed.records);
+}

@@ -41,7 +41,9 @@ fn main() {
     println!(
         "{}",
         render_ansi(
-            bad.server.matrix(SensorKind::Computation),
+            bad.server
+                .matrix(SensorKind::Computation)
+                .expect("component matrix"),
             "computation matrix with the bad node (white line = slow ranks)",
             &HeatmapOptions {
                 white_at: 0.7,

@@ -6,10 +6,13 @@
 //!
 //! §2 of the paper: "the performance report is updated periodically, thus
 //! users can notice performance variance without waiting for a program to
-//! finish." The analysis server is shared and lock-protected, so a monitor
-//! thread can take snapshots while the ranks are still running — this
-//! example launches the run on a worker thread and polls the server,
-//! printing the first moment each variance event becomes visible.
+//! finish." The streaming engine runs detection passes *while* telemetry
+//! arrives, so a monitor thread can drain live [`VarianceAlert`]s and take
+//! interim results while the ranks are still running — this example
+//! launches the run on a worker thread and polls the server, printing each
+//! alert the moment the detection stream emits it.
+//!
+//! [`VarianceAlert`]: vsensor_repro::runtime::VarianceAlert
 
 use std::sync::Arc;
 use std::time::Duration as StdDuration;
@@ -61,19 +64,16 @@ fn main() {
         })
     });
 
-    // Poll the server while the run progresses.
-    let mut seen_events = 0usize;
+    // Poll the server while the run progresses: live alerts come from the
+    // detection stream; interim results show the matrices refining.
     loop {
         std::thread::sleep(StdDuration::from_millis(50));
-        let snap = monitor_server.snapshot(VirtualTime::from_secs(3600));
-        if snap.events.len() > seen_events {
-            for e in &snap.events[seen_events..] {
-                println!(
-                    "[live] variance surfaced after {} records received: {e}",
-                    snap.records
-                );
-            }
-            seen_events = snap.events.len();
+        for alert in monitor_server.poll_events() {
+            let interim = monitor_server.interim(VirtualTime::from_secs(3600));
+            println!(
+                "[live] alert after {} records received: {alert}",
+                interim.records
+            );
         }
         if worker.is_finished() {
             break;
@@ -81,7 +81,8 @@ fn main() {
     }
     let ends = worker.join().expect("run completes");
     let run_end = ends.into_iter().max().unwrap();
-    let fin = monitor_server.finalize(run_end);
+    // Closing the session yields the authoritative end-of-run result.
+    let fin = monitor_server.session().close(run_end);
     println!(
         "\nrun finished at {run_end}; final report: {} event(s), {:.2} MB received",
         fin.events.len(),

@@ -47,7 +47,10 @@ fn main() {
     println!(
         "{}",
         render_ansi(
-            degraded.server.matrix(SensorKind::Network),
+            degraded
+                .server
+                .matrix(SensorKind::Network)
+                .expect("component matrix"),
             "network matrix under interconnect degradation",
             &HeatmapOptions::default(),
         )

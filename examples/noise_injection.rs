@@ -59,7 +59,10 @@ fn main() {
     println!(
         "{}",
         render_ansi(
-            injected.server.matrix(SensorKind::Computation),
+            injected
+                .server
+                .matrix(SensorKind::Computation)
+                .expect("component matrix"),
             "vSensor computation matrix — the injected blocks are visible directly",
             &HeatmapOptions::default(),
         )

@@ -1,0 +1,202 @@
+//! Streaming ⇄ batch equivalence: the sharded incremental engine must
+//! reach the same conclusions as a classical replay over the raw record
+//! stream, on the paper's two case studies (the Figure 21 bad node and
+//! the Figure 22 network degradation) at smoke scale.
+//!
+//! Runs keep the engine's optional record log (`with_record_log(true)`)
+//! so [`AnalysisServer::replay_result`] can act as the oracle: it refolds
+//! every raw record the way the pre-streaming server did. Events must
+//! match exactly; matrix cells may differ only by float-summation
+//! reassociation (≤ 1e-9 relative).
+
+use std::sync::Arc;
+use vsensor_repro::apps::{cg, ft, Params};
+use vsensor_repro::cluster_sim::{Duration, NetworkConfig, VirtualTime};
+use vsensor_repro::interp::{InstrumentedRun, RunConfig};
+use vsensor_repro::runtime::record::SensorKind;
+use vsensor_repro::{scenarios, Pipeline};
+
+/// Streaming result vs. record-log replay: events exact, cells ≤ 1e-9.
+fn assert_matches_replay(run: &InstrumentedRun) {
+    let run_end = VirtualTime::ZERO + run.run_time;
+    let oracle = run
+        .analysis
+        .replay_result(run_end)
+        .expect("run was configured with the record log");
+    assert_eq!(
+        run.server.events.len(),
+        oracle.events.len(),
+        "streaming events must equal the replay oracle's: {:?} vs {:?}",
+        run.server.events,
+        oracle.events
+    );
+    for (a, b) in run.server.events.iter().zip(&oracle.events) {
+        // Regions must be identical; the region's mean may drift by float
+        // reassociation, like the cells it averages.
+        assert_eq!(
+            (
+                a.kind,
+                a.first_rank,
+                a.last_rank,
+                a.start_bin,
+                a.end_bin,
+                a.cells
+            ),
+            (
+                b.kind,
+                b.first_rank,
+                b.last_rank,
+                b.start_bin,
+                b.end_bin,
+                b.cells
+            ),
+            "{a:?} vs {b:?}"
+        );
+        assert!((a.mean_perf - b.mean_perf).abs() <= 1e-9, "{a:?} vs {b:?}");
+    }
+    assert_eq!(run.server.records, oracle.records);
+    for kind in SensorKind::ALL {
+        let streamed = run.server.matrix(kind).unwrap();
+        let replayed = oracle.matrix(kind).unwrap();
+        assert_eq!(streamed.ranks(), replayed.ranks());
+        assert_eq!(streamed.bins(), replayed.bins());
+        for rank in 0..streamed.ranks() {
+            for bin in 0..streamed.bins() {
+                match (streamed.cell(rank, bin), replayed.cell(rank, bin)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        let scale = a.abs().max(b.abs()).max(1e-12);
+                        assert!(
+                            (a - b).abs() / scale <= 1e-9,
+                            "{kind:?} cell ({rank}, {bin}): streamed {a} vs replayed {b}"
+                        );
+                    }
+                    (a, b) => panic!("{kind:?} cell ({rank}, {bin}): {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+fn bad_node_run(shards: usize) -> InstrumentedRun {
+    let prepared = Pipeline::new().prepare(cg::generate(Params::test().with_iters(300)).compile());
+    let cluster = Arc::new(
+        scenarios::bad_node(16, 2, 0.55)
+            .with_ranks_per_node(4)
+            .build(),
+    );
+    let mut config = RunConfig::default();
+    config.runtime = config
+        .runtime
+        .with_variance_threshold(0.7)
+        .unwrap()
+        .with_shards(shards)
+        .unwrap()
+        .with_record_log(true);
+    prepared.run(cluster, &config)
+}
+
+#[test]
+fn fig21_bad_node_streaming_equals_replay() {
+    assert_matches_replay(&bad_node_run(4));
+}
+
+#[test]
+fn fig22_network_degradation_streaming_equals_replay() {
+    let prepared = Pipeline::new().prepare(ft::generate(Params::test().with_iters(250)).compile());
+    // Size the degradation window from a quiet baseline, like the fig22
+    // harness does.
+    let baseline = prepared.run(
+        Arc::new(scenarios::healthy(8).build()),
+        &RunConfig::default(),
+    );
+    let t = baseline.run_time;
+    let network = NetworkConfig::default().with_degradation(
+        VirtualTime::ZERO + t.mul_f64(0.5),
+        VirtualTime::ZERO + t.mul_f64(3.0),
+        8.0,
+    );
+    let mut config = RunConfig::default();
+    config.runtime = config.runtime.with_record_log(true);
+    let run = prepared.run(
+        Arc::new(scenarios::healthy(8).with_network(network).build()),
+        &config,
+    );
+    assert_matches_replay(&run);
+}
+
+#[test]
+fn shard_count_does_not_change_the_verdict() {
+    // The virtual-time simulation is deterministic, so two runs of the
+    // same prepared program differ only in the engine's shard layout; the
+    // folded matrices must be bit-identical regardless.
+    let one = bad_node_run(1);
+    let four = bad_node_run(4);
+    assert_eq!(one.server.events, four.server.events);
+    for kind in SensorKind::ALL {
+        let a = one.server.matrix(kind).unwrap();
+        let b = four.server.matrix(kind).unwrap();
+        assert_eq!(a.ranks(), b.ranks());
+        assert_eq!(a.bins(), b.bins());
+        for rank in 0..a.ranks() {
+            for bin in 0..a.bins() {
+                let x = a.cell(rank, bin).map(f64::to_bits);
+                let y = b.cell(rank, bin).map(f64::to_bits);
+                assert_eq!(x, y, "{kind:?} cell ({rank}, {bin}) differs across shards");
+            }
+        }
+    }
+}
+
+#[test]
+fn bad_node_raises_a_live_alert_before_the_run_ends() {
+    let prepared = Pipeline::new().prepare(cg::generate(Params::test().with_iters(600)).compile());
+    let (cluster, runtime) = scenarios::live_bad_node(16, 2, 0.55);
+    // The scenario's cadences target paper-scale (multi-second) runs; a
+    // smoke run lasts tens of virtual milliseconds, so scale the batch /
+    // detection / matrix cadences down with it.
+    let config = RunConfig {
+        runtime: runtime
+            .with_batch_interval(Duration::from_millis(2))
+            .unwrap()
+            .with_matrix_resolution(Duration::from_millis(5))
+            .unwrap()
+            .with_detect_interval(Duration::from_millis(5))
+            .unwrap(),
+        ..Default::default()
+    };
+    let run = prepared.run(Arc::new(cluster.with_ranks_per_node(4).build()), &config);
+
+    // End-of-run detection still fires…
+    assert!(
+        run.report.has_variance(SensorKind::Computation),
+        "bad node must be detected: {:?}",
+        run.report.events
+    );
+    // …but the detection stream flagged it while the run was in flight.
+    let first = run
+        .report
+        .first_alert_at()
+        .expect("the detection stream emitted at least one live alert");
+    assert!(
+        first < VirtualTime::ZERO + run.run_time,
+        "live alert at {first} must precede run end ({})",
+        run.run_time
+    );
+    let bad = run
+        .alerts
+        .iter()
+        .find(|a| a.event.kind == SensorKind::Computation)
+        .expect("a computation alert names the bad node");
+    assert!(
+        bad.event.first_rank <= 11 && bad.event.last_rank >= 8,
+        "alert must cover the bad node's ranks 8..=11: {:?}",
+        bad.event
+    );
+    // Alert timestamps carry the server's virtual clock; every alert sits
+    // inside the run.
+    assert!(run
+        .alerts
+        .iter()
+        .all(|a| a.at <= VirtualTime::ZERO + run.run_time));
+}
