@@ -35,7 +35,7 @@ use crate::externs::ExternModels;
 use crate::snippets::{SnippetId, SnippetType};
 use crate::symbols::{Symbol, UseSet};
 use std::collections::{BTreeSet, HashMap, HashSet};
-use vsensor_lang::{Block, CallSite, Expr, Function, LValue, LoopId, Program, Stmt};
+use vsensor_lang::{Block, CallSite, Expr, Function, LValue, LoopId, Name, Program, Stmt};
 
 /// Boundary summary of a function, consumed by its callers.
 #[derive(Clone, Debug, Default)]
@@ -46,7 +46,7 @@ pub struct Summary {
     /// What the function's return value depends on, in boundary terms.
     pub returns: UseSet,
     /// Globals written by the function or its callees.
-    pub globals_written: BTreeSet<String>,
+    pub globals_written: BTreeSet<Name>,
     /// Function (transitively) performs network operations.
     pub contains_net: bool,
     /// Function (transitively) performs I/O operations.
@@ -58,7 +58,7 @@ pub struct Summary {
 impl Summary {
     /// Conservative summary for recursive / unknown functions: workload and
     /// return depend on everything and cannot be trusted.
-    pub fn opaque(param_count: usize, all_globals: &[String]) -> Self {
+    pub fn opaque(param_count: usize, all_globals: &[Name]) -> Self {
         let mut workload = UseSet::new();
         let mut returns = UseSet::new();
         for i in 0..param_count {
@@ -82,16 +82,16 @@ impl Summary {
 #[derive(Clone, Debug, Default)]
 pub struct FuncAnalysis {
     /// One-step influence map.
-    pub flows: HashMap<String, UseSet>,
+    pub flows: HashMap<Name, UseSet>,
     /// Locally-bound names: params, declarations, induction variables.
-    pub locals: HashSet<String>,
+    pub locals: HashSet<Name>,
     /// `name → loops that bind it as induction variable`.
-    pub induction_of: HashMap<String, Vec<LoopId>>,
+    pub induction_of: HashMap<Name, Vec<LoopId>>,
     /// Names with at least one plain (non-induction) definition.
-    pub plain_defs: HashSet<String>,
+    pub plain_defs: HashSet<Name>,
     /// Per-loop: names assigned anywhere within (incl. its own induction
     /// variable and globals written by callees).
-    pub loop_assigned: HashMap<LoopId, BTreeSet<String>>,
+    pub loop_assigned: HashMap<LoopId, BTreeSet<Name>>,
     /// Per-loop: its enclosing loops within this function, innermost first.
     pub loop_ancestors: HashMap<LoopId, Vec<LoopId>>,
     /// Per-snippet: direct control-dependency seed (pre-closure).
@@ -103,7 +103,7 @@ pub struct FuncAnalysis {
     /// Return-value seed.
     pub return_seed: UseSet,
     /// Global names directly written.
-    pub direct_global_writes: BTreeSet<String>,
+    pub direct_global_writes: BTreeSet<Name>,
     /// Direct extern types seen.
     pub direct_net: bool,
     /// Direct I/O externs seen.
@@ -112,7 +112,7 @@ pub struct FuncAnalysis {
     /// globally-fixed-argument fixpoint in [`crate::identify`]).
     pub call_args: HashMap<vsensor_lang::CallId, Vec<UseSet>>,
     /// Per call-site: callee name.
-    pub call_callee: HashMap<vsensor_lang::CallId, String>,
+    pub call_callee: HashMap<vsensor_lang::CallId, Name>,
     /// Per call-site: enclosing loops within this function, innermost
     /// first.
     pub call_enclosing: HashMap<vsensor_lang::CallId, Vec<LoopId>>,
@@ -122,9 +122,9 @@ pub struct FuncAnalysis {
 struct Walker<'a> {
     program: &'a Program,
     externs: &'a ExternModels,
-    summaries: &'a HashMap<String, Summary>,
+    summaries: &'a HashMap<Name, Summary>,
     comm_dest_matters: bool,
-    globals: HashSet<String>,
+    globals: HashSet<Name>,
     out: FuncAnalysis,
     /// Stack of open loop IDs (for assigned-set attribution).
     loop_stack: Vec<LoopId>,
@@ -147,7 +147,7 @@ pub fn analyze_function(
     program: &Program,
     func: &Function,
     externs: &ExternModels,
-    summaries: &HashMap<String, Summary>,
+    summaries: &HashMap<Name, Summary>,
     comm_dest_matters: bool,
 ) -> (FuncAnalysis, Summary) {
     let mut w = Walker {
@@ -175,7 +175,7 @@ pub fn analyze_function(
         .enumerate()
         .map(|(i, (n, _))| (n.as_str(), i))
         .collect();
-    let globals: HashSet<String> = program.globals.iter().map(|g| g.name.clone()).collect();
+    let globals: HashSet<Name> = program.globals.iter().map(|g| g.name.clone()).collect();
 
     let boundary = |seed: &UseSet, out: &FuncAnalysis| -> UseSet {
         let closed = closure(seed, out, &param_index, &globals, &ExcludeInduction::All);
@@ -191,7 +191,7 @@ pub fn analyze_function(
     let mut contains_net = out.direct_net;
     let mut contains_io = out.direct_io;
     for callee in out.call_callee.values() {
-        if let Some(s) = summaries.get(callee) {
+        if let Some(s) = summaries.get(callee.as_str()) {
             globals_written.extend(s.globals_written.iter().cloned());
             contains_net |= s.contains_net;
             contains_io |= s.contains_io;
@@ -238,13 +238,13 @@ pub fn closure(
     seed: &UseSet,
     fa: &FuncAnalysis,
     param_index: &HashMap<&str, usize>,
-    globals: &HashSet<String>,
+    globals: &HashSet<Name>,
     exclude: &ExcludeInduction<'_>,
 ) -> UseSet {
     let mut result = UseSet::new();
     result.symbols = seed.symbols.clone();
-    let mut work: Vec<String> = seed.names.iter().cloned().collect();
-    let mut visited: HashSet<String> = HashSet::new();
+    let mut work: Vec<Name> = seed.names.iter().cloned().collect();
+    let mut visited: HashSet<Name> = HashSet::new();
     while let Some(name) = work.pop() {
         if !visited.insert(name.clone()) {
             continue;
@@ -297,24 +297,20 @@ impl Walker<'_> {
 
     /// Record an assignment to `name` with dependency `dep` (control
     /// context added here).
-    fn record_assign(&mut self, name: &str, dep: UseSet) {
+    fn record_assign(&mut self, name: &Name, dep: UseSet) {
         let mut dep = dep;
         dep.absorb(&self.ctx.clone());
-        self.out
-            .flows
-            .entry(name.to_string())
-            .or_default()
-            .absorb(&dep);
-        self.out.plain_defs.insert(name.to_string());
+        self.out.flows.entry(name.clone()).or_default().absorb(&dep);
+        self.out.plain_defs.insert(name.clone());
         for l in &self.loop_stack {
             self.out
                 .loop_assigned
                 .get_mut(l)
                 .expect("open loop has a set")
-                .insert(name.to_string());
+                .insert(name.clone());
         }
         if self.globals.contains(name) && !self.out.locals.contains(name) {
-            self.out.direct_global_writes.insert(name.to_string());
+            self.out.direct_global_writes.insert(name.clone());
         }
     }
 
@@ -484,11 +480,7 @@ impl Walker<'_> {
     /// Workload dependency of a call: substitute the callee's summary over
     /// the argument dependency sets. Returns (deps, is_net, is_io,
     /// globals_written).
-    fn call_workload(
-        &self,
-        c: &CallSite,
-        arg_deps: &[UseSet],
-    ) -> (UseSet, bool, bool, Vec<String>) {
+    fn call_workload(&self, c: &CallSite, arg_deps: &[UseSet]) -> (UseSet, bool, bool, Vec<Name>) {
         let mut out = UseSet::new();
         if let Some(summary) = self.summaries.get(&c.callee) {
             for sym in &summary.workload.symbols {
@@ -548,7 +540,7 @@ impl Walker<'_> {
         }
     }
 
-    fn all_global_names(&self) -> Vec<String> {
+    fn all_global_names(&self) -> Vec<Name> {
         self.program
             .globals
             .iter()
@@ -700,7 +692,7 @@ mod tests {
         // the closure excludes as reinit-safe.
         let seed = &fa.snippet_seeds[&SnippetId::Loop(LoopId(1))];
         let params = HashMap::new();
-        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let globals: HashSet<Name> = p.globals.iter().map(|g| g.name.clone()).collect();
         let within: HashSet<LoopId> = [LoopId(1)].into();
         let closed = closure(
             seed,
@@ -727,7 +719,7 @@ mod tests {
         );
         let seed = &fa.snippet_seeds[&SnippetId::Loop(LoopId(1))];
         let params = HashMap::new();
-        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let globals: HashSet<Name> = p.globals.iter().map(|g| g.name.clone()).collect();
         let within: HashSet<LoopId> = [LoopId(1)].into();
         let closed = closure(
             seed,
@@ -757,7 +749,7 @@ mod tests {
         );
         let seed = &fa.snippet_seeds[&SnippetId::Loop(LoopId(1))];
         let params = HashMap::new();
-        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let globals: HashSet<Name> = p.globals.iter().map(|g| g.name.clone()).collect();
         let within: HashSet<LoopId> = [LoopId(1)].into();
         let closed = closure(
             seed,
@@ -828,7 +820,7 @@ mod tests {
         let seed = &fa.snippet_seeds[&SnippetId::Call(call_id)];
         assert!(seed.names.contains("sz"));
         let params = HashMap::new();
-        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let globals: HashSet<Name> = p.globals.iter().map(|g| g.name.clone()).collect();
         let closed = closure(seed, &fa, &params, &globals, &ExcludeInduction::None);
         assert!(closed.symbols.is_empty(), "sz is a constant: {closed:?}");
     }
@@ -933,7 +925,7 @@ mod tests {
         // outer loop — so x must remain in its closure.
         let seed = &fa.snippet_seeds[&SnippetId::Loop(LoopId(1))];
         let params = HashMap::new();
-        let globals: HashSet<String> = p.globals.iter().map(|g| g.name.clone()).collect();
+        let globals: HashSet<Name> = p.globals.iter().map(|g| g.name.clone()).collect();
         let within: HashSet<LoopId> = [LoopId(1)].into();
         let closed = closure(
             seed,

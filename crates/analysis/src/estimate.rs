@@ -234,6 +234,7 @@ pub fn const_eval(e: &Expr) -> Option<i64> {
 mod tests {
     use super::*;
     use vsensor_lang::compile;
+    use vsensor_lang::Name;
 
     fn estimates_for(src: &str) -> (Program, WorkEstimates) {
         let p = compile(src).unwrap();
@@ -332,7 +333,7 @@ mod tests {
             }
             "#,
         );
-        let calls: Vec<(String, u64)> = {
+        let calls: Vec<(Name, u64)> = {
             let mut v = Vec::new();
             vsensor_lang::visit_calls(&p.function("main").unwrap().body, &mut |c| {
                 v.push((

@@ -9,7 +9,7 @@
 use crate::identify::Identified;
 use crate::snippets::SnippetId;
 use crate::symbols::Symbol;
-use vsensor_lang::Program;
+use vsensor_lang::{Name, Program};
 
 /// Why a snippet did or did not become an (instrumentable) v-sensor.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,10 +24,10 @@ pub enum Reason {
         /// The loop (by ID) the workload varies across.
         loop_id: u32,
         /// Variables responsible.
-        culprits: Vec<String>,
+        culprits: Vec<Name>,
     },
     /// Depends on a global that is written somewhere in the program.
-    VolatileGlobal(String),
+    VolatileGlobal(Name),
     /// Depends on a function parameter that is not invariant at every
     /// call site.
     VaryingParameter(usize),
@@ -101,7 +101,7 @@ pub fn explain(program: &Program, identified: &Identified, id: SnippetId) -> Vec
         let breaking = v.snippet.enclosing[v.scope_len];
         let fa = &identified.func_analyses[v.snippet.func];
         let assigned = fa.loop_assigned.get(&breaking).cloned().unwrap_or_default();
-        let culprits: Vec<String> = v
+        let culprits: Vec<Name> = v
             .deps
             .names
             .iter()
@@ -195,7 +195,7 @@ mod tests {
         assert!(
             reasons.iter().any(|r| matches!(
                 r,
-                Reason::VariesInLoop { loop_id: 0, culprits } if culprits.contains(&"n".to_string())
+                Reason::VariesInLoop { loop_id: 0, culprits } if culprits.contains(&Name::new("n"))
             )),
             "{reasons:?}"
         );

@@ -11,6 +11,7 @@
 
 use crate::snippets::SnippetType;
 use std::collections::HashMap;
+use vsensor_lang::Name;
 
 /// How one extern behaves for the analysis.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,7 +101,7 @@ impl ExternBehavior {
 /// The registry of extern behaviour descriptions.
 #[derive(Clone, Debug, Default)]
 pub struct ExternModels {
-    models: HashMap<String, ExternBehavior>,
+    models: HashMap<Name, ExternBehavior>,
 }
 
 impl ExternModels {
@@ -168,7 +169,7 @@ impl ExternModels {
     }
 
     /// Register (or override) a model.
-    pub fn register(&mut self, name: impl Into<String>, behavior: ExternBehavior) {
+    pub fn register(&mut self, name: impl Into<Name>, behavior: ExternBehavior) {
         self.models.insert(name.into(), behavior);
     }
 

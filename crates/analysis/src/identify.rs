@@ -22,7 +22,7 @@ use crate::snippets::{self, Snippet, SnippetId, SnippetType};
 use crate::symbols::UseSet;
 use crate::AnalysisConfig;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use vsensor_lang::{LoopId, Program};
+use vsensor_lang::{LoopId, Name, Program};
 
 /// Verdict for one candidate snippet.
 #[derive(Clone, Debug)]
@@ -63,11 +63,11 @@ pub struct Identified {
     /// Per-function analyses (indexed like `program.functions`).
     pub func_analyses: Vec<FuncAnalysis>,
     /// Per-function summaries.
-    pub summaries: HashMap<String, Summary>,
+    pub summaries: HashMap<Name, Summary>,
     /// The processed call graph.
     pub callgraph: CallGraph,
     /// Globals written anywhere (the conservative §3.3 rule).
-    pub volatile_globals: BTreeSet<String>,
+    pub volatile_globals: BTreeSet<Name>,
     /// Per function: parameters proven iteration-invariant at every call
     /// site, transitively.
     pub fixed_params: Vec<BTreeSet<usize>>,
@@ -85,11 +85,11 @@ impl Identified {
 /// Run identification over a whole program.
 pub fn identify(program: &Program, config: &AnalysisConfig) -> Identified {
     let callgraph = CallGraph::build(program);
-    let all_global_names: Vec<String> = program.globals.iter().map(|g| g.name.clone()).collect();
+    let all_global_names: Vec<Name> = program.globals.iter().map(|g| g.name.clone()).collect();
 
     // 1. Bottom-up per-function analysis. Recursive functions get opaque
     // summaries and empty analyses.
-    let mut summaries: HashMap<String, Summary> = HashMap::new();
+    let mut summaries: HashMap<Name, Summary> = HashMap::new();
     for &fi in &callgraph.recursive {
         let f = &program.functions[fi];
         summaries.insert(
@@ -131,7 +131,7 @@ pub fn identify(program: &Program, config: &AnalysisConfig) -> Identified {
         param_fixpoints(program, &callgraph, &func_analyses, &volatile_globals);
 
     // 4. Judge every snippet.
-    let globals_set: HashSet<String> = all_global_names.iter().cloned().collect();
+    let globals_set: HashSet<Name> = all_global_names.iter().cloned().collect();
     let snippets = snippets::enumerate(program);
     let mut verdicts = Vec::with_capacity(snippets.len());
     for sn in snippets {
@@ -238,7 +238,7 @@ fn param_fixpoints(
     program: &Program,
     callgraph: &CallGraph,
     func_analyses: &[FuncAnalysis],
-    volatile_globals: &BTreeSet<String>,
+    volatile_globals: &BTreeSet<Name>,
 ) -> (Vec<BTreeSet<usize>>, Vec<BTreeSet<usize>>) {
     let n = program.functions.len();
     let fn_index: HashMap<&str, usize> = program
@@ -247,7 +247,7 @@ fn param_fixpoints(
         .enumerate()
         .map(|(i, f)| (f.name.as_str(), i))
         .collect();
-    let globals_set: HashSet<String> = program.globals.iter().map(|g| g.name.clone()).collect();
+    let globals_set: HashSet<Name> = program.globals.iter().map(|g| g.name.clone()).collect();
 
     // Optimistic start: all params fixed, none rank-tainted.
     let mut fixed: Vec<BTreeSet<usize>> = program

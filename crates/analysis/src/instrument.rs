@@ -9,7 +9,7 @@ use crate::identify::Identified;
 use crate::select::Selection;
 use crate::snippets::{SnippetId, SnippetType};
 use std::collections::HashMap;
-use vsensor_lang::{Block, Program, SensorId, Span, Stmt};
+use vsensor_lang::{Block, Name, Program, SensorId, Span, Stmt};
 
 /// Everything the runtime needs to know about one instrumented sensor.
 #[derive(Clone, Debug)]
@@ -21,7 +21,7 @@ pub struct SensorMeta {
     /// Component type (selects the performance matrix it feeds).
     pub ty: SnippetType,
     /// Containing function name.
-    pub func: String,
+    pub func: Name,
     /// Source location of the snippet.
     pub span: Span,
     /// Loop-nesting depth at the snippet.

@@ -6,7 +6,7 @@
 //! depth, and which function it lives in.
 
 use std::fmt;
-use vsensor_lang::{Block, CallId, LoopId, Program, Span, Stmt};
+use vsensor_lang::{Block, CallId, LoopId, Name, Program, Span, Stmt};
 
 /// Identity of a snippet: a loop or a statement-position call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -74,7 +74,7 @@ pub struct Snippet {
     /// Source location.
     pub span: Span,
     /// Callee name for call snippets (empty for loops).
-    pub callee: String,
+    pub callee: Name,
 }
 
 impl Snippet {
@@ -107,7 +107,7 @@ fn walk(block: &Block, func: usize, stack: &mut Vec<LoopId>, out: &mut Vec<Snipp
                     enclosing: stack.iter().rev().copied().collect(),
                     depth: stack.len(),
                     span: *span,
-                    callee: String::new(),
+                    callee: Name::new(""),
                 });
                 stack.push(*id);
                 walk(body, func, stack, out);

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use vsensor_lang::Name;
 
 /// A base influence on a snippet's quantity of work.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -15,7 +16,7 @@ pub enum Symbol {
     /// The `i`-th parameter of the snippet's enclosing function.
     Param(usize),
     /// A global variable.
-    Global(String),
+    Global(Name),
     /// Process identity (MPI rank / hostname) — §3.4.
     Rank,
     /// An un-analyzable influence: unknown extern call, data received from
@@ -41,7 +42,7 @@ impl fmt::Display for Symbol {
 pub struct UseSet {
     /// Influencing local/parameter/global *names* (used for the
     /// assigned-within-loop intersection).
-    pub names: BTreeSet<String>,
+    pub names: BTreeSet<Name>,
     /// Resolved base symbols (used for inter-procedural and global-scope
     /// judgments).
     pub symbols: BTreeSet<Symbol>,
@@ -63,7 +64,7 @@ impl UseSet {
     }
 
     /// Add a single name.
-    pub fn add_name(&mut self, name: impl Into<String>) -> bool {
+    pub fn add_name(&mut self, name: impl Into<Name>) -> bool {
         self.names.insert(name.into())
     }
 
@@ -99,7 +100,7 @@ impl UseSet {
     }
 
     /// Whether any name in `self` is also in `assigned`.
-    pub fn intersects_names(&self, assigned: &BTreeSet<String>) -> bool {
+    pub fn intersects_names(&self, assigned: &BTreeSet<Name>) -> bool {
         if self.names.len() <= assigned.len() {
             self.names.iter().any(|n| assigned.contains(n))
         } else {
@@ -139,9 +140,9 @@ mod tests {
         let mut u = UseSet::new();
         u.add_name("a");
         u.add_name("b");
-        let assigned: BTreeSet<String> = ["b".to_string()].into();
+        let assigned: BTreeSet<Name> = [Name::new("b")].into();
         assert!(u.intersects_names(&assigned));
-        let other: BTreeSet<String> = ["z".to_string()].into();
+        let other: BTreeSet<Name> = [Name::new("z")].into();
         assert!(!u.intersects_names(&other));
     }
 

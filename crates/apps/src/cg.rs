@@ -70,6 +70,67 @@ fn main() {{
     }
 }
 
+/// CG with the kernels written out as real MiniHPC array loops instead of
+/// bulk `compute()`/`mem_access()` calls: the SpMV surrogate, the
+/// dot-product accumulation, and the AXPY update each sweep `scale`-element
+/// float vectors element by element. Same communication skeleton as
+/// [`generate`] (halo exchange, two reductions, barrier per iteration).
+///
+/// This variant exists to measure the *interpreter* itself — nearly all of
+/// its virtual work comes from executing statements, so backend speed shows
+/// up end to end instead of hiding behind bulk-kernel builtins. The update
+/// rules hold `x = 1`, `y = 0.5` as a fixed point, so values stay normal
+/// floats at any iteration count.
+pub fn generate_interpreted(p: Params) -> AppSpec {
+    let iters = p.iters;
+    let n = p.scale;
+    let halo_bytes = 16 * p.scale as u64;
+
+    let source = format!(
+        r#"
+// CG analogue with interpreted kernels: per-element SpMV/dot/AXPY loops.
+fn main() {{
+    int rank = mpi_comm_rank();
+    int size = mpi_comm_size();
+    int next = (rank + 1) % size;
+    int prev = (rank + size - 1) % size;
+    float x[{n}];
+    float y[{n}];
+    float m[{n}];
+    for (ki = 0; ki < {n}; ki = ki + 1) {{
+        x[ki] = 1.0;
+        y[ki] = 0.5;
+        m[ki] = 0.5;
+    }}
+    int rho = 0;
+    for (it = 0; it < {iters}; it = it + 1) {{
+        mpi_sendrecv(next, {halo_bytes}, prev, 11);
+        // SpMV surrogate: y = M x.
+        for (ks = 0; ks < {n}; ks = ks + 1) {{
+            y[ks] = m[ks] * x[ks];
+        }}
+        float partial = 0.0;
+        for (kd = 0; kd < {n}; kd = kd + 1) {{
+            partial = partial + x[kd] * y[kd];
+        }}
+        rho = mpi_allreduce_val(8, 1);
+        // AXPY update: x = x/2 + y keeps the fixed point x = 1.
+        for (ka = 0; ka < {n}; ka = ka + 1) {{
+            x[ka] = 0.5 * x[ka] + y[ka];
+        }}
+        rho = mpi_allreduce_val(8, 1);
+        mpi_barrier();
+    }}
+}}
+"#
+    );
+    AppSpec {
+        name: "CG-interp",
+        source,
+        expect_net_sensors: true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +144,17 @@ mod tests {
         let (comp, net, io) = a.instrumented.type_counts();
         assert!(comp >= 2, "report: {}", a.report);
         assert!(net >= 2, "report: {}", a.report);
+        assert_eq!(io, 0);
+    }
+
+    #[test]
+    fn cg_interpreted_has_comp_and_net_sensors() {
+        let app = generate_interpreted(Params::test());
+        let program = app.compile();
+        let a = analyze(&program, &AnalysisConfig::default());
+        let (comp, net, io) = a.instrumented.type_counts();
+        assert!(comp >= 2, "kernel loops: {}", a.report);
+        assert!(net >= 2, "halo + reductions: {}", a.report);
         assert_eq!(io, 0);
     }
 

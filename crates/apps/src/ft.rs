@@ -70,10 +70,74 @@ fn main() {{
     }
 }
 
+/// FT with the local FFT passes written out as real MiniHPC array loops —
+/// per-element twiddle multiplies over `scale`-element re/im vectors —
+/// instead of bulk `compute()` calls, keeping the alltoall transposes and
+/// checksum reduction of [`generate`]. Exists for the interpreter-backend
+/// benchmark; the update rules hold `re = im = 1` as a fixed point so
+/// values stay normal floats at any iteration count.
+pub fn generate_interpreted(p: Params) -> AppSpec {
+    let iters = p.iters;
+    let n = p.scale;
+    let transpose_bytes = 64 * p.scale as u64;
+
+    let source = format!(
+        r#"
+// FT analogue with interpreted kernels: per-element FFT passes.
+fn main() {{
+    float re[{n}];
+    float im[{n}];
+    float tw[{n}];
+    for (ki = 0; ki < {n}; ki = ki + 1) {{
+        re[ki] = 1.0;
+        im[ki] = 1.0;
+        tw[ki] = 0.5;
+    }}
+    int sum = 0;
+    for (it = 0; it < {iters}; it = it + 1) {{
+        // Evolve: pointwise twiddle rotation.
+        for (ke = 0; ke < {n}; ke = ke + 1) {{
+            re[ke] = tw[ke] * im[ke] + tw[ke];
+        }}
+        // Pass along x: butterfly update of im from re.
+        for (kx = 0; kx < {n}; kx = kx + 1) {{
+            im[kx] = tw[kx] * im[kx] + tw[kx];
+        }}
+        // Pass along y.
+        for (ky = 0; ky < {n}; ky = ky + 1) {{
+            re[ky] = tw[ky] * re[ky] + tw[ky];
+        }}
+        mpi_alltoall({transpose_bytes});
+        // Pass along z.
+        for (kz = 0; kz < {n}; kz = kz + 1) {{
+            im[kz] = tw[kz] * re[kz] + tw[kz] * im[kz];
+        }}
+        mpi_alltoall({transpose_bytes});
+        sum = mpi_allreduce(16);
+    }}
+}}
+"#
+    );
+    AppSpec {
+        name: "FT-interp",
+        source,
+        expect_net_sensors: true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use vsensor_analysis::{analyze, AnalysisConfig};
+
+    #[test]
+    fn ft_interpreted_has_comp_and_net_sensors() {
+        let app = generate_interpreted(Params::test());
+        let a = analyze(&app.compile(), &AnalysisConfig::default());
+        let (comp, net, _) = a.instrumented.type_counts();
+        assert!(comp >= 2, "fft loops: {}", a.report);
+        assert!(net >= 2, "transposes + checksum: {}", a.report);
+    }
 
     #[test]
     fn ft_has_network_sensors_for_the_transpose() {

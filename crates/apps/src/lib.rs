@@ -71,6 +71,11 @@ impl Params {
     pub fn with_iters(self, iters: u32) -> Self {
         Params { iters, ..self }
     }
+
+    /// Same iteration count, different kernel scale.
+    pub fn with_scale(self, scale: u32) -> Self {
+        Params { scale, ..self }
+    }
 }
 
 /// A generated application: name plus MiniHPC source.

@@ -1,0 +1,72 @@
+//! Quick single-rank probe of interpreter backend speed, for iterating on
+//! VM optimizations without the full `repro interp` sweep. Three shapes:
+//! pure scalar arithmetic, the bulk-builtin CG workload (plain and
+//! instrumented), and the interpreted-kernel array-loop shape. Identical
+//! `end=` virtual times across backends double as a bit-identity spot
+//! check.
+
+use std::sync::Arc;
+use std::time::Instant;
+use vsensor::{scenarios, Pipeline};
+use vsensor_apps::{cg, Params};
+use vsensor_interp::{run_plain_shared, ExecBackend, RunConfig};
+
+fn main() {
+    // Pure interpreter-bound: scalar arithmetic, no builtins.
+    let src = r#"
+        fn main() {
+            int x = 0;
+            for (i = 0; i < 2000000; i = i + 1) {
+                x = x + i * 3 - (i / 2);
+                if (x > 1000000) { x = x - 1000000; }
+            }
+        }
+    "#;
+    let program = Arc::new(vsensor_lang::compile(src).unwrap());
+    for (b, name) in [(ExecBackend::TreeWalker, "walker"), (ExecBackend::Vm, "vm")] {
+        let t = Instant::now();
+        let r = run_plain_shared(program.clone(), Arc::new(scenarios::quiet(1).build()), b);
+        println!("arith {name}: {:?} end={:?}", t.elapsed(), r[0].end);
+    }
+    // CG fig21-scale, 1 rank, plain vs instrumented.
+    let prepared = Pipeline::new().prepare(cg::generate(Params::bench().with_iters(600)).compile());
+    for (b, name) in [(ExecBackend::TreeWalker, "walker"), (ExecBackend::Vm, "vm")] {
+        let t = Instant::now();
+        run_plain_shared(
+            prepared.plain.clone(),
+            Arc::new(scenarios::healthy(1).build()),
+            b,
+        );
+        println!("cg plain {name}: {:?}", t.elapsed());
+        let t = Instant::now();
+        prepared.run(
+            Arc::new(scenarios::healthy(1).build()),
+            &RunConfig {
+                backend: b,
+                ..Default::default()
+            },
+        );
+        println!("cg instr {name}: {:?}", t.elapsed());
+    }
+
+    // Array-kernel-bound: the interpreted-CG inner loop shape.
+    let ksrc = r#"
+        fn main() {
+            int n = 2000;
+            float x[2000]; float y[2000]; float m[2000];
+            for (k = 0; k < n; k = k + 1) { x[k] = k; m[k] = k + 1; }
+            for (it = 0; it < 400; it = it + 1) {
+                for (k = 0; k < n; k = k + 1) { y[k] = m[k] * x[k] + y[k]; }
+                float s = 0.0;
+                for (k = 0; k < n; k = k + 1) { s = s + x[k] * y[k]; }
+                for (k = 0; k < n; k = k + 1) { x[k] = x[k] + 0.5 * y[k]; }
+            }
+        }
+    "#;
+    let kp = Arc::new(vsensor_lang::compile(ksrc).unwrap());
+    for (b, name) in [(ExecBackend::TreeWalker, "walker"), (ExecBackend::Vm, "vm")] {
+        let t = Instant::now();
+        let r = run_plain_shared(kp.clone(), Arc::new(scenarios::quiet(1).build()), b);
+        println!("kernel {name}: {:?} end={:?}", t.elapsed(), r[0].end);
+    }
+}

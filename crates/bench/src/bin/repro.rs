@@ -34,6 +34,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("datavolume", "S6.4: trace volume vs vSensor data volume"),
     ("fwq", "S1: FWQ benchmark intrusiveness vs vSensor overhead"),
     ("ablations", "Design-choice ablation sweeps"),
+    (
+        "interp",
+        "Interpreter backend speed: tree-walker vs bytecode VM (BENCH_interp.json)",
+    ),
 ];
 
 fn main() {
@@ -186,6 +190,21 @@ fn main() {
     if want("ablations") {
         section("ablations");
         println!("{}", ablations::render_all(effort));
+    }
+    if want("interp") {
+        section("interp");
+        let r = interp_speed::run(effort);
+        println!("{}", r.render());
+        // The perf trajectory is always recorded: into --out when given,
+        // next to the invocation otherwise.
+        let json = r.to_json();
+        match &out_dir {
+            Some(_) => write_artifact(&out_dir, "BENCH_interp.json", &json),
+            None => {
+                std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+                println!("[wrote BENCH_interp.json]");
+            }
+        }
     }
 }
 

@@ -20,6 +20,7 @@
 //! | [`datavolume`]       | §6.4 — trace volume vs vSensor data volume |
 //! | [`fwq_intrusiveness`]| §1's FWQ critique, quantified |
 //! | [`ablations`]        | design-choice sweeps called out in DESIGN.md |
+//! | [`interp_speed`]     | tree-walker vs bytecode-VM backend speed (`BENCH_interp.json`) |
 
 pub mod ablations;
 pub mod datavolume;
@@ -32,6 +33,7 @@ pub mod fig18_injection;
 pub mod fig21_badnode;
 pub mod fig22_network;
 pub mod fwq_intrusiveness;
+pub mod interp_speed;
 pub mod table1_validation;
 
 /// How big to run an experiment.

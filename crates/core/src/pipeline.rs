@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 use vsensor_analysis::{analyze, Analysis, AnalysisConfig, SnippetType};
-use vsensor_interp::{run_instrumented, run_plain, InstrumentedRun, RankResult, RunConfig};
+use vsensor_interp::{
+    run_instrumented_shared, run_plain_shared, ExecBackend, InstrumentedRun, RankResult, RunConfig,
+};
 use vsensor_lang::Program;
 use vsensor_runtime::{SensorInfo, SensorKind};
 
@@ -34,9 +36,11 @@ impl Pipeline {
     pub fn prepare(&self, program: Program) -> Prepared {
         let analysis = analyze(&program, &self.config);
         let sensors = sensor_table(&analysis);
+        let instrumented = Arc::new(analysis.instrumented.program.clone());
         Prepared {
-            plain: program,
+            plain: Arc::new(program),
             analysis,
+            instrumented,
             sensors,
         }
     }
@@ -64,9 +68,12 @@ pub fn sensor_table(analysis: &Analysis) -> Vec<SensorInfo> {
 /// A compiled, analyzed and instrumented program, ready to run.
 pub struct Prepared {
     /// The original (uninstrumented) program — the overhead baseline.
-    pub plain: Program,
+    pub plain: Arc<Program>,
     /// Full static-module output.
     pub analysis: Analysis,
+    /// Shared handle on the instrumented program so repeated runs don't
+    /// deep-clone it per run.
+    instrumented: Arc<Program>,
     /// Runtime sensor table.
     pub sensors: Vec<SensorInfo>,
 }
@@ -85,8 +92,8 @@ impl Prepared {
 
     /// Run the instrumented program with the dynamic module attached.
     pub fn run(&self, cluster: Arc<cluster_sim::Cluster>, config: &RunConfig) -> InstrumentedRun {
-        run_instrumented(
-            &self.analysis.instrumented.program,
+        run_instrumented_shared(
+            self.instrumented.clone(),
             self.sensors.clone(),
             cluster,
             config,
@@ -95,7 +102,7 @@ impl Prepared {
 
     /// Run the *uninstrumented* program (for overhead comparisons).
     pub fn run_plain(&self, cluster: Arc<cluster_sim::Cluster>) -> Vec<RankResult> {
-        run_plain(&self.plain, cluster)
+        run_plain_shared(self.plain.clone(), cluster, ExecBackend::default())
     }
 
     /// Instrumentation overhead for a given cluster: relative slowdown of

@@ -1,0 +1,1088 @@
+//! One-time lowering of a [`Program`] to slot-resolved bytecode.
+//!
+//! The tree-walker pays for name resolution (scope-chain hash lookups),
+//! dispatch (matching on tree nodes) and per-call setup (fresh `Env`,
+//! callee lookup by name) on *every* execution of every node. All of that
+//! is decidable once, up front:
+//!
+//! * every variable reference becomes a frame-slot or global index,
+//! * every call site binds to a function index or a [`Builtin`] id,
+//! * control flow becomes relative jumps over a flat instruction stream,
+//! * runs of per-expression-node unit charges fold into a single
+//!   [`Insn::ChargeUnits`] that the VM replays in O(1).
+//!
+//! The compiled form is executed by `vm::run_vm`. The contract with the
+//! tree-walker is **bit-identical virtual time**: the walker charges work
+//! through `Machine::charge`/`charge_mem`/`charge_bulk`, and the exact
+//! sequence of `Proc::compute` calls (count *and* arguments) determines
+//! both the virtual clock and the deterministic PMU/noise sampling keys.
+//! The compiler therefore preserves the walker's charge-event order
+//! exactly:
+//!
+//! * unit charges (`cost::EXPR_NODE` = 1) are foldable because `n`
+//!   successive `charge(1)` calls are reproducible in O(1) with the same
+//!   flush boundary (`Machine::charge_units`);
+//! * non-unit charges (`STMT`, `LOOP_ITER`, `CALL`) keep their own
+//!   [`Insn::ChargeCpu`] — folding them could overshoot the chunk
+//!   threshold differently than the walker;
+//! * pending unit runs are flushed into the stream before anything
+//!   observable: jumps and jump targets, non-unit charges, memory charges
+//!   (array ops), calls, probes, traps and returns. Pure stack traffic
+//!   (push/load/store/arith) may sit between a charge and the point the
+//!   walker issued it — invisible, since only charge order reaches the
+//!   clock.
+//!
+//! Runtime *errors* are compiled too: a reference that can never resolve
+//! becomes a [`Insn::Trap`] carrying the exact message the walker would
+//! produce at that point, emitted after the same charges.
+
+use crate::builtins::Builtin;
+use crate::machine::cost;
+use crate::values::Value;
+use std::collections::HashMap;
+use vsensor_lang::ast::Type;
+use vsensor_lang::{
+    BinOp, Block, CallSite, Expr, Function, GlobalInit, LValue, LoopKind, Name, Program, SensorId,
+    Stmt, UnOp,
+};
+
+/// A bytecode instruction. Jump offsets are relative to the instruction
+/// *after* the jump (i.e. `pc` has already been incremented).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Insn {
+    /// Replay `n` successive unit (`EXPR_NODE`) charges.
+    ChargeUnits(u32),
+    /// One `charge(n)` call (statement / loop-iteration costs).
+    ChargeCpu(u32),
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a float constant.
+    PushFloat(f64),
+    /// Discard the top of stack (statement-position call results).
+    Pop,
+    /// Push a copy of frame slot `n`.
+    LoadLocal(u32),
+    /// Pop into frame slot `n`.
+    StoreLocal(u32),
+    /// Push a copy of global `n`.
+    LoadGlobal(u32),
+    /// Pop into global `n`.
+    StoreGlobal(u32),
+    /// Coerce the top of stack to a declared scalar type.
+    Coerce(Type),
+    /// Pop an index, charge array memory, push element of frame slot `n`.
+    LoadIndexLocal(u32),
+    /// Pop an index, charge array memory, push element of global `n`.
+    LoadIndexGlobal(u32),
+    /// Pop index then value, charge array memory, store into slot `n`.
+    StoreIndexLocal(u32),
+    /// Pop index then value, charge array memory, store into global `n`.
+    StoreIndexGlobal(u32),
+    /// Index op on a name that resolves nowhere: pop the index, run the
+    /// integer check and memory charge the walker would, then trap.
+    IndexTrap(u32),
+    /// Fused `locals[arr][locals[idx]]` load — the `a[k]` kernel shape,
+    /// one dispatch with no stack traffic for the index.
+    LoadIndexLV {
+        /// Array frame slot.
+        arr: u32,
+        /// Index frame slot.
+        idx: u32,
+    },
+    /// Fused `locals[arr][locals[idx]] = pop()` store, replaying `u`
+    /// pending units before the index's memory charge.
+    StoreIndexLV {
+        /// Array frame slot.
+        arr: u32,
+        /// Index frame slot.
+        idx: u32,
+        /// Pending unit charges to replay first.
+        u: u32,
+    },
+    /// Fused `a[i] <op> b[j]` (all four names local): replay `u1` pending
+    /// units, then the left element's memory charge, then the right
+    /// operand's two node units and memory charge — the walker's exact
+    /// charge sequence for this shape — and push the result.
+    BinOpII {
+        /// Operator — never `&&`/`||`.
+        op: BinOp,
+        /// Left array slot.
+        a: u32,
+        /// Left index slot.
+        ai: u32,
+        /// Right array slot.
+        b: u32,
+        /// Right index slot.
+        bi: u32,
+        /// Units pending before the left element load.
+        u1: u32,
+    },
+    /// Fused `pop() <op> arr[idx]` (both names local): replay `u` pending
+    /// units then the element's memory charge, and push the result.
+    BinOpIdx {
+        /// Operator — never `&&`/`||`.
+        op: BinOp,
+        /// Array frame slot.
+        arr: u32,
+        /// Index frame slot.
+        idx: u32,
+        /// Units pending before the element load.
+        u: u32,
+    },
+    /// Pop a length, allocate a zeroed array into frame slot `slot`.
+    AllocArray {
+        /// Destination frame slot.
+        slot: u32,
+        /// Element type.
+        ty: Type,
+    },
+    /// Apply a unary operator to the top of stack.
+    UnOp(UnOp),
+    /// Apply a (non-logical) binary operator to the top two values.
+    BinOp(BinOp),
+    /// Fused `pop() <op> imm` — saves the constant push and a dispatch.
+    BinOpInt(BinOp, i64),
+    /// Fused `pop() <op> locals[slot]` — saves the load and a dispatch.
+    BinOpLocal(BinOp, u32),
+    /// Fused statement prologue: replay `units` pending expression-node
+    /// charges, then the statement's `charge(cpu)`.
+    ChargeUnitsCpu(u32, u32),
+    /// Fused `locals[dst] = locals[src] <op> imm` (assignments and `for`
+    /// steps like `i = i + 1` — the hottest statement shape).
+    LocalOpImm {
+        /// Operator (never `&&`/`||`).
+        op: BinOp,
+        /// Destination frame slot.
+        dst: u32,
+        /// Source frame slot.
+        src: u32,
+        /// Immediate right-hand side.
+        imm: i64,
+    },
+    /// Replace the top of stack with `Int(truthy)`.
+    Truthy,
+    /// Unconditional relative jump.
+    Jump(i32),
+    /// `ChargeUnits(units)` folded into a `Jump` (the loop back-edge: the
+    /// step expression's charges flush right before jumping to the head).
+    JumpCharged {
+        /// Pending unit charges to replay before jumping.
+        units: u32,
+        /// Relative jump offset.
+        off: i32,
+    },
+    /// Pop; jump if the value is falsy.
+    JumpIfFalse(i32),
+    /// `ChargeUnits(units)` folded into a `JumpIfFalse` (condition charges
+    /// flush right before the branch).
+    JumpIfFalseCharged {
+        /// Pending unit charges to replay before branching.
+        units: u32,
+        /// Relative branch offset.
+        off: i32,
+    },
+    /// Fully fused conditional: charge the condition's units, evaluate
+    /// `locals[slot] <op> imm`, branch if falsy. Covers the canonical loop
+    /// head `i < n` in one dispatch with zero stack traffic.
+    CmpLocalImmBr {
+        /// Comparison (or arithmetic) operator — never `&&`/`||`.
+        op: BinOp,
+        /// Left-hand frame slot.
+        slot: u32,
+        /// Immediate right-hand side.
+        imm: i64,
+        /// Non-unit CPU charge applied before everything else (the loop
+        /// head's `LOOP_ITER`); 0 = none.
+        cpu: u32,
+        /// Pending unit charges to replay first.
+        units: u32,
+        /// Relative branch offset when falsy.
+        off: i32,
+    },
+    /// Pop; if falsy, push `Int(0)` and jump (short-circuit `&&`).
+    AndShortCircuit(i32),
+    /// Pop; if truthy, push `Int(1)` and jump (short-circuit `||`).
+    OrShortCircuit(i32),
+    /// Call a user function by index; `argc` values are on the stack.
+    Call {
+        /// Index into [`CompiledProgram::functions`].
+        func: u32,
+        /// Argument count.
+        argc: u32,
+    },
+    /// Call a pre-bound builtin; `argc` values are on the stack.
+    CallBuiltin {
+        /// Resolved builtin id.
+        builtin: Builtin,
+        /// Argument count.
+        argc: u32,
+    },
+    /// Pop the return value and unwind one frame.
+    Return,
+    /// Sensor start probe.
+    Tick(SensorId),
+    /// Sensor stop probe.
+    Tock(SensorId),
+    /// Abort the rank with a pre-formatted runtime error.
+    Trap(u32),
+}
+
+/// One compiled function: a flat instruction stream with every local
+/// resolved to a slot in a frame of `n_slots` values.
+#[derive(Clone, Debug)]
+pub struct CompiledFn {
+    /// Source name (diagnostics only; calls are by index).
+    pub name: Name,
+    /// Number of parameters (slots `0..arity` at entry).
+    pub arity: u32,
+    /// Total frame size: parameters plus one slot per declaration site.
+    pub n_slots: u32,
+    /// The instruction stream. Ends with an implicit-return sequence, so
+    /// execution never runs off the end.
+    pub code: Vec<Insn>,
+}
+
+/// A fully lowered program, shared across rank threads via `Arc`.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Initial global values, in declaration order (lowering rejects
+    /// duplicates, so name → index is unambiguous).
+    pub(crate) globals: Vec<Value>,
+    /// Compiled functions, parallel to [`Program::functions`].
+    pub(crate) functions: Vec<CompiledFn>,
+    /// Index of `main`, if the program has one.
+    entry: Option<u32>,
+    /// Separate entry-mode compile of `main` for the corner case where
+    /// `main` declares parameters: the walker's entry call binds no
+    /// arguments, so parameter names must *not* resolve to slots (they
+    /// fall through to globals or trap as unbound, exactly like the
+    /// walker's empty environment).
+    entry_variant: Option<Box<CompiledFn>>,
+    /// Pre-formatted runtime-error messages for [`Insn::Trap`] /
+    /// [`Insn::IndexTrap`].
+    pub(crate) msgs: Vec<String>,
+}
+
+impl CompiledProgram {
+    /// The function executed by the VM entry call, if `main` exists.
+    pub(crate) fn entry_fn(&self) -> Option<&CompiledFn> {
+        match (&self.entry_variant, self.entry) {
+            (Some(f), _) => Some(f),
+            (None, Some(i)) => Some(&self.functions[i as usize]),
+            (None, None) => None,
+        }
+    }
+
+    /// Number of compiled instructions across all functions (bench/debug).
+    pub fn code_len(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+/// Compile a program. Infallible: anything that would fail at runtime in
+/// the tree-walker (unbound names, unknown callees) compiles to a trap
+/// that reproduces the walker's error at the walker's point in execution.
+pub fn compile(program: &Program) -> CompiledProgram {
+    let mut globals = Vec::with_capacity(program.globals.len());
+    let mut global_map = HashMap::with_capacity(program.globals.len());
+    for (i, g) in program.globals.iter().enumerate() {
+        globals.push(match g.init {
+            GlobalInit::Int(v) => Value::Int(v),
+            GlobalInit::Float(v) => Value::Float(v),
+        });
+        global_map.insert(g.name.clone(), i as u32);
+    }
+    // Lowering rejects duplicate function names, so last-wins insertion
+    // matches the walker's first-match scan.
+    let mut fn_map = HashMap::with_capacity(program.functions.len());
+    for (i, f) in program.functions.iter().enumerate() {
+        fn_map.insert(f.name.clone(), i as u32);
+    }
+    let mut msgs = Vec::new();
+    let functions = program
+        .functions
+        .iter()
+        .map(|f| compile_function(f, true, &fn_map, &global_map, &mut msgs))
+        .collect::<Vec<_>>();
+    let entry = program.function_index("main").map(|i| i as u32);
+    let entry_variant = entry
+        .filter(|&i| !program.functions[i as usize].params.is_empty())
+        .map(|i| {
+            Box::new(compile_function(
+                &program.functions[i as usize],
+                false,
+                &fn_map,
+                &global_map,
+                &mut msgs,
+            ))
+        });
+    CompiledProgram {
+        globals,
+        functions,
+        entry,
+        entry_variant,
+        msgs,
+    }
+}
+
+/// Where a name resolves at a given point in compilation.
+enum Resolved {
+    Local(u32),
+    Global(u32),
+    Unbound,
+}
+
+#[derive(Default)]
+struct LoopCtx {
+    breaks: Vec<usize>,
+    continues: Vec<usize>,
+}
+
+struct FnCompiler<'p> {
+    fn_map: &'p HashMap<Name, u32>,
+    global_map: &'p HashMap<Name, u32>,
+    msgs: &'p mut Vec<String>,
+    code: Vec<Insn>,
+    /// Lexical scope stack; each scope lists its declarations in order.
+    scopes: Vec<Vec<(Name, u32)>>,
+    next_slot: u32,
+    loops: Vec<LoopCtx>,
+    /// Unit (EXPR_NODE) charges accumulated since the last effectful
+    /// instruction; folded into one `ChargeUnits` on flush.
+    units: u32,
+}
+
+fn compile_function(
+    f: &Function,
+    bind_params: bool,
+    fn_map: &HashMap<Name, u32>,
+    global_map: &HashMap<Name, u32>,
+    msgs: &mut Vec<String>,
+) -> CompiledFn {
+    let arity = if bind_params {
+        f.params.len() as u32
+    } else {
+        0
+    };
+    let mut c = FnCompiler {
+        fn_map,
+        global_map,
+        msgs,
+        code: Vec::new(),
+        scopes: vec![Vec::new()],
+        next_slot: arity,
+        loops: Vec::new(),
+        units: 0,
+    };
+    if bind_params {
+        for (i, (name, _)) in f.params.iter().enumerate() {
+            c.scopes[0].push((name.clone(), i as u32));
+        }
+    }
+    c.block(&f.body);
+    // Falling off the end returns Int(0), like the walker's Flow::Normal.
+    c.flush_units();
+    c.code.push(Insn::PushInt(0));
+    c.code.push(Insn::Return);
+    CompiledFn {
+        name: f.name.clone(),
+        arity,
+        n_slots: c.next_slot,
+        code: c.code,
+    }
+}
+
+impl FnCompiler<'_> {
+    // ----- emission -----
+
+    /// Emit a pure instruction (no charge/trap/jump behavior); pending
+    /// unit charges may slide past it.
+    fn emit(&mut self, i: Insn) {
+        self.code.push(i);
+    }
+
+    /// Emit an instruction with observable effects, flushing pending unit
+    /// charges first so charge order matches the walker.
+    fn emit_effect(&mut self, i: Insn) {
+        self.flush_units();
+        self.code.push(i);
+    }
+
+    fn flush_units(&mut self) {
+        if self.units > 0 {
+            self.code.push(Insn::ChargeUnits(self.units));
+            self.units = 0;
+        }
+    }
+
+    /// Statement prologue: pending unit charges and the `STMT` charge fuse
+    /// into one instruction (same charge order as flush-then-charge).
+    fn charge_stmt(&mut self) {
+        if self.units > 0 {
+            let units = self.units;
+            self.units = 0;
+            self.code
+                .push(Insn::ChargeUnitsCpu(units, cost::STMT as u32));
+        } else {
+            self.code.push(Insn::ChargeCpu(cost::STMT as u32));
+        }
+    }
+
+    /// Compile a condition followed by branch-if-false, fusing the
+    /// `local <op> int-literal` shape (the canonical loop head) into a
+    /// single instruction; returns the patch position. `cpu` is a non-unit
+    /// charge the walker applies right before the condition (the loop
+    /// head's `LOOP_ITER`, 0 for `if`): the fused form folds it in, the
+    /// fallback emits it as its own instruction first.
+    fn cond_branch(&mut self, cond: &Expr, cpu: u32) -> usize {
+        if let Expr::Binary { op, lhs, rhs } = cond {
+            if !matches!(op, BinOp::And | BinOp::Or) {
+                if let (Expr::Var(n), Expr::Int(imm)) = (&**lhs, &**rhs) {
+                    if let Resolved::Local(slot) = self.resolve(n) {
+                        // Three effect-free nodes (binary, var, literal)
+                        // join whatever units are already pending.
+                        let units = self.units + 3 * cost::EXPR_NODE as u32;
+                        self.units = 0;
+                        self.code.push(Insn::CmpLocalImmBr {
+                            op: *op,
+                            slot,
+                            imm: *imm,
+                            cpu,
+                            units,
+                            off: 0,
+                        });
+                        return self.code.len() - 1;
+                    }
+                }
+            }
+        }
+        if cpu > 0 {
+            self.emit_effect(Insn::ChargeCpu(cpu));
+        }
+        self.expr(cond);
+        self.emit_cond_branch()
+    }
+
+    /// Conditional branch with the condition's pending unit charges folded
+    /// in; returns the patch position.
+    fn emit_cond_branch(&mut self) -> usize {
+        if self.units > 0 {
+            let units = self.units;
+            self.units = 0;
+            self.code.push(Insn::JumpIfFalseCharged { units, off: 0 });
+        } else {
+            self.code.push(Insn::JumpIfFalse(0));
+        }
+        self.code.len() - 1
+    }
+
+    /// Current position as a jump target (flushes so no pending charge can
+    /// be skipped or double-executed across the label).
+    fn here(&mut self) -> usize {
+        self.flush_units();
+        self.code.len()
+    }
+
+    /// Emit a forward jump with a placeholder offset; patch later.
+    fn emit_jump(&mut self, make: fn(i32) -> Insn) -> usize {
+        self.flush_units();
+        self.code.push(make(0));
+        self.code.len() - 1
+    }
+
+    fn patch_to(&mut self, at: usize, target: usize) {
+        let off = i32::try_from(target as i64 - (at as i64 + 1)).expect("jump offset exceeds i32");
+        match &mut self.code[at] {
+            Insn::Jump(o)
+            | Insn::JumpCharged { off: o, .. }
+            | Insn::JumpIfFalse(o)
+            | Insn::AndShortCircuit(o)
+            | Insn::OrShortCircuit(o)
+            | Insn::JumpIfFalseCharged { off: o, .. }
+            | Insn::CmpLocalImmBr { off: o, .. } => *o = off,
+            other => unreachable!("patching non-jump instruction {other:?}"),
+        }
+    }
+
+    /// Patch a forward jump to land here.
+    fn patch(&mut self, at: usize) {
+        let target = self.here();
+        self.patch_to(at, target);
+    }
+
+    /// Emit a backward jump to `target`, folding any pending unit charges
+    /// (the loop step's) into the jump itself.
+    fn jump_back(&mut self, target: usize) {
+        let at = if self.units > 0 {
+            let units = self.units;
+            self.units = 0;
+            self.code.push(Insn::JumpCharged { units, off: 0 });
+            self.code.len() - 1
+        } else {
+            self.emit_jump(Insn::Jump)
+        };
+        self.patch_to(at, target);
+    }
+
+    fn msg(&mut self, text: String) -> u32 {
+        self.msgs.push(text);
+        (self.msgs.len() - 1) as u32
+    }
+
+    // ----- scopes -----
+
+    fn push_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Allocate a fresh slot for a declaration at this statement position.
+    /// Slots are never reused, so a read compiled before the declaration
+    /// site resolves past it — reproducing the walker's declare-on-execute
+    /// scope chain.
+    fn declare(&mut self, name: &Name) -> u32 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.scopes
+            .last_mut()
+            .expect("function scope")
+            .push((name.clone(), slot));
+        slot
+    }
+
+    fn resolve(&self, name: &Name) -> Resolved {
+        for scope in self.scopes.iter().rev() {
+            // Reverse within the scope: re-declaration shadows (the
+            // walker's HashMap insert overwrites the earlier binding).
+            for (n, slot) in scope.iter().rev() {
+                if n == name {
+                    return Resolved::Local(*slot);
+                }
+            }
+        }
+        match self.global_map.get(name) {
+            Some(&g) => Resolved::Global(g),
+            None => Resolved::Unbound,
+        }
+    }
+
+    // ----- statements -----
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.charge_stmt();
+        match s {
+            Stmt::Decl { name, ty, init, .. } => {
+                match init {
+                    Some(e) => self.expr(e),
+                    // Default value carries no charge in the walker.
+                    None => self.emit(Insn::PushInt(0)),
+                }
+                self.emit(Insn::Coerce(*ty));
+                let slot = self.declare(name);
+                self.emit(Insn::StoreLocal(slot));
+            }
+            Stmt::ArrayDecl { name, ty, len, .. } => {
+                self.expr(len);
+                let slot = self.declare(name);
+                self.emit_effect(Insn::AllocArray { slot, ty: *ty });
+            }
+            Stmt::Assign { target, value, .. } => {
+                if let LValue::Var(name) = target {
+                    if let Resolved::Local(dst) = self.resolve(name) {
+                        if self.try_fused_local_assign(dst, value) {
+                            return;
+                        }
+                    }
+                }
+                self.expr(value);
+                match target {
+                    LValue::Var(name) => match self.resolve(name) {
+                        Resolved::Local(s) => self.emit(Insn::StoreLocal(s)),
+                        Resolved::Global(g) => self.emit(Insn::StoreGlobal(g)),
+                        Resolved::Unbound => {
+                            let m = self.msg(format!("assignment to unbound `{name}`"));
+                            self.emit_effect(Insn::Trap(m));
+                        }
+                    },
+                    LValue::Index { name, index } => {
+                        if let Expr::Var(iv) = index {
+                            if let (Resolved::Local(idx), Resolved::Local(arr)) =
+                                (self.resolve(iv), self.resolve(name))
+                            {
+                                // The index var's unit joins the pending
+                                // fold, carried by the store itself.
+                                let u = self.units + cost::EXPR_NODE as u32;
+                                self.units = 0;
+                                self.emit(Insn::StoreIndexLV { arr, idx, u });
+                                return;
+                            }
+                        }
+                        self.expr(index);
+                        match self.resolve(name) {
+                            Resolved::Local(s) => self.emit_effect(Insn::StoreIndexLocal(s)),
+                            Resolved::Global(g) => self.emit_effect(Insn::StoreIndexGlobal(g)),
+                            Resolved::Unbound => {
+                                let m = self.msg(format!("unknown array `{name}`"));
+                                self.emit_effect(Insn::IndexTrap(m));
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                let jelse = self.cond_branch(cond, 0);
+                self.push_scope();
+                self.block(then_blk);
+                self.pop_scope();
+                if else_blk.stmts.is_empty() {
+                    self.patch(jelse);
+                } else {
+                    let jend = self.emit_jump(Insn::Jump);
+                    self.patch(jelse);
+                    self.push_scope();
+                    self.block(else_blk);
+                    self.pop_scope();
+                    self.patch(jend);
+                }
+            }
+            Stmt::Loop {
+                kind,
+                var,
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.push_scope();
+                // `for` evaluates the initializer and declares the
+                // induction variable in the loop scope; `while` declares
+                // nothing (its synthetic var is unused).
+                let var_slot = if *kind == LoopKind::For {
+                    self.expr(init);
+                    let slot = self.declare(var);
+                    self.emit(Insn::StoreLocal(slot));
+                    Some(slot)
+                } else {
+                    None
+                };
+                let start = self.here();
+                let jexit = self.cond_branch(cond, cost::LOOP_ITER as u32);
+                self.loops.push(LoopCtx::default());
+                self.push_scope();
+                self.block(body);
+                self.pop_scope();
+                let ctx = self.loops.pop().expect("loop context");
+                // `continue` lands on the step (for) or straight back at
+                // the iteration charge (while).
+                let cont = self.here();
+                for at in ctx.continues {
+                    self.patch_to(at, cont);
+                }
+                if let Some(slot) = var_slot {
+                    if !self.try_fused_local_assign(slot, step) {
+                        self.expr(step);
+                        self.flush_units();
+                        self.emit(Insn::StoreLocal(slot));
+                    }
+                }
+                self.jump_back(start);
+                let end = self.here();
+                self.patch_to(jexit, end);
+                for at in ctx.breaks {
+                    self.patch_to(at, end);
+                }
+                self.pop_scope();
+            }
+            Stmt::Call(c) => {
+                // Statement-position calls skip the EXPR_NODE charge (the
+                // walker goes straight to eval_call).
+                self.call(c);
+                self.emit(Insn::Pop);
+            }
+            Stmt::Return { value, .. } => {
+                match value {
+                    Some(e) => self.expr(e),
+                    None => self.emit(Insn::PushInt(0)),
+                }
+                self.emit_effect(Insn::Return);
+            }
+            Stmt::Break { .. } => {
+                if self.loops.is_empty() {
+                    // The walker notices an escaping Break only at function
+                    // scope, but nothing in between charges or observes.
+                    let m = self.msg("`break`/`continue` outside of a loop".to_string());
+                    self.emit_effect(Insn::Trap(m));
+                } else {
+                    let at = self.emit_jump(Insn::Jump);
+                    self.loops.last_mut().expect("loop context").breaks.push(at);
+                }
+            }
+            Stmt::Continue { .. } => {
+                if self.loops.is_empty() {
+                    let m = self.msg("`break`/`continue` outside of a loop".to_string());
+                    self.emit_effect(Insn::Trap(m));
+                } else {
+                    let at = self.emit_jump(Insn::Jump);
+                    self.loops
+                        .last_mut()
+                        .expect("loop context")
+                        .continues
+                        .push(at);
+                }
+            }
+            Stmt::Tick(s) => self.emit_effect(Insn::Tick(*s)),
+            Stmt::Tock(s) => self.emit_effect(Insn::Tock(*s)),
+        }
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self, e: &Expr) {
+        // The walker charges EXPR_NODE pre-order for every node.
+        self.units += cost::EXPR_NODE as u32;
+        match e {
+            Expr::Int(v) => self.emit(Insn::PushInt(*v)),
+            Expr::Float(v) => self.emit(Insn::PushFloat(*v)),
+            Expr::Var(name) => match self.resolve(name) {
+                Resolved::Local(s) => self.emit(Insn::LoadLocal(s)),
+                Resolved::Global(g) => self.emit(Insn::LoadGlobal(g)),
+                Resolved::Unbound => {
+                    let m = self.msg(format!("unbound variable `{name}`"));
+                    self.emit_effect(Insn::Trap(m));
+                }
+            },
+            Expr::Index { name, index } => {
+                // `a[k]` with both names local fuses the index load away
+                // (its single unit charge joins the pending fold).
+                if let Expr::Var(iv) = &**index {
+                    if let (Resolved::Local(idx), Resolved::Local(arr)) =
+                        (self.resolve(iv), self.resolve(name))
+                    {
+                        self.units += cost::EXPR_NODE as u32;
+                        self.emit_effect(Insn::LoadIndexLV { arr, idx });
+                        return;
+                    }
+                }
+                self.expr(index);
+                match self.resolve(name) {
+                    Resolved::Local(s) => self.emit_effect(Insn::LoadIndexLocal(s)),
+                    Resolved::Global(g) => self.emit_effect(Insn::LoadIndexGlobal(g)),
+                    Resolved::Unbound => {
+                        let m = self.msg(format!("unknown array `{name}`"));
+                        self.emit_effect(Insn::IndexTrap(m));
+                    }
+                }
+            }
+            Expr::Unary { op, operand } => {
+                self.expr(operand);
+                self.emit(Insn::UnOp(*op));
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.expr(lhs);
+                    let j = self.emit_jump(Insn::AndShortCircuit);
+                    self.expr(rhs);
+                    self.emit_effect(Insn::Truthy);
+                    self.patch(j);
+                }
+                BinOp::Or => {
+                    self.expr(lhs);
+                    let j = self.emit_jump(Insn::OrShortCircuit);
+                    self.expr(rhs);
+                    self.emit_effect(Insn::Truthy);
+                    self.patch(j);
+                }
+                _ => {
+                    // `a[i] <op> b[j]` with all four names local fuses to a
+                    // single instruction; it replays the walker's exact charge
+                    // order (node units, left memory charge, two more units,
+                    // right memory charge) internally.
+                    if let (Some((a, ai)), Some((b, bi))) =
+                        (self.local_indexed(lhs), self.local_indexed(rhs))
+                    {
+                        let u1 = self.units + 2 * cost::EXPR_NODE as u32;
+                        self.units = 0;
+                        self.emit(Insn::BinOpII {
+                            op: *op,
+                            a,
+                            ai,
+                            b,
+                            bi,
+                            u1,
+                        });
+                        return;
+                    }
+                    self.expr(lhs);
+                    // Fuse a simple right operand into the operator: the
+                    // operand carries exactly one effect-free unit charge,
+                    // which stays in the pending fold either way.
+                    match &**rhs {
+                        Expr::Int(v) => {
+                            self.units += cost::EXPR_NODE as u32;
+                            self.emit(Insn::BinOpInt(*op, *v));
+                        }
+                        Expr::Var(n) => match self.resolve(n) {
+                            Resolved::Local(s) => {
+                                self.units += cost::EXPR_NODE as u32;
+                                self.emit(Insn::BinOpLocal(*op, s));
+                            }
+                            _ => {
+                                self.expr(rhs);
+                                self.emit(Insn::BinOp(*op));
+                            }
+                        },
+                        _ => {
+                            // Fused `<stack> <op> arr[idx]` right operand.
+                            if let Some((arr, idx)) = self.local_indexed(rhs) {
+                                let u = self.units + 2 * cost::EXPR_NODE as u32;
+                                self.units = 0;
+                                self.emit(Insn::BinOpIdx {
+                                    op: *op,
+                                    arr,
+                                    idx,
+                                    u,
+                                });
+                                return;
+                            }
+                            self.expr(rhs);
+                            self.emit(Insn::BinOp(*op));
+                        }
+                    }
+                }
+            },
+            Expr::Call(c) => self.call(c),
+        }
+    }
+
+    /// `name[var]` with both names frame-local resolves to their slots.
+    fn local_indexed(&mut self, e: &Expr) -> Option<(u32, u32)> {
+        let Expr::Index { name, index } = e else {
+            return None;
+        };
+        let Expr::Var(iv) = &**index else {
+            return None;
+        };
+        match (self.resolve(name), self.resolve(iv)) {
+            (Resolved::Local(arr), Resolved::Local(idx)) => Some((arr, idx)),
+            _ => None,
+        }
+    }
+
+    /// Try to compile `locals[dst] = <value>` as one fused instruction.
+    /// Only `local <op> int-literal` qualifies: both operands are
+    /// effect-free, so the value's three expression-node charges join the
+    /// pending unit fold and the whole statement becomes a single dispatch.
+    fn try_fused_local_assign(&mut self, dst: u32, value: &Expr) -> bool {
+        let Expr::Binary { op, lhs, rhs } = value else {
+            return false;
+        };
+        if matches!(op, BinOp::And | BinOp::Or) {
+            return false;
+        }
+        let (Expr::Var(src_name), Expr::Int(imm)) = (&**lhs, &**rhs) else {
+            return false;
+        };
+        let Resolved::Local(src) = self.resolve(src_name) else {
+            return false;
+        };
+        self.units += 3 * cost::EXPR_NODE as u32;
+        self.emit(Insn::LocalOpImm {
+            op: *op,
+            dst,
+            src,
+            imm: *imm,
+        });
+        true
+    }
+
+    fn call(&mut self, c: &CallSite) {
+        for a in &c.args {
+            self.expr(a);
+        }
+        let argc = c.args.len() as u32;
+        // Walker precedence: user functions shadow builtins.
+        if let Some(&func) = self.fn_map.get(&c.callee) {
+            self.emit_effect(Insn::Call { func, argc });
+        } else if let Some(builtin) = Builtin::from_name(&c.callee) {
+            self.emit_effect(Insn::CallBuiltin { builtin, argc });
+        } else {
+            // Unknown callee: the walker errors only after evaluating the
+            // arguments, which the code above already did.
+            let m = self.msg(format!(
+                "call to unknown function `{}` at {}",
+                c.callee, c.span
+            ));
+            self.emit_effect(Insn::Trap(m));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_src(src: &str) -> CompiledProgram {
+        compile(&vsensor_lang::compile(src).unwrap())
+    }
+
+    fn main_code(p: &CompiledProgram) -> &[Insn] {
+        &p.entry_fn().unwrap().code
+    }
+
+    #[test]
+    fn slots_resolve_params_and_decls() {
+        let p = compile_src(
+            "fn f(int a, int b) -> int { int c = a + b; return c; } fn main() { f(1, 2); }",
+        );
+        let f = &p.functions[0];
+        assert_eq!(f.arity, 2);
+        assert_eq!(f.n_slots, 3);
+        // `a + b` reads slot 0 with slot 1 fused into the operator; `c`
+        // lives in slot 2.
+        assert!(f.code.contains(&Insn::LoadLocal(0)));
+        assert!(f.code.contains(&Insn::BinOpLocal(BinOp::Add, 1)));
+        assert!(f.code.contains(&Insn::StoreLocal(2)));
+    }
+
+    #[test]
+    fn unit_charges_fold() {
+        let p = compile_src("fn main() { int x = 1 + 2 * 3; }");
+        // Decl statement: STMT charge, then one folded run of 5 expression
+        // nodes (binary, binary, and three literals).
+        let code = main_code(&p);
+        assert!(code.contains(&Insn::ChargeCpu(cost::STMT as u32)));
+        assert!(code.contains(&Insn::ChargeUnits(5)));
+    }
+
+    #[test]
+    fn statement_calls_skip_expr_node_charge() {
+        let stmt = compile_src("fn main() { compute(7); }");
+        let expr = compile_src("fn main() { int x = compute(7); }");
+        // Statement position: only the argument literal charges a unit.
+        assert!(main_code(&stmt).contains(&Insn::ChargeUnits(1)));
+        // Expression position: call node + argument literal.
+        assert!(main_code(&expr).contains(&Insn::ChargeUnits(2)));
+    }
+
+    #[test]
+    fn calls_bind_to_indices_and_builtin_ids() {
+        let p = compile_src("fn g() {} fn main() { g(); compute(1); }");
+        let code = main_code(&p);
+        assert!(code.contains(&Insn::Call { func: 0, argc: 0 }));
+        assert!(code.contains(&Insn::CallBuiltin {
+            builtin: Builtin::Compute,
+            argc: 1
+        }));
+    }
+
+    #[test]
+    fn user_function_shadows_builtin() {
+        let p = compile_src("fn compute(int n) {} fn main() { compute(1); }");
+        assert!(main_code(&p).contains(&Insn::Call { func: 0, argc: 1 }));
+    }
+
+    #[test]
+    fn unbound_names_compile_to_traps() {
+        let p = compile_src("fn main() { x = 1; }");
+        let code = main_code(&p);
+        let Some(Insn::Trap(m)) = code.iter().find(|i| matches!(i, Insn::Trap(_))) else {
+            panic!("no trap in {code:?}");
+        };
+        assert_eq!(p.msgs[*m as usize], "assignment to unbound `x`");
+    }
+
+    #[test]
+    fn globals_resolve_to_indices() {
+        let p = compile_src("global int G = 3; fn main() { G = G + 1; }");
+        let code = main_code(&p);
+        assert!(code.contains(&Insn::LoadGlobal(0)));
+        assert!(code.contains(&Insn::StoreGlobal(0)));
+        assert_eq!(p.globals, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn locals_shadow_globals() {
+        let p = compile_src("global int G = 3; fn main() { int G = 1; G = 2; }");
+        let code = main_code(&p);
+        assert!(code.contains(&Insn::StoreLocal(0)));
+        assert!(!code.contains(&Insn::StoreGlobal(0)));
+    }
+
+    #[test]
+    fn read_before_declaration_resolves_past_the_decl() {
+        // The walker declares on execution, so the read of `x` in the
+        // initializer sees the global, not the local being declared.
+        let p = compile_src("global int x = 7; fn main() { int x = x + 1; }");
+        let code = main_code(&p);
+        assert!(code.contains(&Insn::LoadGlobal(0)));
+        assert!(code.contains(&Insn::StoreLocal(0)));
+    }
+
+    #[test]
+    fn branch_scopes_pop() {
+        // `a` declared in the then-branch is out of scope afterwards; the
+        // later read must trap like the walker's unbound lookup.
+        let p = compile_src("fn main() { if (1) { int a = 1; } a = 2; }");
+        let code = main_code(&p);
+        let trap = code.iter().any(|i| matches!(i, Insn::Trap(_)));
+        assert!(trap, "expected unbound-assign trap in {code:?}");
+    }
+
+    #[test]
+    fn jumps_resolve_within_bounds() {
+        let p = compile_src(
+            r#"
+            fn main() {
+                int s = 0;
+                for (i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { continue; }
+                    if (i > 7) { break; }
+                    while (s < 100 && i > 0) { s = s + i; }
+                }
+            }
+            "#,
+        );
+        for f in p.functions.iter().chain(p.entry_fn()) {
+            for (at, insn) in f.code.iter().enumerate() {
+                if let Insn::Jump(o)
+                | Insn::JumpIfFalse(o)
+                | Insn::AndShortCircuit(o)
+                | Insn::OrShortCircuit(o) = insn
+                {
+                    let target = at as i64 + 1 + *o as i64;
+                    assert!(
+                        (0..=f.code.len() as i64).contains(&target),
+                        "jump at {at} to {target} out of range"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entry_variant_only_for_main_with_params() {
+        let plain = compile_src("fn main() { }");
+        assert!(plain.entry_variant.is_none());
+        // `main` with parameters gets an entry compile where the params do
+        // not bind (the walker's entry call passes no arguments).
+        let weird = compile_src("global int x = 1; fn main(int x) { x = 5; }");
+        let entry = weird.entry_fn().unwrap();
+        assert_eq!(entry.arity, 0);
+        assert!(entry.code.contains(&Insn::StoreGlobal(0)));
+    }
+}

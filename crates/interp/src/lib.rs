@@ -16,12 +16,19 @@
 //! [`Program`]: vsensor_lang::Program
 
 pub mod builtins;
+pub mod bytecode;
 pub mod machine;
 pub mod run;
 pub mod validate;
 pub mod values;
+pub mod vm;
 
+pub use bytecode::{CompiledProgram, Insn};
 pub use machine::{ExecError, Machine};
-pub use run::{run_instrumented, run_plain, InstrumentedRun, RankResult, RunConfig};
+pub use run::{
+    run_instrumented, run_instrumented_shared, run_plain, run_plain_shared, ExecBackend, Executor,
+    InstrumentedRun, RankResult, RunConfig,
+};
 pub use validate::ValidationStats;
 pub use values::Value;
+pub use vm::run_vm;

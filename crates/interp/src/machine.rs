@@ -25,7 +25,7 @@ use vsensor_runtime::transport::{
 use vsensor_runtime::{AnalysisServer, SensorRuntime};
 
 /// Work-unit costs of IR operations (1 unit ≈ 1 ns on a healthy node).
-mod cost {
+pub(crate) mod cost {
     /// Per evaluated expression node.
     pub const EXPR_NODE: u64 = 1;
     /// Per executed statement.
@@ -154,11 +154,19 @@ impl<'w> Machine<'w> {
     pub fn run(mut self) -> Result<MachineResult, ExecError> {
         let main = self
             .program
-            .clone()
             .function_index("main")
             .ok_or_else(|| ExecError::new("program has no `main`"))?;
-        let func = self.program.functions[main].clone();
-        self.call_function(&func, Vec::new())?;
+        // Borrow the function out of the shared program instead of deep
+        // cloning its whole body for the call.
+        let program = Arc::clone(&self.program);
+        self.call_function(&program.functions[main], Vec::new())?;
+        Ok(self.finalize())
+    }
+
+    /// Flush pending work and collect the run's results. Shared tail of the
+    /// tree-walker [`Self::run`] and the bytecode VM (`vm::run_vm`), so both
+    /// backends finish a rank identically.
+    pub(crate) fn finalize(mut self) -> MachineResult {
         self.sync_clock();
         let mut end = self.proc.now();
         let mut distribution = Default::default();
@@ -175,14 +183,14 @@ impl<'w> Machine<'w> {
             end = self.proc.now();
             transport = h.transport.stats().clone();
         }
-        Ok(MachineResult {
+        MachineResult {
             end,
             stats: self.proc.stats(),
             distribution,
             validation: self.validation,
             local_variances,
             transport,
-        })
+        }
     }
 
     // ----- accessors used by builtins -----
@@ -235,7 +243,7 @@ impl<'w> Machine<'w> {
         }
     }
 
-    fn charge(&mut self, cpu: u64) {
+    pub(crate) fn charge(&mut self, cpu: u64) {
         self.pending.cpu += cpu;
         self.work_total += cpu;
         if self.pending.total() >= cost::CHUNK {
@@ -243,7 +251,33 @@ impl<'w> Machine<'w> {
         }
     }
 
-    fn charge_mem(&mut self, mem: u64) {
+    /// Replay `n` successive `charge(1)` calls in O(1): the accumulator is
+    /// topped up to exactly the chunk threshold (flushing there, as the
+    /// walker would after that many unit charges) and the remainder is
+    /// added in one step. The VM's `ChargeUnits` instruction uses this to
+    /// fold whole runs of expression-node charges while keeping every
+    /// flush boundary — and therefore every `Proc::compute` call — at the
+    /// same work counts as the tree-walker.
+    pub(crate) fn charge_units(&mut self, n: u32) {
+        let mut left = n as u64;
+        while left > 0 {
+            // Units until a single-unit charge would trip the flush. The
+            // accumulator can already sit at/above the threshold (memory
+            // charges don't flush), in which case the next unit trips it.
+            let to_flush = cost::CHUNK.saturating_sub(self.pending.total()).max(1);
+            if to_flush > left {
+                self.pending.cpu += left;
+                self.work_total += left;
+                return;
+            }
+            self.pending.cpu += to_flush;
+            self.work_total += to_flush;
+            self.sync_clock();
+            left -= to_flush;
+        }
+    }
+
+    pub(crate) fn charge_mem(&mut self, mem: u64) {
         self.pending.mem += mem;
         self.work_total += mem;
     }
@@ -258,7 +292,7 @@ impl<'w> Machine<'w> {
 
     // ----- probes -----
 
-    fn on_tick(&mut self, sensor: SensorId) {
+    pub(crate) fn on_tick(&mut self, sensor: SensorId) {
         self.sync_clock();
         let now = self.proc.now();
         if let Some(h) = &mut self.sensors {
@@ -268,7 +302,7 @@ impl<'w> Machine<'w> {
         self.open_senses.push((sensor, self.work_total));
     }
 
-    fn on_tock(&mut self, sensor: SensorId) {
+    pub(crate) fn on_tock(&mut self, sensor: SensorId) {
         self.sync_clock();
         let now = self.proc.now();
         // Pop the matching open sense (probes are balanced by the
@@ -472,8 +506,10 @@ impl<'w> Machine<'w> {
             args.push(self.eval(a, env)?);
         }
         if let Some(fi) = self.program.function_index(&c.callee) {
-            let func = self.program.functions[fi].clone();
-            return self.call_function(&func, args);
+            // Borrow through a cheap `Arc` bump instead of deep cloning the
+            // callee's body on every call.
+            let program = Arc::clone(&self.program);
+            return self.call_function(&program.functions[fi], args);
         }
         match builtins::call_builtin(self, &c.callee, &args) {
             Some(r) => r,
@@ -564,7 +600,7 @@ pub struct MachineResult {
     pub transport: TransportStats,
 }
 
-fn coerce_scalar(v: Value, ty: vsensor_lang::ast::Type) -> Value {
+pub(crate) fn coerce_scalar(v: Value, ty: vsensor_lang::ast::Type) -> Value {
     match (ty, &v) {
         (vsensor_lang::ast::Type::Int, Value::Float(f)) => Value::Int(*f as i64),
         (vsensor_lang::ast::Type::Float, Value::Int(i)) => Value::Float(*i as f64),
@@ -572,7 +608,7 @@ fn coerce_scalar(v: Value, ty: vsensor_lang::ast::Type) -> Value {
     }
 }
 
-fn load_element(arr: &Value, i: i64) -> Result<Value, ExecError> {
+pub(crate) fn load_element(arr: &Value, i: i64) -> Result<Value, ExecError> {
     let check = |len: usize| -> Result<usize, ExecError> {
         if i < 0 || i as usize >= len {
             Err(ExecError::new(format!(
@@ -589,7 +625,7 @@ fn load_element(arr: &Value, i: i64) -> Result<Value, ExecError> {
     }
 }
 
-fn store_element(slot: &mut Value, i: i64, v: Value) -> Result<(), ExecError> {
+pub(crate) fn store_element(slot: &mut Value, i: i64, v: Value) -> Result<(), ExecError> {
     match slot {
         Value::IntArray(a) => {
             let len = a.len();
@@ -619,7 +655,7 @@ fn store_element(slot: &mut Value, i: i64, v: Value) -> Result<(), ExecError> {
     }
 }
 
-fn binop(op: BinOp, l: Value, r: Value) -> Result<Value, ExecError> {
+pub(crate) fn binop(op: BinOp, l: Value, r: Value) -> Result<Value, ExecError> {
     use BinOp::*;
     // Promote to float if either side is float.
     if matches!(l, Value::Float(_)) || matches!(r, Value::Float(_)) {

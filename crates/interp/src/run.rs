@@ -5,8 +5,10 @@
 //! full dynamic module attached — per-rank sensor runtimes, a shared
 //! analysis server, and a final [`VarianceReport`].
 
-use crate::machine::{Machine, MachineResult, SensorHarness};
+use crate::bytecode::{self, CompiledProgram};
+use crate::machine::{ExecError, Machine, MachineResult, SensorHarness};
 use crate::validate::{self, ValidationStats};
+use crate::vm;
 use cluster_sim::time::{Duration, VirtualTime};
 use cluster_sim::Cluster;
 use std::sync::Arc;
@@ -17,6 +19,56 @@ use vsensor_runtime::{
     VarianceReport,
 };
 
+/// Which execution engine runs the ranks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Slot-resolved bytecode VM (the default: same results, much faster).
+    #[default]
+    Vm,
+    /// The original tree-walking interpreter; kept as the differential
+    /// oracle the VM is validated against.
+    TreeWalker,
+}
+
+/// A program prepared for execution on some backend. Bytecode is compiled
+/// exactly once here and shared (via `Arc` clones of the executor) across
+/// all rank threads.
+#[derive(Clone)]
+pub struct Executor {
+    program: Arc<Program>,
+    /// Present iff the backend is [`ExecBackend::Vm`].
+    compiled: Option<Arc<CompiledProgram>>,
+}
+
+impl Executor {
+    /// Prepare `program` for the given backend.
+    pub fn new(program: Arc<Program>, backend: ExecBackend) -> Self {
+        let compiled = match backend {
+            ExecBackend::Vm => Some(Arc::new(bytecode::compile(&program))),
+            ExecBackend::TreeWalker => None,
+        };
+        Executor { program, compiled }
+    }
+
+    /// The shared program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Execute one rank on the prepared backend.
+    pub fn run_rank(
+        &self,
+        proc: &mut simmpi::Proc,
+        sensors: Option<SensorHarness>,
+    ) -> Result<MachineResult, ExecError> {
+        let machine = Machine::new(self.program.clone(), proc, sensors);
+        match &self.compiled {
+            Some(compiled) => vm::run_vm(machine, compiled),
+            None => machine.run(),
+        }
+    }
+}
+
 /// Configuration for an instrumented run.
 #[derive(Clone)]
 pub struct RunConfig {
@@ -24,6 +76,8 @@ pub struct RunConfig {
     pub runtime: RuntimeConfig,
     /// Active dynamic rule (defaults to constant-expected).
     pub rule: Arc<dyn DynamicRule>,
+    /// Execution engine (defaults to the bytecode VM).
+    pub backend: ExecBackend,
 }
 
 impl Default for RunConfig {
@@ -31,6 +85,7 @@ impl Default for RunConfig {
         RunConfig {
             runtime: RuntimeConfig::default(),
             rule: Arc::new(vsensor_runtime::dynrules::ConstantExpected),
+            backend: ExecBackend::default(),
         }
     }
 }
@@ -67,15 +122,23 @@ impl From<MachineResult> for RankResult {
 
 /// Run an uninstrumented program; returns per-rank results. Panics on
 /// program runtime errors (deterministic, so they reproduce).
+///
+/// Thin wrapper over [`run_plain_shared`]; callers that already hold an
+/// `Arc<Program>` should use that to skip the deep program clone.
 pub fn run_plain(program: &Program, cluster: Arc<Cluster>) -> Vec<RankResult> {
-    let program = Arc::new(program.clone());
+    run_plain_shared(Arc::new(program.clone()), cluster, ExecBackend::default())
+}
+
+/// [`run_plain`] without the program clone, on an explicit backend.
+pub fn run_plain_shared(
+    program: Arc<Program>,
+    cluster: Arc<Cluster>,
+    backend: ExecBackend,
+) -> Vec<RankResult> {
+    let exec = Executor::new(program, backend);
     let world = simmpi::World::new(cluster);
     world
-        .run(|proc| {
-            Machine::new(program.clone(), proc, None)
-                .run()
-                .unwrap_or_else(|e| panic!("{e}"))
-        })
+        .run(|proc| exec.run_rank(proc, None).unwrap_or_else(|e| panic!("{e}")))
         .into_iter()
         .map(RankResult::from)
         .collect()
@@ -112,7 +175,17 @@ pub fn run_instrumented(
     cluster: Arc<Cluster>,
     config: &RunConfig,
 ) -> InstrumentedRun {
-    let program = Arc::new(program.clone());
+    run_instrumented_shared(Arc::new(program.clone()), sensors, cluster, config)
+}
+
+/// [`run_instrumented`] without the program clone.
+pub fn run_instrumented_shared(
+    program: Arc<Program>,
+    sensors: Vec<SensorInfo>,
+    cluster: Arc<Cluster>,
+    config: &RunConfig,
+) -> InstrumentedRun {
+    let exec = Executor::new(program, config.backend);
     let ranks = cluster.ranks();
     let server = Arc::new(AnalysisServer::new(
         ranks,
@@ -133,8 +206,7 @@ pub fn run_instrumented(
             let runtime =
                 SensorRuntime::with_rule(sensor_count, config.runtime.clone(), config.rule.clone());
             let harness = SensorHarness::with_channel(runtime, proc.rank(), channel.clone());
-            Machine::new(program.clone(), proc, Some(harness))
-                .run()
+            exec.run_rank(proc, Some(harness))
                 .unwrap_or_else(|e| panic!("{e}"))
         })
         .into_iter()

@@ -3,6 +3,7 @@
 //! The AST mirrors the surface syntax one-to-one; the interesting structure
 //! (stable loop/call IDs, name resolution) is added by [`crate::lower`].
 
+use crate::intern::Name;
 use crate::span::Span;
 
 /// A parsed compilation unit: globals plus functions.
@@ -27,7 +28,7 @@ pub enum Type {
 #[derive(Clone, Debug, PartialEq)]
 pub struct GlobalDecl {
     /// Variable name.
-    pub name: String,
+    pub name: Name,
     /// Declared type.
     pub ty: Type,
     /// Constant initializer.
@@ -49,7 +50,7 @@ pub enum Literal {
 #[derive(Clone, Debug, PartialEq)]
 pub struct FnDecl {
     /// Function name.
-    pub name: String,
+    pub name: Name,
     /// Parameters, in order.
     pub params: Vec<ParamDecl>,
     /// Return type; `None` means the function returns nothing.
@@ -64,7 +65,7 @@ pub struct FnDecl {
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParamDecl {
     /// Parameter name.
-    pub name: String,
+    pub name: Name,
     /// Declared type.
     pub ty: Type,
     /// Source location.
@@ -86,7 +87,7 @@ pub enum StmtKind {
     /// `int x = e;` / `float x;` — scalar declaration.
     Decl {
         /// Variable name.
-        name: String,
+        name: Name,
         /// Declared type.
         ty: Type,
         /// Optional initializer.
@@ -95,7 +96,7 @@ pub enum StmtKind {
     /// `int a[e];` / `float a[e];` — array declaration (zero-initialized).
     ArrayDecl {
         /// Array name.
-        name: String,
+        name: Name,
         /// Element type.
         ty: Type,
         /// Length expression.
@@ -120,7 +121,7 @@ pub enum StmtKind {
     /// `for (v = init; cond; v = step) { .. }` — C-style counted loop.
     For {
         /// Induction variable name (declared by the loop, scoped to it).
-        var: String,
+        var: Name,
         /// Initializer expression.
         init: ExprNode,
         /// Continuation condition.
@@ -151,11 +152,11 @@ pub enum StmtKind {
 #[derive(Clone, Debug, PartialEq)]
 pub enum AssignTarget {
     /// Scalar variable.
-    Var(String),
+    Var(Name),
     /// Array element `name[index]`.
     Index {
         /// Array name.
-        name: String,
+        name: Name,
         /// Index expression.
         index: ExprNode,
     },
@@ -178,11 +179,11 @@ pub enum ExprKind {
     /// Float literal.
     Float(f64),
     /// Variable reference.
-    Var(String),
+    Var(Name),
     /// Array element read `name[index]`.
     Index {
         /// Array name.
-        name: String,
+        name: Name,
         /// Index expression.
         index: Box<ExprNode>,
     },
@@ -210,7 +211,7 @@ pub enum ExprKind {
 #[derive(Clone, Debug, PartialEq)]
 pub struct CallNode {
     /// Callee name (user function or builtin/extern).
-    pub callee: String,
+    pub callee: Name,
     /// Argument expressions.
     pub args: Vec<ExprNode>,
     /// Source location.

@@ -1,0 +1,213 @@
+//! Interned identifiers.
+//!
+//! Every identifier in a compilation unit is interned once at lex time into
+//! a [`Name`]: a shared, immutable string that clones by bumping a
+//! reference count. Diagnostics and `explain` output keep full strings
+//! (a `Name` derefs to `&str` and implements `Display`), while the hot
+//! paths downstream — lowering, analysis, and above all the bytecode
+//! compiler — copy and compare names without allocating or re-hashing
+//! character data: equality short-circuits on pointer identity for names
+//! from the same interner.
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An interned identifier. Cheap to clone (`Arc` bump), compares by
+/// pointer first and by characters second, and behaves like a `&str`
+/// wherever string behavior is expected.
+#[derive(Clone, Eq)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Create a standalone (non-interned) name. Equality with interned
+    /// names still holds — it just takes the character-compare path.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for Name {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for str {
+    fn eq(&self, other: &Name) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<Name> for &str {
+    fn eq(&self, other: &Name) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl PartialEq<Name> for String {
+    fn eq(&self, other: &Name) -> bool {
+        self.as_str() == &*other.0
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash like `str` so `HashMap<Name, _>` lookups by `&str` work
+        // through `Borrow<str>`.
+        self.0.hash(state)
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name(Arc::from(s))
+    }
+}
+
+/// A per-compilation string interner. Identical identifiers share one
+/// allocation, so every later clone/compare of that name is O(1).
+#[derive(Debug, Default)]
+pub struct Interner {
+    names: HashSet<Arc<str>>,
+}
+
+impl Interner {
+    /// Fresh, empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning the canonical [`Name`] for it.
+    pub fn intern(&mut self, s: &str) -> Name {
+        if let Some(existing) = self.names.get(s) {
+            return Name(existing.clone());
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.names.insert(arc.clone());
+        Name(arc)
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_shares_allocations() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("alpha");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(i.len(), 1);
+        let c = i.intern("beta");
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn names_compare_like_strings() {
+        let a = Name::new("x");
+        let b = Name::from("x".to_string());
+        assert_eq!(a, b);
+        assert_eq!(a, *"x");
+        assert_eq!(a, "x");
+        assert_eq!("x", a);
+        assert_eq!(a, "x".to_string());
+        assert!(a < Name::new("y"));
+        assert_eq!(format!("{a}"), "x");
+        assert_eq!(format!("{a:?}"), "\"x\"");
+    }
+
+    #[test]
+    fn hashmap_lookup_by_str() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(Name::new("k"), 7);
+        assert_eq!(m.get("k"), Some(&7));
+    }
+}

@@ -8,6 +8,7 @@
 //! and the runtime refer to snippets.
 
 use crate::ast::Type;
+use crate::intern::Name;
 use crate::span::Span;
 use std::fmt;
 
@@ -77,7 +78,7 @@ impl Program {
 #[derive(Clone, Debug, PartialEq)]
 pub struct Global {
     /// Name.
-    pub name: String,
+    pub name: Name,
     /// Declared type.
     pub ty: Type,
     /// Initial value (ints are stored exactly; floats as bits in `f64`).
@@ -99,9 +100,9 @@ pub enum GlobalInit {
 #[derive(Clone, Debug, PartialEq)]
 pub struct Function {
     /// Name.
-    pub name: String,
+    pub name: Name,
     /// Parameter names and types, in order.
-    pub params: Vec<(String, Type)>,
+    pub params: Vec<(Name, Type)>,
     /// Return type if any.
     pub ret: Option<Type>,
     /// Body.
@@ -135,7 +136,7 @@ pub enum Stmt {
     /// Scalar declaration, optionally initialized.
     Decl {
         /// Variable name.
-        name: String,
+        name: Name,
         /// Declared type.
         ty: Type,
         /// Optional initializer.
@@ -146,7 +147,7 @@ pub enum Stmt {
     /// Array declaration (zero-initialized, dynamically sized).
     ArrayDecl {
         /// Array name.
-        name: String,
+        name: Name,
         /// Element type.
         ty: Type,
         /// Length expression.
@@ -182,7 +183,7 @@ pub enum Stmt {
         kind: LoopKind,
         /// Induction variable (for `for` loops; a fresh hidden name for
         /// `while` loops, unused).
-        var: String,
+        var: Name,
         /// Induction initializer (`for` only; constant 0 for `while`).
         init: Expr,
         /// Continuation condition.
@@ -243,11 +244,11 @@ impl Stmt {
 #[derive(Clone, Debug, PartialEq)]
 pub enum LValue {
     /// Scalar variable.
-    Var(String),
+    Var(Name),
     /// Array element.
     Index {
         /// Array name.
-        name: String,
+        name: Name,
         /// Index expression.
         index: Expr,
     },
@@ -255,7 +256,7 @@ pub enum LValue {
 
 impl LValue {
     /// The variable name being (partially) written.
-    pub fn base(&self) -> &str {
+    pub fn base(&self) -> &Name {
         match self {
             LValue::Var(n) => n,
             LValue::Index { name, .. } => name,
@@ -269,7 +270,7 @@ pub struct CallSite {
     /// Program-unique call-site ID.
     pub id: CallId,
     /// Callee name.
-    pub callee: String,
+    pub callee: Name,
     /// Arguments.
     pub args: Vec<Expr>,
     /// Source location.
@@ -285,11 +286,11 @@ pub enum Expr {
     Float(f64),
     /// Variable read (local, parameter or global — resolution happens in
     /// the analysis/interpreter against the enclosing scopes).
-    Var(String),
+    Var(Name),
     /// Array element read.
     Index {
         /// Array name.
-        name: String,
+        name: Name,
         /// Index expression.
         index: Box<Expr>,
     },

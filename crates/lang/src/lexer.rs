@@ -5,6 +5,7 @@
 //! [`crate::token::TokenKind`].
 
 use crate::error::{LangError, Result};
+use crate::intern::Interner;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
@@ -19,6 +20,7 @@ struct Lexer<'s> {
     line: u32,
     col: u32,
     tokens: Vec<Token>,
+    interner: Interner,
 }
 
 impl<'s> Lexer<'s> {
@@ -29,6 +31,7 @@ impl<'s> Lexer<'s> {
             line: 1,
             col: 1,
             tokens: Vec::new(),
+            interner: Interner::new(),
         }
     }
 
@@ -166,7 +169,7 @@ impl<'s> Lexer<'s> {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
-        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(self.interner.intern(text)))
     }
 
     fn operator(&mut self) -> Result<TokenKind> {

@@ -37,6 +37,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod intern;
 pub mod ir;
 pub mod lexer;
 pub mod lower;
@@ -46,6 +47,7 @@ pub mod span;
 pub mod token;
 
 pub use error::{LangError, Result};
+pub use intern::{Interner, Name};
 pub use ir::{
     visit_calls, visit_stmts, BinOp, Block, CallId, CallSite, Expr, Function, Global, GlobalInit,
     LValue, LoopId, LoopKind, Program, SensorId, Stmt, UnOp,

@@ -9,6 +9,7 @@
 
 use crate::ast::{self, AssignTarget, ExprKind, Literal, StmtKind, Unit};
 use crate::error::{LangError, Result};
+use crate::intern::Name;
 use crate::ir::*;
 use std::collections::HashMap;
 
@@ -74,7 +75,7 @@ pub fn lower(unit: &Unit) -> Result<Program> {
 struct Lowerer {
     next_loop: u32,
     next_call: u32,
-    fn_arity: HashMap<String, usize>,
+    fn_arity: HashMap<Name, usize>,
 }
 
 impl Lowerer {
@@ -163,7 +164,7 @@ impl Lowerer {
                 Stmt::Loop {
                     id,
                     kind: LoopKind::While,
-                    var: format!("$while{}", id.0),
+                    var: Name::from(format!("$while{}", id.0)),
                     init: Expr::Int(0),
                     cond: self.expr(cond)?,
                     step: Expr::Int(0),

@@ -21,6 +21,7 @@
 
 use crate::ast::*;
 use crate::error::{LangError, Result};
+use crate::intern::Name;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
@@ -92,7 +93,7 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<(String, Span)> {
+    fn expect_ident(&mut self) -> Result<(Name, Span)> {
         match self.peek().clone() {
             TokenKind::Ident(name) => {
                 let span = self.peek_span();

@@ -80,7 +80,7 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
         }
         Stmt::Assign { target, value, .. } => {
             let lhs = match target {
-                LValue::Var(n) => n.clone(),
+                LValue::Var(n) => n.to_string(),
                 LValue::Index { name, index } => format!("{}[{}]", name, print_expr(index)),
             };
             let _ = writeln!(out, "{} = {};", lhs, print_expr(value));
@@ -198,7 +198,7 @@ fn prec_expr(e: &Expr, min_prec: u8) -> String {
     match e {
         Expr::Int(v) => v.to_string(),
         Expr::Float(v) => fmt_float(*v),
-        Expr::Var(n) => n.clone(),
+        Expr::Var(n) => n.to_string(),
         Expr::Index { name, index } => format!("{}[{}]", name, prec_expr(index, 0)),
         Expr::Unary { op, operand } => {
             let sym = match op {

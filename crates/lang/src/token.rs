@@ -1,5 +1,6 @@
 //! Token definitions for the MiniHPC lexer.
 
+use crate::intern::Name;
 use crate::span::Span;
 use std::fmt;
 
@@ -20,8 +21,8 @@ pub enum TokenKind {
     Int(i64),
     /// Floating-point literal, e.g. `3.5`.
     Float(f64),
-    /// Identifier, e.g. `foo`.
-    Ident(String),
+    /// Identifier, e.g. `foo` (interned at lex time).
+    Ident(Name),
 
     // Keywords
     /// `fn`
