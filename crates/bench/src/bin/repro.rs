@@ -3,14 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--smoke] [--out DIR] [experiment...]
+//! repro [--smoke] [--out DIR] [--check] [experiment...]
 //! repro --list
 //! ```
 //!
 //! With no experiment names, runs everything. `--smoke` uses the reduced
 //! scale (what the unit tests run); the default is the full reproduction
 //! scale (use a release build). `--out DIR` additionally writes plottable
-//! artifacts — SVG/PPM heatmaps and CSV series — into `DIR`.
+//! artifacts — SVG/PPM heatmaps and CSV series — into `DIR`. `--check`
+//! turns the `interp` experiment into the CI perf-regression gate: a
+//! reduced paper-scale sweep is compared against the committed
+//! `BENCH_interp.json` and the process exits nonzero on regression.
 
 use cluster_sim::time::Duration;
 use std::path::PathBuf;
@@ -38,6 +41,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "interp",
         "Interpreter backend speed: tree-walker vs bytecode VM (BENCH_interp.json)",
     ),
+    (
+        "trace",
+        "Traced degraded-transport run: Chrome trace JSON + per-category summary",
+    ),
 ];
 
 fn main() {
@@ -53,6 +60,7 @@ fn main() {
     } else {
         Effort::Paper
     };
+    let check = args.iter().any(|a| a == "--check");
     let out_dir: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--out")
@@ -193,19 +201,65 @@ fn main() {
     }
     if want("interp") {
         section("interp");
-        let r = interp_speed::run(effort);
-        println!("{}", r.render());
-        // The perf trajectory is always recorded: into --out when given,
-        // next to the invocation otherwise.
-        let json = r.to_json();
-        match &out_dir {
-            Some(_) => write_artifact(&out_dir, "BENCH_interp.json", &json),
-            None => {
-                std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
-                println!("[wrote BENCH_interp.json]");
+        if check {
+            run_perf_gate();
+        } else {
+            let r = interp_speed::run(effort);
+            println!("{}", r.render());
+            // The perf trajectory is always recorded: into --out when given,
+            // next to the invocation otherwise.
+            let json = r.to_json();
+            match &out_dir {
+                Some(_) => write_artifact(&out_dir, "BENCH_interp.json", &json),
+                None => {
+                    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+                    println!("[wrote BENCH_interp.json]");
+                }
             }
         }
     }
+    if want("trace") {
+        section("trace");
+        let r = trace_run::run(effort);
+        println!("{}", r.render());
+        write_artifact(&out_dir, "trace.json", &r.chrome_json());
+        write_artifact(&out_dir, "trace_summary.txt", &r.summary());
+    }
+}
+
+/// The `interp --check` path: a reduced paper-scale sweep compared
+/// against the committed baseline. Exits nonzero on regression so CI can
+/// gate on it. Always paper-parameter workloads — the committed baseline
+/// was measured at paper scale, so a smoke sweep would not be comparable.
+fn run_perf_gate() {
+    let baseline_text = read_baseline().unwrap_or_else(|e| {
+        eprintln!("perf gate: cannot read BENCH_interp.json: {e}");
+        std::process::exit(2);
+    });
+    let baseline = perf_gate::parse_baseline(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("perf gate: cannot parse BENCH_interp.json: {e}");
+        std::process::exit(2);
+    });
+    // Reduced sweep: the two cheapest rank counts of the committed
+    // trajectory. Cells the sweep skips (ranks=64) are reported, not
+    // failed.
+    let fresh = interp_speed::run_with_ranks(Effort::Paper, &[4, 16]);
+    let report = perf_gate::compare(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE);
+    println!("{}", report.render());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn read_baseline() -> std::io::Result<String> {
+    // Next to the invocation first (repo root in CI), then relative to
+    // the crate for `cargo run` from anywhere in the workspace.
+    std::fs::read_to_string("BENCH_interp.json").or_else(|_| {
+        std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_interp.json"
+        ))
+    })
 }
 
 fn write_artifact(out_dir: &Option<PathBuf>, name: &str, content: &str) {

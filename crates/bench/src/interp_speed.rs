@@ -155,6 +155,13 @@ pub fn run(effort: Effort) -> InterpSpeedResult {
         Effort::Smoke => &[4, 8],
         Effort::Paper => &[4, 16, 64],
     };
+    run_with_ranks(effort, rank_sweep)
+}
+
+/// Run the sweep over an explicit rank list — the perf-regression gate
+/// uses a reduced sweep whose (workload, ranks) cells still match the
+/// committed baseline's.
+pub fn run_with_ranks(effort: Effort, rank_sweep: &[usize]) -> InterpSpeedResult {
     let mut rows = Vec::new();
     for (workload, prepared) in workloads(effort) {
         for &ranks in rank_sweep {

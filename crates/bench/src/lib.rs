@@ -21,6 +21,8 @@
 //! | [`fwq_intrusiveness`]| §1's FWQ critique, quantified |
 //! | [`ablations`]        | design-choice sweeps called out in DESIGN.md |
 //! | [`interp_speed`]     | tree-walker vs bytecode-VM backend speed (`BENCH_interp.json`) |
+//! | [`trace_run`]        | traced degraded-transport run → Chrome trace JSON |
+//! | [`perf_gate`]        | CI regression gate over `BENCH_interp.json` |
 
 pub mod ablations;
 pub mod datavolume;
@@ -34,7 +36,9 @@ pub mod fig21_badnode;
 pub mod fig22_network;
 pub mod fwq_intrusiveness;
 pub mod interp_speed;
+pub mod perf_gate;
 pub mod table1_validation;
+pub mod trace_run;
 
 /// How big to run an experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

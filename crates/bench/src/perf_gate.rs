@@ -1,0 +1,411 @@
+//! CI perf-regression gate over the committed interpreter benchmark.
+//!
+//! `repro interp --check` re-measures a reduced slice of the
+//! [`crate::interp_speed`] sweep and compares it against the committed
+//! `BENCH_interp.json` trajectory. Two regressions fail the gate, each
+//! with a generous noise tolerance (CI machines are not the baseline
+//! machine):
+//!
+//! * **Speedup loss** — the walker→VM speedup for a (workload, ranks)
+//!   cell drops by more than the tolerance. The speedup is a same-machine
+//!   ratio, so it is robust to absolute machine speed.
+//! * **Absolute slowdown** — the VM backend's wall-ns-per-simulated-second
+//!   worsens by more than the tolerance versus the baseline.
+//!
+//! Only (workload, ranks) cells present in **both** the baseline and the
+//! fresh measurement are compared; baseline-only cells are counted as
+//! skipped, never failed.
+//!
+//! The baseline parser is hand-rolled (the workspace has no JSON
+//! dependency) and accepts exactly the flat array-of-objects shape
+//! `InterpSpeedResult::to_json` emits.
+
+use std::fmt::Write;
+
+use crate::interp_speed::InterpSpeedResult;
+
+#[cfg(test)]
+use crate::interp_speed::InterpRow;
+
+/// Default noise tolerance: a cell may lose up to 25 % speedup or get up
+/// to 25 % slower before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One baseline cell parsed from `BENCH_interp.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineRow {
+    /// Workload name (`cg-fig21`, `ft-fig22`).
+    pub workload: String,
+    /// Backend name (`tree-walker`, `vm`).
+    pub backend: String,
+    /// Simulated ranks.
+    pub ranks: usize,
+    /// Wall-clock nanoseconds of the baseline measurement.
+    pub wall_ns: u64,
+    /// Baseline wall nanoseconds per simulated second.
+    pub wall_ns_per_sim_sec: f64,
+}
+
+/// Parse `BENCH_interp.json` (an array of flat objects). Tolerates
+/// arbitrary whitespace and key order; rejects anything missing a
+/// required field.
+pub fn parse_baseline(json: &str) -> Result<Vec<BaselineRow>, String> {
+    let trimmed = json.trim();
+    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
+        return Err("baseline is not a JSON array".into());
+    }
+    let mut rows = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in trimmed.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| "unbalanced braces in baseline".to_string())?;
+                if depth == 0 {
+                    rows.push(parse_object(&trimmed[start..=i])?);
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err("unterminated object in baseline".into());
+    }
+    if rows.is_empty() {
+        return Err("baseline contains no rows".into());
+    }
+    Ok(rows)
+}
+
+fn parse_object(obj: &str) -> Result<BaselineRow, String> {
+    Ok(BaselineRow {
+        workload: str_field(obj, "workload")?,
+        backend: str_field(obj, "backend")?,
+        ranks: num_field(obj, "ranks")? as usize,
+        wall_ns: num_field(obj, "wall_ns")? as u64,
+        wall_ns_per_sim_sec: num_field(obj, "wall_ns_per_sim_sec")?,
+    })
+}
+
+/// The raw text after `"key":`, trimmed.
+fn field_value<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\"");
+    let at = obj
+        .find(&pat)
+        .ok_or_else(|| format!("baseline row missing field `{key}`: {obj}"))?;
+    let rest = obj[at + pat.len()..].trim_start();
+    rest.strip_prefix(':')
+        .map(str::trim_start)
+        .ok_or_else(|| format!("malformed field `{key}`"))
+}
+
+fn str_field(obj: &str, key: &str) -> Result<String, String> {
+    let v = field_value(obj, key)?;
+    let v = v
+        .strip_prefix('"')
+        .ok_or_else(|| format!("field `{key}` is not a string"))?;
+    let end = v
+        .find('"')
+        .ok_or_else(|| format!("unterminated string for `{key}`"))?;
+    Ok(v[..end].to_string())
+}
+
+fn num_field(obj: &str, key: &str) -> Result<f64, String> {
+    let v = field_value(obj, key)?;
+    let end = v
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(v.len());
+    v[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("field `{key}` is not a number: {e}"))
+}
+
+/// One comparison the gate performed.
+#[derive(Clone, Debug)]
+pub struct GateCheck {
+    /// Workload name.
+    pub workload: String,
+    /// Rank count.
+    pub ranks: usize,
+    /// What was compared (`"vm-speedup"` or `"vm-throughput"`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// Whether the cell is within tolerance.
+    pub ok: bool,
+}
+
+/// The gate's verdict over every comparable cell.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// All performed checks.
+    pub checks: Vec<GateCheck>,
+    /// Baseline (workload, ranks) cells the fresh run did not measure.
+    pub skipped: usize,
+    /// Tolerance used.
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// True when every check passed and at least one ran (an empty
+    /// comparison is a gate misconfiguration, not a pass).
+    pub fn passed(&self) -> bool {
+        !self.checks.is_empty() && self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Render the verdict table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf gate (tolerance {:.0}%): {} check(s), {} baseline cell(s) not re-measured",
+            self.tolerance * 100.0,
+            self.checks.len(),
+            self.skipped,
+        );
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "  [{}] {:<10} ranks {:>3} {:<13} baseline {:>12.2} current {:>12.2} ({:+.1}%)",
+                if c.ok { "ok" } else { "FAIL" },
+                c.workload,
+                c.ranks,
+                c.metric,
+                c.baseline,
+                c.current,
+                (c.current / c.baseline.max(1e-12) - 1.0) * 100.0,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "perf gate: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Compare a fresh measurement against the committed baseline. Cells are
+/// keyed by (workload, ranks); a cell is compared only when both sides
+/// have both backends for it.
+pub fn compare(
+    baseline: &[BaselineRow],
+    current: &InterpSpeedResult,
+    tolerance: f64,
+) -> GateReport {
+    let find_base = |workload: &str, ranks: usize, backend: &str| {
+        baseline
+            .iter()
+            .find(|r| r.workload == workload && r.ranks == ranks && r.backend == backend)
+    };
+    let find_cur = |workload: &str, ranks: usize, backend: &str| {
+        current
+            .rows
+            .iter()
+            .find(|r| r.workload == workload && r.ranks == ranks && r.backend == backend)
+    };
+
+    let mut keys: Vec<(String, usize)> = Vec::new();
+    for r in baseline {
+        let key = (r.workload.clone(), r.ranks);
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+
+    let mut report = GateReport {
+        tolerance,
+        ..GateReport::default()
+    };
+    for (workload, ranks) in keys {
+        let cells = (
+            find_base(&workload, ranks, "tree-walker"),
+            find_base(&workload, ranks, "vm"),
+            find_cur(&workload, ranks, "tree-walker"),
+            find_cur(&workload, ranks, "vm"),
+        );
+        let (Some(bw), Some(bv), Some(cw), Some(cv)) = cells else {
+            report.skipped += 1;
+            continue;
+        };
+        // Walker→VM speedup must not collapse: a same-machine ratio, so
+        // it is meaningful even when CI hardware differs from the
+        // baseline machine.
+        let base_speedup = bw.wall_ns as f64 / bv.wall_ns.max(1) as f64;
+        let cur_speedup = cw.wall_ns as f64 / cv.wall_ns.max(1) as f64;
+        report.checks.push(GateCheck {
+            workload: workload.clone(),
+            ranks,
+            metric: "vm-speedup",
+            baseline: base_speedup,
+            current: cur_speedup,
+            ok: cur_speedup >= base_speedup * (1.0 - tolerance),
+        });
+        // The VM backend (the default engine) must not get absolutely
+        // slower per simulated second.
+        report.checks.push(GateCheck {
+            workload: workload.clone(),
+            ranks,
+            metric: "vm-throughput",
+            baseline: bv.wall_ns_per_sim_sec,
+            current: cv.wall_ns_per_sim_sec,
+            ok: cv.wall_ns_per_sim_sec <= bv.wall_ns_per_sim_sec * (1.0 + tolerance),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(workloads: &[&'static str], ranks: &[usize]) -> Vec<InterpRow> {
+        let mut rows = Vec::new();
+        for &w in workloads {
+            for &r in ranks {
+                // Walker 5x slower than the VM, throughput scales with
+                // ranks — the committed trajectory's rough shape.
+                let vm_wall = 1_000_000_000 * r as u64;
+                rows.push(InterpRow {
+                    workload: w,
+                    backend: "tree-walker",
+                    ranks: r,
+                    wall_ns: vm_wall * 5,
+                    simulated_secs: 0.05,
+                    wall_ns_per_sim_sec: (vm_wall * 5) as f64 / 0.05,
+                });
+                rows.push(InterpRow {
+                    workload: w,
+                    backend: "vm",
+                    ranks: r,
+                    wall_ns: vm_wall,
+                    simulated_secs: 0.05,
+                    wall_ns_per_sim_sec: vm_wall as f64 / 0.05,
+                });
+            }
+        }
+        rows
+    }
+
+    fn to_baseline(rows: &[InterpRow]) -> Vec<BaselineRow> {
+        parse_baseline(
+            &InterpSpeedResult {
+                rows: rows.to_vec(),
+            }
+            .to_json(),
+        )
+        .expect("round-trip")
+    }
+
+    #[test]
+    fn parser_round_trips_the_emitted_format() {
+        let rows = synthetic(&["cg-fig21", "ft-fig22"], &[4, 16]);
+        let parsed = to_baseline(&rows);
+        assert_eq!(parsed.len(), 8);
+        assert_eq!(parsed[0].workload, "cg-fig21");
+        assert_eq!(parsed[0].backend, "tree-walker");
+        assert_eq!(parsed[0].ranks, 4);
+        assert_eq!(parsed[0].wall_ns, 20_000_000_000);
+        assert!((parsed[1].wall_ns_per_sim_sec - 4_000_000_000.0 / 0.05).abs() < 1.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("[]").is_err(), "no rows is an error");
+        assert!(
+            parse_baseline("[{\"workload\": \"cg\"}]").is_err(),
+            "missing fields"
+        );
+        assert!(parse_baseline("[{").is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let rows = synthetic(&["cg-fig21"], &[4, 16]);
+        let report = compare(
+            &to_baseline(&rows),
+            &InterpSpeedResult { rows },
+            DEFAULT_TOLERANCE,
+        );
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.checks.len(), 4, "2 cells x 2 metrics");
+        assert_eq!(report.skipped, 0);
+    }
+
+    #[test]
+    fn noise_within_tolerance_passes() {
+        let base = synthetic(&["cg-fig21", "ft-fig22"], &[4, 16]);
+        let mut cur = base.clone();
+        // ±10% jitter, alternating direction per row.
+        for (i, r) in cur.iter_mut().enumerate() {
+            let f = if i % 2 == 0 { 1.10 } else { 0.90 };
+            r.wall_ns = (r.wall_ns as f64 * f) as u64;
+            r.wall_ns_per_sim_sec *= f;
+        }
+        let report = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: cur },
+            DEFAULT_TOLERANCE,
+        );
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn injected_2x_vm_slowdown_fails() {
+        let base = synthetic(&["cg-fig21"], &[4]);
+        let mut cur = base.clone();
+        for r in cur.iter_mut().filter(|r| r.backend == "vm") {
+            r.wall_ns *= 2;
+            r.wall_ns_per_sim_sec *= 2.0;
+        }
+        let report = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: cur },
+            DEFAULT_TOLERANCE,
+        );
+        assert!(!report.passed());
+        // Both metrics see it: the speedup halves and throughput doubles.
+        assert!(
+            report.checks.iter().filter(|c| !c.ok).count() == 2,
+            "{}",
+            report.render()
+        );
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn baseline_only_cells_are_skipped_not_failed() {
+        let base = synthetic(&["cg-fig21"], &[4, 16, 64]);
+        let cur = synthetic(&["cg-fig21"], &[4, 16]);
+        let report = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: cur },
+            DEFAULT_TOLERANCE,
+        );
+        assert!(report.passed());
+        assert_eq!(report.skipped, 1, "the ranks=64 cell");
+    }
+
+    #[test]
+    fn empty_comparison_is_a_failure() {
+        let base = synthetic(&["cg-fig21"], &[4]);
+        let cur = synthetic(&["ft-fig22"], &[8]);
+        let report = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: cur },
+            DEFAULT_TOLERANCE,
+        );
+        assert!(!report.passed(), "nothing compared must not pass");
+    }
+}

@@ -1,0 +1,145 @@
+//! `repro trace`: the degraded-transport case study re-run under a
+//! full-mask trace session, exporting the virtual timeline.
+//!
+//! Produces two artifacts:
+//!
+//! * `trace.json` — Chrome trace-event JSON of the run's virtual timeline
+//!   (one lane per rank plus the analysis server), loadable in Perfetto
+//!   or `chrome://tracing`.
+//! * `trace_summary.txt` — the plain-text per-category digest.
+//!
+//! The run itself is the fault-transport robustness scenario (bad node +
+//! lossy telemetry), chosen because it exercises every trace category at
+//! once: sensor spans, MPI calls, compute segments, transport retries and
+//! drops, engine ingest/detection, and VM run segments.
+
+use cluster_sim::time::Duration;
+use std::fmt::Write;
+use std::sync::Arc;
+use vsensor::{scenarios, Pipeline};
+use vsensor_apps::{cg, Params};
+use vsensor_interp::{InstrumentedRun, RunConfig};
+use vsensor_runtime::trace::{self, Category, MetricsRegistry, RuntimeHealth, Trace, TraceSession};
+use vsensor_runtime::RuntimeConfig;
+
+use crate::Effort;
+
+/// Telemetry drop probability for the traced scenario — high enough that
+/// retries reliably appear in the timeline.
+pub const DROP_RATE: f64 = 0.15;
+
+/// Result of the traced run.
+pub struct TraceRunResult {
+    /// The instrumented run, with `report.health` attached.
+    pub run: InstrumentedRun,
+    /// The drained trace.
+    pub trace: Trace,
+    /// The tracing-derived health snapshot (same object the report holds).
+    pub health: RuntimeHealth,
+    /// Ranks used.
+    pub ranks: usize,
+}
+
+/// Run the degraded-transport scenario with every trace category enabled.
+pub fn run(effort: Effort) -> TraceRunResult {
+    let ranks = effort.ranks(64);
+    let params = match effort {
+        Effort::Smoke => Params::test().with_iters(200),
+        Effort::Paper => Params::bench().with_iters(800),
+    };
+    let prepared = Pipeline::new().prepare(cg::generate(params).compile());
+    let ranks_per_node = (ranks / 8).max(2);
+    let bad_node = (ranks / ranks_per_node) / 2;
+    let cluster = scenarios::degraded_transport(ranks, bad_node, 0.55, DROP_RATE, 0x7ace)
+        .with_ranks_per_node(ranks_per_node)
+        .build();
+
+    // Detection cadence tight enough that even the short smoke run gets
+    // several streaming passes into the timeline.
+    let detect_every = match effort {
+        Effort::Smoke => Duration::from_millis(2),
+        Effort::Paper => Duration::from_millis(10),
+    };
+    let config = RunConfig {
+        runtime: RuntimeConfig::default()
+            .with_detect_interval(detect_every)
+            .expect("interval is positive"),
+        ..RunConfig::default()
+    };
+
+    let session = TraceSession::start(Category::ALL);
+    let mut run = prepared.run(Arc::new(cluster), &config);
+    let trace = session.finish();
+
+    let health = MetricsRegistry::from_trace(&trace).health(&trace);
+    run.report.health = Some(health.clone());
+    TraceRunResult {
+        run,
+        trace,
+        health,
+        ranks,
+    }
+}
+
+impl TraceRunResult {
+    /// The Chrome trace-event JSON artifact.
+    pub fn chrome_json(&self) -> String {
+        trace::chrome_trace_json(&self.trace)
+    }
+
+    /// The plain-text per-category summary artifact.
+    pub fn summary(&self) -> String {
+        trace::text_summary(&self.trace)
+    }
+
+    /// Render the console view: the health-annotated report plus the
+    /// trace digest.
+    pub fn render(&self) -> String {
+        let mut out = self.run.report.render();
+        let _ = writeln!(out);
+        out.push_str(&self.summary());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One smoke-scale traced run covers every category across every rank.
+    /// (Assertions tolerate events recorded by other concurrently running
+    /// tests — the session mask is process-global — so they are lower
+    /// bounds, never exact counts.)
+    #[test]
+    fn traced_run_covers_all_categories_and_ranks() {
+        let r = run(Effort::Smoke);
+        for cat in [
+            Category::SENSOR,
+            Category::MPI,
+            Category::COMPUTE,
+            Category::TRANSPORT,
+            Category::ENGINE,
+            Category::VM,
+        ] {
+            assert!(
+                r.trace.count(cat) > 0,
+                "category {} missing from trace",
+                cat.label()
+            );
+        }
+        let lanes = r.trace.rank_lanes();
+        assert!(
+            (0..r.ranks as u32).all(|rank| lanes.contains(&rank)),
+            "every rank emits events: {lanes:?}"
+        );
+        // Lossy telemetry must surface as retries in the health snapshot.
+        assert!(r.health.transport_retries > 0, "{:?}", r.health);
+        assert!(r.health.detect_passes > 0);
+        // The report carries the health section.
+        assert!(r.run.report.render().contains("runtime health:"));
+        // Exports are non-trivial.
+        let json = r.chrome_json();
+        assert!(json.contains("\"ph\":\"X\"") && json.contains("\"ph\":\"i\""));
+        assert!(r.summary().contains("trace summary:"));
+    }
+}

@@ -18,6 +18,8 @@
 //!   "workload max error" column measures precisely this).
 //! * [`topology`] — rank-to-node placement.
 //! * [`cluster`] — the facade tying the pieces together.
+//! * [`trace`] — virtual-time tracing core: category-gated events into
+//!   bounded per-thread buffers, free when disabled.
 
 pub mod cluster;
 pub mod fault;
@@ -27,6 +29,7 @@ pub mod noise;
 pub mod pmu;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use fault::{FaultConfig, FaultPlan, SendFate};

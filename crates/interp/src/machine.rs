@@ -12,6 +12,7 @@ use crate::validate::ValidationStats;
 use crate::values::{Env, Value};
 use cluster_sim::node::Work;
 use cluster_sim::time::VirtualTime;
+use cluster_sim::trace::{self, Category, TraceEvent};
 use simmpi::Proc;
 use std::fmt;
 use std::sync::Arc;
@@ -205,6 +206,11 @@ impl<'w> Machine<'w> {
         self.proc.size()
     }
 
+    /// Current virtual time of the underlying rank (read-only).
+    pub(crate) fn now(&self) -> VirtualTime {
+        self.proc.now()
+    }
+
     /// Hosting node.
     pub fn node_id(&self) -> usize {
         self.proc.node_id()
@@ -299,12 +305,35 @@ impl<'w> Machine<'w> {
             let outcome = h.runtime.tick(sensor, now);
             self.proc.advance(outcome.cost);
         }
+        if trace::enabled(Category::SENSOR) {
+            // Span opens once the probe overhead is charged — the sensed
+            // region itself. Pure observation, no virtual cost.
+            trace::record(TraceEvent::begin(
+                Category::SENSOR,
+                "sense",
+                self.proc.rank() as u32,
+                self.proc.now().as_nanos(),
+                sensor.0 as u64,
+                0,
+            ));
+        }
         self.open_senses.push((sensor, self.work_total));
     }
 
     pub(crate) fn on_tock(&mut self, sensor: SensorId) {
         self.sync_clock();
         let now = self.proc.now();
+        if trace::enabled(Category::SENSOR) {
+            // Close the sensed-region span at the instant the probe fires.
+            trace::record(TraceEvent::end(
+                Category::SENSOR,
+                "sense",
+                self.proc.rank() as u32,
+                now.as_nanos(),
+                sensor.0 as u64,
+                0,
+            ));
+        }
         // Pop the matching open sense (probes are balanced by the
         // instrumentation pass, but tolerate mismatches defensively).
         let opened = match self.open_senses.pop() {

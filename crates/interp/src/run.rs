@@ -261,6 +261,7 @@ pub fn run_instrumented_shared(
         transport,
         alerts: alerts.clone(),
         load: server_result.load.clone(),
+        health: None,
     };
 
     InstrumentedRun {

@@ -37,6 +37,11 @@ pub fn run_vm(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineR
     let entry = compiled
         .entry_fn()
         .ok_or_else(|| ExecError::new("program has no `main`"))?;
+    // Trace the whole VM run as one virtual-time span per rank. Reading
+    // the clock here charges nothing, so traced and untraced runs are
+    // bit-identical.
+    let traced = cluster_sim::trace::enabled(cluster_sim::trace::Category::VM)
+        .then(|| (m.rank() as u32, m.now()));
     // The walker's entry call: depth check (trivially passes), then the
     // CALL charge.
     m.charge(cost::CALL);
@@ -282,7 +287,20 @@ pub fn run_vm(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineR
             Insn::Trap(msg) => return Err(ExecError::new(compiled.msgs[*msg as usize].clone())),
         }
     }
-    Ok(m.finalize())
+    let result = m.finalize();
+    if let Some((rank, start)) = traced {
+        cluster_sim::trace::record(cluster_sim::trace::TraceEvent::complete(
+            cluster_sim::trace::Category::VM,
+            "vm_run",
+            rank,
+            0,
+            start.as_nanos(),
+            result.end.since(start).as_nanos(),
+            0,
+            0,
+        ));
+    }
+    Ok(result)
 }
 
 #[inline]

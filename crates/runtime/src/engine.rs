@@ -43,6 +43,7 @@ use crate::record::{SensorInfo, SensorKind, SliceRecord};
 use crate::server::{DeliveryQuality, SensorSummary, ServerResult};
 use crate::transport::TelemetryBatch;
 use cluster_sim::time::{BusyClock, Duration, VirtualTime};
+use cluster_sim::trace::{self, Category, TraceEvent, SERVER_LANE};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -532,10 +533,21 @@ impl Engine {
         self.records.fetch_add(absorbed, Ordering::Relaxed);
         shard.batches.fetch_add(1, Ordering::Relaxed);
         shard.records.fetch_add(absorbed, Ordering::Relaxed);
-        shard.clock.charge(
-            arrival,
-            Duration::from_nanos(self.config.server_record_cost.as_nanos() * absorbed),
-        );
+        let ingest_cost =
+            Duration::from_nanos(self.config.server_record_cost.as_nanos() * absorbed);
+        shard.clock.charge(arrival, ingest_cost);
+        if trace::enabled(Category::ENGINE) {
+            trace::record(TraceEvent::complete(
+                Category::ENGINE,
+                "ingest",
+                SERVER_LANE,
+                shard_idx as u32,
+                arrival.as_nanos(),
+                ingest_cost.as_nanos(),
+                rank as u64,
+                absorbed,
+            ));
+        }
         self.maybe_detect(arrival);
         Ok(IngestReceipt {
             rank,
@@ -585,10 +597,21 @@ impl Engine {
         };
         let pass = self.detect_passes.fetch_add(1, Ordering::Relaxed) + 1;
         let cells_visited = (self.ranks * bins * SensorKind::ALL.len()) as u64;
-        self.detect_clock.charge(
-            now,
-            Duration::from_nanos(self.config.server_detect_cell_cost.as_nanos() * cells_visited),
-        );
+        let detect_cost =
+            Duration::from_nanos(self.config.server_detect_cell_cost.as_nanos() * cells_visited);
+        self.detect_clock.charge(now, detect_cost);
+        if trace::enabled(Category::ENGINE) {
+            trace::record(TraceEvent::complete(
+                Category::ENGINE,
+                "detect_pass",
+                SERVER_LANE,
+                self.shards.len() as u32,
+                now.as_nanos(),
+                detect_cost.as_nanos(),
+                pass,
+                cells_visited,
+            ));
+        }
         for kind in SensorKind::ALL {
             let events = detect_events(&matrices[&kind], kind, self.config.variance_threshold)
                 .unwrap_or_default();

@@ -39,6 +39,7 @@ pub mod report;
 pub mod server;
 pub mod smoothing;
 pub mod tick;
+pub mod trace;
 pub mod transport;
 
 pub use config::RuntimeConfig;
@@ -55,6 +56,7 @@ pub use server::{
     ServerResult,
 };
 pub use tick::SensorRuntime;
+pub use trace::{MetricsRegistry, RuntimeHealth};
 pub use transport::{
     BatchChannel, DirectChannel, FaultyChannel, RankTransport, SendOutcome, TelemetryBatch,
     TransportConfig, TransportStats,

@@ -44,6 +44,10 @@ pub struct VarianceReport {
     pub alerts: Vec<VarianceAlert>,
     /// Server-side processing load (ingest shards, detection passes).
     pub load: ServerLoad,
+    /// Tracing-derived runtime health, attached only when a trace session
+    /// wrapped the run; `None` keeps the rendered text bit-identical to a
+    /// run without tracing.
+    pub health: Option<crate::trace::RuntimeHealth>,
 }
 
 impl VarianceReport {
@@ -176,6 +180,9 @@ impl VarianceReport {
                 );
             }
         }
+        if let Some(health) = &self.health {
+            health.render_into(&mut out);
+        }
         if self.events.is_empty() {
             let _ = writeln!(out, "no performance variance detected");
         } else {
@@ -240,6 +247,7 @@ mod tests {
             transport: TransportStats::default(),
             alerts: Vec::new(),
             load: ServerLoad::default(),
+            health: None,
         }
     }
 

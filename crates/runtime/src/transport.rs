@@ -21,8 +21,25 @@ use crate::record::SliceRecord;
 use crate::server::AnalysisServer;
 use cluster_sim::fault::{FaultPlan, SendFate};
 use cluster_sim::time::{Duration, VirtualTime};
+use cluster_sim::trace::{self, Category, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Record a transport-category instant for `rank`. Pure observation: the
+/// virtual clock and the transport's behaviour are unaffected.
+#[inline]
+fn trace_instant(rank: usize, name: &'static str, at: VirtualTime, seq: u64, attempt: u64) {
+    if trace::enabled(Category::TRANSPORT) {
+        trace::record(TraceEvent::instant(
+            Category::TRANSPORT,
+            name,
+            rank as u32,
+            at.as_nanos(),
+            seq,
+            attempt,
+        ));
+    }
+}
 
 /// One sequence-numbered, checksummed batch of slice records.
 #[derive(Clone, Debug)]
@@ -323,6 +340,7 @@ impl RankTransport {
                 let victim = self.queue.pop_front().expect("len checked");
                 self.stats.dropped_overflow += 1;
                 self.stats.records_dropped += victim.records.len() as u64;
+                trace_instant(self.rank, "drop", now, victim.seq, 0);
             }
         }
         self.pump(now)
@@ -340,6 +358,13 @@ impl RankTransport {
         for p in pending {
             if p.next_retry_at <= now {
                 self.stats.retries += 1;
+                trace_instant(
+                    self.rank,
+                    "retry",
+                    now + cost,
+                    p.batch.seq,
+                    p.attempts as u64,
+                );
                 cost += self.attempt(p.batch, p.attempts, now + cost);
             } else {
                 self.pending.push(p);
@@ -388,10 +413,12 @@ impl RankTransport {
         for batch in self.queue.drain(..) {
             self.stats.dropped_exhausted += 1;
             self.stats.records_dropped += batch.records.len() as u64;
+            trace_instant(self.rank, "drop", cursor, batch.seq, 0);
         }
         for p in self.pending.drain(..) {
             self.stats.dropped_exhausted += 1;
             self.stats.records_dropped += p.batch.records.len() as u64;
+            trace_instant(self.rank, "drop", cursor, p.batch.seq, p.attempts as u64);
         }
         cost
     }
@@ -413,18 +440,22 @@ impl RankTransport {
         now: VirtualTime,
     ) -> Duration {
         self.stats.send_attempts += 1;
+        trace_instant(self.rank, "send", now, batch.seq, attempts_before as u64);
         let outcome = self.channel.send(&batch, now, attempts_before);
         let attempts = attempts_before + 1;
         match outcome {
             SendOutcome::Acked => {
                 self.stats.acked += 1;
+                trace_instant(self.rank, "ack", now, batch.seq, attempts as u64);
             }
             SendOutcome::NoAck => {
+                trace_instant(self.rank, "noack", now, batch.seq, attempts as u64);
                 let at = now + self.cfg.batch_timeout + self.backoff(attempts);
                 self.schedule_retry(batch, attempts, at);
             }
             SendOutcome::Unreachable => {
                 self.stats.unreachable_errors += 1;
+                trace_instant(self.rank, "unreachable", now, batch.seq, attempts as u64);
                 let backoff = self.backoff(attempts);
                 self.circuit_open_until = self.circuit_open_until.max(now + backoff);
                 self.schedule_retry(batch, attempts, now + backoff);
@@ -437,6 +468,7 @@ impl RankTransport {
         if attempts >= self.cfg.retry_budget {
             self.stats.dropped_exhausted += 1;
             self.stats.records_dropped += batch.records.len() as u64;
+            trace_instant(self.rank, "drop", at, batch.seq, attempts as u64);
         } else {
             self.pending.push(Pending {
                 batch,

@@ -12,8 +12,21 @@ use crate::stats::ProcStats;
 use cluster_sim::network::CollectiveOp;
 use cluster_sim::node::Work;
 use cluster_sim::time::{Duration, VirtualTime};
+use cluster_sim::trace::{self, Category, TraceEvent};
 use cluster_sim::Cluster;
 use std::sync::Arc;
+
+/// Static trace-event name for a collective operation.
+fn collective_name(op: CollectiveOp) -> &'static str {
+    match op {
+        CollectiveOp::Barrier => "barrier",
+        CollectiveOp::Bcast => "bcast",
+        CollectiveOp::Allreduce => "allreduce",
+        CollectiveOp::Reduce => "reduce",
+        CollectiveOp::Allgather => "allgather",
+        CollectiveOp::Alltoall => "alltoall",
+    }
+}
 
 /// Fixed software overhead charged on entry to every MPI call.
 pub const MPI_CALL_OVERHEAD: Duration = Duration(120);
@@ -84,10 +97,30 @@ impl Proc {
         self.sample_counter
     }
 
+    /// Record a completed span from `start` to the current clock. Pure
+    /// observation: tracing never advances the clock or touches stats, so
+    /// the virtual timeline is bit-identical with tracing on or off.
+    #[inline]
+    fn trace_span(&self, cat: Category, name: &'static str, start: VirtualTime, a: u64, b: u64) {
+        if trace::enabled(cat) {
+            trace::record(TraceEvent::complete(
+                cat,
+                name,
+                self.rank as u32,
+                0,
+                start.as_nanos(),
+                self.clock.since(start).as_nanos(),
+                a,
+                b,
+            ));
+        }
+    }
+
     /// Perform `work` with the given cache-miss rate; advances the clock by
     /// the noise-adjusted elapsed time and returns it.
     pub fn compute(&mut self, work: Work, miss_rate: f64) -> Duration {
         let key = self.next_key();
+        let start = self.clock;
         let d = self
             .shared
             .cluster
@@ -95,6 +128,7 @@ impl Proc {
         self.clock += d;
         self.stats.compute_time += d;
         self.stats.compute_segments += 1;
+        self.trace_span(Category::COMPUTE, "compute", start, work.total(), 0);
         d
     }
 
@@ -133,6 +167,7 @@ impl Proc {
         self.stats.mpi_time += self.clock - start;
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes;
+        self.trace_span(Category::MPI, "send", start, bytes, dest as u64);
     }
 
     /// Blocking receive matching `(src, tag)`; wildcards in
@@ -145,6 +180,7 @@ impl Proc {
         self.clock = self.clock.max(msg.arrives_at);
         self.stats.mpi_time += self.clock - start;
         self.stats.msgs_received += 1;
+        self.trace_span(Category::MPI, "recv", start, msg.bytes, msg.src as u64);
         RecvInfo {
             src: msg.src,
             tag: msg.tag,
@@ -195,6 +231,7 @@ impl Proc {
         self.clock = self.clock.max(msg.arrives_at);
         self.stats.mpi_time += self.clock - start;
         self.stats.msgs_received += 1;
+        self.trace_span(Category::MPI, "wait", start, msg.bytes, msg.src as u64);
         RecvInfo {
             src: msg.src,
             tag: msg.tag,
@@ -224,10 +261,12 @@ impl Proc {
 
     fn collective(&mut self, entry: CollectiveEntry) -> CollectiveResult {
         let start = self.clock;
+        let (name, bytes) = (collective_name(entry.op), entry.bytes);
         let res = self.shared.collective.enter(&self.shared.cluster, entry);
         self.clock = res.exit;
         self.stats.mpi_time += self.clock - start;
         self.stats.collectives += 1;
+        self.trace_span(Category::MPI, name, start, bytes, 0);
         res
     }
 
@@ -325,16 +364,19 @@ impl Proc {
         self.clock = self.clock.max(exit);
         self.stats.mpi_time += self.clock - start;
         self.stats.collectives += 1;
+        self.trace_span(Category::MPI, "comm_split", start, color as u64, 0);
         comm
     }
 
     fn sub_collective(&mut self, comm: &Comm, entry: CollectiveEntry) -> CollectiveResult {
         let start = self.clock;
+        let (name, bytes) = (collective_name(entry.op), entry.bytes);
         let slot = self.shared.comms.slot(comm);
         let res = slot.enter(&self.shared.cluster, entry);
         self.clock = res.exit;
         self.stats.mpi_time += self.clock - start;
         self.stats.collectives += 1;
+        self.trace_span(Category::MPI, name, start, bytes, 1);
         res
     }
 
@@ -408,17 +450,21 @@ impl Proc {
 
     /// Read `bytes` from the parallel filesystem.
     pub fn io_read(&mut self, bytes: u64) {
+        let start = self.clock;
         let d = self.shared.cluster.io_cost(bytes, self.clock);
         self.clock += d;
         self.stats.io_time += d;
         self.stats.io_calls += 1;
+        self.trace_span(Category::MPI, "io_read", start, bytes, 0);
     }
 
     /// Write `bytes` to the parallel filesystem.
     pub fn io_write(&mut self, bytes: u64) {
+        let start = self.clock;
         let d = self.shared.cluster.io_cost(bytes, self.clock);
         self.clock += d;
         self.stats.io_time += d;
         self.stats.io_calls += 1;
+        self.trace_span(Category::MPI, "io_write", start, bytes, 0);
     }
 }

@@ -1,0 +1,142 @@
+//! The tracing layer's zero-overhead invariant: with every category off
+//! (no session active), the fig21/fig22 case studies produce **bit
+//! identical** virtual times, per-rank `ProcStats`, and rendered reports
+//! compared to a build with no trace hooks at all.
+//!
+//! The golden fingerprints below were captured from the pre-hook tree
+//! (the commit before `cluster_sim::trace` existed), so any hook that
+//! charges virtual cost, perturbs scheduling, or leaks text into the
+//! report moves a fingerprint and fails this test.
+//!
+//! No test in this file may start a `TraceSession` — the whole point is
+//! exercising the disabled path.
+
+use vsensor_bench::{fig21_badnode, fig22_network, Effort};
+use vsensor_interp::InstrumentedRun;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
+}
+
+/// FNV-1a over everything the zero-overhead claim covers: the run time,
+/// each rank's final clock and full compute/MPI/IO accounting, and the
+/// rendered report text.
+fn fingerprint_run(run: &InstrumentedRun) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    fnv_u64(&mut h, run.run_time.as_nanos());
+    for r in &run.ranks {
+        fnv_u64(&mut h, r.end.as_nanos());
+        let s = &r.stats;
+        for v in [
+            s.compute_time.as_nanos(),
+            s.mpi_time.as_nanos(),
+            s.io_time.as_nanos(),
+            s.msgs_sent,
+            s.msgs_received,
+            s.bytes_sent,
+            s.collectives,
+            s.compute_segments,
+            s.io_calls,
+        ] {
+            fnv_u64(&mut h, v);
+        }
+    }
+    fnv(&mut h, run.report.render().as_bytes());
+    h
+}
+
+#[test]
+fn fig21_matches_pre_hook_golden_fingerprints() {
+    let r = fig21_badnode::run(Effort::Smoke);
+    assert_eq!(
+        r.with_bad_node.run_time.as_nanos(),
+        19_358_390,
+        "bad-node virtual run time drifted"
+    );
+    assert_eq!(
+        fingerprint_run(&r.with_bad_node),
+        0x89329e50c6492a92,
+        "bad-node run: virtual times / stats / report not bit-identical to the hook-free build"
+    );
+    assert_eq!(
+        r.after_replacement.run_time.as_nanos(),
+        15_783_560,
+        "replacement virtual run time drifted"
+    );
+    assert_eq!(
+        fingerprint_run(&r.after_replacement),
+        0x6c1b4a8280e70074,
+        "replacement run: not bit-identical to the hook-free build"
+    );
+}
+
+#[test]
+fn fig22_matches_pre_hook_golden_fingerprints() {
+    let r = fig22_network::run(Effort::Smoke);
+    assert_eq!(
+        r.normal.run_time.as_nanos(),
+        30_607_991,
+        "normal virtual run time drifted"
+    );
+    assert_eq!(
+        fingerprint_run(&r.normal),
+        0x8ef9958751bece58,
+        "normal run: not bit-identical to the hook-free build"
+    );
+    assert_eq!(
+        r.degraded.run_time.as_nanos(),
+        70_836_678,
+        "degraded virtual run time drifted"
+    );
+    assert_eq!(
+        fingerprint_run(&r.degraded),
+        0x5a4e7ffc6ba4ffa4,
+        "degraded run: not bit-identical to the hook-free build"
+    );
+}
+
+/// Reports produced with tracing off never mention the health section —
+/// the rendered text is exactly the pre-trace-layer text.
+#[test]
+fn disabled_tracing_leaves_no_trace_in_reports() {
+    let r = fig21_badnode::run(Effort::Smoke);
+    assert!(r.with_bad_node.report.health.is_none());
+    assert!(!r.with_bad_node.report.render().contains("runtime health"));
+}
+
+/// Sanity bound on the disabled hook itself: 10 million `enabled()`
+/// checks complete in well under a second of wall clock (each is one
+/// relaxed atomic load). A generous ceiling keeps this robust on loaded
+/// CI machines while still catching an accidentally expensive gate (a
+/// lock, an allocation) by orders of magnitude.
+#[test]
+fn disabled_check_is_cheap() {
+    use cluster_sim::trace::{enabled, Category};
+    let started = std::time::Instant::now();
+    let mut hits = 0u64;
+    for i in 0..10_000_000u64 {
+        let cat = if i % 2 == 0 {
+            Category::MPI
+        } else {
+            Category::VM
+        };
+        if enabled(cat) {
+            hits += 1;
+        }
+    }
+    let elapsed = started.elapsed();
+    // `hits` stays observable so the loop cannot be optimized away. Other
+    // test binaries never share this process, so no session can be live.
+    assert_eq!(hits, 0, "no session is active in this binary");
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "10M disabled checks took {elapsed:?} — the off-path gate is not a single load"
+    );
+}
