@@ -138,15 +138,28 @@ fn workloads(effort: Effort) -> Vec<(&'static str, Prepared)> {
 }
 
 fn measure(prepared: &Prepared, ranks: usize, backend: ExecBackend) -> (u64, f64) {
-    let config = RunConfig {
-        backend,
-        ..RunConfig::default()
-    };
-    let cluster = Arc::new(scenarios::healthy(ranks).build());
-    let started = Instant::now();
-    let run = prepared.run(cluster, &config);
-    let wall_ns = started.elapsed().as_nanos() as u64;
-    (wall_ns, run.run_time.as_secs_f64())
+    // Cell wall timings have a heavy right tail: rank-thread scheduling
+    // and allocator state left by earlier runs in the same process can
+    // slow an unlucky run by ~25% without meaning anything about the
+    // code. Virtual time is deterministic across repeats, so the fastest
+    // of a few runs is the meaningful wall measurement — a single draw
+    // would hand the perf gate a noisy trajectory.
+    let reps = if ranks <= 16 { 3 } else { 2 };
+    let mut best_wall_ns = u64::MAX;
+    let mut simulated = 0.0f64;
+    for _ in 0..reps {
+        let config = RunConfig {
+            backend,
+            ..RunConfig::default()
+        };
+        let cluster = Arc::new(scenarios::healthy(ranks).build());
+        let started = Instant::now();
+        let run = prepared.run(cluster, &config);
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        best_wall_ns = best_wall_ns.min(wall_ns);
+        simulated = run.run_time.as_secs_f64();
+    }
+    (best_wall_ns, simulated)
 }
 
 /// Run the sweep: both workloads, both backends, 4 → 64 ranks.

@@ -64,6 +64,13 @@ impl Category {
         self.0 & other.0 == other.0
     }
 
+    /// Whether `self` and `other` share any bit. This is the right test
+    /// for filtering single-bit events against a possibly-compound mask
+    /// (`contains` would require the event to carry *every* queried bit).
+    pub fn overlaps(self, other: Category) -> bool {
+        self.0 & other.0 != 0
+    }
+
     /// The single-bit categories, with display labels.
     pub fn all_labeled() -> [(Category, &'static str); 6] {
         [
@@ -307,6 +314,16 @@ pub fn mask() -> Category {
 /// Record one event into the calling thread's buffer. Callers gate on
 /// [`enabled`] first; events recorded while no session is active are
 /// silently discarded.
+///
+/// Outlined and marked cold on purpose: hooks sit inside the simulator's
+/// hottest functions (`Proc::compute`, the MPI entry points, the VM
+/// dispatch loop), and inlining the thread-local/registry machinery there
+/// measurably slows the *disabled* path by blowing those functions'
+/// inlining budgets and I-cache footprint. With the body outlined, a
+/// disabled hook is one relaxed load, a test, and a never-taken branch
+/// into a cold section.
+#[cold]
+#[inline(never)]
 pub fn record(ev: TraceEvent) {
     let sid = SESSION_ID.load(Ordering::Relaxed);
     if sid == 0 {
@@ -336,17 +353,18 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Events of one category, in drain order.
+    /// Events of any category in `cat` (which may be a compound mask like
+    /// [`Category::ALL`]), in drain order.
     pub fn of(&self, cat: Category) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.cat.contains(cat))
+        self.events.iter().filter(move |e| e.cat.overlaps(cat))
     }
 
-    /// Number of events of one category.
+    /// Number of events of any category in `cat`.
     pub fn count(&self, cat: Category) -> usize {
         self.of(cat).count()
     }
 
-    /// Number of events of one category with the given name.
+    /// Number of events of any category in `cat` with the given name.
     pub fn count_named(&self, cat: Category, name: &str) -> usize {
         self.of(cat).filter(|e| e.name == name).count()
     }
@@ -514,5 +532,22 @@ mod tests {
         c |= Category::VM;
         assert!(c.contains(Category::VM) && c.contains(Category::SENSOR));
         assert!(!c.contains(Category::MPI));
+        assert!(c.overlaps(Category::VM) && Category::VM.overlaps(c));
+        assert!(!c.overlaps(Category::MPI));
+    }
+
+    #[test]
+    fn compound_masks_filter_any_of() {
+        // Events carry a single bit; querying with a compound mask must
+        // match "any of", not require every queried bit.
+        let s = TraceSession::start(Category::ALL);
+        record(TraceEvent::instant(Category::MPI, "send", 0, 1, 0, 0));
+        record(TraceEvent::instant(Category::SENSOR, "sense", 0, 2, 0, 0));
+        record(TraceEvent::instant(Category::VM, "vm_run", 0, 3, 0, 0));
+        let t = s.finish();
+        assert_eq!(t.count(Category::ALL), 3);
+        assert_eq!(t.count(Category::SENSOR | Category::MPI), 2);
+        assert_eq!(t.count_named(Category::SENSOR | Category::MPI, "sense"), 1);
+        assert_eq!(t.count(Category::TRANSPORT | Category::ENGINE), 0);
     }
 }

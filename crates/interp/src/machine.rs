@@ -323,17 +323,6 @@ impl<'w> Machine<'w> {
     pub(crate) fn on_tock(&mut self, sensor: SensorId) {
         self.sync_clock();
         let now = self.proc.now();
-        if trace::enabled(Category::SENSOR) {
-            // Close the sensed-region span at the instant the probe fires.
-            trace::record(TraceEvent::end(
-                Category::SENSOR,
-                "sense",
-                self.proc.rank() as u32,
-                now.as_nanos(),
-                sensor.0 as u64,
-                0,
-            ));
-        }
         // Pop the matching open sense (probes are balanced by the
         // instrumentation pass, but tolerate mismatches defensively).
         let opened = match self.open_senses.pop() {
@@ -344,6 +333,21 @@ impl<'w> Machine<'w> {
             }
             None => None,
         };
+        if opened.is_some() && trace::enabled(Category::SENSOR) {
+            // Close the sensed-region span at the instant the probe fires.
+            // Only a matched tock closes: an unmatched one has no open `B`
+            // on this lane, and an extra `E` would unbalance the export —
+            // mismatches are tolerated here exactly like the stats path
+            // below tolerates them.
+            trace::record(TraceEvent::end(
+                Category::SENSOR,
+                "sense",
+                self.proc.rank() as u32,
+                now.as_nanos(),
+                sensor.0 as u64,
+                0,
+            ));
+        }
         if let Some(work_at_tick) = opened {
             let true_work = self.work_total - work_at_tick;
             let measured = self

@@ -33,15 +33,41 @@ struct Frame<'c> {
 /// Execute `main` of a compiled program on one rank. The `Machine` carries
 /// the rank's clock, cost accumulator and sensor harness; the walker's
 /// `Machine::run` and this function produce bit-identical results.
-pub fn run_vm(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineResult, ExecError> {
-    let entry = compiled
-        .entry_fn()
-        .ok_or_else(|| ExecError::new("program has no `main`"))?;
+///
+/// The trace bracket lives in this thin wrapper and the dispatch loop in
+/// [`run_vm_loop`]: keeping the span's `(rank, start)` pair live across
+/// the loop itself (rather than across one outlined call) perturbs the
+/// loop's register allocation enough to cost double-digit percent even
+/// with tracing disabled.
+pub fn run_vm(m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineResult, ExecError> {
     // Trace the whole VM run as one virtual-time span per rank. Reading
     // the clock here charges nothing, so traced and untraced runs are
     // bit-identical.
     let traced = cluster_sim::trace::enabled(cluster_sim::trace::Category::VM)
         .then(|| (m.rank() as u32, m.now()));
+    let result = run_vm_loop(m, compiled)?;
+    if let Some((rank, start)) = traced {
+        cluster_sim::trace::record(cluster_sim::trace::TraceEvent::complete(
+            cluster_sim::trace::Category::VM,
+            "vm_run",
+            rank,
+            0,
+            start.as_nanos(),
+            result.end.since(start).as_nanos(),
+            0,
+            0,
+        ));
+    }
+    Ok(result)
+}
+
+/// The dispatch loop proper. Outlined from [`run_vm`] so nothing
+/// trace-related is live across it.
+#[inline(never)]
+fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineResult, ExecError> {
+    let entry = compiled
+        .entry_fn()
+        .ok_or_else(|| ExecError::new("program has no `main`"))?;
     // The walker's entry call: depth check (trivially passes), then the
     // CALL charge.
     m.charge(cost::CALL);
@@ -287,20 +313,7 @@ pub fn run_vm(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineR
             Insn::Trap(msg) => return Err(ExecError::new(compiled.msgs[*msg as usize].clone())),
         }
     }
-    let result = m.finalize();
-    if let Some((rank, start)) = traced {
-        cluster_sim::trace::record(cluster_sim::trace::TraceEvent::complete(
-            cluster_sim::trace::Category::VM,
-            "vm_run",
-            rank,
-            0,
-            start.as_nanos(),
-            result.end.since(start).as_nanos(),
-            0,
-            0,
-        ));
-    }
-    Ok(result)
+    Ok(m.finalize())
 }
 
 #[inline]

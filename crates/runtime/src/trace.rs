@@ -161,31 +161,55 @@ impl MetricsRegistry {
         reg
     }
 
-    /// The count for one (category, name) pair; 0 when never recorded.
+    /// Labels of the single-bit categories inside a possibly-compound
+    /// mask. Registry keys are single-bit labels (events carry exactly one
+    /// bit), so matching a compound query via `cat.label()` — which is
+    /// `"?"` for compounds — would silently match nothing.
+    fn query_labels(cat: Category) -> impl Iterator<Item = &'static str> {
+        Category::all_labeled()
+            .into_iter()
+            .filter(move |(c, _)| c.overlaps(cat))
+            .map(|(_, l)| l)
+    }
+
+    /// The count for a (category, name) pair; 0 when never recorded. A
+    /// compound `cat` sums over every category it contains.
     pub fn counter(&self, cat: Category, name: &str) -> u64 {
-        self.counters
-            .iter()
-            .filter(|((c, n), _)| *c == cat.label() && *n == name)
-            .map(|(_, v)| *v)
+        Self::query_labels(cat)
+            .map(|label| {
+                self.counters
+                    .iter()
+                    .filter(|((c, n), _)| *c == label && *n == name)
+                    .map(|(_, v)| *v)
+                    .sum::<u64>()
+            })
             .sum()
     }
 
-    /// Total events across one category.
+    /// Total events across a category (or every category in a compound
+    /// mask).
     pub fn category_total(&self, cat: Category) -> u64 {
-        self.counters
-            .iter()
-            .filter(|((c, _), _)| *c == cat.label())
-            .map(|(_, v)| *v)
+        Self::query_labels(cat)
+            .map(|label| {
+                self.counters
+                    .iter()
+                    .filter(|((c, _), _)| *c == label)
+                    .map(|(_, v)| *v)
+                    .sum::<u64>()
+            })
             .sum()
     }
 
     /// The duration histogram for one (category, name) pair, if any span
-    /// of that name was observed.
+    /// of that name was observed. A compound `cat` returns the first
+    /// matching category's histogram.
     pub fn histogram(&self, cat: Category, name: &str) -> Option<&Histogram> {
-        self.histograms
-            .iter()
-            .find(|((c, n), _)| *c == cat.label() && *n == name)
-            .map(|(_, h)| h)
+        Self::query_labels(cat).find_map(|label| {
+            self.histograms
+                .iter()
+                .find(|((c, n), _)| *c == label && *n == name)
+                .map(|(_, h)| h)
+        })
     }
 
     /// Iterate all counters in `(category label, name) -> count` order.
@@ -462,6 +486,26 @@ mod tests {
         let h = reg.histogram(Category::MPI, "allreduce").expect("complete");
         assert_eq!(h.max(), 2_000);
         assert_eq!(reg.category_total(Category::ENGINE), 2);
+    }
+
+    #[test]
+    fn registry_queries_accept_compound_masks() {
+        // Registry keys are single-bit labels; compound masks must mean
+        // "any of", not fall through `Category::label()`'s `"?"`.
+        let reg = MetricsRegistry::from_trace(&sample_trace());
+        assert_eq!(reg.category_total(Category::ALL), 7, "all counted events");
+        assert_eq!(
+            reg.category_total(Category::TRANSPORT | Category::ENGINE),
+            5
+        );
+        assert_eq!(
+            reg.counter(Category::SENSOR | Category::MPI, "allreduce"),
+            1
+        );
+        assert!(reg
+            .histogram(Category::SENSOR | Category::MPI, "allreduce")
+            .is_some());
+        assert_eq!(reg.counter(Category::VM, "allreduce"), 0);
     }
 
     #[test]
