@@ -49,6 +49,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "trace",
         "Traced degraded-transport run: Chrome trace JSON + per-category summary",
     ),
+    (
+        "failstop",
+        "Fail-stop robustness: node-death localization + WAL crash-recovery equivalence",
+    ),
 ];
 
 fn main() {
@@ -229,6 +233,15 @@ fn main() {
         println!("{}", r.render());
         write_artifact(&out_dir, "trace.json", &r.chrome_json());
         write_artifact(&out_dir, "trace_summary.txt", &r.summary());
+    }
+    if want("failstop") {
+        section("failstop");
+        let r = failstop::run(effort);
+        println!("{}", r.render());
+        if !r.recovery_equivalent() {
+            eprintln!("failstop: crash recovery is NOT bitwise equivalent — failing");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -1,0 +1,297 @@
+//! Fail-stop robustness study: node death and server crash-recovery.
+//!
+//! Two questions the paper's evaluation never has to face on a healthy
+//! run, answered on the Figure 21 workload:
+//!
+//! 1. **Node death.** A node (different from the bad one) is killed
+//!    mid-run. Survivors must finish, the killed node must be localized
+//!    as *dead* — never as 0 %-performance variance — and the bad node
+//!    must still be found on the same ranks as in the failure-free run.
+//! 2. **Server crash.** The analysis server is killed mid-run and
+//!    rebuilt from its write-ahead log. The recovered run's server
+//!    result must be **bitwise identical** (down to `f64::to_bits` on
+//!    matrix cells) to the crash-free run's.
+//!
+//! The `repro` binary exits nonzero when the recovery-equivalence check
+//! fails, so CI can gate on it.
+
+use std::fmt::Write;
+use std::sync::Arc;
+use vsensor::{scenarios, Pipeline};
+use vsensor_apps::{cg, Params};
+use vsensor_interp::{InstrumentedRun, RunConfig};
+use vsensor_runtime::record::SensorKind;
+use vsensor_runtime::ServerResult;
+
+use crate::Effort;
+
+/// Result of the fail-stop study.
+pub struct FailStopResult {
+    /// The node-death run (bad node plus a killed node).
+    pub node_death: InstrumentedRun,
+    /// The failure-free reference for the node-death run.
+    pub no_death: InstrumentedRun,
+    /// Ranks hosted by the killed node.
+    pub dead_ranks: Vec<usize>,
+    /// Ranks hosted by the bad (slow-memory) node.
+    pub bad_ranks: (usize, usize),
+    /// The run whose server crashed and recovered from its WAL.
+    pub crashed: InstrumentedRun,
+    /// The crash-free reference run.
+    pub baseline: InstrumentedRun,
+    /// First difference between recovered and crash-free server results
+    /// (`None` means bitwise identical — the acceptance invariant).
+    pub recovery_mismatch: Option<String>,
+    /// Ranks used.
+    pub ranks: usize,
+    /// Virtual instant (ms) of the node death.
+    pub death_at_ms: u64,
+    /// Virtual instant (ms) of the server crash.
+    pub crash_at_ms: u64,
+}
+
+impl FailStopResult {
+    /// Whether crash recovery reproduced the crash-free result exactly.
+    pub fn recovery_equivalent(&self) -> bool {
+        self.recovery_mismatch.is_none()
+    }
+}
+
+/// First difference between two server results, bitwise on matrix cells.
+pub fn first_mismatch(a: &ServerResult, b: &ServerResult) -> Option<String> {
+    if a.events != b.events {
+        return Some(format!("events differ: {:?} vs {:?}", a.events, b.events));
+    }
+    if a.failed_ranks != b.failed_ranks {
+        return Some(format!(
+            "failed ranks differ: {:?} vs {:?}",
+            a.failed_ranks, b.failed_ranks
+        ));
+    }
+    if (a.bytes_received, a.batches, a.records, a.malformed_records)
+        != (b.bytes_received, b.batches, b.records, b.malformed_records)
+    {
+        return Some(format!(
+            "volume counters differ: ({}, {}, {}, {}) vs ({}, {}, {}, {})",
+            a.bytes_received,
+            a.batches,
+            a.records,
+            a.malformed_records,
+            b.bytes_received,
+            b.batches,
+            b.records,
+            b.malformed_records,
+        ));
+    }
+    for kind in SensorKind::ALL {
+        let (ma, mb) = match (a.matrix(kind), b.matrix(kind)) {
+            (Ok(ma), Ok(mb)) => (ma, mb),
+            _ => return Some(format!("{} matrix missing", kind.label())),
+        };
+        if ma.ranks() != mb.ranks() || ma.bins() != mb.bins() {
+            return Some(format!(
+                "{} matrix shape differs: {}x{} vs {}x{}",
+                kind.label(),
+                ma.ranks(),
+                ma.bins(),
+                mb.ranks(),
+                mb.bins(),
+            ));
+        }
+        for rank in 0..ma.ranks() {
+            for bin in 0..ma.bins() {
+                let ca = ma.cell_raw(rank, bin).map(|(p, n)| (p.to_bits(), n));
+                let cb = mb.cell_raw(rank, bin).map(|(p, n)| (p.to_bits(), n));
+                if ca != cb {
+                    return Some(format!(
+                        "{} cell ({rank}, {bin}) differs: {ca:?} vs {cb:?}",
+                        kind.label(),
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Run both fail-stop studies.
+pub fn run(effort: Effort) -> FailStopResult {
+    let ranks = effort.ranks(256);
+    let ranks_per_node = 2;
+    let nodes = ranks / ranks_per_node;
+    let bad_node = nodes / 2;
+    let dead_node = nodes - 1;
+    // Virtual-time instants sized to each effort's run length (the smoke
+    // run lasts ~20 virtual ms): the failures must land mid-run, after
+    // some matrix history exists but well before the final iteration.
+    let (death_at_ms, crash_at_ms) = match effort {
+        Effort::Smoke => (8, 10),
+        Effort::Paper => (30, 40),
+    };
+    let params = match effort {
+        Effort::Smoke => Params::test().with_iters(300),
+        Effort::Paper => Params::bench().with_iters(1500),
+    };
+    let prepared = Pipeline::new().prepare(cg::generate(params).compile());
+
+    // -- node death -------------------------------------------------------
+    // Kill a node once the run is far enough along that its telemetry has
+    // already drawn some matrix history; the survivors finish the run.
+    let (death_cluster, runtime) =
+        scenarios::node_death(ranks, bad_node, 0.55, dead_node, death_at_ms);
+    let config = RunConfig {
+        runtime,
+        ..Default::default()
+    };
+    let node_death = prepared.run(
+        Arc::new(death_cluster.with_ranks_per_node(ranks_per_node).build()),
+        &config,
+    );
+    let (ref_cluster, runtime) = scenarios::live_bad_node(ranks, bad_node, 0.55);
+    let ref_config = RunConfig {
+        runtime,
+        ..Default::default()
+    };
+    let no_death = prepared.run(
+        Arc::new(ref_cluster.with_ranks_per_node(ranks_per_node).build()),
+        &ref_config,
+    );
+
+    // -- server crash + WAL recovery --------------------------------------
+    let (crash_cluster, runtime) =
+        scenarios::server_crash_recovery(ranks, bad_node, 0.55, crash_at_ms);
+    let crash_config = RunConfig {
+        runtime,
+        ..Default::default()
+    };
+    let crashed = prepared.run(
+        Arc::new(crash_cluster.with_ranks_per_node(ranks_per_node).build()),
+        &crash_config,
+    );
+    let baseline = prepared.run(
+        Arc::new(
+            scenarios::live_bad_node(ranks, bad_node, 0.55)
+                .0
+                .with_ranks_per_node(ranks_per_node)
+                .build(),
+        ),
+        &crash_config,
+    );
+    let recovery_mismatch = first_mismatch(&crashed.server, &baseline.server);
+
+    FailStopResult {
+        node_death,
+        no_death,
+        dead_ranks: (dead_node * ranks_per_node..(dead_node + 1) * ranks_per_node).collect(),
+        bad_ranks: (
+            bad_node * ranks_per_node,
+            (bad_node + 1) * ranks_per_node - 1,
+        ),
+        crashed,
+        baseline,
+        recovery_mismatch,
+        ranks,
+        death_at_ms,
+        crash_at_ms,
+    }
+}
+
+impl FailStopResult {
+    /// Render both studies.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "node-death run ({} ranks, node of ranks {:?} killed at {}ms):",
+            self.ranks, self.dead_ranks, self.death_at_ms
+        );
+        for d in &self.node_death.server.failed_ranks {
+            let _ = writeln!(out, "  {d}");
+        }
+        let _ = writeln!(out, "  detected events (survivor-side):");
+        for e in &self.node_death.report.events {
+            let _ = writeln!(out, "    {e}");
+        }
+        let _ = writeln!(
+            out,
+            "  failure-free reference events ({} total):",
+            self.no_death.report.events.len()
+        );
+        for e in &self.no_death.report.events {
+            let _ = writeln!(out, "    {e}");
+        }
+        let _ = writeln!(
+            out,
+            "server-crash run: crash at {}ms, {} batch(es) survived into the recovered result",
+            self.crash_at_ms, self.crashed.server.batches
+        );
+        match &self.recovery_mismatch {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  recovered result is BITWISE IDENTICAL to the crash-free run \
+                     ({} events, {} records)",
+                    self.baseline.server.events.len(),
+                    self.baseline.server.records,
+                );
+            }
+            Some(m) => {
+                let _ = writeln!(out, "  RECOVERY MISMATCH: {m}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_recovery_is_bitwise_identical_and_dead_node_is_not_variance() {
+        let r = run(Effort::Smoke);
+        assert!(
+            r.recovery_equivalent(),
+            "recovery mismatch: {:?}",
+            r.recovery_mismatch
+        );
+        // The killed node is reported dead...
+        let dead: Vec<usize> = r
+            .node_death
+            .server
+            .failed_ranks
+            .iter()
+            .map(|d| d.rank)
+            .collect();
+        assert_eq!(dead, r.dead_ranks, "all killed ranks must be reported");
+        // ...and never as a variance region of its own.
+        for e in &r.node_death.report.events {
+            assert!(
+                !r.dead_ranks
+                    .iter()
+                    .all(|dr| e.first_rank <= *dr && *dr <= e.last_rank)
+                    || e.first_rank < r.dead_ranks[0],
+                "event {e:?} pins the dead node as variance"
+            );
+        }
+        // The bad node is still localized, exactly as without the failure.
+        let pinned = |run: &InstrumentedRun| {
+            run.report
+                .events
+                .iter()
+                .filter(|e| e.kind == SensorKind::Computation)
+                .map(|e| (e.first_rank, e.last_rank))
+                .collect::<Vec<_>>()
+        };
+        let with_death = pinned(&r.node_death);
+        assert!(
+            with_death.contains(&r.bad_ranks),
+            "bad node {:?} must survive the failure: {with_death:?}",
+            r.bad_ranks
+        );
+        assert!(
+            pinned(&r.no_death).contains(&r.bad_ranks),
+            "reference run must localize the bad node"
+        );
+    }
+}

@@ -23,9 +23,11 @@
 //! | [`interp_speed`]     | tree-walker vs bytecode-VM backend speed (`BENCH_interp.json`) |
 //! | [`trace_run`]        | traced degraded-transport run → Chrome trace JSON |
 //! | [`perf_gate`]        | CI regression gate over `BENCH_interp.json` |
+//! | [`failstop`]         | node-death localization + WAL crash-recovery equivalence |
 
 pub mod ablations;
 pub mod datavolume;
+pub mod failstop;
 pub mod fig01_variance;
 pub mod fig12_smoothing;
 pub mod fig13_dynrules;

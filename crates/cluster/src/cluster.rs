@@ -99,6 +99,7 @@ impl ClusterConfig {
             assert!(id < nodes.len(), "node override {id} out of range");
             nodes[id] = spec;
         }
+        let deaths = self.faults.resolve_deaths(&topology);
         Cluster {
             nodes,
             topology,
@@ -106,6 +107,7 @@ impl ClusterConfig {
             network: self.network,
             pmu: Pmu::new(self.pmu),
             faults: self.faults,
+            deaths,
         }
     }
 }
@@ -119,6 +121,8 @@ pub struct Cluster {
     network: NetworkConfig,
     pmu: Pmu,
     faults: FaultPlan,
+    /// Fault-plan deaths resolved against the topology, per rank.
+    deaths: Vec<Option<VirtualTime>>,
 }
 
 impl Cluster {
@@ -145,6 +149,17 @@ impl Cluster {
     /// Telemetry-path fault plan.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// The virtual instant at which `rank` fail-stops, if the fault plan
+    /// kills it (directly or via its node), else `None`.
+    pub fn death_of(&self, rank: usize) -> Option<VirtualTime> {
+        self.deaths.get(rank).copied().flatten()
+    }
+
+    /// Whether the fault plan kills any rank during the run.
+    pub fn has_deaths(&self) -> bool {
+        self.deaths.iter().any(Option::is_some)
     }
 
     /// Number of ranks.

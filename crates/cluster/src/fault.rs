@@ -17,6 +17,7 @@
 
 use crate::noise::mix64;
 use crate::time::{Duration, VirtualTime};
+use crate::topology::Topology;
 
 /// A window of virtual time during which the analysis server is down:
 /// every send attempt fails immediately (connection refused), rather than
@@ -88,6 +89,26 @@ impl Default for FaultConfig {
     }
 }
 
+/// A fail-stop death of a single rank: at `at` the rank halts — it charges
+/// no further virtual work, sends nothing, and never recovers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankDeath {
+    /// The world rank that dies.
+    pub rank: usize,
+    /// Virtual instant of the death.
+    pub at: VirtualTime,
+}
+
+/// A fail-stop death of a whole node: every rank placed on `node` by the
+/// cluster topology dies at `at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeDeath {
+    /// The node (topology index) that dies.
+    pub node: usize,
+    /// Virtual instant of the death.
+    pub at: VirtualTime,
+}
+
 /// The fate the plan assigns to one transmission attempt.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SendFate {
@@ -114,6 +135,10 @@ pub struct FaultPlan {
     config: FaultConfig,
     outages: Vec<OutageWindow>,
     stalls: Vec<StallWindow>,
+    rank_deaths: Vec<RankDeath>,
+    node_deaths: Vec<NodeDeath>,
+    server_crash: Option<VirtualTime>,
+    death_timeout: Option<Duration>,
 }
 
 impl FaultPlan {
@@ -137,8 +162,7 @@ impl FaultPlan {
         );
         FaultPlan {
             config,
-            outages: Vec::new(),
-            stalls: Vec::new(),
+            ..FaultPlan::default()
         }
     }
 
@@ -165,6 +189,36 @@ impl FaultPlan {
         self
     }
 
+    /// Kill a single rank at `at` (builder style). Fail-stop: the rank
+    /// charges no work after `at` and never comes back.
+    pub fn with_rank_death(mut self, rank: usize, at: VirtualTime) -> Self {
+        self.rank_deaths.push(RankDeath { rank, at });
+        self
+    }
+
+    /// Kill a whole node at `at` (builder style): every rank the topology
+    /// places on `node` dies at that instant.
+    pub fn with_node_death(mut self, node: usize, at: VirtualTime) -> Self {
+        self.node_deaths.push(NodeDeath { node, at });
+        self
+    }
+
+    /// Crash the analysis server at `at` (builder style). The server loses
+    /// all in-memory engine state and is rebuilt from its write-ahead log;
+    /// the run driver exercises the kill → recover path at this instant.
+    pub fn with_server_crash(mut self, at: VirtualTime) -> Self {
+        self.server_crash = Some(at);
+        self
+    }
+
+    /// Override the virtual failure-detection latency (builder style): how
+    /// long a surviving peer waits on a dead rank before its recv or
+    /// collective reports the death.
+    pub fn with_death_timeout(mut self, timeout: Duration) -> Self {
+        self.death_timeout = Some(timeout);
+        self
+    }
+
     /// The per-message probabilities.
     pub fn config(&self) -> &FaultConfig {
         &self.config
@@ -173,6 +227,61 @@ impl FaultPlan {
     /// Outage windows.
     pub fn outages(&self) -> &[OutageWindow] {
         &self.outages
+    }
+
+    /// Scheduled single-rank deaths.
+    pub fn rank_deaths(&self) -> &[RankDeath] {
+        &self.rank_deaths
+    }
+
+    /// Scheduled whole-node deaths.
+    pub fn node_deaths(&self) -> &[NodeDeath] {
+        &self.node_deaths
+    }
+
+    /// The scheduled server crash, if any.
+    pub fn server_crash(&self) -> Option<VirtualTime> {
+        self.server_crash
+    }
+
+    /// Virtual failure-detection latency for survivors waiting on a dead
+    /// peer (defaults to 1ms).
+    pub fn death_timeout(&self) -> Duration {
+        self.death_timeout.unwrap_or(Duration::from_millis(1))
+    }
+
+    /// Earliest death instant of `rank` from single-rank events only.
+    /// Node-level deaths need the topology; use [`Self::resolve_deaths`].
+    pub fn death_of_rank(&self, rank: usize) -> Option<VirtualTime> {
+        self.rank_deaths
+            .iter()
+            .filter(|d| d.rank == rank)
+            .map(|d| d.at)
+            .min()
+    }
+
+    /// Resolve every scheduled death against a topology: element `r` is the
+    /// earliest instant rank `r` dies (rank-level events plus node-level
+    /// events expanded over the node's rank range), or `None` if it
+    /// survives the whole run.
+    pub fn resolve_deaths(&self, topology: &Topology) -> Vec<Option<VirtualTime>> {
+        let mut deaths: Vec<Option<VirtualTime>> = vec![None; topology.ranks()];
+        let mut note = |rank: usize, at: VirtualTime| {
+            if let Some(slot) = deaths.get_mut(rank) {
+                *slot = Some(slot.map_or(at, |t: VirtualTime| t.min(at)));
+            }
+        };
+        for d in &self.rank_deaths {
+            note(d.rank, d.at);
+        }
+        for d in &self.node_deaths {
+            if d.node < topology.node_count() {
+                for rank in topology.ranks_on(d.node) {
+                    note(rank, d.at);
+                }
+            }
+        }
+        deaths
     }
 
     /// Whether this plan can inject anything at all. An inactive plan lets
@@ -185,12 +294,24 @@ impl FaultPlan {
             || c.corrupt_rate > 0.0
             || !self.outages.is_empty()
             || !self.stalls.is_empty()
+            || !self.rank_deaths.is_empty()
+            || !self.node_deaths.is_empty()
+            || self.server_crash.is_some()
     }
 
     /// Decide the fate of one transmission attempt. Deterministic in
     /// `(seed, rank, seq, attempt)`: the same attempt always meets the same
     /// fate, while a *retry* of the same batch rolls fresh dice.
+    /// Precedence is fixed: a dead sender can deliver nothing
+    /// (rank-level deaths only — node-level deaths are enforced by the
+    /// simulator layer, which stops dead ranks from sending at all), then
+    /// server outages, then the per-message dice, with stall delay applied
+    /// last — a stalled batch is charged the stall once, never a stall
+    /// *plus* an overlapping outage.
     pub fn fate(&self, rank: usize, seq: u64, attempt: u32, at: VirtualTime) -> SendFate {
+        if self.death_of_rank(rank).is_some_and(|d| at >= d) {
+            return SendFate::Unreachable;
+        }
         if self.outages.iter().any(|o| o.covers(at)) {
             return SendFate::Unreachable;
         }
@@ -355,5 +476,129 @@ mod tests {
     #[should_panic(expected = "within [0, 1]")]
     fn invalid_rate_rejected() {
         let _ = FaultPlan::lossy(1.5, 0);
+    }
+
+    #[test]
+    fn deaths_and_server_crash_activate_the_plan() {
+        assert!(FaultPlan::none()
+            .with_rank_death(3, VirtualTime::from_secs(1))
+            .is_active());
+        assert!(FaultPlan::none()
+            .with_node_death(0, VirtualTime::from_secs(1))
+            .is_active());
+        assert!(FaultPlan::none()
+            .with_server_crash(VirtualTime::from_secs(1))
+            .is_active());
+    }
+
+    #[test]
+    fn node_death_resolves_to_all_ranks_on_the_node() {
+        let topo = Topology::block(8, 2); // nodes {0,1} {2,3} {4,5} {6,7}
+        let p = FaultPlan::none()
+            .with_node_death(1, VirtualTime::from_secs(5))
+            .with_rank_death(3, VirtualTime::from_secs(2))
+            .with_rank_death(7, VirtualTime::from_secs(9));
+        let deaths = p.resolve_deaths(&topo);
+        assert_eq!(deaths[0], None);
+        assert_eq!(deaths[2], Some(VirtualTime::from_secs(5)));
+        // Rank 3 has both a node death (5s) and an earlier rank death (2s).
+        assert_eq!(deaths[3], Some(VirtualTime::from_secs(2)));
+        assert_eq!(deaths[6], None);
+        assert_eq!(deaths[7], Some(VirtualTime::from_secs(9)));
+    }
+
+    #[test]
+    fn out_of_range_node_death_is_ignored() {
+        let topo = Topology::block(4, 2);
+        let p = FaultPlan::none().with_node_death(9, VirtualTime::from_secs(1));
+        assert!(p.resolve_deaths(&topo).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn dead_rank_sends_become_unreachable() {
+        let p = FaultPlan::none().with_rank_death(2, VirtualTime::from_secs(3));
+        assert!(matches!(
+            p.fate(2, 0, 0, VirtualTime::from_secs(2)),
+            SendFate::Delivered { .. }
+        ));
+        assert_eq!(
+            p.fate(2, 0, 0, VirtualTime::from_secs(3)),
+            SendFate::Unreachable
+        );
+        // Other ranks are unaffected.
+        assert!(matches!(
+            p.fate(1, 0, 0, VirtualTime::from_secs(9)),
+            SendFate::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn stall_overlapping_outage_charges_outage_first_then_stall_once() {
+        // Stall [1s,5s) on rank 2 overlaps an outage [2s,3s). Inside the
+        // overlap the outage wins outright (no delivery, so no stall delay
+        // can also apply); outside the outage but inside the stall, the
+        // batch is held exactly until the stall closes — never until
+        // stall end *plus* the outage span.
+        let p = FaultPlan::none()
+            .with_stall(
+                VirtualTime::from_secs(1),
+                VirtualTime::from_secs(5),
+                vec![2],
+            )
+            .with_outage(VirtualTime::from_secs(2), VirtualTime::from_secs(3));
+        assert_eq!(
+            p.fate(2, 0, 0, VirtualTime::from_millis(2500)),
+            SendFate::Unreachable
+        );
+        match p.fate(2, 0, 0, VirtualTime::from_millis(1500)) {
+            SendFate::Delivered { delay, .. } => {
+                assert_eq!(delay, Duration::from_millis(3500), "held to stall end only")
+            }
+            f => panic!("unexpected fate {f:?}"),
+        }
+        // Deterministic: the same attempt meets the same fate.
+        assert_eq!(
+            p.fate(2, 0, 0, VirtualTime::from_millis(2500)),
+            p.fate(2, 0, 0, VirtualTime::from_millis(2500))
+        );
+    }
+
+    #[test]
+    fn rank_death_inside_stall_window_takes_precedence() {
+        // Rank 2 is stalled over [1s,5s) and dies at 2s, inside the window.
+        // Before the death the stall holds its batches; from the death
+        // instant on, nothing is delivered at all — the death is never
+        // converted into one more stalled (delayed) delivery.
+        let p = FaultPlan::none()
+            .with_stall(
+                VirtualTime::from_secs(1),
+                VirtualTime::from_secs(5),
+                vec![2],
+            )
+            .with_rank_death(2, VirtualTime::from_secs(2));
+        match p.fate(2, 0, 0, VirtualTime::from_millis(1500)) {
+            SendFate::Delivered { delay, .. } => assert_eq!(delay, Duration::from_millis(3500)),
+            f => panic!("unexpected fate {f:?}"),
+        }
+        assert_eq!(
+            p.fate(2, 1, 0, VirtualTime::from_secs(2)),
+            SendFate::Unreachable
+        );
+        assert_eq!(
+            p.fate(2, 1, 0, VirtualTime::from_secs(4)),
+            SendFate::Unreachable
+        );
+        // An unrelated rank in the same window still just stalls.
+        match p.fate(1, 0, 0, VirtualTime::from_secs(2)) {
+            SendFate::Delivered { delay, .. } => assert_eq!(delay, Duration::ZERO),
+            f => panic!("unexpected fate {f:?}"),
+        }
+    }
+
+    #[test]
+    fn death_timeout_defaults_and_overrides() {
+        assert_eq!(FaultPlan::none().death_timeout(), Duration::from_millis(1));
+        let p = FaultPlan::none().with_death_timeout(Duration::from_micros(250));
+        assert_eq!(p.death_timeout(), Duration::from_micros(250));
     }
 }

@@ -126,6 +126,16 @@ impl BusyClock {
         Self::default()
     }
 
+    /// Rebuild a clock from previously observed state — the restore half
+    /// of a snapshot/recovery cycle. `free_at` and `busy` must come from
+    /// the same clock's [`Self::free_at`]/[`Self::busy_time`].
+    pub fn restore(free_at: VirtualTime, busy: Duration) -> Self {
+        BusyClock {
+            free_at: AtomicU64::new(free_at.as_nanos()),
+            busy: AtomicU64::new(busy.as_nanos()),
+        }
+    }
+
     /// Charge `cost` of work arriving at `arrival`; returns the virtual
     /// completion time.
     pub fn charge(&self, arrival: VirtualTime, cost: Duration) -> VirtualTime {

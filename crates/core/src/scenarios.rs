@@ -122,6 +122,39 @@ pub fn server_outage(
     bad_node(ranks, node, mem_perf).with_faults(plan)
 }
 
+/// The fail-stop scenario: the Figure 21 bad node, plus a *different*
+/// node killed outright partway through the run. Survivors must keep
+/// running (collectives shrink), the killed node must be localized as
+/// *dead* — never as 0%-performance variance — and the bad node must
+/// still be found exactly as in the failure-free run.
+pub fn node_death(
+    ranks: usize,
+    bad_node: usize,
+    mem_perf: f64,
+    dead_node: usize,
+    death_at_ms: u64,
+) -> (ClusterConfig, RuntimeConfig) {
+    let (cluster, runtime) = live_bad_node(ranks, bad_node, mem_perf);
+    let plan = FaultPlan::none().with_node_death(dead_node, VirtualTime::from_millis(death_at_ms));
+    (cluster.with_faults(plan), runtime)
+}
+
+/// The crash-recovery scenario: the Figure 21 bad node with the analysis
+/// server killed and rebuilt from its write-ahead log mid-run. The
+/// recovered run's server result must be bitwise identical to the
+/// crash-free run's — the invariant the `fail_stop` suite and the
+/// `crash_recovery` repro experiment assert.
+pub fn server_crash_recovery(
+    ranks: usize,
+    bad_node: usize,
+    mem_perf: f64,
+    crash_at_ms: u64,
+) -> (ClusterConfig, RuntimeConfig) {
+    let (cluster, runtime) = live_bad_node(ranks, bad_node, mem_perf);
+    let plan = FaultPlan::none().with_server_crash(VirtualTime::from_millis(crash_at_ms));
+    (cluster.with_faults(plan), runtime)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +212,27 @@ mod tests {
         // frequent than the default 200 ms cadence.
         assert!(runtime.variance_threshold > 0.55);
         assert!(runtime.detect_interval < RuntimeConfig::default().detect_interval);
+    }
+
+    #[test]
+    fn node_death_kills_only_the_planned_node() {
+        let (cluster, _) = node_death(8, 1, 0.55, 2, 50);
+        let c = cluster.with_ranks_per_node(2).build();
+        assert!(c.faults().is_active());
+        assert_eq!(c.death_of(4), Some(VirtualTime::from_millis(50)));
+        assert_eq!(c.death_of(5), Some(VirtualTime::from_millis(50)));
+        assert_eq!(c.death_of(0), None, "the bad node stays alive");
+    }
+
+    #[test]
+    fn server_crash_recovery_plans_the_crash() {
+        let (cluster, _) = server_crash_recovery(8, 1, 0.55, 80);
+        let c = cluster.with_ranks_per_node(2).build();
+        assert_eq!(
+            c.faults().server_crash(),
+            Some(VirtualTime::from_millis(80))
+        );
+        assert!(c.faults().rank_deaths().is_empty() && !c.has_deaths());
     }
 
     #[test]

@@ -100,6 +100,10 @@ pub struct SensorHarness {
     pub runtime: SensorRuntime,
     /// Fault-tolerant rank → server transport.
     pub transport: RankTransport,
+    /// Rotation cursor over the dead ranks this rank gossips about: one
+    /// death notice rides per flushed batch, cycling through the segment
+    /// this rank is responsible for.
+    gossip_cursor: usize,
 }
 
 impl SensorHarness {
@@ -120,6 +124,7 @@ impl SensorHarness {
         SensorHarness {
             runtime,
             transport: RankTransport::new(rank, channel, cfg),
+            gossip_cursor: 0,
         }
     }
 }
@@ -364,6 +369,17 @@ impl<'w> Machine<'w> {
             let outcome = h.runtime.tock(sensor, now, metrics);
             self.proc.advance(outcome.cost);
             if h.runtime.flush_due(now) {
+                // Buddy gossip: piggyback one detectable death from the
+                // ring segment this rank monitors on every outgoing
+                // telemetry batch (rotating when several ranks died), so
+                // the analysis server learns of fail-stops from survivors.
+                let due = self.proc.death_notices_due(now);
+                if !due.is_empty() {
+                    let (rank, at) = due[h.gossip_cursor % due.len()];
+                    h.gossip_cursor = h.gossip_cursor.wrapping_add(1);
+                    h.transport
+                        .set_death_notice(Some(vsensor_runtime::DeathNotice { rank, at }));
+                }
                 let batch = h.runtime.take_batch(now);
                 let cost = h.transport.enqueue(batch, now);
                 self.proc.advance(cost);

@@ -14,9 +14,9 @@ use cluster_sim::Cluster;
 use std::sync::Arc;
 use vsensor_lang::Program;
 use vsensor_runtime::{
-    AnalysisServer, BatchChannel, DirectChannel, DistributionStats, DynamicRule, FaultyChannel,
-    RuntimeConfig, SensorInfo, SensorRuntime, ServerResult, TransportStats, VarianceAlert,
-    VarianceReport,
+    AnalysisServer, BatchChannel, CrashingChannel, DirectChannel, DistributionStats, DynamicRule,
+    FaultyChannel, RuntimeConfig, SensorInfo, SensorRuntime, ServerResult, TransportStats,
+    VarianceAlert, VarianceReport,
 };
 
 /// Which execution engine runs the ranks.
@@ -138,10 +138,30 @@ pub fn run_plain_shared(
     let exec = Executor::new(program, backend);
     let world = simmpi::World::new(cluster);
     world
-        .run(|proc| exec.run_rank(proc, None).unwrap_or_else(|e| panic!("{e}")))
+        .run(|proc| {
+            match simmpi::catch_death(|| {
+                exec.run_rank(proc, None).unwrap_or_else(|e| panic!("{e}"))
+            }) {
+                Ok(r) => r,
+                Err(death) => dead_rank_result(death, proc),
+            }
+        })
         .into_iter()
         .map(RankResult::from)
         .collect()
+}
+
+/// The partial result of a rank that fail-stopped mid-run: accounting up
+/// to the death instant, no sense data past it.
+fn dead_rank_result(death: simmpi::DeathUnwind, proc: &simmpi::Proc) -> MachineResult {
+    MachineResult {
+        end: death.at,
+        stats: proc.stats(),
+        distribution: DistributionStats::new(),
+        validation: ValidationStats::default(),
+        local_variances: 0,
+        transport: TransportStats::default(),
+    }
 }
 
 /// Everything an instrumented run produces.
@@ -187,17 +207,36 @@ pub fn run_instrumented_shared(
 ) -> InstrumentedRun {
     let exec = Executor::new(program, config.backend);
     let ranks = cluster.ranks();
-    let server = Arc::new(AnalysisServer::new(
-        ranks,
-        sensors.clone(),
-        config.runtime.clone(),
-    ));
-    // Telemetry rides the cluster's fault plan: a healthy cluster gets the
-    // lossless direct channel, an injected plan gets the faulty one.
-    let channel: Arc<dyn BatchChannel> = if cluster.faults().is_active() {
-        Arc::new(FaultyChannel::new(server.clone(), cluster.faults().clone()))
+    let faults = cluster.faults().clone();
+    // A plan with a server crash gets a durable (WAL-backed) server so the
+    // crash can be recovered from; everything else runs in-memory only.
+    let (server, wal) = if faults.server_crash().is_some() {
+        let (server, wal) =
+            AnalysisServer::try_new_durable(ranks, sensors.clone(), config.runtime.clone())
+                .unwrap_or_else(|e| panic!("invalid runtime configuration: {e}"));
+        (Arc::new(server), Some(wal))
     } else {
-        Arc::new(DirectChannel::new(server.clone()))
+        let server = AnalysisServer::try_new(ranks, sensors.clone(), config.runtime.clone())
+            .unwrap_or_else(|e| panic!("invalid runtime configuration: {e}"));
+        (Arc::new(server), None)
+    };
+    // Telemetry rides the cluster's fault plan: a healthy cluster gets the
+    // lossless direct channel, an injected plan gets the faulty one, and a
+    // planned server crash gets the kill-and-recover channel.
+    let mut crashing: Option<Arc<CrashingChannel>> = None;
+    let channel: Arc<dyn BatchChannel> = match (faults.server_crash(), &wal) {
+        (Some(at), Some(wal)) => {
+            let c = Arc::new(CrashingChannel::new(
+                server.clone(),
+                wal.clone(),
+                at,
+                faults.clone(),
+            ));
+            crashing = Some(c.clone());
+            c
+        }
+        _ if faults.is_active() => Arc::new(FaultyChannel::new(server.clone(), faults.clone())),
+        _ => Arc::new(DirectChannel::new(server.clone())),
     };
     let world = simmpi::World::new(cluster);
     let sensor_count = sensors.len();
@@ -206,12 +245,20 @@ pub fn run_instrumented_shared(
             let runtime =
                 SensorRuntime::with_rule(sensor_count, config.runtime.clone(), config.rule.clone());
             let harness = SensorHarness::with_channel(runtime, proc.rank(), channel.clone());
-            exec.run_rank(proc, Some(harness))
-                .unwrap_or_else(|e| panic!("{e}"))
+            match simmpi::catch_death(|| {
+                exec.run_rank(proc, Some(harness))
+                    .unwrap_or_else(|e| panic!("{e}"))
+            }) {
+                Ok(r) => r,
+                Err(death) => dead_rank_result(death, proc),
+            }
         })
         .into_iter()
         .map(RankResult::from)
         .collect();
+    // If the crash fired, the original server object died with its state;
+    // everything below reads the recovered instance.
+    let server = crashing.as_ref().map(|c| c.server()).unwrap_or(server);
 
     let run_time = rank_results
         .iter()
@@ -260,6 +307,7 @@ pub fn run_instrumented_shared(
         delivery: server_result.delivery.clone(),
         transport,
         alerts: alerts.clone(),
+        failed_ranks: server_result.failed_ranks.clone(),
         load: server_result.load.clone(),
         health: None,
     };

@@ -75,6 +75,17 @@ pub struct RuntimeConfig {
     ///
     /// [`AnalysisServer::replay_result`]: crate::server::AnalysisServer::replay_result
     pub keep_record_log: bool,
+    /// Liveness timeout in detection intervals: a rank that has sent at
+    /// least one batch and then stays silent for this many consecutive
+    /// [`Self::detect_interval`]s is declared dead (fail-stop) by the
+    /// engine. A later arrival from the rank revokes a liveness-based
+    /// verdict (transport outages look like silence too).
+    pub liveness_intervals: u32,
+    /// When a write-ahead log is attached, snapshot the full engine state
+    /// into it every this many detection passes (1 = every pass). Smaller
+    /// values shorten the replay tail on recovery; larger values shrink
+    /// the log.
+    pub wal_snapshot_every: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -100,6 +111,8 @@ impl Default for RuntimeConfig {
             server_record_cost: Duration::from_nanos(20),
             server_detect_cell_cost: Duration::from_nanos(5),
             keep_record_log: false,
+            liveness_intervals: 3,
+            wal_snapshot_every: 1,
         }
     }
 }
@@ -218,6 +231,30 @@ impl RuntimeConfig {
         self
     }
 
+    /// Set the liveness timeout in detection intervals. Must be at least 1.
+    pub fn with_liveness_intervals(mut self, intervals: u32) -> Result<Self, RuntimeError> {
+        if intervals == 0 {
+            return Err(RuntimeError::invalid_config(
+                "liveness_intervals",
+                "must be >= 1",
+            ));
+        }
+        self.liveness_intervals = intervals;
+        Ok(self)
+    }
+
+    /// Set the WAL snapshot cadence in detection passes. Must be at least 1.
+    pub fn with_wal_snapshot_every(mut self, passes: u32) -> Result<Self, RuntimeError> {
+        if passes == 0 {
+            return Err(RuntimeError::invalid_config(
+                "wal_snapshot_every",
+                "must be >= 1",
+            ));
+        }
+        self.wal_snapshot_every = passes;
+        Ok(self)
+    }
+
     /// Check every range constraint at once; the analysis server runs this
     /// on construction so a hand-built struct literal with a bad value
     /// still fails before the run starts.
@@ -244,6 +281,18 @@ impl RuntimeConfig {
             return Err(RuntimeError::invalid_config(
                 "detect_interval",
                 "must be > 0",
+            ));
+        }
+        if self.liveness_intervals == 0 {
+            return Err(RuntimeError::invalid_config(
+                "liveness_intervals",
+                "must be >= 1",
+            ));
+        }
+        if self.wal_snapshot_every == 0 {
+            return Err(RuntimeError::invalid_config(
+                "wal_snapshot_every",
+                "must be >= 1",
             ));
         }
         Ok(())
@@ -314,6 +363,22 @@ mod tests {
             .with_matrix_resolution(Duration::ZERO)
             .is_err());
         assert!(RuntimeConfig::default().with_buffer_capacity(0).is_err());
+        assert!(RuntimeConfig::default().with_liveness_intervals(0).is_err());
+        assert!(RuntimeConfig::default().with_wal_snapshot_every(0).is_err());
+    }
+
+    #[test]
+    fn failstop_knobs_default_and_build() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.liveness_intervals, 3);
+        assert_eq!(c.wal_snapshot_every, 1);
+        let c = c
+            .with_liveness_intervals(5)
+            .and_then(|c| c.with_wal_snapshot_every(4))
+            .expect("valid");
+        assert_eq!(c.liveness_intervals, 5);
+        assert_eq!(c.wal_snapshot_every, 4);
+        c.validate().expect("still valid");
     }
 
     #[test]

@@ -42,11 +42,13 @@ use crate::matrix::PerformanceMatrix;
 use crate::record::{SensorInfo, SensorKind, SliceRecord};
 use crate::server::{DeliveryQuality, SensorSummary, ServerResult};
 use crate::transport::TelemetryBatch;
+use crate::wal::WriteAheadLog;
 use cluster_sim::time::{BusyClock, Duration, VirtualTime};
 use cluster_sim::trace::{self, Category, TraceEvent, SERVER_LANE};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use vsensor_lang::SensorId;
 
 /// Byte overhead charged per batch message (header / envelope).
@@ -94,6 +96,35 @@ impl GroupAcc {
             std.as_nanos() as f64 * self.inv_sum + self.zeros as f64,
             self.count,
         )
+    }
+}
+
+/// Infallible per-[`SensorKind`] storage, indexed by
+/// [`SensorKind::index`]. Replaces the `HashMap<SensorKind, _>` lookups
+/// whose "all kinds present" invariant previously had to be asserted with
+/// an `expect`.
+pub(crate) struct KindMap<T>([T; 3]);
+
+impl<T> KindMap<T> {
+    pub(crate) fn build(f: impl FnMut(SensorKind) -> T) -> Self {
+        KindMap(SensorKind::ALL.map(f))
+    }
+
+    pub(crate) fn into_hash_map(self) -> HashMap<SensorKind, T> {
+        SensorKind::ALL.into_iter().zip(self.0).collect()
+    }
+}
+
+impl<T> std::ops::Index<SensorKind> for KindMap<T> {
+    type Output = T;
+    fn index(&self, kind: SensorKind) -> &T {
+        &self.0[kind.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<SensorKind> for KindMap<T> {
+    fn index_mut(&mut self, kind: SensorKind) -> &mut T {
+        &mut self.0[kind.index()]
     }
 }
 
@@ -212,21 +243,97 @@ pub struct IngestReceipt {
     pub duplicate: bool,
 }
 
-/// One live detection: a variance event first observed mid-run.
+/// How the engine learned that a rank fail-stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeathCause {
+    /// A buddy rank gossiped the death on its telemetry — authoritative
+    /// and sticky.
+    Notice,
+    /// The rank went silent for `liveness_intervals` detection intervals —
+    /// circumstantial, retracted if the rank is heard from again.
+    Liveness,
+}
+
+impl DeathCause {
+    fn label(self) -> &'static str {
+        match self {
+            DeathCause::Notice => "gossip notice",
+            DeathCause::Liveness => "liveness timeout",
+        }
+    }
+}
+
+/// The engine's belief about one fail-stopped rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeathRecord {
+    /// The dead rank.
+    pub rank: usize,
+    /// Estimated (notice) or last-heard-from (liveness) death instant.
+    pub at: VirtualTime,
+    /// How the engine found out.
+    pub cause: DeathCause,
+}
+
+impl std::fmt::Display for DeathRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} fail-stopped at {} ({})",
+            self.rank,
+            self.at,
+            self.cause.label()
+        )
+    }
+}
+
+/// What a live alert is about: a performance-variance event, or a rank
+/// localized as *dead* — never conflated with 0%-performance variance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlertKind {
+    /// A variance event, as understood at emission time (it may grow).
+    Variance(VarianceEvent),
+    /// A rank was detected as fail-stopped.
+    RankDeath(DeathRecord),
+}
+
+/// One live detection: a variance event or rank death first observed
+/// mid-run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct VarianceAlert {
     /// Virtual arrival time of the ingest that triggered the detection
     /// pass — when an operator watching the stream would have seen it.
     pub at: VirtualTime,
-    /// Which detection pass (1-based) surfaced it.
+    /// Which detection pass (1-based) surfaced it (the pass count at
+    /// emission, for deaths detected between passes).
     pub pass: u64,
-    /// The event, as understood at `at` (it may still grow).
-    pub event: VarianceEvent,
+    /// What was detected.
+    pub kind: AlertKind,
+}
+
+impl VarianceAlert {
+    /// The variance event, if this alert carries one.
+    pub fn event(&self) -> Option<&VarianceEvent> {
+        match &self.kind {
+            AlertKind::Variance(e) => Some(e),
+            AlertKind::RankDeath(_) => None,
+        }
+    }
+
+    /// The death record, if this alert reports a fail-stop.
+    pub fn death(&self) -> Option<&DeathRecord> {
+        match &self.kind {
+            AlertKind::RankDeath(d) => Some(d),
+            AlertKind::Variance(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for VarianceAlert {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "t={} pass {}: {}", self.at, self.pass, self.event)
+        match &self.kind {
+            AlertKind::Variance(e) => write!(f, "t={} pass {}: {}", self.at, self.pass, e),
+            AlertKind::RankDeath(d) => write!(f, "t={} pass {}: {}", self.at, self.pass, d),
+        }
     }
 }
 
@@ -304,6 +411,21 @@ pub(crate) struct Engine {
     /// [`Engine::replay_result`] can cross-check the accumulators against
     /// the seed's batch-at-end algorithm.
     log: Option<Mutex<Vec<(usize, SliceRecord)>>>,
+    /// Latest batch arrival per rank, encoded as `arrival_ns + 1` (0 =
+    /// never heard from), advanced with `fetch_max` so the value is
+    /// interleaving-free.
+    last_arrival: Vec<AtomicU64>,
+    /// Fail-stop beliefs per rank: `(death instant, how we found out)`.
+    deaths: Mutex<Vec<Option<(VirtualTime, DeathCause)>>>,
+    /// Fast-path guard: true once any death has ever been recorded, so
+    /// healthy runs never touch the `deaths` lock on ingest.
+    any_deaths: AtomicBool,
+    /// In-memory write-ahead log, when durability is enabled.
+    wal: Option<Arc<WriteAheadLog>>,
+    /// Serializes whole ingests while a WAL is attached, so log order
+    /// equals processing order and recovery replay is a faithful
+    /// re-execution.
+    ingest_serial: Mutex<()>,
 }
 
 impl Engine {
@@ -353,7 +475,21 @@ impl Engine {
                 emitted: Vec::new(),
             }),
             log,
+            last_arrival: std::iter::repeat_with(|| AtomicU64::new(0))
+                .take(ranks)
+                .collect(),
+            deaths: Mutex::new(vec![None; ranks]),
+            any_deaths: AtomicBool::new(false),
+            wal: None,
+            ingest_serial: Mutex::new(()),
         }
+    }
+
+    /// Attach a write-ahead log. Every subsequent ingest is logged (and
+    /// serialized — see `ingest_serial`), and detection passes append
+    /// engine snapshots. Must be called before the engine is shared.
+    pub(crate) fn attach_wal(&mut self, wal: Arc<WriteAheadLog>) {
+        self.wal = Some(wal);
     }
 
     pub(crate) fn config(&self) -> &RuntimeConfig {
@@ -479,6 +615,25 @@ impl Engine {
         if self.is_closed() {
             return Err(IngestError::Closed);
         }
+        // Write-ahead: log every arriving batch (malformed and corrupt
+        // ones included — their counters must replay too) before touching
+        // engine state, holding the serialization guard so the log order
+        // is exactly the processing order.
+        let _serial = self.wal.as_ref().map(|wal| {
+            let guard = self.ingest_serial.lock();
+            wal.append_batch(batch.clone(), arrival);
+            if trace::enabled(Category::ENGINE) {
+                trace::record(TraceEvent::instant(
+                    Category::ENGINE,
+                    "wal_append",
+                    SERVER_LANE,
+                    arrival.as_nanos(),
+                    batch.rank as u64,
+                    batch.seq,
+                ));
+            }
+            guard
+        });
         if batch.rank >= self.ranks {
             self.malformed.fetch_add(1, Ordering::Relaxed);
             return Err(IngestError::Malformed {
@@ -487,6 +642,15 @@ impl Engine {
             });
         }
         let rank = batch.rank;
+        self.note_arrival(rank, arrival);
+        // Gossip rides outside the CRC; process it for duplicates too —
+        // `note_death` is idempotent, which is what makes repeating the
+        // notice on every batch loss-tolerant.
+        if let Some(notice) = batch.death_notice {
+            if notice.rank < self.ranks {
+                self.note_death(notice.rank, notice.at, DeathCause::Notice, arrival);
+            }
+        }
         let shard_idx = rank % self.shards.len();
         let local = rank / self.shards.len();
         let shard = &self.shards[shard_idx];
@@ -559,6 +723,92 @@ impl Engine {
         })
     }
 
+    /// Note that `rank` was heard from at `arrival`. A liveness-timeout
+    /// death verdict is circumstantial — hearing from the rank again
+    /// retracts it (gossip notices are sticky).
+    fn note_arrival(&self, rank: usize, arrival: VirtualTime) {
+        self.last_arrival[rank].fetch_max(arrival.as_nanos() + 1, Ordering::Relaxed);
+        if self.any_deaths.load(Ordering::Relaxed) {
+            let mut deaths = self.deaths.lock();
+            if matches!(deaths[rank], Some((_, DeathCause::Liveness))) {
+                deaths[rank] = None;
+            }
+        }
+    }
+
+    /// Record a rank death, idempotently: repeated identical evidence is a
+    /// no-op, earlier death instants win within a cause, and an
+    /// authoritative gossip notice upgrades a circumstantial liveness
+    /// verdict. Fresh verdicts emit a [`AlertKind::RankDeath`] alert.
+    fn note_death(&self, rank: usize, at: VirtualTime, cause: DeathCause, now: VirtualTime) {
+        let mut deaths = self.deaths.lock();
+        let slot = &mut deaths[rank];
+        let fresh = match *slot {
+            None => true,
+            Some((_, DeathCause::Liveness)) if cause == DeathCause::Notice => true,
+            Some((t, c)) => {
+                if c == cause && at < t {
+                    *slot = Some((at, cause)); // tighten, but don't re-alert
+                }
+                false
+            }
+        };
+        if !fresh {
+            return;
+        }
+        *slot = Some((at, cause));
+        self.any_deaths.store(true, Ordering::Relaxed);
+        drop(deaths); // lock order: `deaths` is a leaf — never hold it across `stream`
+        let record = DeathRecord { rank, at, cause };
+        let pass = self.detect_passes.load(Ordering::Relaxed);
+        self.stream.lock().pending.push(VarianceAlert {
+            at: now,
+            pass,
+            kind: AlertKind::RankDeath(record),
+        });
+        if trace::enabled(Category::ENGINE) {
+            trace::record(TraceEvent::instant(
+                Category::ENGINE,
+                "rank_dead",
+                SERVER_LANE,
+                now.as_nanos(),
+                rank as u64,
+                at.as_nanos(),
+            ));
+        }
+    }
+
+    /// Sweep for ranks that went silent: a rank that has ever sent but has
+    /// not been heard from for `liveness_intervals` detection intervals is
+    /// presumed fail-stopped at its last-heard-from instant.
+    fn liveness_scan(&self, now: VirtualTime) {
+        let horizon = self
+            .config
+            .detect_interval
+            .as_nanos()
+            .saturating_mul(self.config.liveness_intervals as u64);
+        for rank in 0..self.ranks {
+            let enc = self.last_arrival[rank].load(Ordering::Relaxed);
+            if enc == 0 {
+                continue; // never heard from: indistinguishable from a slow start
+            }
+            let last = enc - 1;
+            if last.saturating_add(horizon) <= now.as_nanos() {
+                self.note_death(rank, VirtualTime(last), DeathCause::Liveness, now);
+            }
+        }
+    }
+
+    /// Every rank the engine currently believes is dead, in rank order.
+    pub(crate) fn failed_ranks(&self) -> Vec<DeathRecord> {
+        self.deaths
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, d)| d.map(|(at, cause)| DeathRecord { rank, at, cause }))
+            .collect()
+    }
+
     /// Run a detection pass if this arrival crossed the schedule. The CAS
     /// makes exactly one ingesting thread the winner per crossing.
     fn maybe_detect(&self, now: VirtualTime) {
@@ -588,13 +838,12 @@ impl Engine {
     /// ones. Holding the stream lock serializes passes that race across
     /// consecutive schedule crossings.
     fn run_detect_pass(&self, now: VirtualTime) {
+        self.liveness_scan(now);
         let mut stream = self.stream.lock();
         let bins = (self.config.matrix_bin(now).saturating_add(1)) as usize;
-        let matrices = {
-            let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
-            let global_std = Self::merged_global_std(&guards);
-            self.fold_matrices(&guards, &global_std, bins)
-        };
+        let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+        let global_std = Self::merged_global_std(&guards);
+        let matrices = self.fold_matrices(&guards, &global_std, bins);
         let pass = self.detect_passes.fetch_add(1, Ordering::Relaxed) + 1;
         let cells_visited = (self.ranks * bins * SensorKind::ALL.len()) as u64;
         let detect_cost =
@@ -613,7 +862,7 @@ impl Engine {
             ));
         }
         for kind in SensorKind::ALL {
-            let events = detect_events(&matrices[&kind], kind, self.config.variance_threshold)
+            let events = detect_events(&matrices[kind], kind, self.config.variance_threshold)
                 .unwrap_or_default();
             for event in events {
                 let already = stream.emitted.iter().any(|e| {
@@ -628,8 +877,26 @@ impl Engine {
                     stream.pending.push(VarianceAlert {
                         at: now,
                         pass,
-                        event,
+                        kind: AlertKind::Variance(event),
                     });
+                }
+            }
+        }
+        // Pass boundaries are the durability points: with a WAL attached,
+        // checkpoint the whole engine every `wal_snapshot_every` passes so
+        // recovery replays at most that many intervals of batches.
+        if let Some(wal) = &self.wal {
+            if pass.is_multiple_of(self.config.wal_snapshot_every as u64) {
+                wal.append_snapshot(self.snapshot_locked(&guards, &stream));
+                if trace::enabled(Category::ENGINE) {
+                    trace::record(TraceEvent::instant(
+                        Category::ENGINE,
+                        "wal_snapshot",
+                        SERVER_LANE,
+                        now.as_nanos(),
+                        pass,
+                        wal.batch_entries() as u64,
+                    ));
                 }
             }
         }
@@ -662,22 +929,17 @@ impl Engine {
     }
 
     /// Fold the accumulators into per-kind matrices, rank-major and
-    /// group-key-ordered, so the float sums are reproducible.
+    /// group-key-ordered, so the float sums are reproducible. Dead ranks
+    /// are mask-marked from their death bin onward.
     fn fold_matrices(
         &self,
         guards: &[parking_lot::MutexGuard<'_, ShardInner>],
         global_std: &BTreeMap<GroupKey, Duration>,
         bins: usize,
-    ) -> HashMap<SensorKind, PerformanceMatrix> {
-        let mut matrices: HashMap<SensorKind, PerformanceMatrix> = SensorKind::ALL
-            .into_iter()
-            .map(|k| {
-                (
-                    k,
-                    PerformanceMatrix::new(self.ranks, bins, self.config.matrix_resolution),
-                )
-            })
-            .collect();
+    ) -> KindMap<PerformanceMatrix> {
+        let mut matrices = KindMap::build(|_| {
+            PerformanceMatrix::new(self.ranks, bins, self.config.matrix_resolution)
+        });
         let nshards = self.shards.len();
         for rank in 0..self.ranks {
             let inner = &guards[rank % nshards];
@@ -692,14 +954,30 @@ impl Engine {
                     };
                     let Some(std) = std else { continue };
                     let (sum, count) = acc.fold(std);
-                    matrices
-                        .get_mut(&info.kind)
-                        .expect("all kinds present")
-                        .add_aggregate(rank, bin, sum, count);
+                    matrices[info.kind].add_aggregate(rank, bin, sum, count);
                 }
             }
         }
+        self.mask_dead(&mut matrices);
         matrices
+    }
+
+    /// Mark every believed-dead rank's cells as dead from its death bin
+    /// onward, in all three matrices — detection then skips them, so a
+    /// killed rank can never read as 0%-performance variance.
+    fn mask_dead(&self, matrices: &mut KindMap<PerformanceMatrix>) {
+        if !self.any_deaths.load(Ordering::Relaxed) {
+            return;
+        }
+        let deaths = self.deaths.lock();
+        for (rank, death) in deaths.iter().enumerate() {
+            if let Some((at, _)) = death {
+                let bin = self.config.matrix_bin(*at);
+                for kind in SensorKind::ALL {
+                    matrices[kind].mark_dead(rank, bin);
+                }
+            }
+        }
     }
 
     /// Build the full result over `[0, run_end)` from the accumulators.
@@ -714,7 +992,7 @@ impl Engine {
         if self.ranks > 0 {
             for kind in SensorKind::ALL {
                 events.extend(
-                    detect_events(&matrices[&kind], kind, self.config.variance_threshold)
+                    detect_events(&matrices[kind], kind, self.config.variance_threshold)
                         .unwrap_or_default(),
                 );
             }
@@ -772,7 +1050,7 @@ impl Engine {
             .collect();
 
         ServerResult {
-            matrices,
+            matrices: matrices.into_hash_map(),
             events,
             sensor_summary,
             bytes_received: self.bytes_received(),
@@ -781,6 +1059,7 @@ impl Engine {
             delivery,
             malformed_records: self.malformed_count(),
             load: self.load(),
+            failed_ranks: self.failed_ranks(),
         }
     }
 
@@ -865,15 +1144,9 @@ impl Engine {
 
         // Matrices, per-record in log order — the seed's finalize loop.
         let bins = (self.config.matrix_bin(run_end).saturating_add(1)) as usize;
-        let mut matrices: HashMap<SensorKind, PerformanceMatrix> = SensorKind::ALL
-            .into_iter()
-            .map(|k| {
-                (
-                    k,
-                    PerformanceMatrix::new(self.ranks, bins, self.config.matrix_resolution),
-                )
-            })
-            .collect();
+        let mut matrices = KindMap::build(|_| {
+            PerformanceMatrix::new(self.ranks, bins, self.config.matrix_resolution)
+        });
         let slice_per_bin = self.config.slices_per_bin();
         for (rank, rec) in &records {
             let info = &self.sensors[rec.sensor.0 as usize];
@@ -885,17 +1158,15 @@ impl Engine {
             let Some(std) = std else { continue };
             let perf = normalized(std, rec.avg);
             let bin = rec.slice / slice_per_bin;
-            matrices
-                .get_mut(&info.kind)
-                .expect("all kinds present")
-                .add(*rank, bin, perf);
+            matrices[info.kind].add(*rank, bin, perf);
         }
+        self.mask_dead(&mut matrices);
 
         let mut events = Vec::new();
         if self.ranks > 0 {
             for kind in SensorKind::ALL {
                 events.extend(
-                    detect_events(&matrices[&kind], kind, self.config.variance_threshold)
+                    detect_events(&matrices[kind], kind, self.config.variance_threshold)
                         .unwrap_or_default(),
                 );
             }
@@ -942,7 +1213,7 @@ impl Engine {
             .collect();
 
         Ok(ServerResult {
-            matrices,
+            matrices: matrices.into_hash_map(),
             events,
             sensor_summary,
             bytes_received: self.bytes_received(),
@@ -951,8 +1222,219 @@ impl Engine {
             delivery,
             malformed_records: self.malformed_count(),
             load: self.load(),
+            failed_ranks: self.failed_ranks(),
         })
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore — the durability half of the WAL design.
+    // ------------------------------------------------------------------
+
+    /// Serialize every piece of mutable engine state into an
+    /// [`EngineSnapshot`]. Called at a detect-pass boundary while holding
+    /// the stream lock and all shard guards, so the snapshot is a
+    /// consistent cut of the serialized ingest order.
+    fn snapshot_locked(
+        &self,
+        guards: &[parking_lot::MutexGuard<'_, ShardInner>],
+        stream: &StreamState,
+    ) -> EngineSnapshot {
+        let shards = self
+            .shards
+            .iter()
+            .zip(guards)
+            .map(|(shard, inner)| ShardSnapshot {
+                global_std: inner.global_std.iter().map(|(k, v)| (*k, *v)).collect(),
+                local_std: inner.local_std.iter().map(|(k, v)| (*k, *v)).collect(),
+                cells: inner
+                    .cells
+                    .iter()
+                    .map(|c| RankCellsSnapshot {
+                        hot: c
+                            .hot
+                            .iter()
+                            .map(|(bin, groups)| {
+                                (*bin, groups.iter().map(|(k, a)| (*k, *a)).collect())
+                            })
+                            .collect(),
+                        frozen: c
+                            .frozen
+                            .iter()
+                            .map(|(bin, groups)| (*bin, groups.clone()))
+                            .collect(),
+                        max_bin: c.max_bin,
+                    })
+                    .collect(),
+                sensor_acc: inner.sensor_acc.iter().map(|(k, a)| (*k, *a)).collect(),
+                delivery: inner
+                    .delivery
+                    .iter()
+                    .map(|d| {
+                        let mut seen: Vec<u64> = d.seen.iter().copied().collect();
+                        seen.sort_unstable();
+                        RankDeliverySnapshot {
+                            seen,
+                            accepted: d.accepted,
+                            duplicates: d.duplicates,
+                            corrupt: d.corrupt,
+                            out_of_order: d.out_of_order,
+                            max_seq: d.max_seq,
+                            latency_total: d.latency_total,
+                        }
+                    })
+                    .collect(),
+                batches: shard.batches.load(Ordering::Relaxed),
+                records: shard.records.load(Ordering::Relaxed),
+                clock: (shard.clock.free_at(), shard.clock.busy_time()),
+            })
+            .collect();
+        EngineSnapshot {
+            shards,
+            bytes: self.bytes.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            next_detect: self.next_detect.load(Ordering::Relaxed),
+            detect_passes: self.detect_passes.load(Ordering::Relaxed),
+            detect_clock: (self.detect_clock.free_at(), self.detect_clock.busy_time()),
+            pending: stream.pending.clone(),
+            emitted: stream.emitted.clone(),
+            log: self.log.as_ref().map(|l| l.lock().clone()),
+            deaths: self.deaths.lock().clone(),
+            last_arrival: self
+                .last_arrival
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Take a snapshot outside a detection pass — test-only convenience.
+    #[cfg(test)]
+    pub(crate) fn snapshot_for_tests(&self) -> EngineSnapshot {
+        let stream = self.stream.lock();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+        self.snapshot_locked(&guards, &stream)
+    }
+
+    /// Rebuild the engine's mutable state from a snapshot. The inverse of
+    /// [`Engine::snapshot_locked`]; requires exclusive ownership (recovery
+    /// happens before the engine is shared).
+    pub(crate) fn restore(&mut self, snap: &EngineSnapshot) {
+        for (shard, s) in self.shards.iter_mut().zip(&snap.shards) {
+            let inner = shard.inner.get_mut();
+            inner.global_std = s.global_std.iter().copied().collect();
+            inner.local_std = s.local_std.iter().copied().collect();
+            inner.cells = s
+                .cells
+                .iter()
+                .map(|c| RankCells {
+                    hot: c
+                        .hot
+                        .iter()
+                        .map(|(bin, groups)| (*bin, groups.iter().copied().collect()))
+                        .collect(),
+                    frozen: c
+                        .frozen
+                        .iter()
+                        .map(|(bin, groups)| (*bin, groups.clone()))
+                        .collect(),
+                    max_bin: c.max_bin,
+                })
+                .collect();
+            inner.sensor_acc = s.sensor_acc.iter().copied().collect();
+            inner.delivery = s
+                .delivery
+                .iter()
+                .map(|d| RankDelivery {
+                    seen: d.seen.iter().copied().collect(),
+                    accepted: d.accepted,
+                    duplicates: d.duplicates,
+                    corrupt: d.corrupt,
+                    out_of_order: d.out_of_order,
+                    max_seq: d.max_seq,
+                    latency_total: d.latency_total,
+                })
+                .collect();
+            shard.batches = AtomicU64::new(s.batches);
+            shard.records = AtomicU64::new(s.records);
+            shard.clock = BusyClock::restore(s.clock.0, s.clock.1);
+        }
+        self.bytes = AtomicU64::new(snap.bytes);
+        self.batches = AtomicU64::new(snap.batches);
+        self.records = AtomicU64::new(snap.records);
+        self.malformed = AtomicU64::new(snap.malformed);
+        self.next_detect = AtomicU64::new(snap.next_detect);
+        self.detect_passes = AtomicU64::new(snap.detect_passes);
+        self.detect_clock = BusyClock::restore(snap.detect_clock.0, snap.detect_clock.1);
+        {
+            let stream = self.stream.get_mut();
+            stream.pending = snap.pending.clone();
+            stream.emitted = snap.emitted.clone();
+        }
+        if let (Some(log), Some(snap_log)) = (&mut self.log, &snap.log) {
+            *log.get_mut() = snap_log.clone();
+        }
+        *self.deaths.get_mut() = snap.deaths.clone();
+        self.any_deaths = AtomicBool::new(snap.deaths.iter().any(Option::is_some));
+        self.last_arrival = snap
+            .last_arrival
+            .iter()
+            .map(|&v| AtomicU64::new(v))
+            .collect();
+    }
+}
+
+/// A consistent cut of one ingest shard's mutable state, in sorted
+/// serialized form (maps and sets flattened to ordered pairs).
+#[derive(Clone, Debug)]
+pub(crate) struct ShardSnapshot {
+    global_std: Vec<(GroupKey, Duration)>,
+    local_std: Vec<((SensorId, Bucket, usize), Duration)>,
+    cells: Vec<RankCellsSnapshot>,
+    sensor_acc: Vec<((SensorId, Bucket, usize), GroupAcc)>,
+    delivery: Vec<RankDeliverySnapshot>,
+    batches: u64,
+    records: u64,
+    clock: (VirtualTime, Duration),
+}
+
+#[derive(Clone, Debug)]
+struct RankCellsSnapshot {
+    hot: Vec<(u64, Vec<(GroupKey, GroupAcc)>)>,
+    frozen: Vec<(u64, Vec<(GroupKey, GroupAcc)>)>,
+    max_bin: u64,
+}
+
+#[derive(Clone, Debug)]
+struct RankDeliverySnapshot {
+    seen: Vec<u64>,
+    accepted: u64,
+    duplicates: u64,
+    corrupt: u64,
+    out_of_order: u64,
+    max_seq: Option<u64>,
+    latency_total: Duration,
+}
+
+/// Everything mutable about an [`Engine`], checkpointed at a detect-pass
+/// boundary. [`Engine::restore`] + replay of the WAL tail after this
+/// snapshot reproduces the live engine bit-for-bit.
+#[derive(Clone, Debug)]
+pub(crate) struct EngineSnapshot {
+    shards: Vec<ShardSnapshot>,
+    bytes: u64,
+    batches: u64,
+    records: u64,
+    malformed: u64,
+    next_detect: u64,
+    detect_passes: u64,
+    detect_clock: (VirtualTime, Duration),
+    pending: Vec<VarianceAlert>,
+    emitted: Vec<VarianceEvent>,
+    log: Option<Vec<(usize, SliceRecord)>>,
+    deaths: Vec<Option<(VirtualTime, DeathCause)>>,
+    last_arrival: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -1113,12 +1595,152 @@ mod tests {
         let alerts = e.poll_events();
         assert!(!alerts.is_empty(), "slow rank must alert mid-run");
         let a = &alerts[0];
-        assert_eq!(a.event.first_rank, 1);
+        assert_eq!(a.event().expect("variance alert").first_rank, 1);
         assert!(a.at < VirtualTime::from_millis(1000), "alert before end");
         assert!(e.poll_events().is_empty(), "poll drains");
         let load = e.load();
         assert!(load.detect_passes >= 1);
         assert!(load.detect_busy.as_nanos() > 0);
+    }
+
+    fn batch_at(rank: usize, seq: u64, t: VirtualTime, avg_us: u64) -> TelemetryBatch {
+        TelemetryBatch::new(rank, seq, t, vec![rec(0, seq, avg_us)])
+    }
+
+    #[test]
+    fn death_notice_masks_the_rank_and_alerts() {
+        use crate::transport::DeathNotice;
+        let e = engine(4, 2);
+        let mut seqs = [0u64; 4];
+        let mut send = |rank: usize, t_ms: u64, notice: Option<DeathNotice>| {
+            let t = VirtualTime::from_millis(t_ms);
+            let mut b = batch_at(rank, seqs[rank], t, 10);
+            seqs[rank] += 1;
+            b.death_notice = notice;
+            e.ingest(b, t).unwrap();
+        };
+        for ms in 0..300 {
+            for rank in 0..4 {
+                if rank == 3 && ms >= 150 {
+                    continue; // rank 3 dies at 150 ms
+                }
+                let notice = (rank == 0 && ms >= 160).then_some(DeathNotice {
+                    rank: 3,
+                    at: VirtualTime::from_millis(150),
+                });
+                send(rank, ms, notice);
+            }
+        }
+        let dead = e.failed_ranks();
+        assert_eq!(dead.len(), 1, "{dead:?}");
+        assert_eq!(dead[0].rank, 3);
+        assert_eq!(dead[0].at, VirtualTime::from_millis(150));
+        assert_eq!(dead[0].cause, DeathCause::Notice);
+        let alerts = e.poll_events();
+        let deaths: Vec<_> = alerts.iter().filter_map(|a| a.death()).collect();
+        assert_eq!(deaths.len(), 1, "notice is idempotent — one alert");
+        let result = e.result_at(VirtualTime::from_millis(300));
+        assert_eq!(result.failed_ranks, dead);
+        let m = &result.matrices[&SensorKind::Computation];
+        let death_bin = 150 / 200; // matrix_resolution default 200 ms
+        assert_eq!(m.dead_from(3), Some(death_bin));
+        // Dead rank never surfaces as a variance event.
+        assert!(
+            result.events.iter().all(|ev| ev.first_rank != 3),
+            "{:?}",
+            result.events
+        );
+    }
+
+    #[test]
+    fn silent_rank_is_presumed_dead_then_resurrected() {
+        let e = engine(2, 1);
+        let mut seqs = [0u64; 2];
+        let mut send = |rank: usize, t_ms: u64| {
+            let t = VirtualTime::from_millis(t_ms);
+            e.ingest(batch_at(rank, seqs[rank], t, 10), t).unwrap();
+            seqs[rank] += 1;
+        };
+        // Rank 1 goes silent after 100 ms; rank 0 keeps the clock moving.
+        // Default liveness horizon: 3 × 200 ms detect intervals.
+        for ms in 0..1000 {
+            send(0, ms);
+            if ms < 100 {
+                send(1, ms);
+            }
+        }
+        let dead = e.failed_ranks();
+        assert_eq!(dead.len(), 1, "{dead:?}");
+        assert_eq!(dead[0].rank, 1);
+        assert_eq!(dead[0].cause, DeathCause::Liveness);
+        assert_eq!(dead[0].at, VirtualTime::from_millis(99));
+        // The "dead" rank speaks again: the circumstantial verdict is
+        // retracted.
+        send(1, 1000);
+        assert!(e.failed_ranks().is_empty(), "liveness deaths resurrect");
+    }
+
+    #[test]
+    fn snapshot_restore_replay_is_bitwise_identical() {
+        use crate::wal::{WalHeader, WriteAheadLog};
+        let config = RuntimeConfig {
+            shards: 2,
+            keep_record_log: true,
+            ..RuntimeConfig::free_probes()
+        };
+        let sensors = vec![sensor_info(0, SensorKind::Computation, true)];
+        let header = WalHeader {
+            ranks: 4,
+            sensors: sensors.clone(),
+            config: config.clone(),
+        };
+        let wal = Arc::new(WriteAheadLog::new(header));
+        let mut live = Engine::new(4, sensors.clone(), config.clone());
+        live.attach_wal(wal.clone());
+        for ms in 0..800u64 {
+            for rank in 0..4 {
+                let t = VirtualTime::from_millis(ms);
+                let avg = if rank == 2 { 30 } else { 10 };
+                let b = TelemetryBatch::new(rank, ms, t, vec![rec(0, ms, avg)]);
+                live.ingest(b, t).unwrap();
+            }
+        }
+        assert!(wal.snapshot_entries() >= 1, "detect passes must checkpoint");
+        // Crash-recover: fresh engine + last snapshot + tail replay.
+        let mut recovered = Engine::new(4, sensors, config);
+        let (snap, tail) = wal.recovery_state();
+        let snap = snap.expect("at least one snapshot");
+        assert!(!tail.is_empty(), "some batches arrive after the snapshot");
+        recovered.restore(&snap);
+        for (batch, arrival) in tail {
+            let _ = recovered.ingest(batch, arrival);
+        }
+        let end = VirtualTime::from_millis(800);
+        let a = live.result_at(end);
+        let b = recovered.result_at(end);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.bytes_received, b.bytes_received);
+        assert_eq!(a.load.detect_passes, b.load.detect_passes);
+        for kind in SensorKind::ALL {
+            let (ma, mb) = (&a.matrices[&kind], &b.matrices[&kind]);
+            assert_eq!(ma.bins(), mb.bins());
+            for rank in 0..4 {
+                for bin in 0..ma.bins() {
+                    let (sa, ca) = ma.cell_raw(rank, bin).unwrap();
+                    let (sb, cb) = mb.cell_raw(rank, bin).unwrap();
+                    assert_eq!(sa.to_bits(), sb.to_bits(), "rank {rank} bin {bin}");
+                    assert_eq!(ca, cb);
+                }
+            }
+        }
+        for rank in 0..4 {
+            let (da, db) = (&a.delivery[rank], &b.delivery[rank]);
+            assert_eq!(da.accepted, db.accepted);
+            assert_eq!(da.gaps, db.gaps);
+            assert_eq!(da.mean_latency, db.mean_latency);
+        }
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!    incrementally into per-component performance matrices (time × rank),
 //!    flags variance regions, and emits live alerts mid-run — [`server`],
 //!    [`matrix`], [`detect`].
+//! 6. **Fail-stop tolerance**: the engine learns of dead ranks from
+//!    buddy-rank gossip ([`transport::DeathNotice`]) or liveness timeouts,
+//!    masks them out of the matrices (a killed node is localized as
+//!    *dead*, never as 0%-performance variance), and — with a [`wal`]
+//!    attached — checkpoints itself so a crashed server recovers to a
+//!    bitwise-identical result.
 //!
 //! All public types are re-exported at the crate root; downstream code
 //! should `use vsensor_runtime::{AnalysisServer, VarianceAlert, ...}`
@@ -41,14 +47,17 @@ pub mod smoothing;
 pub mod tick;
 pub mod trace;
 pub mod transport;
+pub mod wal;
 
 pub use config::RuntimeConfig;
 pub use detect::{detect_events, VarianceEvent};
 pub use distribution::DistributionStats;
 pub use dynrules::{Bucket, DynamicRule};
-pub use engine::{IngestReceipt, ServerLoad, ShardLoad, VarianceAlert};
+pub use engine::{
+    AlertKind, DeathCause, DeathRecord, IngestReceipt, ServerLoad, ShardLoad, VarianceAlert,
+};
 pub use error::{IngestError, RuntimeError};
-pub use matrix::PerformanceMatrix;
+pub use matrix::{CellState, PerformanceMatrix};
 pub use record::{SensorInfo, SensorKind, SliceRecord};
 pub use report::VarianceReport;
 pub use server::{
@@ -58,6 +67,7 @@ pub use server::{
 pub use tick::SensorRuntime;
 pub use trace::{MetricsRegistry, RuntimeHealth};
 pub use transport::{
-    BatchChannel, DirectChannel, FaultyChannel, RankTransport, SendOutcome, TelemetryBatch,
-    TransportConfig, TransportStats,
+    BatchChannel, CrashingChannel, DeathNotice, DirectChannel, FaultyChannel, RankTransport,
+    SendOutcome, TelemetryBatch, TransportConfig, TransportStats,
 };
+pub use wal::WriteAheadLog;

@@ -4,8 +4,24 @@
 //! blue (1.0) is the best observed performance; values toward 0.5 and
 //! below render white in the paper's figures and mark variance. Cells with
 //! no senses hold `NaN` and are rendered as gaps.
+//!
+//! A fail-stopped rank gets a third cell state: from its death bin onward
+//! its cells are *dead* — masked out of detection and rendered distinctly,
+//! never conflated with 0%-performance variance.
 
 use cluster_sim::time::Duration;
+
+/// What one matrix cell holds, for rendering and detection masking.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CellState {
+    /// No observations landed in the cell.
+    Empty,
+    /// Average normalized performance of the cell's observations.
+    Perf(f64),
+    /// The rank was fail-stopped for this bin; any residual observations
+    /// are masked.
+    Dead,
+}
 
 /// A dense time × rank grid of normalized performance values.
 #[derive(Clone, Debug)]
@@ -17,6 +33,8 @@ pub struct PerformanceMatrix {
     /// average incrementally.
     sums: Vec<f64>,
     counts: Vec<u32>,
+    /// Per rank: first bin from which the rank is dead, if it fail-stopped.
+    dead_from: Vec<Option<u64>>,
 }
 
 impl PerformanceMatrix {
@@ -28,7 +46,29 @@ impl PerformanceMatrix {
             resolution,
             sums: vec![0.0; ranks * bins],
             counts: vec![0; ranks * bins],
+            dead_from: vec![None; ranks],
         }
+    }
+
+    /// Mark `rank` as fail-stopped from `from_bin` onward: those cells are
+    /// masked ([`Self::cell`] returns `None`, [`Self::cell_state`] returns
+    /// [`CellState::Dead`]) so a dead rank can never read as variance.
+    /// Repeated marks keep the earliest bin.
+    pub fn mark_dead(&mut self, rank: usize, from_bin: u64) {
+        if rank >= self.ranks {
+            return;
+        }
+        let prev = self.dead_from[rank];
+        self.dead_from[rank] = Some(prev.map_or(from_bin, |b| b.min(from_bin)));
+    }
+
+    /// First bin from which `rank` is dead, if it fail-stopped.
+    pub fn dead_from(&self, rank: usize) -> Option<u64> {
+        self.dead_from.get(rank).copied().flatten()
+    }
+
+    fn is_dead_cell(&self, rank: usize, bin: usize) -> bool {
+        self.dead_from[rank].is_some_and(|from| bin as u64 >= from)
     }
 
     /// Number of ranks (rows).
@@ -68,9 +108,10 @@ impl PerformanceMatrix {
     }
 
     /// Average normalized performance of a cell; `None` if the cell holds
-    /// no data or lies outside the grid.
+    /// no data, lies outside the grid, or belongs to a rank's dead region
+    /// (masked — see [`Self::mark_dead`]).
     pub fn cell(&self, rank: usize, bin: usize) -> Option<f64> {
-        if rank >= self.ranks || bin >= self.bins {
+        if rank >= self.ranks || bin >= self.bins || self.is_dead_cell(rank, bin) {
             return None;
         }
         let i = rank * self.bins + bin;
@@ -81,8 +122,24 @@ impl PerformanceMatrix {
         }
     }
 
+    /// Full three-state view of a cell: empty, populated, or dead. Out-of-
+    /// range cells read as empty.
+    pub fn cell_state(&self, rank: usize, bin: usize) -> CellState {
+        if rank >= self.ranks || bin >= self.bins {
+            return CellState::Empty;
+        }
+        if self.is_dead_cell(rank, bin) {
+            return CellState::Dead;
+        }
+        match self.cell(rank, bin) {
+            Some(p) => CellState::Perf(p),
+            None => CellState::Empty,
+        }
+    }
+
     /// Raw `(sum, count)` of a cell — what equivalence tests compare, since
-    /// it avoids the division. `None` outside the grid.
+    /// it avoids the division. `None` outside the grid. Deliberately *not*
+    /// death-masked: bitwise oracles compare the underlying accumulators.
     pub fn cell_raw(&self, rank: usize, bin: usize) -> Option<(f64, u32)> {
         if rank >= self.ranks || bin >= self.bins {
             return None;
@@ -91,14 +148,17 @@ impl PerformanceMatrix {
         Some((self.sums[i], self.counts[i]))
     }
 
-    /// Mean performance over all populated cells (1.0 = perfectly stable).
+    /// Mean performance over all populated, non-dead cells (1.0 =
+    /// perfectly stable).
     pub fn mean(&self) -> f64 {
         let mut total = 0.0;
         let mut n = 0usize;
-        for i in 0..self.sums.len() {
-            if self.counts[i] > 0 {
-                total += self.sums[i] / self.counts[i] as f64;
-                n += 1;
+        for rank in 0..self.ranks {
+            for bin in 0..self.bins {
+                if let Some(p) = self.cell(rank, bin) {
+                    total += p;
+                    n += 1;
+                }
             }
         }
         if n == 0 {
@@ -108,15 +168,17 @@ impl PerformanceMatrix {
         }
     }
 
-    /// Fraction of populated cells below `threshold`.
+    /// Fraction of populated, non-dead cells below `threshold`.
     pub fn fraction_below(&self, threshold: f64) -> f64 {
         let mut below = 0usize;
         let mut n = 0usize;
-        for i in 0..self.sums.len() {
-            if self.counts[i] > 0 {
-                n += 1;
-                if self.sums[i] / self.counts[i] as f64 <= threshold {
-                    below += 1;
+        for rank in 0..self.ranks {
+            for bin in 0..self.bins {
+                if let Some(p) = self.cell(rank, bin) {
+                    n += 1;
+                    if p <= threshold {
+                        below += 1;
+                    }
                 }
             }
         }
@@ -127,12 +189,21 @@ impl PerformanceMatrix {
         }
     }
 
-    /// Fraction of cells that hold at least one observation.
+    /// Fraction of cells that hold at least one observation (dead cells
+    /// count as unfilled).
     pub fn fill_ratio(&self) -> f64 {
         if self.counts.is_empty() {
             return 0.0;
         }
-        self.counts.iter().filter(|&&c| c > 0).count() as f64 / self.counts.len() as f64
+        let mut filled = 0usize;
+        for rank in 0..self.ranks {
+            for bin in 0..self.bins {
+                if self.cell(rank, bin).is_some() {
+                    filled += 1;
+                }
+            }
+        }
+        filled as f64 / self.counts.len() as f64
     }
 
     /// Export as CSV: `rank,bin,time_s,perf` rows for populated cells.
@@ -208,6 +279,37 @@ mod tests {
         assert!(csv.starts_with("rank,bin,time_s,perf\n"));
         assert_eq!(csv.lines().count(), 3, "{csv}");
         assert!(csv.contains("1,2,0.4000,0.5000"));
+    }
+
+    #[test]
+    fn dead_cells_are_masked_not_slow() {
+        let mut m = PerformanceMatrix::new(2, 4, Duration::from_millis(200));
+        for bin in 0..4 {
+            m.add(0, bin, 1.0);
+            m.add(1, bin, 1.0);
+        }
+        // Rank 1 dies in bin 2; a residual (reordered) observation that
+        // already landed there must not surface as 0%-performance.
+        m.mark_dead(1, 2);
+        assert_eq!(m.cell(1, 1), Some(1.0), "pre-death cells intact");
+        assert_eq!(m.cell(1, 2), None, "dead cells are masked");
+        assert_eq!(m.cell_state(1, 2), CellState::Dead);
+        assert_eq!(m.cell_state(1, 3), CellState::Dead);
+        assert_eq!(m.cell_state(1, 1), CellState::Perf(1.0));
+        assert_eq!(m.cell_state(0, 2), CellState::Perf(1.0));
+        // Raw accumulators stay visible for bitwise oracles.
+        assert_eq!(m.cell_raw(1, 2), Some((1.0, 1)));
+        // Aggregates skip dead cells.
+        assert!((m.fill_ratio() - 6.0 / 8.0).abs() < 1e-12);
+        assert_eq!(m.fraction_below(0.5), 0.0);
+        // Earliest death bin wins on repeated marks.
+        m.mark_dead(1, 3);
+        assert_eq!(m.dead_from(1), Some(2));
+        m.mark_dead(1, 0);
+        assert_eq!(m.dead_from(1), Some(0));
+        // Out-of-range marks are ignored.
+        m.mark_dead(9, 0);
+        assert_eq!(m.dead_from(0), None);
     }
 
     #[test]

@@ -20,6 +20,16 @@ impl SensorKind {
     /// All kinds, in display order.
     pub const ALL: [SensorKind; 3] = [SensorKind::Computation, SensorKind::Network, SensorKind::Io];
 
+    /// Dense index into [`Self::ALL`]-ordered arrays (see
+    /// [`crate::engine::KindMap`]).
+    pub const fn index(self) -> usize {
+        match self {
+            SensorKind::Computation => 0,
+            SensorKind::Network => 1,
+            SensorKind::Io => 2,
+        }
+    }
+
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
         match self {

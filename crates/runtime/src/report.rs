@@ -7,7 +7,7 @@
 
 use crate::detect::VarianceEvent;
 use crate::distribution::DistributionStats;
-use crate::engine::{ServerLoad, VarianceAlert};
+use crate::engine::{DeathRecord, ServerLoad, VarianceAlert};
 use crate::record::SensorKind;
 use crate::server::DeliveryQuality;
 use crate::transport::TransportStats;
@@ -42,6 +42,10 @@ pub struct VarianceReport {
     /// Live alerts the detection stream emitted while the run was still in
     /// flight, in emission order.
     pub alerts: Vec<VarianceAlert>,
+    /// Ranks the server believes fail-stopped, with when and how it learnt
+    /// of each death. Empty for healthy runs (and for runs predating the
+    /// fail-stop layer), which keeps their rendered text bit-identical.
+    pub failed_ranks: Vec<DeathRecord>,
     /// Server-side processing load (ingest shards, detection passes).
     pub load: ServerLoad,
     /// Tracing-derived runtime health, attached only when a trace session
@@ -183,6 +187,16 @@ impl VarianceReport {
         if let Some(health) = &self.health {
             health.render_into(&mut out);
         }
+        if !self.failed_ranks.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} rank(s) fail-stopped — reported as dead, not as variance:",
+                self.failed_ranks.len(),
+            );
+            for d in &self.failed_ranks {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
         if self.events.is_empty() {
             let _ = writeln!(out, "no performance variance detected");
         } else {
@@ -246,6 +260,7 @@ mod tests {
             delivery: Vec::new(),
             transport: TransportStats::default(),
             alerts: Vec::new(),
+            failed_ranks: Vec::new(),
             load: ServerLoad::default(),
             health: None,
         }
@@ -303,7 +318,7 @@ mod tests {
         rep.alerts = vec![VarianceAlert {
             at: VirtualTime::from_secs(21),
             pass: 105,
-            event: rep.events[0].clone(),
+            kind: crate::engine::AlertKind::Variance(rep.events[0].clone()),
         }];
         rep.load = ServerLoad {
             shards: vec![ShardLoad {
@@ -325,6 +340,24 @@ mod tests {
             r.contains("first live alert at 21.000000s (30.0% into the run)"),
             "{r}"
         );
+    }
+
+    #[test]
+    fn failed_ranks_are_rendered_as_dead_not_variance() {
+        use crate::engine::DeathCause;
+        let mut rep = sample_report();
+        assert!(
+            !rep.render().contains("fail-stopped"),
+            "healthy reports must not mention deaths"
+        );
+        rep.failed_ranks = vec![DeathRecord {
+            rank: 7,
+            at: VirtualTime::from_secs(30),
+            cause: DeathCause::Notice,
+        }];
+        let r = rep.render();
+        assert!(r.contains("1 rank(s) fail-stopped"), "{r}");
+        assert!(r.contains("rank 7"), "{r}");
     }
 
     #[test]

@@ -30,14 +30,16 @@
 
 use crate::config::RuntimeConfig;
 use crate::detect::VarianceEvent;
-use crate::engine::Engine;
+use crate::engine::{DeathRecord, Engine};
 pub use crate::engine::{IngestReceipt, ServerLoad, ShardLoad, VarianceAlert};
 use crate::error::{IngestError, RuntimeError};
 use crate::matrix::PerformanceMatrix;
 use crate::record::{SensorInfo, SensorKind};
 use crate::transport::TelemetryBatch;
+use crate::wal::{WalHeader, WriteAheadLog};
 use cluster_sim::time::{Duration, VirtualTime};
 use std::collections::HashMap;
+use std::sync::Arc;
 use vsensor_lang::SensorId;
 
 /// The shared analysis server. Ranks obtain an [`IngestSession`] (or reuse
@@ -78,9 +80,10 @@ pub struct IngestStats {
 impl AnalysisServer {
     /// Create a server for `ranks` ranks and the given sensor table.
     ///
-    /// Panics on an invalid configuration; use [`AnalysisServer::try_new`]
-    /// (or build the config through its validating setters) to handle that
-    /// case gracefully.
+    /// **Debug/test-only convenience**: panics on an invalid
+    /// configuration. Production callers (anything not a test or example)
+    /// use [`AnalysisServer::try_new`] and handle the error — all in-repo
+    /// non-test call sites do.
     pub fn new(ranks: usize, sensors: Vec<SensorInfo>, config: RuntimeConfig) -> Self {
         Self::try_new(ranks, sensors, config).expect("invalid RuntimeConfig")
     }
@@ -95,6 +98,51 @@ impl AnalysisServer {
         Ok(AnalysisServer {
             engine: Engine::new(ranks, sensors, config),
         })
+    }
+
+    /// Create a *durable* server: every arriving batch is appended to an
+    /// in-memory [`WriteAheadLog`] before processing (which serializes
+    /// ingest — log order is processing order) and the engine checkpoints
+    /// itself into the log every `wal_snapshot_every` detection passes.
+    /// The returned log handle outlives the server; after a crash,
+    /// [`AnalysisServer::recover`] rebuilds an equivalent server from it.
+    pub fn try_new_durable(
+        ranks: usize,
+        sensors: Vec<SensorInfo>,
+        config: RuntimeConfig,
+    ) -> Result<(Self, Arc<WriteAheadLog>), RuntimeError> {
+        config.validate()?;
+        let wal = Arc::new(WriteAheadLog::new(WalHeader {
+            ranks,
+            sensors: sensors.clone(),
+            config: config.clone(),
+        }));
+        let mut engine = Engine::new(ranks, sensors, config);
+        engine.attach_wal(wal.clone());
+        Ok((AnalysisServer { engine }, wal))
+    }
+
+    /// Rebuild a crashed durable server from its write-ahead log: restore
+    /// the latest engine snapshot, replay the batch tail logged after it
+    /// through the normal ingest path, then re-attach the log so the
+    /// recovered server keeps journaling. Because ingest under a WAL is
+    /// serialized, the recovered engine state — and hence the final
+    /// [`ServerResult`] — is bitwise identical to the crash-free run's.
+    pub fn recover(wal: &Arc<WriteAheadLog>) -> Result<Self, RuntimeError> {
+        let header = wal.header().clone();
+        header.config.validate()?;
+        let mut engine = Engine::new(header.ranks, header.sensors, header.config);
+        let (snapshot, tail) = wal.recovery_state();
+        if let Some(snap) = snapshot {
+            engine.restore(&snap);
+        }
+        for (batch, arrival) in tail {
+            // Errors replay too: corrupt and malformed batches must
+            // reproduce their counters, exactly as they did live.
+            let _ = engine.ingest(batch, arrival);
+        }
+        engine.attach_wal(wal.clone());
+        Ok(AnalysisServer { engine })
     }
 
     /// Open an ingest session. Sessions are cheap borrow handles; any
@@ -131,6 +179,11 @@ impl AnalysisServer {
     /// Server-side processing load (shard busy clocks, detection cost).
     pub fn load(&self) -> ServerLoad {
         self.engine.load()
+    }
+
+    /// Ranks the engine currently believes fail-stopped, in rank order.
+    pub fn failed_ranks(&self) -> Vec<DeathRecord> {
+        self.engine.failed_ranks()
     }
 
     /// Number of ranks this server was built for.
@@ -329,6 +382,9 @@ pub struct ServerResult {
     pub malformed_records: u64,
     /// Server-side processing load (shard busy clocks, detection cost).
     pub load: ServerLoad,
+    /// Ranks the engine believes fail-stopped (gossip notice or liveness
+    /// timeout), in rank order — the report's "failed ranks" section.
+    pub failed_ranks: Vec<DeathRecord>,
 }
 
 impl ServerResult {
@@ -587,6 +643,60 @@ mod tests {
         assert!(matches!(err, IngestError::Corrupt { rank: 0, seq: 0 }));
         assert!(err.is_retryable());
         assert_eq!(s.stats().malformed, 1);
+    }
+
+    #[test]
+    fn durable_server_recovers_to_the_same_result() {
+        let sensors = vec![sensor_info(0, SensorKind::Computation, true)];
+        let (live, wal) =
+            AnalysisServer::try_new_durable(2, sensors, RuntimeConfig::free_probes()).unwrap();
+        // Millisecond arrivals cross several default 200 ms detect
+        // intervals, so the engine checkpoints mid-run.
+        for slice in 0..800u64 {
+            let t = VirtualTime::from_millis(slice);
+            for rank in 0..2 {
+                let avg = if rank == 0 { 10 } else { 25 };
+                live.session()
+                    .ingest(
+                        TelemetryBatch::new(rank, slice, t, vec![rec(0, slice, avg)]),
+                        t,
+                    )
+                    .expect("valid batch");
+            }
+        }
+        assert!(wal.snapshot_entries() >= 1, "passes must checkpoint");
+        // "Crash": forget the live server entirely, rebuild from the log.
+        let end = VirtualTime::from_millis(800);
+        let expected = live.session().close(end);
+        drop(live);
+        let recovered = AnalysisServer::recover(&wal).unwrap();
+        let got = recovered.session().close(end);
+        assert_eq!(got.events, expected.events);
+        assert_eq!(got.records, expected.records);
+        assert_eq!(got.bytes_received, expected.bytes_received);
+        let (me, mg) = (
+            expected.matrix(SensorKind::Computation).unwrap(),
+            got.matrix(SensorKind::Computation).unwrap(),
+        );
+        for rank in 0..2 {
+            for bin in 0..me.bins() {
+                let (se, ce) = me.cell_raw(rank, bin).unwrap();
+                let (sg, cg) = mg.cell_raw(rank, bin).unwrap();
+                assert_eq!(se.to_bits(), sg.to_bits());
+                assert_eq!(ce, cg);
+            }
+        }
+        // The recovered server is live: it keeps journaling and ingesting.
+        assert!(
+            recovered
+                .session()
+                .ingest(
+                    TelemetryBatch::new(0, 9999, end, vec![rec(0, 9999, 10)]),
+                    end
+                )
+                .is_err(),
+            "recovered server was closed by the result read above"
+        );
     }
 
     #[test]

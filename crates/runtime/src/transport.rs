@@ -41,6 +41,17 @@ fn trace_instant(rank: usize, name: &'static str, at: VirtualTime, seq: u64, att
     }
 }
 
+/// Buddy-rank gossip: "rank `rank` fail-stopped at `at`", piggybacked on a
+/// telemetry batch. Like `sent_at`, notices ride outside the CRC — they
+/// are control-plane metadata attached by the transport, not payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeathNotice {
+    /// The rank believed dead.
+    pub rank: usize,
+    /// Its fail-stop instant.
+    pub at: VirtualTime,
+}
+
 /// One sequence-numbered, checksummed batch of slice records.
 #[derive(Clone, Debug)]
 pub struct TelemetryBatch {
@@ -55,6 +66,8 @@ pub struct TelemetryBatch {
     pub records: Vec<SliceRecord>,
     /// CRC-32 over header and payload, verified by the server.
     pub crc: u32,
+    /// Optional piggybacked death gossip about a peer rank.
+    pub death_notice: Option<DeathNotice>,
 }
 
 impl TelemetryBatch {
@@ -67,7 +80,14 @@ impl TelemetryBatch {
             sent_at,
             records,
             crc,
+            death_notice: None,
         }
+    }
+
+    /// Attach death gossip (builder style).
+    pub fn with_death_notice(mut self, notice: DeathNotice) -> Self {
+        self.death_notice = Some(notice);
+        self
     }
 
     /// Whether the checksum still matches the content.
@@ -207,6 +227,127 @@ impl BatchChannel for FaultyChannel {
     }
 }
 
+/// A channel whose *server* fail-stops at a planned virtual instant and
+/// is rebuilt from its write-ahead log.
+///
+/// The first send observed at or after `crash_at` kills the current
+/// server (its in-memory state is discarded wholesale, exactly like a
+/// crashed process) and replaces it with [`AnalysisServer::recover`]'s
+/// reconstruction from the WAL; delivery then continues as if nothing
+/// happened. Fault-plan packet semantics (drops, duplicates, outages)
+/// still apply per attempt, so a crash can overlap other injected faults.
+pub struct CrashingChannel {
+    wal: Arc<crate::wal::WriteAheadLog>,
+    crash_at: VirtualTime,
+    plan: FaultPlan,
+    state: parking_lot::Mutex<CrashState>,
+}
+
+struct CrashState {
+    server: Arc<AnalysisServer>,
+    crashed: bool,
+}
+
+impl CrashingChannel {
+    /// Wrap a durable server (see [`AnalysisServer::try_new_durable`])
+    /// and its log; the crash fires at `crash_at`.
+    pub fn new(
+        server: Arc<AnalysisServer>,
+        wal: Arc<crate::wal::WriteAheadLog>,
+        crash_at: VirtualTime,
+        plan: FaultPlan,
+    ) -> Self {
+        CrashingChannel {
+            wal,
+            crash_at,
+            plan,
+            state: parking_lot::Mutex::new(CrashState {
+                server,
+                crashed: false,
+            }),
+        }
+    }
+
+    /// The currently-live server — after the crash fired, the recovered
+    /// one. Callers read the final result through this handle.
+    pub fn server(&self) -> Arc<AnalysisServer> {
+        self.state.lock().server.clone()
+    }
+
+    /// Whether the planned crash has fired yet.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    fn deliver(
+        &self,
+        server: &AnalysisServer,
+        batch: &TelemetryBatch,
+        now: VirtualTime,
+        attempt: u32,
+    ) -> SendOutcome {
+        match self.plan.fate(batch.rank, batch.seq, attempt, now) {
+            SendFate::Unreachable => SendOutcome::Unreachable,
+            SendFate::Dropped => SendOutcome::NoAck,
+            SendFate::Delivered {
+                copies,
+                delay,
+                corrupt,
+            } => {
+                let arrival = now + delay;
+                if corrupt {
+                    let _ = server.session().ingest(batch.corrupted_copy(), arrival);
+                    return SendOutcome::NoAck;
+                }
+                let mut outcome = SendOutcome::NoAck;
+                for _ in 0..copies.max(1) {
+                    outcome = match server.session().ingest(batch.clone(), arrival) {
+                        Ok(_) => SendOutcome::Acked,
+                        Err(e) if e.is_retryable() => SendOutcome::NoAck,
+                        Err(_) => SendOutcome::Acked,
+                    };
+                }
+                outcome
+            }
+        }
+    }
+}
+
+impl BatchChannel for CrashingChannel {
+    fn send(&self, batch: &TelemetryBatch, now: VirtualTime, attempt: u32) -> SendOutcome {
+        let mut st = self.state.lock();
+        if !st.crashed && now >= self.crash_at {
+            // Kill → recover. The old server's in-memory state dies with
+            // it; the WAL is the only survivor.
+            if trace::enabled(Category::ENGINE) {
+                trace::record(TraceEvent::instant(
+                    Category::ENGINE,
+                    "server_crash",
+                    cluster_sim::trace::SERVER_LANE,
+                    self.crash_at.as_nanos(),
+                    self.wal.batch_entries() as u64,
+                    self.wal.snapshot_entries() as u64,
+                ));
+            }
+            let recovered =
+                AnalysisServer::recover(&self.wal).expect("WAL header was validated at creation");
+            st.server = Arc::new(recovered);
+            st.crashed = true;
+            if trace::enabled(Category::ENGINE) {
+                trace::record(TraceEvent::instant(
+                    Category::ENGINE,
+                    "server_recover",
+                    cluster_sim::trace::SERVER_LANE,
+                    now.as_nanos(),
+                    self.wal.batch_entries() as u64,
+                    self.wal.snapshot_entries() as u64,
+                ));
+            }
+        }
+        self.deliver(&st.server, batch, now, attempt)
+    }
+}
+
 /// Transport tunables, extracted from [`RuntimeConfig`].
 #[derive(Clone, Debug)]
 pub struct TransportConfig {
@@ -310,6 +451,8 @@ pub struct RankTransport {
     pending: Vec<Pending>,
     /// After an unreachable error, hold all sends until this instant.
     circuit_open_until: VirtualTime,
+    /// Death gossip to piggyback on every batch created from now on.
+    death_notice: Option<DeathNotice>,
     stats: TransportStats,
 }
 
@@ -324,15 +467,24 @@ impl RankTransport {
             queue: VecDeque::new(),
             pending: Vec::new(),
             circuit_open_until: VirtualTime::ZERO,
+            death_notice: None,
             stats: TransportStats::default(),
         }
+    }
+
+    /// Set (or clear) the death gossip attached to every batch built from
+    /// now on. The engine deduplicates notices, so repeating one per batch
+    /// just makes the gossip loss-tolerant.
+    pub fn set_death_notice(&mut self, notice: Option<DeathNotice>) {
+        self.death_notice = notice;
     }
 
     /// Hand a flushed batch of records to the transport and pump the send
     /// machinery. Returns the virtual cost to charge to the rank's clock.
     pub fn enqueue(&mut self, records: Vec<SliceRecord>, now: VirtualTime) -> Duration {
         if !records.is_empty() {
-            let batch = TelemetryBatch::new(self.rank, self.next_seq, now, records);
+            let mut batch = TelemetryBatch::new(self.rank, self.next_seq, now, records);
+            batch.death_notice = self.death_notice;
             self.next_seq += 1;
             self.stats.batches_enqueued += 1;
             self.queue.push_back(batch);
@@ -699,6 +851,62 @@ mod tests {
         let st = t.stats();
         assert_eq!(st.acked + st.total_dropped(), 40, "{st:?}");
         assert!(st.acked > 25, "retries recover most corruption: {st:?}");
+    }
+
+    #[test]
+    fn death_notice_rides_outside_the_crc() {
+        let b = TelemetryBatch::new(1, 0, VirtualTime::ZERO, vec![rec(0, 0)]).with_death_notice(
+            DeathNotice {
+                rank: 2,
+                at: VirtualTime::from_millis(3),
+            },
+        );
+        assert!(b.verify(), "gossip is metadata, not checksummed payload");
+        assert_eq!(
+            b.death_notice,
+            Some(DeathNotice {
+                rank: 2,
+                at: VirtualTime::from_millis(3),
+            })
+        );
+    }
+
+    #[test]
+    fn transport_attaches_gossip_to_new_batches() {
+        let s = server(3);
+        let mut t = RankTransport::new(
+            0,
+            Arc::new(DirectChannel::new(s)),
+            TransportConfig::default(),
+        );
+        t.enqueue(vec![rec(0, 0)], VirtualTime::ZERO);
+        assert!(t.queue.is_empty());
+        t.set_death_notice(Some(DeathNotice {
+            rank: 1,
+            at: VirtualTime::from_millis(7),
+        }));
+        // Open the breaker path artificially by inspecting the built batch:
+        // enqueue with gossip set must stamp the notice.
+        let plan = FaultPlan::none().with_outage(VirtualTime::ZERO, VirtualTime::from_secs(1));
+        let mut held = RankTransport::new(
+            1,
+            Arc::new(FaultyChannel::new(server(3), plan)),
+            TransportConfig::default(),
+        );
+        held.set_death_notice(Some(DeathNotice {
+            rank: 2,
+            at: VirtualTime::from_millis(9),
+        }));
+        held.enqueue(vec![rec(0, 1)], VirtualTime::ZERO);
+        let queued: Vec<_> = held
+            .queue
+            .iter()
+            .chain(held.pending.iter().map(|p| &p.batch))
+            .collect();
+        assert!(
+            queued.iter().all(|b| b.death_notice.is_some()),
+            "{queued:?}"
+        );
     }
 
     #[test]

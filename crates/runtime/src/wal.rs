@@ -1,0 +1,198 @@
+//! Write-ahead log for the crash-recoverable analysis engine.
+//!
+//! The engine is an in-memory simulation, so durability is simulated too:
+//! the "log" is an append-only in-memory sequence of entries, but the
+//! discipline is the real one — every arriving batch is appended *before*
+//! it mutates engine state, whole ingests are serialized while a WAL is
+//! attached (log order ≡ processing order), and detection passes append
+//! full [`EngineSnapshot`]s every `wal_snapshot_every` passes.
+//!
+//! Recovery ([`crate::AnalysisServer::recover`]) rebuilds a fresh engine
+//! from the header, restores the last snapshot, and re-ingests the batch
+//! tail logged after it. Because replay is a faithful re-execution of the
+//! serialized ingest order, the recovered engine's [`ServerResult`] is
+//! **bitwise identical** to the crash-free run's — the invariant the
+//! `fail_stop` suite asserts down to `f64::to_bits` on matrix cells.
+//!
+//! [`ServerResult`]: crate::ServerResult
+
+use crate::config::RuntimeConfig;
+use crate::engine::EngineSnapshot;
+use crate::record::SensorInfo;
+use crate::transport::TelemetryBatch;
+use cluster_sim::time::VirtualTime;
+use parking_lot::Mutex;
+
+/// Immutable run metadata, written once when the log is created — enough
+/// to rebuild an empty engine from nothing.
+#[derive(Clone)]
+pub(crate) struct WalHeader {
+    pub(crate) ranks: usize,
+    pub(crate) sensors: Vec<SensorInfo>,
+    pub(crate) config: RuntimeConfig,
+}
+
+/// One log record.
+pub(crate) enum WalEntry {
+    /// A batch arrival, logged before it was processed.
+    Batch {
+        batch: TelemetryBatch,
+        arrival: VirtualTime,
+    },
+    /// A full engine checkpoint taken at a detect-pass boundary: recovery
+    /// restores the latest one and replays only the batches after it.
+    Snapshot(Box<EngineSnapshot>),
+}
+
+/// The append-only log. Entry storage has its own lock (separate from the
+/// engine's ingest serialization) so a detection pass can append a
+/// snapshot mid-ingest without re-entrancy.
+pub struct WriteAheadLog {
+    header: WalHeader,
+    entries: Mutex<Vec<WalEntry>>,
+}
+
+impl WriteAheadLog {
+    pub(crate) fn new(header: WalHeader) -> Self {
+        WriteAheadLog {
+            header,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn header(&self) -> &WalHeader {
+        &self.header
+    }
+
+    pub(crate) fn append_batch(&self, batch: TelemetryBatch, arrival: VirtualTime) {
+        self.entries.lock().push(WalEntry::Batch { batch, arrival });
+    }
+
+    pub(crate) fn append_snapshot(&self, snapshot: EngineSnapshot) {
+        self.entries
+            .lock()
+            .push(WalEntry::Snapshot(Box::new(snapshot)));
+    }
+
+    /// Batches logged so far (all of them, snapshots not included).
+    pub fn batch_entries(&self) -> usize {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| matches!(e, WalEntry::Batch { .. }))
+            .count()
+    }
+
+    /// Snapshots logged so far.
+    pub fn snapshot_entries(&self) -> usize {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| matches!(e, WalEntry::Snapshot(_)))
+            .count()
+    }
+
+    /// What recovery needs: the latest snapshot (if any) and the batch
+    /// tail logged after it, in log order.
+    pub(crate) fn recovery_state(
+        &self,
+    ) -> (
+        Option<Box<EngineSnapshot>>,
+        Vec<(TelemetryBatch, VirtualTime)>,
+    ) {
+        let entries = self.entries.lock();
+        let cut = entries
+            .iter()
+            .rposition(|e| matches!(e, WalEntry::Snapshot(_)));
+        let mut snapshot = None;
+        let mut tail = Vec::new();
+        for (i, entry) in entries.iter().enumerate() {
+            match entry {
+                WalEntry::Snapshot(s) if Some(i) == cut => snapshot = Some(s.clone()),
+                WalEntry::Snapshot(_) => {}
+                WalEntry::Batch { batch, arrival } => {
+                    if cut.is_none_or(|c| i > c) {
+                        tail.push((batch.clone(), *arrival));
+                    }
+                }
+            }
+        }
+        (snapshot, tail)
+    }
+
+    /// Every batch ever logged, in log order — the from-scratch replay
+    /// oracle the recovery-equivalence tests use.
+    pub fn all_batches(&self) -> Vec<(TelemetryBatch, VirtualTime)> {
+        self.entries
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                WalEntry::Batch { batch, arrival } => Some((batch.clone(), *arrival)),
+                WalEntry::Snapshot(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynrules::Bucket;
+    use crate::record::{SensorKind, SliceRecord};
+    use vsensor_lang::SensorId;
+
+    fn header() -> WalHeader {
+        WalHeader {
+            ranks: 1,
+            sensors: vec![SensorInfo {
+                sensor: SensorId(0),
+                kind: SensorKind::Computation,
+                process_invariant: true,
+                location: "test:0".into(),
+            }],
+            config: RuntimeConfig::free_probes(),
+        }
+    }
+
+    fn batch(seq: u64) -> TelemetryBatch {
+        TelemetryBatch::new(
+            0,
+            seq,
+            VirtualTime::from_micros(seq),
+            vec![SliceRecord {
+                sensor: SensorId(0),
+                slice: seq,
+                avg: cluster_sim::time::Duration::from_micros(10),
+                count: 1,
+                bucket: Bucket(0),
+            }],
+        )
+    }
+
+    #[test]
+    fn tail_starts_after_the_last_snapshot() {
+        let wal = WriteAheadLog::new(header());
+        let t = VirtualTime::from_micros(1);
+        wal.append_batch(batch(0), t);
+        wal.append_batch(batch(1), t);
+        // No snapshot yet: the tail is the whole log.
+        let (snap, tail) = wal.recovery_state();
+        assert!(snap.is_none());
+        assert_eq!(tail.len(), 2);
+        // A snapshot cuts the tail; later batches accumulate after it.
+        let engine = crate::engine::Engine::new(
+            1,
+            wal.header().sensors.clone(),
+            wal.header().config.clone(),
+        );
+        wal.append_snapshot(engine.snapshot_for_tests());
+        wal.append_batch(batch(2), t);
+        let (snap, tail) = wal.recovery_state();
+        assert!(snap.is_some());
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].0.seq, 2);
+        assert_eq!(wal.batch_entries(), 3);
+        assert_eq!(wal.snapshot_entries(), 1);
+        assert_eq!(wal.all_batches().len(), 3);
+    }
+}

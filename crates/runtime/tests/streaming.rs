@@ -117,9 +117,10 @@ fn slow_rank_raises_an_alert_before_close() {
     let end = VirtualTime::from_micros(1200 * 1000);
     let alert = &live[0];
     assert!(alert.at < end, "alert at {} must precede {end}", alert.at);
-    assert_eq!(alert.event.kind, SensorKind::Computation);
-    assert!(alert.event.first_rank <= 3 && alert.event.last_rank >= 3);
-    assert!(alert.event.mean_perf <= threshold);
+    let event = alert.event().expect("live alert is a variance event");
+    assert_eq!(event.kind, SensorKind::Computation);
+    assert!(event.first_rank <= 3 && event.last_rank >= 3);
+    assert!(event.mean_perf <= threshold);
 
     // Close agrees: the end-of-run result reports the same slow rank.
     let result = session.close(end);

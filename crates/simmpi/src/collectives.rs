@@ -6,14 +6,27 @@
 //! time `max(entries) + cost(op, procs, bytes)` and the reduced value, then
 //! bumps the generation to release everyone. MPI requires all ranks to call
 //! collectives in the same order, which is what makes one slot per
-//! communicator sufficient; the slot asserts that the op/byte arguments of
-//! all ranks agree, catching mismatched-collective bugs in test programs.
+//! communicator sufficient; the slot checks that the op/byte arguments of
+//! all ranks agree and reports disagreement as a typed
+//! [`CollectiveError::Mismatch`] to *every* member (the slot is poisoned),
+//! so one rank's bug surfaces as an error on each rank instead of a hang
+//! or a single-rank abort.
+//!
+//! Fail-stop deaths shrink the membership: a collective completes once
+//! every *alive* member has entered (ULFM-style), charging the plan's
+//! death-detection timeout on top of the normal cost whenever members are
+//! missing, and reporting how many were missing in the result. Survivors
+//! therefore keep making progress — and keep emitting telemetry — after a
+//! peer dies, which is exactly what lets the analysis side localize the
+//! death.
 
 use cluster_sim::network::CollectiveOp;
 use cluster_sim::time::VirtualTime;
 use cluster_sim::Cluster;
 use parking_lot::{Condvar, Mutex};
+use std::fmt;
 
+use crate::death::DeathBoard;
 use crate::p2p::DEADLOCK_TIMEOUT;
 
 /// Reduction operators for `reduce`/`allreduce`.
@@ -62,12 +75,66 @@ pub struct CollectiveEntry {
     pub is_root: bool,
 }
 
+/// Why a collective could not complete normally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// Ranks disagreed on the operation or byte count. The slot is
+    /// poisoned: every current and future member sees this same error.
+    Mismatch {
+        /// Operation the first arriver declared.
+        expected_op: CollectiveOp,
+        /// Operation the disagreeing rank passed.
+        got_op: CollectiveOp,
+        /// Byte count the first arriver declared.
+        expected_bytes: u64,
+        /// Byte count the disagreeing rank passed.
+        got_bytes: u64,
+    },
+    /// The real-time deadlock window expired with live members missing —
+    /// in a correct program this means some rank never calls in.
+    Deadlock {
+        /// The operation being waited on.
+        op: CollectiveOp,
+        /// Members that had arrived at timeout.
+        arrived: usize,
+        /// Total membership of the communicator.
+        procs: usize,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::Mismatch {
+                expected_op,
+                got_op,
+                expected_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "collective mismatch: ranks disagree ({expected_op:?}/{expected_bytes}B vs \
+                 {got_op:?}/{got_bytes}B)"
+            ),
+            CollectiveError::Deadlock { op, arrived, procs } => write!(
+                f,
+                "simmpi deadlock: collective {op:?} waited {DEADLOCK_TIMEOUT:?} with \
+                 {arrived}/{procs} ranks arrived"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
 /// The shared rendezvous state.
 #[derive(Debug)]
 pub struct CollectiveSlot {
     state: Mutex<SlotState>,
     cond: Condvar,
     procs: usize,
+    /// World ranks belonging to this communicator (used to count alive
+    /// members against the death board).
+    members: Vec<usize>,
 }
 
 #[derive(Debug)]
@@ -83,6 +150,9 @@ struct SlotState {
     // Results of the previous generation, read by released waiters.
     done_exit: VirtualTime,
     done_value: i64,
+    done_missing: u32,
+    // A mismatch poisons the slot for every current and future member.
+    poisoned: Option<CollectiveError>,
 }
 
 /// A completed collective: common exit time plus the combined value
@@ -93,11 +163,19 @@ pub struct CollectiveResult {
     pub exit: VirtualTime,
     /// Combined scalar value.
     pub value: i64,
+    /// Members that were dead and did not participate (0 for a full
+    /// rendezvous). Their contributions are simply absent from `value`.
+    pub missing: u32,
 }
 
 impl CollectiveSlot {
-    /// Create a slot for `procs` ranks.
+    /// Create a slot for the world communicator's first `procs` ranks.
     pub fn new(procs: usize) -> Self {
+        Self::with_members((0..procs).collect())
+    }
+
+    /// Create a slot for an explicit member list (sub-communicators).
+    pub fn with_members(members: Vec<usize>) -> Self {
         CollectiveSlot {
             state: Mutex::new(SlotState {
                 generation: 0,
@@ -110,21 +188,51 @@ impl CollectiveSlot {
                 bcast_val: 0,
                 done_exit: VirtualTime::ZERO,
                 done_value: 0,
+                done_missing: 0,
+                poisoned: None,
             }),
             cond: Condvar::new(),
-            procs,
+            procs: members.len(),
+            members,
         }
     }
 
-    /// Enter the collective; blocks (in real time) until every rank has
-    /// entered, then returns the common result.
+    /// Wake every waiter so it can re-examine its wait condition (a rank
+    /// died — the membership just shrank).
+    pub fn wake_all(&self) {
+        let _guard = self.state.lock();
+        self.cond.notify_all();
+    }
+
+    fn alive_members(&self, board: &DeathBoard) -> usize {
+        self.members
+            .iter()
+            .filter(|&&r| !board.is_dead(r))
+            .count()
+            .max(1)
+    }
+
+    /// Enter the collective; blocks (in real time) until every *alive*
+    /// member has entered, then returns the common result. Dead members
+    /// shrink the rendezvous: the result reports them as `missing` and the
+    /// exit time includes the fault plan's death-detection timeout.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if ranks disagree on the operation or byte count, or when a
-    /// real-time deadlock timeout expires (some rank never arrived).
-    pub fn enter(&self, cluster: &Cluster, entry: CollectiveEntry) -> CollectiveResult {
+    /// [`CollectiveError::Mismatch`] if ranks disagree on the operation or
+    /// byte count (the slot poisons, so every member gets the error), and
+    /// [`CollectiveError::Deadlock`] when the real-time timeout expires
+    /// with live members missing.
+    pub fn enter(
+        &self,
+        cluster: &Cluster,
+        board: &DeathBoard,
+        entry: CollectiveEntry,
+    ) -> Result<CollectiveResult, CollectiveError> {
         let mut st = self.state.lock();
+        if let Some(e) = &st.poisoned {
+            return Err(e.clone());
+        }
         let my_gen = st.generation;
 
         if st.arrived == 0 {
@@ -133,16 +241,16 @@ impl CollectiveSlot {
             st.rop = entry.rop;
             st.acc = entry.rop.identity();
             st.max_entry = VirtualTime::ZERO;
-        } else {
-            assert_eq!(
-                st.op,
-                Some(entry.op),
-                "collective mismatch: ranks disagree on the operation"
-            );
-            assert_eq!(
-                st.bytes, entry.bytes,
-                "collective mismatch: ranks disagree on byte count"
-            );
+        } else if st.op != Some(entry.op) || st.bytes != entry.bytes {
+            let err = CollectiveError::Mismatch {
+                expected_op: st.op.expect("first arriver set the op"),
+                got_op: entry.op,
+                expected_bytes: st.bytes,
+                got_bytes: entry.bytes,
+            };
+            st.poisoned = Some(err.clone());
+            self.cond.notify_all();
+            return Err(err);
         }
         st.arrived += 1;
         st.max_entry = st.max_entry.max(entry.at);
@@ -152,34 +260,52 @@ impl CollectiveSlot {
             st.bcast_val = entry.value;
         }
 
-        if st.arrived == self.procs {
-            // Last arriver: compute the result and release the generation.
-            let cost = cluster.collective_cost(entry.op, self.procs, st.bytes, st.max_entry);
-            st.done_exit = st.max_entry + cost;
-            st.done_value = match entry.op {
-                CollectiveOp::Bcast => st.bcast_val,
-                _ => st.acc,
-            };
-            st.arrived = 0;
-            st.generation += 1;
-            self.cond.notify_all();
-            return CollectiveResult {
-                exit: st.done_exit,
-                value: st.done_value,
-            };
-        }
-
-        while st.generation == my_gen {
-            if self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out() {
-                panic!(
-                    "simmpi deadlock: collective {:?} waited {:?} with {}/{} ranks arrived",
-                    entry.op, DEADLOCK_TIMEOUT, st.arrived, self.procs
-                );
+        loop {
+            // Ranks blocked inside a collective cannot die (deaths fire
+            // from a rank's own code), so every arrival this generation is
+            // from a live member: arrived == alive ⇒ all alive members are
+            // in, and the rendezvous — possibly shrunk — completes.
+            let required = self.alive_members(board);
+            if st.arrived >= required {
+                let op = st.op.expect("op set while generation open");
+                let missing = (self.procs - st.arrived) as u32;
+                let mut cost = cluster.collective_cost(op, st.arrived, st.bytes, st.max_entry);
+                if missing > 0 {
+                    cost += cluster.faults().death_timeout();
+                }
+                st.done_exit = st.max_entry + cost;
+                st.done_value = match op {
+                    CollectiveOp::Bcast => st.bcast_val,
+                    _ => st.acc,
+                };
+                st.done_missing = missing;
+                st.arrived = 0;
+                st.generation += 1;
+                self.cond.notify_all();
+                return Ok(CollectiveResult {
+                    exit: st.done_exit,
+                    value: st.done_value,
+                    missing: st.done_missing,
+                });
             }
-        }
-        CollectiveResult {
-            exit: st.done_exit,
-            value: st.done_value,
+            let timed_out = self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
+            if let Some(e) = &st.poisoned {
+                return Err(e.clone());
+            }
+            if st.generation != my_gen {
+                return Ok(CollectiveResult {
+                    exit: st.done_exit,
+                    value: st.done_value,
+                    missing: st.done_missing,
+                });
+            }
+            if timed_out {
+                return Err(CollectiveError::Deadlock {
+                    op: entry.op,
+                    arrived: st.arrived,
+                    procs: self.procs,
+                });
+            }
         }
     }
 }
@@ -201,7 +327,14 @@ mod tests {
         }
     }
 
-    fn run_collective(procs: usize, entries: Vec<CollectiveEntry>) -> Vec<CollectiveResult> {
+    /// Run one entry per thread; each rank's `Result` is propagated (not
+    /// unwrapped inside the rank), so one rank's error never aborts the
+    /// whole world.
+    fn try_run_collective(
+        procs: usize,
+        entries: Vec<CollectiveEntry>,
+        board: &DeathBoard,
+    ) -> Vec<Result<CollectiveResult, CollectiveError>> {
         let cluster = Arc::new(ClusterConfig::quiet(procs).build());
         let slot = Arc::new(CollectiveSlot::new(procs));
         std::thread::scope(|s| {
@@ -210,11 +343,19 @@ mod tests {
                 .map(|e| {
                     let slot = slot.clone();
                     let cluster = cluster.clone();
-                    s.spawn(move || slot.enter(&cluster, e))
+                    s.spawn(move || slot.enter(&cluster, board, e))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
+    }
+
+    fn run_collective(procs: usize, entries: Vec<CollectiveEntry>) -> Vec<CollectiveResult> {
+        let board = DeathBoard::new(procs);
+        try_run_collective(procs, entries, &board)
+            .into_iter()
+            .map(|r| r.expect("collective completed"))
+            .collect()
     }
 
     #[test]
@@ -282,12 +423,15 @@ mod tests {
                     let slot = slot.clone();
                     let cluster = cluster.clone();
                     s.spawn(move || {
+                        let board = DeathBoard::new(procs);
                         (0..10)
                             .map(|round| {
                                 slot.enter(
                                     &cluster,
+                                    &board,
                                     entry(CollectiveOp::Allreduce, 0, (r + round) as i64),
                                 )
+                                .expect("collective completed")
                                 .value
                             })
                             .collect()
@@ -302,5 +446,115 @@ mod tests {
                 assert_eq!(r[round], expect);
             }
         }
+    }
+
+    #[test]
+    fn dead_member_shrinks_the_rendezvous() {
+        let board = DeathBoard::new(4);
+        board.mark_dead(3);
+        let rs = try_run_collective(
+            4,
+            (0..3)
+                .map(|i| entry(CollectiveOp::Allreduce, 1000, 10 + i))
+                .collect(),
+            &board,
+        );
+        for r in &rs {
+            let r = r.as_ref().expect("shrunk collective completes");
+            assert_eq!(r.missing, 1, "one dead member absent");
+            assert_eq!(r.value, 33, "dead member contributes nothing");
+        }
+        // The shrunk rendezvous pays the death-detection timeout on top of
+        // the normal cost, so it exits later than a healthy 3-rank one.
+        let healthy = run_collective(
+            3,
+            (0..3)
+                .map(|i| entry(CollectiveOp::Allreduce, 1000, 10 + i))
+                .collect(),
+        );
+        assert!(rs[0].as_ref().unwrap().exit > healthy[0].exit);
+    }
+
+    #[test]
+    fn death_mid_wait_releases_blocked_members() {
+        // Ranks 0 and 1 enter; rank 2 dies *after* they are already
+        // blocked. wake_all must rouse them to re-check membership.
+        let procs = 3;
+        let cluster = Arc::new(ClusterConfig::quiet(procs).build());
+        let slot = Arc::new(CollectiveSlot::new(procs));
+        let board = Arc::new(DeathBoard::new(procs));
+        let rs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let slot = slot.clone();
+                    let cluster = cluster.clone();
+                    let board = board.clone();
+                    s.spawn(move || {
+                        slot.enter(&cluster, &board, entry(CollectiveOp::Barrier, 500, i))
+                    })
+                })
+                .collect();
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            board.mark_dead(2);
+            slot.wake_all();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in rs {
+            assert_eq!(r.expect("released by death").missing, 1);
+        }
+    }
+
+    #[test]
+    fn mismatch_poisons_every_member() {
+        let board = DeathBoard::new(3);
+        let rs = try_run_collective(
+            3,
+            vec![
+                entry(CollectiveOp::Barrier, 0, 0),
+                entry(CollectiveOp::Barrier, 0, 0),
+                entry(CollectiveOp::Allreduce, 0, 0),
+            ],
+            &board,
+        );
+        assert!(
+            rs.iter()
+                .all(|r| matches!(r, Err(CollectiveError::Mismatch { .. }))),
+            "every rank sees the same typed mismatch error: {rs:?}"
+        );
+    }
+
+    #[test]
+    fn poisoned_slot_rejects_late_arrivals() {
+        let cluster = ClusterConfig::quiet(2).build();
+        let board = DeathBoard::new(2);
+        let slot = CollectiveSlot::new(2);
+        let poison: Vec<_> = std::thread::scope(|s| {
+            [
+                s.spawn(|| slot.enter(&cluster, &board, entry(CollectiveOp::Barrier, 0, 0))),
+                s.spawn(|| slot.enter(&cluster, &board, entry(CollectiveOp::Bcast, 0, 0))),
+            ]
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+        });
+        assert!(poison.iter().all(Result::is_err));
+        // A later generation never starts: the poison is sticky.
+        let late = slot.enter(&cluster, &board, entry(CollectiveOp::Barrier, 0, 0));
+        assert!(matches!(late, Err(CollectiveError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn mismatch_error_names_both_sides() {
+        let e = CollectiveError::Mismatch {
+            expected_op: CollectiveOp::Barrier,
+            got_op: CollectiveOp::Allreduce,
+            expected_bytes: 0,
+            got_bytes: 8,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("Barrier") && msg.contains("Allreduce"),
+            "{msg}"
+        );
     }
 }

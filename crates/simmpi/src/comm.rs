@@ -164,13 +164,27 @@ impl CommRegistry {
         )
     }
 
-    /// The collective slot for a communicator (created on first use).
+    /// The collective slot for a communicator (created on first use). The
+    /// slot knows its member world ranks, so sub-communicator collectives
+    /// shrink correctly when a member fail-stops.
     pub(crate) fn slot(&self, comm: &Comm) -> Arc<CollectiveSlot> {
         let mut slots = self.slots.lock();
         slots
             .entry(comm.id)
-            .or_insert_with(|| Arc::new(CollectiveSlot::new(comm.size())))
+            .or_insert_with(|| Arc::new(CollectiveSlot::with_members(comm.members.clone())))
             .clone()
+    }
+
+    /// Wake every communicator's collective waiters (a rank died).
+    pub(crate) fn wake_all(&self) {
+        let slots = self.slots.lock();
+        for slot in slots.values() {
+            slot.wake_all();
+        }
+        // Split rendezvous waiters re-check nothing death-related (split is
+        // documented as pre-death-only), but waking them is harmless.
+        let _guard = self.split.lock();
+        self.cond.notify_all();
     }
 }
 

@@ -1,0 +1,150 @@
+//! Fail-stop rank deaths.
+//!
+//! A rank scheduled to die by the cluster's [`cluster_sim::FaultPlan`]
+//! halts at its death instant: the [`crate::Proc`] raises a
+//! [`DeathUnwind`] panic payload the moment an operation would start at or
+//! after the death time, freezing its clock and charging no further work.
+//! The harness driving the rank catches it with [`catch_death`] and turns
+//! the unwind into a normal "this rank died" outcome.
+//!
+//! Survivors must never hang on a dead peer. The [`DeathBoard`] is the
+//! world's shared failure detector: a dying rank marks itself dead (after
+//! all its pre-death sends and collective arrivals have been published,
+//! so observing the flag implies no further traffic is coming) and wakes
+//! every blocked receiver and collective waiter, which then re-examine
+//! their wait conditions.
+
+use cluster_sim::time::VirtualTime;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// Panic payload raised when a rank reaches its fail-stop instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeathUnwind {
+    /// The rank that died.
+    pub rank: usize,
+    /// The scheduled virtual death instant.
+    pub at: VirtualTime,
+}
+
+/// Run `f`, converting a [`DeathUnwind`] panic into `Err(death)`. Any
+/// other panic is resumed unchanged.
+pub fn catch_death<R>(f: impl FnOnce() -> R) -> Result<R, DeathUnwind> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => match payload.downcast::<DeathUnwind>() {
+            Ok(death) => Err(*death),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+/// Inspect a join-handle panic payload for a [`DeathUnwind`].
+pub(crate) fn death_in_payload(payload: &(dyn Any + Send)) -> Option<DeathUnwind> {
+    payload.downcast_ref::<DeathUnwind>().copied()
+}
+
+/// Keep the global panic hook from printing a backtrace for the
+/// deliberate [`DeathUnwind`] control-flow unwind (it is always either
+/// caught by [`catch_death`] or relabelled by the world's join handler).
+/// Every other payload still reaches whatever hook was installed before.
+pub(crate) fn silence_death_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<DeathUnwind>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Shared liveness flags, one per world rank. Flags only ever go from
+/// alive to dead; publication order (all pre-death effects first, then the
+/// flag, then wake-ups) makes "flag set and no matching state" a
+/// deterministic verdict for waiters.
+#[derive(Debug)]
+pub struct DeathBoard {
+    flags: Vec<AtomicBool>,
+}
+
+impl DeathBoard {
+    /// A board with every rank alive.
+    pub fn new(ranks: usize) -> Self {
+        DeathBoard {
+            flags: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Mark `rank` dead.
+    pub fn mark_dead(&self, rank: usize) {
+        if let Some(f) = self.flags.get(rank) {
+            f.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether `rank` has fail-stopped.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.flags
+            .get(rank)
+            .is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    /// Number of dead ranks among `members`.
+    pub fn dead_among(&self, members: impl IntoIterator<Item = usize>) -> usize {
+        members.into_iter().filter(|&r| self.is_dead(r)).count()
+    }
+
+    /// Whether every rank except `rank` is dead.
+    pub fn all_peers_dead(&self, rank: usize) -> bool {
+        self.flags
+            .iter()
+            .enumerate()
+            .all(|(r, f)| r == rank || f.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_death_extracts_the_marker() {
+        let out = catch_death(|| -> u32 {
+            std::panic::panic_any(DeathUnwind {
+                rank: 3,
+                at: VirtualTime::from_secs(2),
+            })
+        });
+        assert_eq!(
+            out,
+            Err(DeathUnwind {
+                rank: 3,
+                at: VirtualTime::from_secs(2)
+            })
+        );
+        assert_eq!(catch_death(|| 7), Ok(7));
+    }
+
+    #[test]
+    fn unrelated_panics_pass_through() {
+        let out = std::panic::catch_unwind(|| catch_death(|| -> u32 { panic!("real bug") }));
+        assert!(out.is_err(), "non-death panic must keep unwinding");
+    }
+
+    #[test]
+    fn board_tracks_membership() {
+        let b = DeathBoard::new(4);
+        assert!(!b.is_dead(1));
+        b.mark_dead(1);
+        b.mark_dead(3);
+        assert!(b.is_dead(1));
+        assert_eq!(b.dead_among(0..4), 2);
+        assert!(!b.all_peers_dead(0));
+        b.mark_dead(2);
+        assert!(b.all_peers_dead(0));
+    }
+}

@@ -13,6 +13,12 @@
 //! send/recv, barrier, bcast, reduce, allreduce, allgather, alltoall, plus
 //! simple I/O calls that charge filesystem time.
 //!
+//! Fail-stop faults: a [`cluster_sim::FaultPlan`] can kill ranks (or whole
+//! nodes) mid-run. A dying rank halts via [`DeathUnwind`] (catch it with
+//! [`catch_death`]); survivors never hang — collectives shrink to the
+//! alive membership and receives from dead peers complete degraded after
+//! the plan's death timeout (see the [`death`] module).
+//!
 //! # Example
 //!
 //! ```
@@ -32,14 +38,16 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod death;
 pub mod nonblocking;
 pub mod p2p;
 pub mod proc;
 pub mod stats;
 pub mod world;
 
-pub use collectives::ReduceOp;
+pub use collectives::{CollectiveError, ReduceOp};
 pub use comm::Comm;
+pub use death::{catch_death, DeathUnwind};
 pub use nonblocking::{RecvRequest, SendRequest};
 pub use p2p::{RecvError, RecvInfo, ANY_SOURCE, ANY_TAG};
 pub use proc::Proc;

@@ -7,6 +7,7 @@
 //! `max(post_time, arrival_time)`, where arrival is the send time plus the
 //! network cost at the send instant.
 
+use crate::death::DeathBoard;
 use cluster_sim::time::VirtualTime;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -23,7 +24,7 @@ pub const ANY_TAG: i64 = i64::MIN;
 pub(crate) const DEADLOCK_TIMEOUT: StdDuration = StdDuration::from_secs(30);
 
 /// An in-flight message.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Message {
     /// Sending rank.
     pub src: usize,
@@ -67,6 +68,15 @@ pub enum RecvError {
         /// Non-matching messages sitting in the queue at timeout.
         queued: usize,
     },
+    /// The awaited peer fail-stopped without a matching send in flight
+    /// (for [`ANY_SOURCE`], every possible peer is dead). The receiver
+    /// learns this after the plan's virtual death-detection timeout.
+    PeerDead {
+        /// Requested source ([`ANY_SOURCE`] allowed).
+        src: usize,
+        /// Requested tag ([`ANY_TAG`] allowed).
+        tag: i64,
+    },
 }
 
 impl fmt::Display for RecvError {
@@ -87,6 +97,20 @@ impl fmt::Display for RecvError {
                     tag.to_string()
                 },
                 DEADLOCK_TIMEOUT,
+            ),
+            RecvError::PeerDead { src, tag } => write!(
+                f,
+                "simmpi peer death: recv(src={}, tag={}) can never complete — the peer fail-stopped",
+                if *src == ANY_SOURCE {
+                    "ANY".to_string()
+                } else {
+                    src.to_string()
+                },
+                if *tag == ANY_TAG {
+                    "ANY".to_string()
+                } else {
+                    tag.to_string()
+                },
             ),
         }
     }
@@ -149,6 +173,57 @@ impl Mailbox {
                 });
             }
         }
+    }
+
+    /// Death-aware variant of [`Self::try_take_matching`]: additionally
+    /// returns [`RecvError::PeerDead`] once the requested source (or, for
+    /// [`ANY_SOURCE`], every peer of `me`) is marked dead on `board` with
+    /// no matching message queued. A dead peer publishes all pre-death
+    /// sends before its board flag, so the verdict is deterministic: flag
+    /// set + empty match ⇒ the message can never arrive.
+    pub fn try_take_matching_failstop(
+        &self,
+        src: usize,
+        tag: i64,
+        board: &DeathBoard,
+        me: usize,
+    ) -> Result<Message, RecvError> {
+        let mut q = self.inner.lock();
+        loop {
+            let best = q
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| {
+                    (src == ANY_SOURCE || m.src == src) && (tag == ANY_TAG || m.tag == tag)
+                })
+                .min_by_key(|(_, m)| (m.arrives_at, m.src))
+                .map(|(i, _)| i);
+            if let Some(i) = best {
+                return Ok(q.remove(i).expect("index valid under lock"));
+            }
+            let peer_gone = if src == ANY_SOURCE {
+                board.all_peers_dead(me)
+            } else {
+                board.is_dead(src)
+            };
+            if peer_gone {
+                return Err(RecvError::PeerDead { src, tag });
+            }
+            if self.cond.wait_for(&mut q, DEADLOCK_TIMEOUT).timed_out() {
+                return Err(RecvError::DeadlockTimeout {
+                    src,
+                    tag,
+                    queued: q.len(),
+                });
+            }
+        }
+    }
+
+    /// Wake every waiter so it can re-examine its wait condition (used
+    /// when a rank dies — blocked receivers must notice the death).
+    pub fn wake_all(&self) {
+        let _guard = self.inner.lock();
+        self.cond.notify_all();
     }
 
     /// Number of queued messages (diagnostics).
@@ -234,6 +309,69 @@ mod tests {
         assert!(s.contains("src=ANY"), "{s}");
         assert!(s.contains("tag=7"), "{s}");
         assert!(s.contains("2 unrelated"), "{s}");
+    }
+
+    #[test]
+    fn failstop_recv_prefers_queued_predeath_message() {
+        let mb = Mailbox::default();
+        let board = DeathBoard::new(4);
+        board.mark_dead(1);
+        // A message the peer sent before dying still completes the recv.
+        mb.push(msg(1, 7, 10));
+        let m = mb.try_take_matching_failstop(1, 7, &board, 0).unwrap();
+        assert_eq!(m.src, 1);
+        // With the queue drained, the death is final.
+        assert_eq!(
+            mb.try_take_matching_failstop(1, 7, &board, 0),
+            Err(RecvError::PeerDead { src: 1, tag: 7 })
+        );
+    }
+
+    #[test]
+    fn failstop_recv_wakes_when_peer_dies() {
+        let mb = std::sync::Arc::new(Mailbox::default());
+        let board = std::sync::Arc::new(DeathBoard::new(2));
+        let (mb2, board2) = (mb.clone(), board.clone());
+        let h = std::thread::spawn(move || mb2.try_take_matching_failstop(1, 0, &board2, 0));
+        std::thread::sleep(StdDuration::from_millis(20));
+        board.mark_dead(1);
+        mb.wake_all();
+        assert_eq!(
+            h.join().unwrap(),
+            Err(RecvError::PeerDead { src: 1, tag: 0 })
+        );
+    }
+
+    #[test]
+    fn any_source_fails_only_when_all_peers_dead() {
+        let mb = Mailbox::default();
+        let board = DeathBoard::new(3);
+        board.mark_dead(1);
+        // Rank 2 is still alive, so ANY_SOURCE keeps waiting — push a
+        // message from it so the wait completes rather than timing out.
+        mb.push(msg(2, 0, 5));
+        assert_eq!(
+            mb.try_take_matching_failstop(ANY_SOURCE, 0, &board, 0)
+                .unwrap()
+                .src,
+            2
+        );
+        board.mark_dead(2);
+        assert_eq!(
+            mb.try_take_matching_failstop(ANY_SOURCE, 0, &board, 0),
+            Err(RecvError::PeerDead {
+                src: ANY_SOURCE,
+                tag: 0
+            })
+        );
+    }
+
+    #[test]
+    fn peer_dead_display_names_the_peer() {
+        let e = RecvError::PeerDead { src: 3, tag: 9 };
+        let s = e.to_string();
+        assert!(s.contains("src=3"), "{s}");
+        assert!(s.contains("fail-stopped"), "{s}");
     }
 
     #[test]

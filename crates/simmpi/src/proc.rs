@@ -7,7 +7,8 @@
 
 use crate::collectives::{CollectiveEntry, CollectiveResult, CollectiveSlot, ReduceOp};
 use crate::comm::{Comm, CommRegistry};
-use crate::p2p::{Mailbox, Message, RecvInfo};
+use crate::death::{DeathBoard, DeathUnwind};
+use crate::p2p::{Mailbox, Message, RecvError, RecvInfo, ANY_SOURCE};
 use crate::stats::ProcStats;
 use cluster_sim::network::CollectiveOp;
 use cluster_sim::node::Work;
@@ -37,6 +38,23 @@ pub(crate) struct WorldShared {
     pub mailboxes: Vec<Mailbox>,
     pub collective: CollectiveSlot,
     pub comms: CommRegistry,
+    /// Fail-stop liveness flags, one per rank.
+    pub board: DeathBoard,
+}
+
+impl WorldShared {
+    /// Publish a rank's death: mark the board, then wake every blocked
+    /// receiver and collective waiter so they re-examine their wait
+    /// conditions against the new membership. Must run *after* the dying
+    /// rank's last effects (sends, collective arrivals) are visible.
+    pub(crate) fn announce_death(&self, rank: usize) {
+        self.board.mark_dead(rank);
+        for mb in &self.mailboxes {
+            mb.wake_all();
+        }
+        self.collective.wake_all();
+        self.comms.wake_all();
+    }
 }
 
 /// One rank's execution context.
@@ -46,17 +64,21 @@ pub struct Proc {
     clock: VirtualTime,
     stats: ProcStats,
     sample_counter: u64,
+    /// Scheduled fail-stop instant from the fault plan, if any.
+    death_at: Option<VirtualTime>,
     shared: Arc<WorldShared>,
 }
 
 impl Proc {
     pub(crate) fn new(rank: usize, size: usize, shared: Arc<WorldShared>) -> Self {
+        let death_at = shared.cluster.death_of(rank);
         Proc {
             rank,
             size,
             clock: VirtualTime::ZERO,
             stats: ProcStats::default(),
             sample_counter: 0,
+            death_at,
             shared,
         }
     }
@@ -116,9 +138,126 @@ impl Proc {
         }
     }
 
+    /// Fail-stop gate, called on entry to every operation that performs
+    /// modelled work. The rank halts at the first operation boundary at or
+    /// after its scheduled death instant; everything it did before is
+    /// already published, so peers observe a clean prefix of its work.
+    #[inline]
+    fn failstop_check(&mut self) {
+        if let Some(at) = self.death_at {
+            if self.clock >= at {
+                self.die(at);
+            }
+        }
+    }
+
+    /// Halt this rank: record the death, announce it to the world, and
+    /// unwind with a [`DeathUnwind`] marker for [`crate::catch_death`].
+    fn die(&mut self, at: VirtualTime) -> ! {
+        self.stats.died_at = Some(at);
+        if trace::enabled(Category::MPI) {
+            trace::record(TraceEvent::instant(
+                Category::MPI,
+                "death",
+                self.rank as u32,
+                self.clock.as_nanos(),
+                at.as_nanos(),
+                0,
+            ));
+        }
+        self.shared.announce_death(self.rank);
+        crate::death::silence_death_panics();
+        std::panic::panic_any(DeathUnwind {
+            rank: self.rank,
+            at,
+        });
+    }
+
+    /// Latest scheduled death among this rank's peers (for wildcard
+    /// receives whose every possible sender is dead).
+    fn latest_peer_death(&self) -> VirtualTime {
+        (0..self.size)
+            .filter(|&r| r != self.rank)
+            .filter_map(|r| self.shared.cluster.death_of(r))
+            .max()
+            .unwrap_or(self.clock)
+    }
+
+    /// Complete a receive whose peer fail-stopped: no message ever arrives,
+    /// so the receive degrades to a timeout-shaped completion at
+    /// `max(post, peer death) + death_timeout` with a zeroed payload.
+    fn degraded_recv(&mut self, start: VirtualTime, src: usize, tag: i64) -> RecvInfo {
+        let death = if src == ANY_SOURCE {
+            self.latest_peer_death()
+        } else {
+            self.shared.cluster.death_of(src).unwrap_or(self.clock)
+        };
+        let timeout = self.shared.cluster.faults().death_timeout();
+        self.clock = self.clock.max(death) + timeout;
+        self.stats.mpi_time += self.clock - start;
+        self.stats.peer_dead_recvs += 1;
+        self.trace_span(Category::MPI, "recv_peer_dead", start, 0, src as u64);
+        RecvInfo {
+            src,
+            tag,
+            bytes: 0,
+            value: 0,
+            completed_at: self.clock,
+        }
+    }
+
+    /// Take a matching message, death-aware when the fault plan kills any
+    /// rank (the plain path stays untouched so healthy runs are
+    /// bit-identical to pre-fail-stop builds).
+    fn take_message(&mut self, src: usize, tag: i64) -> Result<Message, (usize, i64)> {
+        if !self.shared.cluster.has_deaths() {
+            return Ok(self.shared.mailboxes[self.rank].take_matching(src, tag));
+        }
+        match self.shared.mailboxes[self.rank].try_take_matching_failstop(
+            src,
+            tag,
+            &self.shared.board,
+            self.rank,
+        ) {
+            Ok(msg) => Ok(msg),
+            Err(RecvError::PeerDead { src, tag }) => Err((src, tag)),
+            Err(e) => panic!("rank {}: {e}", self.rank),
+        }
+    }
+
+    /// Death-gossip source: this rank monitors its ring buddy
+    /// `(rank + 1) % size` and, when the buddy itself is dead, inherits
+    /// the buddy's monitoring duty — so it is responsible for the whole
+    /// contiguous run of dead ranks following it (a dead *node* kills
+    /// adjacent ranks, whose mutual reporters die with them). Returns
+    /// every detectable death in that segment, ring order, where
+    /// "detectable" means silent for the plan's death timeout; for
+    /// piggybacking on telemetry.
+    pub fn death_notices_due(&self, now: VirtualTime) -> Vec<(usize, VirtualTime)> {
+        let mut out = Vec::new();
+        if self.size < 2 {
+            return out;
+        }
+        let timeout = self.shared.cluster.faults().death_timeout();
+        let mut next = (self.rank + 1) % self.size;
+        while next != self.rank {
+            match self.shared.cluster.death_of(next) {
+                // A dead-but-not-yet-detectable buddy also blocks the
+                // walk: this rank cannot know who lies beyond it yet.
+                Some(death) if now >= death + timeout => {
+                    out.push((next, death));
+                    next = (next + 1) % self.size;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
     /// Perform `work` with the given cache-miss rate; advances the clock by
     /// the noise-adjusted elapsed time and returns it.
     pub fn compute(&mut self, work: Work, miss_rate: f64) -> Duration {
+        self.failstop_check();
         let key = self.next_key();
         let start = self.clock;
         let d = self
@@ -147,6 +286,7 @@ impl Proc {
     /// Blocking send of `bytes` with `tag` and scalar `value` to `dest`.
     pub fn send(&mut self, dest: usize, bytes: u64, tag: i64, value: i64) {
         assert!(dest < self.size, "send to rank {dest} out of range");
+        self.failstop_check();
         let start = self.clock;
         self.clock += MPI_CALL_OVERHEAD;
         let cost = self
@@ -174,9 +314,13 @@ impl Proc {
     /// [`crate::p2p::ANY_SOURCE`] / [`crate::p2p::ANY_TAG`]. Completes at
     /// `max(post time, arrival time)`.
     pub fn recv(&mut self, src: usize, tag: i64) -> RecvInfo {
+        self.failstop_check();
         let start = self.clock;
         self.clock += MPI_CALL_OVERHEAD;
-        let msg = self.shared.mailboxes[self.rank].take_matching(src, tag);
+        let msg = match self.take_message(src, tag) {
+            Ok(msg) => msg,
+            Err((src, tag)) => return self.degraded_recv(start, src, tag),
+        };
         self.clock = self.clock.max(msg.arrives_at);
         self.stats.mpi_time += self.clock - start;
         self.stats.msgs_received += 1;
@@ -213,6 +357,7 @@ impl Proc {
     /// Post a nonblocking receive. Complete it with [`Self::wait`]; work
     /// done between post and wait overlaps the transfer.
     pub fn irecv(&mut self, src: usize, tag: i64) -> crate::nonblocking::RecvRequest {
+        self.failstop_check();
         self.clock += MPI_CALL_OVERHEAD;
         self.stats.mpi_time += MPI_CALL_OVERHEAD;
         crate::nonblocking::RecvRequest {
@@ -225,9 +370,13 @@ impl Proc {
     /// Complete a posted receive: blocks (in real time) until the matching
     /// message exists, completes at `max(now, arrival)` in virtual time.
     pub fn wait(&mut self, req: crate::nonblocking::RecvRequest) -> RecvInfo {
+        self.failstop_check();
         let start = self.clock;
         self.clock += MPI_CALL_OVERHEAD;
-        let msg = self.shared.mailboxes[self.rank].take_matching(req.src, req.tag);
+        let msg = match self.take_message(req.src, req.tag) {
+            Ok(msg) => msg,
+            Err((src, tag)) => return self.degraded_recv(start, src, tag),
+        };
         self.clock = self.clock.max(msg.arrives_at);
         self.stats.mpi_time += self.clock - start;
         self.stats.msgs_received += 1;
@@ -260,12 +409,20 @@ impl Proc {
     }
 
     fn collective(&mut self, entry: CollectiveEntry) -> CollectiveResult {
+        self.failstop_check();
         let start = self.clock;
         let (name, bytes) = (collective_name(entry.op), entry.bytes);
-        let res = self.shared.collective.enter(&self.shared.cluster, entry);
+        let res = self
+            .shared
+            .collective
+            .enter(&self.shared.cluster, &self.shared.board, entry)
+            .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank));
         self.clock = res.exit;
         self.stats.mpi_time += self.clock - start;
         self.stats.collectives += 1;
+        if res.missing > 0 {
+            self.stats.shrunk_collectives += 1;
+        }
         self.trace_span(Category::MPI, name, start, bytes, 0);
         res
     }
@@ -355,6 +512,7 @@ impl Proc {
     /// Collective communicator split (`MPI_Comm_split`): ranks with the
     /// same `color` form a sub-communicator. A collective over the world.
     pub fn split(&mut self, color: i64) -> Comm {
+        self.failstop_check();
         let start = self.clock;
         let at = self.clock + MPI_CALL_OVERHEAD;
         let (comm, exit) = self
@@ -369,13 +527,19 @@ impl Proc {
     }
 
     fn sub_collective(&mut self, comm: &Comm, entry: CollectiveEntry) -> CollectiveResult {
+        self.failstop_check();
         let start = self.clock;
         let (name, bytes) = (collective_name(entry.op), entry.bytes);
         let slot = self.shared.comms.slot(comm);
-        let res = slot.enter(&self.shared.cluster, entry);
+        let res = slot
+            .enter(&self.shared.cluster, &self.shared.board, entry)
+            .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank));
         self.clock = res.exit;
         self.stats.mpi_time += self.clock - start;
         self.stats.collectives += 1;
+        if res.missing > 0 {
+            self.stats.shrunk_collectives += 1;
+        }
         self.trace_span(Category::MPI, name, start, bytes, 1);
         res
     }
@@ -450,6 +614,7 @@ impl Proc {
 
     /// Read `bytes` from the parallel filesystem.
     pub fn io_read(&mut self, bytes: u64) {
+        self.failstop_check();
         let start = self.clock;
         let d = self.shared.cluster.io_cost(bytes, self.clock);
         self.clock += d;
@@ -460,6 +625,7 @@ impl Proc {
 
     /// Write `bytes` to the parallel filesystem.
     pub fn io_write(&mut self, bytes: u64) {
+        self.failstop_check();
         let start = self.clock;
         let d = self.shared.cluster.io_cost(bytes, self.clock);
         self.clock += d;

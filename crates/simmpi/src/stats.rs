@@ -4,7 +4,7 @@
 //! MPI communication, or I/O. The mpiP-style profiler baseline (and the
 //! paper's Figures 18-19) is built directly from these tallies.
 
-use cluster_sim::time::Duration;
+use cluster_sim::time::{Duration, VirtualTime};
 
 /// Time and traffic accounting for one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -28,6 +28,12 @@ pub struct ProcStats {
     pub compute_segments: u64,
     /// I/O calls.
     pub io_calls: u64,
+    /// Virtual instant this rank fail-stopped, if the fault plan killed it.
+    pub died_at: Option<VirtualTime>,
+    /// Receives that completed degraded because the peer was dead.
+    pub peer_dead_recvs: u64,
+    /// Collectives that completed over a shrunk membership (dead peers).
+    pub shrunk_collectives: u64,
 }
 
 impl ProcStats {

@@ -1,6 +1,7 @@
 //! World launcher: spawn one thread per rank and collect results.
 
 use crate::collectives::CollectiveSlot;
+use crate::death::{death_in_payload, DeathBoard};
 use crate::p2p::Mailbox;
 use crate::proc::{Proc, WorldShared};
 use cluster_sim::Cluster;
@@ -40,6 +41,7 @@ impl World {
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
             collective: CollectiveSlot::new(size),
             comms: crate::comm::CommRegistry::new(size),
+            board: DeathBoard::new(size),
         });
         let f = &f;
         // Rank programs (interpreters) can recurse deeply; debug builds use
@@ -65,6 +67,15 @@ impl World {
                 .map(|(rank, h)| match h.join() {
                     Ok(r) => r,
                     Err(e) => {
+                        if let Some(death) = death_in_payload(&*e) {
+                            // The program let a scheduled fail-stop unwind
+                            // escape its closure; see [`crate::catch_death`].
+                            panic!(
+                                "rank {rank} fail-stopped at {:?} (uncaught — wrap the rank \
+                                 closure in simmpi::catch_death to observe deaths)",
+                                death.at
+                            );
+                        }
                         let msg = e
                             .downcast_ref::<String>()
                             .map(String::as_str)
@@ -246,5 +257,110 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 fail-stopped")]
+    fn uncaught_death_is_labelled() {
+        let cluster = ClusterConfig::quiet(2)
+            .with_faults(
+                cluster_sim::FaultPlan::none().with_rank_death(1, VirtualTime::from_micros(1)),
+            )
+            .build();
+        let w = World::new(Arc::new(cluster));
+        w.run(|p| {
+            p.compute(Work::cpu(10_000), 0.0);
+            p.compute(Work::cpu(10_000), 0.0);
+        });
+    }
+
+    #[test]
+    fn survivors_outlive_a_dead_rank() {
+        // Rank 3 dies mid-run; ranks 0-2 keep iterating compute+barrier
+        // rounds over the shrunk membership, deterministically.
+        let run_once = || {
+            let cluster = ClusterConfig::quiet(4)
+                .with_faults(
+                    cluster_sim::FaultPlan::none().with_rank_death(3, VirtualTime::from_micros(50)),
+                )
+                .build();
+            let w = World::new(Arc::new(cluster));
+            w.run(|p| {
+                let out = crate::catch_death(|| {
+                    for _ in 0..10 {
+                        p.compute(Work::cpu(10_000), 0.0);
+                        p.barrier();
+                    }
+                });
+                (out.err(), p.now(), p.stats())
+            })
+        };
+        let outs = run_once();
+        let (death, _, dead_stats) = &outs[3];
+        let death = death.expect("rank 3 died");
+        assert_eq!(death.rank, 3);
+        assert_eq!(death.at, VirtualTime::from_micros(50));
+        assert_eq!(dead_stats.died_at, Some(VirtualTime::from_micros(50)));
+        for (err, end, stats) in &outs[..3] {
+            assert!(err.is_none(), "survivors complete");
+            assert!(end.as_nanos() > 0);
+            assert!(stats.shrunk_collectives > 0, "barriers shrank");
+            assert!(stats.died_at.is_none());
+        }
+        assert_eq!(outs, run_once(), "fail-stop runs are deterministic");
+    }
+
+    #[test]
+    fn recv_from_dead_peer_degrades() {
+        let cluster = ClusterConfig::quiet(2)
+            .with_faults(
+                cluster_sim::FaultPlan::none().with_rank_death(0, VirtualTime::from_micros(1)),
+            )
+            .build();
+        let w = World::new(Arc::new(cluster));
+        let outs = w.run(|p| {
+            crate::catch_death(|| {
+                if p.rank() == 0 {
+                    // Dies before it ever sends.
+                    p.compute(Work::cpu(10_000), 0.0);
+                    p.compute(Work::cpu(10_000), 0.0);
+                    None
+                } else {
+                    let info = p.recv(0, 7);
+                    Some((info, p.stats()))
+                }
+            })
+        });
+        let (info, stats) = (*outs[1].as_ref().expect("rank 1 survives")).unwrap();
+        assert_eq!(info.bytes, 0, "degraded recv carries no payload");
+        assert_eq!(stats.peer_dead_recvs, 1);
+        assert_eq!(stats.msgs_received, 0, "no real message was received");
+        // Completion pays the death-detection timeout past the death.
+        let plan_timeout = cluster_sim::FaultPlan::none().death_timeout();
+        assert!(info.completed_at >= VirtualTime::from_micros(1) + plan_timeout);
+    }
+
+    #[test]
+    fn predeath_sends_still_deliver() {
+        // Rank 0 sends, *then* dies; rank 1 must still get the message.
+        let cluster = ClusterConfig::quiet(2)
+            .with_faults(
+                cluster_sim::FaultPlan::none().with_rank_death(0, VirtualTime::from_micros(500)),
+            )
+            .build();
+        let w = World::new(Arc::new(cluster));
+        let outs = w.run(|p| {
+            crate::catch_death(|| {
+                if p.rank() == 0 {
+                    p.send(1, 64, 3, 42);
+                    p.compute(Work::cpu(1_000_000), 0.0);
+                    p.compute(Work::cpu(1_000_000), 0.0);
+                    0
+                } else {
+                    p.recv(0, 3).value
+                }
+            })
+        });
+        assert_eq!(outs[1], Ok(42));
     }
 }

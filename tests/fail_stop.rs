@@ -1,0 +1,175 @@
+//! Fail-stop integration tests: rank/node deaths with survivor-side
+//! detection, and analysis-server crash recovery from the write-ahead log.
+//!
+//! The acceptance contract of the fail-stop layer:
+//!
+//! 1. Survivors of a node death finish the run (collectives shrink, p2p
+//!    on dead peers degrades — nothing hangs or panics).
+//! 2. A killed node is localized as *dead* (`RankDeath`), never as a
+//!    0 %-performance variance region.
+//! 3. Bad-node localization still works when a *different* node dies
+//!    mid-run, matching the failure-free baseline's verdict.
+//! 4. A server that crashes mid-run and recovers from its WAL produces a
+//!    result **bitwise identical** to the crash-free run's.
+
+use std::sync::Arc;
+use vsensor_bench::failstop::first_mismatch;
+use vsensor_repro::cluster_sim::VirtualTime;
+use vsensor_repro::interp::RunConfig;
+use vsensor_repro::runtime::record::SensorKind;
+use vsensor_repro::runtime::{AlertKind, DeathCause};
+use vsensor_repro::{scenarios, Pipeline};
+
+/// The Figure 21 bad-node workload: memory-bound iterations with a
+/// barrier, so a slow-memory node separates cleanly from its peers.
+const BAD_NODE_SRC: &str = r#"
+    fn main() {
+        for (t = 0; t < 2000; t = t + 1) {
+            for (k = 0; k < 4; k = k + 1) { mem_access(25000); }
+            mpi_barrier();
+        }
+    }
+"#;
+
+const RANKS: usize = 16;
+const RANKS_PER_NODE: usize = 2;
+const BAD_NODE: usize = 4; // ranks 8-9
+const DEAD_NODE: usize = 7; // ranks 14-15
+
+#[test]
+fn node_death_is_reported_dead_and_bad_node_is_still_found() {
+    let prepared = Pipeline::new().compile(BAD_NODE_SRC).unwrap();
+
+    // Failure-free reference: where does the baseline pin the bad node?
+    let (ref_cluster, runtime) = scenarios::live_bad_node(RANKS, BAD_NODE, 0.55);
+    let config = RunConfig {
+        runtime,
+        ..Default::default()
+    };
+    let reference = prepared.run(
+        Arc::new(ref_cluster.with_ranks_per_node(RANKS_PER_NODE).build()),
+        &config,
+    );
+    let pinned = |events: &[vsensor_repro::runtime::VarianceEvent]| {
+        events
+            .iter()
+            .filter(|e| e.kind == SensorKind::Computation)
+            .map(|e| (e.first_rank, e.last_rank))
+            .collect::<Vec<_>>()
+    };
+    let baseline_pins = pinned(&reference.report.events);
+    assert!(
+        baseline_pins.contains(&(8, 9)),
+        "baseline must localize the bad node: {baseline_pins:?}"
+    );
+
+    // Same cluster, but node 7 (ranks 14-15) is killed mid-run.
+    let death_at = VirtualTime::from_millis(8);
+    let (cluster, runtime) = scenarios::node_death(RANKS, BAD_NODE, 0.55, DEAD_NODE, 8);
+    let config = RunConfig {
+        runtime,
+        ..Default::default()
+    };
+    let run = prepared.run(
+        Arc::new(cluster.with_ranks_per_node(RANKS_PER_NODE).build()),
+        &config,
+    );
+
+    // 1. Survivors finished: the run is at least as long as the baseline
+    //    (we got here without a hang, and live ranks kept charging time).
+    assert!(run.run_time >= death_at.since(VirtualTime::ZERO));
+
+    // 2. Both killed ranks are reported dead, via survivor gossip, with
+    //    the exact death instant.
+    let dead: Vec<_> = run
+        .server
+        .failed_ranks
+        .iter()
+        .map(|d| (d.rank, d.at, d.cause))
+        .collect();
+    assert_eq!(
+        dead,
+        vec![
+            (14, death_at, DeathCause::Notice),
+            (15, death_at, DeathCause::Notice),
+        ],
+        "killed node's ranks must be reported via gossip"
+    );
+    // The deaths also surfaced as live alerts, not only in the summary.
+    let death_alerts: Vec<usize> = run
+        .alerts
+        .iter()
+        .filter_map(|a| match &a.kind {
+            AlertKind::RankDeath(d) => Some(d.rank),
+            AlertKind::Variance(_) => None,
+        })
+        .collect();
+    assert_eq!(death_alerts, vec![14, 15], "death alerts must be emitted");
+    // And the rendered report mentions them.
+    assert!(run.report.render().contains("fail-stopped"));
+
+    // 3. The dead node is masked in the matrices, never flagged as a
+    //    variance region of its own.
+    let comp = run.server.matrix(SensorKind::Computation).unwrap();
+    assert!(comp.dead_from(14).is_some() && comp.dead_from(15).is_some());
+    for e in &run.report.events {
+        assert!(
+            e.first_rank < 14,
+            "event {e:?} must not pin the dead node as variance"
+        );
+    }
+
+    // 4. The bad node is still found, exactly where the baseline put it.
+    let with_death_pins = pinned(&run.report.events);
+    assert!(
+        with_death_pins.contains(&(8, 9)),
+        "bad-node localization must survive the node death: {with_death_pins:?}"
+    );
+}
+
+#[test]
+fn server_crash_recovery_is_bitwise_identical() {
+    let prepared = Pipeline::new().compile(BAD_NODE_SRC).unwrap();
+
+    let (crash_cluster, runtime) = scenarios::server_crash_recovery(RANKS, BAD_NODE, 0.55, 10);
+    let config = RunConfig {
+        runtime,
+        ..Default::default()
+    };
+    let crashed = prepared.run(
+        Arc::new(crash_cluster.with_ranks_per_node(RANKS_PER_NODE).build()),
+        &config,
+    );
+    // The crash must actually have fired mid-run.
+    assert!(
+        crashed.run_time.as_nanos() > VirtualTime::from_millis(10).as_nanos(),
+        "run ({}) too short to exercise the crash",
+        crashed.run_time
+    );
+
+    let (free_cluster, runtime) = scenarios::live_bad_node(RANKS, BAD_NODE, 0.55);
+    let config = RunConfig {
+        runtime,
+        ..Default::default()
+    };
+    let baseline = prepared.run(
+        Arc::new(free_cluster.with_ranks_per_node(RANKS_PER_NODE).build()),
+        &config,
+    );
+
+    assert_eq!(
+        first_mismatch(&crashed.server, &baseline.server),
+        None,
+        "recovered result must be bitwise identical to the crash-free run"
+    );
+    // Both runs localize the bad node.
+    assert!(
+        crashed
+            .report
+            .events
+            .iter()
+            .any(|e| e.kind == SensorKind::Computation && (e.first_rank, e.last_rank) == (8, 9)),
+        "{:?}",
+        crashed.report.events
+    );
+}

@@ -186,12 +186,12 @@ fn bad_node_raises_a_live_alert_before_the_run_ends() {
     let bad = run
         .alerts
         .iter()
-        .find(|a| a.event.kind == SensorKind::Computation)
+        .filter_map(|a| a.event())
+        .find(|e| e.kind == SensorKind::Computation)
         .expect("a computation alert names the bad node");
     assert!(
-        bad.event.first_rank <= 11 && bad.event.last_rank >= 8,
-        "alert must cover the bad node's ranks 8..=11: {:?}",
-        bad.event
+        bad.first_rank <= 11 && bad.last_rank >= 8,
+        "alert must cover the bad node's ranks 8..=11: {bad:?}"
     );
     // Alert timestamps carry the server's virtual clock; every alert sits
     // inside the run.
