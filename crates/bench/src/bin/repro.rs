@@ -53,6 +53,14 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "failstop",
         "Fail-stop robustness: node-death localization + WAL crash-recovery equivalence",
     ),
+    (
+        "service",
+        "Multi-tenant service: fairness, isolation, failover (BENCH_service.json)",
+    ),
+    (
+        "failover",
+        "Multi-tenant failover smoke: standby promotion must be bitwise-identical",
+    ),
 ];
 
 fn main() {
@@ -243,6 +251,64 @@ fn main() {
             std::process::exit(1);
         }
     }
+    if want("service") {
+        section("service");
+        if check {
+            run_service_gate(!ratio_only);
+        } else {
+            let r = service_bench::run(effort);
+            println!("{}", r.render());
+            let json = r.to_json();
+            match &out_dir {
+                Some(_) => write_artifact(&out_dir, "BENCH_service.json", &json),
+                None => {
+                    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+                    println!("[wrote BENCH_service.json]");
+                }
+            }
+            exit_unless_service_invariants(&r);
+        }
+    }
+    // `failover` is the CI smoke alias for the service study's failover
+    // invariants — explicit-only so a bare `repro` does not run the
+    // 16-tenant study twice.
+    if selected.contains(&"failover") {
+        section("failover");
+        let r = service_bench::run(effort);
+        println!("{}", r.render());
+        exit_unless_service_invariants(&r);
+    }
+}
+
+/// Exit nonzero unless the service study's three invariants hold:
+/// failover bitwise-equivalence, healthy-tenant isolation, and
+/// hot-tenant-only backpressure.
+fn exit_unless_service_invariants(r: &service_bench::ServiceBenchResult) {
+    let mut failed = false;
+    if !r.failover_equivalent() {
+        eprintln!(
+            "service: post-failover results are NOT bitwise equivalent: {:?}",
+            r.failover_mismatches.iter().flatten().next()
+        );
+        failed = true;
+    }
+    if !r.isolation_holds() {
+        eprintln!(
+            "service: a healthy tenant deviates from its solo run: {:?}",
+            r.healthy_mismatches.iter().flatten().next()
+        );
+        failed = true;
+    }
+    if !r.backpressure_is_fair() {
+        eprintln!(
+            "service: backpressure is unfair (hot {}, steady max {})",
+            r.hot_backpressured, r.max_steady_backpressured
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// The `interp --check` path: a reduced paper-scale sweep compared
@@ -271,6 +337,40 @@ fn run_perf_gate(absolute: bool) {
     if !report.passed() {
         std::process::exit(1);
     }
+}
+
+/// The `service --check` path: the paper-scale 16-tenant study compared
+/// against the committed `BENCH_service.json`. The p99 ingest latencies
+/// are *virtual-time* figures — machine-independent, so they are gated
+/// even under `--ratio-only`; the wall-clock batches/sec throughput is
+/// only gated with `absolute`. Backpressure engagement on the hot tenant
+/// is a correctness bit and always gated.
+fn run_service_gate(absolute: bool) {
+    let baseline_text = read_service_baseline().unwrap_or_else(|e| {
+        eprintln!("service gate: cannot read BENCH_service.json: {e}");
+        std::process::exit(2);
+    });
+    let baseline = perf_gate::parse_service_baseline(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("service gate: cannot parse BENCH_service.json: {e}");
+        std::process::exit(2);
+    });
+    let fresh = service_bench::run(Effort::Paper);
+    exit_unless_service_invariants(&fresh);
+    let report =
+        perf_gate::compare_service(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute);
+    println!("{}", report.render());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn read_service_baseline() -> std::io::Result<String> {
+    std::fs::read_to_string("BENCH_service.json").or_else(|_| {
+        std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_service.json"
+        ))
+    })
 }
 
 fn read_baseline() -> std::io::Result<String> {

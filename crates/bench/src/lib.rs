@@ -24,6 +24,7 @@
 //! | [`trace_run`]        | traced degraded-transport run → Chrome trace JSON |
 //! | [`perf_gate`]        | CI regression gate over `BENCH_interp.json` |
 //! | [`failstop`]         | node-death localization + WAL crash-recovery equivalence |
+//! | [`service_bench`]    | multi-tenant service: fairness, isolation, failover (`BENCH_service.json`) |
 
 pub mod ablations;
 pub mod datavolume;
@@ -39,6 +40,7 @@ pub mod fig22_network;
 pub mod fwq_intrusiveness;
 pub mod interp_speed;
 pub mod perf_gate;
+pub mod service_bench;
 pub mod table1_validation;
 pub mod trace_run;
 

@@ -25,10 +25,19 @@
 //! The baseline parser is hand-rolled (the workspace has no JSON
 //! dependency) and accepts exactly the flat array-of-objects shape
 //! `InterpSpeedResult::to_json` emits.
+//!
+//! `repro service --check` gates the multi-tenant service the same way,
+//! over the committed `BENCH_service.json`: the per-tenant p99 ingest
+//! latencies are *virtual-time* quantities — deterministic and
+//! machine-independent, so they are gated even under `--ratio-only` —
+//! the hot tenant must still be the one engaging backpressure, and the
+//! absolute batches-per-wall-second throughput is gated only on
+//! comparable hardware (`absolute = true`).
 
 use std::fmt::Write;
 
 use crate::interp_speed::InterpSpeedResult;
+use crate::service_bench::ServiceBenchResult;
 
 #[cfg(test)]
 use crate::interp_speed::InterpRow;
@@ -132,6 +141,57 @@ fn num_field(obj: &str, key: &str) -> Result<f64, String> {
     v[..end]
         .parse::<f64>()
         .map_err(|e| format!("field `{key}` is not a number: {e}"))
+}
+
+/// One metric row parsed from `BENCH_service.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceBaselineRow {
+    /// Metric name (`p99_hot_ingest_ns`, `batches_per_wall_sec`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub value: f64,
+}
+
+/// Parse `BENCH_service.json` (a flat array of `{"metric", "value"}`
+/// rows, the shape [`ServiceBenchResult::to_json`] emits).
+pub fn parse_service_baseline(json: &str) -> Result<Vec<ServiceBaselineRow>, String> {
+    let trimmed = json.trim();
+    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
+        return Err("baseline is not a JSON array".into());
+    }
+    let mut rows = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in trimmed.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| "unbalanced braces in baseline".to_string())?;
+                if depth == 0 {
+                    let obj = &trimmed[start..=i];
+                    rows.push(ServiceBaselineRow {
+                        metric: str_field(obj, "metric")?,
+                        value: num_field(obj, "value")?,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err("unterminated object in baseline".into());
+    }
+    if rows.is_empty() {
+        return Err("baseline contains no rows".into());
+    }
+    Ok(rows)
 }
 
 /// One comparison the gate performed.
@@ -274,6 +334,80 @@ pub fn compare(
         }
     }
     report
+}
+
+/// Compare a fresh multi-tenant service measurement against the
+/// committed `BENCH_service.json`. The p99 ingest latencies are virtual
+/// time — machine-independent, gated in every mode. Backpressure must
+/// still engage on the hot tenant (a zero count means admission control
+/// stopped working, whatever the baseline said). The absolute
+/// batches-per-wall-second throughput compares wall clocks across
+/// machines, so it is gated only with `absolute = true`; otherwise the
+/// baseline row is counted as skipped.
+pub fn compare_service(
+    baseline: &[ServiceBaselineRow],
+    current: &ServiceBenchResult,
+    tolerance: f64,
+    absolute: bool,
+) -> GateReport {
+    let mut checks = Vec::new();
+    let mut skipped = 0usize;
+    let tenants = current.tenants;
+    let mut push = |metric: &'static str, base: f64, cur: f64, ok: bool| {
+        checks.push(GateCheck {
+            workload: "service".into(),
+            ranks: tenants,
+            metric,
+            baseline: base,
+            current: cur,
+            ok,
+        });
+    };
+    for row in baseline {
+        match row.metric.as_str() {
+            "p99_hot_ingest_ns" => {
+                let cur = current.p99_hot_ingest_ns as f64;
+                push(
+                    "p99-hot-ingest",
+                    row.value,
+                    cur,
+                    cur <= row.value * (1.0 + tolerance),
+                );
+            }
+            "p99_steady_ingest_ns" => {
+                let cur = current.p99_steady_ingest_ns as f64;
+                push(
+                    "p99-steady-ingest",
+                    row.value,
+                    cur,
+                    cur <= row.value * (1.0 + tolerance),
+                );
+            }
+            "hot_backpressured" => {
+                let cur = current.hot_backpressured as f64;
+                push("backpressure-engaged", row.value, cur, cur > 0.0);
+            }
+            "batches_per_wall_sec" => {
+                if absolute {
+                    let cur = current.batches_per_wall_sec();
+                    push(
+                        "service-throughput",
+                        row.value,
+                        cur,
+                        cur >= row.value * (1.0 - tolerance),
+                    );
+                } else {
+                    skipped += 1;
+                }
+            }
+            _ => skipped += 1,
+        }
+    }
+    GateReport {
+        checks,
+        skipped,
+        tolerance,
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +586,80 @@ mod tests {
         );
         assert!(report.passed());
         assert_eq!(report.skipped, 1, "the ranks=64 cell");
+    }
+
+    fn service_result() -> ServiceBenchResult {
+        ServiceBenchResult {
+            tenants: 16,
+            ranks_per_tenant: 4,
+            runs: Vec::new(),
+            stats: Vec::new(),
+            loads: Vec::new(),
+            failover_mismatches: Vec::new(),
+            healthy_mismatches: Vec::new(),
+            hot_backpressured: 10,
+            max_steady_backpressured: 0,
+            p99_hot_ingest_ns: 1_000,
+            p99_steady_ingest_ns: 500,
+            batches_total: 1_000,
+            wall: std::time::Duration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn service_baseline_round_trips() {
+        let r = service_result();
+        let rows = parse_service_baseline(&r.to_json()).expect("round-trip");
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].metric, "p99_hot_ingest_ns");
+        assert!((rows[0].value - 1_000.0).abs() < 1e-9);
+        assert!(parse_service_baseline("[]").is_err());
+        assert!(parse_service_baseline("[{\"metric\": \"x\"}]").is_err());
+    }
+
+    #[test]
+    fn identical_service_runs_pass_and_ratio_only_skips_throughput() {
+        let r = service_result();
+        let base = parse_service_baseline(&r.to_json()).unwrap();
+        let full = compare_service(&base, &r, DEFAULT_TOLERANCE, true);
+        assert!(full.passed(), "{}", full.render());
+        assert_eq!(full.checks.len(), 4);
+        let ratio = compare_service(&base, &r, DEFAULT_TOLERANCE, false);
+        assert!(ratio.passed(), "{}", ratio.render());
+        assert_eq!(ratio.checks.len(), 3, "wall throughput not gated");
+        assert_eq!(ratio.skipped, 1);
+        assert!(ratio
+            .checks
+            .iter()
+            .all(|c| c.metric != "service-throughput"));
+    }
+
+    #[test]
+    fn service_p99_regression_fails_in_every_mode() {
+        let base = parse_service_baseline(&service_result().to_json()).unwrap();
+        let mut slow = service_result();
+        slow.p99_steady_ingest_ns *= 2;
+        for absolute in [true, false] {
+            let report = compare_service(&base, &slow, DEFAULT_TOLERANCE, absolute);
+            assert!(!report.passed(), "{}", report.render());
+            assert!(report
+                .checks
+                .iter()
+                .any(|c| c.metric == "p99-steady-ingest" && !c.ok));
+        }
+    }
+
+    #[test]
+    fn service_gate_fails_when_backpressure_stops_engaging() {
+        let base = parse_service_baseline(&service_result().to_json()).unwrap();
+        let mut broken = service_result();
+        broken.hot_backpressured = 0;
+        let report = compare_service(&base, &broken, DEFAULT_TOLERANCE, false);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.metric == "backpressure-engaged" && !c.ok));
     }
 
     #[test]

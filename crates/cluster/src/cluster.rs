@@ -34,6 +34,10 @@ pub struct ClusterConfig {
     pub pmu: PmuConfig,
     /// Fault plan for the telemetry path (rank → analysis server).
     pub faults: FaultPlan,
+    /// Base of this run's trace-lane range: rank `r` traces on lane
+    /// `trace_lane_base + r`. Zero for a solo run; multi-tenant drivers
+    /// give each tenant a disjoint base so one timeline holds them all.
+    pub trace_lane_base: u32,
 }
 
 impl ClusterConfig {
@@ -49,6 +53,7 @@ impl ClusterConfig {
             network: NetworkConfig::default(),
             pmu: PmuConfig::default(),
             faults: FaultPlan::none(),
+            trace_lane_base: 0,
         }
     }
 
@@ -91,6 +96,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Move this run's trace events to a disjoint lane range (builder
+    /// style); see [`ClusterConfig::trace_lane_base`].
+    pub fn with_trace_lane_base(mut self, base: u32) -> Self {
+        self.trace_lane_base = base;
+        self
+    }
+
     /// Finalize into an immutable [`Cluster`].
     pub fn build(self) -> Cluster {
         let topology = Topology::block(self.ranks, self.ranks_per_node);
@@ -108,6 +120,7 @@ impl ClusterConfig {
             pmu: Pmu::new(self.pmu),
             faults: self.faults,
             deaths,
+            trace_lane_base: self.trace_lane_base,
         }
     }
 }
@@ -123,6 +136,7 @@ pub struct Cluster {
     faults: FaultPlan,
     /// Fault-plan deaths resolved against the topology, per rank.
     deaths: Vec<Option<VirtualTime>>,
+    trace_lane_base: u32,
 }
 
 impl Cluster {
@@ -149,6 +163,12 @@ impl Cluster {
     /// Telemetry-path fault plan.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Trace lane for `rank`'s events: `trace_lane_base + rank`. Tracing
+    /// is pure observation, so the base never affects timing.
+    pub fn trace_lane(&self, rank: usize) -> u32 {
+        self.trace_lane_base + rank as u32
     }
 
     /// The virtual instant at which `rank` fail-stops, if the fault plan

@@ -3,10 +3,11 @@
 use std::sync::Arc;
 use vsensor_analysis::{analyze, Analysis, AnalysisConfig, SnippetType};
 use vsensor_interp::{
-    run_instrumented_shared, run_plain_shared, ExecBackend, InstrumentedRun, RankResult, RunConfig,
+    run_instrumented_shared, run_instrumented_sink, run_plain_shared, ExecBackend, InstrumentedRun,
+    RankResult, RunConfig,
 };
 use vsensor_lang::Program;
-use vsensor_runtime::{SensorInfo, SensorKind};
+use vsensor_runtime::{AnalysisSink, SensorInfo, SensorKind};
 
 /// Pipeline builder: configure the static module, then compile sources.
 #[derive(Clone, Debug, Default)]
@@ -97,6 +98,26 @@ impl Prepared {
             self.sensors.clone(),
             cluster,
             config,
+        )
+    }
+
+    /// Run the instrumented program routing its telemetry into an
+    /// arbitrary analysis sink — how a tenant's job joins a shared
+    /// [`vsensor_runtime::AnalysisService`] (via a
+    /// [`vsensor_runtime::TenantChannel`]) instead of spinning up a
+    /// private server.
+    pub fn run_sink(
+        &self,
+        cluster: Arc<cluster_sim::Cluster>,
+        config: &RunConfig,
+        sink: Arc<dyn AnalysisSink>,
+    ) -> InstrumentedRun {
+        run_instrumented_sink(
+            self.instrumented.clone(),
+            self.sensors.clone(),
+            cluster,
+            config,
+            sink,
         )
     }
 

@@ -6,7 +6,7 @@
 
 use cluster_sim::time::{Duration, VirtualTime};
 use cluster_sim::{ClusterConfig, FaultConfig, FaultPlan, NetworkConfig, NodeSpec, SlowdownWindow};
-use vsensor_runtime::RuntimeConfig;
+use vsensor_runtime::{RuntimeConfig, ServiceConfig};
 
 /// Perfectly quiet cluster: no noise, exact PMU. Baseline for overhead
 /// measurements and unit tests.
@@ -155,6 +155,122 @@ pub fn server_crash_recovery(
     (cluster.with_faults(plan), runtime)
 }
 
+/// One tenant's slice of the multi-tenant skewed-load scenario: a fully
+/// independent job (own cluster, fault plan and runtime knobs) that joins
+/// the shared [`ServiceConfig`]-governed analysis service.
+pub struct TenantLoad {
+    /// Dense, 0-based tenant id.
+    pub tenant: u32,
+    /// This tenant's cluster — fault plan (rank deaths, lossy transport,
+    /// server crash) included.
+    pub cluster: ClusterConfig,
+    /// This tenant's runtime knobs.
+    pub runtime: RuntimeConfig,
+    /// Ranks per node for this tenant's job.
+    pub ranks_per_node: usize,
+    /// Flushes batches at ~8× the default rate — the tenant expected to
+    /// trip per-tenant admission control.
+    pub hot: bool,
+    /// This tenant's fault plan kills the service primary mid-run — the
+    /// standby-promotion point.
+    pub crashes_primary: bool,
+    /// Loses a node mid-run *and* sends over a lossy transport — the
+    /// cross-tenant fault-isolation subject.
+    pub faulty: bool,
+}
+
+/// Hot tenants flush at this multiple of the default batch rate.
+pub const HOT_TENANT_RATE: u32 = 8;
+
+/// The tenant-skewed service load: `tenants` independent Figure 21 jobs
+/// (each localizing its own bad node) sharing one analysis service.
+/// Tenant 0 is *hot* (~[`HOT_TENANT_RATE`]× batch rate — the admission
+/// budget of [`multi_tenant_service`] is tuned so only it trips
+/// backpressure); tenant 1 is *faulty* (a node dies at `death_at_ms` and
+/// its telemetry path drops batches); the middle tenant kills the service
+/// primary at `crash_at_ms` into *its own* run, forcing a hot-standby
+/// promotion. Every other tenant is healthy and must come out bitwise
+/// identical to a solo run. Trace lanes are disjoint per tenant
+/// (`tenant × 4096`) so one merged trace stays attributable.
+pub fn multi_tenant_skewed(
+    tenants: usize,
+    ranks_per_tenant: usize,
+    death_at_ms: u64,
+    crash_at_ms: u64,
+) -> Vec<TenantLoad> {
+    assert!(
+        tenants >= 4,
+        "need hot, faulty, crashing and healthy tenants"
+    );
+    let ranks_per_node = 2;
+    let nodes = ranks_per_tenant / ranks_per_node;
+    let bad = nodes / 2;
+    let dead = nodes - 1;
+    let crash_tenant = tenants / 2;
+    (0..tenants)
+        .map(|t| {
+            let (mut cluster, mut runtime) = live_bad_node(ranks_per_tenant, bad, 0.55);
+            let hot = t == 0;
+            let faulty = t == 1;
+            let crashes_primary = t == crash_tenant;
+            if hot {
+                let base = runtime.batch_interval;
+                runtime = runtime
+                    .with_batch_interval(Duration::from_nanos(
+                        base.as_nanos() / HOT_TENANT_RATE as u64,
+                    ))
+                    .expect("hot interval stays positive")
+                    // Backpressure delays the hot tenant's batches rather
+                    // than dropping them, so its senders must hold a full
+                    // admission backlog: overflow shedding would discard
+                    // whichever batches lost the cross-rank admission
+                    // race, making the surviving record set — and the
+                    // final matrix bits — interleaving-dependent.
+                    .with_buffer_capacity(256)
+                    .expect("capacity is positive");
+            }
+            if faulty {
+                let plan = FaultPlan::lossy(0.05, 0x5eed + t as u64)
+                    .with_node_death(dead, VirtualTime::from_millis(death_at_ms));
+                cluster = cluster.with_faults(plan);
+            }
+            if crashes_primary {
+                cluster = cluster.with_faults(
+                    FaultPlan::none().with_server_crash(VirtualTime::from_millis(crash_at_ms)),
+                );
+            }
+            TenantLoad {
+                tenant: t as u32,
+                cluster: cluster
+                    .with_ranks_per_node(ranks_per_node)
+                    .with_trace_lane_base(t as u32 * 4096),
+                runtime,
+                ranks_per_node,
+                hot,
+                crashes_primary,
+                faulty,
+            }
+        })
+        .collect()
+}
+
+/// Service knobs matching [`multi_tenant_skewed`]: durable (standby
+/// failover needs per-tenant WALs), admission budget of
+/// `5 × ranks_per_tenant` batches per 100 ms window. The service splits
+/// a tenant's budget evenly per rank (5 each here), so a 1× tenant's
+/// rank — one periodic flush per window, plus the end-of-run flush and
+/// the occasional lossy-transport resend landing in the same window —
+/// never exhausts its share, while each of the [`HOT_TENANT_RATE`]× hot
+/// tenant's ranks flushes 8 per window and gets
+/// `IngestError::Backpressure` for the overshoot.
+pub fn multi_tenant_service(tenants: usize, ranks_per_tenant: usize) -> ServiceConfig {
+    ServiceConfig::default()
+        .with_max_tenants(tenants)
+        .with_batch_budget(5 * ranks_per_tenant as u32)
+        .with_budget_window(Duration::from_millis(100))
+        .durable()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +349,52 @@ mod tests {
             Some(VirtualTime::from_millis(80))
         );
         assert!(c.faults().rank_deaths().is_empty() && !c.has_deaths());
+    }
+
+    #[test]
+    fn skewed_tenants_have_disjoint_roles_and_lanes() {
+        let loads = multi_tenant_skewed(16, 8, 8, 10);
+        assert_eq!(loads.len(), 16);
+        assert!(loads[0].hot && !loads[0].faulty && !loads[0].crashes_primary);
+        assert!(loads[1].faulty && !loads[1].hot);
+        assert!(loads[8].crashes_primary, "crash lands mid-list");
+        assert_eq!(loads.iter().filter(|l| l.hot).count(), 1);
+        assert_eq!(loads.iter().filter(|l| l.faulty).count(), 1);
+        assert_eq!(loads.iter().filter(|l| l.crashes_primary).count(), 1);
+        // The hot tenant flushes 8x as often as everyone else.
+        let base = loads[3].runtime.batch_interval.as_nanos();
+        assert_eq!(
+            loads[0].runtime.batch_interval.as_nanos() * HOT_TENANT_RATE as u64,
+            base
+        );
+        // Only the planned tenants carry fault plans.
+        for l in &loads {
+            let c = l.cluster.clone().build();
+            assert_eq!(
+                c.faults().server_crash().is_some(),
+                l.crashes_primary,
+                "tenant {}",
+                l.tenant
+            );
+            assert_eq!(c.has_deaths(), l.faulty, "tenant {}", l.tenant);
+            assert_eq!(c.trace_lane(0), l.tenant * 4096, "disjoint lanes");
+        }
+    }
+
+    #[test]
+    fn service_budget_admits_steady_and_trips_hot() {
+        let cfg = multi_tenant_service(16, 8);
+        assert!(cfg.durable, "standby failover needs WALs");
+        assert_eq!(cfg.max_tenants, 16);
+        // The budget is split evenly per rank: one flush per rank per
+        // window fits with slack; the hot tenant's 8 per rank per window
+        // trips.
+        let share = cfg.tenant_batch_budget / 8;
+        assert!(share >= 2, "steady ranks need headroom beyond 1/window");
+        assert!(
+            share < HOT_TENANT_RATE,
+            "the hot tenant's ranks must overshoot their share"
+        );
     }
 
     #[test]

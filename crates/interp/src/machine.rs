@@ -127,6 +127,14 @@ impl SensorHarness {
             gossip_cursor: 0,
         }
     }
+
+    /// Move the transport's trace events to a different lane (builder
+    /// style) — used by multi-tenant drivers to give each tenant a
+    /// disjoint lane range. Pure observation, never affects timing.
+    pub fn with_trace_lane(mut self, lane: u32) -> Self {
+        self.transport.set_trace_lane(lane);
+        self
+    }
 }
 
 impl<'w> Machine<'w> {
@@ -204,6 +212,11 @@ impl<'w> Machine<'w> {
     /// Rank of this machine.
     pub fn rank(&self) -> usize {
         self.proc.rank()
+    }
+
+    /// Trace lane of the underlying rank.
+    pub fn trace_lane(&self) -> u32 {
+        self.proc.trace_lane()
     }
 
     /// World size.
@@ -316,7 +329,7 @@ impl<'w> Machine<'w> {
             trace::record(TraceEvent::begin(
                 Category::SENSOR,
                 "sense",
-                self.proc.rank() as u32,
+                self.proc.trace_lane(),
                 self.proc.now().as_nanos(),
                 sensor.0 as u64,
                 0,
@@ -347,7 +360,7 @@ impl<'w> Machine<'w> {
             trace::record(TraceEvent::end(
                 Category::SENSOR,
                 "sense",
-                self.proc.rank() as u32,
+                self.proc.trace_lane(),
                 now.as_nanos(),
                 sensor.0 as u64,
                 0,

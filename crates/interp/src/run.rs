@@ -14,9 +14,9 @@ use cluster_sim::Cluster;
 use std::sync::Arc;
 use vsensor_lang::Program;
 use vsensor_runtime::{
-    AnalysisServer, BatchChannel, CrashingChannel, DirectChannel, DistributionStats, DynamicRule,
-    FaultyChannel, RuntimeConfig, SensorInfo, SensorRuntime, ServerResult, TransportStats,
-    VarianceAlert, VarianceReport,
+    AnalysisServer, AnalysisSink, BatchChannel, CrashingChannel, DirectChannel, DistributionStats,
+    DynamicRule, FaultyChannel, RuntimeConfig, SensorInfo, SensorRuntime, ServerResult,
+    TransportStats, VarianceAlert, VarianceReport,
 };
 
 /// Which execution engine runs the ranks.
@@ -199,52 +199,67 @@ pub fn run_instrumented(
 }
 
 /// [`run_instrumented`] without the program clone.
+///
+/// Builds the analysis sink the cluster's fault plan calls for — the
+/// lossless direct channel for a healthy cluster, the fault-injecting one
+/// for an active plan, the kill-and-recover channel for a planned server
+/// crash — and hands off to [`run_instrumented_sink`].
 pub fn run_instrumented_shared(
     program: Arc<Program>,
     sensors: Vec<SensorInfo>,
     cluster: Arc<Cluster>,
     config: &RunConfig,
 ) -> InstrumentedRun {
-    let exec = Executor::new(program, config.backend);
     let ranks = cluster.ranks();
     let faults = cluster.faults().clone();
-    // A plan with a server crash gets a durable (WAL-backed) server so the
-    // crash can be recovered from; everything else runs in-memory only.
-    let (server, wal) = if faults.server_crash().is_some() {
+    if let Some(at) = faults.server_crash() {
+        // A plan with a server crash gets a durable (WAL-backed) server so
+        // the crash can be recovered from.
         let (server, wal) =
             AnalysisServer::try_new_durable(ranks, sensors.clone(), config.runtime.clone())
                 .unwrap_or_else(|e| panic!("invalid runtime configuration: {e}"));
-        (Arc::new(server), Some(wal))
+        let sink = Arc::new(CrashingChannel::new(Arc::new(server), wal, at, faults));
+        return run_instrumented_sink(program, sensors, cluster, config, sink);
+    }
+    let server = AnalysisServer::try_new(ranks, sensors.clone(), config.runtime.clone())
+        .unwrap_or_else(|e| panic!("invalid runtime configuration: {e}"));
+    let server = Arc::new(server);
+    if faults.is_active() {
+        let sink = Arc::new(FaultyChannel::new(server, faults));
+        run_instrumented_sink(program, sensors, cluster, config, sink)
     } else {
-        let server = AnalysisServer::try_new(ranks, sensors.clone(), config.runtime.clone())
-            .unwrap_or_else(|e| panic!("invalid runtime configuration: {e}"));
-        (Arc::new(server), None)
-    };
-    // Telemetry rides the cluster's fault plan: a healthy cluster gets the
-    // lossless direct channel, an injected plan gets the faulty one, and a
-    // planned server crash gets the kill-and-recover channel.
-    let mut crashing: Option<Arc<CrashingChannel>> = None;
-    let channel: Arc<dyn BatchChannel> = match (faults.server_crash(), &wal) {
-        (Some(at), Some(wal)) => {
-            let c = Arc::new(CrashingChannel::new(
-                server.clone(),
-                wal.clone(),
-                at,
-                faults.clone(),
-            ));
-            crashing = Some(c.clone());
-            c
-        }
-        _ if faults.is_active() => Arc::new(FaultyChannel::new(server.clone(), faults.clone())),
-        _ => Arc::new(DirectChannel::new(server.clone())),
-    };
+        let sink = Arc::new(DirectChannel::new(server));
+        run_instrumented_sink(program, sensors, cluster, config, sink)
+    }
+}
+
+/// Run an instrumented program against an arbitrary [`AnalysisSink`] —
+/// the driver underneath [`run_instrumented`], exposed so multi-tenant
+/// callers can route a run's telemetry into a shared service
+/// (`vsensor_runtime::TenantChannel`) instead of a private server.
+///
+/// The sink is both the transport target for every rank and the source of
+/// the final analysis state: results are read from [`AnalysisSink::server`]
+/// *after* the run, so sinks that swap servers mid-run (crash recovery,
+/// standby promotion) resolve to the live instance.
+pub fn run_instrumented_sink(
+    program: Arc<Program>,
+    sensors: Vec<SensorInfo>,
+    cluster: Arc<Cluster>,
+    config: &RunConfig,
+    sink: Arc<dyn AnalysisSink>,
+) -> InstrumentedRun {
+    let exec = Executor::new(program, config.backend);
+    let ranks = cluster.ranks();
+    let channel: Arc<dyn BatchChannel> = sink.clone();
     let world = simmpi::World::new(cluster);
     let sensor_count = sensors.len();
     let rank_results: Vec<RankResult> = world
         .run(|proc| {
             let runtime =
                 SensorRuntime::with_rule(sensor_count, config.runtime.clone(), config.rule.clone());
-            let harness = SensorHarness::with_channel(runtime, proc.rank(), channel.clone());
+            let harness = SensorHarness::with_channel(runtime, proc.rank(), channel.clone())
+                .with_trace_lane(proc.trace_lane());
             match simmpi::catch_death(|| {
                 exec.run_rank(proc, Some(harness))
                     .unwrap_or_else(|e| panic!("{e}"))
@@ -256,9 +271,10 @@ pub fn run_instrumented_shared(
         .into_iter()
         .map(RankResult::from)
         .collect();
-    // If the crash fired, the original server object died with its state;
-    // everything below reads the recovered instance.
-    let server = crashing.as_ref().map(|c| c.server()).unwrap_or(server);
+    // Read the final state through the sink: if a crash fired, the
+    // original server object died with its state and this resolves to the
+    // recovered (or promoted) instance.
+    let server = sink.server();
 
     let run_time = rank_results
         .iter()

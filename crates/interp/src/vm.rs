@@ -44,13 +44,13 @@ pub fn run_vm(m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineResul
     // the clock here charges nothing, so traced and untraced runs are
     // bit-identical.
     let traced = cluster_sim::trace::enabled(cluster_sim::trace::Category::VM)
-        .then(|| (m.rank() as u32, m.now()));
+        .then(|| (m.trace_lane(), m.now()));
     let result = run_vm_loop(m, compiled)?;
-    if let Some((rank, start)) = traced {
+    if let Some((lane, start)) = traced {
         cluster_sim::trace::record(cluster_sim::trace::TraceEvent::complete(
             cluster_sim::trace::Category::VM,
             "vm_run",
-            rank,
+            lane,
             0,
             start.as_nanos(),
             result.end.since(start).as_nanos(),

@@ -1437,6 +1437,47 @@ pub(crate) struct EngineSnapshot {
     last_arrival: Vec<u64>,
 }
 
+impl EngineSnapshot {
+    /// Order-sensitive digest of the snapshot's counters and shapes, used
+    /// by the WAL to CRC-frame snapshot entries. Not a full content hash —
+    /// it covers every counter that replay equivalence depends on, which
+    /// is enough to catch a torn or bit-flipped frame in simulation.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        fold(self.bytes);
+        fold(self.batches);
+        fold(self.records);
+        fold(self.malformed);
+        fold(self.next_detect);
+        fold(self.detect_passes);
+        fold(self.detect_clock.0.as_nanos());
+        fold(self.detect_clock.1.as_nanos());
+        fold(self.pending.len() as u64);
+        fold(self.emitted.len() as u64);
+        fold(self.log.as_ref().map_or(u64::MAX, |l| l.len() as u64));
+        fold(self.deaths.iter().flatten().count() as u64);
+        for &a in &self.last_arrival {
+            fold(a);
+        }
+        for s in &self.shards {
+            fold(s.batches);
+            fold(s.records);
+            fold(s.clock.0.as_nanos());
+            fold(s.clock.1.as_nanos());
+            fold(s.global_std.len() as u64);
+            fold(s.local_std.len() as u64);
+            fold(s.cells.len() as u64);
+            fold(s.sensor_acc.len() as u64);
+            fold(s.delivery.len() as u64);
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1708,7 +1749,8 @@ mod tests {
         assert!(wal.snapshot_entries() >= 1, "detect passes must checkpoint");
         // Crash-recover: fresh engine + last snapshot + tail replay.
         let mut recovered = Engine::new(4, sensors, config);
-        let (snap, tail) = wal.recovery_state();
+        let rec = wal.recovery_state();
+        let (snap, tail) = (rec.snapshot, rec.tail);
         let snap = snap.expect("at least one snapshot");
         assert!(!tail.is_empty(), "some batches arrive after the snapshot");
         recovered.restore(&snap);

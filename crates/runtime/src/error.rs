@@ -8,6 +8,8 @@
 //! breaking release.
 
 use crate::record::SensorKind;
+use crate::service::TenantId;
+use cluster_sim::time::Duration;
 use std::fmt;
 
 /// Errors produced by the dynamic module's analysis-side APIs.
@@ -90,12 +92,32 @@ pub enum IngestError {
     },
     /// The session was closed; no further batches are accepted.
     Closed,
+    /// The tenant exhausted its in-flight ingest budget for the current
+    /// admission window. The batch was not absorbed; resending after
+    /// `retry_after` can succeed once the window rolls over.
+    Backpressure {
+        /// Tenant whose budget is exhausted.
+        tenant: TenantId,
+        /// How long until the admission window rolls over.
+        retry_after: Duration,
+    },
 }
 
 impl IngestError {
-    /// Whether resending the same data can possibly succeed.
+    /// Whether resending the same data can possibly succeed. Exhaustive on
+    /// purpose: a new variant must decide its retry contract here or fail
+    /// to compile.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, IngestError::Corrupt { .. })
+        match self {
+            // Damaged in flight — a fresh copy can pass the CRC check.
+            IngestError::Corrupt { .. } => true,
+            // The budget window rolls over; the same bytes succeed later.
+            IngestError::Backpressure { .. } => true,
+            // Structurally invalid forever; resending cannot fix it.
+            IngestError::Malformed { .. } => false,
+            // The run is over; nothing is accepted again.
+            IngestError::Closed => false,
+        }
     }
 }
 
@@ -109,6 +131,16 @@ impl fmt::Display for IngestError {
                 write!(f, "batch names rank {rank}, but the run has {ranks} ranks")
             }
             IngestError::Closed => write!(f, "the analysis session is closed"),
+            IngestError::Backpressure {
+                tenant,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} is over its ingest budget; retry in {} us",
+                    retry_after.as_micros()
+                )
+            }
         }
     }
 }
@@ -133,8 +165,36 @@ mod tests {
 
     #[test]
     fn retryability_matches_transport_semantics() {
-        assert!(IngestError::Corrupt { rank: 0, seq: 1 }.is_retryable());
-        assert!(!IngestError::Malformed { rank: 9, ranks: 4 }.is_retryable());
-        assert!(!IngestError::Closed.is_retryable());
+        // One representative of every variant, checked through a match so
+        // adding a variant without extending this test fails to compile.
+        let every = [
+            IngestError::Corrupt { rank: 0, seq: 1 },
+            IngestError::Malformed { rank: 9, ranks: 4 },
+            IngestError::Closed,
+            IngestError::Backpressure {
+                tenant: TenantId(3),
+                retry_after: Duration::from_micros(50),
+            },
+        ];
+        for e in every {
+            let expected = match &e {
+                // Transient conditions the transport must retry.
+                IngestError::Corrupt { .. } | IngestError::Backpressure { .. } => true,
+                // Permanent rejections the transport must not resend.
+                IngestError::Malformed { .. } | IngestError::Closed => false,
+            };
+            assert_eq!(e.is_retryable(), expected, "retry contract for {e}");
+        }
+    }
+
+    #[test]
+    fn backpressure_display_names_tenant_and_deadline() {
+        let e = IngestError::Backpressure {
+            tenant: TenantId(7),
+            retry_after: Duration::from_micros(125),
+        };
+        let s = e.to_string();
+        assert!(s.contains('7'), "{s}");
+        assert!(s.contains("125"), "{s}");
     }
 }

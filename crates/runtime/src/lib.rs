@@ -43,6 +43,7 @@ pub mod matrix;
 pub mod record;
 pub mod report;
 pub mod server;
+pub mod service;
 pub mod smoothing;
 pub mod tick;
 pub mod trace;
@@ -64,10 +65,14 @@ pub use server::{
     AnalysisServer, DeliveryQuality, IngestResult, IngestSession, IngestStats, SensorSummary,
     ServerResult,
 };
+pub use service::{
+    AnalysisService, ServiceConfig, ServiceError, TenantChannel, TenantId, TenantSession,
+    TenantSpec, TenantStats,
+};
 pub use tick::SensorRuntime;
 pub use trace::{MetricsRegistry, RuntimeHealth};
 pub use transport::{
-    BatchChannel, CrashingChannel, DeathNotice, DirectChannel, FaultyChannel, RankTransport,
-    SendOutcome, TelemetryBatch, TransportConfig, TransportStats,
+    AnalysisSink, BatchChannel, CrashingChannel, DeathNotice, DirectChannel, FaultyChannel,
+    RankTransport, SendOutcome, TelemetryBatch, TransportConfig, TransportStats,
 };
 pub use wal::WriteAheadLog;

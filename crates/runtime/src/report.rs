@@ -184,6 +184,16 @@ impl VarianceReport {
                 );
             }
         }
+        if self.transport.backpressured > 0 {
+            // Unlike drops, a refused batch was delayed, not lost — this
+            // line flags an over-budget tenant, not missing findings.
+            let _ = writeln!(
+                out,
+                "admission control engaged: {} batch send(s) refused with \
+                 backpressure and retried after their window rolled over",
+                self.transport.backpressured,
+            );
+        }
         if let Some(health) = &self.health {
             health.render_into(&mut out);
         }
@@ -308,6 +318,18 @@ mod tests {
         assert!(r.contains("telemetry degraded"));
         assert!(r.contains("rank 3"));
         assert!(r.contains("10 gap(s)"));
+    }
+
+    #[test]
+    fn backpressure_is_surfaced_without_claiming_loss() {
+        let rep = sample_report();
+        assert!(!rep.render().contains("admission control"));
+        let mut rep = sample_report();
+        rep.transport.backpressured = 7;
+        let r = rep.render();
+        assert!(r.contains("admission control engaged: 7 batch send(s)"));
+        // Backpressure alone is delay, not loss.
+        assert!(!r.contains("telemetry degraded"));
     }
 
     #[test]

@@ -128,21 +128,52 @@ impl AnalysisServer {
     /// recovered server keeps journaling. Because ingest under a WAL is
     /// serialized, the recovered engine state — and hence the final
     /// [`ServerResult`] — is bitwise identical to the crash-free run's.
+    ///
+    /// The WAL handle is explicit — recovery has no process-global state,
+    /// so one process can recover any number of tenants, each from its
+    /// own log.
     pub fn recover(wal: &Arc<WriteAheadLog>) -> Result<Self, RuntimeError> {
+        let (server, _) = Self::replay_from(wal)?;
+        Ok(server.into_primary(wal))
+    }
+
+    /// Rebuild engine state from a WAL **without** attaching the log — a
+    /// read-only replay. This is what a hot standby does to stay caught
+    /// up: the replica must not journal its own replay back into the
+    /// primary's log (that would double-append every batch). Returns the
+    /// replica and the frame cursor consumed, which feeds
+    /// [`WriteAheadLog::batches_since`] for incremental catch-up.
+    pub fn replay_from(wal: &Arc<WriteAheadLog>) -> Result<(Self, usize), RuntimeError> {
         let header = wal.header().clone();
         header.config.validate()?;
         let mut engine = Engine::new(header.ranks, header.sensors, header.config);
-        let (snapshot, tail) = wal.recovery_state();
-        if let Some(snap) = snapshot {
+        let rec = wal.recovery_state();
+        if let Some(snap) = rec.snapshot {
             engine.restore(&snap);
         }
-        for (batch, arrival) in tail {
+        for (batch, arrival) in rec.tail {
             // Errors replay too: corrupt and malformed batches must
             // reproduce their counters, exactly as they did live.
             let _ = engine.ingest(batch, arrival);
         }
-        engine.attach_wal(wal.clone());
-        Ok(AnalysisServer { engine })
+        let cursor = wal.frames() - rec.dropped;
+        Ok((AnalysisServer { engine }, cursor))
+    }
+
+    /// Apply a slice of batches to a replica built by
+    /// [`AnalysisServer::replay_from`] — incremental standby catch-up.
+    pub fn apply_replay(&self, batches: Vec<(TelemetryBatch, VirtualTime)>) {
+        for (batch, arrival) in batches {
+            let _ = self.engine.ingest(batch, arrival);
+        }
+    }
+
+    /// Promote a caught-up replica: attach the WAL so the server journals
+    /// every batch it accepts from now on, exactly like a server built
+    /// with [`AnalysisServer::try_new_durable`].
+    pub fn into_primary(mut self, wal: &Arc<WriteAheadLog>) -> Self {
+        self.engine.attach_wal(wal.clone());
+        self
     }
 
     /// Open an ingest session. Sessions are cheap borrow handles; any

@@ -1,0 +1,872 @@
+//! Multi-tenant always-on analysis service.
+//!
+//! The single-run [`AnalysisServer`] analyses one job and stops; the
+//! ROADMAP north-star is a long-lived service ingesting hundreds of
+//! concurrent jobs. This module is that front door: an [`AnalysisService`]
+//! multiplexes N independent per-tenant engine shards behind the same
+//! session-shaped API, with
+//!
+//! - **tenant routing and lazy admission** — a tenant registers a
+//!   [`TenantSpec`] (rank count, sensor table, [`RuntimeConfig`]) up
+//!   front, but its engine (and WAL, when the service is durable) is only
+//!   built on first ingest;
+//! - **admission control and backpressure** — each tenant gets a bounded
+//!   batch budget per admission window, split evenly across its ranks so
+//!   refusal is a pure function of the refusing rank's own timeline; an
+//!   over-budget ingest is refused with the retryable
+//!   [`IngestError::Backpressure`], carrying how long until the window
+//!   rolls over, which the transport honors as [`SendOutcome::Busy`] —
+//!   a delay, never a drop;
+//! - **fair drain** — fairness is structural: every tenant has its own
+//!   engine with its own locks, and the service front door never holds a
+//!   cross-tenant lock across an engine ingest, so a hot tenant saturates
+//!   only its own shard and its own budget;
+//! - **per-tenant WAL isolation** — one [`WriteAheadLog`] per tenant, so
+//!   recovering tenant A never replays a byte of tenant B;
+//! - **hot-standby failover** — a standby replica set replays each
+//!   tenant's WAL stream ([`AnalysisServer::replay_from`] + incremental
+//!   [`WriteAheadLog::batches_since`]); killing the primary promotes the
+//!   replicas ([`AnalysisServer::into_primary`]), and because replay is a
+//!   faithful re-execution of the journaled ingest order, every promoted
+//!   tenant's [`ServerResult`] is bitwise-identical to the crash-free
+//!   run's.
+//!
+//! # What survives a failover
+//!
+//! Engine state is rebuilt from the WAL. The *admission ledger* (window
+//! counters, latency samples) lives in the service front door, which in a
+//! real deployment is the replicated routing tier — it survives the
+//! engine-process crash by construction. Because the budget is split per
+//! rank and a refused batch is delayed (retried after the window) rather
+//! than dropped, admission decisions are a deterministic function of each
+//! rank's own virtual timeline: even a tenant deep in backpressure
+//! produces the same journaled ingest stream on every run, so crash /
+//! crash-free equivalence holds bitwise for hot tenants too.
+//!
+//! [`SendOutcome::Busy`]: crate::transport::SendOutcome::Busy
+
+use crate::config::RuntimeConfig;
+use crate::engine::{IngestReceipt, VarianceAlert};
+use crate::error::{IngestError, RuntimeError};
+use crate::record::SensorInfo;
+use crate::server::{AnalysisServer, ServerResult};
+use crate::transport::{AnalysisSink, BatchChannel, SendOutcome, TelemetryBatch};
+use crate::wal::WriteAheadLog;
+use cluster_sim::fault::{FaultPlan, SendFate};
+use cluster_sim::time::{Duration, VirtualTime};
+use cluster_sim::trace::{self, Category, TraceEvent, SERVER_LANE};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Opaque tenant identity; routing key for every service operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// What one tenant's analysis needs: its own rank count, sensor table and
+/// runtime configuration — tenants are fully independent runs.
+#[derive(Clone)]
+pub struct TenantSpec {
+    /// MPI ranks in this tenant's job.
+    pub ranks: usize,
+    /// The tenant's sensor table.
+    pub sensors: Vec<SensorInfo>,
+    /// The tenant's runtime configuration.
+    pub config: RuntimeConfig,
+}
+
+/// Service-level tunables.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Maximum tenants admitted; registration past this is refused.
+    pub max_tenants: usize,
+    /// Batches each tenant may ingest per admission window; 0 disables
+    /// admission control (unlimited).
+    pub tenant_batch_budget: u32,
+    /// Length of the admission window the budget applies to.
+    pub budget_window: Duration,
+    /// Whether each tenant journals to its own write-ahead log. Required
+    /// for standby failover.
+    pub durable: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_tenants: 64,
+            tenant_batch_budget: 0,
+            budget_window: Duration::from_millis(100),
+            durable: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Cap the tenant count (builder style).
+    pub fn with_max_tenants(mut self, max: usize) -> Self {
+        self.max_tenants = max;
+        self
+    }
+
+    /// Set the per-tenant batch budget per window (builder style).
+    pub fn with_batch_budget(mut self, budget: u32) -> Self {
+        self.tenant_batch_budget = budget;
+        self
+    }
+
+    /// Set the admission-window length (builder style).
+    pub fn with_budget_window(mut self, window: Duration) -> Self {
+        self.budget_window = window;
+        self
+    }
+
+    /// Journal every tenant to its own WAL (builder style).
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
+    }
+}
+
+/// Why a service-level operation was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The tenant cap is reached.
+    AdmissionDenied {
+        /// Tenants currently registered.
+        tenants: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The tenant id is already registered.
+    DuplicateTenant(TenantId),
+    /// No tenant with this id is registered.
+    UnknownTenant(TenantId),
+    /// The tenant's [`RuntimeConfig`] failed validation.
+    InvalidTenantConfig {
+        /// The offending tenant.
+        tenant: TenantId,
+        /// What was wrong.
+        source: RuntimeError,
+    },
+    /// Standby failover needs a durable service.
+    NotDurable,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::AdmissionDenied { tenants, max } => {
+                write!(
+                    f,
+                    "admission denied: {tenants} tenants registered, cap {max}"
+                )
+            }
+            ServiceError::DuplicateTenant(t) => write!(f, "tenant {t} is already registered"),
+            ServiceError::UnknownTenant(t) => write!(f, "no tenant {t} is registered"),
+            ServiceError::InvalidTenantConfig { tenant, source } => {
+                write!(f, "tenant {tenant} config invalid: {source}")
+            }
+            ServiceError::NotDurable => {
+                write!(f, "standby failover requires a durable service")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Front-door admission and observability counters for one tenant.
+#[derive(Default)]
+struct Ledger {
+    /// Per-rank admission windows: `(window index, batches admitted in
+    /// it)`, indexed by sending rank. The tenant's budget is divided
+    /// evenly among its ranks so that refusal is a pure function of the
+    /// refusing rank's *own* arrival timeline — a shared tenant-wide
+    /// counter would make "which rank's batch gets refused" depend on the
+    /// cross-rank arrival race, and (because refusals feed back into the
+    /// sender's virtual clock) would make degraded runs
+    /// non-reproducible.
+    rank_windows: Vec<(u64, u32)>,
+    accepted: u64,
+    backpressured: u64,
+    /// The instant the tenant's ingest front door is busy until — the
+    /// queueing model behind the latency samples.
+    free_at: VirtualTime,
+    /// Virtual ingest latency samples (arrival → front-door completion).
+    latencies: Vec<u64>,
+}
+
+/// One tenant's slot in the service: its live engine (if admitted), its
+/// WAL, and its admission ledger. The ledger lock is never held across an
+/// engine ingest, and no lock spans two tenants.
+struct TenantShard {
+    id: TenantId,
+    spec: TenantSpec,
+    /// Live server, built lazily on first ingest; swapped on failover.
+    live: Mutex<Option<Arc<AnalysisServer>>>,
+    /// The tenant's own journal (durable services only).
+    wal: Mutex<Option<Arc<WriteAheadLog>>>,
+    ledger: Mutex<Ledger>,
+}
+
+/// A standby replica of one tenant, kept caught up by WAL replay.
+struct Replica {
+    server: AnalysisServer,
+    /// Frames of the tenant's WAL already applied.
+    cursor: usize,
+}
+
+/// Observable per-tenant service counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Batches admitted past the front door.
+    pub accepted: u64,
+    /// Batches refused with [`IngestError::Backpressure`].
+    pub backpressured: u64,
+    /// 99th-percentile virtual ingest latency (arrival → front-door
+    /// completion), zero until samples exist.
+    pub p99_ingest_latency: Duration,
+}
+
+/// The multi-tenant analysis service. Shared across rank threads with an
+/// `Arc`; every operation routes by [`TenantId`].
+pub struct AnalysisService {
+    config: ServiceConfig,
+    tenants: Mutex<BTreeMap<TenantId, Arc<TenantShard>>>,
+    /// Standby replicas, present once [`AnalysisService::attach_standby`]
+    /// ran. Promoted wholesale by [`AnalysisService::fail_over`].
+    standby: Mutex<Option<BTreeMap<TenantId, Replica>>>,
+    failed_over: AtomicBool,
+}
+
+impl AnalysisService {
+    /// Create a service.
+    pub fn new(config: ServiceConfig) -> Self {
+        AnalysisService {
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+            standby: Mutex::new(None),
+            failed_over: AtomicBool::new(false),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Register a tenant. Admission control happens here: past
+    /// `max_tenants` the service refuses, and an invalid tenant config is
+    /// rejected up front so the lazy engine build cannot fail later.
+    pub fn register(&self, id: TenantId, spec: TenantSpec) -> Result<(), ServiceError> {
+        spec.config
+            .validate()
+            .map_err(|source| ServiceError::InvalidTenantConfig { tenant: id, source })?;
+        let mut tenants = self.tenants.lock();
+        if tenants.contains_key(&id) {
+            return Err(ServiceError::DuplicateTenant(id));
+        }
+        if tenants.len() >= self.config.max_tenants {
+            return Err(ServiceError::AdmissionDenied {
+                tenants: tenants.len(),
+                max: self.config.max_tenants,
+            });
+        }
+        tenants.insert(
+            id,
+            Arc::new(TenantShard {
+                id,
+                spec,
+                live: Mutex::new(None),
+                wal: Mutex::new(None),
+                ledger: Mutex::new(Ledger::default()),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Registered tenants, in id order.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.tenants.lock().keys().copied().collect()
+    }
+
+    fn shard(&self, id: TenantId) -> Option<Arc<TenantShard>> {
+        self.tenants.lock().get(&id).cloned()
+    }
+
+    /// The tenant's live server (post-failover: the promoted one), built
+    /// on demand — reading results forces admission just like ingest does.
+    pub fn server(&self, id: TenantId) -> Option<Arc<AnalysisServer>> {
+        let shard = self.shard(id)?;
+        Some(self.live_server(&shard))
+    }
+
+    /// The tenant's WAL handle, if the service is durable and the tenant
+    /// has been admitted.
+    pub fn wal(&self, id: TenantId) -> Option<Arc<WriteAheadLog>> {
+        self.shard(id).and_then(|s| s.wal.lock().clone())
+    }
+
+    /// Get or lazily build the tenant's engine (and WAL when durable).
+    fn live_server(&self, shard: &TenantShard) -> Arc<AnalysisServer> {
+        let mut live = shard.live.lock();
+        if let Some(server) = live.as_ref() {
+            return server.clone();
+        }
+        let spec = &shard.spec;
+        let server = if self.config.durable {
+            let (server, wal) = AnalysisServer::try_new_durable(
+                spec.ranks,
+                spec.sensors.clone(),
+                spec.config.clone(),
+            )
+            .expect("tenant config validated at register");
+            *shard.wal.lock() = Some(wal);
+            server
+        } else {
+            AnalysisServer::try_new(spec.ranks, spec.sensors.clone(), spec.config.clone())
+                .expect("tenant config validated at register")
+        };
+        let server = Arc::new(server);
+        *live = Some(server.clone());
+        server
+    }
+
+    /// Ingest one batch for `tenant`. The admission window is checked
+    /// first — an over-budget rank (the tenant's budget is split evenly
+    /// per rank, each with its own window cursor) gets the retryable
+    /// [`IngestError::Backpressure`] with the time until its window rolls
+    /// over, and the batch never reaches (or is journaled by) its engine.
+    /// An unregistered tenant gets [`IngestError::Closed`]: no session.
+    pub fn ingest(
+        &self,
+        tenant: TenantId,
+        batch: TelemetryBatch,
+        arrival: VirtualTime,
+    ) -> Result<IngestReceipt, IngestError> {
+        let Some(shard) = self.shard(tenant) else {
+            return Err(IngestError::Closed);
+        };
+        let budget = self.config.tenant_batch_budget;
+        if budget > 0 {
+            let window_ns = self.config.budget_window.as_nanos().max(1);
+            // Each rank gets an even share of the tenant's window budget
+            // and its own window cursor; see [`Ledger::rank_windows`].
+            let share = (budget / shard.spec.ranks.max(1) as u32).max(1);
+            let mut ledger = shard.ledger.lock();
+            let rank = batch.rank;
+            if ledger.rank_windows.len() <= rank {
+                ledger.rank_windows.resize(rank + 1, (0, 0));
+            }
+            let window = arrival.as_nanos() / window_ns;
+            let slot = &mut ledger.rank_windows[rank];
+            if window > slot.0 {
+                *slot = (window, 0);
+            }
+            if slot.1 >= share {
+                let window_end = (slot.0 + 1) * window_ns;
+                ledger.backpressured += 1;
+                let retry_after =
+                    Duration::from_nanos(window_end.saturating_sub(arrival.as_nanos()).max(1));
+                return Err(IngestError::Backpressure {
+                    tenant,
+                    retry_after,
+                });
+            }
+            slot.1 += 1;
+        }
+        // Ledger lock released: the engine ingest below runs without any
+        // front-door lock, so tenants never serialize on each other.
+        let server = self.live_server(&shard);
+        let receipt = server.session().ingest(batch, arrival)?;
+        let cost = shard
+            .spec
+            .config
+            .server_record_cost
+            .mul_f64(receipt.records.max(1) as f64);
+        let mut ledger = shard.ledger.lock();
+        let start = ledger.free_at.max(arrival);
+        let done = start + cost;
+        ledger.free_at = done;
+        ledger.accepted += 1;
+        ledger.latencies.push((done - arrival).as_nanos());
+        Ok(receipt)
+    }
+
+    /// Drain one tenant's detection-stream alerts.
+    pub fn poll_events(&self, tenant: TenantId) -> Vec<VarianceAlert> {
+        self.server(tenant)
+            .map(|s| s.poll_events())
+            .unwrap_or_default()
+    }
+
+    /// Seal one tenant's engine and read its final result. Other tenants
+    /// are untouched — closing is per-tenant, the service stays up.
+    pub fn close_tenant(
+        &self,
+        tenant: TenantId,
+        run_end: VirtualTime,
+    ) -> Result<ServerResult, ServiceError> {
+        let server = self
+            .server(tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant))?;
+        Ok(server.session().close(run_end))
+    }
+
+    /// Front-door counters for one tenant.
+    pub fn stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        let shard = self.shard(tenant)?;
+        let ledger = shard.ledger.lock();
+        let p99 = if ledger.latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            let mut sorted = ledger.latencies.clone();
+            sorted.sort_unstable();
+            let idx = (sorted.len() - 1) * 99 / 100;
+            Duration::from_nanos(sorted[idx])
+        };
+        Some(TenantStats {
+            accepted: ledger.accepted,
+            backpressured: ledger.backpressured,
+            p99_ingest_latency: p99,
+        })
+    }
+
+    /// Attach a hot standby: from now on the service keeps (or can build)
+    /// a WAL-replay replica per tenant, and [`AnalysisService::fail_over`]
+    /// promotes them. Requires a durable service — there is nothing to
+    /// replay otherwise.
+    pub fn attach_standby(&self) -> Result<(), ServiceError> {
+        if !self.config.durable {
+            return Err(ServiceError::NotDurable);
+        }
+        let mut standby = self.standby.lock();
+        if standby.is_none() {
+            *standby = Some(BTreeMap::new());
+        }
+        Ok(())
+    }
+
+    /// Whether a standby is attached.
+    pub fn standby_attached(&self) -> bool {
+        self.standby.lock().is_some()
+    }
+
+    /// Incrementally catch the standby up: for every admitted tenant,
+    /// ensure a replica exists (initial [`AnalysisServer::replay_from`])
+    /// and apply the WAL frames journaled since its cursor. Cheap to call
+    /// often — a caught-up tenant applies nothing.
+    pub fn catch_up_standby(&self) -> Result<(), ServiceError> {
+        let mut guard = self.standby.lock();
+        let standby = guard.as_mut().ok_or(ServiceError::NotDurable)?;
+        let shards: Vec<Arc<TenantShard>> = self.tenants.lock().values().cloned().collect();
+        for shard in shards {
+            let Some(wal) = shard.wal.lock().clone() else {
+                continue; // not admitted yet: nothing journaled
+            };
+            match standby.get_mut(&shard.id) {
+                None => {
+                    let (server, cursor) = AnalysisServer::replay_from(&wal)
+                        .expect("tenant config validated at register");
+                    standby.insert(shard.id, Replica { server, cursor });
+                }
+                Some(replica) => {
+                    let (batches, cursor) = wal.batches_since(replica.cursor);
+                    replica.server.apply_replay(batches);
+                    replica.cursor = cursor;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the primary has been killed and the standby promoted.
+    pub fn failed_over(&self) -> bool {
+        self.failed_over.load(Ordering::SeqCst)
+    }
+
+    /// Kill the primary and promote the standby, once. Every admitted
+    /// tenant's live engine is discarded wholesale (in-memory state dies
+    /// with the process); its replica does a final catch-up from the
+    /// tenant's own WAL, is promoted ([`AnalysisServer::into_primary`])
+    /// and starts journaling. Per-tenant WAL isolation means promoting
+    /// tenant A replays zero bytes of tenant B. Admission ledgers live in
+    /// the front door and survive.
+    pub fn fail_over(&self, now: VirtualTime) -> Result<(), ServiceError> {
+        if self.failed_over.swap(true, Ordering::SeqCst) {
+            return Ok(()); // already promoted
+        }
+        let mut guard = self.standby.lock();
+        let standby = guard.as_mut().ok_or(ServiceError::NotDurable)?;
+        if trace::enabled(Category::ENGINE) {
+            trace::record(TraceEvent::instant(
+                Category::ENGINE,
+                "service_failover",
+                SERVER_LANE,
+                now.as_nanos(),
+                self.tenants.lock().len() as u64,
+                0,
+            ));
+        }
+        let shards: Vec<Arc<TenantShard>> = self.tenants.lock().values().cloned().collect();
+        for shard in shards {
+            let Some(wal) = shard.wal.lock().clone() else {
+                continue; // never admitted: nothing to lose or promote
+            };
+            let replica = match standby.remove(&shard.id) {
+                Some(mut replica) => {
+                    let (batches, cursor) = wal.batches_since(replica.cursor);
+                    replica.server.apply_replay(batches);
+                    replica.cursor = cursor;
+                    replica.server
+                }
+                // Admitted after the last catch-up: cold replay.
+                None => {
+                    AnalysisServer::replay_from(&wal)
+                        .expect("tenant config validated at register")
+                        .0
+                }
+            };
+            let promoted = Arc::new(replica.into_primary(&wal));
+            *shard.live.lock() = Some(promoted);
+            if trace::enabled(Category::ENGINE) {
+                trace::record(TraceEvent::instant(
+                    Category::ENGINE,
+                    "tenant_promote",
+                    SERVER_LANE,
+                    now.as_nanos(),
+                    shard.id.0 as u64,
+                    wal.frames() as u64,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Open a session-shaped handle for one tenant, mirroring
+    /// [`crate::IngestSession`] so single-run call sites port over by
+    /// adding a tenant id.
+    pub fn session(&self, tenant: TenantId) -> Result<TenantSession<'_>, ServiceError> {
+        if self.shard(tenant).is_none() {
+            return Err(ServiceError::UnknownTenant(tenant));
+        }
+        Ok(TenantSession {
+            service: self,
+            tenant,
+        })
+    }
+}
+
+/// Borrowed per-tenant session handle; same flow as
+/// [`crate::IngestSession`] — ingest, poll, close.
+pub struct TenantSession<'a> {
+    service: &'a AnalysisService,
+    tenant: TenantId,
+}
+
+impl TenantSession<'_> {
+    /// The tenant this session routes to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Ingest one batch (admission-controlled).
+    pub fn ingest(
+        &self,
+        batch: TelemetryBatch,
+        arrival: VirtualTime,
+    ) -> Result<IngestReceipt, IngestError> {
+        self.service.ingest(self.tenant, batch, arrival)
+    }
+
+    /// Drain this tenant's detection alerts.
+    pub fn poll_events(&self) -> Vec<VarianceAlert> {
+        self.service.poll_events(self.tenant)
+    }
+
+    /// Seal this tenant and read its final result.
+    pub fn close(self, run_end: VirtualTime) -> ServerResult {
+        self.service
+            .close_tenant(self.tenant, run_end)
+            .expect("session implies a registered tenant")
+    }
+}
+
+/// The transport-facing route from one tenant's ranks into the service:
+/// a [`BatchChannel`] that consults a [`FaultPlan`] per attempt (drops,
+/// duplicates, delays, corruption, outages — same dice as
+/// [`crate::transport::FaultyChannel`]), maps admission refusals to
+/// [`SendOutcome::Busy`], and fires the service failover when the plan
+/// kills the primary.
+pub struct TenantChannel {
+    service: Arc<AnalysisService>,
+    tenant: TenantId,
+    plan: FaultPlan,
+}
+
+impl TenantChannel {
+    /// Route `tenant`'s batches into `service` under `plan`.
+    pub fn new(service: Arc<AnalysisService>, tenant: TenantId, plan: FaultPlan) -> Self {
+        TenantChannel {
+            service,
+            tenant,
+            plan,
+        }
+    }
+
+    /// The service behind this route.
+    pub fn service(&self) -> Arc<AnalysisService> {
+        self.service.clone()
+    }
+
+    fn ingest_once(&self, batch: TelemetryBatch, arrival: VirtualTime) -> SendOutcome {
+        match self.service.ingest(self.tenant, batch, arrival) {
+            Ok(_) => SendOutcome::Acked,
+            Err(IngestError::Backpressure { retry_after, .. }) => SendOutcome::Busy { retry_after },
+            Err(e) if e.is_retryable() => SendOutcome::NoAck,
+            Err(_) => SendOutcome::Acked,
+        }
+    }
+}
+
+impl BatchChannel for TenantChannel {
+    fn send(&self, batch: &TelemetryBatch, now: VirtualTime, attempt: u32) -> SendOutcome {
+        if let Some(crash_at) = self.plan.server_crash() {
+            if now >= crash_at && !self.service.failed_over() {
+                // The primary dies at its planned instant; the first send
+                // to observe that promotes the standby.
+                let _ = self.service.fail_over(crash_at);
+            }
+        }
+        match self.plan.fate(batch.rank, batch.seq, attempt, now) {
+            SendFate::Unreachable => SendOutcome::Unreachable,
+            SendFate::Dropped => SendOutcome::NoAck,
+            SendFate::Delivered {
+                copies,
+                delay,
+                corrupt,
+            } => {
+                let arrival = now + delay;
+                if corrupt {
+                    let _ = self
+                        .service
+                        .ingest(self.tenant, batch.corrupted_copy(), arrival);
+                    return SendOutcome::NoAck;
+                }
+                let mut outcome = SendOutcome::NoAck;
+                for _ in 0..copies.max(1) {
+                    outcome = self.ingest_once(batch.clone(), arrival);
+                }
+                outcome
+            }
+        }
+    }
+}
+
+impl AnalysisSink for TenantChannel {
+    fn server(&self) -> Arc<AnalysisServer> {
+        self.service
+            .server(self.tenant)
+            .expect("TenantChannel implies a registered tenant")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynrules::Bucket;
+    use crate::record::{SensorKind, SliceRecord};
+    use vsensor_lang::SensorId;
+
+    fn spec(ranks: usize) -> TenantSpec {
+        TenantSpec {
+            ranks,
+            sensors: vec![SensorInfo {
+                sensor: SensorId(0),
+                kind: SensorKind::Computation,
+                process_invariant: true,
+                location: "test:0".into(),
+            }],
+            config: RuntimeConfig::free_probes(),
+        }
+    }
+
+    fn batch(rank: usize, seq: u64, t: VirtualTime) -> TelemetryBatch {
+        TelemetryBatch::new(
+            rank,
+            seq,
+            t,
+            vec![SliceRecord {
+                sensor: SensorId(0),
+                slice: seq,
+                avg: Duration::from_micros(10 + seq),
+                count: 1,
+                bucket: Bucket(0),
+            }],
+        )
+    }
+
+    #[test]
+    fn admission_cap_and_duplicates_are_refused() {
+        let svc = AnalysisService::new(ServiceConfig::default().with_max_tenants(2));
+        svc.register(TenantId(0), spec(1)).unwrap();
+        svc.register(TenantId(1), spec(1)).unwrap();
+        assert_eq!(
+            svc.register(TenantId(1), spec(1)),
+            Err(ServiceError::DuplicateTenant(TenantId(1)))
+        );
+        assert_eq!(
+            svc.register(TenantId(2), spec(1)),
+            Err(ServiceError::AdmissionDenied { tenants: 2, max: 2 })
+        );
+        assert_eq!(svc.tenants(), vec![TenantId(0), TenantId(1)]);
+    }
+
+    #[test]
+    fn unknown_tenant_has_no_session() {
+        let svc = AnalysisService::new(ServiceConfig::default());
+        let err = svc
+            .ingest(
+                TenantId(9),
+                batch(0, 0, VirtualTime::ZERO),
+                VirtualTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, IngestError::Closed);
+        assert!(matches!(
+            svc.session(TenantId(9)),
+            Err(ServiceError::UnknownTenant(TenantId(9)))
+        ));
+    }
+
+    #[test]
+    fn over_budget_tenant_gets_retryable_backpressure_with_rollover_hint() {
+        let window = Duration::from_micros(100);
+        let svc = AnalysisService::new(
+            ServiceConfig::default()
+                .with_batch_budget(2)
+                .with_budget_window(window),
+        );
+        let t = TenantId(0);
+        svc.register(t, spec(1)).unwrap();
+        let at = VirtualTime::from_micros(10);
+        svc.ingest(t, batch(0, 0, at), at).unwrap();
+        svc.ingest(t, batch(0, 1, at), at).unwrap();
+        let err = svc.ingest(t, batch(0, 2, at), at).unwrap_err();
+        assert!(err.is_retryable(), "backpressure must be retryable");
+        let IngestError::Backpressure {
+            tenant,
+            retry_after,
+        } = err
+        else {
+            panic!("expected backpressure, got {err}");
+        };
+        assert_eq!(tenant, t);
+        // Window is [0, 100us); arrival at 10us → rolls over in 90us.
+        assert_eq!(retry_after, Duration::from_micros(90));
+        // After the window rolls over, the same tenant is admitted again.
+        let later = at + retry_after;
+        svc.ingest(t, batch(0, 2, later), later).unwrap();
+        let stats = svc.stats(t).unwrap();
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.backpressured, 1);
+    }
+
+    #[test]
+    fn hot_tenant_budget_does_not_touch_its_neighbor() {
+        let svc = AnalysisService::new(
+            ServiceConfig::default()
+                .with_batch_budget(1)
+                .with_budget_window(Duration::from_millis(1)),
+        );
+        let hot = TenantId(0);
+        let calm = TenantId(1);
+        svc.register(hot, spec(1)).unwrap();
+        svc.register(calm, spec(1)).unwrap();
+        let at = VirtualTime::from_micros(1);
+        svc.ingest(hot, batch(0, 0, at), at).unwrap();
+        for seq in 1..5 {
+            assert!(svc.ingest(hot, batch(0, seq, at), at).is_err());
+        }
+        // The neighbor's budget is its own.
+        svc.ingest(calm, batch(0, 0, at), at).unwrap();
+        assert_eq!(svc.stats(calm).unwrap().backpressured, 0);
+        assert_eq!(svc.stats(hot).unwrap().backpressured, 4);
+    }
+
+    #[test]
+    fn tenant_wals_are_isolated() {
+        let svc = AnalysisService::new(ServiceConfig::default().durable());
+        let a = TenantId(0);
+        let b = TenantId(1);
+        svc.register(a, spec(1)).unwrap();
+        svc.register(b, spec(1)).unwrap();
+        let at = VirtualTime::from_micros(5);
+        svc.ingest(a, batch(0, 0, at), at).unwrap();
+        svc.ingest(a, batch(0, 1, at), at).unwrap();
+        svc.ingest(b, batch(0, 0, at), at).unwrap();
+        // One journal per tenant, each holding only its own batches.
+        assert_eq!(svc.wal(a).unwrap().batch_entries(), 2);
+        assert_eq!(svc.wal(b).unwrap().batch_entries(), 1);
+        // Recovering A replays A's log only; B's journal is untouched.
+        let recovered = AnalysisServer::recover(&svc.wal(a).unwrap()).unwrap();
+        let result = recovered.session().close(VirtualTime::from_millis(1));
+        assert_eq!(result.batches, 2);
+    }
+
+    #[test]
+    fn failover_promotes_standby_bitwise_identically() {
+        let run = |crash: bool| -> ServerResult {
+            let svc = Arc::new(AnalysisService::new(ServiceConfig::default().durable()));
+            let t = TenantId(0);
+            svc.register(t, spec(2)).unwrap();
+            svc.attach_standby().unwrap();
+            let end = VirtualTime::from_millis(10);
+            for seq in 0..20u64 {
+                let at = VirtualTime::from_micros(50 * (seq + 1));
+                for rank in 0..2 {
+                    svc.ingest(t, batch(rank, seq, at), at).unwrap();
+                }
+                if seq == 7 {
+                    svc.catch_up_standby().unwrap();
+                }
+                if crash && seq == 13 {
+                    svc.fail_over(at).unwrap();
+                }
+            }
+            svc.close_tenant(t, end).unwrap()
+        };
+        let plain = run(false);
+        let failed = run(true);
+        assert_eq!(plain.batches, failed.batches);
+        assert_eq!(plain.records, failed.records);
+        assert_eq!(plain.bytes_received, failed.bytes_received);
+        for (kind, matrix) in &plain.matrices {
+            let other = &failed.matrices[kind];
+            assert_eq!(matrix.ranks(), other.ranks());
+            assert_eq!(matrix.bins(), other.bins());
+            for rank in 0..matrix.ranks() {
+                for bin in 0..matrix.bins() {
+                    let a = matrix.cell_raw(rank, bin).map(|(p, n)| (p.to_bits(), n));
+                    let b = other.cell_raw(rank, bin).map(|(p, n)| (p.to_bits(), n));
+                    assert_eq!(a, b, "cell ({rank}, {bin}) of {kind:?} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standby_requires_durability() {
+        let svc = AnalysisService::new(ServiceConfig::default());
+        assert_eq!(svc.attach_standby(), Err(ServiceError::NotDurable));
+    }
+}

@@ -25,15 +25,17 @@ use cluster_sim::trace::{self, Category, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Record a transport-category instant for `rank`. Pure observation: the
-/// virtual clock and the transport's behaviour are unaffected.
+/// Record a transport-category instant on `lane`. Pure observation: the
+/// virtual clock and the transport's behaviour are unaffected. The lane is
+/// the sending rank's trace lane — `rank` for a solo run, `lane_base +
+/// rank` for a tenant in a multi-tenant run.
 #[inline]
-fn trace_instant(rank: usize, name: &'static str, at: VirtualTime, seq: u64, attempt: u64) {
+fn trace_instant(lane: u32, name: &'static str, at: VirtualTime, seq: u64, attempt: u64) {
     if trace::enabled(Category::TRANSPORT) {
         trace::record(TraceEvent::instant(
             Category::TRANSPORT,
             name,
-            rank as u32,
+            lane,
             at.as_nanos(),
             seq,
             attempt,
@@ -140,6 +142,16 @@ pub enum SendOutcome {
     NoAck,
     /// The send failed immediately — the server is unreachable.
     Unreachable,
+    /// The server refused the batch under admission control: the tenant is
+    /// over its ingest budget for the current window. Unlike [`NoAck`]
+    /// this is an *explicit* nack carrying the server's own retry hint, so
+    /// the sender retries at `retry_after` instead of its ack timeout.
+    ///
+    /// [`NoAck`]: SendOutcome::NoAck
+    Busy {
+        /// Server-suggested wait before resending.
+        retry_after: Duration,
+    },
 }
 
 /// A fallible path from a rank to the analysis server.
@@ -150,6 +162,16 @@ pub enum SendOutcome {
 pub trait BatchChannel: Send + Sync {
     /// Transmit one batch at virtual instant `now`.
     fn send(&self, batch: &TelemetryBatch, now: VirtualTime, attempt: u32) -> SendOutcome;
+}
+
+/// A [`BatchChannel`] that can also surface the analysis server whose
+/// results the run should be read from — for fault-injecting channels,
+/// the *currently live* server (post-crash: the recovered or promoted
+/// one). The instrumented-run driver is generic over this, so single-server
+/// channels and multi-tenant service routes share one code path.
+pub trait AnalysisSink: BatchChannel {
+    /// The server holding this sink's analysis state right now.
+    fn server(&self) -> Arc<AnalysisServer>;
 }
 
 /// The lossless channel: every batch is ingested immediately and acked.
@@ -175,6 +197,12 @@ impl BatchChannel for DirectChannel {
             Err(e) if e.is_retryable() => SendOutcome::NoAck,
             Err(_) => SendOutcome::Acked,
         }
+    }
+}
+
+impl AnalysisSink for DirectChannel {
+    fn server(&self) -> Arc<AnalysisServer> {
+        self.server.clone()
     }
 }
 
@@ -224,6 +252,12 @@ impl BatchChannel for FaultyChannel {
                 outcome
             }
         }
+    }
+}
+
+impl AnalysisSink for FaultyChannel {
+    fn server(&self) -> Arc<AnalysisServer> {
+        self.server.clone()
     }
 }
 
@@ -348,6 +382,12 @@ impl BatchChannel for CrashingChannel {
     }
 }
 
+impl AnalysisSink for CrashingChannel {
+    fn server(&self) -> Arc<AnalysisServer> {
+        CrashingChannel::server(self)
+    }
+}
+
 /// Transport tunables, extracted from [`RuntimeConfig`].
 #[derive(Clone, Debug)]
 pub struct TransportConfig {
@@ -400,6 +440,9 @@ pub struct TransportStats {
     pub dropped_exhausted: u64,
     /// Immediate send failures (server unreachable).
     pub unreachable_errors: u64,
+    /// Explicit admission-control refusals (`SendOutcome::Busy`): the
+    /// server told this sender its tenant is over budget.
+    pub backpressured: u64,
     /// Records inside all dropped batches.
     pub records_dropped: u64,
 }
@@ -414,6 +457,7 @@ impl TransportStats {
         self.dropped_overflow += other.dropped_overflow;
         self.dropped_exhausted += other.dropped_exhausted;
         self.unreachable_errors += other.unreachable_errors;
+        self.backpressured += other.backpressured;
         self.records_dropped += other.records_dropped;
     }
 
@@ -442,6 +486,9 @@ struct Pending {
 /// hang or crash it.
 pub struct RankTransport {
     rank: usize,
+    /// Trace lane for this endpoint's events — `rank` for a solo run,
+    /// `lane_base + rank` for a tenant in a multi-tenant run.
+    lane: u32,
     channel: Arc<dyn BatchChannel>,
     cfg: TransportConfig,
     next_seq: u64,
@@ -461,6 +508,7 @@ impl RankTransport {
     pub fn new(rank: usize, channel: Arc<dyn BatchChannel>, cfg: TransportConfig) -> Self {
         RankTransport {
             rank,
+            lane: rank as u32,
             channel,
             cfg,
             next_seq: 0,
@@ -470,6 +518,19 @@ impl RankTransport {
             death_notice: None,
             stats: TransportStats::default(),
         }
+    }
+
+    /// Move this endpoint's trace events to a different lane (builder
+    /// style). Multi-tenant runs give each tenant a disjoint lane range so
+    /// one timeline shows every tenant's transport without collisions.
+    pub fn with_trace_lane(mut self, lane: u32) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Non-consuming form of [`RankTransport::with_trace_lane`].
+    pub fn set_trace_lane(&mut self, lane: u32) {
+        self.lane = lane;
     }
 
     /// Set (or clear) the death gossip attached to every batch built from
@@ -492,7 +553,7 @@ impl RankTransport {
                 let victim = self.queue.pop_front().expect("len checked");
                 self.stats.dropped_overflow += 1;
                 self.stats.records_dropped += victim.records.len() as u64;
-                trace_instant(self.rank, "drop", now, victim.seq, 0);
+                trace_instant(self.lane, "drop", now, victim.seq, 0);
             }
         }
         self.pump(now)
@@ -511,7 +572,7 @@ impl RankTransport {
             if p.next_retry_at <= now {
                 self.stats.retries += 1;
                 trace_instant(
-                    self.rank,
+                    self.lane,
                     "retry",
                     now + cost,
                     p.batch.seq,
@@ -565,12 +626,12 @@ impl RankTransport {
         for batch in self.queue.drain(..) {
             self.stats.dropped_exhausted += 1;
             self.stats.records_dropped += batch.records.len() as u64;
-            trace_instant(self.rank, "drop", cursor, batch.seq, 0);
+            trace_instant(self.lane, "drop", cursor, batch.seq, 0);
         }
         for p in self.pending.drain(..) {
             self.stats.dropped_exhausted += 1;
             self.stats.records_dropped += p.batch.records.len() as u64;
-            trace_instant(self.rank, "drop", cursor, p.batch.seq, p.attempts as u64);
+            trace_instant(self.lane, "drop", cursor, p.batch.seq, p.attempts as u64);
         }
         cost
     }
@@ -592,25 +653,48 @@ impl RankTransport {
         now: VirtualTime,
     ) -> Duration {
         self.stats.send_attempts += 1;
-        trace_instant(self.rank, "send", now, batch.seq, attempts_before as u64);
+        trace_instant(self.lane, "send", now, batch.seq, attempts_before as u64);
         let outcome = self.channel.send(&batch, now, attempts_before);
         let attempts = attempts_before + 1;
         match outcome {
             SendOutcome::Acked => {
                 self.stats.acked += 1;
-                trace_instant(self.rank, "ack", now, batch.seq, attempts as u64);
+                trace_instant(self.lane, "ack", now, batch.seq, attempts as u64);
             }
             SendOutcome::NoAck => {
-                trace_instant(self.rank, "noack", now, batch.seq, attempts as u64);
+                trace_instant(self.lane, "noack", now, batch.seq, attempts as u64);
                 let at = now + self.cfg.batch_timeout + self.backoff(attempts);
                 self.schedule_retry(batch, attempts, at);
             }
             SendOutcome::Unreachable => {
                 self.stats.unreachable_errors += 1;
-                trace_instant(self.rank, "unreachable", now, batch.seq, attempts as u64);
+                trace_instant(self.lane, "unreachable", now, batch.seq, attempts as u64);
                 let backoff = self.backoff(attempts);
                 self.circuit_open_until = self.circuit_open_until.max(now + backoff);
                 self.schedule_retry(batch, attempts, now + backoff);
+            }
+            SendOutcome::Busy { retry_after } => {
+                self.stats.backpressured += 1;
+                trace_instant(self.lane, "busy", now, batch.seq, attempts as u64);
+                // Honor the server's hint: retry once the admission window
+                // rolls over (plus backoff so repeat refusals space out).
+                // A refusal is an explicit promise of later admission, not
+                // a failure, so it does not consume the retry budget — a
+                // backpressured batch is delayed, never dropped. The
+                // breaker stays open until the *retry itself* is due, not
+                // just until the window rolls over: a fresh batch acked
+                // ahead of an older refused one would reorder this rank's
+                // records, and per-rank in-order ingest is what keeps the
+                // engine's floating-point accumulation bitwise
+                // reproducible. (Dropping or reordering here would make
+                // the result depend on which rank won the admission race.)
+                let at = now + retry_after + self.backoff(attempts);
+                self.circuit_open_until = self.circuit_open_until.max(at);
+                self.pending.push(Pending {
+                    batch,
+                    attempts: attempts_before,
+                    next_retry_at: at,
+                });
             }
         }
         self.cfg.send_overhead
@@ -620,7 +704,7 @@ impl RankTransport {
         if attempts >= self.cfg.retry_budget {
             self.stats.dropped_exhausted += 1;
             self.stats.records_dropped += batch.records.len() as u64;
-            trace_instant(self.rank, "drop", at, batch.seq, attempts as u64);
+            trace_instant(self.lane, "drop", at, batch.seq, attempts as u64);
         } else {
             self.pending.push(Pending {
                 batch,

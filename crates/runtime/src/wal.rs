@@ -1,18 +1,24 @@
 //! Write-ahead log for the crash-recoverable analysis engine.
 //!
 //! The engine is an in-memory simulation, so durability is simulated too:
-//! the "log" is an append-only in-memory sequence of entries, but the
-//! discipline is the real one — every arriving batch is appended *before*
-//! it mutates engine state, whole ingests are serialized while a WAL is
-//! attached (log order ≡ processing order), and detection passes append
-//! full [`EngineSnapshot`]s every `wal_snapshot_every` passes.
+//! the "log" is an append-only in-memory sequence of CRC-framed entries,
+//! but the discipline is the real one — every arriving batch is appended
+//! *before* it mutates engine state, whole ingests are serialized while a
+//! WAL is attached (log order ≡ processing order), and detection passes
+//! append full [`EngineSnapshot`]s every `wal_snapshot_every` passes.
 //!
-//! Recovery ([`crate::AnalysisServer::recover`]) rebuilds a fresh engine
-//! from the header, restores the last snapshot, and re-ingests the batch
-//! tail logged after it. Because replay is a faithful re-execution of the
-//! serialized ingest order, the recovered engine's [`ServerResult`] is
-//! **bitwise identical** to the crash-free run's — the invariant the
-//! `fail_stop` suite asserts down to `f64::to_bits` on matrix cells.
+//! Each entry is framed with its own CRC-32 at append time. Recovery
+//! ([`crate::AnalysisServer::recover`]) walks frames in order and stops at
+//! the first failed check — a torn write or a bit-flipped tail truncates
+//! replay instead of feeding a damaged batch into the engine; the number
+//! of frames dropped that way is reported in [`RecoveryState::dropped`].
+//!
+//! Recovery rebuilds a fresh engine from the header, restores the last
+//! intact snapshot, and re-ingests the batch tail logged after it. Because
+//! replay is a faithful re-execution of the serialized ingest order, the
+//! recovered engine's [`ServerResult`] is **bitwise identical** to the
+//! crash-free run's — the invariant the `fail_stop` suite asserts down to
+//! `f64::to_bits` on matrix cells.
 //!
 //! [`ServerResult`]: crate::ServerResult
 
@@ -44,19 +50,92 @@ pub(crate) enum WalEntry {
     Snapshot(Box<EngineSnapshot>),
 }
 
-/// The append-only log. Entry storage has its own lock (separate from the
+/// One framed log record: the entry plus the integrity metadata a real
+/// on-disk log would carry per frame.
+struct Frame {
+    /// CRC-32 over the entry's wire-relevant fields, stamped at append.
+    crc: u32,
+    /// A torn write: the frame header landed but the record body did not.
+    /// (Simulation stand-in for a crash mid-`write(2)`.)
+    torn: bool,
+    entry: WalEntry,
+}
+
+/// What recovery needs, cut at the first damaged frame.
+pub(crate) struct RecoveryState {
+    /// The latest intact snapshot, if any frame before the damage held one.
+    pub(crate) snapshot: Option<Box<EngineSnapshot>>,
+    /// The batch tail logged after that snapshot, in log order.
+    pub(crate) tail: Vec<(TelemetryBatch, VirtualTime)>,
+    /// Frames dropped because they (or an earlier frame) failed their
+    /// CRC check or were torn. Zero on a clean log.
+    pub(crate) dropped: usize,
+}
+
+/// The append-only log. Frame storage has its own lock (separate from the
 /// engine's ingest serialization) so a detection pass can append a
 /// snapshot mid-ingest without re-entrancy.
 pub struct WriteAheadLog {
     header: WalHeader,
-    entries: Mutex<Vec<WalEntry>>,
+    frames: Mutex<Vec<Frame>>,
+}
+
+/// Bitwise CRC-32 (IEEE 802.3) folder for frame checksums. Table-free:
+/// frames are checked once per recovery, not per ingest.
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u32;
+            for _ in 0..8 {
+                let mask = (self.0 & 1).wrapping_neg();
+                self.0 = (self.0 >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+
+    fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+/// Frame checksum for one entry. For batches this covers the wire header,
+/// the arrival instant and the payload's own CRC (so a bit-flip anywhere
+/// in the stored record surfaces); snapshots fold their fingerprint.
+fn entry_crc(entry: &WalEntry) -> u32 {
+    let mut crc = Crc32::new();
+    match entry {
+        WalEntry::Batch { batch, arrival } => {
+            crc.eat(&[0x01]);
+            crc.eat(&(batch.rank as u64).to_le_bytes());
+            crc.eat(&batch.seq.to_le_bytes());
+            crc.eat(&batch.sent_at.as_nanos().to_le_bytes());
+            crc.eat(&arrival.as_nanos().to_le_bytes());
+            crc.eat(&(batch.records.len() as u64).to_le_bytes());
+            crc.eat(&batch.crc.to_le_bytes());
+            if let Some(n) = &batch.death_notice {
+                crc.eat(&(n.rank as u64).to_le_bytes());
+                crc.eat(&n.at.as_nanos().to_le_bytes());
+            }
+        }
+        WalEntry::Snapshot(s) => {
+            crc.eat(&[0x02]);
+            crc.eat(&s.fingerprint().to_le_bytes());
+        }
+    }
+    crc.finish()
 }
 
 impl WriteAheadLog {
     pub(crate) fn new(header: WalHeader) -> Self {
         WriteAheadLog {
             header,
-            entries: Mutex::new(Vec::new()),
+            frames: Mutex::new(Vec::new()),
         }
     }
 
@@ -64,50 +143,71 @@ impl WriteAheadLog {
         &self.header
     }
 
+    fn append(&self, entry: WalEntry) {
+        let crc = entry_crc(&entry);
+        self.frames.lock().push(Frame {
+            crc,
+            torn: false,
+            entry,
+        });
+    }
+
     pub(crate) fn append_batch(&self, batch: TelemetryBatch, arrival: VirtualTime) {
-        self.entries.lock().push(WalEntry::Batch { batch, arrival });
+        self.append(WalEntry::Batch { batch, arrival });
     }
 
     pub(crate) fn append_snapshot(&self, snapshot: EngineSnapshot) {
-        self.entries
-            .lock()
-            .push(WalEntry::Snapshot(Box::new(snapshot)));
+        self.append(WalEntry::Snapshot(Box::new(snapshot)));
+    }
+
+    /// Frames whose CRC still matches and that are not torn, counted from
+    /// the front — replay must stop at the first failure, even if later
+    /// frames happen to be intact (log order would be violated).
+    fn valid_prefix(frames: &[Frame]) -> usize {
+        frames
+            .iter()
+            .position(|f| f.torn || entry_crc(&f.entry) != f.crc)
+            .unwrap_or(frames.len())
+    }
+
+    /// Total frames appended so far (batches + snapshots), including any
+    /// damaged tail. Standby replicas use this as their replay cursor.
+    pub fn frames(&self) -> usize {
+        self.frames.lock().len()
     }
 
     /// Batches logged so far (all of them, snapshots not included).
     pub fn batch_entries(&self) -> usize {
-        self.entries
+        self.frames
             .lock()
             .iter()
-            .filter(|e| matches!(e, WalEntry::Batch { .. }))
+            .filter(|f| matches!(f.entry, WalEntry::Batch { .. }))
             .count()
     }
 
     /// Snapshots logged so far.
     pub fn snapshot_entries(&self) -> usize {
-        self.entries
+        self.frames
             .lock()
             .iter()
-            .filter(|e| matches!(e, WalEntry::Snapshot(_)))
+            .filter(|f| matches!(f.entry, WalEntry::Snapshot(_)))
             .count()
     }
 
-    /// What recovery needs: the latest snapshot (if any) and the batch
-    /// tail logged after it, in log order.
-    pub(crate) fn recovery_state(
-        &self,
-    ) -> (
-        Option<Box<EngineSnapshot>>,
-        Vec<(TelemetryBatch, VirtualTime)>,
-    ) {
-        let entries = self.entries.lock();
-        let cut = entries
+    /// What recovery needs: the latest snapshot in the intact prefix and
+    /// the batch tail logged after it, in log order, plus how many frames
+    /// were dropped at the first failed CRC check.
+    pub(crate) fn recovery_state(&self) -> RecoveryState {
+        let frames = self.frames.lock();
+        let valid = Self::valid_prefix(&frames);
+        let intact = &frames[..valid];
+        let cut = intact
             .iter()
-            .rposition(|e| matches!(e, WalEntry::Snapshot(_)));
+            .rposition(|f| matches!(f.entry, WalEntry::Snapshot(_)));
         let mut snapshot = None;
         let mut tail = Vec::new();
-        for (i, entry) in entries.iter().enumerate() {
-            match entry {
+        for (i, frame) in intact.iter().enumerate() {
+            match &frame.entry {
                 WalEntry::Snapshot(s) if Some(i) == cut => snapshot = Some(s.clone()),
                 WalEntry::Snapshot(_) => {}
                 WalEntry::Batch { batch, arrival } => {
@@ -117,20 +217,66 @@ impl WriteAheadLog {
                 }
             }
         }
-        (snapshot, tail)
+        RecoveryState {
+            snapshot,
+            tail,
+            dropped: frames.len() - valid,
+        }
     }
 
-    /// Every batch ever logged, in log order — the from-scratch replay
-    /// oracle the recovery-equivalence tests use.
-    pub fn all_batches(&self) -> Vec<(TelemetryBatch, VirtualTime)> {
-        self.entries
-            .lock()
+    /// Batches framed at or after frame index `from`, cut at the first
+    /// damaged frame — the incremental feed a standby replica applies to
+    /// stay caught up. Returns the batches and the new cursor (one past
+    /// the last frame consumed).
+    pub(crate) fn batches_since(&self, from: usize) -> (Vec<(TelemetryBatch, VirtualTime)>, usize) {
+        let frames = self.frames.lock();
+        let valid = Self::valid_prefix(&frames);
+        let upto = valid.max(from.min(frames.len()));
+        let batches = frames[from.min(upto)..upto]
             .iter()
-            .filter_map(|e| match e {
+            .filter_map(|f| match &f.entry {
+                WalEntry::Batch { batch, arrival } => Some((batch.clone(), *arrival)),
+                WalEntry::Snapshot(_) => None,
+            })
+            .collect();
+        (batches, upto)
+    }
+
+    /// Every batch in the intact prefix, in log order — the from-scratch
+    /// replay oracle the recovery-equivalence tests use.
+    pub fn all_batches(&self) -> Vec<(TelemetryBatch, VirtualTime)> {
+        let frames = self.frames.lock();
+        let valid = Self::valid_prefix(&frames);
+        frames[..valid]
+            .iter()
+            .filter_map(|f| match &f.entry {
                 WalEntry::Batch { batch, arrival } => Some((batch.clone(), *arrival)),
                 WalEntry::Snapshot(_) => None,
             })
             .collect()
+    }
+
+    /// Damage injector: flip a bit in the payload of the last batch frame
+    /// without restamping the frame CRC — a corrupted-at-rest tail.
+    #[doc(hidden)]
+    pub fn corrupt_tail_record(&self) {
+        let mut frames = self.frames.lock();
+        let frame = frames
+            .iter_mut()
+            .rev()
+            .find(|f| matches!(f.entry, WalEntry::Batch { .. }))
+            .expect("no batch frame to corrupt");
+        if let WalEntry::Batch { batch, .. } = &mut frame.entry {
+            batch.crc ^= 1;
+        }
+    }
+
+    /// Damage injector: mark the last frame torn, as if the process died
+    /// mid-write and only the frame header reached the log.
+    #[doc(hidden)]
+    pub fn truncate_mid_record(&self) {
+        let mut frames = self.frames.lock();
+        frames.last_mut().expect("no frame to tear").torn = true;
     }
 }
 
@@ -176,9 +322,10 @@ mod tests {
         wal.append_batch(batch(0), t);
         wal.append_batch(batch(1), t);
         // No snapshot yet: the tail is the whole log.
-        let (snap, tail) = wal.recovery_state();
-        assert!(snap.is_none());
-        assert_eq!(tail.len(), 2);
+        let rec = wal.recovery_state();
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.tail.len(), 2);
+        assert_eq!(rec.dropped, 0);
         // A snapshot cuts the tail; later batches accumulate after it.
         let engine = crate::engine::Engine::new(
             1,
@@ -187,12 +334,86 @@ mod tests {
         );
         wal.append_snapshot(engine.snapshot_for_tests());
         wal.append_batch(batch(2), t);
-        let (snap, tail) = wal.recovery_state();
-        assert!(snap.is_some());
-        assert_eq!(tail.len(), 1);
-        assert_eq!(tail[0].0.seq, 2);
+        let rec = wal.recovery_state();
+        assert!(rec.snapshot.is_some());
+        assert_eq!(rec.tail.len(), 1);
+        assert_eq!(rec.tail[0].0.seq, 2);
         assert_eq!(wal.batch_entries(), 3);
         assert_eq!(wal.snapshot_entries(), 1);
         assert_eq!(wal.all_batches().len(), 3);
+        assert_eq!(wal.frames(), 4);
+    }
+
+    #[test]
+    fn bit_flipped_tail_stops_replay_and_reports_drops() {
+        let wal = WriteAheadLog::new(header());
+        let t = VirtualTime::from_micros(1);
+        for seq in 0..4 {
+            wal.append_batch(batch(seq), t);
+        }
+        wal.corrupt_tail_record();
+        let rec = wal.recovery_state();
+        // The first three frames survive; the damaged fourth is dropped.
+        assert_eq!(rec.tail.len(), 3);
+        assert_eq!(rec.tail.last().unwrap().0.seq, 2);
+        assert_eq!(rec.dropped, 1);
+        assert_eq!(wal.all_batches().len(), 3);
+    }
+
+    #[test]
+    fn torn_mid_record_frame_truncates_everything_after_it() {
+        let wal = WriteAheadLog::new(header());
+        let t = VirtualTime::from_micros(1);
+        wal.append_batch(batch(0), t);
+        wal.append_batch(batch(1), t);
+        wal.truncate_mid_record();
+        // Appends after the tear land, but replay must not skip over the
+        // damaged frame — log order would be violated.
+        wal.append_batch(batch(2), t);
+        let rec = wal.recovery_state();
+        assert_eq!(rec.tail.len(), 1);
+        assert_eq!(rec.tail[0].0.seq, 0);
+        assert_eq!(rec.dropped, 2);
+    }
+
+    #[test]
+    fn corrupt_snapshot_frame_falls_back_to_batch_replay() {
+        let wal = WriteAheadLog::new(header());
+        let t = VirtualTime::from_micros(1);
+        wal.append_batch(batch(0), t);
+        let engine = crate::engine::Engine::new(
+            1,
+            wal.header().sensors.clone(),
+            wal.header().config.clone(),
+        );
+        wal.append_snapshot(engine.snapshot_for_tests());
+        wal.truncate_mid_record();
+        let rec = wal.recovery_state();
+        // The snapshot frame is damaged: recovery replays from scratch.
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.tail.len(), 1);
+        assert_eq!(rec.dropped, 1);
+    }
+
+    #[test]
+    fn batches_since_respects_cursor_and_damage() {
+        let wal = WriteAheadLog::new(header());
+        let t = VirtualTime::from_micros(1);
+        wal.append_batch(batch(0), t);
+        wal.append_batch(batch(1), t);
+        let (first, cursor) = wal.batches_since(0);
+        assert_eq!(first.len(), 2);
+        assert_eq!(cursor, 2);
+        wal.append_batch(batch(2), t);
+        let (next, cursor) = wal.batches_since(cursor);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].0.seq, 2);
+        assert_eq!(cursor, 3);
+        // A damaged tail is never handed to a replica.
+        wal.append_batch(batch(3), t);
+        wal.corrupt_tail_record();
+        let (rest, cursor2) = wal.batches_since(cursor);
+        assert!(rest.is_empty());
+        assert_eq!(cursor2, cursor);
     }
 }

@@ -93,6 +93,15 @@ impl Proc {
         self.size
     }
 
+    /// Trace lane this rank's events render on — the rank itself for a
+    /// solo run, `lane_base + rank` when the cluster assigns a base.
+    /// Computed on demand rather than cached in a field: `Proc` sits on
+    /// the VM hot loop's cache lines and this is only read on
+    /// trace-enabled paths and at harness setup.
+    pub fn trace_lane(&self) -> u32 {
+        self.shared.cluster.trace_lane(self.rank)
+    }
+
     /// Current virtual time of this rank.
     pub fn now(&self) -> VirtualTime {
         self.clock
@@ -128,7 +137,7 @@ impl Proc {
             trace::record(TraceEvent::complete(
                 cat,
                 name,
-                self.rank as u32,
+                self.trace_lane(),
                 0,
                 start.as_nanos(),
                 self.clock.since(start).as_nanos(),
@@ -159,7 +168,7 @@ impl Proc {
             trace::record(TraceEvent::instant(
                 Category::MPI,
                 "death",
-                self.rank as u32,
+                self.trace_lane(),
                 self.clock.as_nanos(),
                 at.as_nanos(),
                 0,
