@@ -25,7 +25,12 @@ fn main() {
     let program = Arc::new(vsensor_lang::compile(src).unwrap());
     for (b, name) in [(ExecBackend::TreeWalker, "walker"), (ExecBackend::Vm, "vm")] {
         let t = Instant::now();
-        let r = run_plain_shared(program.clone(), Arc::new(scenarios::quiet(1).build()), b);
+        let r = run_plain_shared(
+            program.clone(),
+            Arc::new(scenarios::quiet(1).build()),
+            b,
+            Default::default(),
+        );
         println!("arith {name}: {:?} end={:?}", t.elapsed(), r[0].end);
     }
     // CG fig21-scale, 1 rank, plain vs instrumented.
@@ -36,6 +41,7 @@ fn main() {
             prepared.plain.clone(),
             Arc::new(scenarios::healthy(1).build()),
             b,
+            Default::default(),
         );
         println!("cg plain {name}: {:?}", t.elapsed());
         let t = Instant::now();
@@ -66,7 +72,12 @@ fn main() {
     let kp = Arc::new(vsensor_lang::compile(ksrc).unwrap());
     for (b, name) in [(ExecBackend::TreeWalker, "walker"), (ExecBackend::Vm, "vm")] {
         let t = Instant::now();
-        let r = run_plain_shared(kp.clone(), Arc::new(scenarios::quiet(1).build()), b);
+        let r = run_plain_shared(
+            kp.clone(),
+            Arc::new(scenarios::quiet(1).build()),
+            b,
+            Default::default(),
+        );
         println!("kernel {name}: {:?} end={:?}", t.elapsed(), r[0].end);
     }
 }

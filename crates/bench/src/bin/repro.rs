@@ -3,21 +3,25 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--smoke] [--out DIR] [--check [--ratio-only]] [experiment...]
+//! repro [--smoke] [--out DIR] [--ranks N] [--check [--ratio-only]] [experiment...]
 //! repro --list
 //! ```
 //!
 //! With no experiment names, runs everything. `--smoke` uses the reduced
 //! scale (what the unit tests run); the default is the full reproduction
 //! scale (use a release build). `--out DIR` additionally writes plottable
-//! artifacts — SVG/PPM heatmaps and CSV series — into `DIR`. `--check`
-//! turns the `interp` experiment into the CI perf-regression gate: a
-//! reduced paper-scale sweep is compared against the committed
-//! `BENCH_interp.json` and the process exits nonzero on regression.
-//! `--ratio-only` restricts the gate to the machine-independent walker→VM
-//! speedup ratio, dropping the absolute-throughput check — required on
-//! hardware that is not comparable to the baseline machine (shared CI
-//! runners).
+//! artifacts — SVG/PPM heatmaps and CSV series — into `DIR`. `--ranks N`
+//! overrides the rank count for the experiments that accept one: `table1`
+//! builds the table at N ranks on the event scheduler (`--ranks 16384`
+//! reproduces the paper's process count), and `simmpi` measures the
+//! scaling curve at N ranks only. `--check` turns the `interp`, `service`
+//! and `simmpi` experiments into the CI perf-regression gate: a reduced
+//! paper-scale measurement is compared against the committed
+//! `BENCH_*.json` and the process exits nonzero on regression.
+//! `--ratio-only` restricts the gates to machine-independent checks
+//! (same-machine ratios and virtual-time figures), dropping absolute
+//! wall-clock comparisons — required on hardware that is not comparable
+//! to the baseline machine (shared CI runners).
 
 use cluster_sim::time::Duration;
 use std::path::PathBuf;
@@ -61,6 +65,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "failover",
         "Multi-tenant failover smoke: standby promotion must be bitwise-identical",
     ),
+    (
+        "simmpi",
+        "Event-backend rank-scaling curve to 16,384 ranks (BENCH_simmpi.json)",
+    ),
 ];
 
 fn main() {
@@ -87,10 +95,21 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
     let out_args: Vec<String> = out_dir.iter().map(|d| d.display().to_string()).collect();
+    let ranks_arg: Option<&String> = args
+        .iter()
+        .position(|a| a == "--ranks")
+        .and_then(|i| args.get(i + 1));
+    let ranks_override: Option<usize> = ranks_arg.map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--ranks needs a positive integer, got `{v}`");
+            std::process::exit(2);
+        })
+    });
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| !out_args.contains(a))
+        .filter(|a| Some(*a) != ranks_arg)
         .map(String::as_str)
         .collect();
     let run_all = selected.is_empty();
@@ -115,7 +134,13 @@ fn main() {
     }
     if want("table1") {
         section("table1");
-        let t = table1_validation::run(effort);
+        // An explicit --ranks runs on the event scheduler: it is the only
+        // backend that hosts the paper's 16,384 processes in one address
+        // space (thread-per-rank tops out thousands earlier).
+        let t = match ranks_override {
+            Some(ranks) => table1_validation::run_at(effort, ranks, simmpi::SimBackend::Event),
+            None => table1_validation::run(effort),
+        };
         println!("{}", t.render());
         write_artifact(&out_dir, "table1.csv", &t.to_csv());
     }
@@ -269,6 +294,26 @@ fn main() {
             exit_unless_service_invariants(&r);
         }
     }
+    if want("simmpi") {
+        section("simmpi");
+        if check {
+            run_simmpi_gate(!ratio_only);
+        } else {
+            let r = match ranks_override {
+                Some(ranks) => simmpi_scale::run_with_ranks(&[ranks]),
+                None => simmpi_scale::run(effort),
+            };
+            println!("{}", r.render());
+            let json = r.to_json();
+            match &out_dir {
+                Some(_) => write_artifact(&out_dir, "BENCH_simmpi.json", &json),
+                None => {
+                    std::fs::write("BENCH_simmpi.json", &json).expect("write BENCH_simmpi.json");
+                    println!("[wrote BENCH_simmpi.json]");
+                }
+            }
+        }
+    }
     // `failover` is the CI smoke alias for the service study's failover
     // invariants — explicit-only so a bare `repro` does not run the
     // 16-tenant study twice.
@@ -362,6 +407,39 @@ fn run_service_gate(absolute: bool) {
     if !report.passed() {
         std::process::exit(1);
     }
+}
+
+/// The `simmpi --check` path: re-measure the cheap end of the committed
+/// rank-scaling curve (1,024 and 4,096 ranks) and compare against
+/// `BENCH_simmpi.json`. The 16,384-rank point is skipped, never failed —
+/// it takes minutes that a PR gate should not. Virtual-time throughput
+/// and the 1,024→4,096 scaling-efficiency ratio are gated in every mode;
+/// absolute wall throughput only without `--ratio-only`.
+fn run_simmpi_gate(absolute: bool) {
+    let baseline_text = read_simmpi_baseline().unwrap_or_else(|e| {
+        eprintln!("simmpi gate: cannot read BENCH_simmpi.json: {e}");
+        std::process::exit(2);
+    });
+    let baseline = perf_gate::parse_simmpi_baseline(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("simmpi gate: cannot parse BENCH_simmpi.json: {e}");
+        std::process::exit(2);
+    });
+    let fresh = simmpi_scale::run_with_ranks(&[1024, 4096]);
+    let report =
+        perf_gate::compare_simmpi(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute);
+    println!("{}", report.render());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn read_simmpi_baseline() -> std::io::Result<String> {
+    std::fs::read_to_string("BENCH_simmpi.json").or_else(|_| {
+        std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_simmpi.json"
+        ))
+    })
 }
 
 fn read_service_baseline() -> std::io::Result<String> {

@@ -25,6 +25,7 @@
 //! | [`perf_gate`]        | CI regression gate over `BENCH_interp.json` |
 //! | [`failstop`]         | node-death localization + WAL crash-recovery equivalence |
 //! | [`service_bench`]    | multi-tenant service: fairness, isolation, failover (`BENCH_service.json`) |
+//! | [`simmpi_scale`]     | event-backend rank-scaling curve to 16,384 ranks (`BENCH_simmpi.json`) |
 
 pub mod ablations;
 pub mod datavolume;
@@ -41,6 +42,7 @@ pub mod fwq_intrusiveness;
 pub mod interp_speed;
 pub mod perf_gate;
 pub mod service_bench;
+pub mod simmpi_scale;
 pub mod table1_validation;
 pub mod trace_run;
 

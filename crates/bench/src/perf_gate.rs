@@ -33,11 +33,19 @@
 //! the hot tenant must still be the one engaging backpressure, and the
 //! absolute batches-per-wall-second throughput is gated only on
 //! comparable hardware (`absolute = true`).
+//!
+//! `repro simmpi --check` gates the event scheduler's rank-scaling curve
+//! over the committed `BENCH_simmpi.json`: the virtual-time throughput is
+//! deterministic (gated in every mode), the scaling-efficiency ratio
+//! between rank counts is same-machine (gated in every mode), and the
+//! absolute rank-iterations-per-wall-second is gated only with
+//! `absolute = true`.
 
 use std::fmt::Write;
 
 use crate::interp_speed::InterpSpeedResult;
 use crate::service_bench::ServiceBenchResult;
+use crate::simmpi_scale::ScaleResult;
 
 #[cfg(test)]
 use crate::interp_speed::InterpRow;
@@ -61,15 +69,15 @@ pub struct BaselineRow {
     pub wall_ns_per_sim_sec: f64,
 }
 
-/// Parse `BENCH_interp.json` (an array of flat objects). Tolerates
-/// arbitrary whitespace and key order; rejects anything missing a
-/// required field.
-pub fn parse_baseline(json: &str) -> Result<Vec<BaselineRow>, String> {
+/// Split a flat JSON array of objects into the raw text of each object.
+/// Tolerates arbitrary whitespace and key order; every baseline format in
+/// this module is an array of flat objects, so the splitter is shared.
+fn split_objects(json: &str) -> Result<Vec<&str>, String> {
     let trimmed = json.trim();
     if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
         return Err("baseline is not a JSON array".into());
     }
-    let mut rows = Vec::new();
+    let mut objects = Vec::new();
     let mut depth = 0usize;
     let mut start = 0usize;
     for (i, c) in trimmed.char_indices() {
@@ -85,7 +93,7 @@ pub fn parse_baseline(json: &str) -> Result<Vec<BaselineRow>, String> {
                     .checked_sub(1)
                     .ok_or_else(|| "unbalanced braces in baseline".to_string())?;
                 if depth == 0 {
-                    rows.push(parse_object(&trimmed[start..=i])?);
+                    objects.push(&trimmed[start..=i]);
                 }
             }
             _ => {}
@@ -94,10 +102,16 @@ pub fn parse_baseline(json: &str) -> Result<Vec<BaselineRow>, String> {
     if depth != 0 {
         return Err("unterminated object in baseline".into());
     }
-    if rows.is_empty() {
+    if objects.is_empty() {
         return Err("baseline contains no rows".into());
     }
-    Ok(rows)
+    Ok(objects)
+}
+
+/// Parse `BENCH_interp.json` (an array of flat objects). Rejects anything
+/// missing a required field.
+pub fn parse_baseline(json: &str) -> Result<Vec<BaselineRow>, String> {
+    split_objects(json)?.into_iter().map(parse_object).collect()
 }
 
 fn parse_object(obj: &str) -> Result<BaselineRow, String> {
@@ -155,43 +169,41 @@ pub struct ServiceBaselineRow {
 /// Parse `BENCH_service.json` (a flat array of `{"metric", "value"}`
 /// rows, the shape [`ServiceBenchResult::to_json`] emits).
 pub fn parse_service_baseline(json: &str) -> Result<Vec<ServiceBaselineRow>, String> {
-    let trimmed = json.trim();
-    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
-        return Err("baseline is not a JSON array".into());
-    }
-    let mut rows = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, c) in trimmed.char_indices() {
-        match c {
-            '{' => {
-                if depth == 0 {
-                    start = i;
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth = depth
-                    .checked_sub(1)
-                    .ok_or_else(|| "unbalanced braces in baseline".to_string())?;
-                if depth == 0 {
-                    let obj = &trimmed[start..=i];
-                    rows.push(ServiceBaselineRow {
-                        metric: str_field(obj, "metric")?,
-                        value: num_field(obj, "value")?,
-                    });
-                }
-            }
-            _ => {}
-        }
-    }
-    if depth != 0 {
-        return Err("unterminated object in baseline".into());
-    }
-    if rows.is_empty() {
-        return Err("baseline contains no rows".into());
-    }
-    Ok(rows)
+    split_objects(json)?
+        .into_iter()
+        .map(|obj| {
+            Ok(ServiceBaselineRow {
+                metric: str_field(obj, "metric")?,
+                value: num_field(obj, "value")?,
+            })
+        })
+        .collect()
+}
+
+/// One baseline rank count parsed from `BENCH_simmpi.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimmpiBaselineRow {
+    /// Simulated ranks.
+    pub ranks: usize,
+    /// Baseline rank-iterations per virtual second (deterministic).
+    pub rank_iters_per_virtual_sec: f64,
+    /// Baseline rank-iterations per wall second (machine-dependent).
+    pub rank_iters_per_wall_sec: f64,
+}
+
+/// Parse `BENCH_simmpi.json` (the shape
+/// [`crate::simmpi_scale::ScaleResult::to_json`] emits).
+pub fn parse_simmpi_baseline(json: &str) -> Result<Vec<SimmpiBaselineRow>, String> {
+    split_objects(json)?
+        .into_iter()
+        .map(|obj| {
+            Ok(SimmpiBaselineRow {
+                ranks: num_field(obj, "ranks")? as usize,
+                rank_iters_per_virtual_sec: num_field(obj, "rank_iters_per_virtual_sec")?,
+                rank_iters_per_wall_sec: num_field(obj, "rank_iters_per_wall_sec")?,
+            })
+        })
+        .collect()
 }
 
 /// One comparison the gate performed.
@@ -408,6 +420,86 @@ pub fn compare_service(
         skipped,
         tolerance,
     }
+}
+
+/// Compare a fresh event-backend rank-scaling measurement against the
+/// committed `BENCH_simmpi.json`. Three classes of check, in descending
+/// portability:
+///
+/// * **Virtual-time throughput** per rank count — deterministic and
+///   machine-independent, gated in every mode. Drift here means the
+///   *simulation* changed, not the hardware.
+/// * **Scaling efficiency** — the ratio of wall throughput between the
+///   largest and smallest rank counts measured on both sides. A
+///   same-machine ratio (both ends of it come from this run), so it is
+///   gated even on shared CI runners: an event-queue or data-layout
+///   regression that hits big worlds harder than small ones collapses
+///   this ratio no matter how fast the machine is.
+/// * **Absolute wall throughput** per rank count — gated only with
+///   `absolute = true` (comparable hardware).
+///
+/// Baseline rank counts the fresh run did not measure are skipped, never
+/// failed — CI re-measures a reduced curve (the 16,384-rank point takes
+/// minutes).
+pub fn compare_simmpi(
+    baseline: &[SimmpiBaselineRow],
+    current: &ScaleResult,
+    tolerance: f64,
+    absolute: bool,
+) -> GateReport {
+    let mut report = GateReport {
+        tolerance,
+        ..GateReport::default()
+    };
+    // Rank counts present on both sides, ascending (baseline order).
+    let mut common: Vec<usize> = Vec::new();
+    for b in baseline {
+        match current.rows.iter().find(|c| c.ranks == b.ranks) {
+            Some(c) => {
+                common.push(b.ranks);
+                report.checks.push(GateCheck {
+                    workload: "simmpi".into(),
+                    ranks: b.ranks,
+                    metric: "virt-throughput",
+                    baseline: b.rank_iters_per_virtual_sec,
+                    current: c.rank_iters_per_virtual_sec,
+                    ok: c.rank_iters_per_virtual_sec
+                        >= b.rank_iters_per_virtual_sec * (1.0 - tolerance),
+                });
+                if absolute {
+                    report.checks.push(GateCheck {
+                        workload: "simmpi".into(),
+                        ranks: b.ranks,
+                        metric: "wall-throughput",
+                        baseline: b.rank_iters_per_wall_sec,
+                        current: c.rank_iters_per_wall_sec,
+                        ok: c.rank_iters_per_wall_sec
+                            >= b.rank_iters_per_wall_sec * (1.0 - tolerance),
+                    });
+                }
+            }
+            None => report.skipped += 1,
+        }
+    }
+    // Scaling efficiency across the widest span both sides measured.
+    if let (Some(&lo), Some(&hi)) = (common.first(), common.last()) {
+        if lo != hi {
+            let base_ratio = {
+                let find = |ranks| baseline.iter().find(|r| r.ranks == ranks).unwrap();
+                find(hi).rank_iters_per_wall_sec / find(lo).rank_iters_per_wall_sec.max(1e-9)
+            };
+            let cur_ratio = current.scaling_efficiency(lo, hi).unwrap();
+            report.checks.push(GateCheck {
+                workload: "simmpi".into(),
+                ranks: hi,
+                metric: "scaling-ratio",
+                baseline: base_ratio,
+                current: cur_ratio,
+                ok: cur_ratio >= base_ratio * (1.0 - tolerance),
+            });
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -660,6 +752,107 @@ mod tests {
             .checks
             .iter()
             .any(|c| c.metric == "backpressure-engaged" && !c.ok));
+    }
+
+    fn scale_result(ranks: &[usize]) -> ScaleResult {
+        use crate::simmpi_scale::ScaleRow;
+        // Flat cost per rank-iteration: wall throughput independent of
+        // scale, virtual throughput growing with the rank count (more
+        // ranks do more work per virtual second).
+        ScaleResult {
+            rows: ranks
+                .iter()
+                .map(|&r| ScaleRow {
+                    ranks: r,
+                    iterations: 24,
+                    virtual_secs: 0.5,
+                    rank_iters_per_virtual_sec: (r * 24) as f64 / 0.5,
+                    wall_ns: (r as u64) * 1_000_000,
+                    rank_iters_per_wall_sec: 24_000.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn simmpi_baseline_round_trips() {
+        let r = scale_result(&[1024, 4096]);
+        let rows = parse_simmpi_baseline(&r.to_json()).expect("round-trip");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].ranks, 1024);
+        assert!((rows[0].rank_iters_per_virtual_sec - 1024.0 * 24.0 / 0.5).abs() < 1.0);
+        assert!((rows[1].rank_iters_per_wall_sec - 24_000.0).abs() < 1e-6);
+        assert!(parse_simmpi_baseline("[]").is_err());
+        assert!(parse_simmpi_baseline("[{\"ranks\": 4}]").is_err());
+    }
+
+    #[test]
+    fn identical_simmpi_runs_pass_and_ratio_only_skips_wall() {
+        let r = scale_result(&[1024, 4096, 16384]);
+        let base = parse_simmpi_baseline(&r.to_json()).unwrap();
+        let full = compare_simmpi(&base, &r, DEFAULT_TOLERANCE, true);
+        assert!(full.passed(), "{}", full.render());
+        // 3 virtual + 3 wall + 1 scaling ratio.
+        assert_eq!(full.checks.len(), 7);
+        let ratio = compare_simmpi(&base, &r, DEFAULT_TOLERANCE, false);
+        assert!(ratio.passed(), "{}", ratio.render());
+        assert_eq!(ratio.checks.len(), 4, "no absolute wall checks");
+        assert!(ratio.checks.iter().all(|c| c.metric != "wall-throughput"));
+    }
+
+    #[test]
+    fn simmpi_scaling_collapse_fails_even_ratio_only() {
+        // A regression that hits big worlds harder: wall throughput at
+        // 4096 ranks drops to a third while 1024 is untouched. A uniformly
+        // slower CI machine can't produce this shape.
+        let base = parse_simmpi_baseline(&scale_result(&[1024, 4096]).to_json()).unwrap();
+        let mut cur = scale_result(&[1024, 4096]);
+        cur.rows[1].wall_ns *= 3;
+        cur.rows[1].rank_iters_per_wall_sec /= 3.0;
+        let report = compare_simmpi(&base, &cur, DEFAULT_TOLERANCE, false);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.metric == "scaling-ratio" && !c.ok));
+    }
+
+    #[test]
+    fn simmpi_ratio_only_tolerates_a_uniformly_slower_machine() {
+        let base = parse_simmpi_baseline(&scale_result(&[1024, 4096]).to_json()).unwrap();
+        let mut cur = scale_result(&[1024, 4096]);
+        for row in &mut cur.rows {
+            row.wall_ns *= 3;
+            row.rank_iters_per_wall_sec /= 3.0;
+        }
+        let ratio = compare_simmpi(&base, &cur, DEFAULT_TOLERANCE, false);
+        assert!(ratio.passed(), "{}", ratio.render());
+        let absolute = compare_simmpi(&base, &cur, DEFAULT_TOLERANCE, true);
+        assert!(!absolute.passed(), "wall checks are machine-dependent");
+    }
+
+    #[test]
+    fn simmpi_virtual_drift_fails_in_every_mode() {
+        // Virtual-time throughput is deterministic: a drop means the
+        // simulation itself changed, and no machine excuse applies.
+        let base = parse_simmpi_baseline(&scale_result(&[1024, 4096]).to_json()).unwrap();
+        let mut cur = scale_result(&[1024, 4096]);
+        cur.rows[0].rank_iters_per_virtual_sec /= 2.0;
+        for absolute in [true, false] {
+            let report = compare_simmpi(&base, &cur, DEFAULT_TOLERANCE, absolute);
+            assert!(!report.passed(), "{}", report.render());
+        }
+    }
+
+    #[test]
+    fn simmpi_baseline_only_ranks_are_skipped_not_failed() {
+        // CI re-measures a reduced curve: the committed 16,384-rank point
+        // must not fail the gate just because it wasn't re-run.
+        let base = parse_simmpi_baseline(&scale_result(&[1024, 4096, 16384]).to_json()).unwrap();
+        let cur = scale_result(&[1024, 4096]);
+        let report = compare_simmpi(&base, &cur, DEFAULT_TOLERANCE, false);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.skipped, 1, "the 16384 cell");
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Rank-scaling study for the event-driven simulator backend.
+//!
+//! The paper evaluates vSensor at 16,384 MPI processes; the reproduction
+//! must therefore *host* 16,384 simulated ranks in one address space. The
+//! thread-per-rank backend tops out at a few thousand OS threads, so the
+//! event scheduler ([`SimBackend::Event`]) carries the paper-scale runs —
+//! and this module records how its throughput scales with the rank count.
+//!
+//! The workload is the communication shape the eight miniapps share: a
+//! compute slice, a neighbour `mpi_sendrecv` ring exchange, an
+//! `mpi_allreduce`, and an `mpi_barrier` per outer iteration. Two metrics
+//! per rank count:
+//!
+//! - **`rank_iters_per_virtual_sec`** — simulated work per virtual second.
+//!   Virtual time is deterministic (bit-identical across repeats and
+//!   machines), so this column is gated unconditionally by the perf gate:
+//!   any drift means the *simulation itself* changed, not the machine.
+//! - **`rank_iters_per_wall_sec`** — simulated work per wall-clock second,
+//!   the scheduler's real throughput. Machine-dependent, so the gate only
+//!   checks the *ratio* between rank counts (scaling efficiency) unless
+//!   absolute checking is requested.
+//!
+//! The `repro` binary serializes the sweep to `BENCH_simmpi.json` so the
+//! committed baseline records the 1,024 → 16,384 scaling curve.
+
+use simmpi::SimBackend;
+use std::fmt::Write;
+use std::sync::Arc;
+use std::time::Instant;
+use vsensor::{scenarios, Pipeline, Prepared};
+
+use crate::Effort;
+
+/// Outer iterations of the ring/allreduce/barrier loop per rank.
+const ITERS: usize = 24;
+
+/// One measured rank count.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Simulated MPI ranks.
+    pub ranks: usize,
+    /// Outer iterations each rank executed.
+    pub iterations: usize,
+    /// Virtual seconds the run simulated (max over ranks) — deterministic.
+    pub virtual_secs: f64,
+    /// Rank-iterations per virtual second: `ranks * iterations /
+    /// virtual_secs`. Deterministic; the gate's primary column.
+    pub rank_iters_per_virtual_sec: f64,
+    /// Wall-clock nanoseconds for the whole run (best of a few repeats).
+    pub wall_ns: u64,
+    /// Rank-iterations per wall second — the scheduler's real throughput.
+    pub rank_iters_per_wall_sec: f64,
+}
+
+/// Full sweep result.
+pub struct ScaleResult {
+    /// One row per rank count, ascending.
+    pub rows: Vec<ScaleRow>,
+}
+
+impl ScaleResult {
+    /// Scaling efficiency between two rank counts: wall throughput at
+    /// `hi` ranks divided by wall throughput at `lo` ranks. 1.0 means the
+    /// scheduler's cost per rank-iteration is flat across the scale; the
+    /// gate fails CI when this ratio collapses.
+    pub fn scaling_efficiency(&self, lo: usize, hi: usize) -> Option<f64> {
+        let find = |ranks| self.rows.iter().find(|r| r.ranks == ranks);
+        let a = find(lo)?;
+        let b = find(hi)?;
+        Some(b.rank_iters_per_wall_sec / a.rank_iters_per_wall_sec.max(1e-9))
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "simmpi event-backend rank scaling ({ITERS} ring+allreduce+barrier iterations/rank)"
+        );
+        let _ = writeln!(
+            out,
+            "{:>7} {:>12} {:>18} {:>12} {:>18}",
+            "ranks", "virtual(s)", "iters/virt-sec", "wall(ms)", "iters/wall-sec"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>7} {:>12.4} {:>18.0} {:>12.2} {:>18.0}",
+                r.ranks,
+                r.virtual_secs,
+                r.rank_iters_per_virtual_sec,
+                r.wall_ns as f64 / 1e6,
+                r.rank_iters_per_wall_sec,
+            );
+        }
+        if let Some(eff) = self.scaling_efficiency(1024, 4096) {
+            let _ = writeln!(out, "scaling efficiency 1024 -> 4096 ranks: {eff:.2}x");
+        }
+        out
+    }
+
+    /// Machine-readable rows for `BENCH_simmpi.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  {{\"ranks\": {}, \"iterations\": {}, \"virtual_secs\": {:.6}, \
+                 \"rank_iters_per_virtual_sec\": {:.1}, \"wall_ns\": {}, \
+                 \"rank_iters_per_wall_sec\": {:.1}}}",
+                r.ranks,
+                r.iterations,
+                r.virtual_secs,
+                r.rank_iters_per_virtual_sec,
+                r.wall_ns,
+                r.rank_iters_per_wall_sec,
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// The shared communication skeleton: compute, neighbour ring exchange,
+/// allreduce, barrier. Uninstrumented — the study measures the scheduler,
+/// not the sensor runtime.
+fn workload() -> Prepared {
+    let src = format!(
+        r#"
+        fn main() {{
+            int p = mpi_comm_size();
+            int r = mpi_comm_rank();
+            int right = (r + 1) % p;
+            int left = (r + p - 1) % p;
+            for (it = 0; it < {ITERS}; it = it + 1) {{
+                compute(1500);
+                mpi_sendrecv(right, 4096, left, 7);
+                mpi_allreduce(256);
+                mpi_barrier();
+            }}
+        }}
+        "#
+    );
+    Pipeline::new()
+        .compile(&src)
+        .expect("scaling workload compiles")
+}
+
+fn measure(prepared: &Prepared, ranks: usize) -> ScaleRow {
+    // Virtual time is deterministic across repeats; wall time is not, and
+    // has a heavy right tail from allocator/scheduler state, so take the
+    // best of a few runs — except at paper scale, where one run is already
+    // tens of seconds and the relative noise is small.
+    let reps = if ranks <= 4096 { 2 } else { 1 };
+    let mut best_wall_ns = u64::MAX;
+    let mut virtual_secs = 0.0f64;
+    for _ in 0..reps {
+        let cluster = Arc::new(scenarios::quiet(ranks).build());
+        let started = Instant::now();
+        let results = prepared.run_plain_on(cluster, SimBackend::Event);
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        best_wall_ns = best_wall_ns.min(wall_ns);
+        virtual_secs = results
+            .iter()
+            .map(|r| r.end.as_secs_f64())
+            .fold(0.0, f64::max);
+    }
+    let rank_iters = (ranks * ITERS) as f64;
+    ScaleRow {
+        ranks,
+        iterations: ITERS,
+        virtual_secs,
+        rank_iters_per_virtual_sec: rank_iters / virtual_secs.max(1e-9),
+        wall_ns: best_wall_ns,
+        rank_iters_per_wall_sec: rank_iters / (best_wall_ns as f64 / 1e9).max(1e-9),
+    }
+}
+
+/// Run the sweep at the default rank curve for the effort level. Paper
+/// effort records the committed 1,024 → 16,384 curve.
+pub fn run(effort: Effort) -> ScaleResult {
+    let rank_sweep: &[usize] = match effort {
+        Effort::Smoke => &[64, 256],
+        Effort::Paper => &[1024, 4096, 16384],
+    };
+    run_with_ranks(rank_sweep)
+}
+
+/// Run the sweep over an explicit rank list — the perf-regression gate
+/// uses a reduced curve whose rank counts still match the baseline's.
+pub fn run_with_ranks(rank_sweep: &[usize]) -> ScaleResult {
+    let prepared = workload();
+    let rows = rank_sweep
+        .iter()
+        .map(|&ranks| measure(&prepared, ranks))
+        .collect();
+    ScaleResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_produces_rows_and_json() {
+        let r = run(Effort::Smoke);
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.scaling_efficiency(64, 256).is_some());
+        for row in &r.rows {
+            assert!(row.virtual_secs > 0.0, "{} ranks simulated time", row.ranks);
+            assert!(row.rank_iters_per_virtual_sec > 0.0);
+            assert!(row.rank_iters_per_wall_sec > 0.0);
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"ranks\": 64"));
+        assert!(json.contains("rank_iters_per_virtual_sec"));
+        assert!(r.render().contains("iters/wall-sec"));
+    }
+
+    #[test]
+    fn virtual_throughput_is_deterministic() {
+        let a = run_with_ranks(&[64]);
+        let b = run_with_ranks(&[64]);
+        assert_eq!(
+            a.rows[0].rank_iters_per_virtual_sec.to_bits(),
+            b.rows[0].rank_iters_per_virtual_sec.to_bits(),
+            "virtual-time throughput must be bit-identical across repeats"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! the same pipeline per program on the simulated cluster and emit the
 //! same columns.
 
+use simmpi::SimBackend;
 use std::fmt::Write;
 use std::sync::Arc;
 use vsensor::{scenarios, Pipeline};
@@ -48,18 +49,29 @@ pub struct Table1 {
 
 /// Build one row.
 pub fn row(app: &AppSpec, ranks: usize) -> Table1Row {
+    row_on(app, ranks, SimBackend::default())
+}
+
+/// Build one row on an explicit simulation backend. Paper-scale rank
+/// counts (16,384) need [`SimBackend::Event`]: one OS thread per rank
+/// stops being hostable long before that.
+pub fn row_on(app: &AppSpec, ranks: usize, sim: SimBackend) -> Table1Row {
     let prepared = Pipeline::new().prepare(app.compile());
     let report = &prepared.analysis.report;
+    let config = RunConfig {
+        sim,
+        ..RunConfig::default()
+    };
 
     // Runtime metrics on a realistically-noisy (but healthy) cluster.
     let cluster = Arc::new(scenarios::healthy(ranks).build());
-    let run = prepared.run(cluster.clone(), &RunConfig::default());
+    let run = prepared.run(cluster.clone(), &config);
 
     // Overhead against the uninstrumented program on a *quiet* cluster so
     // the baseline is exact (the paper uses best-of-N for the same
     // reason).
     let quiet = Arc::new(scenarios::quiet(ranks).build());
-    let overhead = prepared.measure_overhead(quiet);
+    let overhead = prepared.measure_overhead_on(quiet, sim);
 
     Table1Row {
         name: app.name,
@@ -76,10 +88,16 @@ pub fn row(app: &AppSpec, ranks: usize) -> Table1Row {
 
 /// Build the full table.
 pub fn run(effort: Effort) -> Table1 {
-    let ranks = effort.ranks(64);
+    run_at(effort, effort.ranks(64), SimBackend::default())
+}
+
+/// Build the full table at an explicit rank count and simulation backend.
+/// This is the `repro table1 --ranks 16384` path: the event backend is the
+/// only one that hosts the paper's 16,384 processes.
+pub fn run_at(effort: Effort, ranks: usize, sim: SimBackend) -> Table1 {
     let rows = all_apps(effort.params())
         .iter()
-        .map(|app| row(app, ranks))
+        .map(|app| row_on(app, ranks, sim))
         .collect();
     Table1 { rows, ranks }
 }

@@ -83,32 +83,44 @@ impl Builtin {
 /// Dispatch a builtin by name. Returns `None` if the name is not a builtin
 /// (the machine then reports an unknown-function error, matching the
 /// conservative front-end which already treats it as never-fixed).
+///
+/// The tree-walker only runs on the thread-per-rank backend, where every
+/// MPI operation completes in place — a `Pending` here is a driver bug.
 pub fn call_builtin(
     m: &mut Machine<'_>,
     name: &str,
     args: &[Value],
 ) -> Option<Result<Value, ExecError>> {
     let builtin = Builtin::from_name(name)?;
-    Some(dispatch(m, builtin, args))
+    Some(dispatch(m, builtin, args).map(|v| {
+        v.expect("blocking builtin suspended under the tree-walker (event backend requires the VM)")
+    }))
 }
 
 /// Execute a resolved builtin. Shared by the tree-walker (via
 /// [`call_builtin`]) and the bytecode VM (which pre-binds the id).
+///
+/// Returns `Ok(None)` when the builtin's MPI operation is `Pending` (event
+/// backend only): the caller must suspend the rank and re-dispatch the same
+/// builtin on resume — argument parsing and `sync_clock` are idempotent
+/// across the retry (no work accrues while suspended), and the `Proc`
+/// carries the latched operation.
 pub(crate) fn dispatch(
     m: &mut Machine<'_>,
     builtin: Builtin,
     args: &[Value],
-) -> Result<Value, ExecError> {
+) -> Result<Option<Value>, ExecError> {
+    use simmpi::Poll;
     match builtin {
         Builtin::Compute => {
             let n = int_arg(args, 0)?;
             m.charge_bulk(Work::cpu(n.max(0) as u64));
-            Ok(Value::Int(0))
+            Ok(Some(Value::Int(0)))
         }
         Builtin::MemAccess => {
             let n = int_arg(args, 0)?;
             m.charge_bulk(Work::mem(n.max(0) as u64));
-            Ok(Value::Int(0))
+            Ok(Some(Value::Int(0)))
         }
         Builtin::CachePhase => {
             let pct = args
@@ -117,15 +129,17 @@ pub(crate) fn dispatch(
                 .unwrap_or(0.0)
                 .clamp(0.0, 100.0);
             m.set_miss_rate(pct / 100.0);
-            Ok(Value::Int(0))
+            Ok(Some(Value::Int(0)))
         }
-        Builtin::MpiCommRank => Ok(Value::Int(m.rank() as i64)),
-        Builtin::MpiCommSize => Ok(Value::Int(m.size() as i64)),
-        Builtin::Gethostname => Ok(Value::Int(m.node_id() as i64)),
+        Builtin::MpiCommRank => Ok(Some(Value::Int(m.rank() as i64))),
+        Builtin::MpiCommSize => Ok(Some(Value::Int(m.size() as i64))),
+        Builtin::Gethostname => Ok(Some(Value::Int(m.node_id() as i64))),
         Builtin::MpiBarrier => {
             m.sync_clock();
-            m.proc().barrier();
-            Ok(Value::Int(0))
+            match m.proc().barrier() {
+                Poll::Ready(()) => Ok(Some(Value::Int(0))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiSend => {
             let dest = int_arg(args, 0)?;
@@ -133,7 +147,7 @@ pub(crate) fn dispatch(
             let tag = int_arg(args, 2)?;
             m.sync_clock();
             m.proc().send(dest as usize, bytes.max(0) as u64, tag, 0);
-            Ok(Value::Int(0))
+            Ok(Some(Value::Int(0)))
         }
         Builtin::MpiSendVal => {
             let dest = int_arg(args, 0)?;
@@ -143,7 +157,7 @@ pub(crate) fn dispatch(
             m.sync_clock();
             m.proc()
                 .send(dest as usize, bytes.max(0) as u64, tag, value);
-            Ok(Value::Int(0))
+            Ok(Some(Value::Int(0)))
         }
         Builtin::MpiRecv => {
             let src = int_arg(args, 0)?;
@@ -154,8 +168,10 @@ pub(crate) fn dispatch(
             } else {
                 src as usize
             };
-            let info = m.proc().recv(src, tag);
-            Ok(Value::Int(info.value))
+            match m.proc().recv(src, tag) {
+                Poll::Ready(info) => Ok(Some(Value::Int(info.value))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiSendrecv => {
             let dest = int_arg(args, 0)?;
@@ -163,78 +179,97 @@ pub(crate) fn dispatch(
             let src = int_arg(args, 2)?;
             let tag = int_arg(args, 3)?;
             m.sync_clock();
-            let info = m
+            match m
                 .proc()
-                .sendrecv(dest as usize, bytes.max(0) as u64, src as usize, tag, 0);
-            Ok(Value::Int(info.value))
+                .sendrecv(dest as usize, bytes.max(0) as u64, src as usize, tag, 0)
+            {
+                Poll::Ready(info) => Ok(Some(Value::Int(info.value))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiBcast => {
             let root = int_arg(args, 0)?;
             let bytes = int_arg(args, 1)?;
             m.sync_clock();
-            let v = m.proc().bcast(root as usize, bytes.max(0) as u64, 0);
-            Ok(Value::Int(v))
+            match m.proc().bcast(root as usize, bytes.max(0) as u64, 0) {
+                Poll::Ready(v) => Ok(Some(Value::Int(v))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiBcastVal => {
             let root = int_arg(args, 0)?;
             let bytes = int_arg(args, 1)?;
             let value = int_arg(args, 2)?;
             m.sync_clock();
-            let v = m.proc().bcast(root as usize, bytes.max(0) as u64, value);
-            Ok(Value::Int(v))
+            match m.proc().bcast(root as usize, bytes.max(0) as u64, value) {
+                Poll::Ready(v) => Ok(Some(Value::Int(v))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiReduce => {
             let root = int_arg(args, 0)?;
             let bytes = int_arg(args, 1)?;
             m.sync_clock();
-            let v = m
+            match m
                 .proc()
-                .reduce(root as usize, bytes.max(0) as u64, 0, ReduceOp::Sum);
-            Ok(Value::Int(v))
+                .reduce(root as usize, bytes.max(0) as u64, 0, ReduceOp::Sum)
+            {
+                Poll::Ready(v) => Ok(Some(Value::Int(v))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiAllreduce => {
             let bytes = int_arg(args, 0)?;
             m.sync_clock();
-            let v = m.proc().allreduce(bytes.max(0) as u64, 0, ReduceOp::Sum);
-            Ok(Value::Int(v))
+            match m.proc().allreduce(bytes.max(0) as u64, 0, ReduceOp::Sum) {
+                Poll::Ready(v) => Ok(Some(Value::Int(v))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiAllreduceVal => {
             let bytes = int_arg(args, 0)?;
             let value = int_arg(args, 1)?;
             m.sync_clock();
-            let v = m
+            match m
                 .proc()
-                .allreduce(bytes.max(0) as u64, value, ReduceOp::Sum);
-            Ok(Value::Int(v))
+                .allreduce(bytes.max(0) as u64, value, ReduceOp::Sum)
+            {
+                Poll::Ready(v) => Ok(Some(Value::Int(v))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiAllgather => {
             let bytes = int_arg(args, 0)?;
             m.sync_clock();
-            m.proc().allgather(bytes.max(0) as u64);
-            Ok(Value::Int(0))
+            match m.proc().allgather(bytes.max(0) as u64) {
+                Poll::Ready(()) => Ok(Some(Value::Int(0))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::MpiAlltoall => {
             let bytes = int_arg(args, 0)?;
             m.sync_clock();
-            m.proc().alltoall(bytes.max(0) as u64);
-            Ok(Value::Int(0))
+            match m.proc().alltoall(bytes.max(0) as u64) {
+                Poll::Ready(()) => Ok(Some(Value::Int(0))),
+                Poll::Pending => Ok(None),
+            }
         }
         Builtin::IoRead => {
             let bytes = int_arg(args, 0)?;
             m.sync_clock();
             m.proc().io_read(bytes.max(0) as u64);
-            Ok(Value::Int(0))
+            Ok(Some(Value::Int(0)))
         }
         Builtin::IoWrite => {
             let bytes = int_arg(args, 0)?;
             m.sync_clock();
             m.proc().io_write(bytes.max(0) as u64);
-            Ok(Value::Int(0))
+            Ok(Some(Value::Int(0)))
         }
         // Never-fixed externs the analysis knows about still need to run.
-        Builtin::Printf | Builtin::Print => Ok(Value::Int(0)),
-        Builtin::Rand => Ok(Value::Int(m.next_rand())),
-        Builtin::Wtime => Ok(Value::Int(m.proc().now().as_nanos() as i64)),
+        Builtin::Printf | Builtin::Print => Ok(Some(Value::Int(0))),
+        Builtin::Rand => Ok(Some(Value::Int(m.next_rand()))),
+        Builtin::Wtime => Ok(Some(Value::Int(m.proc().now().as_nanos() as i64))),
     }
 }
 

@@ -263,6 +263,11 @@ pub struct CompiledProgram {
     pub(crate) msgs: Vec<String>,
 }
 
+/// Pseudo-index naming the entry function in a suspended VM state: the
+/// entry variant of `main` lives outside [`CompiledProgram::functions`],
+/// so it gets a sentinel instead of a real index.
+pub(crate) const ENTRY_FN: u32 = u32::MAX;
+
 impl CompiledProgram {
     /// The function executed by the VM entry call, if `main` exists.
     pub(crate) fn entry_fn(&self) -> Option<&CompiledFn> {
@@ -270,6 +275,17 @@ impl CompiledProgram {
             (Some(f), _) => Some(f),
             (None, Some(i)) => Some(&self.functions[i as usize]),
             (None, None) => None,
+        }
+    }
+
+    /// Resolve a function index stored in a suspended frame ([`ENTRY_FN`]
+    /// names the entry function).
+    pub(crate) fn fn_by_index(&self, i: u32) -> &CompiledFn {
+        if i == ENTRY_FN {
+            self.entry_fn()
+                .expect("suspended state implies an entry fn")
+        } else {
+            &self.functions[i as usize]
         }
     }
 

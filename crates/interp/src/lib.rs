@@ -24,7 +24,7 @@ pub mod values;
 pub mod vm;
 
 pub use bytecode::{CompiledProgram, Insn};
-pub use machine::{ExecError, Machine};
+pub use machine::{ExecError, Machine, ProcRef};
 pub use run::{
     run_instrumented, run_instrumented_shared, run_instrumented_sink, run_plain, run_plain_shared,
     ExecBackend, Executor, InstrumentedRun, RankResult, RunConfig,

@@ -74,10 +74,51 @@ enum Flow {
     Continue,
 }
 
+/// How a [`Machine`] holds its rank handle: borrowed from a rank thread
+/// (the thread-per-rank backend) or owned outright by an event-scheduler
+/// task, which must carry the `Proc` across yields.
+pub enum ProcRef<'w> {
+    /// Borrowed from the enclosing rank thread.
+    Borrowed(&'w mut Proc),
+    /// Owned by the machine itself (event backend; `Machine<'static>`).
+    Owned(Box<Proc>),
+}
+
+impl std::ops::Deref for ProcRef<'_> {
+    type Target = Proc;
+    fn deref(&self) -> &Proc {
+        match self {
+            ProcRef::Borrowed(p) => p,
+            ProcRef::Owned(p) => p,
+        }
+    }
+}
+
+impl std::ops::DerefMut for ProcRef<'_> {
+    fn deref_mut(&mut self) -> &mut Proc {
+        match self {
+            ProcRef::Borrowed(p) => p,
+            ProcRef::Owned(p) => p,
+        }
+    }
+}
+
+impl<'w> From<&'w mut Proc> for ProcRef<'w> {
+    fn from(p: &'w mut Proc) -> Self {
+        ProcRef::Borrowed(p)
+    }
+}
+
+impl From<Proc> for ProcRef<'static> {
+    fn from(p: Proc) -> Self {
+        ProcRef::Owned(Box::new(p))
+    }
+}
+
 /// The per-rank interpreter.
 pub struct Machine<'w> {
     program: Arc<Program>,
-    proc: &'w mut Proc,
+    proc: ProcRef<'w>,
     globals: Env,
     pending: Work,
     miss_rate: f64,
@@ -138,8 +179,14 @@ impl SensorHarness {
 }
 
 impl<'w> Machine<'w> {
-    /// Create a machine for one rank. Pass `sensors` for instrumented runs.
-    pub fn new(program: Arc<Program>, proc: &'w mut Proc, sensors: Option<SensorHarness>) -> Self {
+    /// Create a machine for one rank. Pass `sensors` for instrumented
+    /// runs. The rank handle may be borrowed (thread backend) or owned
+    /// (event backend) — see [`ProcRef`].
+    pub fn new(
+        program: Arc<Program>,
+        proc: impl Into<ProcRef<'w>>,
+        sensors: Option<SensorHarness>,
+    ) -> Self {
         let mut globals = Env::new();
         for g in &program.globals {
             let v = match g.init {
@@ -148,6 +195,7 @@ impl<'w> Machine<'w> {
             };
             globals.declare(&g.name, v);
         }
+        let proc = proc.into();
         let rand_seed = 0x7ea5_0000 ^ proc.rank() as u64;
         Machine {
             program,
@@ -174,13 +222,17 @@ impl<'w> Machine<'w> {
         // cloning its whole body for the call.
         let program = Arc::clone(&self.program);
         self.call_function(&program.functions[main], Vec::new())?;
-        Ok(self.finalize())
+        let result = self.finalize();
+        Ok(result)
     }
 
     /// Flush pending work and collect the run's results. Shared tail of the
-    /// tree-walker [`Self::run`] and the bytecode VM (`vm::run_vm`), so both
-    /// backends finish a rank identically.
-    pub(crate) fn finalize(mut self) -> MachineResult {
+    /// tree-walker [`Self::run`], the bytecode VM (`vm::run_vm`) and the
+    /// event-scheduler task driver, so every backend finishes a rank
+    /// identically. Takes `&mut self` because an event task must keep its
+    /// owned `Proc` reachable after completion (the scheduler drains the
+    /// rank's final notifications).
+    pub(crate) fn finalize(&mut self) -> MachineResult {
         self.sync_clock();
         let mut end = self.proc.now();
         let mut distribution = Default::default();
@@ -201,7 +253,7 @@ impl<'w> Machine<'w> {
             end,
             stats: self.proc.stats(),
             distribution,
-            validation: self.validation,
+            validation: std::mem::take(&mut self.validation),
             local_variances,
             transport,
         }
@@ -237,7 +289,7 @@ impl<'w> Machine<'w> {
     /// The underlying MPI process handle. Callers must [`Self::sync_clock`]
     /// first so communication sees an up-to-date clock.
     pub fn proc(&mut self) -> &mut Proc {
-        self.proc
+        &mut self.proc
     }
 
     /// Set the current cache-miss rate (the `cache_phase` builtin).
@@ -393,7 +445,8 @@ impl<'w> Machine<'w> {
                     h.transport
                         .set_death_notice(Some(vsensor_runtime::DeathNotice { rank, at }));
                 }
-                let batch = h.runtime.take_batch(now);
+                let recycled = h.transport.recycled_buffer();
+                let batch = h.runtime.take_batch_into(now, recycled);
                 let cost = h.transport.enqueue(batch, now);
                 self.proc.advance(cost);
             }

@@ -8,9 +8,10 @@
 use crate::bytecode::{self, CompiledProgram};
 use crate::machine::{ExecError, Machine, MachineResult, SensorHarness};
 use crate::validate::{self, ValidationStats};
-use crate::vm;
+use crate::vm::{self, VmState};
 use cluster_sim::time::{Duration, VirtualTime};
 use cluster_sim::Cluster;
+use simmpi::{RankTask, SimBackend, TaskPoll};
 use std::sync::Arc;
 use vsensor_lang::Program;
 use vsensor_runtime::{
@@ -78,6 +79,11 @@ pub struct RunConfig {
     pub rule: Arc<dyn DynamicRule>,
     /// Execution engine (defaults to the bytecode VM).
     pub backend: ExecBackend,
+    /// Which simmpi backend hosts the ranks: thread-per-rank (default) or
+    /// the event-driven virtual-time scheduler. The event backend requires
+    /// [`ExecBackend::Vm`] and produces bit-identical results while
+    /// scaling to paper-size worlds (16k+ ranks) in one process.
+    pub sim: SimBackend,
 }
 
 impl Default for RunConfig {
@@ -86,8 +92,84 @@ impl Default for RunConfig {
             runtime: RuntimeConfig::default(),
             rule: Arc::new(vsensor_runtime::dynrules::ConstantExpected),
             backend: ExecBackend::default(),
+            sim: SimBackend::default(),
         }
     }
+}
+
+/// One rank of a VM run as a resumable event-scheduler task: the machine
+/// owns its `Proc`, the [`VmState`] carries the suspended interpreter, and
+/// every `resume` continues the dispatch loop until the next `Pending`
+/// MPI operation or the end of `main`.
+struct VmTask {
+    machine: Machine<'static>,
+    state: VmState,
+    compiled: Arc<CompiledProgram>,
+    /// `(lane, start)` of the per-rank VM trace span, mirroring
+    /// `vm::run_vm`'s bracket on the threaded backend.
+    traced: Option<(u32, VirtualTime)>,
+}
+
+impl VmTask {
+    fn new(
+        program: Arc<Program>,
+        compiled: Arc<CompiledProgram>,
+        proc: simmpi::Proc,
+        sensors: Option<SensorHarness>,
+    ) -> Self {
+        let machine = Machine::new(program, proc, sensors);
+        let traced = cluster_sim::trace::enabled(cluster_sim::trace::Category::VM)
+            .then(|| (machine.trace_lane(), machine.now()));
+        VmTask {
+            machine,
+            state: VmState::new(),
+            compiled,
+            traced,
+        }
+    }
+}
+
+impl RankTask for VmTask {
+    type Output = MachineResult;
+
+    fn resume(&mut self) -> TaskPoll<MachineResult> {
+        match vm::resume_vm(&mut self.machine, &self.compiled, &mut self.state) {
+            Ok(true) => {
+                let result = self.machine.finalize();
+                if let Some((lane, start)) = self.traced {
+                    cluster_sim::trace::record(cluster_sim::trace::TraceEvent::complete(
+                        cluster_sim::trace::Category::VM,
+                        "vm_run",
+                        lane,
+                        0,
+                        start.as_nanos(),
+                        result.end.since(start).as_nanos(),
+                        0,
+                        0,
+                    ));
+                }
+                TaskPoll::Ready(result)
+            }
+            Ok(false) => TaskPoll::Yielded,
+            // Matches the threaded driver: program errors become a panic
+            // the world relabels with the rank ID.
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn proc_mut(&mut self) -> &mut simmpi::Proc {
+        self.machine.proc()
+    }
+}
+
+/// The compiled program an event run needs, or a clear panic: the
+/// tree-walker cannot suspend, so it only runs thread-per-rank.
+fn event_compiled(exec: &Executor) -> Arc<CompiledProgram> {
+    exec.compiled.clone().unwrap_or_else(|| {
+        panic!(
+            "the event scheduler (SimBackend::Event) requires the bytecode VM              (ExecBackend::Vm); the tree-walking interpreter cannot yield and              only runs on the thread-per-rank backend"
+        )
+    })
 }
 
 /// Per-rank outcome (re-exported view over the machine result).
@@ -126,29 +208,43 @@ impl From<MachineResult> for RankResult {
 /// Thin wrapper over [`run_plain_shared`]; callers that already hold an
 /// `Arc<Program>` should use that to skip the deep program clone.
 pub fn run_plain(program: &Program, cluster: Arc<Cluster>) -> Vec<RankResult> {
-    run_plain_shared(Arc::new(program.clone()), cluster, ExecBackend::default())
+    run_plain_shared(
+        Arc::new(program.clone()),
+        cluster,
+        ExecBackend::default(),
+        SimBackend::default(),
+    )
 }
 
-/// [`run_plain`] without the program clone, on an explicit backend.
+/// [`run_plain`] without the program clone, on explicit execution and
+/// simulation backends.
 pub fn run_plain_shared(
     program: Arc<Program>,
     cluster: Arc<Cluster>,
     backend: ExecBackend,
+    sim: SimBackend,
 ) -> Vec<RankResult> {
     let exec = Executor::new(program, backend);
     let world = simmpi::World::new(cluster);
-    world
-        .run(|proc| {
+    let results: Vec<MachineResult> = match sim {
+        SimBackend::Threads => world.run(|proc| {
             match simmpi::catch_death(|| {
                 exec.run_rank(proc, None).unwrap_or_else(|e| panic!("{e}"))
             }) {
                 Ok(r) => r,
                 Err(death) => dead_rank_result(death, proc),
             }
-        })
-        .into_iter()
-        .map(RankResult::from)
-        .collect()
+        }),
+        SimBackend::Event => {
+            let compiled = event_compiled(&exec);
+            let program = exec.program.clone();
+            world.run_event(
+                move |_rank, proc| VmTask::new(program.clone(), compiled.clone(), proc, None),
+                |death, task| dead_rank_result(death, task.proc_mut()),
+            )
+        }
+    };
+    results.into_iter().map(RankResult::from).collect()
 }
 
 /// The partial result of a rank that fail-stopped mid-run: accounting up
@@ -254,8 +350,8 @@ pub fn run_instrumented_sink(
     let channel: Arc<dyn BatchChannel> = sink.clone();
     let world = simmpi::World::new(cluster);
     let sensor_count = sensors.len();
-    let rank_results: Vec<RankResult> = world
-        .run(|proc| {
+    let machine_results: Vec<MachineResult> = match config.sim {
+        SimBackend::Threads => world.run(|proc| {
             let runtime =
                 SensorRuntime::with_rule(sensor_count, config.runtime.clone(), config.rule.clone());
             let harness = SensorHarness::with_channel(runtime, proc.rank(), channel.clone())
@@ -267,10 +363,27 @@ pub fn run_instrumented_sink(
                 Ok(r) => r,
                 Err(death) => dead_rank_result(death, proc),
             }
-        })
-        .into_iter()
-        .map(RankResult::from)
-        .collect();
+        }),
+        SimBackend::Event => {
+            let compiled = event_compiled(&exec);
+            let program = exec.program.clone();
+            let channel = channel.clone();
+            world.run_event(
+                move |rank, proc| {
+                    let runtime = SensorRuntime::with_rule(
+                        sensor_count,
+                        config.runtime.clone(),
+                        config.rule.clone(),
+                    );
+                    let harness = SensorHarness::with_channel(runtime, rank, channel.clone())
+                        .with_trace_lane(proc.trace_lane());
+                    VmTask::new(program.clone(), compiled.clone(), proc, Some(harness))
+                },
+                |death, task| dead_rank_result(death, task.proc_mut()),
+            )
+        }
+    };
+    let rank_results: Vec<RankResult> = machine_results.into_iter().map(RankResult::from).collect();
     // Read the final state through the sink: if a crash fired, the
     // original server object died with its state and this resolves to the
     // recovered (or promoted) instance.

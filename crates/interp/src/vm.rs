@@ -14,7 +14,7 @@
 //! moves on the operand stack.
 
 use crate::builtins;
-use crate::bytecode::{CompiledFn, CompiledProgram, Insn};
+use crate::bytecode::{self, CompiledProgram, Insn};
 use crate::machine::{
     binop, coerce_scalar, cost, load_element, store_element, ExecError, Machine, MachineResult,
 };
@@ -23,11 +23,48 @@ use vsensor_lang::ast::Type;
 use vsensor_lang::UnOp;
 
 /// A suspended caller: where to resume and where its locals/operands live.
-struct Frame<'c> {
-    func: &'c CompiledFn,
+/// Functions are named by index (see [`bytecode::ENTRY_FN`]) so a frame
+/// stack can be stored in a [`VmState`] across yields.
+struct Frame {
+    func: u32,
     ret_pc: usize,
     locals_base: usize,
     stack_floor: usize,
+}
+
+/// The complete execution state of one rank's VM, owned outside the
+/// dispatch loop so event-scheduler tasks can suspend mid-program: when a
+/// blocking builtin returns `Pending`, the loop rewinds `pc` onto the
+/// `CallBuiltin` instruction, saves everything here and returns; the next
+/// [`resume_vm`] re-executes that instruction, which re-polls the pending
+/// operation latched in the rank's `Proc`.
+pub(crate) struct VmState {
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+    frames: Vec<Frame>,
+    globals: Vec<Value>,
+    func: u32,
+    pc: usize,
+    locals_base: usize,
+    stack_floor: usize,
+    started: bool,
+}
+
+impl VmState {
+    /// Fresh state, positioned before the entry call.
+    pub(crate) fn new() -> Self {
+        VmState {
+            stack: Vec::with_capacity(32),
+            locals: Vec::with_capacity(64),
+            frames: Vec::with_capacity(16),
+            globals: Vec::new(),
+            func: bytecode::ENTRY_FN,
+            pc: 0,
+            locals_base: 0,
+            stack_floor: 0,
+            started: false,
+        }
+    }
 }
 
 /// Execute `main` of a compiled program on one rank. The `Machine` carries
@@ -39,13 +76,16 @@ struct Frame<'c> {
 /// the loop itself (rather than across one outlined call) perturbs the
 /// loop's register allocation enough to cost double-digit percent even
 /// with tracing disabled.
-pub fn run_vm(m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineResult, ExecError> {
+pub fn run_vm(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineResult, ExecError> {
     // Trace the whole VM run as one virtual-time span per rank. Reading
     // the clock here charges nothing, so traced and untraced runs are
     // bit-identical.
     let traced = cluster_sim::trace::enabled(cluster_sim::trace::Category::VM)
         .then(|| (m.trace_lane(), m.now()));
-    let result = run_vm_loop(m, compiled)?;
+    let mut st = VmState::new();
+    let finished = run_vm_loop(&mut m, compiled, &mut st)?;
+    debug_assert!(finished, "a thread-backed rank never suspends");
+    let result = m.finalize();
     if let Some((lane, start)) = traced {
         cluster_sim::trace::record(cluster_sim::trace::TraceEvent::complete(
             cluster_sim::trace::Category::VM,
@@ -61,27 +101,50 @@ pub fn run_vm(m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineResul
     Ok(result)
 }
 
+/// Run or resume one rank's VM under the event scheduler. `Ok(true)` means
+/// `main` returned (call `Machine::finalize` for the result); `Ok(false)`
+/// means a blocking builtin is `Pending` — the rank yielded, and the next
+/// call continues bit-identically to an uninterrupted run.
+pub(crate) fn resume_vm(
+    m: &mut Machine<'_>,
+    compiled: &CompiledProgram,
+    st: &mut VmState,
+) -> Result<bool, ExecError> {
+    run_vm_loop(m, compiled, st)
+}
+
 /// The dispatch loop proper. Outlined from [`run_vm`] so nothing
-/// trace-related is live across it.
+/// trace-related is live across it. State lives in locals for dispatch
+/// speed and is written back to `st` only at a suspend or the final
+/// return.
 #[inline(never)]
-fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<MachineResult, ExecError> {
-    let entry = compiled
-        .entry_fn()
-        .ok_or_else(|| ExecError::new("program has no `main`"))?;
-    // The walker's entry call: depth check (trivially passes), then the
-    // CALL charge.
-    m.charge(cost::CALL);
+fn run_vm_loop(
+    m: &mut Machine<'_>,
+    compiled: &CompiledProgram,
+    st: &mut VmState,
+) -> Result<bool, ExecError> {
+    if !st.started {
+        let entry = compiled
+            .entry_fn()
+            .ok_or_else(|| ExecError::new("program has no `main`"))?;
+        // The walker's entry call: depth check (trivially passes), then
+        // the CALL charge.
+        m.charge(cost::CALL);
+        st.locals.resize(entry.n_slots as usize, Value::Int(0));
+        st.globals = compiled.globals.clone();
+        st.started = true;
+    }
 
-    let mut stack: Vec<Value> = Vec::with_capacity(32);
-    let mut locals: Vec<Value> = Vec::with_capacity(64);
-    let mut frames: Vec<Frame<'_>> = Vec::with_capacity(16);
-    locals.resize(entry.n_slots as usize, Value::Int(0));
+    let mut stack: Vec<Value> = std::mem::take(&mut st.stack);
+    let mut locals: Vec<Value> = std::mem::take(&mut st.locals);
+    let mut frames: Vec<Frame> = std::mem::take(&mut st.frames);
+    let mut globals: Vec<Value> = std::mem::take(&mut st.globals);
 
-    let mut func = entry;
-    let mut pc: usize = 0;
-    let mut locals_base: usize = 0;
-    let mut stack_floor: usize = 0;
-    let mut globals: Vec<Value> = compiled.globals.clone();
+    let mut func_idx: u32 = st.func;
+    let mut func = compiled.fn_by_index(func_idx);
+    let mut pc: usize = st.pc;
+    let mut locals_base: usize = st.locals_base;
+    let mut stack_floor: usize = st.stack_floor;
 
     macro_rules! pop {
         () => {
@@ -109,30 +172,30 @@ fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<Machine
                 stack.push(coerce_scalar(v, *ty));
             }
             Insn::LoadIndexLocal(s) => {
-                let i = index_operand(&mut m, pop!())?;
+                let i = index_operand(m, pop!())?;
                 stack.push(load_element(&locals[locals_base + *s as usize], i)?);
             }
             Insn::LoadIndexGlobal(g) => {
-                let i = index_operand(&mut m, pop!())?;
+                let i = index_operand(m, pop!())?;
                 stack.push(load_element(&globals[*g as usize], i)?);
             }
             Insn::StoreIndexLocal(s) => {
-                let i = index_operand(&mut m, pop!())?;
+                let i = index_operand(m, pop!())?;
                 let v = pop!();
                 store_element(&mut locals[locals_base + *s as usize], i, v)?;
             }
             Insn::StoreIndexGlobal(g) => {
-                let i = index_operand(&mut m, pop!())?;
+                let i = index_operand(m, pop!())?;
                 let v = pop!();
                 store_element(&mut globals[*g as usize], i, v)?;
             }
             Insn::LoadIndexLV { arr, idx } => {
-                let i = local_index(&mut m, &locals[locals_base + *idx as usize])?;
+                let i = local_index(m, &locals[locals_base + *idx as usize])?;
                 stack.push(load_element(&locals[locals_base + *arr as usize], i)?);
             }
             Insn::StoreIndexLV { arr, idx, u } => {
                 m.charge_units(*u);
-                let i = local_index(&mut m, &locals[locals_base + *idx as usize])?;
+                let i = local_index(m, &locals[locals_base + *idx as usize])?;
                 let v = pop!();
                 store_element(&mut locals[locals_base + *arr as usize], i, v)?;
             }
@@ -145,16 +208,16 @@ fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<Machine
                 u1,
             } => {
                 m.charge_units(*u1);
-                let i = local_index(&mut m, &locals[locals_base + *ai as usize])?;
+                let i = local_index(m, &locals[locals_base + *ai as usize])?;
                 let l = load_element(&locals[locals_base + *a as usize], i)?;
                 m.charge_units(2 * cost::EXPR_NODE as u32);
-                let j = local_index(&mut m, &locals[locals_base + *bi as usize])?;
+                let j = local_index(m, &locals[locals_base + *bi as usize])?;
                 let r = load_element(&locals[locals_base + *b as usize], j)?;
                 stack.push(binop_fast(*op, l, r)?);
             }
             Insn::BinOpIdx { op, arr, idx, u } => {
                 m.charge_units(*u);
-                let i = local_index(&mut m, &locals[locals_base + *idx as usize])?;
+                let i = local_index(m, &locals[locals_base + *idx as usize])?;
                 let r = load_element(&locals[locals_base + *arr as usize], i)?;
                 let l = pop!();
                 stack.push(binop_fast(*op, l, r)?);
@@ -162,7 +225,7 @@ fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<Machine
             Insn::IndexTrap(msg) => {
                 // Unresolvable array name: run the walker's index checks
                 // and memory charge, then its lookup error.
-                index_operand(&mut m, pop!())?;
+                index_operand(m, pop!())?;
                 return Err(ExecError::new(compiled.msgs[*msg as usize].clone()));
             }
             Insn::AllocArray { slot, ty } => {
@@ -276,11 +339,12 @@ fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<Machine
                 locals.extend(stack.drain(split..));
                 locals.resize(new_base + callee.n_slots as usize, Value::Int(0));
                 frames.push(Frame {
-                    func,
+                    func: func_idx,
                     ret_pc: pc,
                     locals_base,
                     stack_floor,
                 });
+                func_idx = *fi;
                 func = callee;
                 pc = 0;
                 locals_base = new_base;
@@ -288,9 +352,28 @@ fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<Machine
             }
             Insn::CallBuiltin { builtin, argc } => {
                 let split = stack.len() - *argc as usize;
-                let result = builtins::dispatch(&mut m, *builtin, &stack[split..])?;
-                stack.truncate(split);
-                stack.push(result);
+                match builtins::dispatch(m, *builtin, &stack[split..])? {
+                    Some(result) => {
+                        stack.truncate(split);
+                        stack.push(result);
+                    }
+                    None => {
+                        // The builtin's MPI operation is Pending: rewind
+                        // onto this instruction (arguments stay on the
+                        // stack) and suspend. Resuming re-dispatches the
+                        // builtin, which re-polls the latched operation.
+                        pc -= 1;
+                        st.stack = stack;
+                        st.locals = locals;
+                        st.frames = frames;
+                        st.globals = globals;
+                        st.func = func_idx;
+                        st.pc = pc;
+                        st.locals_base = locals_base;
+                        st.stack_floor = stack_floor;
+                        return Ok(false);
+                    }
+                }
             }
             Insn::Return => {
                 let v = pop!();
@@ -298,7 +381,8 @@ fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<Machine
                 locals.truncate(locals_base);
                 match frames.pop() {
                     Some(frame) => {
-                        func = frame.func;
+                        func_idx = frame.func;
+                        func = compiled.fn_by_index(func_idx);
                         pc = frame.ret_pc;
                         locals_base = frame.locals_base;
                         stack_floor = frame.stack_floor;
@@ -313,7 +397,11 @@ fn run_vm_loop(mut m: Machine<'_>, compiled: &CompiledProgram) -> Result<Machine
             Insn::Trap(msg) => return Err(ExecError::new(compiled.msgs[*msg as usize].clone())),
         }
     }
-    Ok(m.finalize())
+    st.stack = stack;
+    st.locals = locals;
+    st.frames = frames;
+    st.globals = globals;
+    Ok(true)
 }
 
 #[inline]

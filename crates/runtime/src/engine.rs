@@ -579,8 +579,9 @@ impl Engine {
         true
     }
 
-    /// Legacy direct path: no sequence numbers, no dedup, no delivery
+    /// Direct test-only path: no sequence numbers, no dedup, no delivery
     /// bookkeeping — retransmitted data only tightens standards.
+    #[cfg(test)]
     pub(crate) fn submit(&self, rank: usize, batch: Vec<SliceRecord>) {
         if batch.is_empty() {
             return;

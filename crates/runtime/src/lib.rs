@@ -62,8 +62,7 @@ pub use matrix::{CellState, PerformanceMatrix};
 pub use record::{SensorInfo, SensorKind, SliceRecord};
 pub use report::VarianceReport;
 pub use server::{
-    AnalysisServer, DeliveryQuality, IngestResult, IngestSession, IngestStats, SensorSummary,
-    ServerResult,
+    AnalysisServer, DeliveryQuality, IngestSession, IngestStats, SensorSummary, ServerResult,
 };
 pub use service::{
     AnalysisService, ServiceConfig, ServiceError, TenantChannel, TenantId, TenantSession,

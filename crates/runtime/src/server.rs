@@ -25,8 +25,9 @@
 //! let result = session.close(end);   // -> ServerResult, seals the server
 //! ```
 //!
-//! The old names survive as `#[deprecated]` shims that delegate to the
-//! same engine, so `finalize` and `close` cannot disagree by construction.
+//! The pre-0.2 method-per-operation surface (`submit`, `snapshot`,
+//! `finalize`, per-counter getters) is gone; the session is the one front
+//! door, so interim and final views cannot disagree by construction.
 
 use crate::config::RuntimeConfig;
 use crate::detect::VarianceEvent;
@@ -47,20 +48,6 @@ use vsensor_lang::SensorId;
 /// concurrently; closing the session yields the final [`ServerResult`].
 pub struct AnalysisServer {
     engine: Engine,
-}
-
-/// What the server did with one ingested batch (legacy result; the session
-/// API reports `Result<IngestReceipt, IngestError>` instead).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum IngestResult {
-    /// Batch verified and absorbed.
-    Accepted,
-    /// `(rank, seq)` already seen — a retry or fabric duplicate; ignored.
-    Duplicate,
-    /// CRC mismatch — payload damaged in flight; rejected, no ack.
-    Corrupt,
-    /// Structurally invalid (e.g. rank out of range); rejected permanently.
-    Malformed,
 }
 
 /// Running ingest counters, observable mid-run without building a result.
@@ -238,70 +225,6 @@ impl AnalysisServer {
     #[doc(hidden)]
     pub fn cell_stats(&self) -> (usize, usize) {
         self.engine.cell_stats()
-    }
-
-    // ------------------------------------------------------------------
-    // Legacy surface. Every method below is a thin shim over the same
-    // engine the session API uses; they exist so out-of-tree callers keep
-    // compiling. In-tree code must use the session API — CI greps for it.
-    // ------------------------------------------------------------------
-
-    /// Receive one batch from a rank over the legacy direct path (no
-    /// sequence numbers, no dedup — retransmitted data only tightens
-    /// standards).
-    #[deprecated(since = "0.2.0", note = "use `session().ingest(...)` instead")]
-    pub fn submit(&self, rank: usize, batch: Vec<crate::record::SliceRecord>) {
-        self.engine.submit(rank, batch);
-    }
-
-    /// Receive one sequence-numbered batch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `session().ingest(...)` which returns `Result<IngestReceipt, IngestError>`"
-    )]
-    pub fn ingest(&self, batch: TelemetryBatch, arrival: VirtualTime) -> IngestResult {
-        match self.engine.ingest(batch, arrival) {
-            Ok(r) if r.duplicate => IngestResult::Duplicate,
-            Ok(_) => IngestResult::Accepted,
-            Err(IngestError::Corrupt { .. }) => IngestResult::Corrupt,
-            Err(_) => IngestResult::Malformed,
-        }
-    }
-
-    /// Interim snapshot of the analysis.
-    #[deprecated(since = "0.2.0", note = "use `interim(up_to)` instead")]
-    pub fn snapshot(&self, up_to: VirtualTime) -> ServerResult {
-        self.engine.result_at(up_to)
-    }
-
-    /// Finish the run and build the result (does not seal the server).
-    #[deprecated(since = "0.2.0", note = "use `session().close(run_end)` instead")]
-    pub fn finalize(&self, run_end: VirtualTime) -> ServerResult {
-        self.engine.result_at(run_end)
-    }
-
-    /// Total bytes received so far.
-    #[deprecated(since = "0.2.0", note = "use `stats().bytes_received` instead")]
-    pub fn bytes_received(&self) -> u64 {
-        self.engine.bytes_received()
-    }
-
-    /// Number of batches received.
-    #[deprecated(since = "0.2.0", note = "use `stats().batches` instead")]
-    pub fn batches(&self) -> u64 {
-        self.engine.batch_count()
-    }
-
-    /// Number of records received.
-    #[deprecated(since = "0.2.0", note = "use `stats().records` instead")]
-    pub fn record_count(&self) -> usize {
-        self.engine.record_count() as usize
-    }
-
-    /// Records rejected so far for naming unknown sensors.
-    #[deprecated(since = "0.2.0", note = "use `stats().malformed` instead")]
-    pub fn malformed_records(&self) -> u64 {
-        self.engine.malformed_count()
     }
 }
 
@@ -738,31 +661,5 @@ mod tests {
         };
         let err = AnalysisServer::try_new(1, Vec::new(), bad).err().unwrap();
         assert!(matches!(err, RuntimeError::InvalidConfig { field, .. } if field == "shards"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_the_engine() {
-        // The legacy surface must keep working for out-of-tree callers and
-        // agree with the session API by construction.
-        let s = default_server(2);
-        s.submit(0, vec![rec(0, 0, 10), rec(0, 1, 10)]);
-        s.submit(1, vec![rec(0, 0, 20)]);
-        s.submit(1, vec![]); // empty batches are free
-        assert_eq!(s.batches(), 2);
-        assert_eq!(s.record_count(), 3);
-        assert_eq!(s.bytes_received(), s.stats().bytes_received);
-        assert_eq!(s.malformed_records(), 0);
-        let t = VirtualTime::from_millis(1);
-        let r = s.ingest(TelemetryBatch::new(0, 0, t, vec![rec(0, 2, 10)]), t);
-        assert_eq!(r, IngestResult::Accepted);
-        let r = s.ingest(TelemetryBatch::new(0, 0, t, vec![rec(0, 2, 10)]), t);
-        assert_eq!(r, IngestResult::Duplicate);
-        let r = s.ingest(TelemetryBatch::new(9, 1, t, Vec::new()), t);
-        assert_eq!(r, IngestResult::Malformed);
-        let legacy = s.finalize(VirtualTime::from_millis(10));
-        let snap = s.snapshot(VirtualTime::from_millis(10));
-        assert_eq!(legacy.records, snap.records);
-        assert_eq!(legacy.events, snap.events);
     }
 }

@@ -150,6 +150,13 @@ pub enum ServiceError {
     DuplicateTenant(TenantId),
     /// No tenant with this id is registered.
     UnknownTenant(TenantId),
+    /// The tenant cannot be deregistered while sessions are open on it.
+    TenantBusy {
+        /// The busy tenant.
+        tenant: TenantId,
+        /// Sessions currently open.
+        sessions: usize,
+    },
     /// The tenant's [`RuntimeConfig`] failed validation.
     InvalidTenantConfig {
         /// The offending tenant.
@@ -172,6 +179,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::DuplicateTenant(t) => write!(f, "tenant {t} is already registered"),
             ServiceError::UnknownTenant(t) => write!(f, "no tenant {t} is registered"),
+            ServiceError::TenantBusy { tenant, sessions } => {
+                write!(
+                    f,
+                    "tenant {tenant} has {sessions} open session(s); close them before deregistering"
+                )
+            }
             ServiceError::InvalidTenantConfig { tenant, source } => {
                 write!(f, "tenant {tenant} config invalid: {source}")
             }
@@ -216,6 +229,8 @@ struct TenantShard {
     /// The tenant's own journal (durable services only).
     wal: Mutex<Option<Arc<WriteAheadLog>>>,
     ledger: Mutex<Ledger>,
+    /// Open [`TenantSession`]s; a busy tenant refuses deregistration.
+    sessions: std::sync::atomic::AtomicUsize,
 }
 
 /// A standby replica of one tenant, kept caught up by WAL replay.
@@ -289,6 +304,7 @@ impl AnalysisService {
                 live: Mutex::new(None),
                 wal: Mutex::new(None),
                 ledger: Mutex::new(Ledger::default()),
+                sessions: std::sync::atomic::AtomicUsize::new(0),
             }),
         );
         Ok(())
@@ -297,6 +313,49 @@ impl AnalysisService {
     /// Registered tenants, in id order.
     pub fn tenants(&self) -> Vec<TenantId> {
         self.tenants.lock().keys().copied().collect()
+    }
+
+    /// Remove a tenant and evict everything it owned: its live engine,
+    /// its write-ahead log handle, its admission ledger and its standby
+    /// replica all drop with the shard, so a later [`register`] under the
+    /// same id starts from a clean slate. Refused with
+    /// [`ServiceError::TenantBusy`] while any [`TenantSession`] is open on
+    /// the tenant — the check and the removal happen under the routing
+    /// lock that [`session`] takes, so a session cannot open concurrently
+    /// with a successful deregistration. Subsequent direct ingests get
+    /// [`IngestError::Closed`], exactly like an unregistered tenant.
+    ///
+    /// [`register`]: AnalysisService::register
+    /// [`session`]: AnalysisService::session
+    pub fn deregister_tenant(&self, tenant: TenantId) -> Result<(), ServiceError> {
+        let mut tenants = self.tenants.lock();
+        let shard = tenants
+            .get(&tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant))?;
+        let open = shard.sessions.load(Ordering::SeqCst);
+        if open > 0 {
+            return Err(ServiceError::TenantBusy {
+                tenant,
+                sessions: open,
+            });
+        }
+        tenants.remove(&tenant);
+        drop(tenants);
+        // The standby map is keyed separately; evict the replica too.
+        if let Some(standby) = self.standby.lock().as_mut() {
+            standby.remove(&tenant);
+        }
+        if trace::enabled(Category::ENGINE) {
+            trace::record(TraceEvent::instant(
+                Category::ENGINE,
+                "tenant_deregister",
+                SERVER_LANE,
+                0,
+                tenant.0 as u64,
+                0,
+            ));
+        }
+        Ok(())
     }
 
     fn shard(&self, id: TenantId) -> Option<Arc<TenantShard>> {
@@ -556,11 +615,19 @@ impl AnalysisService {
     /// [`crate::IngestSession`] so single-run call sites port over by
     /// adding a tenant id.
     pub fn session(&self, tenant: TenantId) -> Result<TenantSession<'_>, ServiceError> {
-        if self.shard(tenant).is_none() {
-            return Err(ServiceError::UnknownTenant(tenant));
-        }
+        // Count the session while still holding the routing lock so a
+        // concurrent `deregister_tenant` either sees it or removed the
+        // tenant first — never neither.
+        let tenants = self.tenants.lock();
+        let shard = tenants
+            .get(&tenant)
+            .cloned()
+            .ok_or(ServiceError::UnknownTenant(tenant))?;
+        shard.sessions.fetch_add(1, Ordering::SeqCst);
+        drop(tenants);
         Ok(TenantSession {
             service: self,
+            shard,
             tenant,
         })
     }
@@ -570,7 +637,15 @@ impl AnalysisService {
 /// [`crate::IngestSession`] — ingest, poll, close.
 pub struct TenantSession<'a> {
     service: &'a AnalysisService,
+    /// Keeps the shard's open-session count honest (see [`Drop`]).
+    shard: Arc<TenantShard>,
     tenant: TenantId,
+}
+
+impl Drop for TenantSession<'_> {
+    fn drop(&mut self) {
+        self.shard.sessions.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl TenantSession<'_> {
@@ -862,6 +937,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn deregister_refuses_unknown_and_busy_tenants() {
+        let svc = AnalysisService::new(ServiceConfig::default());
+        assert_eq!(
+            svc.deregister_tenant(TenantId(3)),
+            Err(ServiceError::UnknownTenant(TenantId(3)))
+        );
+        let t = TenantId(0);
+        svc.register(t, spec(1)).unwrap();
+        let session = svc.session(t).unwrap();
+        assert_eq!(
+            svc.deregister_tenant(t),
+            Err(ServiceError::TenantBusy {
+                tenant: t,
+                sessions: 1
+            })
+        );
+        session.close(VirtualTime::from_millis(1));
+        svc.deregister_tenant(t).unwrap();
+        assert!(svc.tenants().is_empty());
+    }
+
+    #[test]
+    fn deregister_evicts_engine_and_wal() {
+        let svc = AnalysisService::new(ServiceConfig::default().durable());
+        let t = TenantId(0);
+        svc.register(t, spec(1)).unwrap();
+        let at = VirtualTime::from_micros(5);
+        svc.ingest(t, batch(0, 0, at), at).unwrap();
+        assert_eq!(svc.wal(t).unwrap().batch_entries(), 1);
+        svc.deregister_tenant(t).unwrap();
+        // The engine and journal are gone; ingest sees no session at all.
+        assert!(svc.server(t).is_none());
+        assert!(svc.wal(t).is_none());
+        assert_eq!(
+            svc.ingest(t, batch(0, 1, at), at).unwrap_err(),
+            IngestError::Closed
+        );
+        // Re-registering the same id starts from a clean slate.
+        svc.register(t, spec(1)).unwrap();
+        svc.ingest(t, batch(0, 0, at), at).unwrap();
+        assert_eq!(svc.wal(t).unwrap().batch_entries(), 1);
+    }
+
+    #[test]
+    fn deregister_evicts_the_standby_replica() {
+        let svc = AnalysisService::new(ServiceConfig::default().durable());
+        let a = TenantId(0);
+        let b = TenantId(1);
+        svc.register(a, spec(1)).unwrap();
+        svc.register(b, spec(1)).unwrap();
+        svc.attach_standby().unwrap();
+        let at = VirtualTime::from_micros(5);
+        svc.ingest(a, batch(0, 0, at), at).unwrap();
+        svc.ingest(b, batch(0, 0, at), at).unwrap();
+        svc.catch_up_standby().unwrap();
+        svc.deregister_tenant(a).unwrap();
+        // Promotion after the eviction only touches the surviving tenant.
+        svc.fail_over(at).unwrap();
+        assert!(svc.server(a).is_none());
+        let result = svc.close_tenant(b, VirtualTime::from_millis(1)).unwrap();
+        assert_eq!(result.batches, 1);
     }
 
     #[test]

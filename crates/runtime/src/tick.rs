@@ -166,8 +166,22 @@ impl SensorRuntime {
 
     /// Take the buffered records for transmission.
     pub fn take_batch(&mut self, now: VirtualTime) -> Vec<SliceRecord> {
+        self.take_batch_into(now, Vec::new())
+    }
+
+    /// Take the buffered records for transmission, installing `recycled`
+    /// (an empty buffer, typically from the transport's batch pool — see
+    /// `RankTransport::recycled_buffer`) as the new outbox so steady-state
+    /// flushing reuses allocations instead of growing a fresh `Vec` per
+    /// batch.
+    pub fn take_batch_into(
+        &mut self,
+        now: VirtualTime,
+        recycled: Vec<SliceRecord>,
+    ) -> Vec<SliceRecord> {
+        debug_assert!(recycled.is_empty(), "recycled buffers must arrive cleared");
         self.last_flush = now;
-        std::mem::take(&mut self.outbox)
+        std::mem::replace(&mut self.outbox, recycled)
     }
 
     /// Finalize at end of run: flush every aggregator and return the final

@@ -168,6 +168,18 @@ pub struct CollectiveResult {
     pub missing: u32,
 }
 
+/// Outcome of registering for a collective without blocking
+/// ([`CollectiveSlot::poll_register`]): the generation joined, plus the
+/// result if this arrival completed the rendezvous.
+#[derive(Clone, Copy, Debug)]
+pub struct Registered {
+    /// Generation this rank joined; pass to [`CollectiveSlot::poll_finish`].
+    pub gen: u64,
+    /// `Some` when this rank was the last alive arriver and the collective
+    /// completed immediately.
+    pub done: Option<CollectiveResult>,
+}
+
 impl CollectiveSlot {
     /// Create a slot for the world communicator's first `procs` ranks.
     pub fn new(procs: usize) -> Self {
@@ -230,6 +242,89 @@ impl CollectiveSlot {
         entry: CollectiveEntry,
     ) -> Result<CollectiveResult, CollectiveError> {
         let mut st = self.state.lock();
+        let my_gen = self.register_locked(&mut st, entry)?;
+
+        loop {
+            // Ranks blocked inside a collective cannot die (deaths fire
+            // from a rank's own code), so every arrival this generation is
+            // from a live member: arrived == alive ⇒ all alive members are
+            // in, and the rendezvous — possibly shrunk — completes.
+            let required = self.alive_members(board);
+            if st.arrived >= required {
+                return Ok(self.complete_locked(&mut st, cluster));
+            }
+            let timed_out = self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
+            if let Some(e) = &st.poisoned {
+                return Err(e.clone());
+            }
+            if st.generation != my_gen {
+                return Ok(st.done_result());
+            }
+            if timed_out {
+                return Err(CollectiveError::Deadlock {
+                    op: entry.op,
+                    arrived: st.arrived,
+                    procs: self.procs,
+                });
+            }
+        }
+    }
+
+    /// Register for the collective without blocking (event scheduler).
+    /// Identical registration math to [`Self::enter`]; if this arrival was
+    /// the last alive member, the rendezvous completes immediately and the
+    /// result is returned in [`Registered::done`]. Otherwise the caller
+    /// polls [`Self::poll_finish`] with the returned generation.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError::Mismatch`], exactly as [`Self::enter`].
+    pub fn poll_register(
+        &self,
+        cluster: &Cluster,
+        board: &DeathBoard,
+        entry: CollectiveEntry,
+    ) -> Result<Registered, CollectiveError> {
+        let mut st = self.state.lock();
+        let gen = self.register_locked(&mut st, entry)?;
+        let done = (st.arrived >= self.alive_members(board))
+            .then(|| self.complete_locked(&mut st, cluster));
+        Ok(Registered { gen, done })
+    }
+
+    /// Check whether the generation joined via [`Self::poll_register`] has
+    /// completed (some later arriver or a death finished it). `None` means
+    /// still pending.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectiveError::Mismatch`] if the slot was poisoned meanwhile.
+    pub fn poll_finish(&self, gen: u64) -> Result<Option<CollectiveResult>, CollectiveError> {
+        let st = self.state.lock();
+        if let Some(e) = &st.poisoned {
+            return Err(e.clone());
+        }
+        Ok((st.generation != gen).then(|| st.done_result()))
+    }
+
+    /// Death-triggered completion check (event scheduler): if an open
+    /// generation now has every *alive* member registered, complete it and
+    /// return the result so waiters can be scheduled at its exit time.
+    pub fn try_complete(&self, cluster: &Cluster, board: &DeathBoard) -> Option<CollectiveResult> {
+        let mut st = self.state.lock();
+        if st.poisoned.is_some() || st.arrived == 0 || st.arrived < self.alive_members(board) {
+            return None;
+        }
+        Some(self.complete_locked(&mut st, cluster))
+    }
+
+    /// Registration phase shared by the blocking and poll entry points, so
+    /// both backends run bit-identical math. Returns the generation joined.
+    fn register_locked(
+        &self,
+        st: &mut SlotState,
+        entry: CollectiveEntry,
+    ) -> Result<u64, CollectiveError> {
         if let Some(e) = &st.poisoned {
             return Err(e.clone());
         }
@@ -259,53 +354,36 @@ impl CollectiveSlot {
         if entry.is_root {
             st.bcast_val = entry.value;
         }
+        Ok(my_gen)
+    }
 
-        loop {
-            // Ranks blocked inside a collective cannot die (deaths fire
-            // from a rank's own code), so every arrival this generation is
-            // from a live member: arrived == alive ⇒ all alive members are
-            // in, and the rendezvous — possibly shrunk — completes.
-            let required = self.alive_members(board);
-            if st.arrived >= required {
-                let op = st.op.expect("op set while generation open");
-                let missing = (self.procs - st.arrived) as u32;
-                let mut cost = cluster.collective_cost(op, st.arrived, st.bytes, st.max_entry);
-                if missing > 0 {
-                    cost += cluster.faults().death_timeout();
-                }
-                st.done_exit = st.max_entry + cost;
-                st.done_value = match op {
-                    CollectiveOp::Bcast => st.bcast_val,
-                    _ => st.acc,
-                };
-                st.done_missing = missing;
-                st.arrived = 0;
-                st.generation += 1;
-                self.cond.notify_all();
-                return Ok(CollectiveResult {
-                    exit: st.done_exit,
-                    value: st.done_value,
-                    missing: st.done_missing,
-                });
-            }
-            let timed_out = self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
-            if let Some(e) = &st.poisoned {
-                return Err(e.clone());
-            }
-            if st.generation != my_gen {
-                return Ok(CollectiveResult {
-                    exit: st.done_exit,
-                    value: st.done_value,
-                    missing: st.done_missing,
-                });
-            }
-            if timed_out {
-                return Err(CollectiveError::Deadlock {
-                    op: entry.op,
-                    arrived: st.arrived,
-                    procs: self.procs,
-                });
-            }
+    /// Completion phase shared by the blocking and poll entry points.
+    fn complete_locked(&self, st: &mut SlotState, cluster: &Cluster) -> CollectiveResult {
+        let op = st.op.expect("op set while generation open");
+        let missing = (self.procs - st.arrived) as u32;
+        let mut cost = cluster.collective_cost(op, st.arrived, st.bytes, st.max_entry);
+        if missing > 0 {
+            cost += cluster.faults().death_timeout();
+        }
+        st.done_exit = st.max_entry + cost;
+        st.done_value = match op {
+            CollectiveOp::Bcast => st.bcast_val,
+            _ => st.acc,
+        };
+        st.done_missing = missing;
+        st.arrived = 0;
+        st.generation += 1;
+        self.cond.notify_all();
+        st.done_result()
+    }
+}
+
+impl SlotState {
+    fn done_result(&self) -> CollectiveResult {
+        CollectiveResult {
+            exit: self.done_exit,
+            value: self.done_value,
+            missing: self.done_missing,
         }
     }
 }

@@ -76,6 +76,36 @@ struct SplitInner {
     next_comm_id: u64,
 }
 
+impl SplitInner {
+    /// Reconstruct `rank`'s communicator from the published colors of the
+    /// completed generation. Shared by the blocking and poll paths.
+    fn done_comm(&self, rank: usize, procs: usize) -> (Comm, VirtualTime) {
+        let my_color = self.done_colors[rank];
+        let members: Vec<usize> = (0..procs)
+            .filter(|&r| self.done_colors[r] == my_color)
+            .collect();
+        let my_index = members
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank is in its own group");
+        let mut distinct: Vec<i64> = self.done_colors.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let color_index = distinct
+            .iter()
+            .position(|&c| c == my_color)
+            .expect("color present") as u64;
+        (
+            Comm {
+                id: self.done_base_id + color_index,
+                members,
+                my_index,
+            },
+            self.done_exit,
+        )
+    }
+}
+
 impl CommRegistry {
     pub(crate) fn new(procs: usize) -> Self {
         CommRegistry {
@@ -105,26 +135,9 @@ impl CommRegistry {
         at: VirtualTime,
     ) -> (Comm, VirtualTime) {
         let mut st = self.split.lock();
-        let my_gen = st.generation;
-        if st.arrived == 0 {
-            st.max_entry = VirtualTime::ZERO;
-        }
-        st.colors[rank] = color;
-        st.arrived += 1;
-        st.max_entry = st.max_entry.max(at);
+        let my_gen = self.register_split_locked(&mut st, rank, color, at);
         if st.arrived == self.procs {
-            let cost = cluster.collective_cost(CollectiveOp::Barrier, self.procs, 0, st.max_entry);
-            st.done_exit = st.max_entry + cost;
-            st.done_colors = st.colors.clone();
-            st.done_base_id = st.next_comm_id;
-            // Advance the ID space by the number of distinct colors.
-            let mut distinct: Vec<i64> = st.done_colors.clone();
-            distinct.sort_unstable();
-            distinct.dedup();
-            st.next_comm_id += distinct.len() as u64;
-            st.arrived = 0;
-            st.generation += 1;
-            self.cond.notify_all();
+            self.complete_split_locked(&mut st, cluster);
         } else {
             while st.generation == my_gen {
                 if self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out() {
@@ -135,33 +148,71 @@ impl CommRegistry {
                 }
             }
         }
-        // Reconstruct this rank's group from the published colors.
-        let colors = st.done_colors.clone();
-        let base = st.done_base_id;
-        let exit = st.done_exit;
+        let result = st.done_comm(rank, self.procs);
         drop(st);
+        result
+    }
 
-        let my_color = colors[rank];
-        let members: Vec<usize> = (0..self.procs).filter(|&r| colors[r] == my_color).collect();
-        let my_index = members
-            .iter()
-            .position(|&r| r == rank)
-            .expect("rank is in its own group");
-        let mut distinct: Vec<i64> = colors.clone();
+    /// Register for the split without blocking (event scheduler). Identical
+    /// registration math to [`Self::split`]; the last arriver completes the
+    /// rendezvous and gets its `(comm, exit)` back immediately, earlier
+    /// arrivers poll [`Self::poll_split_finish`] with the returned
+    /// generation.
+    pub(crate) fn poll_split_register(
+        &self,
+        cluster: &cluster_sim::Cluster,
+        rank: usize,
+        color: i64,
+        at: VirtualTime,
+    ) -> (u64, Option<(Comm, VirtualTime)>) {
+        let mut st = self.split.lock();
+        let my_gen = self.register_split_locked(&mut st, rank, color, at);
+        if st.arrived == self.procs {
+            self.complete_split_locked(&mut st, cluster);
+            let result = st.done_comm(rank, self.procs);
+            (my_gen, Some(result))
+        } else {
+            (my_gen, None)
+        }
+    }
+
+    /// Check whether the split generation joined via
+    /// [`Self::poll_split_register`] has completed. `None` = still pending.
+    pub(crate) fn poll_split_finish(&self, rank: usize, gen: u64) -> Option<(Comm, VirtualTime)> {
+        let st = self.split.lock();
+        (st.generation != gen).then(|| st.done_comm(rank, self.procs))
+    }
+
+    fn register_split_locked(
+        &self,
+        st: &mut SplitInner,
+        rank: usize,
+        color: i64,
+        at: VirtualTime,
+    ) -> u64 {
+        let my_gen = st.generation;
+        if st.arrived == 0 {
+            st.max_entry = VirtualTime::ZERO;
+        }
+        st.colors[rank] = color;
+        st.arrived += 1;
+        st.max_entry = st.max_entry.max(at);
+        my_gen
+    }
+
+    fn complete_split_locked(&self, st: &mut SplitInner, cluster: &cluster_sim::Cluster) {
+        let cost = cluster.collective_cost(CollectiveOp::Barrier, self.procs, 0, st.max_entry);
+        st.done_exit = st.max_entry + cost;
+        st.done_colors = st.colors.clone();
+        st.done_base_id = st.next_comm_id;
+        // Advance the ID space by the number of distinct colors.
+        let mut distinct: Vec<i64> = st.done_colors.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        let color_index = distinct
-            .iter()
-            .position(|&c| c == my_color)
-            .expect("color present") as u64;
-        (
-            Comm {
-                id: base + color_index,
-                members,
-                my_index,
-            },
-            exit,
-        )
+        st.next_comm_id += distinct.len() as u64;
+        st.arrived = 0;
+        st.generation += 1;
+        self.cond.notify_all();
     }
 
     /// The collective slot for a communicator (created on first use). The
@@ -173,6 +224,12 @@ impl CommRegistry {
             .entry(comm.id)
             .or_insert_with(|| Arc::new(CollectiveSlot::with_members(comm.members.clone())))
             .clone()
+    }
+
+    /// Look up a communicator's slot by ID without creating it. The event
+    /// scheduler uses this when a death may complete a shrunk collective.
+    pub(crate) fn slot_by_id(&self, id: u64) -> Option<Arc<CollectiveSlot>> {
+        self.slots.lock().get(&id).cloned()
     }
 
     /// Wake every communicator's collective waiters (a rank died).
@@ -202,7 +259,7 @@ mod tests {
     fn split_forms_expected_groups() {
         let w = quiet_world(6);
         let infos = w.run(|p| {
-            let comm = p.split((p.rank() % 2) as i64);
+            let comm = p.split((p.rank() % 2) as i64).ready();
             (comm.size(), comm.rank(), comm.members().to_vec())
         });
         // Even ranks form {0,2,4}, odd {1,3,5}.
@@ -216,8 +273,9 @@ mod tests {
     fn subcomm_allreduce_sums_only_members() {
         let w = quiet_world(6);
         let sums = w.run(|p| {
-            let comm = p.split((p.rank() % 2) as i64);
+            let comm = p.split((p.rank() % 2) as i64).ready();
             p.comm_allreduce(&comm, 8, p.rank() as i64, ReduceOp::Sum)
+                .ready()
         });
         assert_eq!(sums, vec![6, 9, 6, 9, 6, 9]); // 0+2+4 and 1+3+5
     }
@@ -226,12 +284,12 @@ mod tests {
     fn subcomm_barrier_synchronizes_members_only() {
         let w = quiet_world(4);
         let ends = w.run(|p| {
-            let comm = p.split((p.rank() / 2) as i64);
+            let comm = p.split((p.rank() / 2) as i64).ready();
             // One member of each group computes longer.
             if p.rank() % 2 == 0 {
                 p.compute(cluster_sim::node::Work::cpu(100_000), 0.0);
             }
-            p.comm_barrier(&comm);
+            p.comm_barrier(&comm).ready();
             p.now()
         });
         assert_eq!(ends[0], ends[1], "group {{0,1}} aligned");
@@ -242,9 +300,9 @@ mod tests {
     fn repeated_splits_get_distinct_ids() {
         let w = quiet_world(4);
         let ids = w.run(|p| {
-            let a = p.split(0); // everyone together
-            let b = p.split((p.rank() % 2) as i64);
-            let c = p.split(0);
+            let a = p.split(0).ready(); // everyone together
+            let b = p.split((p.rank() % 2) as i64).ready();
+            let c = p.split(0).ready();
             (a.id(), b.id(), c.id())
         });
         // All ranks agree on each split's IDs, and IDs never repeat.
@@ -259,13 +317,13 @@ mod tests {
         // An alltoall over half the ranks must cost less than over all.
         let w = quiet_world(8);
         let t_sub = w.run(|p| {
-            let comm = p.split((p.rank() % 2) as i64);
-            p.comm_alltoall(&comm, 1 << 16);
+            let comm = p.split((p.rank() % 2) as i64).ready();
+            p.comm_alltoall(&comm, 1 << 16).ready();
             p.now()
         });
         let w2 = quiet_world(8);
         let t_world = w2.run(|p| {
-            p.alltoall(1 << 16);
+            p.alltoall(1 << 16).ready();
             p.now()
         });
         assert!(t_sub[0] < t_world[0], "{} vs {}", t_sub[0], t_world[0]);
@@ -277,12 +335,12 @@ mod tests {
         // within columns.
         let w = quiet_world(4); // 2x2 grid
         let ends = w.run(|p| {
-            let row = p.split((p.rank() / 2) as i64);
-            let col = p.split((p.rank() % 2) as i64);
+            let row = p.split((p.rank() / 2) as i64).ready();
+            let col = p.split((p.rank() % 2) as i64).ready();
             for _ in 0..10 {
-                p.comm_alltoall(&row, 4096);
+                p.comm_alltoall(&row, 4096).ready();
                 p.compute(cluster_sim::node::Work::cpu(5_000), 0.0);
-                p.comm_alltoall(&col, 4096);
+                p.comm_alltoall(&col, 4096).ready();
             }
             p.now()
         });

@@ -1,13 +1,27 @@
 //! Virtual-time message-passing runtime — the MPI substitute.
 //!
-//! Each MPI rank runs as a real OS thread, but all *timing* lives on the
-//! virtual timeline of [`cluster_sim`]: every rank owns a virtual clock,
-//! messages carry the sender's clock, a receive completes at
-//! `max(post_time, arrival_time)`, and collectives synchronize all ranks to
-//! `max(entry times) + cost(op)`. Because matching is by (source, tag), the
-//! virtual-time outcome is deterministic regardless of how the host OS
-//! schedules the threads — a "100-second" run finishes in milliseconds of
-//! wall time and is exactly reproducible.
+//! All *timing* lives on the virtual timeline of [`cluster_sim`]: every
+//! rank owns a virtual clock, messages carry the sender's clock, a receive
+//! completes at `max(post_time, arrival_time)`, and collectives synchronize
+//! all ranks to `max(entry times) + cost(op)`. Because matching is by
+//! (source, tag), the virtual-time outcome is deterministic regardless of
+//! host scheduling — a "100-second" run finishes in milliseconds of wall
+//! time and is exactly reproducible.
+//!
+//! Two execution backends share that model, selected by [`SimBackend`]:
+//!
+//! * **Threads** ([`World::run`]) — one OS thread per rank, parking on
+//!   blocking calls. The original backend and the differential oracle;
+//!   comfortable up to a few hundred ranks.
+//! * **Event** ([`World::run_event`]) — an event-driven virtual-time
+//!   scheduler: each rank is a resumable [`RankTask`], every blocking
+//!   [`Proc`] operation is a yield point returning [`Poll`], and a global
+//!   event queue ordered by `(instant, rank)` picks what runs next. One
+//!   process simulates the paper's 16,384 ranks. See [`sched`].
+//!
+//! Every blocking `Proc` operation therefore returns [`Poll`]: thread-backed
+//! code unwraps with [`Poll::ready`], event-driven tasks treat `Pending` as
+//! "yield and re-poll on resume".
 //!
 //! The API mirrors the MPI subset the paper's applications use: blocking
 //! send/recv, barrier, bcast, reduce, allreduce, allgather, alltoall, plus
@@ -29,7 +43,7 @@
 //! let cluster = Arc::new(ClusterConfig::quiet(4).build());
 //! let finals = World::new(cluster).run(|proc| {
 //!     proc.compute(cluster_sim::node::Work::cpu(1_000), 0.0);
-//!     proc.barrier();
+//!     proc.barrier().ready();
 //!     proc.now()
 //! });
 //! // All ranks leave the barrier at the same virtual instant.
@@ -42,6 +56,7 @@ pub mod death;
 pub mod nonblocking;
 pub mod p2p;
 pub mod proc;
+pub mod sched;
 pub mod stats;
 pub mod world;
 
@@ -51,5 +66,6 @@ pub use death::{catch_death, DeathUnwind};
 pub use nonblocking::{RecvRequest, SendRequest};
 pub use p2p::{RecvError, RecvInfo, ANY_SOURCE, ANY_TAG};
 pub use proc::Proc;
+pub use sched::{Poll, RankTask, SimBackend, TaskPoll};
 pub use stats::ProcStats;
 pub use world::World;

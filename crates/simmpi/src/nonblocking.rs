@@ -10,8 +10,9 @@
 use crate::p2p::RecvInfo;
 use cluster_sim::time::VirtualTime;
 
-/// Handle for a posted nonblocking receive.
-#[derive(Debug)]
+/// Handle for a posted nonblocking receive. `Copy`, so event-driven
+/// callers can re-submit the same request on every poll.
+#[derive(Clone, Copy, Debug)]
 #[must_use = "an irecv must be completed with Proc::wait"]
 pub struct RecvRequest {
     /// Source rank (may be ANY_SOURCE).
@@ -25,7 +26,7 @@ pub struct RecvRequest {
 /// Handle for a posted nonblocking send. Eager sends complete at post time;
 /// the handle exists so code reads like MPI and so a future rendezvous
 /// protocol could add real wait time.
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 #[must_use = "an isend should be completed with Proc::wait_send"]
 pub struct SendRequest {
     /// Virtual instant the send was injected.
@@ -73,7 +74,7 @@ mod tests {
             } else {
                 let req = p.irecv(0, 5);
                 p.compute(Work::cpu(2_000_000), 0.0); // 2 ms of useful work
-                let info = p.wait(req);
+                let info = p.wait(req).ready();
                 assert_eq!(info.src, 0);
                 p.now()
             }
@@ -98,7 +99,7 @@ mod tests {
                 p.send(1, 10 << 20, 5, 0);
             } else {
                 p.compute(Work::cpu(2_000_000), 0.0);
-                p.recv(0, 5);
+                p.recv(0, 5).ready();
             }
             p.now()
         });
@@ -109,7 +110,7 @@ mod tests {
             } else {
                 let req = p.irecv(0, 5);
                 p.compute(Work::cpu(2_000_000), 0.0);
-                p.wait(req);
+                p.wait(req).ready();
             }
             p.now()
         });
@@ -129,7 +130,7 @@ mod tests {
             if p.rank() == 0 {
                 let r1 = p.irecv(1, 1);
                 let r2 = p.irecv(2, 2);
-                let infos = p.waitall(vec![r1, r2]);
+                let infos = p.waitall(&[r1, r2]).ready();
                 infos.iter().map(|i| i.value).sum::<i64>()
             } else {
                 p.send(0, 64, p.rank() as i64, p.rank() as i64 * 100);
@@ -149,7 +150,7 @@ mod tests {
                 assert!(req.injected_at().as_nanos() >= 500);
                 p.wait_send(req);
             } else {
-                assert_eq!(p.recv(0, 9).value, 7);
+                assert_eq!(p.recv(0, 9).ready().value, 7);
             }
         });
     }

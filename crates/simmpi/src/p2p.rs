@@ -219,6 +219,35 @@ impl Mailbox {
         }
     }
 
+    /// Non-blocking take: remove and return the best `(arrives_at, src)`
+    /// match right now, or `None` if nothing matches. The event scheduler's
+    /// retry path uses this — same selection rule as the blocking variants,
+    /// so both backends pick the same message among multiple matches.
+    pub fn poll_take_matching(&self, src: usize, tag: i64) -> Option<Message> {
+        let mut q = self.inner.lock();
+        let best = q
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                (src == ANY_SOURCE || m.src == src) && (tag == ANY_TAG || m.tag == tag)
+            })
+            .min_by_key(|(_, m)| (m.arrives_at, m.src))
+            .map(|(i, _)| i);
+        best.map(|i| q.remove(i).expect("index valid under lock"))
+    }
+
+    /// Non-blocking peek: arrival instant of the message
+    /// [`Self::poll_take_matching`] would return, without removing it. The
+    /// event scheduler uses this to decide *when* a blocked receive can
+    /// complete.
+    pub fn best_arrival(&self, src: usize, tag: i64) -> Option<VirtualTime> {
+        let q = self.inner.lock();
+        q.iter()
+            .filter(|m| (src == ANY_SOURCE || m.src == src) && (tag == ANY_TAG || m.tag == tag))
+            .map(|m| m.arrives_at)
+            .min()
+    }
+
     /// Wake every waiter so it can re-examine its wait condition (used
     /// when a rank dies — blocked receivers must notice the death).
     pub fn wake_all(&self) {

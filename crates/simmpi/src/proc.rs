@@ -9,6 +9,7 @@ use crate::collectives::{CollectiveEntry, CollectiveResult, CollectiveSlot, Redu
 use crate::comm::{Comm, CommRegistry};
 use crate::death::{DeathBoard, DeathUnwind};
 use crate::p2p::{Mailbox, Message, RecvError, RecvInfo, ANY_SOURCE};
+use crate::sched::Poll;
 use crate::stats::ProcStats;
 use cluster_sim::network::CollectiveOp;
 use cluster_sim::node::Work;
@@ -57,6 +58,70 @@ impl WorldShared {
     }
 }
 
+/// Identifies the rendezvous group a pending collective belongs to, so the
+/// event scheduler can route completion notifications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum GroupKey {
+    /// The world collective slot.
+    World,
+    /// A sub-communicator slot, by communicator ID.
+    Comm(u64),
+    /// The `comm_split` rendezvous.
+    Split,
+}
+
+/// The operation a rank latched on its first (yielding) poll. Entry effects
+/// (fail-stop gate, call overhead, slot registration) already happened;
+/// retries only attempt completion.
+#[derive(Clone, Copy, Debug)]
+enum PendingOp {
+    Recv {
+        src: usize,
+        tag: i64,
+        start: VirtualTime,
+    },
+    Collective {
+        key: GroupKey,
+        gen: u64,
+        start: VirtualTime,
+        entry: CollectiveEntry,
+    },
+    Split {
+        gen: u64,
+        start: VirtualTime,
+        color: i64,
+    },
+}
+
+/// What a yielded rank is waiting on, as the scheduler sees it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum EventWait {
+    /// Blocked receive; `posted` is the clock after the call overhead
+    /// (the completion floor: the receive finishes at
+    /// `max(posted, arrival)`).
+    Recv {
+        src: usize,
+        tag: i64,
+        posted: VirtualTime,
+    },
+    /// Registered for a group rendezvous, waiting for the last arriver.
+    Group(GroupKey),
+}
+
+/// Per-rank state that exists only under the event scheduler.
+#[derive(Debug, Default)]
+struct EventState {
+    pending: Option<PendingOp>,
+    /// Destinations of sends since the last yield (scheduler re-examines
+    /// those ranks' blocked receives).
+    sent_to: Vec<usize>,
+    /// Group rendezvous this rank completed since the last yield, with
+    /// their exit times (scheduler wakes the group's waiters).
+    group_done: Vec<(GroupKey, VirtualTime)>,
+    /// Completed sub-receives of an in-progress `waitall`.
+    waitall_done: Vec<RecvInfo>,
+}
+
 /// One rank's execution context.
 pub struct Proc {
     rank: usize,
@@ -66,6 +131,10 @@ pub struct Proc {
     sample_counter: u64,
     /// Scheduled fail-stop instant from the fault plan, if any.
     death_at: Option<VirtualTime>,
+    /// `Some` iff this rank runs under the event scheduler. Boxed so the
+    /// thread backend pays one pointer, not the whole struct, on the VM
+    /// hot loop's cache lines.
+    event: Option<Box<EventState>>,
     shared: Arc<WorldShared>,
 }
 
@@ -79,8 +148,48 @@ impl Proc {
             stats: ProcStats::default(),
             sample_counter: 0,
             death_at,
+            event: None,
             shared,
         }
+    }
+
+    /// Switch this rank to event-scheduler mode: blocking operations now
+    /// return [`Poll::Pending`] instead of parking the thread.
+    pub(crate) fn enable_event_mode(&mut self) {
+        self.event = Some(Box::default());
+    }
+
+    /// What this rank is blocked on, if anything (event mode only).
+    pub(crate) fn event_wait(&self) -> Option<EventWait> {
+        match self.event.as_ref()?.pending? {
+            PendingOp::Recv { src, tag, .. } => Some(EventWait::Recv {
+                src,
+                tag,
+                // The clock froze at post time when the op latched.
+                posted: self.clock,
+            }),
+            PendingOp::Collective { key, .. } => Some(EventWait::Group(key)),
+            PendingOp::Split { .. } => Some(EventWait::Group(GroupKey::Split)),
+        }
+    }
+
+    /// Drain the notifications accumulated since the last yield.
+    pub(crate) fn take_event_notifications(
+        &mut self,
+    ) -> (Vec<usize>, Vec<(GroupKey, VirtualTime)>) {
+        let ev = self.event.as_mut().expect("event mode");
+        (
+            std::mem::take(&mut ev.sent_to),
+            std::mem::take(&mut ev.group_done),
+        )
+    }
+
+    fn pending(&self) -> Option<PendingOp> {
+        self.event.as_ref().and_then(|ev| ev.pending)
+    }
+
+    fn event_mut(&mut self) -> &mut EventState {
+        self.event.as_mut().expect("event mode")
     }
 
     /// This rank's ID in `0..size`.
@@ -311,6 +420,9 @@ impl Proc {
             value,
         };
         self.shared.mailboxes[dest].push(msg);
+        if let Some(ev) = self.event.as_deref_mut() {
+            ev.sent_to.push(dest);
+        }
         // Eager send: sender proceeds after the injection overhead; the
         // transfer itself overlaps with whatever the sender does next.
         self.stats.mpi_time += self.clock - start;
@@ -322,7 +434,20 @@ impl Proc {
     /// Blocking receive matching `(src, tag)`; wildcards in
     /// [`crate::p2p::ANY_SOURCE`] / [`crate::p2p::ANY_TAG`]. Completes at
     /// `max(post time, arrival time)`.
-    pub fn recv(&mut self, src: usize, tag: i64) -> RecvInfo {
+    ///
+    /// On the thread backend this is always [`Poll::Ready`]; under the
+    /// event scheduler it returns [`Poll::Pending`] until the matching
+    /// message (or the peer's death) resolves the wait — re-call with the
+    /// same arguments when resumed.
+    pub fn recv(&mut self, src: usize, tag: i64) -> Poll<RecvInfo> {
+        if self.event.is_some() {
+            return self.poll_recv(src, tag, "recv");
+        }
+        Poll::Ready(self.recv_blocking(src, tag, "recv"))
+    }
+
+    /// Thread-backend receive: parks until a match exists.
+    fn recv_blocking(&mut self, src: usize, tag: i64, name: &'static str) -> RecvInfo {
         self.failstop_check();
         let start = self.clock;
         self.clock += MPI_CALL_OVERHEAD;
@@ -330,10 +455,51 @@ impl Proc {
             Ok(msg) => msg,
             Err((src, tag)) => return self.degraded_recv(start, src, tag),
         };
+        self.finish_recv(start, name, msg)
+    }
+
+    /// Event-scheduler receive. First call latches the entry effects
+    /// (fail-stop gate, call overhead) and yields — a not-yet-resumed task
+    /// with an earlier clock could still send an earlier-arriving match, so
+    /// completing greedily here would pick the wrong message. Retries take
+    /// the best match non-blockingly or degrade if the peer is dead.
+    fn poll_recv(&mut self, src: usize, tag: i64, name: &'static str) -> Poll<RecvInfo> {
+        let start = match self.pending() {
+            None => {
+                self.failstop_check();
+                let start = self.clock;
+                self.clock += MPI_CALL_OVERHEAD;
+                self.event_mut().pending = Some(PendingOp::Recv { src, tag, start });
+                return Poll::Pending;
+            }
+            Some(PendingOp::Recv { start, .. }) => start,
+            Some(other) => panic!(
+                "rank {}: resumed into a different op than it yielded on ({other:?})",
+                self.rank
+            ),
+        };
+        if let Some(msg) = self.shared.mailboxes[self.rank].poll_take_matching(src, tag) {
+            self.event_mut().pending = None;
+            return Poll::Ready(self.finish_recv(start, name, msg));
+        }
+        let peer_gone = if src == ANY_SOURCE {
+            self.shared.board.all_peers_dead(self.rank)
+        } else {
+            self.shared.board.is_dead(src)
+        };
+        if peer_gone {
+            self.event_mut().pending = None;
+            return Poll::Ready(self.degraded_recv(start, src, tag));
+        }
+        Poll::Pending
+    }
+
+    /// Completion math shared by both backends: clock, stats, trace.
+    fn finish_recv(&mut self, start: VirtualTime, name: &'static str, msg: Message) -> RecvInfo {
         self.clock = self.clock.max(msg.arrives_at);
         self.stats.mpi_time += self.clock - start;
         self.stats.msgs_received += 1;
-        self.trace_span(Category::MPI, "recv", start, msg.bytes, msg.src as u64);
+        self.trace_span(Category::MPI, name, start, msg.bytes, msg.src as u64);
         RecvInfo {
             src: msg.src,
             tag: msg.tag,
@@ -376,35 +542,38 @@ impl Proc {
         }
     }
 
-    /// Complete a posted receive: blocks (in real time) until the matching
-    /// message exists, completes at `max(now, arrival)` in virtual time.
-    pub fn wait(&mut self, req: crate::nonblocking::RecvRequest) -> RecvInfo {
-        self.failstop_check();
-        let start = self.clock;
-        self.clock += MPI_CALL_OVERHEAD;
-        let msg = match self.take_message(req.src, req.tag) {
-            Ok(msg) => msg,
-            Err((src, tag)) => return self.degraded_recv(start, src, tag),
-        };
-        self.clock = self.clock.max(msg.arrives_at);
-        self.stats.mpi_time += self.clock - start;
-        self.stats.msgs_received += 1;
-        self.trace_span(Category::MPI, "wait", start, msg.bytes, msg.src as u64);
-        RecvInfo {
-            src: msg.src,
-            tag: msg.tag,
-            bytes: msg.bytes,
-            value: msg.value,
-            completed_at: self.clock,
+    /// Complete a posted receive; completes at `max(now, arrival)` in
+    /// virtual time. A yield point, like [`Self::recv`].
+    pub fn wait(&mut self, req: crate::nonblocking::RecvRequest) -> Poll<RecvInfo> {
+        if self.event.is_some() {
+            return self.poll_recv(req.src, req.tag, "wait");
         }
+        Poll::Ready(self.recv_blocking(req.src, req.tag, "wait"))
     }
 
-    /// Complete several receives, in order.
-    pub fn waitall(&mut self, reqs: Vec<crate::nonblocking::RecvRequest>) -> Vec<RecvInfo> {
-        reqs.into_iter().map(|r| self.wait(r)).collect()
+    /// Complete several receives, in order. A yield point; under the event
+    /// scheduler partial progress is kept across polls (requests are `Copy`,
+    /// so re-submitting the same slice is free).
+    pub fn waitall(&mut self, reqs: &[crate::nonblocking::RecvRequest]) -> Poll<Vec<RecvInfo>> {
+        if self.event.is_none() {
+            return Poll::Ready(
+                reqs.iter()
+                    .map(|r| self.recv_blocking(r.src, r.tag, "wait"))
+                    .collect(),
+            );
+        }
+        while self.event_mut().waitall_done.len() < reqs.len() {
+            let req = reqs[self.event_mut().waitall_done.len()];
+            match self.poll_recv(req.src, req.tag, "wait") {
+                Poll::Ready(info) => self.event_mut().waitall_done.push(info),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(std::mem::take(&mut self.event_mut().waitall_done))
     }
 
-    /// Combined send+recv (exchange pattern used by stencil codes).
+    /// Combined send+recv (exchange pattern used by stencil codes). A yield
+    /// point: the send half runs on the first poll only.
     pub fn sendrecv(
         &mut self,
         dest: usize,
@@ -412,32 +581,148 @@ impl Proc {
         src: usize,
         tag: i64,
         value: i64,
-    ) -> RecvInfo {
+    ) -> Poll<RecvInfo> {
+        if self.event.is_some() {
+            if self.pending().is_none() {
+                self.send(dest, send_bytes, tag, value);
+            }
+            return self.poll_recv(src, tag, "recv");
+        }
         self.send(dest, send_bytes, tag, value);
-        self.recv(src, tag)
+        Poll::Ready(self.recv_blocking(src, tag, "recv"))
     }
 
-    fn collective(&mut self, entry: CollectiveEntry) -> CollectiveResult {
-        self.failstop_check();
-        let start = self.clock;
-        let (name, bytes) = (collective_name(entry.op), entry.bytes);
-        let res = self
-            .shared
-            .collective
-            .enter(&self.shared.cluster, &self.shared.board, entry)
+    /// The group key a collective registers under (world slot or the
+    /// sub-communicator's slot).
+    fn group_key(comm: Option<&Comm>) -> GroupKey {
+        match comm {
+            None => GroupKey::World,
+            Some(c) => GroupKey::Comm(c.id()),
+        }
+    }
+
+    /// Rendezvous on the world slot (`comm == None`) or a sub-communicator
+    /// slot. Handles both backends; the entry/exit math is shared with the
+    /// slot itself, so the two backends are bit-identical by construction.
+    fn group_collective(
+        &mut self,
+        comm: Option<&Comm>,
+        entry: CollectiveEntry,
+    ) -> Poll<CollectiveResult> {
+        let sub = comm.is_some() as u64;
+        if self.event.is_none() {
+            self.failstop_check();
+            let start = self.clock;
+            let (name, bytes) = (collective_name(entry.op), entry.bytes);
+            let res = match comm {
+                None => {
+                    self.shared
+                        .collective
+                        .enter(&self.shared.cluster, &self.shared.board, entry)
+                }
+                Some(c) => {
+                    self.shared
+                        .comms
+                        .slot(c)
+                        .enter(&self.shared.cluster, &self.shared.board, entry)
+                }
+            }
             .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank));
+            self.apply_collective(start, name, bytes, sub, res);
+            return Poll::Ready(res);
+        }
+
+        let key = Self::group_key(comm);
+        match self.pending() {
+            None => {
+                self.failstop_check();
+                let start = self.clock;
+                let reg = match comm {
+                    None => self.shared.collective.poll_register(
+                        &self.shared.cluster,
+                        &self.shared.board,
+                        entry,
+                    ),
+                    Some(c) => self.shared.comms.slot(c).poll_register(
+                        &self.shared.cluster,
+                        &self.shared.board,
+                        entry,
+                    ),
+                }
+                .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank));
+                match reg.done {
+                    Some(res) => {
+                        // Last alive arriver: completed in-line; notify the
+                        // scheduler so it wakes the other members.
+                        let (name, bytes) = (collective_name(entry.op), entry.bytes);
+                        self.apply_collective(start, name, bytes, sub, res);
+                        self.event_mut().group_done.push((key, res.exit));
+                        Poll::Ready(res)
+                    }
+                    None => {
+                        self.event_mut().pending = Some(PendingOp::Collective {
+                            key,
+                            gen: reg.gen,
+                            start,
+                            entry,
+                        });
+                        Poll::Pending
+                    }
+                }
+            }
+            Some(PendingOp::Collective {
+                key: k,
+                gen,
+                start,
+                entry: latched,
+            }) => {
+                debug_assert_eq!(k, key, "resumed into a different collective");
+                let done = match comm {
+                    None => self.shared.collective.poll_finish(gen),
+                    Some(c) => self.shared.comms.slot(c).poll_finish(gen),
+                }
+                .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank));
+                match done {
+                    Some(res) => {
+                        self.event_mut().pending = None;
+                        let (name, bytes) = (collective_name(latched.op), latched.bytes);
+                        self.apply_collective(start, name, bytes, sub, res);
+                        Poll::Ready(res)
+                    }
+                    None => Poll::Pending,
+                }
+            }
+            Some(other) => panic!(
+                "rank {}: resumed into a different op than it yielded on ({other:?})",
+                self.rank
+            ),
+        }
+    }
+
+    /// Collective completion math shared by both backends.
+    fn apply_collective(
+        &mut self,
+        start: VirtualTime,
+        name: &'static str,
+        bytes: u64,
+        sub: u64,
+        res: CollectiveResult,
+    ) {
         self.clock = res.exit;
         self.stats.mpi_time += self.clock - start;
         self.stats.collectives += 1;
         if res.missing > 0 {
             self.stats.shrunk_collectives += 1;
         }
-        self.trace_span(Category::MPI, name, start, bytes, 0);
-        res
+        self.trace_span(Category::MPI, name, start, bytes, sub);
     }
 
-    /// Barrier across all ranks.
-    pub fn barrier(&mut self) {
+    fn collective(&mut self, entry: CollectiveEntry) -> Poll<CollectiveResult> {
+        self.group_collective(None, entry)
+    }
+
+    /// Barrier across all ranks. A yield point.
+    pub fn barrier(&mut self) -> Poll<()> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.collective(CollectiveEntry {
             op: CollectiveOp::Barrier,
@@ -446,11 +731,13 @@ impl Proc {
             value: 0,
             rop: ReduceOp::Sum,
             is_root: false,
-        });
+        })
+        .map(|_| ())
     }
 
-    /// Broadcast `value` (and `bytes` of modelled payload) from `root`.
-    pub fn bcast(&mut self, root: usize, bytes: u64, value: i64) -> i64 {
+    /// Broadcast `value` (and `bytes` of modelled payload) from `root`. A
+    /// yield point.
+    pub fn bcast(&mut self, root: usize, bytes: u64, value: i64) -> Poll<i64> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.collective(CollectiveEntry {
             op: CollectiveOp::Bcast,
@@ -460,11 +747,11 @@ impl Proc {
             rop: ReduceOp::Sum,
             is_root: self.rank == root,
         })
-        .value
+        .map(|r| r.value)
     }
 
-    /// All-reduce `value` with `op` over all ranks.
-    pub fn allreduce(&mut self, bytes: u64, value: i64, op: ReduceOp) -> i64 {
+    /// All-reduce `value` with `op` over all ranks. A yield point.
+    pub fn allreduce(&mut self, bytes: u64, value: i64, op: ReduceOp) -> Poll<i64> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.collective(CollectiveEntry {
             op: CollectiveOp::Allreduce,
@@ -474,12 +761,12 @@ impl Proc {
             rop: op,
             is_root: false,
         })
-        .value
+        .map(|r| r.value)
     }
 
     /// Reduce to `root`; every rank gets the value back (the simulator does
-    /// not model the asymmetry of who holds the result).
-    pub fn reduce(&mut self, root: usize, bytes: u64, value: i64, op: ReduceOp) -> i64 {
+    /// not model the asymmetry of who holds the result). A yield point.
+    pub fn reduce(&mut self, root: usize, bytes: u64, value: i64, op: ReduceOp) -> Poll<i64> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.collective(CollectiveEntry {
             op: CollectiveOp::Reduce,
@@ -489,11 +776,11 @@ impl Proc {
             rop: op,
             is_root: self.rank == root,
         })
-        .value
+        .map(|r| r.value)
     }
 
-    /// All-gather with `bytes` contributed per rank.
-    pub fn allgather(&mut self, bytes: u64) {
+    /// All-gather with `bytes` contributed per rank. A yield point.
+    pub fn allgather(&mut self, bytes: u64) -> Poll<()> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.collective(CollectiveEntry {
             op: CollectiveOp::Allgather,
@@ -502,11 +789,13 @@ impl Proc {
             value: 0,
             rop: ReduceOp::Sum,
             is_root: false,
-        });
+        })
+        .map(|_| ())
     }
 
-    /// Personalized all-to-all exchange with `bytes` per rank pair.
-    pub fn alltoall(&mut self, bytes: u64) {
+    /// Personalized all-to-all exchange with `bytes` per rank pair. A yield
+    /// point.
+    pub fn alltoall(&mut self, bytes: u64) -> Poll<()> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.collective(CollectiveEntry {
             op: CollectiveOp::Alltoall,
@@ -515,46 +804,79 @@ impl Proc {
             value: 0,
             rop: ReduceOp::Sum,
             is_root: false,
-        });
+        })
+        .map(|_| ())
     }
 
     /// Collective communicator split (`MPI_Comm_split`): ranks with the
-    /// same `color` form a sub-communicator. A collective over the world.
-    pub fn split(&mut self, color: i64) -> Comm {
-        self.failstop_check();
-        let start = self.clock;
-        let at = self.clock + MPI_CALL_OVERHEAD;
-        let (comm, exit) = self
-            .shared
-            .comms
-            .split(&self.shared.cluster, self.rank, color, at);
+    /// same `color` form a sub-communicator. A collective over the world,
+    /// and a yield point.
+    pub fn split(&mut self, color: i64) -> Poll<Comm> {
+        if self.event.is_none() {
+            self.failstop_check();
+            let start = self.clock;
+            let at = self.clock + MPI_CALL_OVERHEAD;
+            let (comm, exit) = self
+                .shared
+                .comms
+                .split(&self.shared.cluster, self.rank, color, at);
+            self.apply_split(start, color, exit);
+            return Poll::Ready(comm);
+        }
+        match self.pending() {
+            None => {
+                self.failstop_check();
+                let start = self.clock;
+                let at = self.clock + MPI_CALL_OVERHEAD;
+                let (gen, done) = self.shared.comms.poll_split_register(
+                    &self.shared.cluster,
+                    self.rank,
+                    color,
+                    at,
+                );
+                match done {
+                    Some((comm, exit)) => {
+                        self.apply_split(start, color, exit);
+                        self.event_mut().group_done.push((GroupKey::Split, exit));
+                        Poll::Ready(comm)
+                    }
+                    None => {
+                        self.event_mut().pending = Some(PendingOp::Split { gen, start, color });
+                        Poll::Pending
+                    }
+                }
+            }
+            Some(PendingOp::Split { gen, start, color }) => {
+                match self.shared.comms.poll_split_finish(self.rank, gen) {
+                    Some((comm, exit)) => {
+                        self.event_mut().pending = None;
+                        self.apply_split(start, color, exit);
+                        Poll::Ready(comm)
+                    }
+                    None => Poll::Pending,
+                }
+            }
+            Some(other) => panic!(
+                "rank {}: resumed into a different op than it yielded on ({other:?})",
+                self.rank
+            ),
+        }
+    }
+
+    /// Split completion math shared by both backends.
+    fn apply_split(&mut self, start: VirtualTime, color: i64, exit: VirtualTime) {
         self.clock = self.clock.max(exit);
         self.stats.mpi_time += self.clock - start;
         self.stats.collectives += 1;
         self.trace_span(Category::MPI, "comm_split", start, color as u64, 0);
-        comm
     }
 
-    fn sub_collective(&mut self, comm: &Comm, entry: CollectiveEntry) -> CollectiveResult {
-        self.failstop_check();
-        let start = self.clock;
-        let (name, bytes) = (collective_name(entry.op), entry.bytes);
-        let slot = self.shared.comms.slot(comm);
-        let res = slot
-            .enter(&self.shared.cluster, &self.shared.board, entry)
-            .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank));
-        self.clock = res.exit;
-        self.stats.mpi_time += self.clock - start;
-        self.stats.collectives += 1;
-        if res.missing > 0 {
-            self.stats.shrunk_collectives += 1;
-        }
-        self.trace_span(Category::MPI, name, start, bytes, 1);
-        res
+    fn sub_collective(&mut self, comm: &Comm, entry: CollectiveEntry) -> Poll<CollectiveResult> {
+        self.group_collective(Some(comm), entry)
     }
 
-    /// Barrier over a sub-communicator.
-    pub fn comm_barrier(&mut self, comm: &Comm) {
+    /// Barrier over a sub-communicator. A yield point.
+    pub fn comm_barrier(&mut self, comm: &Comm) -> Poll<()> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.sub_collective(
             comm,
@@ -566,11 +888,18 @@ impl Proc {
                 rop: ReduceOp::Sum,
                 is_root: false,
             },
-        );
+        )
+        .map(|_| ())
     }
 
-    /// All-reduce over a sub-communicator.
-    pub fn comm_allreduce(&mut self, comm: &Comm, bytes: u64, value: i64, op: ReduceOp) -> i64 {
+    /// All-reduce over a sub-communicator. A yield point.
+    pub fn comm_allreduce(
+        &mut self,
+        comm: &Comm,
+        bytes: u64,
+        value: i64,
+        op: ReduceOp,
+    ) -> Poll<i64> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.sub_collective(
             comm,
@@ -583,12 +912,12 @@ impl Proc {
                 is_root: false,
             },
         )
-        .value
+        .map(|r| r.value)
     }
 
     /// Broadcast over a sub-communicator from the member with local index
-    /// `root`.
-    pub fn comm_bcast(&mut self, comm: &Comm, root: usize, bytes: u64, value: i64) -> i64 {
+    /// `root`. A yield point.
+    pub fn comm_bcast(&mut self, comm: &Comm, root: usize, bytes: u64, value: i64) -> Poll<i64> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         let is_root = comm.rank() == root;
         self.sub_collective(
@@ -602,11 +931,11 @@ impl Proc {
                 is_root,
             },
         )
-        .value
+        .map(|r| r.value)
     }
 
-    /// Personalized all-to-all within a sub-communicator.
-    pub fn comm_alltoall(&mut self, comm: &Comm, bytes: u64) {
+    /// Personalized all-to-all within a sub-communicator. A yield point.
+    pub fn comm_alltoall(&mut self, comm: &Comm, bytes: u64) -> Poll<()> {
         let at = self.clock + MPI_CALL_OVERHEAD;
         self.sub_collective(
             comm,
@@ -618,7 +947,8 @@ impl Proc {
                 rop: ReduceOp::Sum,
                 is_root: false,
             },
-        );
+        )
+        .map(|_| ())
     }
 
     /// Read `bytes` from the parallel filesystem.

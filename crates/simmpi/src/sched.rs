@@ -1,0 +1,664 @@
+//! Event-driven virtual-time scheduler — the paper-scale backend.
+//!
+//! The thread backend ([`crate::World::run`]) spawns one OS thread per rank
+//! and parks it on every blocking MPI call; fine at 64 ranks, hopeless at
+//! the paper's 16,384. This module replaces parked threads with *resumable
+//! tasks* on a single worker: every blocking [`crate::Proc`] operation is a
+//! yield point returning [`Poll`], and a global event queue ordered by
+//! `(virtual instant, rank)` decides which rank runs next.
+//!
+//! # How the two backends stay bit-identical
+//!
+//! The event paths do not reimplement any timing math. Registration and
+//! completion of collectives, splits, and message matching live in
+//! [`crate::collectives::CollectiveSlot`], [`crate::comm::CommRegistry`]
+//! and [`crate::p2p::Mailbox`], shared with the thread backend; the poll
+//! variants call the same private completion functions the blocking
+//! variants do. The differential suite in `interp` asserts bitwise-equal
+//! virtual times, [`crate::ProcStats`], sensor streams and reports.
+//!
+//! # Determinism
+//!
+//! The heap pops the minimum `(instant, rank, generation)` tuple, so ties
+//! at the same virtual instant always resume the lowest rank first. All
+//! completion instants are computed from the virtual-time model, never
+//! from pop order, so the schedule is a pure function of the cluster
+//! configuration and the program.
+
+use crate::death::{death_in_payload, DeathUnwind};
+use crate::proc::{EventWait, GroupKey, Proc, WorldShared};
+use crate::world::World;
+use cluster_sim::time::VirtualTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::AssertUnwindSafe;
+
+/// Result of polling a blocking [`Proc`] operation.
+///
+/// On the thread backend every operation completes in-line and returns
+/// `Ready`; unwrap with [`Poll::ready`]. Under the event scheduler an
+/// operation that cannot complete yet latches its entry effects, returns
+/// `Pending`, and must be re-invoked with the same arguments when the task
+/// is next resumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[must_use = "a Pending operation must be re-polled when the task is resumed"]
+pub enum Poll<T> {
+    /// The operation completed.
+    Ready(T),
+    /// The operation blocked; yield to the scheduler and re-poll on resume.
+    Pending,
+}
+
+impl<T> Poll<T> {
+    /// Unwrap a completed operation. Panics on `Pending` — correct only on
+    /// the thread backend, where every operation completes in-line.
+    #[track_caller]
+    pub fn ready(self) -> T {
+        match self {
+            Poll::Ready(t) => t,
+            Poll::Pending => panic!(
+                "operation is Pending: blocking Proc calls only complete in-line on \
+                 SimBackend::Threads; event-driven tasks must yield and re-poll"
+            ),
+        }
+    }
+
+    /// Map the completed value, passing `Pending` through.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Poll<U> {
+        match self {
+            Poll::Ready(t) => Poll::Ready(f(t)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+
+    /// True if the operation blocked.
+    pub fn is_pending(&self) -> bool {
+        matches!(self, Poll::Pending)
+    }
+}
+
+/// Which simulation backend executes the ranks of a [`World`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimBackend {
+    /// One OS thread per rank, parking on blocking calls. The original
+    /// backend and the differential oracle; default.
+    #[default]
+    Threads,
+    /// Event-driven virtual-time scheduler: resumable tasks on one worker,
+    /// scales to the paper's 16,384 ranks in a single process.
+    Event,
+}
+
+impl SimBackend {
+    /// Parse a backend name (`threads` / `event`), as used by CLI flags.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threads" => Some(SimBackend::Threads),
+            "event" => Some(SimBackend::Event),
+            _ => None,
+        }
+    }
+}
+
+/// What a task's `resume` reports back to the scheduler.
+#[derive(Debug)]
+pub enum TaskPoll<T> {
+    /// The rank's program ran to completion with this output.
+    Ready(T),
+    /// The rank hit a yield point (some `Proc` operation returned
+    /// [`Poll::Pending`]) and parked itself resumably.
+    Yielded,
+}
+
+/// A resumable rank program: the event scheduler's unit of execution.
+///
+/// Contract: `resume` runs the rank's program until it either finishes
+/// (`Ready`) or a blocking `Proc` operation returns [`Poll::Pending`]
+/// (`Yielded`). A yielded task must be re-entrant: the next `resume` must
+/// re-poll the *same* operation with the same arguments (the `Proc` keeps
+/// the latched entry state and panics on a mismatched retry).
+pub trait RankTask {
+    /// The rank program's result type.
+    type Output;
+
+    /// Run until completion or the next yield point.
+    fn resume(&mut self) -> TaskPoll<Self::Output>;
+
+    /// The rank's process handle (the scheduler drains notifications and
+    /// inspects waits through it).
+    fn proc_mut(&mut self) -> &mut Proc;
+}
+
+/// Virtual instant a blocked receive completes degraded (peer dead, no
+/// message coming): `max(posted, death) + death_timeout`. Mirrors
+/// `Proc::degraded_recv`, whose clock equals `posted` while blocked.
+fn degraded_due(
+    shared: &WorldShared,
+    me: usize,
+    size: usize,
+    src: usize,
+    posted: VirtualTime,
+) -> VirtualTime {
+    let death = if src == crate::p2p::ANY_SOURCE {
+        (0..size)
+            .filter(|&r| r != me)
+            .filter_map(|r| shared.cluster.death_of(r))
+            .max()
+            .unwrap_or(posted)
+    } else {
+        shared.cluster.death_of(src).unwrap_or(posted)
+    };
+    posted.max(death) + shared.cluster.faults().death_timeout()
+}
+
+/// Scheduler bookkeeping: the event queue plus per-rank wait state.
+struct EventQueue {
+    /// Min-heap of `(instant, rank, generation)`. The generation makes
+    /// superseded entries cheap to drop lazily instead of re-heapifying.
+    heap: BinaryHeap<Reverse<(VirtualTime, usize, u64)>>,
+    gens: Vec<u64>,
+    /// The instant each rank is currently queued for, if any.
+    scheduled: Vec<Option<VirtualTime>>,
+    /// What each yielded rank is blocked on.
+    waiting: Vec<Option<EventWait>>,
+    /// Ranks registered for a group rendezvous, by group.
+    group_waiters: HashMap<GroupKey, Vec<usize>>,
+}
+
+impl EventQueue {
+    fn new(size: usize) -> Self {
+        let mut q = EventQueue {
+            heap: BinaryHeap::with_capacity(size),
+            gens: vec![0; size],
+            scheduled: vec![Some(VirtualTime::ZERO); size],
+            waiting: (0..size).map(|_| None).collect(),
+            group_waiters: HashMap::new(),
+        };
+        for rank in 0..size {
+            q.heap.push(Reverse((VirtualTime::ZERO, rank, 0)));
+        }
+        q
+    }
+
+    /// Queue `rank` at `t`, unless it is already queued earlier. Bumps the
+    /// generation so any later-queued entry goes stale.
+    fn schedule(&mut self, rank: usize, t: VirtualTime) {
+        if self.scheduled[rank].is_none_or(|cur| t < cur) {
+            self.gens[rank] += 1;
+            self.scheduled[rank] = Some(t);
+            self.heap.push(Reverse((t, rank, self.gens[rank])));
+        }
+    }
+
+    /// Process the notifications a just-resumed rank accumulated: sends
+    /// may unblock a receiver, completed rendezvous wake their waiters.
+    fn drain(&mut self, shared: &WorldShared, proc: &mut Proc) {
+        let (sent_to, groups_done) = proc.take_event_notifications();
+        for dest in sent_to {
+            if let Some(EventWait::Recv { src, tag, posted }) = self.waiting[dest] {
+                if let Some(arr) = shared.mailboxes[dest].best_arrival(src, tag) {
+                    self.schedule(dest, posted.max(arr));
+                }
+            }
+        }
+        for (key, exit) in groups_done {
+            for w in self.group_waiters.remove(&key).unwrap_or_default() {
+                self.schedule(w, exit);
+            }
+        }
+    }
+
+    /// Record what a yielded rank is blocked on and queue its wake-up if
+    /// the completion instant is already known.
+    fn classify(&mut self, rank: usize, size: usize, shared: &WorldShared, proc: &Proc) {
+        let wait = proc
+            .event_wait()
+            .unwrap_or_else(|| panic!("rank {rank} yielded with no pending operation"));
+        self.waiting[rank] = Some(wait);
+        match wait {
+            EventWait::Recv { src, tag, posted } => {
+                if let Some(arr) = shared.mailboxes[rank].best_arrival(src, tag) {
+                    self.schedule(rank, posted.max(arr));
+                } else if peer_gone(shared, rank, src) {
+                    self.schedule(rank, degraded_due(shared, rank, size, src, posted));
+                }
+                // Otherwise: a future send or death notification wakes it.
+            }
+            EventWait::Group(key) => {
+                self.group_waiters.entry(key).or_default().push(rank);
+            }
+        }
+    }
+
+    /// A rank died: re-examine every blocked receive (its peer may now be
+    /// gone for good) and every open rendezvous (the membership shrank, so
+    /// the arrivals so far may now suffice).
+    fn handle_death(&mut self, size: usize, shared: &WorldShared) {
+        for rank in 0..size {
+            if let Some(EventWait::Recv { src, tag, posted }) = self.waiting[rank] {
+                // A matching in-flight message still completes normally
+                // (pre-death sends deliver); only a matchless wait degrades.
+                if shared.mailboxes[rank].best_arrival(src, tag).is_none()
+                    && peer_gone(shared, rank, src)
+                {
+                    self.schedule(rank, degraded_due(shared, rank, size, src, posted));
+                }
+            }
+        }
+        let keys: Vec<GroupKey> = self.group_waiters.keys().copied().collect();
+        for key in keys {
+            let res = match key {
+                GroupKey::World => shared
+                    .collective
+                    .try_complete(&shared.cluster, &shared.board),
+                GroupKey::Comm(id) => shared
+                    .comms
+                    .slot_by_id(id)
+                    .and_then(|slot| slot.try_complete(&shared.cluster, &shared.board)),
+                // A split needs *all* ranks (it is documented pre-death
+                // only), so a death can never complete one.
+                GroupKey::Split => None,
+            };
+            if let Some(res) = res {
+                for w in self.group_waiters.remove(&key).unwrap_or_default() {
+                    self.schedule(w, res.exit);
+                }
+            }
+        }
+    }
+}
+
+/// Is the peer side of a blocked receive gone for good?
+fn peer_gone(shared: &WorldShared, me: usize, src: usize) -> bool {
+    if src == crate::p2p::ANY_SOURCE {
+        shared.board.all_peers_dead(me)
+    } else {
+        shared.board.is_dead(src)
+    }
+}
+
+impl World {
+    /// Run every rank as a resumable task on the event-driven virtual-time
+    /// scheduler. `make` builds rank `r`'s task from its (event-mode)
+    /// [`Proc`]; `on_death` converts a fail-stopped task into its output,
+    /// like [`crate::catch_death`] does on the thread backend.
+    ///
+    /// Virtual times, stats, and traces are bit-identical to
+    /// [`World::run`]; one process handles tens of thousands of ranks.
+    ///
+    /// # Panics
+    ///
+    /// With `"rank N panicked: ..."` if a task panics with a non-death
+    /// payload, and with a deadlock message if the event queue drains while
+    /// unfinished tasks remain (the thread backend's 30-second real-time
+    /// timeout becomes an immediate, precise diagnosis here).
+    pub fn run_event<T, F, D>(&self, mut make: F, on_death: D) -> Vec<T::Output>
+    where
+        T: RankTask,
+        F: FnMut(usize, Proc) -> T,
+        D: Fn(DeathUnwind, &mut T) -> T::Output,
+    {
+        let size = self.size();
+        let shared = self.make_shared();
+        let mut tasks: Vec<T> = (0..size)
+            .map(|rank| {
+                let mut proc = Proc::new(rank, size, shared.clone());
+                proc.enable_event_mode();
+                make(rank, proc)
+            })
+            .collect();
+        let mut outputs: Vec<Option<T::Output>> = (0..size).map(|_| None).collect();
+        let mut q = EventQueue::new(size);
+        let mut live = size;
+
+        while live > 0 {
+            let Some(Reverse((_t, rank, gen))) = q.heap.pop() else {
+                let blocked: Vec<usize> = (0..size)
+                    .filter(|&r| outputs[r].is_none())
+                    .take(8)
+                    .collect();
+                panic!(
+                    "simmpi deadlock: event queue is empty with {live} rank(s) still \
+                     blocked (first few: {blocked:?})"
+                );
+            };
+            if gen != q.gens[rank] || outputs[rank].is_some() {
+                continue; // superseded or already-finished entry
+            }
+            q.scheduled[rank] = None;
+            q.waiting[rank] = None;
+
+            let poll = {
+                let task = &mut tasks[rank];
+                std::panic::catch_unwind(AssertUnwindSafe(|| task.resume()))
+            };
+            match poll {
+                Ok(TaskPoll::Ready(out)) => {
+                    outputs[rank] = Some(out);
+                    live -= 1;
+                    q.drain(&shared, tasks[rank].proc_mut());
+                }
+                Ok(TaskPoll::Yielded) => {
+                    q.drain(&shared, tasks[rank].proc_mut());
+                    q.classify(rank, size, &shared, tasks[rank].proc_mut());
+                }
+                Err(payload) => {
+                    if let Some(death) = death_in_payload(&*payload) {
+                        let out = on_death(death, &mut tasks[rank]);
+                        outputs[rank] = Some(out);
+                        live -= 1;
+                        // Pre-death sends must still deliver, and the
+                        // shrunk membership may complete open rendezvous.
+                        q.drain(&shared, tasks[rank].proc_mut());
+                        q.handle_death(size, &shared);
+                    } else {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!("rank {rank} panicked: {msg}");
+                    }
+                }
+            }
+        }
+        outputs
+            .into_iter()
+            .map(|o| o.expect("every rank produced an output"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p2p::{ANY_SOURCE, ANY_TAG};
+    use crate::{catch_death, ReduceOp};
+    use cluster_sim::node::Work;
+    use cluster_sim::ClusterConfig;
+    use std::sync::Arc;
+
+    fn quiet_world(ranks: usize) -> World {
+        World::new(Arc::new(ClusterConfig::quiet(ranks).build()))
+    }
+
+    /// A hand-rolled resumable task: a ring pass written as an explicit
+    /// state machine (what the interp crate's VM does generically).
+    struct RingTask {
+        proc: Proc,
+        state: u8,
+        got: i64,
+    }
+
+    impl RankTask for RingTask {
+        type Output = (i64, VirtualTime);
+
+        fn resume(&mut self) -> TaskPoll<Self::Output> {
+            let n = self.proc.size();
+            let next = (self.proc.rank() + 1) % n;
+            let prev = (self.proc.rank() + n - 1) % n;
+            loop {
+                match self.state {
+                    0 => {
+                        if self.proc.rank() == 0 {
+                            self.proc.send(next, 8, 0, 5);
+                        }
+                        self.state = 1;
+                    }
+                    1 => match self.proc.recv(prev, 0) {
+                        Poll::Ready(info) => {
+                            self.got = info.value;
+                            self.state = 2;
+                        }
+                        Poll::Pending => return TaskPoll::Yielded,
+                    },
+                    2 => {
+                        if self.proc.rank() != 0 {
+                            self.proc.send(next, 8, 0, self.got * 2);
+                        }
+                        self.state = 3;
+                    }
+                    _ => return TaskPoll::Ready((self.got, self.proc.now())),
+                }
+            }
+        }
+
+        fn proc_mut(&mut self) -> &mut Proc {
+            &mut self.proc
+        }
+    }
+
+    #[test]
+    fn event_ring_matches_thread_ring() {
+        let threaded = quiet_world(3).run(|p| {
+            let n = p.size();
+            let next = (p.rank() + 1) % n;
+            let prev = (p.rank() + n - 1) % n;
+            if p.rank() == 0 {
+                p.send(next, 8, 0, 5);
+                (p.recv(prev, 0).ready().value, p.now())
+            } else {
+                let v = p.recv(prev, 0).ready().value;
+                p.send(next, 8, 0, v * 2);
+                (v, p.now())
+            }
+        });
+        let evented = quiet_world(3).run_event(
+            |_, proc| RingTask {
+                proc,
+                state: 0,
+                got: 0,
+            },
+            |_, _| unreachable!("no deaths planned"),
+        );
+        // Rank 0's recv is its last op in both variants; thread rank 0
+        // returns the recv value, event rank 0 stores it the same way.
+        assert_eq!(threaded, evented);
+    }
+
+    /// A generic driver: re-runs a closure-based "program counter" task.
+    struct StepTask<F> {
+        proc: Proc,
+        step: F,
+    }
+
+    impl<F, O> RankTask for StepTask<F>
+    where
+        F: FnMut(&mut Proc) -> TaskPoll<O>,
+    {
+        type Output = O;
+
+        fn resume(&mut self) -> TaskPoll<O> {
+            (self.step)(&mut self.proc)
+        }
+
+        fn proc_mut(&mut self) -> &mut Proc {
+            &mut self.proc
+        }
+    }
+
+    #[test]
+    fn event_barrier_matches_thread_barrier() {
+        let threaded = quiet_world(8).run(|p| {
+            p.compute(Work::cpu(1000 * (p.rank() as u64 + 1)), 0.0);
+            p.barrier().ready();
+            p.now()
+        });
+        let evented = quiet_world(8).run_event(
+            |_, proc| {
+                let mut computed = false;
+                StepTask {
+                    proc,
+                    step: move |p: &mut Proc| {
+                        if !computed {
+                            p.compute(Work::cpu(1000 * (p.rank() as u64 + 1)), 0.0);
+                            computed = true;
+                        }
+                        match p.barrier() {
+                            Poll::Ready(()) => TaskPoll::Ready(p.now()),
+                            Poll::Pending => TaskPoll::Yielded,
+                        }
+                    },
+                }
+            },
+            |_, _| unreachable!(),
+        );
+        assert_eq!(threaded, evented);
+        assert!(evented.iter().all(|t| *t == evented[0]));
+    }
+
+    #[test]
+    fn event_allreduce_matches_threads() {
+        let threaded =
+            quiet_world(5).run(|p| p.allreduce(8, p.rank() as i64, ReduceOp::Sum).ready());
+        let evented = quiet_world(5).run_event(
+            |_, proc| StepTask {
+                proc,
+                step: |p: &mut Proc| match p.allreduce(8, p.rank() as i64, ReduceOp::Sum) {
+                    Poll::Ready(v) => TaskPoll::Ready(v),
+                    Poll::Pending => TaskPoll::Yielded,
+                },
+            },
+            |_, _| unreachable!(),
+        );
+        assert_eq!(threaded, evented);
+    }
+
+    #[test]
+    fn event_wildcard_recv_collects_all_senders() {
+        let totals = quiet_world(4).run_event(
+            |_, proc| {
+                let mut total = 0i64;
+                let mut recvd = 0u32;
+                let mut sent = false;
+                StepTask {
+                    proc,
+                    step: move |p: &mut Proc| {
+                        if p.rank() == 0 {
+                            while recvd < 3 {
+                                match p.recv(ANY_SOURCE, ANY_TAG) {
+                                    Poll::Ready(info) => {
+                                        total += info.value;
+                                        recvd += 1;
+                                    }
+                                    Poll::Pending => return TaskPoll::Yielded,
+                                }
+                            }
+                            TaskPoll::Ready(total)
+                        } else {
+                            if !sent {
+                                p.send(0, 64, p.rank() as i64, p.rank() as i64 * 10);
+                                sent = true;
+                            }
+                            TaskPoll::Ready(0)
+                        }
+                    },
+                }
+            },
+            |_, _| unreachable!(),
+        );
+        assert_eq!(totals[0], 60);
+    }
+
+    #[test]
+    fn event_failstop_degrades_recv_like_threads() {
+        let make_cluster = || {
+            Arc::new(
+                ClusterConfig::quiet(2)
+                    .with_faults(
+                        cluster_sim::FaultPlan::none()
+                            .with_rank_death(0, VirtualTime::from_micros(1)),
+                    )
+                    .build(),
+            )
+        };
+        let threaded = World::new(make_cluster()).run(|p| {
+            catch_death(|| {
+                if p.rank() == 0 {
+                    p.compute(Work::cpu(10_000), 0.0);
+                    p.compute(Work::cpu(10_000), 0.0);
+                    None
+                } else {
+                    Some((p.recv(0, 7).ready(), p.stats()))
+                }
+            })
+            .ok()
+        });
+        let evented = World::new(make_cluster()).run_event(
+            |_, proc| StepTask {
+                proc,
+                step: |p: &mut Proc| {
+                    if p.rank() == 0 {
+                        p.compute(Work::cpu(10_000), 0.0);
+                        p.compute(Work::cpu(10_000), 0.0);
+                        TaskPoll::Ready(None)
+                    } else {
+                        match p.recv(0, 7) {
+                            Poll::Ready(info) => TaskPoll::Ready(Some((info, p.stats()))),
+                            Poll::Pending => TaskPoll::Yielded,
+                        }
+                    }
+                },
+            },
+            |_death, _task| None,
+        );
+        assert_eq!(threaded[1], evented[1].map(Some));
+        let (info, stats) = evented[1].unwrap();
+        assert_eq!(stats.peer_dead_recvs, 1);
+        assert_eq!(info.bytes, 0);
+    }
+
+    #[test]
+    fn event_deadlock_panics_immediately() {
+        let result = std::panic::catch_unwind(|| {
+            quiet_world(2).run_event(
+                |_, proc| StepTask {
+                    proc,
+                    step: |p: &mut Proc| match p.recv(1 - p.rank(), 9) {
+                        Poll::Ready(info) => TaskPoll::Ready(info.value),
+                        Poll::Pending => TaskPoll::Yielded,
+                    },
+                },
+                |_, _| unreachable!(),
+            )
+        });
+        let payload = result.expect_err("both ranks block forever");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("simmpi deadlock"), "{msg}");
+    }
+
+    #[test]
+    fn event_scales_past_thread_limits() {
+        // A modest smoke at a rank count the thread backend would need
+        // 2,048 stacks for; the event loop does it in-process, serially.
+        let n = 2048;
+        let ends = quiet_world(n).run_event(
+            |_, proc| {
+                let mut rounds_started = 0u64;
+                StepTask {
+                    proc,
+                    step: move |p: &mut Proc| loop {
+                        let done = p.stats().collectives;
+                        if done == 3 {
+                            return TaskPoll::Ready(p.now());
+                        }
+                        if rounds_started == done {
+                            p.compute(Work::cpu(100 + p.rank() as u64), 0.0);
+                            rounds_started += 1;
+                        }
+                        match p.barrier() {
+                            Poll::Ready(()) => continue,
+                            Poll::Pending => return TaskPoll::Yielded,
+                        }
+                    },
+                }
+            },
+            |_, _| unreachable!(),
+        );
+        assert!(ends.iter().all(|t| *t == ends[0]));
+        assert!(ends[0] > VirtualTime::ZERO);
+    }
+}

@@ -23,6 +23,18 @@ impl World {
         self.cluster.ranks()
     }
 
+    /// Build the state shared by all ranks of one run (both backends).
+    pub(crate) fn make_shared(&self) -> Arc<WorldShared> {
+        let size = self.size();
+        Arc::new(WorldShared {
+            cluster: self.cluster.clone(),
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            collective: CollectiveSlot::new(size),
+            comms: crate::comm::CommRegistry::new(size),
+            board: DeathBoard::new(size),
+        })
+    }
+
     /// Run `f` on every rank concurrently; returns the per-rank results in
     /// rank order. Panics in any rank propagate (with that rank's ID in the
     /// message).
@@ -36,13 +48,7 @@ impl World {
         R: Send,
     {
         let size = self.size();
-        let shared = Arc::new(WorldShared {
-            cluster: self.cluster.clone(),
-            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
-            collective: CollectiveSlot::new(size),
-            comms: crate::comm::CommRegistry::new(size),
-            board: DeathBoard::new(size),
-        });
+        let shared = self.make_shared();
         let f = &f;
         // Rank programs (interpreters) can recurse deeply; debug builds use
         // sizeable frames, so give each rank thread a generous stack.
@@ -113,9 +119,9 @@ mod tests {
             let prev = (p.rank() + n - 1) % n;
             if p.rank() == 0 {
                 p.send(next, 1024, 7, 100);
-                p.recv(prev, 7);
+                p.recv(prev, 7).ready();
             } else {
-                let got = p.recv(prev, 7);
+                let got = p.recv(prev, 7).ready();
                 p.send(next, 1024, 7, got.value + 1);
             }
             p.now()
@@ -135,9 +141,9 @@ mod tests {
             let prev = (p.rank() + n - 1) % n;
             if p.rank() == 0 {
                 p.send(next, 8, 0, 5);
-                p.recv(prev, 0).value
+                p.recv(prev, 0).ready().value
             } else {
-                let v = p.recv(prev, 0).value;
+                let v = p.recv(prev, 0).ready().value;
                 p.send(next, 8, 0, v * 2);
                 v
             }
@@ -151,7 +157,7 @@ mod tests {
         let finals = w.run(|p| {
             // Unequal work before the barrier.
             p.compute(Work::cpu(1000 * (p.rank() as u64 + 1)), 0.0);
-            p.barrier();
+            p.barrier().ready();
             p.now()
         });
         assert!(finals.iter().all(|t| *t == finals[0]));
@@ -160,7 +166,7 @@ mod tests {
     #[test]
     fn allreduce_results_agree() {
         let w = quiet_world(5);
-        let sums = w.run(|p| p.allreduce(8, p.rank() as i64, ReduceOp::Sum));
+        let sums = w.run(|p| p.allreduce(8, p.rank() as i64, ReduceOp::Sum).ready());
         assert_eq!(sums, vec![10; 5]);
     }
 
@@ -171,7 +177,7 @@ mod tests {
             w.run(|p| {
                 for _ in 0..20 {
                     p.compute(Work::cpu(500), 0.0);
-                    p.alltoall(256);
+                    p.alltoall(256).ready();
                 }
                 p.now()
             })
@@ -186,7 +192,7 @@ mod tests {
             if p.rank() == 0 {
                 let mut total = 0;
                 for _ in 0..3 {
-                    total += p.recv(ANY_SOURCE, ANY_TAG).value;
+                    total += p.recv(ANY_SOURCE, ANY_TAG).ready().value;
                 }
                 total
             } else {
@@ -205,7 +211,7 @@ mod tests {
             if p.rank() == 0 {
                 p.send(1, 1 << 20, 0, 0);
             } else {
-                p.recv(0, 0);
+                p.recv(0, 0).ready();
             }
             p.stats()
         });
@@ -241,7 +247,7 @@ mod tests {
                 p.send(1, 4096, 1, 0);
                 None
             } else {
-                Some(p.recv(0, 1)) // receiver posts immediately
+                Some(p.recv(0, 1).ready()) // receiver posts immediately
             }
         });
         let info = infos[1].unwrap();
@@ -289,7 +295,7 @@ mod tests {
                 let out = crate::catch_death(|| {
                     for _ in 0..10 {
                         p.compute(Work::cpu(10_000), 0.0);
-                        p.barrier();
+                        p.barrier().ready();
                     }
                 });
                 (out.err(), p.now(), p.stats())
@@ -326,7 +332,7 @@ mod tests {
                     p.compute(Work::cpu(10_000), 0.0);
                     None
                 } else {
-                    let info = p.recv(0, 7);
+                    let info = p.recv(0, 7).ready();
                     Some((info, p.stats()))
                 }
             })
@@ -357,7 +363,7 @@ mod tests {
                     p.compute(Work::cpu(1_000_000), 0.0);
                     0
                 } else {
-                    p.recv(0, 3).value
+                    p.recv(0, 3).ready().value
                 }
             })
         });

@@ -176,11 +176,13 @@ proptest! {
             program.clone(),
             Arc::new(ClusterConfig::quiet(2).build()),
             ExecBackend::TreeWalker,
+            Default::default(),
         );
         let vm = run_plain_shared(
             program,
             Arc::new(ClusterConfig::quiet(2).build()),
             ExecBackend::Vm,
+            Default::default(),
         );
         prop_assert_eq!(walker.len(), vm.len());
         for (w, v) in walker.iter().zip(vm.iter()) {
