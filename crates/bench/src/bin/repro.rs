@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--smoke] [--out DIR] [--ranks N] [--check [--ratio-only]] [experiment...]
+//! repro [--smoke] [--out DIR] [--ranks N] [--check [--ratio-only]] [--profile] [experiment...]
 //! repro --list
 //! ```
 //!
@@ -21,7 +21,10 @@
 //! `--ratio-only` restricts the gates to machine-independent checks
 //! (same-machine ratios and virtual-time figures), dropping absolute
 //! wall-clock comparisons — required on hardware that is not comparable
-//! to the baseline machine (shared CI runners).
+//! to the baseline machine (shared CI runners). `repro simmpi --profile`
+//! prints the event scheduler's per-phase wall breakdown (due-set
+//! selection and heap ops, task execution, effect commit, collective
+//! completion) for one run at `--ranks` (default 4,096).
 
 use cluster_sim::time::Duration;
 use std::path::PathBuf;
@@ -86,6 +89,7 @@ fn main() {
     };
     let check = args.iter().any(|a| a == "--check");
     let ratio_only = args.iter().any(|a| a == "--ratio-only");
+    let profile = args.iter().any(|a| a == "--profile");
     let out_dir: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--out")
@@ -138,7 +142,7 @@ fn main() {
         // backend that hosts the paper's 16,384 processes in one address
         // space (thread-per-rank tops out thousands earlier).
         let t = match ranks_override {
-            Some(ranks) => table1_validation::run_at(effort, ranks, simmpi::SimBackend::Event),
+            Some(ranks) => table1_validation::run_at(effort, ranks, simmpi::SimBackend::event()),
             None => table1_validation::run(effort),
         };
         println!("{}", t.render());
@@ -296,7 +300,17 @@ fn main() {
     }
     if want("simmpi") {
         section("simmpi");
-        if check {
+        if profile {
+            // Per-phase wall breakdown of the event scheduler's dispatch
+            // loop, from the SCHED trace category: where does a
+            // rank-iteration's wall time go — heap ops, task execution,
+            // effect commit, or collective completion?
+            let ranks = ranks_override.unwrap_or(match effort {
+                Effort::Smoke => 256,
+                Effort::Paper => 4096,
+            });
+            println!("{}", simmpi_scale::profile(ranks).render());
+        } else if check {
             run_simmpi_gate(!ratio_only);
         } else {
             let r = match ranks_override {
@@ -409,11 +423,12 @@ fn run_service_gate(absolute: bool) {
     }
 }
 
-/// The `simmpi --check` path: re-measure the cheap end of the committed
-/// rank-scaling curve (1,024 and 4,096 ranks) and compare against
-/// `BENCH_simmpi.json`. The 16,384-rank point is skipped, never failed —
-/// it takes minutes that a PR gate should not. Virtual-time throughput
-/// and the 1,024→4,096 scaling-efficiency ratio are gated in every mode;
+/// The `simmpi --check` path: re-measure the committed rank-scaling
+/// curve — including the 16,384-rank point, which the batched event
+/// scheduler finishes in seconds — and compare against
+/// `BENCH_simmpi.json`. Virtual-time throughput and *both* adjacent
+/// scaling-efficiency ratios (1,024→4,096 and 4,096→16,384) are gated in
+/// every mode, so a collapsing tail cannot hide behind a healthy head;
 /// absolute wall throughput only without `--ratio-only`.
 fn run_simmpi_gate(absolute: bool) {
     let baseline_text = read_simmpi_baseline().unwrap_or_else(|e| {
@@ -424,7 +439,7 @@ fn run_simmpi_gate(absolute: bool) {
         eprintln!("simmpi gate: cannot parse BENCH_simmpi.json: {e}");
         std::process::exit(2);
     });
-    let fresh = simmpi_scale::run_with_ranks(&[1024, 4096]);
+    let fresh = simmpi_scale::run_with_ranks(&[1024, 4096, 16384]);
     let report =
         perf_gate::compare_simmpi(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute);
     println!("{}", report.render());

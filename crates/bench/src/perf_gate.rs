@@ -429,12 +429,14 @@ pub fn compare_service(
 /// * **Virtual-time throughput** per rank count — deterministic and
 ///   machine-independent, gated in every mode. Drift here means the
 ///   *simulation* changed, not the hardware.
-/// * **Scaling efficiency** — the ratio of wall throughput between the
-///   largest and smallest rank counts measured on both sides. A
-///   same-machine ratio (both ends of it come from this run), so it is
-///   gated even on shared CI runners: an event-queue or data-layout
-///   regression that hits big worlds harder than small ones collapses
-///   this ratio no matter how fast the machine is.
+/// * **Scaling efficiency** — the ratio of wall throughput between each
+///   *adjacent pair* of rank counts measured on both sides (1K→4K,
+///   4K→16K, ...). Same-machine ratios (both ends of each come from this
+///   run), so they are gated even on shared CI runners: an event-queue or
+///   data-layout regression that hits big worlds harder than small ones
+///   collapses one of these ratios no matter how fast the machine is —
+///   and gating per segment means a collapsing 4K→16K tail cannot hide
+///   behind a healthy 1K→4K span.
 /// * **Absolute wall throughput** per rank count — gated only with
 ///   `absolute = true` (comparable hardware).
 ///
@@ -481,23 +483,26 @@ pub fn compare_simmpi(
             None => report.skipped += 1,
         }
     }
-    // Scaling efficiency across the widest span both sides measured.
-    if let (Some(&lo), Some(&hi)) = (common.first(), common.last()) {
-        if lo != hi {
-            let base_ratio = {
-                let find = |ranks| baseline.iter().find(|r| r.ranks == ranks).unwrap();
-                find(hi).rank_iters_per_wall_sec / find(lo).rank_iters_per_wall_sec.max(1e-9)
-            };
-            let cur_ratio = current.scaling_efficiency(lo, hi).unwrap();
-            report.checks.push(GateCheck {
-                workload: "simmpi".into(),
-                ranks: hi,
-                metric: "scaling-ratio",
-                baseline: base_ratio,
-                current: cur_ratio,
-                ok: cur_ratio >= base_ratio * (1.0 - tolerance),
-            });
-        }
+    // Scaling efficiency per adjacent pair of measured rank counts. One
+    // widest-span ratio can hide a collapsing tail: a big win at
+    // 1K→4K masks a 4K→16K cliff when they are folded into one number.
+    // Gating each adjacent segment (1K→4K *and* 4K→16K) catches a
+    // regression that only bites at the top of the curve.
+    for pair in common.windows(2) {
+        let (lo, hi) = (pair[0], pair[1]);
+        let base_ratio = {
+            let find = |ranks| baseline.iter().find(|r| r.ranks == ranks).unwrap();
+            find(hi).rank_iters_per_wall_sec / find(lo).rank_iters_per_wall_sec.max(1e-9)
+        };
+        let cur_ratio = current.scaling_efficiency(lo, hi).unwrap();
+        report.checks.push(GateCheck {
+            workload: "simmpi".into(),
+            ranks: hi,
+            metric: "scaling-ratio",
+            baseline: base_ratio,
+            current: cur_ratio,
+            ok: cur_ratio >= base_ratio * (1.0 - tolerance),
+        });
     }
     report
 }
@@ -792,11 +797,11 @@ mod tests {
         let base = parse_simmpi_baseline(&r.to_json()).unwrap();
         let full = compare_simmpi(&base, &r, DEFAULT_TOLERANCE, true);
         assert!(full.passed(), "{}", full.render());
-        // 3 virtual + 3 wall + 1 scaling ratio.
-        assert_eq!(full.checks.len(), 7);
+        // 3 virtual + 3 wall + 2 adjacent scaling ratios (1K→4K, 4K→16K).
+        assert_eq!(full.checks.len(), 8);
         let ratio = compare_simmpi(&base, &r, DEFAULT_TOLERANCE, false);
         assert!(ratio.passed(), "{}", ratio.render());
-        assert_eq!(ratio.checks.len(), 4, "no absolute wall checks");
+        assert_eq!(ratio.checks.len(), 5, "no absolute wall checks");
         assert!(ratio.checks.iter().all(|c| c.metric != "wall-throughput"));
     }
 
@@ -815,6 +820,37 @@ mod tests {
             .checks
             .iter()
             .any(|c| c.metric == "scaling-ratio" && !c.ok));
+    }
+
+    #[test]
+    fn simmpi_collapsing_tail_ratio_fails_despite_healthy_head() {
+        // The tail-gate scenario: 1K→4K is *better* than baseline while
+        // 4K→16K collapses. The old widest-span (1K→16K) ratio would
+        // average the win against the cliff and could pass; the
+        // per-adjacent-pair gate must fail on the 16,384 segment.
+        let base = parse_simmpi_baseline(&scale_result(&[1024, 4096, 16384]).to_json()).unwrap();
+        let mut cur = scale_result(&[1024, 4096, 16384]);
+        cur.rows[1].rank_iters_per_wall_sec *= 2.0; // 4096 got faster...
+        cur.rows[2].rank_iters_per_wall_sec *= 0.9; // ...16384 did not keep the gain
+                                                    // Sanity: the widest 1K→16K span (0.9 vs a baseline ratio of 1.0)
+                                                    // clears the 25% tolerance, so only the per-segment gate can see
+                                                    // that the 4K→16K efficiency halved (0.9/2.0 = 0.45).
+        let wide = cur.rows[2].rank_iters_per_wall_sec / cur.rows[0].rank_iters_per_wall_sec;
+        assert!(wide >= 1.0 * (1.0 - DEFAULT_TOLERANCE));
+        let report = compare_simmpi(&base, &cur, DEFAULT_TOLERANCE, false);
+        assert!(!report.passed(), "{}", report.render());
+        let tail = report
+            .checks
+            .iter()
+            .find(|c| c.metric == "scaling-ratio" && c.ranks == 16384)
+            .expect("tail segment is gated");
+        assert!(!tail.ok, "the 4K->16K collapse must fail");
+        let head = report
+            .checks
+            .iter()
+            .find(|c| c.metric == "scaling-ratio" && c.ranks == 4096)
+            .expect("head segment is gated");
+        assert!(head.ok, "the healthy 1K->4K segment passes");
     }
 
     #[test]

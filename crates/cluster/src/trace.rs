@@ -49,8 +49,12 @@ impl Category {
     pub const ENGINE: Category = Category(1 << 4);
     /// Bytecode-VM run segments.
     pub const VM: Category = Category(1 << 5);
+    /// Event-scheduler phase accounting (queue ops, task execution,
+    /// collective completion) — aggregate wall-time events recorded once
+    /// per run by the event backend for `repro simmpi --profile`.
+    pub const SCHED: Category = Category(1 << 6);
     /// Every category.
-    pub const ALL: Category = Category(0x3f);
+    pub const ALL: Category = Category(0x7f);
     /// No categories (tracing off).
     pub const NONE: Category = Category(0);
 
@@ -72,7 +76,7 @@ impl Category {
     }
 
     /// The single-bit categories, with display labels.
-    pub fn all_labeled() -> [(Category, &'static str); 6] {
+    pub fn all_labeled() -> [(Category, &'static str); 7] {
         [
             (Category::SENSOR, "sensor"),
             (Category::MPI, "mpi"),
@@ -80,6 +84,7 @@ impl Category {
             (Category::TRANSPORT, "transport"),
             (Category::ENGINE, "engine"),
             (Category::VM, "vm"),
+            (Category::SCHED, "sched"),
         ]
     }
 
@@ -526,7 +531,8 @@ mod tests {
     #[test]
     fn category_labels_and_ops() {
         assert_eq!(Category::MPI.label(), "mpi");
-        assert_eq!(Category::ALL.bits(), 0x3f);
+        assert_eq!(Category::SCHED.label(), "sched");
+        assert_eq!(Category::ALL.bits(), 0x7f);
         assert!(Category::ALL.contains(Category::VM));
         let mut c = Category::SENSOR;
         c |= Category::VM;

@@ -5,6 +5,7 @@
 //! vsc instrument FILE
 //! vsc run      FILE [--ranks N] [--scenario quiet|healthy|badnode|netdeg]
 //!                   [--threshold F] [--matrix comp|net|io]
+//!                   [--sim threads|event|event:N]
 //! ```
 //!
 //! Drives the full workflow of the paper's Figure 2 on a MiniHPC source
@@ -17,6 +18,7 @@ use std::sync::Arc;
 use vsensor::analysis::{explain, AnalysisConfig, SelectionRules};
 use vsensor::interp::RunConfig;
 use vsensor::runtime::record::SensorKind;
+use vsensor::simmpi::SimBackend;
 use vsensor::viz::{render_ansi, HeatmapOptions};
 use vsensor::{scenarios, Pipeline};
 
@@ -25,7 +27,7 @@ fn usage() -> ! {
         "usage:\n  vsc analyze FILE [--explain] [--max-depth N] [--dest-matters]\n  \
          vsc instrument FILE\n  \
          vsc run FILE [--ranks N] [--scenario quiet|healthy|badnode|netdeg] \
-         [--threshold F] [--matrix comp|net|io]"
+         [--threshold F] [--matrix comp|net|io] [--sim threads|event|event:N]"
     );
     exit(2)
 }
@@ -115,6 +117,9 @@ fn main() {
             let mut run_config = RunConfig::default();
             if let Some(t) = opt("--threshold") {
                 run_config.runtime.variance_threshold = t.parse().unwrap_or_else(|_| usage());
+            }
+            if let Some(s) = opt("--sim") {
+                run_config.sim = SimBackend::parse(&s).unwrap_or_else(|| usage());
             }
             let run = prepared.run(Arc::new(cluster.build()), &run_config);
             println!("{}", run.report.render());

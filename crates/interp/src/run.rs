@@ -235,10 +235,11 @@ pub fn run_plain_shared(
                 Err(death) => dead_rank_result(death, proc),
             }
         }),
-        SimBackend::Event => {
+        SimBackend::Event { workers } => {
             let compiled = event_compiled(&exec);
             let program = exec.program.clone();
-            world.run_event(
+            world.run_event_workers(
+                workers,
                 move |_rank, proc| VmTask::new(program.clone(), compiled.clone(), proc, None),
                 |death, task| dead_rank_result(death, task.proc_mut()),
             )
@@ -364,11 +365,12 @@ pub fn run_instrumented_sink(
                 Err(death) => dead_rank_result(death, proc),
             }
         }),
-        SimBackend::Event => {
+        SimBackend::Event { workers } => {
             let compiled = event_compiled(&exec);
             let program = exec.program.clone();
             let channel = channel.clone();
-            world.run_event(
+            world.run_event_workers(
+                workers,
                 move |rank, proc| {
                     let runtime = SensorRuntime::with_rule(
                         sensor_count,

@@ -147,6 +147,13 @@ struct SlotState {
     acc: i64,
     rop: ReduceOp,
     bcast_val: i64,
+    /// Alive members as of the last death-log drain. Maintained by delta
+    /// ([`DeathBoard::deaths_since`]) instead of rescanning `members`, so
+    /// checking "has everyone alive arrived?" is O(1) + O(new deaths).
+    alive: usize,
+    /// Cursor into the death board's log; deaths at positions ≥ this have
+    /// not yet been folded into `alive`.
+    deaths_seen: usize,
     // Results of the previous generation, read by released waiters.
     done_exit: VirtualTime,
     done_value: i64,
@@ -168,26 +175,17 @@ pub struct CollectiveResult {
     pub missing: u32,
 }
 
-/// Outcome of registering for a collective without blocking
-/// ([`CollectiveSlot::poll_register`]): the generation joined, plus the
-/// result if this arrival completed the rendezvous.
-#[derive(Clone, Copy, Debug)]
-pub struct Registered {
-    /// Generation this rank joined; pass to [`CollectiveSlot::poll_finish`].
-    pub gen: u64,
-    /// `Some` when this rank was the last alive arriver and the collective
-    /// completed immediately.
-    pub done: Option<CollectiveResult>,
-}
-
 impl CollectiveSlot {
     /// Create a slot for the world communicator's first `procs` ranks.
     pub fn new(procs: usize) -> Self {
         Self::with_members((0..procs).collect())
     }
 
-    /// Create a slot for an explicit member list (sub-communicators).
+    /// Create a slot for an explicit member list (sub-communicators). The
+    /// list must be sorted ascending (world and split communicators both
+    /// are); the death-log fold binary-searches it.
     pub fn with_members(members: Vec<usize>) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
         CollectiveSlot {
             state: Mutex::new(SlotState {
                 generation: 0,
@@ -198,6 +196,12 @@ impl CollectiveSlot {
                 acc: 0,
                 rop: ReduceOp::Sum,
                 bcast_val: 0,
+                // Start from "all alive" with the log cursor at zero: the
+                // first drain folds in any deaths that predate this slot
+                // (sub-communicators are created lazily, possibly after
+                // ranks have already died).
+                alive: members.len(),
+                deaths_seen: 0,
                 done_exit: VirtualTime::ZERO,
                 done_value: 0,
                 done_missing: 0,
@@ -216,12 +220,21 @@ impl CollectiveSlot {
         self.cond.notify_all();
     }
 
-    fn alive_members(&self, board: &DeathBoard) -> usize {
-        self.members
-            .iter()
-            .filter(|&&r| !board.is_dead(r))
-            .count()
-            .max(1)
+    /// Current alive-member count, folding any deaths logged since the
+    /// last call into the slot's counter. Replaces the old O(members)
+    /// flag scan: the no-new-deaths fast path is one atomic load, and a
+    /// death costs one binary search per open slot instead of a rescan of
+    /// every member of every slot.
+    fn alive_now(&self, st: &mut SlotState, board: &DeathBoard) -> usize {
+        let mut alive = st.alive;
+        let seen = board.deaths_since(st.deaths_seen, |dead| {
+            if self.members.binary_search(&dead).is_ok() {
+                alive -= 1;
+            }
+        });
+        st.alive = alive;
+        st.deaths_seen = seen;
+        alive.max(1)
     }
 
     /// Enter the collective; blocks (in real time) until every *alive*
@@ -249,7 +262,7 @@ impl CollectiveSlot {
             // from a rank's own code), so every arrival this generation is
             // from a live member: arrived == alive ⇒ all alive members are
             // in, and the rendezvous — possibly shrunk — completes.
-            let required = self.alive_members(board);
+            let required = self.alive_now(&mut st, board);
             if st.arrived >= required {
                 return Ok(self.complete_locked(&mut st, cluster));
             }
@@ -271,25 +284,20 @@ impl CollectiveSlot {
     }
 
     /// Register for the collective without blocking (event scheduler).
-    /// Identical registration math to [`Self::enter`]; if this arrival was
-    /// the last alive member, the rendezvous completes immediately and the
-    /// result is returned in [`Registered::done`]. Otherwise the caller
-    /// polls [`Self::poll_finish`] with the returned generation.
+    /// Identical registration math to [`Self::enter`], but the rendezvous
+    /// is *never* completed inline — even the last arriver yields back to
+    /// the control plane, which completes touched slots via
+    /// [`Self::try_complete`] once the whole dispatch phase has committed.
+    /// (Inline completion would release waiters before same-instant peers
+    /// have registered their waits, stranding them.) Returns the
+    /// generation joined; poll [`Self::poll_finish`] with it.
     ///
     /// # Errors
     ///
     /// [`CollectiveError::Mismatch`], exactly as [`Self::enter`].
-    pub fn poll_register(
-        &self,
-        cluster: &Cluster,
-        board: &DeathBoard,
-        entry: CollectiveEntry,
-    ) -> Result<Registered, CollectiveError> {
+    pub fn poll_register(&self, entry: CollectiveEntry) -> Result<u64, CollectiveError> {
         let mut st = self.state.lock();
-        let gen = self.register_locked(&mut st, entry)?;
-        let done = (st.arrived >= self.alive_members(board))
-            .then(|| self.complete_locked(&mut st, cluster));
-        Ok(Registered { gen, done })
+        self.register_locked(&mut st, entry)
     }
 
     /// Check whether the generation joined via [`Self::poll_register`] has
@@ -307,12 +315,18 @@ impl CollectiveSlot {
         Ok((st.generation != gen).then(|| st.done_result()))
     }
 
-    /// Death-triggered completion check (event scheduler): if an open
+    /// Control-plane completion check (event scheduler): if the open
     /// generation now has every *alive* member registered, complete it and
     /// return the result so waiters can be scheduled at its exit time.
+    /// Called at the end of each dispatch phase for every slot touched by
+    /// a registration, and for every open slot after a death. The check is
+    /// O(1) amortized: a counter compare, plus a death-log delta fold.
     pub fn try_complete(&self, cluster: &Cluster, board: &DeathBoard) -> Option<CollectiveResult> {
         let mut st = self.state.lock();
-        if st.poisoned.is_some() || st.arrived == 0 || st.arrived < self.alive_members(board) {
+        if st.poisoned.is_some() || st.arrived == 0 {
+            return None;
+        }
+        if st.arrived < self.alive_now(&mut st, board) {
             return None;
         }
         Some(self.complete_locked(&mut st, cluster))

@@ -154,26 +154,27 @@ impl CommRegistry {
     }
 
     /// Register for the split without blocking (event scheduler). Identical
-    /// registration math to [`Self::split`]; the last arriver completes the
-    /// rendezvous and gets its `(comm, exit)` back immediately, earlier
-    /// arrivers poll [`Self::poll_split_finish`] with the returned
-    /// generation.
-    pub(crate) fn poll_split_register(
-        &self,
-        cluster: &cluster_sim::Cluster,
-        rank: usize,
-        color: i64,
-        at: VirtualTime,
-    ) -> (u64, Option<(Comm, VirtualTime)>) {
+    /// registration math to [`Self::split`], but never completes inline —
+    /// every member (including the last arriver) yields to the control
+    /// plane, which completes the rendezvous via [`Self::try_complete_split`]
+    /// once the dispatch phase has committed. Returns the generation
+    /// joined; poll [`Self::poll_split_finish`] with it.
+    pub(crate) fn poll_split_register(&self, rank: usize, color: i64, at: VirtualTime) -> u64 {
         let mut st = self.split.lock();
-        let my_gen = self.register_split_locked(&mut st, rank, color, at);
-        if st.arrived == self.procs {
-            self.complete_split_locked(&mut st, cluster);
-            let result = st.done_comm(rank, self.procs);
-            (my_gen, Some(result))
-        } else {
-            (my_gen, None)
+        self.register_split_locked(&mut st, rank, color, at)
+    }
+
+    /// Control-plane completion check for the split rendezvous (event
+    /// scheduler): completes when every rank has registered, returning the
+    /// common exit instant so waiters can be scheduled. Split is documented
+    /// as pre-death-only, so the requirement is the full world.
+    pub(crate) fn try_complete_split(&self, cluster: &cluster_sim::Cluster) -> Option<VirtualTime> {
+        let mut st = self.split.lock();
+        if st.arrived == 0 || st.arrived < self.procs {
+            return None;
         }
+        self.complete_split_locked(&mut st, cluster);
+        Some(st.done_exit)
     }
 
     /// Check whether the split generation joined via

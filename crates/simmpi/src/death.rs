@@ -15,9 +15,10 @@
 //! their wait conditions.
 
 use cluster_sim::time::VirtualTime;
+use parking_lot::Mutex;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Once;
 
 /// Panic payload raised when a rank reaches its fail-stop instant.
@@ -69,6 +70,15 @@ pub(crate) fn silence_death_panics() {
 #[derive(Debug)]
 pub struct DeathBoard {
     flags: Vec<AtomicBool>,
+    /// Append-only log of dead ranks, in the order their flags flipped.
+    /// Consumers keep a cursor into this log and fold only the *new*
+    /// deaths into local alive counters ([`Self::deaths_since`]), turning
+    /// "how many members are still alive" from an O(members) rescan into
+    /// an O(deaths delta) update.
+    log: Mutex<Vec<usize>>,
+    /// Published length of `log`; lets cursors test "anything new?"
+    /// without taking the lock.
+    log_len: AtomicUsize,
 }
 
 impl DeathBoard {
@@ -76,14 +86,37 @@ impl DeathBoard {
     pub fn new(ranks: usize) -> Self {
         DeathBoard {
             flags: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            log: Mutex::new(Vec::new()),
+            log_len: AtomicUsize::new(0),
         }
     }
 
-    /// Mark `rank` dead.
+    /// Mark `rank` dead. Idempotent: only the first call appends to the
+    /// death log, so counters folding the log never double-count.
     pub fn mark_dead(&self, rank: usize) {
         if let Some(f) = self.flags.get(rank) {
-            f.store(true, Ordering::SeqCst);
+            if f.compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                let mut log = self.log.lock();
+                log.push(rank);
+                self.log_len.store(log.len(), Ordering::SeqCst);
+            }
         }
+    }
+
+    /// Feed every death recorded after log position `cursor` to `f` and
+    /// return the new cursor. The fast path (no new deaths) is a single
+    /// atomic load.
+    pub fn deaths_since(&self, cursor: usize, mut f: impl FnMut(usize)) -> usize {
+        if self.log_len.load(Ordering::SeqCst) == cursor {
+            return cursor;
+        }
+        let log = self.log.lock();
+        for &r in &log[cursor..] {
+            f(r);
+        }
+        log.len()
     }
 
     /// Whether `rank` has fail-stopped.
@@ -146,5 +179,24 @@ mod tests {
         assert!(!b.all_peers_dead(0));
         b.mark_dead(2);
         assert!(b.all_peers_dead(0));
+    }
+
+    #[test]
+    fn death_log_is_idempotent_and_cursored() {
+        let b = DeathBoard::new(8);
+        b.mark_dead(5);
+        b.mark_dead(5); // duplicate: must not re-log
+        b.mark_dead(2);
+        let mut seen = Vec::new();
+        let cur = b.deaths_since(0, |r| seen.push(r));
+        assert_eq!(seen, vec![5, 2]);
+        assert_eq!(cur, 2);
+        // Nothing new: cursor unchanged, no callbacks.
+        let cur2 = b.deaths_since(cur, |_| panic!("no new deaths"));
+        assert_eq!(cur2, 2);
+        b.mark_dead(7);
+        let mut tail = Vec::new();
+        assert_eq!(b.deaths_since(cur2, |r| tail.push(r)), 3);
+        assert_eq!(tail, vec![7]);
     }
 }

@@ -53,6 +53,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod death;
+pub mod heap;
 pub mod nonblocking;
 pub mod p2p;
 pub mod proc;

@@ -115,9 +115,12 @@ struct EventState {
     /// Destinations of sends since the last yield (scheduler re-examines
     /// those ranks' blocked receives).
     sent_to: Vec<usize>,
-    /// Group rendezvous this rank completed since the last yield, with
-    /// their exit times (scheduler wakes the group's waiters).
-    group_done: Vec<(GroupKey, VirtualTime)>,
+    /// Group rendezvous this rank registered for since the last yield. The
+    /// control plane runs the completion check (`try_complete`) for each
+    /// touched key at the end of the dispatch phase — registration never
+    /// completes inline in event mode, so same-instant members can never
+    /// be stranded by a completion racing their wait registration.
+    group_touched: Vec<GroupKey>,
     /// Completed sub-receives of an in-progress `waitall`.
     waitall_done: Vec<RecvInfo>,
 }
@@ -174,13 +177,11 @@ impl Proc {
     }
 
     /// Drain the notifications accumulated since the last yield.
-    pub(crate) fn take_event_notifications(
-        &mut self,
-    ) -> (Vec<usize>, Vec<(GroupKey, VirtualTime)>) {
+    pub(crate) fn take_event_notifications(&mut self) -> (Vec<usize>, Vec<GroupKey>) {
         let ev = self.event.as_mut().expect("event mode");
         (
             std::mem::take(&mut ev.sent_to),
-            std::mem::take(&mut ev.group_done),
+            std::mem::take(&mut ev.group_touched),
         )
     }
 
@@ -637,38 +638,23 @@ impl Proc {
             None => {
                 self.failstop_check();
                 let start = self.clock;
-                let reg = match comm {
-                    None => self.shared.collective.poll_register(
-                        &self.shared.cluster,
-                        &self.shared.board,
-                        entry,
-                    ),
-                    Some(c) => self.shared.comms.slot(c).poll_register(
-                        &self.shared.cluster,
-                        &self.shared.board,
-                        entry,
-                    ),
+                let gen = match comm {
+                    None => self.shared.collective.poll_register(entry),
+                    Some(c) => self.shared.comms.slot(c).poll_register(entry),
                 }
                 .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank));
-                match reg.done {
-                    Some(res) => {
-                        // Last alive arriver: completed in-line; notify the
-                        // scheduler so it wakes the other members.
-                        let (name, bytes) = (collective_name(entry.op), entry.bytes);
-                        self.apply_collective(start, name, bytes, sub, res);
-                        self.event_mut().group_done.push((key, res.exit));
-                        Poll::Ready(res)
-                    }
-                    None => {
-                        self.event_mut().pending = Some(PendingOp::Collective {
-                            key,
-                            gen: reg.gen,
-                            start,
-                            entry,
-                        });
-                        Poll::Pending
-                    }
-                }
+                // Never completes inline — even the last arriver yields;
+                // the scheduler's control plane completes touched keys
+                // after the whole dispatch phase has committed.
+                let ev = self.event_mut();
+                ev.group_touched.push(key);
+                ev.pending = Some(PendingOp::Collective {
+                    key,
+                    gen,
+                    start,
+                    entry,
+                });
+                Poll::Pending
             }
             Some(PendingOp::Collective {
                 key: k,
@@ -828,23 +814,13 @@ impl Proc {
                 self.failstop_check();
                 let start = self.clock;
                 let at = self.clock + MPI_CALL_OVERHEAD;
-                let (gen, done) = self.shared.comms.poll_split_register(
-                    &self.shared.cluster,
-                    self.rank,
-                    color,
-                    at,
-                );
-                match done {
-                    Some((comm, exit)) => {
-                        self.apply_split(start, color, exit);
-                        self.event_mut().group_done.push((GroupKey::Split, exit));
-                        Poll::Ready(comm)
-                    }
-                    None => {
-                        self.event_mut().pending = Some(PendingOp::Split { gen, start, color });
-                        Poll::Pending
-                    }
-                }
+                let gen = self.shared.comms.poll_split_register(self.rank, color, at);
+                // As with collectives: the last arriver yields too; the
+                // control plane completes the split after the phase.
+                let ev = self.event_mut();
+                ev.group_touched.push(GroupKey::Split);
+                ev.pending = Some(PendingOp::Split { gen, start, color });
+                Poll::Pending
             }
             Some(PendingOp::Split { gen, start, color }) => {
                 match self.shared.comms.poll_split_finish(self.rank, gen) {

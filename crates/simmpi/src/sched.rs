@@ -3,9 +3,35 @@
 //! The thread backend ([`crate::World::run`]) spawns one OS thread per rank
 //! and parks it on every blocking MPI call; fine at 64 ranks, hopeless at
 //! the paper's 16,384. This module replaces parked threads with *resumable
-//! tasks* on a single worker: every blocking [`crate::Proc`] operation is a
-//! yield point returning [`Poll`], and a global event queue ordered by
+//! tasks*: every blocking [`crate::Proc`] operation is a yield point
+//! returning [`Poll`], and a global event queue ordered by
 //! `(virtual instant, rank)` decides which rank runs next.
+//!
+//! # Phase-structured dispatch
+//!
+//! The scheduler advances in *phases*. Each phase (1) gathers every rank
+//! due at the minimum pending instant `t0` — from the run-queue heap and
+//! from any group-release batches — (2) resumes all of them (serially, or
+//! on a worker pool when `SimBackend::Event { workers: N }` asks for it),
+//! (3) commits their effects in ascending rank order, and (4) runs the
+//! collective control plane: every rendezvous touched by a registration
+//! (and, after a death, every open rendezvous) gets a counter-based
+//! `try_complete` check, and a completed group releases *all* its waiters
+//! as one [`ReadyBatch`] at the exit instant instead of one heap push per
+//! waiter.
+//!
+//! This keeps the per-rank-iteration cost near-constant in the rank count:
+//!
+//! * **Collective completion is O(1) amortized.** Slots keep a running
+//!   `max(entry)`, a running reduction fold, and an alive-member counter
+//!   maintained from [`crate::death::DeathBoard`] deltas, so the
+//!   completion check is a counter compare — no per-member scan, and a
+//!   death adjusts counters instead of rescanning every open rendezvous.
+//! * **Group wake-ups are batched.** A completed rendezvous contributes
+//!   one batch (O(1) heap-equivalent work), not `p` heap pushes.
+//! * **The run queue is a four-ary heap** ([`crate::heap::FourAryHeap`]),
+//!   half the depth of the old binary heap on the pop-heavy schedule (see
+//!   the `schedheap` microbenchmark in the bench crate).
 //!
 //! # How the two backends stay bit-identical
 //!
@@ -17,21 +43,42 @@
 //! variants do. The differential suite in `interp` asserts bitwise-equal
 //! virtual times, [`crate::ProcStats`], sensor streams and reports.
 //!
-//! # Determinism
+//! # Determinism and the worker contract
 //!
-//! The heap pops the minimum `(instant, rank, generation)` tuple, so ties
-//! at the same virtual instant always resume the lowest rank first. All
-//! completion instants are computed from the virtual-time model, never
-//! from pop order, so the schedule is a pure function of the cluster
-//! configuration and the program.
+//! Ties at the same virtual instant always commit in ascending rank
+//! order, and all completion instants are computed from the virtual-time
+//! model, never from execution order — so the schedule is a pure function
+//! of the cluster configuration and the program, *regardless of the
+//! worker count*. The ingredients:
+//!
+//! * Registration never completes a rendezvous inline (see
+//!   [`crate::collectives::CollectiveSlot::poll_register`]); the control
+//!   plane completes touched slots only after every same-instant rank has
+//!   committed, so a completion can never race a member's wait
+//!   registration. Registration order within a phase is immaterial: the
+//!   running fold uses commutative operators and `max`.
+//! * Same-instant sends arrive strictly later than `t0` (the MPI call
+//!   overhead precedes the p2p cost), so message matching — which picks
+//!   the minimum `(arrival, src)` — can never depend on resume order
+//!   within a phase.
+//! * Degraded-receive instants are computed from the fault *plan*
+//!   (`max(posted, death) + timeout`), not from when the death was
+//!   observed.
+//!
+//! Worker-count invariance is pinned by the `worker_invariance` test
+//! suite at 4,096 ranks, healthy and with node deaths.
 
 use crate::death::{death_in_payload, DeathUnwind};
+use crate::heap::{FourAryHeap, HeapEntry};
 use crate::proc::{EventWait, GroupKey, Proc, WorldShared};
 use crate::world::World;
 use cluster_sim::time::VirtualTime;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use cluster_sim::trace::{self, Category, TraceEvent, SERVER_LANE};
+use std::any::Any;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::time::Instant;
 
 /// Result of polling a blocking [`Proc`] operation.
 ///
@@ -84,18 +131,34 @@ pub enum SimBackend {
     /// backend and the differential oracle; default.
     #[default]
     Threads,
-    /// Event-driven virtual-time scheduler: resumable tasks on one worker,
-    /// scales to the paper's 16,384 ranks in a single process.
-    Event,
+    /// Event-driven virtual-time scheduler: resumable tasks dispatched in
+    /// deterministic phases; scales to the paper's 16,384 ranks in a
+    /// single process. `workers > 1` resumes same-instant ranks on a
+    /// worker pool — the schedule is bitwise-identical for every worker
+    /// count (effects commit in rank order).
+    Event {
+        /// Worker threads for same-instant dispatch (1 = serial).
+        workers: usize,
+    },
 }
 
 impl SimBackend {
-    /// Parse a backend name (`threads` / `event`), as used by CLI flags.
+    /// The event backend with serial (single-worker) dispatch — the
+    /// common spelling at call sites.
+    pub fn event() -> Self {
+        SimBackend::Event { workers: 1 }
+    }
+
+    /// Parse a backend name (`threads` / `event` / `event:N` with N
+    /// workers), as used by CLI flags.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "threads" => Some(SimBackend::Threads),
-            "event" => Some(SimBackend::Event),
-            _ => None,
+            "event" => Some(SimBackend::event()),
+            _ => {
+                let n = s.strip_prefix("event:")?.parse().ok()?;
+                (n >= 1).then_some(SimBackend::Event { workers: n })
+            }
         }
     }
 }
@@ -151,11 +214,24 @@ fn degraded_due(
     posted.max(death) + shared.cluster.faults().death_timeout()
 }
 
+/// All waiters of one completed rendezvous, released together at the
+/// group's exit instant. One batch replaces `p` individual heap pushes —
+/// the heap sees O(1) traffic per collective instead of O(p log p).
+struct ReadyBatch {
+    /// The group's common exit instant.
+    at: VirtualTime,
+    /// First not-yet-consumed index into `ranks`.
+    next: usize,
+    /// `(rank, generation)` in ascending rank order; consumed like heap
+    /// entries, including the staleness check.
+    ranks: Vec<(usize, u64)>,
+}
+
 /// Scheduler bookkeeping: the event queue plus per-rank wait state.
 struct EventQueue {
-    /// Min-heap of `(instant, rank, generation)`. The generation makes
-    /// superseded entries cheap to drop lazily instead of re-heapifying.
-    heap: BinaryHeap<Reverse<(VirtualTime, usize, u64)>>,
+    /// Four-ary min-heap of `(instant, rank)` with a generation payload
+    /// that makes superseded entries cheap to drop lazily.
+    heap: FourAryHeap,
     gens: Vec<u64>,
     /// The instant each rank is currently queued for, if any.
     scheduled: Vec<Option<VirtualTime>>,
@@ -163,19 +239,39 @@ struct EventQueue {
     waiting: Vec<Option<EventWait>>,
     /// Ranks registered for a group rendezvous, by group.
     group_waiters: HashMap<GroupKey, Vec<usize>>,
+    /// Released groups whose wake-up instant is still in the future.
+    batches: Vec<ReadyBatch>,
+    /// Groups touched by registrations since the last control-plane pass
+    /// (scratch; duplicates are fine — `try_complete` is idempotent).
+    touched: Vec<GroupKey>,
+    /// Ranks due at the current phase's instant, ascending (scratch).
+    due: Vec<usize>,
+    /// Recycled batch rank vectors (zero steady-state allocation).
+    batch_pool: Vec<Vec<(usize, u64)>>,
+    /// Recycled group-waiter vectors.
+    waiter_pool: Vec<Vec<usize>>,
 }
 
 impl EventQueue {
     fn new(size: usize) -> Self {
         let mut q = EventQueue {
-            heap: BinaryHeap::with_capacity(size),
+            heap: FourAryHeap::with_capacity(size),
             gens: vec![0; size],
             scheduled: vec![Some(VirtualTime::ZERO); size],
             waiting: (0..size).map(|_| None).collect(),
             group_waiters: HashMap::new(),
+            batches: Vec::new(),
+            touched: Vec::new(),
+            due: Vec::with_capacity(size),
+            batch_pool: Vec::new(),
+            waiter_pool: Vec::new(),
         };
         for rank in 0..size {
-            q.heap.push(Reverse((VirtualTime::ZERO, rank, 0)));
+            q.heap.push(HeapEntry {
+                at: VirtualTime::ZERO,
+                rank: rank as u32,
+                gen: 0,
+            });
         }
         q
     }
@@ -186,14 +282,96 @@ impl EventQueue {
         if self.scheduled[rank].is_none_or(|cur| t < cur) {
             self.gens[rank] += 1;
             self.scheduled[rank] = Some(t);
-            self.heap.push(Reverse((t, rank, self.gens[rank])));
+            self.heap.push(HeapEntry {
+                at: t,
+                rank: rank as u32,
+                gen: self.gens[rank],
+            });
         }
     }
 
+    /// Gather every rank due at the minimum pending instant into
+    /// `self.due` (ascending) and clear their queue state. Returns `false`
+    /// when nothing is pending at all (deadlock if ranks remain).
+    fn select_due(&mut self, finished: &[bool]) -> bool {
+        self.due.clear();
+        // Prune stale heap entries off the top.
+        while let Some(e) = self.heap.peek() {
+            let rank = e.rank as usize;
+            if e.gen != self.gens[rank] || finished[rank] {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        // Prune stale batch heads; recycle exhausted batches.
+        let mut i = 0;
+        while i < self.batches.len() {
+            let b = &mut self.batches[i];
+            while b.next < b.ranks.len() {
+                let (rank, gen) = b.ranks[b.next];
+                if gen != self.gens[rank] || finished[rank] {
+                    b.next += 1;
+                } else {
+                    break;
+                }
+            }
+            if b.next >= b.ranks.len() {
+                let mut b = self.batches.swap_remove(i);
+                b.ranks.clear();
+                self.batch_pool.push(b.ranks);
+            } else {
+                i += 1;
+            }
+        }
+        // The phase instant: minimum over the heap top and batch heads.
+        let mut t0 = self.heap.peek().map(|e| e.at);
+        for b in &self.batches {
+            t0 = Some(t0.map_or(b.at, |t| t.min(b.at)));
+        }
+        let Some(t0) = t0 else { return false };
+        // Drain heap entries at t0 (skipping stale ones).
+        while let Some(&e) = self.heap.peek() {
+            if e.at != t0 {
+                break;
+            }
+            self.heap.pop();
+            let rank = e.rank as usize;
+            if e.gen == self.gens[rank] && !finished[rank] {
+                self.due.push(rank);
+            }
+        }
+        // Drain batches whose instant is t0. A rank can be valid in at
+        // most one place (every supersession bumps its generation), so
+        // `due` stays duplicate-free.
+        let mut i = 0;
+        while i < self.batches.len() {
+            if self.batches[i].at == t0 {
+                let mut b = self.batches.swap_remove(i);
+                for &(rank, gen) in &b.ranks[b.next..] {
+                    if gen == self.gens[rank] && !finished[rank] {
+                        self.due.push(rank);
+                    }
+                }
+                b.ranks.clear();
+                self.batch_pool.push(b.ranks);
+            } else {
+                i += 1;
+            }
+        }
+        self.due.sort_unstable();
+        for &rank in &self.due {
+            self.scheduled[rank] = None;
+            self.waiting[rank] = None;
+        }
+        true
+    }
+
     /// Process the notifications a just-resumed rank accumulated: sends
-    /// may unblock a receiver, completed rendezvous wake their waiters.
+    /// may unblock a receiver; group registrations mark their rendezvous
+    /// for the end-of-phase completion pass.
     fn drain(&mut self, shared: &WorldShared, proc: &mut Proc) {
-        let (sent_to, groups_done) = proc.take_event_notifications();
+        let (sent_to, touched) = proc.take_event_notifications();
         for dest in sent_to {
             if let Some(EventWait::Recv { src, tag, posted }) = self.waiting[dest] {
                 if let Some(arr) = shared.mailboxes[dest].best_arrival(src, tag) {
@@ -201,11 +379,7 @@ impl EventQueue {
                 }
             }
         }
-        for (key, exit) in groups_done {
-            for w in self.group_waiters.remove(&key).unwrap_or_default() {
-                self.schedule(w, exit);
-            }
-        }
+        self.touched.extend(touched);
     }
 
     /// Record what a yielded rank is blocked on and queue its wake-up if
@@ -224,16 +398,23 @@ impl EventQueue {
                 }
                 // Otherwise: a future send or death notification wakes it.
             }
-            EventWait::Group(key) => {
-                self.group_waiters.entry(key).or_default().push(rank);
-            }
+            EventWait::Group(key) => match self.group_waiters.entry(key) {
+                Entry::Occupied(mut o) => o.get_mut().push(rank),
+                Entry::Vacant(v) => {
+                    let mut w = self.waiter_pool.pop().unwrap_or_default();
+                    w.clear();
+                    w.push(rank);
+                    v.insert(w);
+                }
+            },
         }
     }
 
-    /// A rank died: re-examine every blocked receive (its peer may now be
-    /// gone for good) and every open rendezvous (the membership shrank, so
-    /// the arrivals so far may now suffice).
-    fn handle_death(&mut self, size: usize, shared: &WorldShared) {
+    /// A rank died this phase: re-examine every blocked receive (its peer
+    /// may now be gone for good). Runs once per phase, after all commits —
+    /// the death board is final by then, and `schedule` keeps the earliest
+    /// wake-up, so one pass converges.
+    fn rescan_recvs_after_death(&mut self, size: usize, shared: &WorldShared) {
         for rank in 0..size {
             if let Some(EventWait::Recv { src, tag, posted }) = self.waiting[rank] {
                 // A matching in-flight message still completes normally
@@ -245,26 +426,61 @@ impl EventQueue {
                 }
             }
         }
-        let keys: Vec<GroupKey> = self.group_waiters.keys().copied().collect();
-        for key in keys {
-            let res = match key {
+    }
+
+    /// The collective control plane, run once per phase after every due
+    /// rank has committed: try to complete each rendezvous touched by a
+    /// registration — and, after a death, every open rendezvous (the
+    /// membership shrank, so the arrivals so far may now suffice). A
+    /// completed group releases all its waiters as one [`ReadyBatch`].
+    ///
+    /// Deferring completion to this point is what makes the schedule
+    /// independent of commit order within the phase: every same-instant
+    /// member has registered its wait before any release is computed.
+    fn complete_touched(&mut self, shared: &WorldShared, deaths: bool) {
+        if deaths {
+            self.touched.extend(self.group_waiters.keys().copied());
+        }
+        let mut touched = std::mem::take(&mut self.touched);
+        for key in touched.drain(..) {
+            let exit = match key {
                 GroupKey::World => shared
                     .collective
-                    .try_complete(&shared.cluster, &shared.board),
+                    .try_complete(&shared.cluster, &shared.board)
+                    .map(|res| res.exit),
                 GroupKey::Comm(id) => shared
                     .comms
                     .slot_by_id(id)
-                    .and_then(|slot| slot.try_complete(&shared.cluster, &shared.board)),
-                // A split needs *all* ranks (it is documented pre-death
-                // only), so a death can never complete one.
-                GroupKey::Split => None,
+                    .and_then(|slot| slot.try_complete(&shared.cluster, &shared.board))
+                    .map(|res| res.exit),
+                GroupKey::Split => shared.comms.try_complete_split(&shared.cluster),
             };
-            if let Some(res) = res {
-                for w in self.group_waiters.remove(&key).unwrap_or_default() {
-                    self.schedule(w, res.exit);
+            if let Some(exit) = exit {
+                if let Some(waiters) = self.group_waiters.remove(&key) {
+                    self.release_group(exit, waiters);
                 }
             }
         }
+        self.touched = touched;
+    }
+
+    /// Release a completed group's waiters as one batch at `at`. Group
+    /// exits are strictly after the current phase instant (entry clocks
+    /// include the MPI call overhead), so the batch never feeds back into
+    /// the running phase.
+    fn release_group(&mut self, at: VirtualTime, mut waiters: Vec<usize>) {
+        waiters.sort_unstable();
+        let mut ranks = self.batch_pool.pop().unwrap_or_default();
+        ranks.clear();
+        for &rank in &waiters {
+            self.gens[rank] += 1;
+            self.scheduled[rank] = Some(at);
+            self.waiting[rank] = None;
+            ranks.push((rank, self.gens[rank]));
+        }
+        waiters.clear();
+        self.waiter_pool.push(waiters);
+        self.batches.push(ReadyBatch { at, next: 0, ranks });
     }
 }
 
@@ -277,14 +493,47 @@ fn peer_gone(shared: &WorldShared, me: usize, src: usize) -> bool {
     }
 }
 
+/// Raw-pointer handle that lets scoped workers take `&mut tasks[rank]`
+/// for *disjoint* ranks. SAFETY: the dispatch loop guarantees each due
+/// rank appears exactly once across all workers' chunks.
+struct TaskPtr<T>(*mut T);
+impl<T> Clone for TaskPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TaskPtr<T> {}
+unsafe impl<T: Send> Send for TaskPtr<T> {}
+
+/// Minimum number of same-instant tasks before parallel dispatch pays for
+/// its synchronization; below this the phase resumes serially even with
+/// `workers > 1`.
+const PAR_MIN: usize = 256;
+
+type ResumeOutcome<O> = Result<TaskPoll<O>, Box<dyn Any + Send>>;
+
 impl World {
+    /// Run every rank as a resumable task on the event-driven virtual-time
+    /// scheduler with serial dispatch. See [`World::run_event_workers`].
+    pub fn run_event<T, F, D>(&self, make: F, on_death: D) -> Vec<T::Output>
+    where
+        T: RankTask + Send,
+        T::Output: Send,
+        F: FnMut(usize, Proc) -> T,
+        D: Fn(DeathUnwind, &mut T) -> T::Output,
+    {
+        self.run_event_workers(1, make, on_death)
+    }
+
     /// Run every rank as a resumable task on the event-driven virtual-time
     /// scheduler. `make` builds rank `r`'s task from its (event-mode)
     /// [`Proc`]; `on_death` converts a fail-stopped task into its output,
     /// like [`crate::catch_death`] does on the thread backend.
     ///
-    /// Virtual times, stats, and traces are bit-identical to
-    /// [`World::run`]; one process handles tens of thousands of ranks.
+    /// `workers > 1` resumes same-instant ranks on a scoped worker pool;
+    /// effects still commit in ascending rank order, so virtual times,
+    /// stats, and traces are bit-identical to [`World::run`] and to every
+    /// other worker count. One process handles tens of thousands of ranks.
     ///
     /// # Panics
     ///
@@ -292,12 +541,19 @@ impl World {
     /// payload, and with a deadlock message if the event queue drains while
     /// unfinished tasks remain (the thread backend's 30-second real-time
     /// timeout becomes an immediate, precise diagnosis here).
-    pub fn run_event<T, F, D>(&self, mut make: F, on_death: D) -> Vec<T::Output>
+    pub fn run_event_workers<T, F, D>(
+        &self,
+        workers: usize,
+        mut make: F,
+        on_death: D,
+    ) -> Vec<T::Output>
     where
-        T: RankTask,
+        T: RankTask + Send,
+        T::Output: Send,
         F: FnMut(usize, Proc) -> T,
         D: Fn(DeathUnwind, &mut T) -> T::Output,
     {
+        let workers = workers.max(1);
         let size = self.size();
         let shared = self.make_shared();
         let mut tasks: Vec<T> = (0..size)
@@ -308,58 +564,148 @@ impl World {
             })
             .collect();
         let mut outputs: Vec<Option<T::Output>> = (0..size).map(|_| None).collect();
+        let mut finished = vec![false; size];
         let mut q = EventQueue::new(size);
         let mut live = size;
+        let mut results: Vec<Option<ResumeOutcome<T::Output>>> = Vec::new();
+
+        // Phase accounting for `repro simmpi --profile`. Aggregates are
+        // recorded as a handful of SCHED trace events at run end, so the
+        // per-phase cost is two `Instant` reads per phase — and only when
+        // a trace session has the SCHED category enabled.
+        let profiling = trace::enabled(Category::SCHED);
+        let (mut select_ns, mut resume_ns, mut commit_ns, mut complete_ns) =
+            (0u64, 0u64, 0u64, 0u64);
+        let (mut phases, mut resumed) = (0u64, 0u64);
 
         while live > 0 {
-            let Some(Reverse((_t, rank, gen))) = q.heap.pop() else {
-                let blocked: Vec<usize> = (0..size)
-                    .filter(|&r| outputs[r].is_none())
-                    .take(8)
-                    .collect();
+            let t_select = profiling.then(Instant::now);
+            let any = q.select_due(&finished);
+            if let Some(t) = t_select {
+                select_ns += t.elapsed().as_nanos() as u64;
+            }
+            if !any {
+                let blocked: Vec<usize> = (0..size).filter(|&r| !finished[r]).take(8).collect();
                 panic!(
                     "simmpi deadlock: event queue is empty with {live} rank(s) still \
                      blocked (first few: {blocked:?})"
                 );
-            };
-            if gen != q.gens[rank] || outputs[rank].is_some() {
-                continue; // superseded or already-finished entry
             }
-            q.scheduled[rank] = None;
-            q.waiting[rank] = None;
+            if q.due.is_empty() {
+                continue; // everything at this instant was stale
+            }
+            phases += 1;
+            resumed += q.due.len() as u64;
+            let due = std::mem::take(&mut q.due);
 
-            let poll = {
-                let task = &mut tasks[rank];
-                std::panic::catch_unwind(AssertUnwindSafe(|| task.resume()))
-            };
-            match poll {
-                Ok(TaskPoll::Ready(out)) => {
-                    outputs[rank] = Some(out);
-                    live -= 1;
-                    q.drain(&shared, tasks[rank].proc_mut());
+            // Resume phase: run every due rank to its next yield point.
+            // Parallel dispatch is gated on a deterministic predicate
+            // (worker knob, due-set size, tracing off — trace buffers are
+            // per-thread and must stay on the control thread).
+            let t_resume = profiling.then(Instant::now);
+            results.clear();
+            results.resize_with(due.len(), || None);
+            if workers > 1 && due.len() >= PAR_MIN && trace::mask().bits() == 0 {
+                let chunk = due.len().div_ceil(workers);
+                let tasks_ptr = TaskPtr(tasks.as_mut_ptr());
+                std::thread::scope(|s| {
+                    for (due_chunk, res_chunk) in due.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                        s.spawn(move || {
+                            // Capture the Send wrapper, not its raw field.
+                            let tasks_ptr = tasks_ptr;
+                            for (slot, &rank) in res_chunk.iter_mut().zip(due_chunk) {
+                                // SAFETY: due ranks are distinct and each
+                                // appears in exactly one chunk, so this is
+                                // the only `&mut tasks[rank]` alive.
+                                let task = unsafe { &mut *tasks_ptr.0.add(rank) };
+                                *slot = Some(std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    task.resume()
+                                })));
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (slot, &rank) in results.iter_mut().zip(&due) {
+                    let task = &mut tasks[rank];
+                    *slot = Some(std::panic::catch_unwind(AssertUnwindSafe(|| task.resume())));
                 }
-                Ok(TaskPoll::Yielded) => {
-                    q.drain(&shared, tasks[rank].proc_mut());
-                    q.classify(rank, size, &shared, tasks[rank].proc_mut());
-                }
-                Err(payload) => {
-                    if let Some(death) = death_in_payload(&*payload) {
-                        let out = on_death(death, &mut tasks[rank]);
+            }
+            if let Some(t) = t_resume {
+                resume_ns += t.elapsed().as_nanos() as u64;
+            }
+
+            // Commit phase, ascending rank order (`due` is sorted): apply
+            // outputs, drain send/registration notifications, record
+            // waits. Deaths announce themselves to the board during the
+            // resume phase; here they only convert to outputs.
+            let t_commit = profiling.then(Instant::now);
+            let mut deaths = false;
+            for (slot, &rank) in results.iter_mut().zip(&due) {
+                match slot.take().expect("every due rank was resumed") {
+                    Ok(TaskPoll::Ready(out)) => {
                         outputs[rank] = Some(out);
+                        finished[rank] = true;
                         live -= 1;
-                        // Pre-death sends must still deliver, and the
-                        // shrunk membership may complete open rendezvous.
                         q.drain(&shared, tasks[rank].proc_mut());
-                        q.handle_death(size, &shared);
-                    } else {
-                        let msg = payload
-                            .downcast_ref::<String>()
-                            .map(String::as_str)
-                            .or_else(|| payload.downcast_ref::<&str>().copied())
-                            .unwrap_or("<non-string panic>");
-                        panic!("rank {rank} panicked: {msg}");
+                    }
+                    Ok(TaskPoll::Yielded) => {
+                        q.drain(&shared, tasks[rank].proc_mut());
+                        q.classify(rank, size, &shared, tasks[rank].proc_mut());
+                    }
+                    Err(payload) => {
+                        if let Some(death) = death_in_payload(&*payload) {
+                            let out = on_death(death, &mut tasks[rank]);
+                            outputs[rank] = Some(out);
+                            finished[rank] = true;
+                            live -= 1;
+                            // Pre-death sends must still deliver.
+                            q.drain(&shared, tasks[rank].proc_mut());
+                            deaths = true;
+                        } else {
+                            let msg = payload
+                                .downcast_ref::<String>()
+                                .map(String::as_str)
+                                .or_else(|| payload.downcast_ref::<&str>().copied())
+                                .unwrap_or("<non-string panic>");
+                            panic!("rank {rank} panicked: {msg}");
+                        }
                     }
                 }
+            }
+            if let Some(t) = t_commit {
+                commit_ns += t.elapsed().as_nanos() as u64;
+            }
+
+            // Control plane: death fallout, then group completion.
+            let t_complete = profiling.then(Instant::now);
+            if deaths {
+                q.rescan_recvs_after_death(size, &shared);
+            }
+            q.complete_touched(&shared, deaths);
+            if let Some(t) = t_complete {
+                complete_ns += t.elapsed().as_nanos() as u64;
+            }
+            q.due = due;
+        }
+
+        if profiling {
+            for (name, ns) in [
+                ("sched.select", select_ns),
+                ("sched.resume", resume_ns),
+                ("sched.commit", commit_ns),
+                ("sched.collectives", complete_ns),
+            ] {
+                trace::record(TraceEvent::complete(
+                    Category::SCHED,
+                    name,
+                    SERVER_LANE,
+                    0,
+                    0,
+                    ns,
+                    phases,
+                    resumed,
+                ));
             }
         }
         outputs
@@ -660,5 +1006,53 @@ mod tests {
         );
         assert!(ends.iter().all(|t| *t == ends[0]));
         assert!(ends[0] > VirtualTime::ZERO);
+    }
+
+    /// The same 2,048-rank barrier workload on 1 vs 4 workers: the due
+    /// sets exceed `PAR_MIN`, so the parallel dispatch path actually runs,
+    /// and the final instants must be bitwise identical.
+    #[test]
+    fn parallel_dispatch_matches_serial() {
+        let n = 2048;
+        let run = |workers: usize| {
+            quiet_world(n).run_event_workers(
+                workers,
+                |_, proc| {
+                    let mut rounds_started = 0u64;
+                    StepTask {
+                        proc,
+                        step: move |p: &mut Proc| loop {
+                            let done = p.stats().collectives;
+                            if done == 3 {
+                                return TaskPoll::Ready(p.now());
+                            }
+                            if rounds_started == done {
+                                p.compute(Work::cpu(100 + p.rank() as u64), 0.0);
+                                rounds_started += 1;
+                            }
+                            match p.barrier() {
+                                Poll::Ready(()) => continue,
+                                Poll::Pending => return TaskPoll::Yielded,
+                            }
+                        },
+                    }
+                },
+                |_, _| unreachable!(),
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn backend_parse_accepts_worker_counts() {
+        assert_eq!(SimBackend::parse("threads"), Some(SimBackend::Threads));
+        assert_eq!(SimBackend::parse("event"), Some(SimBackend::event()));
+        assert_eq!(
+            SimBackend::parse("event:8"),
+            Some(SimBackend::Event { workers: 8 })
+        );
+        assert_eq!(SimBackend::parse("event:0"), None);
+        assert_eq!(SimBackend::parse("event:x"), None);
+        assert_eq!(SimBackend::parse("fibers"), None);
     }
 }

@@ -101,7 +101,7 @@ fn assert_final_state_identical(threads: &InstrumentedRun, event: &InstrumentedR
 
 fn assert_equivalent_with(src: &str, make_cluster: &dyn Fn() -> Cluster, runtime: RuntimeConfig) {
     let threads = run_sim(src, make_cluster, runtime.clone(), SimBackend::Threads);
-    let event = run_sim(src, make_cluster, runtime, SimBackend::Event);
+    let event = run_sim(src, make_cluster, runtime, SimBackend::event());
     assert_runs_identical(&threads, &event);
 }
 
@@ -182,7 +182,7 @@ fn node_death_matches_bitwise() {
         BAD_NODE_SRC,
         &|| cluster.clone().with_ranks_per_node(2).build(),
         runtime,
-        SimBackend::Event,
+        SimBackend::event(),
     );
     assert_final_state_identical(&threads, &event);
     // Both streams must still report the same deaths, whatever variance
@@ -241,7 +241,7 @@ fn plain_runs_match_at_64_ranks() {
         program,
         Arc::new(ClusterConfig::quiet(64).build()),
         ExecBackend::Vm,
-        SimBackend::Event,
+        SimBackend::event(),
     );
     assert_eq!(threads.len(), event.len());
     for (i, (t, e)) in threads.iter().zip(event.iter()).enumerate() {
@@ -273,7 +273,7 @@ fn event_backend_runs_4096_ranks() {
         program,
         Arc::new(ClusterConfig::quiet(4096).build()),
         ExecBackend::Vm,
-        SimBackend::Event,
+        SimBackend::event(),
     );
     assert_eq!(results.len(), 4096);
     let end = results[0].end;
