@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro [--smoke] [--out DIR] [--ranks N] [--check [--ratio-only]] [--profile] [experiment...]
+//! repro gate [--stats] [--ratio-only] [--history PATH] [--allow-new-cells]
 //! repro --list
 //! ```
 //!
@@ -21,7 +22,23 @@
 //! `--ratio-only` restricts the gates to machine-independent checks
 //! (same-machine ratios and virtual-time figures), dropping absolute
 //! wall-clock comparisons — required on hardware that is not comparable
-//! to the baseline machine (shared CI runners). `repro simmpi --profile`
+//! to the baseline machine (shared CI runners).
+//!
+//! `repro gate` (explicit-only, like `failover`) runs all three gates in
+//! one invocation and **appends** the fresh measurements to the history
+//! file (`BENCH_history.jsonl`, override with `--history PATH`) — even
+//! when a gate fails, so the change-point analysis can see the failing
+//! regime form. `--stats` makes every gate variance-aware: once a cell
+//! has 5 recorded runs, the verdict comes from the recorded history
+//! (latest change-point regime median ± `max(3·MAD, floor)`) instead of
+//! the fixed 25 % band; shallower cells keep the fixed band. `--stats`
+//! also works with the individual `interp`/`service`/`simmpi --check`
+//! gates (read-only — only `gate` appends). `--allow-new-cells` accepts
+//! measured cells that are missing from the committed baseline (the
+//! intended flag when regenerating a baseline that grew a cell);
+//! without it, a new unmeasured cell fails the gate hard.
+//!
+//! `repro simmpi --profile`
 //! prints the event scheduler's per-phase wall breakdown (due-set
 //! selection and heap ops, task execution, effect commit, collective
 //! completion) for one run at `--ranks` (default 4,096).
@@ -72,6 +89,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "simmpi",
         "Event-backend rank-scaling curve to 16,384 ranks (BENCH_simmpi.json)",
     ),
+    (
+        "gate",
+        "All three perf gates + history accumulation (BENCH_history.jsonl)",
+    ),
 ];
 
 fn main() {
@@ -90,6 +111,12 @@ fn main() {
     let check = args.iter().any(|a| a == "--check");
     let ratio_only = args.iter().any(|a| a == "--ratio-only");
     let profile = args.iter().any(|a| a == "--profile");
+    let stats = args.iter().any(|a| a == "--stats");
+    let allow_new_cells = args.iter().any(|a| a == "--allow-new-cells");
+    let history_arg: Option<&String> = args
+        .iter()
+        .position(|a| a == "--history")
+        .and_then(|i| args.get(i + 1));
     let out_dir: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--out")
@@ -114,6 +141,7 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .filter(|a| !out_args.contains(a))
         .filter(|a| Some(*a) != ranks_arg)
+        .filter(|a| Some(*a) != history_arg)
         .map(String::as_str)
         .collect();
     let run_all = selected.is_empty();
@@ -129,6 +157,8 @@ fn main() {
         eprintln!("unknown experiment(s): {} — try --list", unknown.join(", "));
         std::process::exit(2);
     }
+
+    let gate_ctx = GateCtx::load(stats, allow_new_cells, history_arg);
 
     println!("vSensor reproduction harness — effort: {:?}\n", effort);
 
@@ -248,7 +278,9 @@ fn main() {
     if want("interp") {
         section("interp");
         if check {
-            run_perf_gate(!ratio_only);
+            if !run_perf_gate(!ratio_only, &gate_ctx).passed() {
+                std::process::exit(1);
+            }
         } else {
             let r = interp_speed::run(effort);
             println!("{}", r.render());
@@ -283,7 +315,9 @@ fn main() {
     if want("service") {
         section("service");
         if check {
-            run_service_gate(!ratio_only);
+            if !run_service_gate(!ratio_only, &gate_ctx).passed() {
+                std::process::exit(1);
+            }
         } else {
             let r = service_bench::run(effort);
             println!("{}", r.render());
@@ -311,7 +345,9 @@ fn main() {
             });
             println!("{}", simmpi_scale::profile(ranks).render());
         } else if check {
-            run_simmpi_gate(!ratio_only);
+            if !run_simmpi_gate(!ratio_only, &gate_ctx).passed() {
+                std::process::exit(1);
+            }
         } else {
             let r = match ranks_override {
                 Some(ranks) => simmpi_scale::run_with_ranks(&[ranks]),
@@ -336,6 +372,98 @@ fn main() {
         let r = service_bench::run(effort);
         println!("{}", r.render());
         exit_unless_service_invariants(&r);
+    }
+    // `gate` runs all three perf gates and files the fresh measurements
+    // into the history — explicit-only for the same reason: it re-runs
+    // the interp sweep and the 16-tenant study at paper scale.
+    if selected.contains(&"gate") {
+        section("gate");
+        let interp = run_perf_gate(!ratio_only, &gate_ctx);
+        let service = run_service_gate(!ratio_only, &gate_ctx);
+        let simmpi = run_simmpi_gate(!ratio_only, &gate_ctx);
+        // Append before exiting, pass or fail: the change-point analysis
+        // needs to see a failing regime *form* across runs, and a torn
+        // append is tolerated by the valid-prefix parser anyway.
+        let run = perf_gate::next_history_run(&gate_ctx.history);
+        let mut lines = String::new();
+        for (suite, report) in [
+            ("interp", &interp),
+            ("service", &service),
+            ("simmpi", &simmpi),
+        ] {
+            lines.push_str(&perf_gate::history_lines(report, suite, run));
+        }
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&gate_ctx.history_path)
+            .and_then(|mut f| f.write_all(lines.as_bytes()))
+            .unwrap_or_else(|e| {
+                eprintln!(
+                    "gate: cannot append history to {}: {e}",
+                    gate_ctx.history_path.display()
+                );
+                std::process::exit(2);
+            });
+        println!(
+            "[appended run {run} to {}]",
+            gate_ctx.history_path.display()
+        );
+        if !(interp.passed() && service.passed() && simmpi.passed()) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Everything the gates need beyond the committed baseline files: the
+/// `--stats` / `--allow-new-cells` flags and the parsed run history.
+struct GateCtx {
+    stats: bool,
+    allow_new_cells: bool,
+    history_path: PathBuf,
+    history: Vec<perf_gate::HistoryCell>,
+}
+
+impl GateCtx {
+    fn load(stats: bool, allow_new_cells: bool, history_arg: Option<&String>) -> Self {
+        let history_path = match history_arg {
+            Some(p) => PathBuf::from(p),
+            None => {
+                // Next to the invocation first (repo root in CI), then
+                // relative to the crate — same search as the baselines.
+                let local = PathBuf::from("BENCH_history.jsonl");
+                let repo = PathBuf::from(concat!(
+                    env!("CARGO_MANIFEST_DIR"),
+                    "/../../BENCH_history.jsonl"
+                ));
+                if !local.exists() && repo.exists() {
+                    repo
+                } else {
+                    local
+                }
+            }
+        };
+        // A missing history file is an empty history, not an error: the
+        // stats gate falls back to the fixed band until runs accumulate.
+        let text = std::fs::read_to_string(&history_path).unwrap_or_default();
+        GateCtx {
+            stats,
+            allow_new_cells,
+            history_path,
+            history: perf_gate::parse_history(&text),
+        }
+    }
+
+    /// Apply the flags to a freshly compared report: new-cell policy
+    /// always, history verdicts when `--stats` is on.
+    fn finish(&self, mut report: perf_gate::GateReport, suite: &str) -> perf_gate::GateReport {
+        report.allow_new_cells = self.allow_new_cells;
+        if self.stats {
+            perf_gate::apply_history(&mut report, suite, &self.history);
+        }
+        println!("{}", report.render());
+        report
     }
 }
 
@@ -371,14 +499,14 @@ fn exit_unless_service_invariants(r: &service_bench::ServiceBenchResult) {
 }
 
 /// The `interp --check` path: a reduced paper-scale sweep compared
-/// against the committed baseline. Exits nonzero on regression so CI can
-/// gate on it. Always paper-parameter workloads — the committed baseline
-/// was measured at paper scale, so a smoke sweep would not be comparable.
-/// With `--ratio-only` (`absolute = false`) only the machine-independent
-/// walker→VM speedup ratio is gated — the right mode for shared CI
-/// runners, whose absolute speed is not comparable to the baseline
-/// machine's.
-fn run_perf_gate(absolute: bool) {
+/// against the committed baseline. The caller exits nonzero on a failed
+/// report so CI can gate on it. Always paper-parameter workloads — the
+/// committed baseline was measured at paper scale, so a smoke sweep
+/// would not be comparable. With `--ratio-only` (`absolute = false`)
+/// only the machine-independent walker→VM speedup ratio is gated — the
+/// right mode for shared CI runners, whose absolute speed is not
+/// comparable to the baseline machine's.
+fn run_perf_gate(absolute: bool, ctx: &GateCtx) -> perf_gate::GateReport {
     let baseline_text = read_baseline().unwrap_or_else(|e| {
         eprintln!("perf gate: cannot read BENCH_interp.json: {e}");
         std::process::exit(2);
@@ -391,11 +519,10 @@ fn run_perf_gate(absolute: bool) {
     // trajectory. Cells the sweep skips (ranks=64) are reported, not
     // failed.
     let fresh = interp_speed::run_with_ranks(Effort::Paper, &[4, 16]);
-    let report = perf_gate::compare(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute);
-    println!("{}", report.render());
-    if !report.passed() {
-        std::process::exit(1);
-    }
+    ctx.finish(
+        perf_gate::compare(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute),
+        "interp",
+    )
 }
 
 /// The `service --check` path: the paper-scale 16-tenant study compared
@@ -404,7 +531,7 @@ fn run_perf_gate(absolute: bool) {
 /// even under `--ratio-only`; the wall-clock batches/sec throughput is
 /// only gated with `absolute`. Backpressure engagement on the hot tenant
 /// is a correctness bit and always gated.
-fn run_service_gate(absolute: bool) {
+fn run_service_gate(absolute: bool, ctx: &GateCtx) -> perf_gate::GateReport {
     let baseline_text = read_service_baseline().unwrap_or_else(|e| {
         eprintln!("service gate: cannot read BENCH_service.json: {e}");
         std::process::exit(2);
@@ -415,12 +542,10 @@ fn run_service_gate(absolute: bool) {
     });
     let fresh = service_bench::run(Effort::Paper);
     exit_unless_service_invariants(&fresh);
-    let report =
-        perf_gate::compare_service(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute);
-    println!("{}", report.render());
-    if !report.passed() {
-        std::process::exit(1);
-    }
+    ctx.finish(
+        perf_gate::compare_service(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute),
+        "service",
+    )
 }
 
 /// The `simmpi --check` path: re-measure the committed rank-scaling
@@ -430,7 +555,7 @@ fn run_service_gate(absolute: bool) {
 /// scaling-efficiency ratios (1,024→4,096 and 4,096→16,384) are gated in
 /// every mode, so a collapsing tail cannot hide behind a healthy head;
 /// absolute wall throughput only without `--ratio-only`.
-fn run_simmpi_gate(absolute: bool) {
+fn run_simmpi_gate(absolute: bool, ctx: &GateCtx) -> perf_gate::GateReport {
     let baseline_text = read_simmpi_baseline().unwrap_or_else(|e| {
         eprintln!("simmpi gate: cannot read BENCH_simmpi.json: {e}");
         std::process::exit(2);
@@ -440,12 +565,10 @@ fn run_simmpi_gate(absolute: bool) {
         std::process::exit(2);
     });
     let fresh = simmpi_scale::run_with_ranks(&[1024, 4096, 16384]);
-    let report =
-        perf_gate::compare_simmpi(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute);
-    println!("{}", report.render());
-    if !report.passed() {
-        std::process::exit(1);
-    }
+    ctx.finish(
+        perf_gate::compare_simmpi(&baseline, &fresh, perf_gate::DEFAULT_TOLERANCE, absolute),
+        "simmpi",
+    )
 }
 
 fn read_simmpi_baseline() -> std::io::Result<String> {

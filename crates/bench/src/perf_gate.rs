@@ -40,8 +40,34 @@
 //! between rank counts is same-machine (gated in every mode), and the
 //! absolute rank-iterations-per-wall-second is gated only with
 //! `absolute = true`.
+//!
+//! # History mode (`--stats`)
+//!
+//! The fixed tolerance band is one-size-fits-all: 25 % is far too loose
+//! for a deterministic virtual-time figure (which should not move at
+//! all) and occasionally too tight for a wall-derived ratio on a noisy
+//! runner. `--stats` replaces it with the same statistics the runtime's
+//! cross-run baseline store uses ([`vsensor_runtime::stats`]): every
+//! gate run appends its fresh measurements to `BENCH_history.jsonl`
+//! (one flat JSON object per line, keyed by `workload/ranks/metric`),
+//! and once a cell has [`MIN_HISTORY_SAMPLES`] recorded runs the verdict
+//! becomes *variance-aware* — the history series is split at its most
+//! significant change-points (Welch-t scan, so a runner-hardware change
+//! mid-history starts a fresh regime instead of poisoning the median),
+//! and the current value must sit within `max(3·scaled-MAD,
+//! rel-floor·|median|)` of the latest regime's median in the worse
+//! direction. The relative floor is 1 % for virtual-time figures
+//! (deterministic by construction) and 10 % for wall-derived ones.
+//! Cells with shallower history keep the fixed-tolerance verdict — the
+//! fallback, not an error.
+//!
+//! History parsing has the runtime WAL's valid-prefix semantics: the
+//! first malformed line (a torn tail from an interrupted append) drops
+//! itself and everything after it.
 
 use std::fmt::Write;
+
+use vsensor_runtime::stats::{self, ShiftPolicy};
 
 use crate::interp_speed::InterpSpeedResult;
 use crate::service_bench::ServiceBenchResult;
@@ -206,6 +232,19 @@ pub fn parse_simmpi_baseline(json: &str) -> Result<Vec<SimmpiBaselineRow>, Strin
         .collect()
 }
 
+/// The history-derived verdict attached to a check in `--stats` mode.
+#[derive(Clone, Debug)]
+pub struct StatsGate {
+    /// Recorded history samples for this cell (the current run excluded).
+    pub samples: usize,
+    /// Samples in the latest regime after change-point splitting.
+    pub regime_len: usize,
+    /// Median of the latest regime.
+    pub median: f64,
+    /// Allowed worse-direction deviation from that median.
+    pub allowed: f64,
+}
+
 /// One comparison the gate performed.
 #[derive(Clone, Debug)]
 pub struct GateCheck {
@@ -221,6 +260,9 @@ pub struct GateCheck {
     pub current: f64,
     /// Whether the cell is within tolerance.
     pub ok: bool,
+    /// The history verdict that superseded the fixed band, when deep
+    /// enough history was available ([`apply_history`]).
+    pub stats: Option<StatsGate>,
 }
 
 /// The gate's verdict over every comparable cell.
@@ -230,15 +272,28 @@ pub struct GateReport {
     pub checks: Vec<GateCheck>,
     /// Baseline (workload, ranks) cells the fresh run did not measure.
     pub skipped: usize,
+    /// The skipped cells by name — a silent skip hides a gate that
+    /// quietly stopped measuring something.
+    pub skipped_cells: Vec<String>,
+    /// Cells the fresh run measured that the committed baseline lacks:
+    /// a regenerated baseline grew a cell nothing gates yet. Hard
+    /// failure unless [`GateReport::allow_new_cells`].
+    pub new_cells: Vec<String>,
+    /// Accept new unmeasured cells (set when regenerating the baseline
+    /// on purpose, `--allow-new-cells`).
+    pub allow_new_cells: bool,
     /// Tolerance used.
     pub tolerance: f64,
 }
 
 impl GateReport {
-    /// True when every check passed and at least one ran (an empty
-    /// comparison is a gate misconfiguration, not a pass).
+    /// True when every check passed, at least one ran (an empty
+    /// comparison is a gate misconfiguration, not a pass), and no cell
+    /// is new-and-ungated (unless explicitly allowed).
     pub fn passed(&self) -> bool {
-        !self.checks.is_empty() && self.checks.iter().all(|c| c.ok)
+        !self.checks.is_empty()
+            && self.checks.iter().all(|c| c.ok)
+            && (self.allow_new_cells || self.new_cells.is_empty())
     }
 
     /// Render the verdict table.
@@ -252,7 +307,7 @@ impl GateReport {
             self.skipped,
         );
         for c in &self.checks {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "  [{}] {:<10} ranks {:>3} {:<13} baseline {:>12.2} current {:>12.2} ({:+.1}%)",
                 if c.ok { "ok" } else { "FAIL" },
@@ -262,6 +317,37 @@ impl GateReport {
                 c.baseline,
                 c.current,
                 (c.current / c.baseline.max(1e-12) - 1.0) * 100.0,
+            );
+            match &c.stats {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        " [history n={} regime {} median {:.2} allow ±{:.2}]",
+                        s.samples, s.regime_len, s.median, s.allowed,
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, " [fixed tolerance]");
+                }
+            }
+        }
+        if !self.skipped_cells.is_empty() {
+            let _ = writeln!(
+                out,
+                "  skipped baseline cell(s): {}",
+                self.skipped_cells.join(", ")
+            );
+        }
+        for cell in &self.new_cells {
+            let _ = writeln!(
+                out,
+                "  [{}] {cell} — measured but absent from the committed baseline{}",
+                if self.allow_new_cells { "new " } else { "NEW " },
+                if self.allow_new_cells {
+                    " (allowed)"
+                } else {
+                    "; regenerate it or pass --allow-new-cells"
+                },
             );
         }
         let _ = writeln!(
@@ -308,6 +394,16 @@ pub fn compare(
         tolerance,
         ..GateReport::default()
     };
+    // Cells the fresh sweep measured that the baseline has never heard
+    // of: nothing gates them, which is exactly how a regenerated
+    // benchmark silently escapes its gate.
+    for r in &current.rows {
+        let key = (r.workload.to_string(), r.ranks);
+        let name = format!("{}/{}", key.0, key.1);
+        if !keys.contains(&key) && !report.new_cells.contains(&name) {
+            report.new_cells.push(name);
+        }
+    }
     for (workload, ranks) in keys {
         let cells = (
             find_base(&workload, ranks, "tree-walker"),
@@ -317,6 +413,7 @@ pub fn compare(
         );
         let (Some(bw), Some(bv), Some(cw), Some(cv)) = cells else {
             report.skipped += 1;
+            report.skipped_cells.push(format!("{workload}/{ranks}"));
             continue;
         };
         // Walker→VM speedup must not collapse: a same-machine ratio, so
@@ -331,6 +428,7 @@ pub fn compare(
             baseline: base_speedup,
             current: cur_speedup,
             ok: cur_speedup >= base_speedup * (1.0 - tolerance),
+            stats: None,
         });
         // The VM backend (the default engine) must not get absolutely
         // slower per simulated second — same-machine runs only.
@@ -342,6 +440,7 @@ pub fn compare(
                 baseline: bv.wall_ns_per_sim_sec,
                 current: cv.wall_ns_per_sim_sec,
                 ok: cv.wall_ns_per_sim_sec <= bv.wall_ns_per_sim_sec * (1.0 + tolerance),
+                stats: None,
             });
         }
     }
@@ -363,7 +462,7 @@ pub fn compare_service(
     absolute: bool,
 ) -> GateReport {
     let mut checks = Vec::new();
-    let mut skipped = 0usize;
+    let mut skipped_cells: Vec<String> = Vec::new();
     let tenants = current.tenants;
     let mut push = |metric: &'static str, base: f64, cur: f64, ok: bool| {
         checks.push(GateCheck {
@@ -373,6 +472,7 @@ pub fn compare_service(
             baseline: base,
             current: cur,
             ok,
+            stats: None,
         });
     };
     for row in baseline {
@@ -409,16 +509,32 @@ pub fn compare_service(
                         cur >= row.value * (1.0 - tolerance),
                     );
                 } else {
-                    skipped += 1;
+                    skipped_cells.push(format!("service/{}", row.metric));
                 }
             }
-            _ => skipped += 1,
+            _ => skipped_cells.push(format!("service/{}", row.metric)),
         }
     }
+    // Every metric the fresh study emits must exist in the baseline:
+    // regenerating `BENCH_service.json` with a new metric nothing gates
+    // is a hard failure, not a silent pass.
+    let new_cells = [
+        "p99_hot_ingest_ns",
+        "p99_steady_ingest_ns",
+        "hot_backpressured",
+        "batches_per_wall_sec",
+    ]
+    .iter()
+    .filter(|m| !baseline.iter().any(|r| &r.metric == *m))
+    .map(|m| format!("service/{m}"))
+    .collect();
     GateReport {
         checks,
-        skipped,
+        skipped: skipped_cells.len(),
+        skipped_cells,
+        new_cells,
         tolerance,
+        ..GateReport::default()
     }
 }
 
@@ -453,6 +569,12 @@ pub fn compare_simmpi(
         tolerance,
         ..GateReport::default()
     };
+    // Fresh rank counts the baseline lacks are ungated cells.
+    for c in &current.rows {
+        if !baseline.iter().any(|b| b.ranks == c.ranks) {
+            report.new_cells.push(format!("simmpi/{}", c.ranks));
+        }
+    }
     // Rank counts present on both sides, ascending (baseline order).
     let mut common: Vec<usize> = Vec::new();
     for b in baseline {
@@ -467,6 +589,7 @@ pub fn compare_simmpi(
                     current: c.rank_iters_per_virtual_sec,
                     ok: c.rank_iters_per_virtual_sec
                         >= b.rank_iters_per_virtual_sec * (1.0 - tolerance),
+                    stats: None,
                 });
                 if absolute {
                     report.checks.push(GateCheck {
@@ -477,10 +600,14 @@ pub fn compare_simmpi(
                         current: c.rank_iters_per_wall_sec,
                         ok: c.rank_iters_per_wall_sec
                             >= b.rank_iters_per_wall_sec * (1.0 - tolerance),
+                        stats: None,
                     });
                 }
             }
-            None => report.skipped += 1,
+            None => {
+                report.skipped += 1;
+                report.skipped_cells.push(format!("simmpi/{}", b.ranks));
+            }
         }
     }
     // Scaling efficiency per adjacent pair of measured rank counts. One
@@ -502,9 +629,163 @@ pub fn compare_simmpi(
             baseline: base_ratio,
             current: cur_ratio,
             ok: cur_ratio >= base_ratio * (1.0 - tolerance),
+            stats: None,
         });
     }
     report
+}
+
+/// A cell needs this many recorded runs before the history verdict
+/// supersedes the fixed tolerance band — mirrors the runtime baseline
+/// store's `min_history`.
+pub const MIN_HISTORY_SAMPLES: usize = 5;
+
+/// One recorded measurement from `BENCH_history.jsonl`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryCell {
+    /// Monotonic run index (shared by every cell appended by one run).
+    pub run: u64,
+    /// Gate suite (`interp`, `service`, `simmpi`).
+    pub suite: String,
+    /// Cell key, `workload/ranks/metric` ([`cell_key`]).
+    pub cell: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// The history key of a check: `workload/ranks/metric`.
+pub fn cell_key(check: &GateCheck) -> String {
+    format!("{}/{}/{}", check.workload, check.ranks, check.metric)
+}
+
+/// Parse `BENCH_history.jsonl` — one flat `{"run","suite","cell",
+/// "value"}` object per line. Valid-prefix semantics like the runtime
+/// WAL: the first malformed line (a torn tail from an interrupted
+/// append) drops itself and everything after it; blank lines are
+/// skipped. A missing or empty file is simply an empty history.
+pub fn parse_history(text: &str) -> Vec<HistoryCell> {
+    let mut cells = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = (|| -> Result<HistoryCell, String> {
+            Ok(HistoryCell {
+                run: num_field(line, "run")? as u64,
+                suite: str_field(line, "suite")?,
+                cell: str_field(line, "cell")?,
+                value: num_field(line, "value")?,
+            })
+        })();
+        match parsed {
+            Ok(c) => cells.push(c),
+            Err(_) => break,
+        }
+    }
+    cells
+}
+
+/// The run index a fresh append should use: one past the largest seen.
+pub fn next_history_run(history: &[HistoryCell]) -> u64 {
+    history.iter().map(|h| h.run + 1).max().unwrap_or(0)
+}
+
+/// Serialize this report's fresh measurements as history lines (the
+/// correctness-bit metric is excluded — it is not a distribution).
+pub fn history_lines(report: &GateReport, suite: &str, run: u64) -> String {
+    let mut out = String::new();
+    for c in &report.checks {
+        if c.metric == "backpressure-engaged" {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{{\"run\": {run}, \"suite\": \"{suite}\", \"cell\": \"{}\", \"value\": {:?}}}",
+            cell_key(c),
+            c.current,
+        );
+    }
+    out
+}
+
+/// In the worse direction, a larger value of this metric is a
+/// regression (latencies and ns-per-work figures); for every other
+/// metric smaller is worse (speedups, throughputs, scaling ratios).
+fn higher_is_worse(metric: &str) -> bool {
+    matches!(
+        metric,
+        "vm-throughput" | "p99-hot-ingest" | "p99-steady-ingest"
+    )
+}
+
+/// The relative deviation floor under the `3·MAD` cut: virtual-time
+/// figures are deterministic by construction, so real drift there is a
+/// simulation change and the floor is 1 %; wall-derived figures jitter
+/// with the machine and get 10 %.
+fn rel_floor(metric: &str) -> f64 {
+    match metric {
+        "p99-hot-ingest" | "p99-steady-ingest" | "virt-throughput" => 0.01,
+        _ => 0.10,
+    }
+}
+
+/// The tail of the series after repeatedly splitting at the most
+/// significant change-point: the latest stable regime. A hardware or
+/// code step mid-history starts a fresh regime instead of widening the
+/// old one's dispersion.
+fn latest_regime<'a>(series: &'a [f64], policy: &ShiftPolicy) -> &'a [f64] {
+    let mut seg = series;
+    while seg.len() >= MIN_HISTORY_SAMPLES {
+        match stats::detect_shift(seg, policy) {
+            Some(cp) => seg = &seg[cp.index..],
+            None => break,
+        }
+    }
+    seg
+}
+
+/// Re-judge every check against the recorded history (`--stats`).
+///
+/// Cells with at least [`MIN_HISTORY_SAMPLES`] recorded runs get a
+/// variance-aware verdict that *supersedes* the fixed band: the current
+/// value must sit within `max(3·scaled-MAD, rel_floor·|median|)` of the
+/// latest regime's median in the worse direction. Shallower cells keep
+/// their fixed-tolerance verdict (the documented fallback). The
+/// backpressure correctness bit is never statistical.
+pub fn apply_history(report: &mut GateReport, suite: &str, history: &[HistoryCell]) {
+    let policy = ShiftPolicy::default();
+    for check in &mut report.checks {
+        if check.metric == "backpressure-engaged" {
+            continue;
+        }
+        let key = cell_key(check);
+        let mut rows: Vec<(u64, f64)> = history
+            .iter()
+            .filter(|h| h.suite == suite && h.cell == key)
+            .map(|h| (h.run, h.value))
+            .collect();
+        rows.sort_by_key(|&(run, _)| run);
+        let series: Vec<f64> = rows.into_iter().map(|(_, v)| v).collect();
+        if series.len() < MIN_HISTORY_SAMPLES {
+            continue;
+        }
+        let regime = latest_regime(&series, &policy);
+        let median = stats::median(regime).expect("regime is non-empty");
+        let smad = stats::scaled_mad(regime).unwrap_or(0.0);
+        let allowed = (3.0 * smad).max(rel_floor(check.metric) * median.abs());
+        check.ok = if higher_is_worse(check.metric) {
+            check.current <= median + allowed
+        } else {
+            check.current >= median - allowed
+        };
+        check.stats = Some(StatsGate {
+            samples: series.len(),
+            regime_len: regime.len(),
+            median,
+            allowed,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -902,5 +1183,273 @@ mod tests {
             true,
         );
         assert!(!report.passed(), "nothing compared must not pass");
+    }
+
+    #[test]
+    fn skipped_cells_are_named_not_just_counted() {
+        let base = synthetic(&["cg-fig21"], &[4, 16, 64]);
+        let cur = synthetic(&["cg-fig21"], &[4, 16]);
+        let report = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: cur },
+            DEFAULT_TOLERANCE,
+            true,
+        );
+        assert_eq!(report.skipped_cells, vec!["cg-fig21/64"]);
+        assert_eq!(report.skipped, report.skipped_cells.len());
+        assert!(report
+            .render()
+            .contains("skipped baseline cell(s): cg-fig21/64"));
+    }
+
+    #[test]
+    fn a_new_unmeasured_cell_is_a_hard_failure_unless_allowed() {
+        // Regenerating the benchmark grew a ranks=64 cell the committed
+        // baseline has never gated. Passing checks must not mask it.
+        let base = synthetic(&["cg-fig21"], &[4, 16]);
+        let cur = synthetic(&["cg-fig21"], &[4, 16, 64]);
+        let mut report = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: cur },
+            DEFAULT_TOLERANCE,
+            true,
+        );
+        assert!(report.checks.iter().all(|c| c.ok));
+        assert_eq!(report.new_cells, vec!["cg-fig21/64"]);
+        assert!(!report.passed(), "{}", report.render());
+        assert!(report.render().contains("--allow-new-cells"));
+        report.allow_new_cells = true;
+        assert!(report.passed(), "{}", report.render());
+
+        // Same contract for the simmpi curve.
+        let base = parse_simmpi_baseline(&scale_result(&[1024, 4096]).to_json()).unwrap();
+        let cur = scale_result(&[1024, 4096, 16384]);
+        let report = compare_simmpi(&base, &cur, DEFAULT_TOLERANCE, false);
+        assert_eq!(report.new_cells, vec!["simmpi/16384"]);
+        assert!(!report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn history_jsonl_round_trips_and_tolerates_a_torn_tail() {
+        let rows = synthetic(&["cg-fig21"], &[4]);
+        let report = compare(
+            &to_baseline(&rows),
+            &InterpSpeedResult { rows: rows.clone() },
+            DEFAULT_TOLERANCE,
+            true,
+        );
+        let mut text = history_lines(&report, "interp", 3);
+        let cells = parse_history(&text);
+        assert_eq!(cells.len(), report.checks.len());
+        assert_eq!(cells[0].run, 3);
+        assert_eq!(cells[0].suite, "interp");
+        assert_eq!(cells[0].cell, "cg-fig21/4/vm-speedup");
+        assert!((cells[0].value - report.checks[0].current).abs() < 1e-12);
+        assert_eq!(next_history_run(&cells), 4);
+        assert_eq!(next_history_run(&[]), 0);
+
+        // A torn tail (interrupted append) drops itself and nothing
+        // before it — the runtime WAL's valid-prefix semantics.
+        text.push_str("{\"run\": 4, \"sui");
+        assert_eq!(parse_history(&text).len(), cells.len());
+        // Damage mid-file drops the suffix too: the prefix stays valid.
+        let torn = format!("{}garbage\n{}", history_lines(&report, "interp", 0), text);
+        assert_eq!(parse_history(&torn).len(), cells.len());
+    }
+
+    fn hist(suite: &str, cell: &str, values: &[f64]) -> Vec<HistoryCell> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| HistoryCell {
+                run: i as u64,
+                suite: suite.into(),
+                cell: cell.into(),
+                value: v,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shallow_history_keeps_the_fixed_tolerance_verdict() {
+        let rows = synthetic(&["cg-fig21"], &[4]);
+        let mut report = compare(
+            &to_baseline(&rows),
+            &InterpSpeedResult { rows: rows.clone() },
+            DEFAULT_TOLERANCE,
+            true,
+        );
+        // Four recorded runs: one short of the minimum.
+        let history = hist("interp", "cg-fig21/4/vm-speedup", &[5.0, 5.0, 5.0, 5.0]);
+        apply_history(&mut report, "interp", &history);
+        assert!(
+            report.checks.iter().all(|c| c.stats.is_none()),
+            "shallow history must stay on the fixed band"
+        );
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.render().contains("[fixed tolerance]"));
+    }
+
+    #[test]
+    fn deep_history_supersedes_the_fixed_band_in_both_directions() {
+        // The dogfood scenario. The committed BENCH_interp.json was
+        // measured on a faster-relative machine: this machine's speedup
+        // sits ~29% below it, outside the fixed band. With five recorded
+        // runs centered on what *this* machine actually measures, the
+        // history verdict accepts it with room to spare…
+        let base = synthetic(&["cg-fig21"], &[4]);
+        let mut cur = base.clone();
+        for r in cur.iter_mut().filter(|r| r.backend == "tree-walker") {
+            r.wall_ns = r.wall_ns * 100 / 140; // speedup 5x*100/140 ≈ 3.57: 28.6% down
+        }
+        let mut report = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: cur },
+            DEFAULT_TOLERANCE,
+            false,
+        );
+        assert!(!report.passed(), "28% down fails the fixed band");
+        let measured = report.checks[0].current;
+        let history = hist(
+            "interp",
+            "cg-fig21/4/vm-speedup",
+            &[
+                measured * 1.01,
+                measured * 0.99,
+                measured,
+                measured * 1.02,
+                measured,
+            ],
+        );
+        apply_history(&mut report, "interp", &history);
+        assert!(report.passed(), "{}", report.render());
+        let stats = report.checks[0].stats.as_ref().expect("history verdict");
+        assert_eq!(stats.samples, 5);
+
+        // …and a drop the fixed band would wave through fails once the
+        // history shows the cell never moves: 15% below a tight regime.
+        let mut report2 = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: base.clone() },
+            DEFAULT_TOLERANCE,
+            false,
+        );
+        assert!(report2.passed(), "identical run passes the fixed band");
+        let cur_val = report2.checks[0].current;
+        let tight = hist(
+            "interp",
+            "cg-fig21/4/vm-speedup",
+            &[
+                cur_val * 1.18,
+                cur_val * 1.17,
+                cur_val * 1.18,
+                cur_val * 1.19,
+                cur_val * 1.18,
+            ],
+        );
+        apply_history(&mut report2, "interp", &tight);
+        assert!(
+            !report2.passed(),
+            "a 15% drop below a tight history regime must fail: {}",
+            report2.render()
+        );
+    }
+
+    #[test]
+    fn synthetic_2x_slowdown_fails_the_stats_gate_too() {
+        // The acceptance scenario: `repro interp --check --stats` must
+        // exit nonzero on a 2x slowdown even when the history is deep.
+        let base = synthetic(&["cg-fig21"], &[4]);
+        let healthy = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: base.clone() },
+            DEFAULT_TOLERANCE,
+            false,
+        );
+        let good = healthy.checks[0].current;
+        let history = hist(
+            "interp",
+            "cg-fig21/4/vm-speedup",
+            &[good, good * 1.01, good * 0.99, good, good * 1.02, good],
+        );
+        let mut slow = base.clone();
+        for r in slow.iter_mut().filter(|r| r.backend == "vm") {
+            r.wall_ns *= 2;
+            r.wall_ns_per_sim_sec *= 2.0;
+        }
+        let mut report = compare(
+            &to_baseline(&base),
+            &InterpSpeedResult { rows: slow },
+            DEFAULT_TOLERANCE,
+            false,
+        );
+        apply_history(&mut report, "interp", &history);
+        assert!(!report.passed(), "{}", report.render());
+        let check = &report.checks[0];
+        assert!(check.stats.is_some(), "verdict must come from history");
+        assert!(!check.ok);
+    }
+
+    #[test]
+    fn a_regime_change_in_history_resets_the_reference() {
+        // Five runs on the old CI machine (speedup ~6.4), five on the
+        // new one (~5.0): the change-point split must judge against the
+        // *latest* regime, not the pooled history.
+        let series = [6.4, 6.38, 6.42, 6.41, 6.39, 5.0, 4.98, 5.02, 5.01, 4.99];
+        let history = hist("interp", "cg-fig21/4/vm-speedup", &series);
+        let judge = |current: f64| {
+            let mut check = GateCheck {
+                workload: "cg-fig21".into(),
+                ranks: 4,
+                metric: "vm-speedup",
+                baseline: 6.4,
+                current,
+                ok: true,
+                stats: None,
+            };
+            let mut report = GateReport {
+                checks: vec![check.clone()],
+                tolerance: DEFAULT_TOLERANCE,
+                ..GateReport::default()
+            };
+            apply_history(&mut report, "interp", &history);
+            check = report.checks.pop().unwrap();
+            let stats = check.stats.expect("deep history");
+            assert_eq!(stats.regime_len, 5, "latest regime only");
+            assert!((stats.median - 5.0).abs() < 0.05);
+            check.ok
+        };
+        assert!(judge(5.0), "the new machine's own value passes");
+        assert!(
+            !judge(5.0 * 0.85),
+            "15% below the new regime fails even though it is within 25% of nothing in particular"
+        );
+        assert!(judge(6.4), "faster than the regime is never a regression");
+    }
+
+    #[test]
+    fn deterministic_metrics_get_the_tight_floor() {
+        // virt-throughput is virtual time: a 5% dip is a simulation
+        // change, and the 1% floor must catch it where the wall-derived
+        // 10% floor would not.
+        let history = hist("simmpi", "simmpi/1024/virt-throughput", &[49_152.0; 6]);
+        let mut report = GateReport {
+            checks: vec![GateCheck {
+                workload: "simmpi".into(),
+                ranks: 1024,
+                metric: "virt-throughput",
+                baseline: 49_152.0,
+                current: 49_152.0 * 0.95,
+                ok: true,
+                stats: None,
+            }],
+            tolerance: DEFAULT_TOLERANCE,
+            ..GateReport::default()
+        };
+        apply_history(&mut report, "simmpi", &history);
+        assert!(!report.passed(), "{}", report.render());
+        report.checks[0].current = 49_152.0 * 0.995;
+        apply_history(&mut report, "simmpi", &history);
+        assert!(report.checks[0].ok, "0.5% is inside the 1% floor");
     }
 }

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use vsensor_lang::Program;
 use vsensor_runtime::{
     AnalysisServer, AnalysisSink, BatchChannel, CrashingChannel, DirectChannel, DistributionStats,
-    DynamicRule, FaultyChannel, RuntimeConfig, SensorInfo, SensorRuntime, ServerResult,
-    TransportStats, VarianceAlert, VarianceReport,
+    DynamicRule, FaultyChannel, RunId, RuntimeConfig, SensorInfo, SensorRuntime, ServerResult,
+    SharedBaseline, TransportStats, VarianceAlert, VarianceReport,
 };
 
 /// Which execution engine runs the ranks.
@@ -84,6 +84,11 @@ pub struct RunConfig {
     /// [`ExecBackend::Vm`] and produces bit-identical results while
     /// scaling to paper-size worlds (16k+ ranks) in one process.
     pub sim: SimBackend,
+    /// Cross-run baseline store to attach (with this run's id) to the
+    /// analysis server: detection thresholds turn history-adaptive and
+    /// closing the run records it into the store and classifies it against
+    /// prior runs. `None` (the default) keeps single-run behavior.
+    pub baseline: Option<(SharedBaseline, RunId)>,
 }
 
 impl Default for RunConfig {
@@ -93,6 +98,7 @@ impl Default for RunConfig {
             rule: Arc::new(vsensor_runtime::dynrules::ConstantExpected),
             backend: ExecBackend::default(),
             sim: SimBackend::default(),
+            baseline: None,
         }
     }
 }
@@ -312,14 +318,20 @@ pub fn run_instrumented_shared(
     if let Some(at) = faults.server_crash() {
         // A plan with a server crash gets a durable (WAL-backed) server so
         // the crash can be recovered from.
-        let (server, wal) =
+        let (mut server, wal) =
             AnalysisServer::try_new_durable(ranks, sensors.clone(), config.runtime.clone())
                 .unwrap_or_else(|e| panic!("invalid runtime configuration: {e}"));
+        if let Some((baseline, run_id)) = config.baseline.clone() {
+            server.attach_baseline(baseline, run_id);
+        }
         let sink = Arc::new(CrashingChannel::new(Arc::new(server), wal, at, faults));
         return run_instrumented_sink(program, sensors, cluster, config, sink);
     }
-    let server = AnalysisServer::try_new(ranks, sensors.clone(), config.runtime.clone())
+    let mut server = AnalysisServer::try_new(ranks, sensors.clone(), config.runtime.clone())
         .unwrap_or_else(|e| panic!("invalid runtime configuration: {e}"));
+    if let Some((baseline, run_id)) = config.baseline.clone() {
+        server.attach_baseline(baseline, run_id);
+    }
     let server = Arc::new(server);
     if faults.is_active() {
         let sink = Arc::new(FaultyChannel::new(server, faults));
@@ -441,6 +453,7 @@ pub fn run_instrumented_sink(
         failed_ranks: server_result.failed_ranks.clone(),
         load: server_result.load.clone(),
         health: None,
+        cross_run: server_result.cross_run.clone(),
     };
 
     InstrumentedRun {

@@ -33,6 +33,7 @@
 //! thread interleaving. Only alert *timestamps* depend on arrival
 //! interleaving, as they must.
 
+use crate::baseline::{CrossRunFinding, GroupSummary, RegimeChange, RunId, SharedBaseline};
 use crate::config::RuntimeConfig;
 use crate::detect::{detect_events, VarianceEvent};
 use crate::dynrules::Bucket;
@@ -294,6 +295,10 @@ pub enum AlertKind {
     Variance(VarianceEvent),
     /// A rank was detected as fail-stopped.
     RankDeath(DeathRecord),
+    /// The run that just closed began a worsening performance regime
+    /// relative to the attached cross-run baseline history — a step
+    /// change, not within-run variance and not a transient outlier.
+    CrossRunRegression(CrossRunFinding),
 }
 
 /// One live detection: a variance event or rank death first observed
@@ -315,7 +320,7 @@ impl VarianceAlert {
     pub fn event(&self) -> Option<&VarianceEvent> {
         match &self.kind {
             AlertKind::Variance(e) => Some(e),
-            AlertKind::RankDeath(_) => None,
+            _ => None,
         }
     }
 
@@ -323,7 +328,15 @@ impl VarianceAlert {
     pub fn death(&self) -> Option<&DeathRecord> {
         match &self.kind {
             AlertKind::RankDeath(d) => Some(d),
-            AlertKind::Variance(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The cross-run finding, if this alert reports a baseline regression.
+    pub fn cross_run(&self) -> Option<&CrossRunFinding> {
+        match &self.kind {
+            AlertKind::CrossRunRegression(f) => Some(f),
+            _ => None,
         }
     }
 }
@@ -333,6 +346,13 @@ impl std::fmt::Display for VarianceAlert {
         match &self.kind {
             AlertKind::Variance(e) => write!(f, "t={} pass {}: {}", self.at, self.pass, e),
             AlertKind::RankDeath(d) => write!(f, "t={} pass {}: {}", self.at, self.pass, d),
+            AlertKind::CrossRunRegression(c) => {
+                write!(
+                    f,
+                    "t={} pass {}: cross-run regression, {}",
+                    self.at, self.pass, c
+                )
+            }
         }
     }
 }
@@ -426,6 +446,21 @@ pub(crate) struct Engine {
     /// equals processing order and recovery replay is a faithful
     /// re-execution.
     ingest_serial: Mutex<()>,
+    /// Cross-run baseline comparison, when a store is attached.
+    cross_run: Option<CrossRunState>,
+}
+
+/// Cross-run detection state, fixed at attach time (before the engine is
+/// shared) except for the findings, which close() fills once.
+struct CrossRunState {
+    baseline: SharedBaseline,
+    run_id: RunId,
+    /// Per-kind variance threshold derived from history at attach: the
+    /// minimum adaptive threshold over the kind's (sensor, bucket) groups.
+    /// `None` where history is too shallow — the fixed config knob rules.
+    thresholds: KindMap<Option<f64>>,
+    /// Findings of the close-time analysis (empty until close).
+    findings: Mutex<Vec<CrossRunFinding>>,
 }
 
 impl Engine {
@@ -482,6 +517,7 @@ impl Engine {
             any_deaths: AtomicBool::new(false),
             wal: None,
             ingest_serial: Mutex::new(()),
+            cross_run: None,
         }
     }
 
@@ -490,6 +526,51 @@ impl Engine {
     /// engine snapshots. Must be called before the engine is shared.
     pub(crate) fn attach_wal(&mut self, wal: Arc<WriteAheadLog>) {
         self.wal = Some(wal);
+    }
+
+    /// Attach a cross-run baseline store for run `run_id`. Must be called
+    /// before the engine is shared. Per-kind adaptive thresholds are
+    /// derived from history *now* — detection during the run must not
+    /// depend on what later runs record into the shared store — as the
+    /// minimum over the kind's per-(sensor, bucket) adaptive cuts: every
+    /// group of the kind is held at least to its own historical band.
+    pub(crate) fn attach_baseline(&mut self, baseline: SharedBaseline, run_id: RunId) {
+        let per_group = baseline.with(|store| store.adaptive_thresholds());
+        let mut thresholds = KindMap::build(|_| None::<f64>);
+        for ((sensor, _bucket), t) in per_group {
+            let Some(info) = self.sensors.get(sensor.0 as usize) else {
+                continue;
+            };
+            let slot = &mut thresholds[info.kind];
+            *slot = Some(slot.map_or(t, |prev: f64| prev.min(t)));
+        }
+        self.cross_run = Some(CrossRunState {
+            baseline,
+            run_id,
+            thresholds,
+            findings: Mutex::new(Vec::new()),
+        });
+    }
+
+    /// The detection threshold for one sensor kind: the history-derived
+    /// adaptive cut when a baseline with enough runs is attached, the
+    /// fixed `variance_threshold` knob otherwise. Used identically by the
+    /// streaming passes, `result_at`, and `replay_result`, so the
+    /// streaming/replay bitwise equivalence holds with or without a
+    /// baseline.
+    fn threshold_for(&self, kind: SensorKind) -> f64 {
+        self.cross_run
+            .as_ref()
+            .and_then(|c| c.thresholds[kind])
+            .unwrap_or(self.config.variance_threshold)
+    }
+
+    /// Findings of the close-time cross-run analysis (empty before close
+    /// or without an attached baseline).
+    pub(crate) fn cross_run_findings(&self) -> Vec<CrossRunFinding> {
+        self.cross_run
+            .as_ref()
+            .map_or_else(Vec::new, |c| c.findings.lock().clone())
     }
 
     pub(crate) fn config(&self) -> &RuntimeConfig {
@@ -505,7 +586,97 @@ impl Engine {
     }
 
     pub(crate) fn close(&self) {
-        self.closed.store(true, Ordering::Relaxed);
+        // Once-only transition: a recovered server may be closed again by
+        // the same logical run, and the cross-run analysis must not record
+        // that run twice.
+        if self.closed.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        self.finish_cross_run();
+    }
+
+    /// Close-time cross-run analysis: fold this run's per-(sensor, bucket)
+    /// summaries, classify them against the attached baseline history,
+    /// record the run into the store, and queue a [`VarianceAlert`] for
+    /// every worsening step regime. Lock order matches `run_detect_pass`
+    /// (stream first, then all shard guards) so a concurrent pass cannot
+    /// deadlock against the close.
+    fn finish_cross_run(&self) {
+        let Some(cr) = &self.cross_run else { return };
+        let mut stream = self.stream.lock();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.inner.lock()).collect();
+        let global_std = Self::merged_global_std(&guards);
+        let groups = self.group_summaries(&guards, &global_std);
+        let findings = cr.baseline.with(|store| {
+            let findings = store.analyze(cr.run_id, &groups);
+            store.record_run(cr.run_id, groups);
+            findings
+        });
+        // Timestamp alerts at the last ingest arrival the engine saw: the
+        // virtual instant an operator watching the stream learns the run's
+        // final shape.
+        let now = self
+            .last_arrival
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .max()
+            .map_or(VirtualTime(0), |enc| VirtualTime(enc.saturating_sub(1)));
+        let pass = self.detect_passes.load(Ordering::Relaxed);
+        for f in &findings {
+            if matches!(f.change, RegimeChange::Step { .. }) && f.is_worsening() {
+                stream.pending.push(VarianceAlert {
+                    at: now,
+                    pass,
+                    kind: AlertKind::CrossRunRegression(f.clone()),
+                });
+            }
+        }
+        *cr.findings.lock() = findings;
+    }
+
+    /// This run's mean normalized performance per (sensor, bucket) group —
+    /// the unit the cross-run store records. Same fold as `result_at`'s
+    /// sensor summary, but keyed one level finer (bucket kept separate):
+    /// deterministic because the accumulators walk in `BTreeMap` order.
+    fn group_summaries(
+        &self,
+        guards: &[parking_lot::MutexGuard<'_, ShardInner>],
+        global_std: &BTreeMap<GroupKey, Duration>,
+    ) -> Vec<GroupSummary> {
+        let nshards = self.shards.len();
+        let mut acc_all: BTreeMap<(SensorId, Bucket, usize), GroupAcc> = BTreeMap::new();
+        for g in guards {
+            for (k, a) in &g.sensor_acc {
+                acc_all.insert(*k, *a);
+            }
+        }
+        let mut per_group: BTreeMap<(SensorId, Bucket), (f64, u64)> = BTreeMap::new();
+        for ((sensor, bucket, rank), acc) in acc_all {
+            let info = &self.sensors[sensor.0 as usize];
+            let std = if info.process_invariant {
+                global_std.get(&(sensor, bucket)).copied()
+            } else {
+                guards[rank % nshards]
+                    .local_std
+                    .get(&(sensor, bucket, rank))
+                    .copied()
+            };
+            let Some(std) = std else { continue };
+            let (sum, count) = acc.fold(std);
+            let e = per_group.entry((sensor, bucket)).or_insert((0.0, 0));
+            e.0 += sum;
+            e.1 += count as u64;
+        }
+        per_group
+            .into_iter()
+            .filter(|&(_, (_, n))| n > 0)
+            .map(|((sensor, bucket), (sum, n))| GroupSummary {
+                sensor,
+                bucket,
+                mean_perf: sum / n as f64,
+                records: n,
+            })
+            .collect()
     }
 
     pub(crate) fn bytes_received(&self) -> u64 {
@@ -863,8 +1034,8 @@ impl Engine {
             ));
         }
         for kind in SensorKind::ALL {
-            let events = detect_events(&matrices[kind], kind, self.config.variance_threshold)
-                .unwrap_or_default();
+            let events =
+                detect_events(&matrices[kind], kind, self.threshold_for(kind)).unwrap_or_default();
             for event in events {
                 let already = stream.emitted.iter().any(|e| {
                     e.kind == event.kind
@@ -993,7 +1164,7 @@ impl Engine {
         if self.ranks > 0 {
             for kind in SensorKind::ALL {
                 events.extend(
-                    detect_events(&matrices[kind], kind, self.config.variance_threshold)
+                    detect_events(&matrices[kind], kind, self.threshold_for(kind))
                         .unwrap_or_default(),
                 );
             }
@@ -1061,6 +1232,7 @@ impl Engine {
             malformed_records: self.malformed_count(),
             load: self.load(),
             failed_ranks: self.failed_ranks(),
+            cross_run: self.cross_run_findings(),
         }
     }
 
@@ -1167,7 +1339,7 @@ impl Engine {
         if self.ranks > 0 {
             for kind in SensorKind::ALL {
                 events.extend(
-                    detect_events(&matrices[kind], kind, self.config.variance_threshold)
+                    detect_events(&matrices[kind], kind, self.threshold_for(kind))
                         .unwrap_or_default(),
                 );
             }
@@ -1224,6 +1396,7 @@ impl Engine {
             malformed_records: self.malformed_count(),
             load: self.load(),
             failed_ranks: self.failed_ranks(),
+            cross_run: self.cross_run_findings(),
         })
     }
 

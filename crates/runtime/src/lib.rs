@@ -32,6 +32,7 @@
 //!
 //! [`tock`]: SensorRuntime::tock
 
+pub mod baseline;
 pub mod config;
 pub mod detect;
 pub mod distribution;
@@ -45,11 +46,15 @@ pub mod report;
 pub mod server;
 pub mod service;
 pub mod smoothing;
+pub mod stats;
 pub mod tick;
 pub mod trace;
 pub mod transport;
 pub mod wal;
 
+pub use baseline::{
+    BaselineStore, CrossRunFinding, GroupSummary, RegimeChange, RunId, SharedBaseline,
+};
 pub use config::RuntimeConfig;
 pub use detect::{detect_events, VarianceEvent};
 pub use distribution::DistributionStats;
@@ -68,6 +73,7 @@ pub use service::{
     AnalysisService, ServiceConfig, ServiceError, TenantChannel, TenantId, TenantSession,
     TenantSpec, TenantStats,
 };
+pub use stats::ShiftPolicy;
 pub use tick::SensorRuntime;
 pub use trace::{MetricsRegistry, RuntimeHealth};
 pub use transport::{

@@ -5,6 +5,7 @@
 //! processes and component in a coarse-grain fashion", leaving the repair
 //! decision to the user.
 
+use crate::baseline::{CrossRunFinding, RegimeChange};
 use crate::detect::VarianceEvent;
 use crate::distribution::DistributionStats;
 use crate::engine::{DeathRecord, ServerLoad, VarianceAlert};
@@ -52,6 +53,11 @@ pub struct VarianceReport {
     /// wrapped the run; `None` keeps the rendered text bit-identical to a
     /// run without tracing.
     pub health: Option<crate::trace::RuntimeHealth>,
+    /// Cross-run findings against the attached baseline store — step
+    /// regimes, drift, and transient outliers. Empty for runs without a
+    /// baseline (the default), which keeps their rendered text
+    /// bit-identical.
+    pub cross_run: Vec<CrossRunFinding>,
 }
 
 impl VarianceReport {
@@ -207,6 +213,22 @@ impl VarianceReport {
                 let _ = writeln!(out, "  {d}");
             }
         }
+        if !self.cross_run.is_empty() {
+            let regressions = self
+                .cross_run
+                .iter()
+                .filter(|f| matches!(f.change, RegimeChange::Step { .. }) && f.is_worsening())
+                .count();
+            let _ = writeln!(
+                out,
+                "cross-run baseline: {} finding(s), {} regression(s):",
+                self.cross_run.len(),
+                regressions,
+            );
+            for f in &self.cross_run {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
         if self.events.is_empty() {
             let _ = writeln!(out, "no performance variance detected");
         } else {
@@ -273,6 +295,7 @@ mod tests {
             failed_ranks: Vec::new(),
             load: ServerLoad::default(),
             health: None,
+            cross_run: Vec::new(),
         }
     }
 
@@ -380,6 +403,32 @@ mod tests {
         let r = rep.render();
         assert!(r.contains("1 rank(s) fail-stopped"), "{r}");
         assert!(r.contains("rank 7"), "{r}");
+    }
+
+    #[test]
+    fn cross_run_findings_are_rendered() {
+        use crate::dynrules::Bucket;
+        use vsensor_lang::SensorId;
+        let mut rep = sample_report();
+        assert!(
+            !rep.render().contains("cross-run"),
+            "baseline-free reports stay bit-identical"
+        );
+        rep.cross_run = vec![CrossRunFinding {
+            sensor: SensorId(3),
+            bucket: Bucket(0),
+            change: RegimeChange::Step { at_run: 8 },
+            before: 0.95,
+            after: 0.47,
+            score: 0.0004,
+            runs: 11,
+        }];
+        let r = rep.render();
+        assert!(
+            r.contains("cross-run baseline: 1 finding(s), 1 regression(s)"),
+            "{r}"
+        );
+        assert!(r.contains("step at run index 8"), "{r}");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! `finalize`, per-counter getters) is gone; the session is the one front
 //! door, so interim and final views cannot disagree by construction.
 
+use crate::baseline::{CrossRunFinding, RunId, SharedBaseline};
 use crate::config::RuntimeConfig;
 use crate::detect::VarianceEvent;
 use crate::engine::{DeathRecord, Engine};
@@ -161,6 +162,18 @@ impl AnalysisServer {
     pub fn into_primary(mut self, wal: &Arc<WriteAheadLog>) -> Self {
         self.engine.attach_wal(wal.clone());
         self
+    }
+
+    /// Attach a cross-run baseline store for run `run_id`. Must be called
+    /// before the server is shared (it takes `&mut self`, like
+    /// [`AnalysisServer::into_primary`]'s WAL attach). Detection
+    /// thresholds become history-adaptive per sensor kind where the store
+    /// holds enough runs; at session close the run is analyzed against
+    /// history, recorded into the store, and any worsening step regime
+    /// surfaces as an [`crate::engine::AlertKind::CrossRunRegression`]
+    /// alert plus [`ServerResult::cross_run`] findings.
+    pub fn attach_baseline(&mut self, baseline: SharedBaseline, run_id: RunId) {
+        self.engine.attach_baseline(baseline, run_id);
     }
 
     /// Open an ingest session. Sessions are cheap borrow handles; any
@@ -339,6 +352,10 @@ pub struct ServerResult {
     /// Ranks the engine believes fail-stopped (gossip notice or liveness
     /// timeout), in rank order — the report's "failed ranks" section.
     pub failed_ranks: Vec<DeathRecord>,
+    /// Cross-run findings against the attached baseline store (empty when
+    /// no baseline is attached or the run has not closed): step regimes,
+    /// drift, and transient outliers per (sensor, bucket) group.
+    pub cross_run: Vec<CrossRunFinding>,
 }
 
 impl ServerResult {

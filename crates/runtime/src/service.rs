@@ -45,6 +45,7 @@
 //!
 //! [`SendOutcome::Busy`]: crate::transport::SendOutcome::Busy
 
+use crate::baseline::{RunId, SharedBaseline};
 use crate::config::RuntimeConfig;
 use crate::engine::{IngestReceipt, VarianceAlert};
 use crate::error::{IngestError, RuntimeError};
@@ -166,6 +167,9 @@ pub enum ServiceError {
     },
     /// Standby failover needs a durable service.
     NotDurable,
+    /// A baseline store can only be attached before the tenant's engine
+    /// is built (first ingest / first result read builds it).
+    EngineAlreadyLive(TenantId),
 }
 
 impl fmt::Display for ServiceError {
@@ -190,6 +194,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::NotDurable => {
                 write!(f, "standby failover requires a durable service")
+            }
+            ServiceError::EngineAlreadyLive(t) => {
+                write!(
+                    f,
+                    "tenant {t} already has a live engine; attach the baseline before first use"
+                )
             }
         }
     }
@@ -231,6 +241,11 @@ struct TenantShard {
     ledger: Mutex<Ledger>,
     /// Open [`TenantSession`]s; a busy tenant refuses deregistration.
     sessions: std::sync::atomic::AtomicUsize,
+    /// Cross-run baseline to attach when the engine is built lazily.
+    /// Note: a standby promoted on failover does **not** re-attach it —
+    /// failover must stay bitwise-identical to the crashed primary's
+    /// WAL-derived state (see DESIGN.md §15).
+    baseline: Mutex<Option<(SharedBaseline, RunId)>>,
 }
 
 /// A standby replica of one tenant, kept caught up by WAL replay.
@@ -305,6 +320,7 @@ impl AnalysisService {
                 wal: Mutex::new(None),
                 ledger: Mutex::new(Ledger::default()),
                 sessions: std::sync::atomic::AtomicUsize::new(0),
+                baseline: Mutex::new(None),
             }),
         );
         Ok(())
@@ -375,6 +391,32 @@ impl AnalysisService {
         self.shard(id).and_then(|s| s.wal.lock().clone())
     }
 
+    /// Attach a cross-run baseline store to a tenant for run `run_id`.
+    /// Must happen between [`register`] and the tenant's first use — the
+    /// engine is built lazily, and thresholds are derived from history at
+    /// build time. Refused once the engine is live: thresholds changing
+    /// mid-run would break the streaming/replay equivalence. The baseline
+    /// is deliberately **not** carried across standby promotion — the
+    /// promoted replica must stay bitwise-identical to the crashed
+    /// primary's WAL-derived state.
+    ///
+    /// [`register`]: AnalysisService::register
+    pub fn attach_baseline(
+        &self,
+        tenant: TenantId,
+        baseline: SharedBaseline,
+        run_id: RunId,
+    ) -> Result<(), ServiceError> {
+        let shard = self
+            .shard(tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant))?;
+        if shard.live.lock().is_some() {
+            return Err(ServiceError::EngineAlreadyLive(tenant));
+        }
+        *shard.baseline.lock() = Some((baseline, run_id));
+        Ok(())
+    }
+
     /// Get or lazily build the tenant's engine (and WAL when durable).
     fn live_server(&self, shard: &TenantShard) -> Arc<AnalysisServer> {
         let mut live = shard.live.lock();
@@ -395,6 +437,10 @@ impl AnalysisService {
             AnalysisServer::try_new(spec.ranks, spec.sensors.clone(), spec.config.clone())
                 .expect("tenant config validated at register")
         };
+        let mut server = server;
+        if let Some((baseline, run_id)) = shard.baseline.lock().clone() {
+            server.attach_baseline(baseline, run_id);
+        }
         let server = Arc::new(server);
         *live = Some(server.clone());
         server

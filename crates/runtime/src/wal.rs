@@ -81,15 +81,16 @@ pub struct WriteAheadLog {
 }
 
 /// Bitwise CRC-32 (IEEE 802.3) folder for frame checksums. Table-free:
-/// frames are checked once per recovery, not per ingest.
-struct Crc32(u32);
+/// frames are checked once per recovery, not per ingest. Shared with the
+/// cross-run baseline store, which frames its file the same way.
+pub(crate) struct Crc32(u32);
 
 impl Crc32 {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Crc32(0xFFFF_FFFF)
     }
 
-    fn eat(&mut self, bytes: &[u8]) {
+    pub(crate) fn eat(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u32;
             for _ in 0..8 {
@@ -99,7 +100,7 @@ impl Crc32 {
         }
     }
 
-    fn finish(self) -> u32 {
+    pub(crate) fn finish(self) -> u32 {
         !self.0
     }
 }

@@ -1,0 +1,146 @@
+//! Cross-run baseline integration tests — the ROADMAP's Fig-1 "many
+//! submissions" scenario recast as a regression hunt.
+//!
+//! The same program is replayed across seeded submissions (only the
+//! background-noise seed varies) against one shared [`BaselineStore`]:
+//!
+//! 1. A step degradation injected at run `k` must produce a
+//!    [`AlertKind::CrossRunRegression`] alert localized to run `k±1` —
+//!    and classified as a *step* (new regime), not drift.
+//! 2. Healthy submissions with seed-level noise must produce **zero**
+//!    cross-run alerts across the whole sequence.
+//! 3. The store must survive serialization mid-sequence (the CI history
+//!    file round-trip) without perturbing the verdicts.
+
+use std::sync::Arc;
+use vsensor_repro::interp::RunConfig;
+use vsensor_repro::runtime::{
+    AlertKind, BaselineStore, CrossRunFinding, RegimeChange, RunId, SharedBaseline,
+};
+use vsensor_repro::{scenarios, Pipeline};
+
+/// Memory-bound iterations with a barrier (the Figure 21 shape): a
+/// slow-memory node separates cleanly, and healthy runs differ only by
+/// their noise seed.
+const SRC: &str = r#"
+    fn main() {
+        for (t = 0; t < 800; t = t + 1) {
+            for (k = 0; k < 4; k = k + 1) { mem_access(25000); }
+            mpi_barrier();
+        }
+    }
+"#;
+
+const RANKS: usize = 8;
+
+/// Run submission `i` against the shared store; degraded submissions get
+/// the middle node's memory at 55% of nominal.
+fn submit(
+    prepared: &vsensor_repro::Prepared,
+    baseline: &SharedBaseline,
+    i: u64,
+    degraded: bool,
+) -> (Vec<CrossRunFinding>, Vec<AlertKind>) {
+    let cluster = scenarios::cross_run_submission(RANKS, i, degraded.then_some(0.55));
+    let config = RunConfig {
+        baseline: Some((baseline.clone(), RunId(i))),
+        ..Default::default()
+    };
+    let run = prepared.run(Arc::new(cluster.build()), &config);
+    let cross_alerts = run
+        .alerts
+        .iter()
+        .filter(|a| a.cross_run().is_some())
+        .map(|a| a.kind.clone())
+        .collect();
+    (run.server.cross_run, cross_alerts)
+}
+
+#[test]
+fn step_degradation_is_localized_to_the_injected_run() {
+    const STEP_AT: usize = 8;
+    const TOTAL: usize = 12;
+    let prepared = Pipeline::new().compile(SRC).unwrap();
+    let baseline = SharedBaseline::new(BaselineStore::new());
+
+    let mut first_alert_run = None;
+    let mut step_findings: Vec<(usize, CrossRunFinding)> = Vec::new();
+    for i in 0..TOTAL {
+        let (findings, alerts) = submit(&prepared, &baseline, i as u64, i >= STEP_AT);
+        if i + 1 < baseline.with(|s| s.min_history()) {
+            assert!(
+                findings.is_empty(),
+                "run {i}: shallow history must stay on fixed thresholds: {findings:?}"
+            );
+        }
+        if i < STEP_AT {
+            assert!(
+                alerts.is_empty(),
+                "run {i}: healthy prefix must not alert: {alerts:?}"
+            );
+        }
+        if !alerts.is_empty() && first_alert_run.is_none() {
+            first_alert_run = Some(i);
+        }
+        for f in &findings {
+            if let RegimeChange::Step { at_run } = f.change {
+                step_findings.push((i, f.clone()));
+                assert!(
+                    at_run.abs_diff(STEP_AT) <= 1,
+                    "run {i}: step localized to {at_run}, injected at {STEP_AT}"
+                );
+                assert!(f.is_worsening(), "run {i}: {f:?}");
+                assert!(f.score < 0.01, "run {i}: step must be significant: {f:?}");
+            }
+        }
+    }
+
+    // The alert must fire within one run of the earliest statistically
+    // possible close (the after-segment needs two points, so run k+1).
+    let first = first_alert_run.expect("the injected step must alert");
+    assert!(
+        (STEP_AT..=STEP_AT + 2).contains(&first),
+        "first cross-run alert at run {first}, step injected at {STEP_AT}"
+    );
+    assert!(
+        !step_findings.is_empty(),
+        "the regime change must be classified as a step"
+    );
+    // The regression magnitude matches the injected ground truth: two of
+    // eight ranks at ~0.55 drags the group mean down by roughly 10%.
+    let (_, f) = &step_findings[0];
+    let drop = (f.before - f.after) / f.before;
+    assert!(
+        drop > 0.05 && drop < 0.25,
+        "relative drop {drop:.3} out of range for the injected degradation"
+    );
+}
+
+#[test]
+fn healthy_submissions_never_alert_and_the_store_roundtrips() {
+    const TOTAL: usize = 10;
+    let prepared = Pipeline::new().compile(SRC).unwrap();
+    let mut baseline = SharedBaseline::new(BaselineStore::new());
+
+    for i in 0..TOTAL {
+        let (findings, alerts) = submit(&prepared, &baseline, i as u64, false);
+        assert!(
+            alerts.is_empty(),
+            "run {i}: healthy runs must not raise cross-run alerts: {alerts:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .all(|f| !matches!(f.change, RegimeChange::Step { .. } | RegimeChange::Drift)),
+            "run {i}: healthy runs must not form a regime change: {findings:?}"
+        );
+        if i == TOTAL / 2 {
+            // Mid-sequence serialization round-trip — the CI history file
+            // path — must preserve every recorded run bit-for-bit.
+            let restored = baseline.with(|s| BaselineStore::from_bytes(&s.to_bytes()));
+            assert_eq!(restored.run_count(), i + 1);
+            baseline = SharedBaseline::new(restored);
+        }
+    }
+    assert_eq!(baseline.with(|s| s.run_count()), TOTAL);
+}

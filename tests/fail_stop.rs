@@ -101,7 +101,7 @@ fn node_death_is_reported_dead_and_bad_node_is_still_found() {
         .iter()
         .filter_map(|a| match &a.kind {
             AlertKind::RankDeath(d) => Some(d.rank),
-            AlertKind::Variance(_) => None,
+            _ => None,
         })
         .collect();
     assert_eq!(death_alerts, vec![14, 15], "death alerts must be emitted");
