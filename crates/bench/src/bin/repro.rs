@@ -24,7 +24,8 @@
 //! wall-clock comparisons — required on hardware that is not comparable
 //! to the baseline machine (shared CI runners).
 //!
-//! `repro gate` (explicit-only, like `failover`) runs all three gates in
+//! `repro gate` (explicit-only, like `failover`) runs the perf gates and
+//! the control-plane study in
 //! one invocation and **appends** the fresh measurements to the history
 //! file (`BENCH_history.jsonl`, override with `--history PATH`) — even
 //! when a gate fails, so the change-point analysis can see the failing
@@ -90,8 +91,12 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "Event-backend rank-scaling curve to 16,384 ranks (BENCH_simmpi.json)",
     ),
     (
+        "control",
+        "Control plane: overhead budget, alert escalation, lossy-channel determinism",
+    ),
+    (
         "gate",
-        "All three perf gates + history accumulation (BENCH_history.jsonl)",
+        "All perf gates + control study + history accumulation (BENCH_history.jsonl)",
     ),
 ];
 
@@ -364,6 +369,12 @@ fn main() {
             }
         }
     }
+    if want("control") {
+        section("control");
+        let r = control_bench::run(effort);
+        println!("{}", r.render());
+        exit_unless_control_invariants(&r);
+    }
     // `failover` is the CI smoke alias for the service study's failover
     // invariants — explicit-only so a bare `repro` does not run the
     // 16-tenant study twice.
@@ -381,6 +392,15 @@ fn main() {
         let interp = run_perf_gate(!ratio_only, &gate_ctx);
         let service = run_service_gate(!ratio_only, &gate_ctx);
         let simmpi = run_simmpi_gate(!ratio_only, &gate_ctx);
+        // The control-plane study has no committed baseline file — its
+        // figures are virtual-time deterministic, so the run history IS
+        // the baseline: the first runs seed it, `--stats` judges later
+        // runs against the recorded regime. Invariant violations fail
+        // hard regardless.
+        let control_run = control_bench::run(effort);
+        println!("{}", control_run.render());
+        exit_unless_control_invariants(&control_run);
+        let control = gate_ctx.finish(control_run.gate_report(), "control");
         // Append before exiting, pass or fail: the change-point analysis
         // needs to see a failing regime *form* across runs, and a torn
         // append is tolerated by the valid-prefix parser anyway.
@@ -390,6 +410,7 @@ fn main() {
             ("interp", &interp),
             ("service", &service),
             ("simmpi", &simmpi),
+            ("control", &control),
         ] {
             lines.push_str(&perf_gate::history_lines(report, suite, run));
         }
@@ -410,7 +431,7 @@ fn main() {
             "[appended run {run} to {}]",
             gate_ctx.history_path.display()
         );
-        if !(interp.passed() && service.passed() && simmpi.passed()) {
+        if !(interp.passed() && service.passed() && simmpi.passed() && control.passed()) {
             std::process::exit(1);
         }
     }
@@ -464,6 +485,38 @@ impl GateCtx {
         }
         println!("{}", report.render());
         report
+    }
+}
+
+/// Exit nonzero unless the control-plane study's three invariants hold:
+/// the overhead budget is respected without losing localization, alert
+/// escalation stays confined to the suspect ranks, and seeded lossy
+/// control runs are bitwise deterministic.
+fn exit_unless_control_invariants(r: &control_bench::ControlBenchResult) {
+    let mut failed = false;
+    if !r.budget_held() {
+        eprintln!(
+            "control: budget violated or localization lost (fraction {} vs budget {}, localized {})",
+            r.budgeted_fraction, r.budget, r.budget_localized
+        );
+        failed = true;
+    }
+    if !r.escalation_ok() {
+        eprintln!(
+            "control: escalation left the suspect ranks: {:?}",
+            r.escalated
+        );
+        failed = true;
+    }
+    if !r.lossy_deterministic() {
+        eprintln!(
+            "control: lossy runs diverged: {:?}",
+            r.lossy_mismatch.as_deref()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

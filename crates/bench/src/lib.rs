@@ -28,6 +28,7 @@
 //! | [`simmpi_scale`]     | event-backend rank-scaling curve to 16,384 ranks (`BENCH_simmpi.json`) |
 
 pub mod ablations;
+pub mod control_bench;
 pub mod datavolume;
 pub mod failstop;
 pub mod fig01_variance;

@@ -715,7 +715,13 @@ pub fn history_lines(report: &GateReport, suite: &str, run: u64) -> String {
 fn higher_is_worse(metric: &str) -> bool {
     matches!(
         metric,
-        "vm-throughput" | "p99-hot-ingest" | "p99-steady-ingest"
+        "vm-throughput"
+            | "p99-hot-ingest"
+            | "p99-steady-ingest"
+            | "reference-cost-fraction"
+            | "budgeted-cost-fraction"
+            | "control-epochs"
+            | "escalated-ranks"
     )
 }
 
@@ -725,7 +731,13 @@ fn higher_is_worse(metric: &str) -> bool {
 /// with the machine and get 10 %.
 fn rel_floor(metric: &str) -> f64 {
     match metric {
-        "p99-hot-ingest" | "p99-steady-ingest" | "virt-throughput" => 0.01,
+        "p99-hot-ingest"
+        | "p99-steady-ingest"
+        | "virt-throughput"
+        | "reference-cost-fraction"
+        | "budgeted-cost-fraction"
+        | "control-epochs"
+        | "escalated-ranks" => 0.01,
         _ => 0.10,
     }
 }

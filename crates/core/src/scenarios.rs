@@ -155,6 +155,72 @@ pub fn server_crash_recovery(
     (cluster.with_faults(plan), runtime)
 }
 
+/// The overhead-budgeted scenario: the Figure 21 bad node analysed under
+/// an explicit instrumentation budget (§5.3 taken to its logical end).
+/// The control plane must keep each rank's observed sensor cost below
+/// `budget` (a fraction of elapsed virtual time) by switching individual
+/// v-sensors dark — while the surviving telemetry still localizes the bad
+/// node. `tests/control_loop.rs` asserts both halves of that bargain.
+pub fn overhead_budgeted(
+    ranks: usize,
+    node: usize,
+    mem_perf: f64,
+    budget: f64,
+) -> (ClusterConfig, RuntimeConfig) {
+    let (cluster, runtime) = live_bad_node(ranks, node, mem_perf);
+    let runtime = runtime
+        .with_overhead_budget(budget)
+        .expect("budget stays in [0, 1)");
+    (cluster, runtime)
+}
+
+/// The zoom-in scenario: the Figure 21 bad node with the control plane
+/// armed to *escalate* — when a live [`VarianceAlert`] fires, only the
+/// ranks the alert covers drop from the 1000 µs coarse slice to
+/// `fine_us` µs slices; everyone else keeps coarse (cheap) aggregation.
+/// The budget is set high enough that nothing goes dark: this scenario
+/// isolates the escalation half of the control loop.
+///
+/// [`VarianceAlert`]: vsensor_runtime::VarianceAlert
+pub fn alert_escalation(
+    ranks: usize,
+    node: usize,
+    mem_perf: f64,
+    fine_us: u64,
+) -> (ClusterConfig, RuntimeConfig) {
+    let (cluster, runtime) = live_bad_node(ranks, node, mem_perf);
+    let runtime = runtime
+        .with_overhead_budget(0.9)
+        .expect("permissive budget arms the control plane without darkening")
+        .with_escalation_slice(Duration::from_micros(fine_us))
+        .expect("fine slice divides the 1000us coarse slice");
+    (cluster, runtime)
+}
+
+/// A control-plane scenario whose *directive* path is also hostile: the
+/// given base scenario's fault plan is replaced by one that drops,
+/// duplicates, delays and corrupts messages (telemetry and control
+/// directives roll the same seeded dice, in disjoint sequence
+/// namespaces). The robustness question of this layer: does the epoch
+/// schedule — and therefore the run — stay bitwise deterministic when
+/// 10 % of control traffic is lost?
+pub fn lossy_control(
+    base: (ClusterConfig, RuntimeConfig),
+    drop_rate: f64,
+    seed: u64,
+) -> (ClusterConfig, RuntimeConfig) {
+    let (cluster, runtime) = base;
+    let plan = FaultPlan::new(FaultConfig {
+        drop_rate,
+        duplicate_rate: 0.05,
+        corrupt_rate: 0.02,
+        delay_rate: 0.05,
+        seed,
+        ..FaultConfig::default()
+    });
+    (cluster.with_faults(plan), runtime)
+}
+
 /// One submission of the cross-run regression hunt (the ROADMAP's Fig-1
 /// "40 submissions, 3× spread" scenario recast across runs): the same
 /// program on a healthy cluster whose background-noise seed is distinct
@@ -422,6 +488,38 @@ mod tests {
             share < HOT_TENANT_RATE,
             "the hot tenant's ranks must overshoot their share"
         );
+    }
+
+    #[test]
+    fn overhead_budgeted_arms_the_control_plane() {
+        let (cluster, runtime) = overhead_budgeted(16, 2, 0.55, 0.02);
+        assert!(runtime.control_enabled());
+        assert!((runtime.overhead_budget - 0.02).abs() < 1e-12);
+        // Same cluster shape as the live bad-node scenario.
+        let c = cluster.with_ranks_per_node(2).build();
+        let good = c.compute_elapsed(0, VirtualTime::ZERO, Work::mem(100_000), 0.0, 1);
+        let bad = c.compute_elapsed(4, VirtualTime::ZERO, Work::mem(100_000), 0.0, 1);
+        assert!(bad.as_nanos() > good.as_nanos());
+    }
+
+    #[test]
+    fn alert_escalation_sets_a_dividing_fine_slice() {
+        let (_, runtime) = alert_escalation(16, 2, 0.55, 250);
+        assert!(runtime.control_enabled(), "escalation rides the controller");
+        assert_eq!(runtime.escalation_subdiv(), 4, "1000us / 250us");
+        // The permissive budget exists to arm the loop, not to darken.
+        assert!(runtime.overhead_budget > 0.5);
+    }
+
+    #[test]
+    fn lossy_control_replaces_the_fault_plan() {
+        let (cluster, runtime) = lossy_control(overhead_budgeted(8, 1, 0.55, 0.02), 0.1, 42);
+        assert!(runtime.control_enabled());
+        let c = cluster.with_ranks_per_node(2).build();
+        assert!(c.faults().is_active());
+        let fc = c.faults().config();
+        assert!((fc.drop_rate - 0.1).abs() < 1e-12);
+        assert!(fc.duplicate_rate > 0.0 && fc.corrupt_rate > 0.0 && fc.delay_rate > 0.0);
     }
 
     #[test]

@@ -450,6 +450,24 @@ impl<'w> Machine<'w> {
                 let cost = h.transport.enqueue(batch, now);
                 self.proc.advance(cost);
             }
+            // Control plane: poll for server→rank directives at the batch
+            // cadence (pull delivery — independent of the outbox, so an
+            // all-dark rank stays reachable for re-enables). Each received
+            // directive costs one message transfer on this rank's clock;
+            // applied and stale ones are acknowledged, corrupt ones are
+            // dropped unacked so the server's retry redelivers.
+            if h.runtime.control_poll_due(now) {
+                let rank = self.proc.rank();
+                let channel = h.transport.channel().clone();
+                let mut cost = cluster_sim::time::Duration::ZERO;
+                for directive in channel.poll_control(rank, now) {
+                    cost += h.runtime.config().send_overhead;
+                    if let Some(epoch) = h.runtime.apply_directive(&directive) {
+                        channel.ack_control(rank, epoch, now);
+                    }
+                }
+                self.proc.advance(cost);
+            }
         }
     }
 

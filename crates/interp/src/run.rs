@@ -454,6 +454,7 @@ pub fn run_instrumented_sink(
         load: server_result.load.clone(),
         health: None,
         cross_run: server_result.cross_run.clone(),
+        control: server_result.control.clone(),
     };
 
     InstrumentedRun {

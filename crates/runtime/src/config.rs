@@ -86,6 +86,22 @@ pub struct RuntimeConfig {
     /// values shorten the replay tail on recovery; larger values shrink
     /// the log.
     pub wal_snapshot_every: u32,
+    /// Instrumentation overhead budget as a fraction of elapsed virtual
+    /// time (`0.02` = 2 %). When positive, the engine runs the server→rank
+    /// control plane ([`crate::control`]): detect passes compare each
+    /// rank's observed sensor cost against this budget and disable the
+    /// heaviest sensors of over-budget ranks (re-enabling them once the
+    /// rank falls back under half the budget). `0.0` (the default) turns
+    /// the control plane off entirely — no controller, no directives, no
+    /// polls; runs are bit-identical to builds without the feature.
+    pub overhead_budget: f64,
+    /// Smoothing slice width a rank drops to when the controller escalates
+    /// it (a live [`VarianceAlert`] covered the rank). Must divide
+    /// [`Self::slice`] evenly so escalated records still land in the same
+    /// coarse slice indexing the server bins by.
+    ///
+    /// [`VarianceAlert`]: crate::engine::VarianceAlert
+    pub escalation_slice: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -113,6 +129,8 @@ impl Default for RuntimeConfig {
             keep_record_log: false,
             liveness_intervals: 3,
             wal_snapshot_every: 1,
+            overhead_budget: 0.0,
+            escalation_slice: Duration::from_micros(250),
         }
     }
 }
@@ -143,6 +161,18 @@ impl RuntimeConfig {
     /// Smoothing slices per matrix bin.
     pub fn slices_per_bin(&self) -> u64 {
         (self.matrix_resolution.as_nanos() / self.slice.as_nanos().max(1)).max(1)
+    }
+
+    /// Whether the server→rank control plane is active.
+    pub fn control_enabled(&self) -> bool {
+        self.overhead_budget > 0.0
+    }
+
+    /// Slice subdivision factor an escalated rank aggregates at: how many
+    /// escalation slices fit in one coarse slice. 1 when escalation is
+    /// configured as wide as the coarse slice (escalation is a no-op).
+    pub fn escalation_subdiv(&self) -> u32 {
+        (self.slice.as_nanos() / self.escalation_slice.as_nanos().max(1)).max(1) as u32
     }
 
     // ----- validating builder setters -----
@@ -255,6 +285,46 @@ impl RuntimeConfig {
         Ok(self)
     }
 
+    /// Set the instrumentation overhead budget (fraction of elapsed
+    /// virtual time). Must lie in `[0, 1)`; `0` disables the control
+    /// plane.
+    pub fn with_overhead_budget(mut self, budget: f64) -> Result<Self, RuntimeError> {
+        if !(0.0..1.0).contains(&budget) {
+            return Err(RuntimeError::invalid_config(
+                "overhead_budget",
+                format!("{budget} is outside [0, 1)"),
+            ));
+        }
+        self.overhead_budget = budget;
+        Ok(self)
+    }
+
+    /// Set the escalated (fine) slice width. Must be positive, no wider
+    /// than the coarse slice, and divide it evenly — escalated records
+    /// keep the coarse slice indexing the server bins by.
+    pub fn with_escalation_slice(mut self, fine: Duration) -> Result<Self, RuntimeError> {
+        if fine.as_nanos() == 0 {
+            return Err(RuntimeError::invalid_config(
+                "escalation_slice",
+                "must be > 0",
+            ));
+        }
+        if fine.as_nanos() > self.slice.as_nanos()
+            || !self.slice.as_nanos().is_multiple_of(fine.as_nanos())
+        {
+            return Err(RuntimeError::invalid_config(
+                "escalation_slice",
+                format!(
+                    "{} ns must evenly divide the coarse slice ({} ns)",
+                    fine.as_nanos(),
+                    self.slice.as_nanos(),
+                ),
+            ));
+        }
+        self.escalation_slice = fine;
+        Ok(self)
+    }
+
     /// Check every range constraint at once; the analysis server runs this
     /// on construction so a hand-built struct literal with a bad value
     /// still fails before the run starts.
@@ -294,6 +364,38 @@ impl RuntimeConfig {
                 "wal_snapshot_every",
                 "must be >= 1",
             ));
+        }
+        if !(0.0..1.0).contains(&self.overhead_budget) {
+            return Err(RuntimeError::invalid_config(
+                "overhead_budget",
+                format!("{} is outside [0, 1)", self.overhead_budget),
+            ));
+        }
+        // With the control plane off, escalation can never fire: the
+        // knob is inert, and a hand-set coarse slice must not be
+        // rejected against a default it never uses.
+        if self.control_enabled() {
+            if self.escalation_slice.as_nanos() == 0 {
+                return Err(RuntimeError::invalid_config(
+                    "escalation_slice",
+                    "must be > 0",
+                ));
+            }
+            if self.escalation_slice.as_nanos() > self.slice.as_nanos()
+                || !self
+                    .slice
+                    .as_nanos()
+                    .is_multiple_of(self.escalation_slice.as_nanos())
+            {
+                return Err(RuntimeError::invalid_config(
+                    "escalation_slice",
+                    format!(
+                        "{} ns must evenly divide the coarse slice ({} ns)",
+                        self.escalation_slice.as_nanos(),
+                        self.slice.as_nanos(),
+                    ),
+                ));
+            }
         }
         Ok(())
     }
@@ -379,6 +481,80 @@ mod tests {
         assert_eq!(c.liveness_intervals, 5);
         assert_eq!(c.wal_snapshot_every, 4);
         c.validate().expect("still valid");
+    }
+
+    #[test]
+    fn control_knobs_default_to_off_and_build() {
+        let c = RuntimeConfig::default();
+        assert!(!c.control_enabled(), "zero budget = control plane off");
+        assert!((c.overhead_budget - 0.0).abs() < 1e-12);
+        assert_eq!(c.escalation_slice.as_micros(), 250);
+        assert_eq!(c.escalation_subdiv(), 4, "1000us / 250us");
+        c.validate().expect("defaults are valid");
+
+        let c = c
+            .with_overhead_budget(0.05)
+            .and_then(|c| c.with_escalation_slice(Duration::from_micros(125)))
+            .expect("valid control knobs");
+        assert!(c.control_enabled());
+        assert_eq!(c.escalation_subdiv(), 8);
+        c.validate().expect("still valid");
+    }
+
+    #[test]
+    fn overhead_budget_bounds_are_enforced() {
+        // Budget must be a fraction of elapsed time: [0, 1).
+        assert!(RuntimeConfig::default().with_overhead_budget(-0.1).is_err());
+        assert!(RuntimeConfig::default().with_overhead_budget(1.0).is_err());
+        assert!(RuntimeConfig::default().with_overhead_budget(7.5).is_err());
+        assert!(RuntimeConfig::default().with_overhead_budget(0.0).is_ok());
+        assert!(RuntimeConfig::default().with_overhead_budget(0.999).is_ok());
+        let bad = RuntimeConfig {
+            overhead_budget: 2.0,
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("overhead_budget"), "{err}");
+    }
+
+    #[test]
+    fn escalation_slice_must_divide_the_coarse_slice() {
+        // 300us does not divide 1000us; 1250us is wider than the slice.
+        assert!(RuntimeConfig::default()
+            .with_escalation_slice(Duration::from_micros(300))
+            .is_err());
+        assert!(RuntimeConfig::default()
+            .with_escalation_slice(Duration::from_micros(1250))
+            .is_err());
+        assert!(RuntimeConfig::default()
+            .with_escalation_slice(Duration::ZERO)
+            .is_err());
+        // Equal width is legal (escalation becomes a no-op, subdiv 1).
+        let c = RuntimeConfig::default()
+            .with_escalation_slice(Duration::from_micros(1000))
+            .expect("equal width divides");
+        assert_eq!(c.escalation_subdiv(), 1);
+        // Divisibility is re-checked against the *current* slice.
+        let c = RuntimeConfig::default()
+            .with_slice(Duration::from_micros(600))
+            .and_then(|c| c.with_escalation_slice(Duration::from_micros(200)))
+            .expect("200 divides 600");
+        assert_eq!(c.escalation_subdiv(), 3);
+        let bad = RuntimeConfig {
+            escalation_slice: Duration::from_micros(700),
+            overhead_budget: 0.02,
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("escalation_slice"), "{err}");
+        // With the control plane disarmed the knob is inert: a hand-set
+        // coarse slice the default escalation width doesn't divide must
+        // still validate (the ablation sweeps do exactly this).
+        let inert = RuntimeConfig {
+            slice: Duration::from_micros(10),
+            ..Default::default()
+        };
+        assert!(inert.validate().is_ok());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 use crate::baseline::{CrossRunFinding, GroupSummary, RegimeChange, RunId, SharedBaseline};
 use crate::config::RuntimeConfig;
+use crate::control::{ControlDirective, ControlEpoch, ControlStats, Controller};
 use crate::detect::{detect_events, VarianceEvent};
 use crate::dynrules::Bucket;
 use crate::error::IngestError;
@@ -448,6 +449,11 @@ pub(crate) struct Engine {
     ingest_serial: Mutex<()>,
     /// Cross-run baseline comparison, when a store is attached.
     cross_run: Option<CrossRunState>,
+    /// Budget/escalation controller, present when the control plane is
+    /// enabled. A leaf lock: taken under a shard guard (cost accounting),
+    /// under the stream lock (decisions, snapshots), or alone
+    /// (channel-facing delivery calls) — never the other way around.
+    control: Option<Mutex<Controller>>,
 }
 
 /// Cross-run detection state, fixed at attach time (before the engine is
@@ -492,6 +498,9 @@ impl Engine {
             })
             .collect();
         let log = config.keep_record_log.then(|| Mutex::new(Vec::new()));
+        let control = config
+            .control_enabled()
+            .then(|| Mutex::new(Controller::new(config.clone(), ranks, sensors.len())));
         Engine {
             next_detect: AtomicU64::new(config.detect_interval.as_nanos()),
             config,
@@ -518,6 +527,7 @@ impl Engine {
             wal: None,
             ingest_serial: Mutex::new(()),
             cross_run: None,
+            control,
         }
     }
 
@@ -855,6 +865,13 @@ impl Engine {
             }
             d.max_seq = Some(d.max_seq.map_or(batch.seq, |m| m.max(batch.seq)));
             d.latency_total += arrival.since(batch.sent_at);
+            // Controller cost accounting shares the shard guard's
+            // atomicity: a batch is either fully before or fully after any
+            // decision pass, exactly like the matrix accumulators — which
+            // is what keeps streaming and WAL-replay decisions identical.
+            if let Some(ctl) = &self.control {
+                ctl.lock().observe_batch(rank, &batch.records);
+            }
             let bytes = BATCH_HEADER_BYTES + batch.records.len() as u64 * SliceRecord::WIRE_BYTES;
             let mut absorbed = 0u64;
             for rec in batch.records {
@@ -931,6 +948,11 @@ impl Engine {
         *slot = Some((at, cause));
         self.any_deaths.store(true, Ordering::Relaxed);
         drop(deaths); // lock order: `deaths` is a leaf — never hold it across `stream`
+                      // A dead rank's pending directive is cancelled immediately — never
+                      // retried forever, never counted as overhead.
+        if let Some(ctl) = &self.control {
+            ctl.lock().cancel_dead(rank);
+        }
         let record = DeathRecord { rank, at, cause };
         let pass = self.detect_passes.load(Ordering::Relaxed);
         self.stream.lock().pending.push(VarianceAlert {
@@ -1033,6 +1055,7 @@ impl Engine {
                 cells_visited,
             ));
         }
+        let mut fresh_spans: Vec<(usize, usize)> = Vec::new();
         for kind in SensorKind::ALL {
             let events =
                 detect_events(&matrices[kind], kind, self.threshold_for(kind)).unwrap_or_default();
@@ -1045,6 +1068,7 @@ impl Engine {
                         && event.start_bin < e.end_bin
                 });
                 if !already {
+                    fresh_spans.push((event.first_rank, event.last_rank));
                     stream.emitted.push(event.clone());
                     stream.pending.push(VarianceAlert {
                         at: now,
@@ -1053,6 +1077,13 @@ impl Engine {
                     });
                 }
             }
+        }
+        // Control decisions ride the serialized detection pass, before the
+        // snapshot below: the epoch schedule becomes a pure function of
+        // ingested telemetry, so WAL replay reproduces it bitwise.
+        if let Some(ctl) = &self.control {
+            let dead: Vec<bool> = self.deaths.lock().iter().map(Option::is_some).collect();
+            ctl.lock().decide(now, pass, &fresh_spans, |r| dead[r]);
         }
         // Pass boundaries are the durability points: with a WAL attached,
         // checkpoint the whole engine every `wal_snapshot_every` passes so
@@ -1233,6 +1264,7 @@ impl Engine {
             load: self.load(),
             failed_ranks: self.failed_ranks(),
             cross_run: self.cross_run_findings(),
+            control: self.control_stats(),
         }
     }
 
@@ -1397,6 +1429,7 @@ impl Engine {
             load: self.load(),
             failed_ranks: self.failed_ranks(),
             cross_run: self.cross_run_findings(),
+            control: self.control_stats(),
         })
     }
 
@@ -1480,6 +1513,7 @@ impl Engine {
                 .iter()
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
+            control: self.control.as_ref().map(|c| c.lock().clone()),
         }
     }
 
@@ -1556,6 +1590,63 @@ impl Engine {
             .iter()
             .map(|&v| AtomicU64::new(v))
             .collect();
+        if let (Some(ctl), Some(snap_ctl)) = (&mut self.control, &snap.control) {
+            *ctl.get_mut() = snap_ctl.clone();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane — channel-facing delivery calls. Each takes only the
+    // controller's leaf lock; none may be called with a shard or stream
+    // lock held.
+    // ------------------------------------------------------------------
+
+    /// Begin one delivery attempt of `rank`'s pending directive, if due.
+    pub(crate) fn control_begin_attempt(
+        &self,
+        rank: usize,
+        now: VirtualTime,
+    ) -> Option<(ControlDirective, u32)> {
+        self.control.as_ref()?.lock().begin_attempt(rank, now)
+    }
+
+    /// The fault dice destroyed a begun attempt.
+    pub(crate) fn control_delivery_lost(&self, rank: usize) {
+        if let Some(ctl) = &self.control {
+            ctl.lock().delivery_lost(rank);
+        }
+    }
+
+    /// The fault dice delayed a begun attempt until `until`.
+    pub(crate) fn control_delay(&self, rank: usize, until: VirtualTime) {
+        if let Some(ctl) = &self.control {
+            ctl.lock().delay_delivery(rank, until);
+        }
+    }
+
+    /// `rank` acknowledged every epoch up to `epoch`.
+    pub(crate) fn control_ack(&self, rank: usize, epoch: u64) {
+        if let Some(ctl) = &self.control {
+            ctl.lock().ack(rank, epoch);
+        }
+    }
+
+    /// Control-plane counters (`None` when the control plane is off).
+    pub(crate) fn control_stats(&self) -> Option<ControlStats> {
+        self.control.as_ref().map(|c| c.lock().stats())
+    }
+
+    /// The issued-epoch log, for the crash-recovery bitwise contract.
+    pub(crate) fn control_schedule(&self) -> Vec<ControlEpoch> {
+        self.control
+            .as_ref()
+            .map_or_else(Vec::new, |c| c.lock().schedule())
+    }
+
+    /// The controller's per-rank cumulative instrumentation-cost model,
+    /// in nanoseconds (`None` when the control plane is off).
+    pub(crate) fn control_costs(&self) -> Option<Vec<u64>> {
+        self.control.as_ref().map(|c| c.lock().observed_costs())
     }
 }
 
@@ -1609,6 +1700,10 @@ pub(crate) struct EngineSnapshot {
     log: Option<Vec<(usize, SliceRecord)>>,
     deaths: Vec<Option<(VirtualTime, DeathCause)>>,
     last_arrival: Vec<u64>,
+    /// Full controller state, when the control plane is on. `None` folds
+    /// nothing into the fingerprint, so control-off snapshots (and their
+    /// WAL frames) are byte-compatible with earlier builds.
+    control: Option<Controller>,
 }
 
 impl EngineSnapshot {
@@ -1647,6 +1742,9 @@ impl EngineSnapshot {
             fold(s.cells.len() as u64);
             fold(s.sensor_acc.len() as u64);
             fold(s.delivery.len() as u64);
+        }
+        if let Some(c) = &self.control {
+            c.fold_fingerprint(&mut fold);
         }
         h
     }

@@ -101,6 +101,11 @@ pub enum IngestError {
         /// How long until the admission window rolls over.
         retry_after: Duration,
     },
+    /// The batch routed to a tenant the service does not know — never
+    /// registered, or already deregistered. Typed (rather than a map
+    /// lookup panic or a generic [`IngestError::Closed`]) so operators can
+    /// tell a misrouted job from a finished one.
+    UnknownTenant(TenantId),
 }
 
 impl IngestError {
@@ -117,6 +122,8 @@ impl IngestError {
             IngestError::Malformed { .. } => false,
             // The run is over; nothing is accepted again.
             IngestError::Closed => false,
+            // No such tenant exists; resending cannot register one.
+            IngestError::UnknownTenant(_) => false,
         }
     }
 }
@@ -131,6 +138,9 @@ impl fmt::Display for IngestError {
                 write!(f, "batch names rank {rank}, but the run has {ranks} ranks")
             }
             IngestError::Closed => write!(f, "the analysis session is closed"),
+            IngestError::UnknownTenant(tenant) => {
+                write!(f, "no tenant {tenant} is registered with the service")
+            }
             IngestError::Backpressure {
                 tenant,
                 retry_after,
@@ -175,13 +185,16 @@ mod tests {
                 tenant: TenantId(3),
                 retry_after: Duration::from_micros(50),
             },
+            IngestError::UnknownTenant(TenantId(8)),
         ];
         for e in every {
             let expected = match &e {
                 // Transient conditions the transport must retry.
                 IngestError::Corrupt { .. } | IngestError::Backpressure { .. } => true,
                 // Permanent rejections the transport must not resend.
-                IngestError::Malformed { .. } | IngestError::Closed => false,
+                IngestError::Malformed { .. }
+                | IngestError::Closed
+                | IngestError::UnknownTenant(_) => false,
             };
             assert_eq!(e.is_retryable(), expected, "retry contract for {e}");
         }

@@ -34,6 +34,7 @@
 
 pub mod baseline;
 pub mod config;
+pub mod control;
 pub mod detect;
 pub mod distribution;
 pub mod dynrules;
@@ -56,6 +57,9 @@ pub use baseline::{
     BaselineStore, CrossRunFinding, GroupSummary, RegimeChange, RunId, SharedBaseline,
 };
 pub use config::RuntimeConfig;
+pub use control::{
+    ControlDirective, ControlEpoch, ControlStats, DirectiveGate, DirectiveVerdict, CONTROL_SEQ_BASE,
+};
 pub use detect::{detect_events, VarianceEvent};
 pub use distribution::DistributionStats;
 pub use dynrules::{Bucket, DynamicRule};

@@ -6,6 +6,7 @@
 //! decision to the user.
 
 use crate::baseline::{CrossRunFinding, RegimeChange};
+use crate::control::ControlStats;
 use crate::detect::VarianceEvent;
 use crate::distribution::DistributionStats;
 use crate::engine::{DeathRecord, ServerLoad, VarianceAlert};
@@ -58,6 +59,10 @@ pub struct VarianceReport {
     /// baseline (the default), which keeps their rendered text
     /// bit-identical.
     pub cross_run: Vec<CrossRunFinding>,
+    /// Control-plane counters when the runtime-adaptive loop was on
+    /// (`RuntimeConfig::overhead_budget > 0`). `None` keeps the rendered
+    /// text of control-free runs bit-identical.
+    pub control: Option<ControlStats>,
 }
 
 impl VarianceReport {
@@ -229,6 +234,20 @@ impl VarianceReport {
                 let _ = writeln!(out, "  {f}");
             }
         }
+        if let Some(c) = &self.control {
+            let _ = writeln!(
+                out,
+                "control plane: {} epoch(s) issued, {} sensor(s) dark, \
+                 {} rank(s) escalated to fine slices",
+                c.epochs_issued, c.sensors_dark, c.escalated_ranks,
+            );
+            let _ = writeln!(
+                out,
+                "  directives: {} acked, {} lost in transit ({} recovered by retry), \
+                 {} superseded, {} cancelled for dead ranks",
+                c.acked, c.lost, c.recovered, c.superseded, c.cancelled_dead,
+            );
+        }
         if self.events.is_empty() {
             let _ = writeln!(out, "no performance variance detected");
         } else {
@@ -296,6 +315,7 @@ mod tests {
             load: ServerLoad::default(),
             health: None,
             cross_run: Vec::new(),
+            control: None,
         }
     }
 
@@ -429,6 +449,33 @@ mod tests {
             "{r}"
         );
         assert!(r.contains("step at run index 8"), "{r}");
+    }
+
+    #[test]
+    fn control_plane_section_renders_only_when_present() {
+        let mut rep = sample_report();
+        assert!(
+            !rep.render().contains("control plane"),
+            "control-free reports stay bit-identical"
+        );
+        rep.control = Some(ControlStats {
+            epochs_issued: 9,
+            sensors_dark: 2,
+            escalated_ranks: 1,
+            acked: 8,
+            lost: 3,
+            recovered: 3,
+            cancelled_dead: 1,
+            superseded: 2,
+        });
+        let r = rep.render();
+        assert!(r.contains("control plane: 9 epoch(s) issued"), "{r}");
+        assert!(r.contains("2 sensor(s) dark"), "{r}");
+        assert!(
+            r.contains("3 lost in transit (3 recovered by retry)"),
+            "{r}"
+        );
+        assert!(r.contains("1 cancelled for dead ranks"), "{r}");
     }
 
     #[test]

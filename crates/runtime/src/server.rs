@@ -31,6 +31,7 @@
 
 use crate::baseline::{CrossRunFinding, RunId, SharedBaseline};
 use crate::config::RuntimeConfig;
+use crate::control::{ControlDirective, ControlEpoch, ControlStats};
 use crate::detect::VarianceEvent;
 use crate::engine::{DeathRecord, Engine};
 pub use crate::engine::{IngestReceipt, ServerLoad, ShardLoad, VarianceAlert};
@@ -239,6 +240,55 @@ impl AnalysisServer {
     pub fn cell_stats(&self) -> (usize, usize) {
         self.engine.cell_stats()
     }
+
+    // ------------------------------------------------------------------
+    // Control plane (present when `RuntimeConfig::control_enabled`).
+    // Channels call these to deliver server→rank directives; each is a
+    // no-op returning nothing when the control plane is off.
+    // ------------------------------------------------------------------
+
+    /// Begin one delivery attempt of `rank`'s pending control directive,
+    /// if one is due at `now`. Returns the directive and the attempt
+    /// number (1-based, feeds the fault dice).
+    pub fn control_begin_attempt(
+        &self,
+        rank: usize,
+        now: VirtualTime,
+    ) -> Option<(ControlDirective, u32)> {
+        self.engine.control_begin_attempt(rank, now)
+    }
+
+    /// Record that the fault dice destroyed a begun attempt.
+    pub fn control_delivery_lost(&self, rank: usize) {
+        self.engine.control_delivery_lost(rank);
+    }
+
+    /// Record that the fault dice delayed a begun attempt until `until`.
+    pub fn control_delay(&self, rank: usize, until: VirtualTime) {
+        self.engine.control_delay(rank, until);
+    }
+
+    /// Record that `rank` acknowledged every epoch up to `epoch`.
+    pub fn control_ack(&self, rank: usize, epoch: u64) {
+        self.engine.control_ack(rank, epoch);
+    }
+
+    /// Control-plane counters (`None` when the control plane is off).
+    pub fn control_stats(&self) -> Option<ControlStats> {
+        self.engine.control_stats()
+    }
+
+    /// The issued-epoch log in decision order — what the crash-recovery
+    /// contract compares bitwise across a server crash.
+    pub fn control_schedule(&self) -> Vec<ControlEpoch> {
+        self.engine.control_schedule()
+    }
+
+    /// The budget controller's per-rank cumulative instrumentation-cost
+    /// model in nanoseconds (`None` when the control plane is off).
+    pub fn control_costs(&self) -> Option<Vec<u64>> {
+        self.engine.control_costs()
+    }
 }
 
 /// A live ingest session: the one front door for streaming telemetry in
@@ -356,6 +406,8 @@ pub struct ServerResult {
     /// no baseline is attached or the run has not closed): step regimes,
     /// drift, and transient outliers per (sensor, bucket) group.
     pub cross_run: Vec<CrossRunFinding>,
+    /// Control-plane counters (`None` when the control plane is off).
+    pub control: Option<ControlStats>,
 }
 
 impl ServerResult {

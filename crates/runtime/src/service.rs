@@ -47,6 +47,7 @@
 
 use crate::baseline::{RunId, SharedBaseline};
 use crate::config::RuntimeConfig;
+use crate::control::ControlDirective;
 use crate::engine::{IngestReceipt, VarianceAlert};
 use crate::error::{IngestError, RuntimeError};
 use crate::record::SensorInfo;
@@ -339,7 +340,8 @@ impl AnalysisService {
     /// the tenant — the check and the removal happen under the routing
     /// lock that [`session`] takes, so a session cannot open concurrently
     /// with a successful deregistration. Subsequent direct ingests get
-    /// [`IngestError::Closed`], exactly like an unregistered tenant.
+    /// [`IngestError::UnknownTenant`], exactly like an unregistered
+    /// tenant.
     ///
     /// [`register`]: AnalysisService::register
     /// [`session`]: AnalysisService::session
@@ -451,7 +453,9 @@ impl AnalysisService {
     /// per rank, each with its own window cursor) gets the retryable
     /// [`IngestError::Backpressure`] with the time until its window rolls
     /// over, and the batch never reaches (or is journaled by) its engine.
-    /// An unregistered tenant gets [`IngestError::Closed`]: no session.
+    /// An unregistered tenant gets the typed
+    /// [`IngestError::UnknownTenant`] — a misrouted job, not a finished
+    /// session.
     pub fn ingest(
         &self,
         tenant: TenantId,
@@ -459,7 +463,7 @@ impl AnalysisService {
         arrival: VirtualTime,
     ) -> Result<IngestReceipt, IngestError> {
         let Some(shard) = self.shard(tenant) else {
-            return Err(IngestError::Closed);
+            return Err(IngestError::UnknownTenant(tenant));
         };
         let budget = self.config.tenant_batch_budget;
         if budget > 0 {
@@ -512,6 +516,42 @@ impl AnalysisService {
         self.server(tenant)
             .map(|s| s.poll_events())
             .unwrap_or_default()
+    }
+
+    /// Poll one tenant's control plane for a pending server→rank
+    /// directive (reliable delivery — fault dice live in the channel, not
+    /// here). An unknown tenant is rejected with the typed
+    /// [`ServiceError::UnknownTenant`] rather than a map-lookup panic.
+    pub fn control_poll(
+        &self,
+        tenant: TenantId,
+        rank: usize,
+        now: VirtualTime,
+    ) -> Result<Vec<ControlDirective>, ServiceError> {
+        let shard = self
+            .shard(tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant))?;
+        let server = self.live_server(&shard);
+        Ok(server
+            .control_begin_attempt(rank, now)
+            .map(|(directive, _)| vec![directive])
+            .unwrap_or_default())
+    }
+
+    /// Acknowledge a control epoch applied by one of `tenant`'s ranks.
+    /// Rejected with [`ServiceError::UnknownTenant`] when no such tenant
+    /// is registered.
+    pub fn control_ack(
+        &self,
+        tenant: TenantId,
+        rank: usize,
+        epoch: u64,
+    ) -> Result<(), ServiceError> {
+        let shard = self
+            .shard(tenant)
+            .ok_or(ServiceError::UnknownTenant(tenant))?;
+        self.live_server(&shard).control_ack(rank, epoch);
+        Ok(())
     }
 
     /// Seal one tenant's engine and read its final result. Other tenants
@@ -791,6 +831,29 @@ impl BatchChannel for TenantChannel {
             }
         }
     }
+
+    fn poll_control(&self, rank: usize, now: VirtualTime) -> Vec<ControlDirective> {
+        if let Some(crash_at) = self.plan.server_crash() {
+            if now >= crash_at && !self.service.failed_over() {
+                // A poll can be the first operation to observe the planned
+                // crash instant; it promotes the standby just like a send.
+                let _ = self.service.fail_over(crash_at);
+            }
+        }
+        // A deregistered tenant has no control plane; the rank's poll
+        // comes back empty instead of panicking on the routing lookup.
+        let Some(server) = self.service.server(self.tenant) else {
+            return Vec::new();
+        };
+        crate::transport::faulty_poll_control(&server, &self.plan, rank, now)
+    }
+
+    fn ack_control(&self, rank: usize, epoch: u64, _now: VirtualTime) {
+        // Acks ride the poll exchange and are reliable; an unknown tenant
+        // surfaces as the typed ServiceError, swallowed here because the
+        // channel contract is fire-and-forget.
+        let _ = self.service.control_ack(self.tenant, rank, epoch);
+    }
 }
 
 impl AnalysisSink for TenantChannel {
@@ -862,11 +925,71 @@ mod tests {
                 VirtualTime::ZERO,
             )
             .unwrap_err();
-        assert_eq!(err, IngestError::Closed);
+        assert_eq!(err, IngestError::UnknownTenant(TenantId(9)));
+        assert!(!err.is_retryable(), "resending cannot register a tenant");
         assert!(matches!(
             svc.session(TenantId(9)),
             Err(ServiceError::UnknownTenant(TenantId(9)))
         ));
+    }
+
+    #[test]
+    fn unknown_tenant_control_traffic_is_rejected_typed() {
+        let svc = AnalysisService::new(ServiceConfig::default());
+        assert_eq!(
+            svc.control_poll(TenantId(4), 0, VirtualTime::ZERO),
+            Err(ServiceError::UnknownTenant(TenantId(4)))
+        );
+        assert_eq!(
+            svc.control_ack(TenantId(4), 0, 1),
+            Err(ServiceError::UnknownTenant(TenantId(4)))
+        );
+        // The channel-shaped route swallows the rejection (fire-and-forget
+        // contract) but must not panic on the routing lookup.
+        let channel = TenantChannel::new(Arc::new(svc), TenantId(4), FaultPlan::none());
+        assert!(channel.poll_control(0, VirtualTime::ZERO).is_empty());
+        channel.ack_control(0, 1, VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn service_error_contract_is_exhaustive() {
+        // One representative of every variant, classified through an
+        // exhaustive match: adding a variant without deciding whether it
+        // names a tenant (routable blame) fails to compile here.
+        let every = [
+            ServiceError::AdmissionDenied { tenants: 4, max: 4 },
+            ServiceError::DuplicateTenant(TenantId(1)),
+            ServiceError::UnknownTenant(TenantId(2)),
+            ServiceError::TenantBusy {
+                tenant: TenantId(3),
+                sessions: 2,
+            },
+            ServiceError::InvalidTenantConfig {
+                tenant: TenantId(4),
+                source: crate::error::RuntimeError::invalid_config("slice", "must be positive"),
+            },
+            ServiceError::NotDurable,
+            ServiceError::EngineAlreadyLive(TenantId(5)),
+        ];
+        for e in every {
+            let blamed: Option<TenantId> = match &e {
+                // Service-wide refusals: no single tenant to blame.
+                ServiceError::AdmissionDenied { .. } | ServiceError::NotDurable => None,
+                // Tenant-scoped refusals must name the tenant...
+                ServiceError::DuplicateTenant(t)
+                | ServiceError::UnknownTenant(t)
+                | ServiceError::EngineAlreadyLive(t) => Some(*t),
+                ServiceError::TenantBusy { tenant, .. }
+                | ServiceError::InvalidTenantConfig { tenant, .. } => Some(*tenant),
+            };
+            // ...and the rendered message must carry it for operators.
+            if let Some(t) = blamed {
+                assert!(
+                    e.to_string().contains(&t.to_string()),
+                    "{e} does not name tenant {t}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1016,12 +1139,12 @@ mod tests {
         svc.ingest(t, batch(0, 0, at), at).unwrap();
         assert_eq!(svc.wal(t).unwrap().batch_entries(), 1);
         svc.deregister_tenant(t).unwrap();
-        // The engine and journal are gone; ingest sees no session at all.
+        // The engine and journal are gone; ingest sees no tenant at all.
         assert!(svc.server(t).is_none());
         assert!(svc.wal(t).is_none());
         assert_eq!(
             svc.ingest(t, batch(0, 1, at), at).unwrap_err(),
-            IngestError::Closed
+            IngestError::UnknownTenant(t)
         );
         // Re-registering the same id starts from a clean slate.
         svc.register(t, spec(1)).unwrap();

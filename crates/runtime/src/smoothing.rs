@@ -22,7 +22,12 @@ pub struct SliceAggregator {
 
 #[derive(Clone, Copy, Debug)]
 struct OpenSlice {
+    /// Aggregation key: the fine slice index (`start / (slice/subdiv)`).
+    /// Equal to the coarse index when `subdiv == 1`.
     slice: u64,
+    /// Subdivision this slice was opened under — a key from a different
+    /// subdivision must never merge even when the indices collide.
+    subdiv: u64,
     bucket: Bucket,
     sum_ns: u64,
     count: u32,
@@ -44,10 +49,29 @@ impl SliceAggregator {
         duration: Duration,
         bucket: Bucket,
     ) -> Option<SliceRecord> {
-        let slice = config.slice_index(start);
+        self.add_subdivided(config, start, duration, bucket, 1)
+    }
+
+    /// Like [`Self::add`], but aggregating at `slice / subdiv` — the
+    /// control plane's escalated (zoom-in) granularity. Emitted records
+    /// still carry their *coarse* slice index (`subdiv` divides the
+    /// coarse slice by construction, so `fine / subdiv` is exact): the
+    /// server bins escalated telemetry exactly like coarse telemetry,
+    /// just from `subdiv`-times more records per slice.
+    pub fn add_subdivided(
+        &mut self,
+        config: &RuntimeConfig,
+        start: VirtualTime,
+        duration: Duration,
+        bucket: Bucket,
+        subdiv: u32,
+    ) -> Option<SliceRecord> {
+        let subdiv = (subdiv as u64).max(1);
+        let fine_width = (config.slice.as_nanos() / subdiv).max(1);
+        let slice = start.as_nanos() / fine_width;
         let mut finished = None;
         match &mut self.open {
-            Some(open) if open.slice == slice && open.bucket == bucket => {
+            Some(open) if open.slice == slice && open.subdiv == subdiv && open.bucket == bucket => {
                 open.sum_ns += duration.as_nanos();
                 open.count += 1;
             }
@@ -55,6 +79,7 @@ impl SliceAggregator {
                 finished = open.take().map(|o| o.into_record(self.sensor));
                 *open = Some(OpenSlice {
                     slice,
+                    subdiv,
                     bucket,
                     sum_ns: duration.as_nanos(),
                     count: 1,
@@ -74,7 +99,7 @@ impl OpenSlice {
     fn into_record(self, sensor: SensorId) -> SliceRecord {
         SliceRecord {
             sensor,
-            slice: self.slice,
+            slice: self.slice / self.subdiv,
             avg: Duration::from_nanos(self.sum_ns / self.count.max(1) as u64),
             count: self.count,
             bucket: self.bucket,
@@ -165,6 +190,47 @@ mod tests {
         agg.add(&c, VirtualTime::ZERO, Duration::from_nanos(100), Bucket(0));
         assert!(agg.finish().is_some());
         assert!(agg.finish().is_none(), "finish is idempotent");
+    }
+
+    #[test]
+    fn subdivided_slices_emit_finer_records_with_coarse_indices() {
+        let c = cfg();
+        let mut agg = SliceAggregator::new(SensorId(4));
+        // Sixteen 10 us senses spread over two coarse 1000 us slices, at
+        // subdiv 4 (250 us fine slices): one record per fine slice, each
+        // stamped with the *coarse* index it belongs to.
+        let mut records = Vec::new();
+        for i in 0..16u64 {
+            let start = VirtualTime::from_micros(i * 125);
+            records.extend(agg.add_subdivided(&c, start, Duration::from_micros(10), Bucket(0), 4));
+        }
+        records.extend(agg.finish());
+        assert_eq!(records.len(), 8, "2000us / 250us fine slices");
+        assert_eq!(
+            records.iter().map(|r| r.slice).collect::<Vec<_>>(),
+            [0, 0, 0, 0, 1, 1, 1, 1]
+        );
+        assert!(records.iter().all(|r| r.count == 2));
+
+        // Switching back to coarse mid-run must not merge a coarse key
+        // with an old fine key that happens to collide numerically.
+        let mut agg = SliceAggregator::new(SensorId(5));
+        agg.add_subdivided(
+            &c,
+            VirtualTime::from_micros(750),
+            Duration::from_micros(10),
+            Bucket(0),
+            4,
+        );
+        let closed = agg.add(
+            &c,
+            VirtualTime::from_micros(3100),
+            Duration::from_micros(10),
+            Bucket(0),
+        );
+        let closed = closed.expect("subdiv change closes the open slice");
+        assert_eq!(closed.slice, 0, "fine index 3 maps to coarse slice 0");
+        assert_eq!(agg.finish().expect("coarse slice open").slice, 3);
     }
 
     #[test]

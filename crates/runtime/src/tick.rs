@@ -13,6 +13,7 @@
 //! is disabled, and its probes degrade to a near-free check.
 
 use crate::config::RuntimeConfig;
+use crate::control::{ControlDirective, DirectiveGate, DirectiveVerdict};
 use crate::distribution::DistributionStats;
 use crate::dynrules::{DynamicRule, SenseMetrics};
 use crate::history::History;
@@ -22,6 +23,11 @@ use cluster_sim::time::{Duration, VirtualTime};
 use std::sync::Arc;
 use vsensor_lang::SensorId;
 
+/// The sensor throttled itself off (§5.3: too-short senses).
+const OFF_THROTTLED: u8 = 1;
+/// The analysis server commanded the sensor dark (control plane).
+const OFF_SERVER: u8 = 1 << 1;
+
 /// Per-sensor dynamic state.
 #[derive(Clone, Debug)]
 struct SensorState {
@@ -29,7 +35,10 @@ struct SensorState {
     open_since: Option<VirtualTime>,
     senses: u32,
     short_senses: u32,
-    disabled: bool,
+    /// Disable bits ([`OFF_THROTTLED`] | [`OFF_SERVER`]). Folding both
+    /// sources into one byte keeps the probe fast path at a single cheap
+    /// check regardless of who turned the sensor off.
+    off: u8,
 }
 
 /// The per-rank dynamic module.
@@ -44,6 +53,14 @@ pub struct SensorRuntime {
     /// Count of locally-detected variance records (normalized perf below
     /// threshold), for quick per-rank summaries.
     local_variances: u64,
+    /// Slice subdivision commanded by the control plane (1 = coarse).
+    subdiv: u32,
+    /// Control-directive acceptance state (CRC + monotonic-epoch gates).
+    gate: DirectiveGate,
+    /// Last control poll, so a rank polls at the batch cadence even when
+    /// its outbox is empty (an all-dark rank must stay reachable for
+    /// re-enables).
+    last_control_poll: VirtualTime,
 }
 
 /// What a probe call costs and whether a flush is due.
@@ -79,7 +96,7 @@ impl SensorRuntime {
                     open_since: None,
                     senses: 0,
                     short_senses: 0,
-                    disabled: false,
+                    off: 0,
                 })
                 .collect(),
             history: History::new(),
@@ -87,6 +104,9 @@ impl SensorRuntime {
             outbox: Vec::new(),
             last_flush: VirtualTime::ZERO,
             local_variances: 0,
+            subdiv: 1,
+            gate: DirectiveGate::default(),
+            last_control_poll: VirtualTime::ZERO,
         }
     }
 
@@ -98,7 +118,7 @@ impl SensorRuntime {
     /// Start a sense.
     pub fn tick(&mut self, sensor: SensorId, now: VirtualTime) -> ProbeOutcome {
         let st = &mut self.states[sensor.0 as usize];
-        if st.disabled {
+        if st.off != 0 {
             return ProbeOutcome {
                 cost: self.config.disabled_overhead,
             };
@@ -117,8 +137,9 @@ impl SensorRuntime {
         now: VirtualTime,
         metrics: SenseMetrics,
     ) -> ProbeOutcome {
+        let subdiv = self.subdiv;
         let st = &mut self.states[sensor.0 as usize];
-        if st.disabled {
+        if st.off != 0 {
             return ProbeOutcome {
                 cost: self.config.disabled_overhead,
             };
@@ -139,13 +160,15 @@ impl SensorRuntime {
             st.short_senses += 1;
         }
         if st.senses == self.config.throttle_probation && st.short_senses * 2 > st.senses {
-            st.disabled = true;
+            st.off |= OFF_THROTTLED;
         }
 
         self.distribution.record(start, duration);
 
         let bucket = self.rule.bucket(&metrics);
-        let finished = st.aggregator.add(&self.config, start, duration, bucket);
+        let finished = st
+            .aggregator
+            .add_subdivided(&self.config, start, duration, bucket, subdiv);
         let mut cost = self.config.probe_overhead;
         if let Some(rec) = finished {
             // On-line analysis runs once per closed slice.
@@ -214,9 +237,62 @@ impl SensorRuntime {
         self.local_variances
     }
 
-    /// Whether a sensor has been throttled off.
+    /// Whether a sensor is currently off (throttled or server-disabled).
     pub fn is_disabled(&self, sensor: SensorId) -> bool {
-        self.states[sensor.0 as usize].disabled
+        self.states[sensor.0 as usize].off != 0
+    }
+
+    /// Whether the control plane specifically has this sensor dark.
+    pub fn is_server_disabled(&self, sensor: SensorId) -> bool {
+        self.states[sensor.0 as usize].off & OFF_SERVER != 0
+    }
+
+    /// Whether a control-plane poll is due. Polling rides the batch
+    /// cadence but is independent of the outbox: a rank whose sensors are
+    /// all dark must still poll so the server can re-enable them.
+    pub fn control_poll_due(&mut self, now: VirtualTime) -> bool {
+        if !self.config.control_enabled() {
+            return false;
+        }
+        if now.since(self.last_control_poll) >= self.config.batch_interval {
+            self.last_control_poll = now;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Apply one control directive. Returns the epoch to acknowledge:
+    /// `Some(epoch)` for applied *and* stale directives (a stale directive
+    /// means the newer epoch already landed — acking the newest lets the
+    /// server retire its retry), `None` for CRC rejects (never acked, so
+    /// the server retries with a clean copy).
+    pub fn apply_directive(&mut self, directive: &ControlDirective) -> Option<u64> {
+        match self.gate.admit(directive) {
+            DirectiveVerdict::Rejected => None,
+            DirectiveVerdict::Stale => Some(self.gate.epoch()),
+            DirectiveVerdict::Applied => {
+                self.subdiv = directive.subdiv.max(1);
+                for (i, st) in self.states.iter_mut().enumerate() {
+                    if directive.disabled.binary_search(&(i as u32)).is_ok() {
+                        st.off |= OFF_SERVER;
+                    } else {
+                        st.off &= !OFF_SERVER;
+                    }
+                }
+                Some(self.gate.epoch())
+            }
+        }
+    }
+
+    /// The rank-side directive acceptance state.
+    pub fn directive_gate(&self) -> &DirectiveGate {
+        &self.gate
+    }
+
+    /// Highest control epoch applied so far (0 = none).
+    pub fn applied_epoch(&self) -> u64 {
+        self.gate.epoch()
     }
 }
 
@@ -374,6 +450,81 @@ mod tests {
         let batch = rt.take_batch(end);
         assert!(!batch.is_empty());
         assert!(!rt.flush_due(end), "just flushed");
+    }
+
+    #[test]
+    fn server_directive_disables_and_reenables() {
+        let mut rt = SensorRuntime::new(2, free());
+        let dark = ControlDirective::new(0, 1, vec![SensorId(1).0], 1);
+        assert_eq!(rt.apply_directive(&dark), Some(1));
+        assert!(!rt.is_disabled(SensorId(0)));
+        assert!(rt.is_disabled(SensorId(1)));
+        assert!(rt.is_server_disabled(SensorId(1)));
+        // Dark probes cost only the cheap check and drop the sense.
+        let out = rt.tick(SensorId(1), VirtualTime::ZERO);
+        assert_eq!(out.cost, Duration::ZERO); // free_probes config
+                                              // A newer directive with an empty dark set re-enables.
+        let light = ControlDirective::new(0, 2, vec![], 1);
+        assert_eq!(rt.apply_directive(&light), Some(2));
+        assert!(!rt.is_disabled(SensorId(1)));
+        // Stale and corrupt copies leave the state alone.
+        assert_eq!(rt.apply_directive(&dark), Some(2), "stale acks epoch 2");
+        assert!(!rt.is_disabled(SensorId(1)));
+        assert_eq!(rt.apply_directive(&light.corrupted_copy()), None);
+        assert_eq!(rt.applied_epoch(), 2);
+    }
+
+    #[test]
+    fn throttle_and_server_bits_are_independent() {
+        let mut cfg = free();
+        cfg.min_sense_duration = Duration::from_nanos(1000);
+        cfg.throttle_probation = 8;
+        let mut rt = SensorRuntime::new(1, cfg);
+        run_senses(&mut rt, SensorId(0), 10, 100, 100);
+        assert!(rt.is_disabled(SensorId(0)), "throttled");
+        assert!(!rt.is_server_disabled(SensorId(0)));
+        // A server re-enable (empty dark set) must not clear the throttle.
+        rt.apply_directive(&ControlDirective::new(0, 1, vec![], 1));
+        assert!(rt.is_disabled(SensorId(0)), "throttle survives control");
+    }
+
+    #[test]
+    fn escalated_subdiv_emits_finer_records() {
+        let mut rt = SensorRuntime::new(1, free());
+        rt.apply_directive(&ControlDirective::new(0, 1, vec![], 4));
+        // 16 senses at 125 us spacing → 8 fine (250 us) records instead of
+        // the 2 coarse ones, all stamped with coarse slice indices.
+        let mut t = VirtualTime::ZERO;
+        for _ in 0..16 {
+            rt.tick(SensorId(0), t);
+            t += Duration::from_micros(10);
+            rt.tock(SensorId(0), t, SenseMetrics::default());
+            t += Duration::from_micros(115);
+        }
+        let mut records = rt.take_batch(t);
+        records.extend(rt.finish(t));
+        assert_eq!(records.len(), 8);
+        assert!(records.iter().all(|r| r.count == 2));
+        assert!(records.iter().all(|r| r.slice <= 1), "coarse indices");
+    }
+
+    #[test]
+    fn control_poll_rides_batch_cadence_only_when_enabled() {
+        let mut cfg = free();
+        cfg.batch_interval = Duration::from_millis(10);
+        let mut rt = SensorRuntime::new(1, cfg.clone());
+        // Control plane off by default: never due.
+        assert!(!rt.control_poll_due(VirtualTime::from_secs(1)));
+
+        let cfg = cfg.with_overhead_budget(0.05).unwrap();
+        let mut rt = SensorRuntime::new(1, cfg);
+        assert!(!rt.control_poll_due(VirtualTime::from_micros(500)));
+        assert!(rt.control_poll_due(VirtualTime::from_millis(10)));
+        assert!(
+            !rt.control_poll_due(VirtualTime::from_millis(11)),
+            "just polled"
+        );
+        assert!(rt.control_poll_due(VirtualTime::from_millis(20)));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! whole simulation stays deterministic.
 
 use crate::config::RuntimeConfig;
+use crate::control::{ControlDirective, CONTROL_SEQ_BASE};
 use crate::record::SliceRecord;
 use crate::server::AnalysisServer;
 use cluster_sim::fault::{FaultPlan, SendFate};
@@ -162,6 +163,23 @@ pub enum SendOutcome {
 pub trait BatchChannel: Send + Sync {
     /// Transmit one batch at virtual instant `now`.
     fn send(&self, batch: &TelemetryBatch, now: VirtualTime, attempt: u32) -> SendOutcome;
+
+    /// Poll for server→rank control directives due for `rank` at `now`
+    /// (pull delivery: ranks poll at their batch cadence, the direction
+    /// acks already flow). Fault-injecting channels roll the same seeded
+    /// dice as telemetry here — in the disjoint [`CONTROL_SEQ_BASE`]
+    /// namespace — so a returned directive may be duplicated or
+    /// corrupted, and a dropped or delayed one yields an empty poll. The
+    /// default (no control plane) returns nothing.
+    fn poll_control(&self, _rank: usize, _now: VirtualTime) -> Vec<ControlDirective> {
+        Vec::new()
+    }
+
+    /// Acknowledge, on behalf of `rank`, every control epoch up to
+    /// `epoch`. Rides the poll exchange reliably — directive loss is
+    /// what the dice model; a lost ack is indistinguishable from one at
+    /// the next poll anyway, since acks are cumulative.
+    fn ack_control(&self, _rank: usize, _epoch: u64, _now: VirtualTime) {}
 }
 
 /// A [`BatchChannel`] that can also surface the analysis server whose
@@ -198,6 +216,18 @@ impl BatchChannel for DirectChannel {
             Err(_) => SendOutcome::Acked,
         }
     }
+
+    fn poll_control(&self, rank: usize, now: VirtualTime) -> Vec<ControlDirective> {
+        // Lossless: a due directive is delivered exactly once.
+        self.server
+            .control_begin_attempt(rank, now)
+            .map(|(d, _)| vec![d])
+            .unwrap_or_default()
+    }
+
+    fn ack_control(&self, rank: usize, epoch: u64, _now: VirtualTime) {
+        self.server.control_ack(rank, epoch);
+    }
 }
 
 impl AnalysisSink for DirectChannel {
@@ -218,6 +248,49 @@ impl FaultyChannel {
     /// Wrap a server with a fault plan.
     pub fn new(server: Arc<AnalysisServer>, plan: FaultPlan) -> Self {
         FaultyChannel { server, plan }
+    }
+}
+
+/// One fault-injected control poll against `server`: begin the due
+/// attempt (if any), roll the rank's dice in the [`CONTROL_SEQ_BASE`]
+/// namespace, and translate the fate — drop/unreachable lose the attempt
+/// (backoff already scheduled), delay reschedules it (a late arrival, not
+/// a loss), corruption delivers a damaged frame the rank's CRC gate will
+/// reject, and duplication returns multiple copies the rank sheds as
+/// stale. Shared by every fault-injecting channel.
+pub(crate) fn faulty_poll_control(
+    server: &AnalysisServer,
+    plan: &FaultPlan,
+    rank: usize,
+    now: VirtualTime,
+) -> Vec<ControlDirective> {
+    let Some((directive, attempt)) = server.control_begin_attempt(rank, now) else {
+        return Vec::new();
+    };
+    // Attempts are 1-based in the controller; the dice namespace is
+    // 0-based per attempt, like telemetry retries.
+    match plan.fate(rank, CONTROL_SEQ_BASE + directive.epoch, attempt - 1, now) {
+        SendFate::Unreachable | SendFate::Dropped => {
+            server.control_delivery_lost(rank);
+            Vec::new()
+        }
+        SendFate::Delivered {
+            copies,
+            delay,
+            corrupt,
+        } => {
+            if delay > Duration::ZERO {
+                server.control_delay(rank, now + delay);
+                return Vec::new();
+            }
+            if corrupt {
+                server.control_delivery_lost(rank);
+                return vec![directive.corrupted_copy()];
+            }
+            std::iter::repeat_with(|| directive.clone())
+                .take(copies.max(1) as usize)
+                .collect()
+        }
     }
 }
 
@@ -252,6 +325,14 @@ impl BatchChannel for FaultyChannel {
                 outcome
             }
         }
+    }
+
+    fn poll_control(&self, rank: usize, now: VirtualTime) -> Vec<ControlDirective> {
+        faulty_poll_control(&self.server, &self.plan, rank, now)
+    }
+
+    fn ack_control(&self, rank: usize, epoch: u64, _now: VirtualTime) {
+        self.server.control_ack(rank, epoch);
     }
 }
 
@@ -347,38 +428,61 @@ impl CrashingChannel {
     }
 }
 
+impl CrashingChannel {
+    /// Fire the planned crash if `now` reached it: discard the current
+    /// server wholesale and rebuild from the WAL. Any channel operation —
+    /// telemetry send or control poll — can be the one that observes the
+    /// crash instant first.
+    fn fire_crash_if_due(&self, st: &mut CrashState, now: VirtualTime) {
+        if st.crashed || now < self.crash_at {
+            return;
+        }
+        // Kill → recover. The old server's in-memory state dies with
+        // it; the WAL is the only survivor.
+        if trace::enabled(Category::ENGINE) {
+            trace::record(TraceEvent::instant(
+                Category::ENGINE,
+                "server_crash",
+                cluster_sim::trace::SERVER_LANE,
+                self.crash_at.as_nanos(),
+                self.wal.batch_entries() as u64,
+                self.wal.snapshot_entries() as u64,
+            ));
+        }
+        let recovered =
+            AnalysisServer::recover(&self.wal).expect("WAL header was validated at creation");
+        st.server = Arc::new(recovered);
+        st.crashed = true;
+        if trace::enabled(Category::ENGINE) {
+            trace::record(TraceEvent::instant(
+                Category::ENGINE,
+                "server_recover",
+                cluster_sim::trace::SERVER_LANE,
+                now.as_nanos(),
+                self.wal.batch_entries() as u64,
+                self.wal.snapshot_entries() as u64,
+            ));
+        }
+    }
+}
+
 impl BatchChannel for CrashingChannel {
     fn send(&self, batch: &TelemetryBatch, now: VirtualTime, attempt: u32) -> SendOutcome {
         let mut st = self.state.lock();
-        if !st.crashed && now >= self.crash_at {
-            // Kill → recover. The old server's in-memory state dies with
-            // it; the WAL is the only survivor.
-            if trace::enabled(Category::ENGINE) {
-                trace::record(TraceEvent::instant(
-                    Category::ENGINE,
-                    "server_crash",
-                    cluster_sim::trace::SERVER_LANE,
-                    self.crash_at.as_nanos(),
-                    self.wal.batch_entries() as u64,
-                    self.wal.snapshot_entries() as u64,
-                ));
-            }
-            let recovered =
-                AnalysisServer::recover(&self.wal).expect("WAL header was validated at creation");
-            st.server = Arc::new(recovered);
-            st.crashed = true;
-            if trace::enabled(Category::ENGINE) {
-                trace::record(TraceEvent::instant(
-                    Category::ENGINE,
-                    "server_recover",
-                    cluster_sim::trace::SERVER_LANE,
-                    now.as_nanos(),
-                    self.wal.batch_entries() as u64,
-                    self.wal.snapshot_entries() as u64,
-                ));
-            }
-        }
+        self.fire_crash_if_due(&mut st, now);
         self.deliver(&st.server, batch, now, attempt)
+    }
+
+    fn poll_control(&self, rank: usize, now: VirtualTime) -> Vec<ControlDirective> {
+        let mut st = self.state.lock();
+        self.fire_crash_if_due(&mut st, now);
+        faulty_poll_control(&st.server, &self.plan, rank, now)
+    }
+
+    fn ack_control(&self, rank: usize, epoch: u64, now: VirtualTime) {
+        let mut st = self.state.lock();
+        self.fire_crash_if_due(&mut st, now);
+        st.server.control_ack(rank, epoch);
     }
 }
 
@@ -668,6 +772,12 @@ impl RankTransport {
             self.reclaim(p.batch.records);
         }
         cost
+    }
+
+    /// The underlying channel. The harness polls server→rank control
+    /// directives through it at the batch cadence.
+    pub fn channel(&self) -> &Arc<dyn BatchChannel> {
+        &self.channel
     }
 
     /// Sender-side counters.

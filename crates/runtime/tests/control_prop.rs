@@ -1,0 +1,141 @@
+//! Property test: duplicated, reordered or corrupted control directives
+//! never change the applied epoch sequence.
+//!
+//! The control plane's idempotency argument is a tiny state machine —
+//! [`DirectiveGate`]: reject bad CRC frames, apply only monotonically
+//! newer epochs, shed everything else as stale. This test drives the gate
+//! through random delivery schedules (duplicates, arbitrary reorderings,
+//! corrupt frames) against a deliberately naive oracle that recomputes
+//! the expected verdict from the full delivery history each step, and
+//! demands:
+//!
+//! 1. verdict-for-verdict agreement (dedup + CRC rejection oracle);
+//! 2. the applied epoch sequence is exactly the strictly increasing
+//!    subsequence of valid deliveries, in delivery order;
+//! 3. the final sensor state converges to the payload of the highest
+//!    valid epoch delivered, *regardless of delivery order* — the
+//!    state-complete convergence claim, checked by re-running the same
+//!    deliveries in a different permutation.
+
+use proptest::prelude::*;
+use vsensor_runtime::{ControlDirective, DirectiveGate, DirectiveVerdict};
+
+/// Deterministic payload for an epoch, so any two deliveries of the same
+/// epoch carry identical state (as the controller guarantees: an epoch is
+/// stamped once and only re-sent verbatim).
+fn directive_for(rank: usize, epoch: u64) -> ControlDirective {
+    // Dark set and subdivision derived from the epoch bits.
+    let disabled: Vec<u32> = (0..4u32).filter(|s| epoch & (1 << s) != 0).collect();
+    let subdiv = [1u32, 2, 4, 8][(epoch % 4) as usize];
+    ControlDirective::new(rank, epoch, disabled, subdiv)
+}
+
+/// The naive model: full history, no incremental state.
+struct HistoryOracle {
+    /// Every valid (un-corrupted) epoch delivered so far, in order.
+    valid_epochs: Vec<u64>,
+}
+
+impl HistoryOracle {
+    fn expected_verdict(&mut self, epoch: u64, corrupt: bool) -> DirectiveVerdict {
+        if corrupt {
+            return DirectiveVerdict::Rejected;
+        }
+        // Scan the whole history: has any valid delivery reached `epoch`?
+        let seen_max = self.valid_epochs.iter().copied().max().unwrap_or(0);
+        self.valid_epochs.push(epoch);
+        if epoch > seen_max {
+            DirectiveVerdict::Applied
+        } else {
+            DirectiveVerdict::Stale
+        }
+    }
+}
+
+/// Run one delivery schedule through a fresh gate, returning the applied
+/// epoch sequence and the final applied payload (dark set, subdiv).
+fn run_schedule(
+    rank: usize,
+    deliveries: &[(u64, bool)],
+) -> (DirectiveGate, Vec<u64>, Vec<u32>, u32) {
+    let mut gate = DirectiveGate::default();
+    let mut applied_seq = Vec::new();
+    let mut state: (Vec<u32>, u32) = (Vec::new(), 1); // boot: all lit, coarse
+    for &(epoch, corrupt) in deliveries {
+        let d = directive_for(rank, epoch);
+        let d = if corrupt { d.corrupted_copy() } else { d };
+        if gate.admit(&d) == DirectiveVerdict::Applied {
+            applied_seq.push(epoch);
+            state = (d.disabled.clone(), d.subdiv);
+        }
+    }
+    (gate, applied_seq, state.0, state.1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn gate_matches_history_oracle_and_converges(
+        rank in 0usize..64,
+        raw in proptest::collection::vec(
+            // (epoch selector, corrupt flag, permutation key)
+            // corrupt flag drawn as a selector: ~1 in 4 frames corrupt
+            (1u64..16, 0u8..4, 0u64..1_000_000),
+            1..80,
+        ),
+    ) {
+        let deliveries: Vec<(u64, bool)> =
+            raw.iter().map(|&(e, c, _)| (e, c == 0)).collect();
+
+        // 1 + 2: verdict-for-verdict agreement with the naive oracle,
+        // and the applied sequence is the strictly increasing subsequence
+        // of valid deliveries.
+        let mut gate = DirectiveGate::default();
+        let mut oracle = HistoryOracle { valid_epochs: Vec::new() };
+        let mut applied_seq = Vec::new();
+        let mut expected_seq = Vec::new();
+        let mut running_max = 0u64;
+        for &(epoch, corrupt) in &deliveries {
+            let d = directive_for(rank, epoch);
+            let d = if corrupt { d.corrupted_copy() } else { d };
+            let verdict = gate.admit(&d);
+            let expected = oracle.expected_verdict(epoch, corrupt);
+            prop_assert_eq!(verdict, expected);
+            if verdict == DirectiveVerdict::Applied {
+                applied_seq.push(epoch);
+            }
+            if !corrupt && epoch > running_max {
+                running_max = epoch;
+                expected_seq.push(epoch);
+            }
+        }
+        prop_assert_eq!(&applied_seq, &expected_seq);
+        prop_assert!(applied_seq.windows(2).all(|w| w[0] < w[1]),
+            "applied epochs must be strictly increasing: {:?}", applied_seq);
+        prop_assert_eq!(gate.epoch(), running_max);
+        // Every delivery gets exactly one verdict; exactly the corrupt
+        // frames are rejected.
+        prop_assert_eq!(
+            gate.applied + gate.stale + gate.rejected,
+            deliveries.len() as u64
+        );
+        prop_assert_eq!(
+            gate.rejected,
+            deliveries.iter().filter(|&&(_, c)| c).count() as u64
+        );
+
+        // 3: convergence — a different permutation of the same deliveries
+        // ends at the same epoch and the same applied payload.
+        let mut permuted = raw.clone();
+        permuted.sort_by_key(|&(e, c, key)| (key, e, c));
+        let permuted: Vec<(u64, bool)> =
+            permuted.iter().map(|&(e, c, _)| (e, c == 0)).collect();
+        let (g1, _, dark1, sub1) = run_schedule(rank, &deliveries);
+        let (g2, _, dark2, sub2) = run_schedule(rank, &permuted);
+        // Order must not matter: state-complete payloads converge.
+        prop_assert_eq!(g1.epoch(), g2.epoch());
+        prop_assert_eq!(dark1, dark2);
+        prop_assert_eq!(sub1, sub2);
+    }
+}
